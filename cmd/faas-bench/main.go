@@ -1,0 +1,95 @@
+// Command faas-bench regenerates the paper's evaluation artifacts: Table I
+// and the data series behind Figures 4a/4b/4c, 5, 6 and 7, plus the
+// extension ablations (cache replacement policy, GPU scaling).
+//
+// Usage:
+//
+//	faas-bench [-exp all|table1|fig4|fig7|cachepolicy|scaling]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"gpufaas/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: all|table1|fig4|fig7|cachepolicy|scaling")
+	flag.Parse()
+
+	run := func(name string, fn func() error) {
+		fmt.Printf("\n== %s ==\n", name)
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "faas-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+
+	if want("table1") {
+		run("Table I — model profiles (occupancy, load, inference @ batch 32)", func() error {
+			rows, err := experiments.TableI()
+			if err != nil {
+				return err
+			}
+			experiments.WriteTableI(os.Stdout, rows)
+			return nil
+		})
+	}
+	if want("fig4") {
+		run("Figures 4a/4b/4c, 5, 6 — scheduler x working-set matrix", func() error {
+			rows, err := experiments.Fig4Matrix()
+			if err != nil {
+				return err
+			}
+			experiments.WriteFig4Table(os.Stdout, rows)
+			return nil
+		})
+	}
+	if want("fig7") {
+		run("Figure 7 — O3 starvation-limit sensitivity (working set 35)", func() error {
+			pts, err := experiments.Fig7Sweep()
+			if err != nil {
+				return err
+			}
+			experiments.WriteFig7Table(os.Stdout, pts)
+			return nil
+		})
+	}
+	if want("cachepolicy") {
+		run("Ablation — cache replacement policy under LALBO3 (ws=35)", func() error {
+			out, err := experiments.CachePolicyComparison(35)
+			if err != nil {
+				return err
+			}
+			var keys []string
+			for k := range out {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			fmt.Printf("%-6s %12s %10s\n", "policy", "avg_lat(s)", "miss")
+			for _, k := range keys {
+				r := out[k]
+				fmt.Printf("%-6s %12.3f %10.4f\n", k, r.AvgLatencySec, r.MissRatio)
+			}
+			return nil
+		})
+	}
+	if want("scaling") {
+		run("Ablation — GPU count scaling under LALBO3 (ws=25)", func() error {
+			rows, err := experiments.GPUScaling([]int{2, 3, 4, 5})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-14s %12s %10s %8s\n", "config", "avg_lat(s)", "miss", "sm_util")
+			for _, r := range rows {
+				fmt.Printf("%-14s %12.3f %10.4f %8.4f\n", r.Policy, r.AvgLatencySec, r.MissRatio, r.SMUtilization)
+			}
+			return nil
+		})
+	}
+}

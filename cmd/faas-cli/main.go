@@ -1,0 +1,178 @@
+// Command faas-cli is the client for the GPU-FaaS gateway: deploy, list,
+// describe, remove, scale and invoke functions.
+//
+// Usage:
+//
+//	faas-cli -gateway http://localhost:8080 deploy -name classify -model resnet18 -gpu
+//	faas-cli invoke -name classify -n 5
+//	faas-cli list
+//	faas-cli metrics
+//	faas-cli remove -name classify
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"gpufaas/internal/faas"
+)
+
+func main() {
+	gateway := flag.String("gateway", "http://localhost:8080", "gateway base URL")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+	}
+	cmd := flag.Arg(0)
+	args := flag.Args()[1:]
+	var err error
+	switch cmd {
+	case "deploy":
+		err = deploy(*gateway, args)
+	case "invoke":
+		err = invoke(*gateway, args)
+	case "list":
+		err = get(*gateway + "/system/functions")
+	case "describe":
+		err = describe(*gateway, args)
+	case "remove":
+		err = remove(*gateway, args)
+	case "scale":
+		err = scale(*gateway, args)
+	case "metrics":
+		err = get(*gateway + "/system/metrics")
+	case "gpus":
+		err = get(*gateway + "/system/gpus")
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "faas-cli: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: faas-cli [-gateway URL] <command> [flags]
+commands: deploy, invoke, list, describe, remove, scale, metrics, gpus`)
+	os.Exit(2)
+}
+
+func deploy(gw string, args []string) error {
+	fs := flag.NewFlagSet("deploy", flag.ExitOnError)
+	name := fs.String("name", "", "function name")
+	model := fs.String("model", "", "inference model (Table I name)")
+	gpu := fs.Bool("gpu", false, "enable GPU (the Dockerfile GPU flag)")
+	batch := fs.Int("batch", 32, "batch size")
+	tenant := fs.String("tenant", "", "owning tenant")
+	replicas := fs.Int("replicas", 1, "container replicas")
+	fs.Parse(args)
+	spec := faas.FunctionSpec{
+		Name: *name, Model: *model, GPUEnabled: *gpu,
+		BatchSize: *batch, Tenant: *tenant, Replicas: *replicas,
+	}
+	body, _ := json.Marshal(spec)
+	return post(gw+"/system/functions", body)
+}
+
+func invoke(gw string, args []string) error {
+	fs := flag.NewFlagSet("invoke", flag.ExitOnError)
+	name := fs.String("name", "", "function name")
+	n := fs.Int("n", 1, "number of invocations")
+	fs.Parse(args)
+	for i := 0; i < *n; i++ {
+		start := time.Now()
+		resp, err := http.Post(gw+"/function/"+*name, "application/json", bytes.NewReader(nil))
+		if err != nil {
+			return err
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("invoke %d: %s: %s", i, resp.Status, body)
+		}
+		var iv faas.InvokeResponse
+		if err := json.Unmarshal(body, &iv); err != nil {
+			return err
+		}
+		hit := "MISS"
+		if iv.Hit {
+			hit = "HIT"
+		}
+		fmt.Printf("#%d gpu=%s %s load=%v infer=%v latency=%v wall=%v\n",
+			i, iv.GPU, hit, iv.LoadTime, iv.InferTime, iv.TotalLatency,
+			time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+func describe(gw string, args []string) error {
+	fs := flag.NewFlagSet("describe", flag.ExitOnError)
+	name := fs.String("name", "", "function name")
+	fs.Parse(args)
+	return get(gw + "/system/functions/" + *name)
+}
+
+func remove(gw string, args []string) error {
+	fs := flag.NewFlagSet("remove", flag.ExitOnError)
+	name := fs.String("name", "", "function name")
+	fs.Parse(args)
+	req, err := http.NewRequest(http.MethodDelete, gw+"/system/functions/"+*name, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		body, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("%s: %s", resp.Status, body)
+	}
+	fmt.Println("removed")
+	return nil
+}
+
+func scale(gw string, args []string) error {
+	fs := flag.NewFlagSet("scale", flag.ExitOnError)
+	name := fs.String("name", "", "function name")
+	replicas := fs.Int("replicas", 1, "target replica count")
+	fs.Parse(args)
+	body, _ := json.Marshal(map[string]int{"replicas": *replicas})
+	return post(gw+"/system/scale/"+*name, body)
+}
+
+func post(url string, body []byte) error {
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("%s: %s", resp.Status, out)
+	}
+	fmt.Printf("%s\n", out)
+	return nil
+}
+
+func get(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("%s: %s", resp.Status, out)
+	}
+	fmt.Printf("%s\n", out)
+	return nil
+}

@@ -1,0 +1,149 @@
+// Command loadgen replays a trace-shaped workload against a live GPU-FaaS
+// gateway over HTTP: it deploys one GPU-enabled function per working-set
+// rank, then issues the per-minute invocation mix at a configurable
+// speedup, printing per-function hit/miss latency statistics at the end.
+// It is the live-path analogue of the simulated experiment harness.
+//
+// Usage:
+//
+//	faas-gateway -timescale 0.001 &
+//	loadgen -gateway http://localhost:8080 -ws 15 -minutes 1 -rpm 60 -speedup 60
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"gpufaas/internal/experiments"
+	"gpufaas/internal/faas"
+	"gpufaas/internal/models"
+	"gpufaas/internal/stats"
+)
+
+func main() {
+	gateway := flag.String("gateway", "http://localhost:8080", "gateway base URL")
+	ws := flag.Int("ws", 15, "working-set size (functions)")
+	minutes := flag.Int("minutes", 1, "trace minutes to replay")
+	rpm := flag.Int("rpm", 60, "requests per minute after normalization")
+	speedup := flag.Float64("speedup", 60, "replay speedup over trace time")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	if err := run(*gateway, *ws, *minutes, *rpm, *speedup, *seed); err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(gateway string, ws, minutes, rpm int, speedup float64, seed int64) error {
+	if speedup <= 0 {
+		return fmt.Errorf("non-positive speedup %g", speedup)
+	}
+	p := experiments.WorkloadParams{
+		Minutes: minutes, RequestsPerMinute: rpm, WorkingSet: ws,
+		Batch: 8, Seed: seed,
+	}
+	built, err := experiments.Workload(p, models.Default())
+	if err != nil {
+		return err
+	}
+
+	// One function per model instance. The gateway validates models
+	// against its own zoo (Table I), so deploy the base architecture.
+	deployed := map[string]string{} // model instance -> function name
+	for i, name := range built.Zoo.Names() {
+		fn := fmt.Sprintf("ws-fn-%02d", i)
+		base := name
+		if j := bytes.IndexByte([]byte(name), '@'); j >= 0 {
+			base = name[:j]
+		}
+		spec := faas.FunctionSpec{Name: fn, GPUEnabled: true, Model: base, BatchSize: 8}
+		body, _ := json.Marshal(spec)
+		resp, err := http.Post(gateway+"/system/functions", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusConflict {
+			return fmt.Errorf("deploy %s: %s", fn, resp.Status)
+		}
+		deployed[name] = fn
+	}
+	fmt.Printf("deployed %d functions; replaying %d requests at %gx\n",
+		len(deployed), len(built.Requests), speedup)
+
+	type agg struct {
+		lat  *stats.Sample
+		hits int
+		miss int
+	}
+	aggs := map[string]*agg{}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	for _, r := range built.Requests {
+		at := time.Duration(float64(r.Arrival) / speedup)
+		if sleep := at - time.Since(start); sleep > 0 {
+			time.Sleep(sleep)
+		}
+		fn := deployed[r.Model]
+		wg.Add(1)
+		go func(fn string) {
+			defer wg.Done()
+			t0 := time.Now()
+			resp, err := http.Post(gateway+"/function/"+fn, "application/json", nil)
+			if err != nil {
+				return
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			var iv faas.InvokeResponse
+			if json.Unmarshal(body, &iv) != nil {
+				return
+			}
+			mu.Lock()
+			a, ok := aggs[fn]
+			if !ok {
+				a = &agg{lat: stats.NewSample(64)}
+				aggs[fn] = a
+			}
+			a.lat.Add(time.Since(t0).Seconds())
+			if iv.Hit {
+				a.hits++
+			} else {
+				a.miss++
+			}
+			mu.Unlock()
+		}(fn)
+	}
+	wg.Wait()
+
+	names := make([]string, 0, len(aggs))
+	for n := range aggs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Printf("\n%-10s %6s %6s %6s %10s %10s\n", "function", "n", "hits", "miss", "mean(s)", "p95(s)")
+	var total, misses int
+	for _, n := range names {
+		a := aggs[n]
+		fmt.Printf("%-10s %6d %6d %6d %10.3f %10.3f\n",
+			n, a.lat.N(), a.hits, a.miss, a.lat.Mean(), a.lat.Percentile(95))
+		total += a.hits + a.miss
+		misses += a.miss
+	}
+	if total > 0 {
+		fmt.Printf("\noverall: %d requests, miss ratio %.3f, wall %v\n",
+			total, float64(misses)/float64(total), time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,48 @@
+// Quickstart: build the paper's 12-GPU cluster, replay a slice of the
+// evaluation workload under the locality-aware scheduler, and print the
+// headline metrics.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gpufaas"
+)
+
+func main() {
+	// The paper's evaluation workload at working-set size 25: 6 minutes
+	// of the Azure-shaped trace, normalized to 325 requests/minute, each
+	// function bound to its own model instance from Table I.
+	reqs, zoo, topModel, err := gpufaas.PaperWorkload(25, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A cluster shaped like the paper's testbed (3 nodes x 4 RTX 2080)
+	// with the LALB+O3 scheduler; swap "LALBO3" for "LB" to feel the
+	// difference locality makes.
+	c, err := gpufaas.NewCluster(
+		gpufaas.WithPolicy("LALBO3"),
+		gpufaas.WithZoo(zoo),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c.TrackModel(topModel)
+
+	rep, err := c.RunWorkload(reqs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("policy            %s\n", rep.Policy)
+	fmt.Printf("requests          %d (failed %d)\n", rep.Requests, rep.Failed)
+	fmt.Printf("avg latency       %.2f s\n", rep.AvgLatencySec)
+	fmt.Printf("p99 latency       %.2f s\n", rep.P99LatencySec)
+	fmt.Printf("cache miss ratio  %.3f\n", rep.MissRatio)
+	fmt.Printf("false miss ratio  %.3f\n", rep.FalseMissRatio)
+	fmt.Printf("SM utilization    %.3f\n", rep.SMUtilization)
+	fmt.Printf("top-model copies  %.2f (time-averaged)\n", rep.TopModelDuplicates)
+}

@@ -1,0 +1,42 @@
+// Schedcompare: a miniature of the paper's Figure 4 — run the same
+// evaluation workload under all three schedulers across the three
+// working-set sizes and print the comparison matrix, including the
+// relative reductions the paper headlines (e.g. "LALB reduces the average
+// latency of LB by 97.74%").
+//
+//	go run ./examples/schedcompare
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"gpufaas/internal/experiments"
+	"gpufaas/internal/stats"
+)
+
+func main() {
+	rows, err := experiments.Fig4Matrix()
+	if err != nil {
+		log.Fatal(err)
+	}
+	experiments.WriteFig4Table(os.Stdout, rows)
+
+	byKey := map[string]experiments.Row{}
+	for _, r := range rows {
+		byKey[fmt.Sprintf("%s/%d", r.Policy, r.WorkingSet)] = r
+	}
+	fmt.Println("\nrelative to the LB baseline:")
+	for _, ws := range experiments.PaperWorkingSets {
+		lb := byKey[fmt.Sprintf("LB/%d", ws)]
+		for _, pol := range []string{"LALB", "LALBO3"} {
+			r := byKey[fmt.Sprintf("%s/%d", pol, ws)]
+			fmt.Printf("  ws=%-2d %-7s latency -%5.1f%%  miss -%5.1f%%  speedup %5.1fx\n",
+				ws, pol,
+				100*stats.Reduction(lb.AvgLatencySec, r.AvgLatencySec),
+				100*stats.Reduction(lb.MissRatio, r.MissRatio),
+				stats.Speedup(lb.AvgLatencySec, r.AvgLatencySec))
+		}
+	}
+}

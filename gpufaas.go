@@ -1,0 +1,201 @@
+// Package gpufaas is a GPU-enabled Function-as-a-Service runtime for
+// machine-learning inference, reproducing "GPU-enabled Function-as-a-
+// Service for Machine Learning Inference" (Zhao, Jha, Hong — IPPS 2023,
+// arXiv:2303.05601).
+//
+// The library extends a FaaS framework (an OpenFaaS-like gateway/watchdog
+// stack under internal/faas) with three components that let inference
+// functions share a cluster of GPUs:
+//
+//   - per-node GPU Managers that own GPU processes and execute one request
+//     at a time per GPU;
+//   - a global Cache Manager that treats models resident in GPU memory as
+//     cache items under an LRU (or pluggable) replacement policy;
+//   - a global Scheduler offering the baseline load-balancing policy (LB)
+//     and the paper's locality-aware load balancing with optional
+//     out-of-order dispatch (LALB, LALB+O3).
+//
+// This facade exposes the high-level operations most users need: build a
+// cluster, submit or replay workloads, and run the paper's experiments.
+// Lower-level packages remain importable for fine-grained control
+// (internal/core for the scheduler, internal/cache, internal/gpu,
+// internal/cluster, internal/experiments, internal/faas).
+//
+// # Quick start
+//
+//	c, err := gpufaas.NewCluster(gpufaas.WithPolicy("LALBO3"))
+//	if err != nil { ... }
+//	rep, err := gpufaas.ReplayPaperWorkload(c, 25)
+//	fmt.Printf("avg latency %.2fs, miss ratio %.3f\n",
+//	    rep.AvgLatencySec, rep.MissRatio)
+package gpufaas
+
+import (
+	"fmt"
+
+	"gpufaas/internal/cluster"
+	"gpufaas/internal/core"
+	"gpufaas/internal/experiments"
+	"gpufaas/internal/gpumgr"
+	"gpufaas/internal/models"
+	"gpufaas/internal/sim"
+	"gpufaas/internal/trace"
+)
+
+// Re-exported result and configuration types.
+type (
+	// Report is the evaluation summary of a run (latency, miss ratios,
+	// utilization, duplicates).
+	Report = cluster.Report
+	// Result is one completed request record.
+	Result = gpumgr.Result
+	// Request is one inference invocation.
+	Request = core.Request
+	// Model describes one deployable inference model.
+	Model = models.Model
+	// Cluster is the assembled GPU-FaaS system.
+	Cluster = cluster.Cluster
+)
+
+// Option customizes the cluster configuration.
+type Option func(*cluster.Config) error
+
+// WithPolicy selects the scheduler: "LB", "LALB" or "LALBO3".
+func WithPolicy(name string) Option {
+	return func(cfg *cluster.Config) error {
+		p, err := core.ParsePolicy(name)
+		if err != nil {
+			return err
+		}
+		cfg.Policy = p
+		return nil
+	}
+}
+
+// WithO3Limit sets the out-of-order starvation limit (LALBO3 only).
+func WithO3Limit(limit int) Option {
+	return func(cfg *cluster.Config) error {
+		if limit < 0 {
+			return fmt.Errorf("gpufaas: negative O3 limit %d", limit)
+		}
+		cfg.O3Limit = limit
+		return nil
+	}
+}
+
+// WithTopology sets the node count and GPUs per node.
+func WithTopology(nodes, gpusPerNode int) Option {
+	return func(cfg *cluster.Config) error {
+		cfg.Nodes = nodes
+		cfg.GPUsPerNode = gpusPerNode
+		return nil
+	}
+}
+
+// WithGPUMemory sets the usable model memory per GPU in bytes.
+func WithGPUMemory(bytes int64) Option {
+	return func(cfg *cluster.Config) error {
+		cfg.GPUMemory = bytes
+		return nil
+	}
+}
+
+// WithCachePolicy selects the replacement policy: "lru", "fifo" or "lfu".
+func WithCachePolicy(policy string) Option {
+	return func(cfg *cluster.Config) error {
+		cfg.CachePolicy = policy
+		return nil
+	}
+}
+
+// WithZoo replaces the default Table I model zoo.
+func WithZoo(z *models.Zoo) Option {
+	return func(cfg *cluster.Config) error {
+		cfg.Zoo = z
+		return nil
+	}
+}
+
+// WithRealClock switches the cluster to wall-clock (live) mode; use
+// Cluster.Submit instead of RunWorkload.
+func WithRealClock() Option {
+	return func(cfg *cluster.Config) error {
+		cfg.Clock = sim.NewRealClock()
+		return nil
+	}
+}
+
+// WithResultHook registers a callback invoked after every completion.
+func WithResultHook(fn func(Result)) Option {
+	return func(cfg *cluster.Config) error {
+		cfg.OnResult = fn
+		return nil
+	}
+}
+
+// NewCluster builds a GPU-FaaS cluster; without options it is the paper's
+// testbed (3 nodes x 4 RTX 2080, LALB+O3, LRU).
+func NewCluster(opts ...Option) (*Cluster, error) {
+	cfg := cluster.DefaultConfig()
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	return cluster.New(cfg)
+}
+
+// ReplayPaperWorkload runs the §V-A1 evaluation workload (6 minutes of the
+// Azure-shaped trace at 325 requests/minute over the given working-set
+// size) on a fresh cluster configured like c... the cluster passed in must
+// be freshly built in simulated-time mode; its zoo is replaced by the
+// workload's per-function model instances, so prefer RunExperiment for
+// one-shot use.
+func ReplayPaperWorkload(c *Cluster, workingSet int) (Report, error) {
+	built, err := experiments.Workload(experiments.DefaultWorkload(workingSet), models.Default())
+	if err != nil {
+		return Report{}, err
+	}
+	// The cluster must know the instance models; callers who need the
+	// paper workload on a custom cluster should build it with
+	// WithZoo(built.Zoo). Detect the mismatch early.
+	for _, r := range built.Requests[:1] {
+		if _, ok := c.Zoo().Get(r.Model); !ok {
+			return Report{}, fmt.Errorf("gpufaas: cluster zoo lacks workload instance %q; build the cluster with the experiment zoo or use RunExperiment", r.Model)
+		}
+	}
+	if built.TopModel != "" {
+		c.TrackModel(built.TopModel)
+	}
+	return c.RunWorkload(built.Requests)
+}
+
+// RunExperiment builds the paper's cluster for the named policy and runs
+// the evaluation workload at the working-set size, returning the report.
+// This is the one-call path behind Figures 4–6.
+func RunExperiment(policy string, workingSet int) (Report, error) {
+	p, err := core.ParsePolicy(policy)
+	if err != nil {
+		return Report{}, err
+	}
+	row, err := experiments.Run(experiments.RunParams{Policy: p, WorkingSet: workingSet})
+	if err != nil {
+		return Report{}, err
+	}
+	return row.Report, nil
+}
+
+// PaperWorkload materializes the evaluation request stream and the model
+// zoo it requires, for callers that drive a cluster manually.
+func PaperWorkload(workingSet int, seed int64) ([]trace.Request, *models.Zoo, string, error) {
+	p := experiments.DefaultWorkload(workingSet)
+	p.Seed = seed
+	built, err := experiments.Workload(p, models.Default())
+	if err != nil {
+		return nil, nil, "", err
+	}
+	return built.Requests, built.Zoo, built.TopModel, nil
+}
+
+// TableIModels returns the paper's Table I model zoo.
+func TableIModels() *models.Zoo { return models.Default() }

@@ -1,0 +1,116 @@
+package gpufaas
+
+import (
+	"testing"
+)
+
+func TestNewClusterDefaults(t *testing.T) {
+	c, err := NewCluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.GPUIDs()); got != 12 {
+		t.Fatalf("GPUs = %d, want 12 (paper testbed)", got)
+	}
+}
+
+func TestOptionErrors(t *testing.T) {
+	if _, err := NewCluster(WithPolicy("bogus")); err == nil {
+		t.Error("bogus policy should fail")
+	}
+	if _, err := NewCluster(WithO3Limit(-1)); err == nil {
+		t.Error("negative O3 limit should fail")
+	}
+	if _, err := NewCluster(WithTopology(0, 4)); err == nil {
+		t.Error("zero nodes should fail")
+	}
+	if _, err := NewCluster(WithGPUMemory(-1)); err == nil {
+		t.Error("negative memory should fail")
+	}
+	if _, err := NewCluster(WithCachePolicy("bogus")); err == nil {
+		t.Error("bogus cache policy should fail")
+	}
+}
+
+func TestRunExperimentFacade(t *testing.T) {
+	rep, err := RunExperiment("LALBO3", 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 6*325 {
+		t.Fatalf("requests = %d", rep.Requests)
+	}
+	if rep.Policy != "LALBO3" {
+		t.Errorf("policy = %s", rep.Policy)
+	}
+	if _, err := RunExperiment("bogus", 15); err == nil {
+		t.Error("bogus policy should fail")
+	}
+}
+
+func TestPaperWorkloadAndReplay(t *testing.T) {
+	reqs, zoo, top, err := PaperWorkload(15, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 6*325 || zoo.Len() != 15 || top == "" {
+		t.Fatalf("workload: %d reqs, %d models, top=%q", len(reqs), zoo.Len(), top)
+	}
+	c, err := NewCluster(WithPolicy("LALB"), WithZoo(zoo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReplayPaperWorkload(c, 15)
+	// ReplayPaperWorkload builds with the default seed (1), whose
+	// instances share the zoo names for ws=15, so this should run.
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 6*325 {
+		t.Errorf("requests = %d", rep.Requests)
+	}
+}
+
+func TestReplayZooMismatch(t *testing.T) {
+	c, err := NewCluster() // Table I zoo, not instance zoo
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReplayPaperWorkload(c, 15); err == nil {
+		t.Error("zoo mismatch should be detected")
+	}
+}
+
+func TestTableIModels(t *testing.T) {
+	if TableIModels().Len() != 22 {
+		t.Error("Table I zoo must have 22 models")
+	}
+}
+
+func TestResultHook(t *testing.T) {
+	var count int
+	c, err := NewCluster(
+		WithPolicy("LALBO3"),
+		WithResultHook(func(Result) { count++ }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, zoo, _, err := PaperWorkload(15, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := NewCluster(WithPolicy("LALBO3"), WithZoo(zoo),
+		WithResultHook(func(Result) { count++ }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = c
+	rep, err := c2.RunWorkload(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(count) != rep.Requests {
+		t.Errorf("hook fired %d times for %d requests", count, rep.Requests)
+	}
+}

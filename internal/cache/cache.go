@@ -1,0 +1,508 @@
+// Package cache implements the paper's global Cache Manager (§III-D). It
+// treats the inference models resident in each GPU's memory as cache items,
+// maintains one replacement list per GPU (LRU by default, with the
+// pluggable alternatives §VI calls out), selects eviction victims to make
+// room on a miss, and maintains the global model → {GPUs caching it} index
+// the Scheduler consults ("the Cache Manager maintains the lists of GPUs
+// where each model is cached", §VI).
+//
+// The Manager also owns the evaluation metrics that are defined at cache
+// granularity: cache miss ratio (Fig. 4b), false-miss ratio (Fig. 5), and
+// the time-averaged number of duplicates of tracked hot models (Fig. 6).
+package cache
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sort"
+
+	"gpufaas/internal/sim"
+	"gpufaas/internal/stats"
+)
+
+// ReplacementList orders a single GPU's resident models by eviction
+// preference. Implementations are not safe for concurrent use; the Manager
+// serializes access.
+type ReplacementList interface {
+	// Insert adds a model that just became resident.
+	Insert(model string)
+	// Touch records a use of a resident model.
+	Touch(model string)
+	// Remove drops a model (evicted or killed).
+	Remove(model string)
+	// Candidates returns resident models in eviction-preference order
+	// (first = evict first).
+	Candidates() []string
+	// Len returns the number of tracked models.
+	Len() int
+}
+
+// lruList evicts the least-recently-used model first (the paper's default
+// policy).
+type lruList struct {
+	ll  *list.List // front = most recent
+	pos map[string]*list.Element
+}
+
+func newLRU() ReplacementList {
+	return &lruList{ll: list.New(), pos: make(map[string]*list.Element)}
+}
+
+func (l *lruList) Insert(model string) {
+	if e, ok := l.pos[model]; ok {
+		l.ll.MoveToFront(e)
+		return
+	}
+	l.pos[model] = l.ll.PushFront(model)
+}
+
+func (l *lruList) Touch(model string) {
+	if e, ok := l.pos[model]; ok {
+		l.ll.MoveToFront(e)
+	}
+}
+
+func (l *lruList) Remove(model string) {
+	if e, ok := l.pos[model]; ok {
+		l.ll.Remove(e)
+		delete(l.pos, model)
+	}
+}
+
+func (l *lruList) Candidates() []string {
+	out := make([]string, 0, l.ll.Len())
+	for e := l.ll.Back(); e != nil; e = e.Prev() {
+		out = append(out, e.Value.(string))
+	}
+	return out
+}
+
+func (l *lruList) Len() int { return len(l.pos) }
+
+// fifoList evicts in insertion order regardless of use.
+type fifoList struct {
+	ll  *list.List // front = newest
+	pos map[string]*list.Element
+}
+
+func newFIFO() ReplacementList {
+	return &fifoList{ll: list.New(), pos: make(map[string]*list.Element)}
+}
+
+func (l *fifoList) Insert(model string) {
+	if _, ok := l.pos[model]; ok {
+		return
+	}
+	l.pos[model] = l.ll.PushFront(model)
+}
+
+func (l *fifoList) Touch(string) {}
+
+func (l *fifoList) Remove(model string) {
+	if e, ok := l.pos[model]; ok {
+		l.ll.Remove(e)
+		delete(l.pos, model)
+	}
+}
+
+func (l *fifoList) Candidates() []string {
+	out := make([]string, 0, l.ll.Len())
+	for e := l.ll.Back(); e != nil; e = e.Prev() {
+		out = append(out, e.Value.(string))
+	}
+	return out
+}
+
+func (l *fifoList) Len() int { return len(l.pos) }
+
+// lfuList evicts the least-frequently-used model first, breaking ties by
+// least-recent use.
+type lfuList struct {
+	count map[string]int64
+	last  map[string]int64
+	tick  int64
+}
+
+func newLFU() ReplacementList {
+	return &lfuList{count: make(map[string]int64), last: make(map[string]int64)}
+}
+
+func (l *lfuList) Insert(model string) {
+	l.tick++
+	if _, ok := l.count[model]; !ok {
+		l.count[model] = 0
+	}
+	l.last[model] = l.tick
+}
+
+func (l *lfuList) Touch(model string) {
+	if _, ok := l.count[model]; !ok {
+		return
+	}
+	l.tick++
+	l.count[model]++
+	l.last[model] = l.tick
+}
+
+func (l *lfuList) Remove(model string) {
+	delete(l.count, model)
+	delete(l.last, model)
+}
+
+func (l *lfuList) Candidates() []string {
+	out := make([]string, 0, len(l.count))
+	for m := range l.count {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ci, cj := l.count[out[i]], l.count[out[j]]
+		if ci != cj {
+			return ci < cj
+		}
+		return l.last[out[i]] < l.last[out[j]]
+	})
+	return out
+}
+
+func (l *lfuList) Len() int { return len(l.count) }
+
+// Policy names accepted by NewManager.
+const (
+	PolicyLRU  = "lru"
+	PolicyFIFO = "fifo"
+	PolicyLFU  = "lfu"
+)
+
+// NewReplacementList builds a list for the named policy.
+func NewReplacementList(policy string) (ReplacementList, error) {
+	switch policy {
+	case PolicyLRU, "":
+		return newLRU(), nil
+	case PolicyFIFO:
+		return newFIFO(), nil
+	case PolicyLFU:
+		return newLFU(), nil
+	default:
+		return nil, fmt.Errorf("cache: unknown policy %q", policy)
+	}
+}
+
+// DeviceView is the slice of gpu.Device the Cache Manager needs for victim
+// selection; defined here so cache does not import gpu.
+type DeviceView interface {
+	ID() string
+	MemFree() int64
+	ResidentSize(model string) (int64, bool)
+}
+
+// Errors reported by the Manager.
+var (
+	ErrUnknownGPU   = errors.New("cache: unknown GPU")
+	ErrWontFit      = errors.New("cache: model cannot fit even after evicting all victims")
+	ErrNotTracked   = errors.New("cache: model not tracked on GPU")
+	ErrAlreadyKnown = errors.New("cache: model already tracked on GPU")
+)
+
+// Manager is the global Cache Manager. It is not safe for concurrent use;
+// the live path wraps it in the cluster mutex, matching the paper's
+// single global component.
+type Manager struct {
+	policy string
+	perGPU map[string]ReplacementList
+	gpuIDs []string
+	where  map[string]map[string]bool // model -> gpuID set
+	pinned map[string]string          // gpuID -> model currently in use (not evictable)
+	sizeOf func(model string) (int64, bool)
+	miss   stats.Ratio
+	falseMiss
+	tracked map[string]*stats.TimeWeighted
+}
+
+type falseMiss struct {
+	falseMisses int64
+	misses      int64
+}
+
+// NewManager creates a Manager using the named replacement policy. sizeOf
+// resolves a model's GPU occupancy in bytes (from the model zoo).
+func NewManager(policy string, sizeOf func(model string) (int64, bool)) (*Manager, error) {
+	if _, err := NewReplacementList(policy); err != nil {
+		return nil, err
+	}
+	if sizeOf == nil {
+		return nil, errors.New("cache: nil sizeOf")
+	}
+	if policy == "" {
+		policy = PolicyLRU
+	}
+	return &Manager{
+		policy:  policy,
+		perGPU:  make(map[string]ReplacementList),
+		where:   make(map[string]map[string]bool),
+		pinned:  make(map[string]string),
+		sizeOf:  sizeOf,
+		tracked: make(map[string]*stats.TimeWeighted),
+	}, nil
+}
+
+// Policy returns the replacement policy name.
+func (m *Manager) Policy() string { return m.policy }
+
+// RegisterGPU adds a GPU to the manager. Registration order defines the
+// deterministic tie-break order used elsewhere.
+func (m *Manager) RegisterGPU(gpuID string) error {
+	if _, ok := m.perGPU[gpuID]; ok {
+		return fmt.Errorf("cache: GPU %s already registered", gpuID)
+	}
+	rl, err := NewReplacementList(m.policy)
+	if err != nil {
+		return err
+	}
+	m.perGPU[gpuID] = rl
+	m.gpuIDs = append(m.gpuIDs, gpuID)
+	return nil
+}
+
+// GPUs returns the registered GPU IDs in registration order.
+func (m *Manager) GPUs() []string {
+	out := make([]string, len(m.gpuIDs))
+	copy(out, m.gpuIDs)
+	return out
+}
+
+// Cached reports whether model is resident on gpuID according to the
+// manager's view.
+func (m *Manager) Cached(gpuID, model string) bool {
+	set, ok := m.where[model]
+	return ok && set[gpuID]
+}
+
+// GPUsCaching returns the GPUs currently caching model, in registration
+// order (deterministic). This is the §VI index that bounds the scheduler's
+// search "by the number of GPUs that have this model cached".
+func (m *Manager) GPUsCaching(model string) []string {
+	set, ok := m.where[model]
+	if !ok || len(set) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(set))
+	for _, id := range m.gpuIDs {
+		if set[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// NumCaching returns how many GPUs cache the model (Fig. 6 duplicates).
+func (m *Manager) NumCaching(model string) int {
+	return len(m.where[model])
+}
+
+// CachedAnywhere reports whether any GPU caches the model.
+func (m *Manager) CachedAnywhere(model string) bool {
+	return len(m.where[model]) > 0
+}
+
+// Pin marks the model as in use on the GPU; pinned models are never chosen
+// as victims (the GPU would be killing the process serving a live
+// request). Unpin with the empty string.
+func (m *Manager) Pin(gpuID, model string) {
+	if model == "" {
+		delete(m.pinned, gpuID)
+		return
+	}
+	m.pinned[gpuID] = model
+}
+
+// Victims selects the models to evict from the device, least-preferred
+// first according to the GPU's replacement list, so that `need` bytes fit.
+// It returns nil (no evictions) when the model already fits. Pinned models
+// are skipped. ErrWontFit is returned when even evicting every candidate
+// cannot make room.
+func (m *Manager) Victims(dev DeviceView, need int64) ([]string, error) {
+	rl, ok := m.perGPU[dev.ID()]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownGPU, dev.ID())
+	}
+	free := dev.MemFree()
+	if free >= need {
+		return nil, nil
+	}
+	var victims []string
+	for _, cand := range rl.Candidates() {
+		if m.pinned[dev.ID()] == cand {
+			continue
+		}
+		sz, ok := dev.ResidentSize(cand)
+		if !ok {
+			// The manager's list drifted from the device; treat as
+			// already gone.
+			continue
+		}
+		victims = append(victims, cand)
+		free += sz
+		if free >= need {
+			return victims, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: need %d, reachable %d on %s", ErrWontFit, need, free, dev.ID())
+}
+
+// OnHit records a cache hit: the model was resident on the GPU and is
+// being reused. It refreshes the replacement list.
+func (m *Manager) OnHit(gpuID, model string, now sim.Time) error {
+	rl, ok := m.perGPU[gpuID]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownGPU, gpuID)
+	}
+	if !m.Cached(gpuID, model) {
+		return fmt.Errorf("%w: %s on %s", ErrNotTracked, model, gpuID)
+	}
+	rl.Touch(model)
+	m.miss.Observe(false)
+	return nil
+}
+
+// OnMiss records a cache miss being resolved by loading the model onto the
+// GPU. It updates the replacement list, the global index, the miss ratio,
+// and the false-miss ratio — a false miss is "a cache miss scenario ...
+// where the request is forwarded to a GPU as a cache miss even though the
+// requested model is cached on another GPU" (§V-D).
+func (m *Manager) OnMiss(gpuID, model string, now sim.Time) error {
+	rl, ok := m.perGPU[gpuID]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownGPU, gpuID)
+	}
+	if m.Cached(gpuID, model) {
+		return fmt.Errorf("%w: %s on %s", ErrAlreadyKnown, model, gpuID)
+	}
+	m.miss.Observe(true)
+	m.misses++
+	if m.CachedAnywhere(model) {
+		m.falseMisses++
+	}
+	rl.Insert(model)
+	set, ok := m.where[model]
+	if !ok {
+		set = make(map[string]bool)
+		m.where[model] = set
+	}
+	set[gpuID] = true
+	m.sample(model, now)
+	return nil
+}
+
+// OnEvict records that the model was evicted from the GPU (its process
+// killed).
+func (m *Manager) OnEvict(gpuID, model string, now sim.Time) error {
+	rl, ok := m.perGPU[gpuID]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownGPU, gpuID)
+	}
+	if !m.Cached(gpuID, model) {
+		return fmt.Errorf("%w: %s on %s", ErrNotTracked, model, gpuID)
+	}
+	rl.Remove(model)
+	delete(m.where[model], gpuID)
+	if len(m.where[model]) == 0 {
+		delete(m.where, model)
+	}
+	m.sample(model, now)
+	return nil
+}
+
+// Track starts time-averaged duplicate accounting for the model (used for
+// the Fig. 6 "average number of duplicates of the top one model" metric).
+func (m *Manager) Track(model string, now sim.Time) {
+	tw := &stats.TimeWeighted{}
+	tw.Set(tw0(now), float64(m.NumCaching(model)))
+	m.tracked[model] = tw
+}
+
+func tw0(t sim.Time) float64 { return float64(t) / 1e9 }
+
+func (m *Manager) sample(model string, now sim.Time) {
+	if tw, ok := m.tracked[model]; ok {
+		tw.Set(tw0(now), float64(m.NumCaching(model)))
+	}
+}
+
+// TrackedAverage returns the time-averaged duplicate count of a tracked
+// model through now; 0 when untracked.
+func (m *Manager) TrackedAverage(model string, now sim.Time) float64 {
+	tw, ok := m.tracked[model]
+	if !ok {
+		return 0
+	}
+	return tw.Average(tw0(now))
+}
+
+// Metrics summarizes cache-level evaluation metrics.
+type Metrics struct {
+	Requests    int64
+	Misses      int64
+	FalseMisses int64
+	// MissRatio is misses / requests (Fig. 4b).
+	MissRatio float64
+	// FalseMissRatio is false misses / misses (Fig. 5): among the
+	// scheduling decisions that caused a load, the fraction for which
+	// the model was already cached on some other GPU.
+	FalseMissRatio float64
+}
+
+// Metrics returns a snapshot of the counters.
+func (m *Manager) Metrics() Metrics {
+	out := Metrics{
+		Requests:    m.miss.Den,
+		Misses:      m.miss.Num,
+		FalseMisses: m.falseMisses,
+		MissRatio:   m.miss.Value(),
+	}
+	if m.misses > 0 {
+		out.FalseMissRatio = float64(m.falseMisses) / float64(m.misses)
+	}
+	return out
+}
+
+// ResidentCount returns how many models the manager believes are resident
+// on the GPU.
+func (m *Manager) ResidentCount(gpuID string) int {
+	rl, ok := m.perGPU[gpuID]
+	if !ok {
+		return 0
+	}
+	return rl.Len()
+}
+
+// CheckConsistency verifies that the per-GPU lists and the global index
+// agree; the property tests call it after every operation.
+func (m *Manager) CheckConsistency() error {
+	fromLists := make(map[string]map[string]bool)
+	for id, rl := range m.perGPU {
+		for _, model := range rl.Candidates() {
+			set, ok := fromLists[model]
+			if !ok {
+				set = make(map[string]bool)
+				fromLists[model] = set
+			}
+			set[id] = true
+		}
+	}
+	if len(fromLists) != len(m.where) {
+		return fmt.Errorf("cache: index has %d models, lists have %d", len(m.where), len(fromLists))
+	}
+	for model, set := range m.where {
+		lset := fromLists[model]
+		if len(lset) != len(set) {
+			return fmt.Errorf("cache: index/list mismatch for %s", model)
+		}
+		for id := range set {
+			if !lset[id] {
+				return fmt.Errorf("cache: %s indexed on %s but not in its list", model, id)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,506 @@
+// Package cluster wires the reproduction together: GPU devices, per-node
+// GPU Managers, the global Cache Manager, and the Scheduler, following the
+// architecture of Fig. 2 in the paper. It drives them in either of two
+// modes:
+//
+//   - simulated time: RunWorkload feeds a request stream through a
+//     discrete-event engine and returns the evaluation metrics — this is
+//     what every benchmark uses;
+//   - live time: Submit enqueues one request under the wall clock; the
+//     FaaS gateway uses this path.
+//
+// The Cluster implements core.Backend, giving the Scheduler its view of
+// GPU status, cache contents and profiled times.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"gpufaas/internal/cache"
+	"gpufaas/internal/core"
+	"gpufaas/internal/gpu"
+	"gpufaas/internal/gpumgr"
+	"gpufaas/internal/models"
+	"gpufaas/internal/sim"
+	"gpufaas/internal/stats"
+	"gpufaas/internal/trace"
+)
+
+// Config describes the cluster to build. The defaults mirror the paper's
+// testbed: 3 nodes x 4 GeForce RTX 2080 GPUs with 8 GB memory each.
+type Config struct {
+	Nodes       int
+	GPUsPerNode int
+	GPUType     string
+	GPUMemory   int64 // bytes per GPU
+	Policy      core.Policy
+	O3Limit     int
+	// DisableLocalQueue is the finish-time-estimation ablation knob
+	// (core.Config.DisableLocalQueue).
+	DisableLocalQueue bool
+	CachePolicy       string // cache.PolicyLRU (default), PolicyFIFO, PolicyLFU
+	Zoo               *models.Zoo
+	Profiles          *models.ProfileStore
+	// Clock overrides the default simulated clock (live mode passes a
+	// RealClock). When nil, a fresh discrete-event engine is created.
+	Clock sim.Clock
+	// Sink forwards GPU status/completions (e.g. to the Datastore); may
+	// be nil.
+	Sink gpumgr.StatusSink
+	// OnResult is called after each completion, outside metric
+	// bookkeeping; may be nil.
+	OnResult func(gpumgr.Result)
+}
+
+// DefaultGPUMemory is the usable model memory per GPU: the testbed's
+// GeForce RTX 2080 has 8 GB physical memory of which roughly 1 GB is
+// consumed by the CUDA context and framework runtime, leaving ~7 GB for
+// model residency. This is the capacity the Cache Manager allocates
+// against.
+const DefaultGPUMemory = 7 << 30
+
+// DefaultConfig returns the paper's 12-GPU testbed configuration with the
+// LALB+O3 scheduler.
+func DefaultConfig() Config {
+	return Config{
+		Nodes:       3,
+		GPUsPerNode: 4,
+		GPUType:     "rtx2080",
+		GPUMemory:   DefaultGPUMemory,
+		Policy:      core.LALBO3,
+		O3Limit:     core.DefaultO3Limit,
+		CachePolicy: cache.PolicyLRU,
+	}
+}
+
+// Cluster is the assembled GPU-FaaS system.
+type Cluster struct {
+	mu sync.Mutex
+
+	cfg      Config
+	engine   *sim.Engine // nil in live mode
+	clock    sim.Clock
+	zoo      *models.Zoo
+	profiles *models.ProfileStore
+	cacheMgr *cache.Manager
+	sched    *core.Scheduler
+	mgrs     []*gpumgr.Manager
+	devByID  map[string]*gpu.Device
+	mgrByDev map[string]*gpumgr.Manager
+	gpuIDs   []string
+
+	latencies  *stats.Sample
+	perModel   map[string]*stats.Welford
+	results    []gpumgr.Result
+	keepResult bool
+	completed  int64
+	failed     int64
+	lastFinish sim.Time
+	topModel   string
+	onResult   func(gpumgr.Result)
+}
+
+// lockedClock wraps a clock so that timer callbacks run holding the
+// cluster mutex; this is what makes the passive components safe under the
+// real clock's timer goroutines.
+type lockedClock struct {
+	inner sim.Clock
+	mu    *sync.Mutex
+}
+
+func (c lockedClock) Now() sim.Time { return c.inner.Now() }
+func (c lockedClock) AfterFunc(d sim.Time, name string, fn func(now sim.Time)) func() {
+	return c.inner.AfterFunc(d, name, func(now sim.Time) {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		fn(now)
+	})
+}
+
+// New assembles a cluster from the config.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Nodes <= 0 || cfg.GPUsPerNode <= 0 {
+		return nil, fmt.Errorf("cluster: invalid topology %dx%d", cfg.Nodes, cfg.GPUsPerNode)
+	}
+	if cfg.GPUMemory <= 0 {
+		return nil, fmt.Errorf("cluster: invalid GPU memory %d", cfg.GPUMemory)
+	}
+	if cfg.GPUType == "" {
+		cfg.GPUType = "rtx2080"
+	}
+	if cfg.Zoo == nil {
+		cfg.Zoo = models.Default()
+	}
+	if cfg.Profiles == nil {
+		cfg.Profiles = models.TableProfiles(cfg.GPUType, cfg.Zoo)
+	}
+
+	c := &Cluster{
+		cfg:       cfg,
+		zoo:       cfg.Zoo,
+		profiles:  cfg.Profiles,
+		devByID:   make(map[string]*gpu.Device),
+		mgrByDev:  make(map[string]*gpumgr.Manager),
+		latencies: stats.NewSample(4096),
+		perModel:  make(map[string]*stats.Welford),
+		onResult:  cfg.OnResult,
+	}
+	if cfg.Clock == nil {
+		c.engine = sim.New()
+		c.clock = sim.SimClock{E: c.engine}
+	} else {
+		c.clock = lockedClock{inner: cfg.Clock, mu: &c.mu}
+	}
+
+	sizeOf := func(model string) (int64, bool) {
+		m, ok := cfg.Zoo.Get(model)
+		if !ok {
+			return 0, false
+		}
+		return m.OccupancyBytes(), true
+	}
+	var err error
+	c.cacheMgr, err = cache.NewManager(cfg.CachePolicy, sizeOf)
+	if err != nil {
+		return nil, err
+	}
+
+	for n := 0; n < cfg.Nodes; n++ {
+		mgr, err := gpumgr.New(gpumgr.Config{
+			Node:       fmt.Sprintf("node%d", n),
+			Clock:      c.clock,
+			Cache:      c.cacheMgr,
+			Zoo:        cfg.Zoo,
+			Profiles:   cfg.Profiles,
+			Sink:       cfg.Sink,
+			OnComplete: c.handleComplete,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for g := 0; g < cfg.GPUsPerNode; g++ {
+			dev, err := gpu.New(gpu.Config{
+				ID:       fmt.Sprintf("node%d/gpu%d", n, g),
+				Node:     mgr.Node(),
+				Type:     cfg.GPUType,
+				Capacity: cfg.GPUMemory,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if err := mgr.AddDevice(dev); err != nil {
+				return nil, err
+			}
+			c.devByID[dev.ID()] = dev
+			c.mgrByDev[dev.ID()] = mgr
+			c.gpuIDs = append(c.gpuIDs, dev.ID())
+		}
+		c.mgrs = append(c.mgrs, mgr)
+	}
+
+	c.sched, err = core.New(core.Config{
+		Policy:            cfg.Policy,
+		O3Limit:           cfg.O3Limit,
+		DisableLocalQueue: cfg.DisableLocalQueue,
+	}, (*backendView)(c))
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// backendView adapts Cluster to core.Backend without exporting the
+// methods on Cluster itself.
+type backendView Cluster
+
+func (b *backendView) GPUIDs() []string { return b.gpuIDs }
+func (b *backendView) Busy(gpuID string) bool {
+	d, ok := b.devByID[gpuID]
+	return ok && d.Busy()
+}
+func (b *backendView) Cached(gpuID, model string) bool { return b.cacheMgr.Cached(gpuID, model) }
+func (b *backendView) GPUsCaching(model string) []string {
+	return b.cacheMgr.GPUsCaching(model)
+}
+func (b *backendView) EstimatedFinish(gpuID string, now sim.Time) time.Duration {
+	d, ok := b.devByID[gpuID]
+	if !ok {
+		return 0
+	}
+	return d.EstimatedFinish(now)
+}
+func (b *backendView) LoadTime(gpuID, model string) time.Duration {
+	p, ok := b.profile(gpuID, model)
+	if !ok {
+		return 0
+	}
+	return p.LoadTime
+}
+func (b *backendView) InferTime(gpuID, model string, batch int) time.Duration {
+	p, ok := b.profile(gpuID, model)
+	if !ok {
+		return 0
+	}
+	return p.InferTime(batch)
+}
+func (b *backendView) profile(gpuID, model string) (models.Profile, bool) {
+	d, ok := b.devByID[gpuID]
+	if !ok {
+		return models.Profile{}, false
+	}
+	return b.profiles.Get(d.Type(), model)
+}
+
+// GPUIDs returns the cluster's GPUs in deterministic order.
+func (c *Cluster) GPUIDs() []string {
+	out := make([]string, len(c.gpuIDs))
+	copy(out, c.gpuIDs)
+	return out
+}
+
+// Scheduler exposes the scheduler (read-mostly: counters, queue lengths).
+func (c *Cluster) Scheduler() *core.Scheduler { return c.sched }
+
+// CacheManager exposes the cache manager for metric inspection.
+func (c *Cluster) CacheManager() *cache.Manager { return c.cacheMgr }
+
+// Zoo returns the model zoo in use.
+func (c *Cluster) Zoo() *models.Zoo { return c.zoo }
+
+// Managers returns the per-node GPU managers.
+func (c *Cluster) Managers() []*gpumgr.Manager { return c.mgrs }
+
+// Device returns a GPU device by ID.
+func (c *Cluster) Device(id string) (*gpu.Device, bool) {
+	d, ok := c.devByID[id]
+	return d, ok
+}
+
+// KeepResults makes the cluster retain every completion record (memory
+// proportional to workload size); used by analyses that need the full
+// distribution.
+func (c *Cluster) KeepResults(keep bool) { c.keepResult = keep }
+
+// TrackModel enables time-averaged duplicate accounting for a model
+// (Fig. 6 uses the most popular model).
+func (c *Cluster) TrackModel(model string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.topModel = model
+	c.cacheMgr.Track(model, c.clock.Now())
+}
+
+// handleComplete records a finished request and reschedules; invoked from
+// clock callbacks (already holding the mutex via lockedClock in live mode,
+// single-threaded in sim mode).
+func (c *Cluster) handleComplete(res gpumgr.Result) {
+	c.completed++
+	c.lastFinish = res.FinishedAt
+	c.latencies.Add(res.Latency().Seconds())
+	w, ok := c.perModel[res.Model]
+	if !ok {
+		w = &stats.Welford{}
+		c.perModel[res.Model] = w
+	}
+	w.Add(res.Latency().Seconds())
+	if c.keepResult {
+		c.results = append(c.results, res)
+	}
+	if c.onResult != nil {
+		c.onResult(res)
+	}
+	c.runScheduler(res.FinishedAt)
+}
+
+// runScheduler executes one scheduling round and dispatches the decisions.
+func (c *Cluster) runScheduler(now sim.Time) {
+	for _, d := range c.sched.Schedule(now) {
+		if _, err := c.mgrByDev[d.GPU].Execute(d.Req, d.GPU, now); err != nil {
+			// A failed dispatch (quota, OOM-impossible model) drops the
+			// request; the paper's system returns an error to the user.
+			c.failed++
+		}
+	}
+}
+
+// Submit enqueues one request and runs the scheduler; the live gateway
+// path. The request's Arrival must be set by the caller (gateway receipt
+// time).
+func (c *Cluster) Submit(req *core.Request) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.sched.Enqueue(req); err != nil {
+		return err
+	}
+	c.runScheduler(c.clock.Now())
+	return nil
+}
+
+// Engine returns the discrete-event engine (nil in live mode); tests use
+// it to step time manually.
+func (c *Cluster) Engine() *sim.Engine { return c.engine }
+
+// ErrLiveMode is returned by RunWorkload on a cluster built with an
+// external clock.
+var ErrLiveMode = errors.New("cluster: RunWorkload requires the simulated clock")
+
+// RunWorkload injects the request stream into the discrete-event engine,
+// runs the simulation to completion, and returns the metrics report.
+func (c *Cluster) RunWorkload(reqs []trace.Request) (Report, error) {
+	if c.engine == nil {
+		return Report{}, ErrLiveMode
+	}
+	for i := range reqs {
+		r := reqs[i]
+		cr := &core.Request{
+			ID:        r.ID,
+			Function:  r.Function,
+			Model:     r.Model,
+			BatchSize: r.BatchSize,
+			Arrival:   sim.Time(r.Arrival),
+			Tenant:    r.Tenant,
+		}
+		if _, err := c.engine.At(sim.Time(r.Arrival), "arrival", func(now sim.Time) {
+			if err := c.sched.Enqueue(cr); err != nil {
+				c.failed++
+				return
+			}
+			c.runScheduler(now)
+		}); err != nil {
+			return Report{}, err
+		}
+	}
+	c.engine.Run(0)
+	if pending := c.sched.PendingTotal(); pending != 0 {
+		return Report{}, fmt.Errorf("cluster: %d requests still pending after drain", pending)
+	}
+	return c.report(), nil
+}
+
+// Report is the evaluation summary for one run; field names reference the
+// paper's figures.
+type Report struct {
+	Policy    string
+	Requests  int64
+	Failed    int64
+	Makespan  time.Duration
+	EndOfRun  time.Duration
+	completed int64
+
+	// AvgLatencySec is Fig. 4a's metric.
+	AvgLatencySec float64
+	// LatencyVarianceSec2 is the variance discussed in §V-E.
+	LatencyVarianceSec2 float64
+	P50LatencySec       float64
+	P95LatencySec       float64
+	P99LatencySec       float64
+	MaxLatencySec       float64
+
+	// MissRatio is Fig. 4b; FalseMissRatio is Fig. 5.
+	MissRatio      float64
+	FalseMissRatio float64
+	Misses         int64
+	FalseMisses    int64
+
+	// SMUtilization is Fig. 4c: inferring time / wall time averaged over
+	// GPUs.
+	SMUtilization float64
+	// LoadFraction is the fraction of GPU time spent uploading models.
+	LoadFraction float64
+	// BusyFraction is 1 - idle fraction.
+	BusyFraction float64
+
+	// TopModelDuplicates is Fig. 6: the time-averaged number of GPUs
+	// caching the tracked model.
+	TopModelDuplicates float64
+
+	// Scheduler internals.
+	LocalQueueMoves int64
+	O3Dispatches    int64
+	Starved         int64
+}
+
+// report snapshots the metrics (sim mode, after drain).
+func (c *Cluster) report() Report {
+	now := c.lastFinish
+	rep := Report{
+		Policy:              c.sched.Policy().String(),
+		Requests:            c.completed,
+		Failed:              c.failed,
+		Makespan:            time.Duration(now),
+		EndOfRun:            time.Duration(now),
+		AvgLatencySec:       c.latencies.Mean(),
+		LatencyVarianceSec2: c.latencies.Variance(),
+		P50LatencySec:       c.latencies.Percentile(50),
+		P95LatencySec:       c.latencies.Percentile(95),
+		P99LatencySec:       c.latencies.Percentile(99),
+		MaxLatencySec:       c.latencies.Max(),
+	}
+	cm := c.cacheMgr.Metrics()
+	rep.MissRatio = cm.MissRatio
+	rep.FalseMissRatio = cm.FalseMissRatio
+	rep.Misses = cm.Misses
+	rep.FalseMisses = cm.FalseMisses
+
+	var sm, load, busy float64
+	for _, id := range c.gpuIDs {
+		u := c.devByID[id].Utilization(now)
+		sm += u.SM()
+		if u.Total > 0 {
+			load += float64(u.Loading) / float64(u.Total)
+		}
+		busy += u.BusyFraction()
+	}
+	n := float64(len(c.gpuIDs))
+	rep.SMUtilization = sm / n
+	rep.LoadFraction = load / n
+	rep.BusyFraction = busy / n
+
+	if c.topModel != "" {
+		rep.TopModelDuplicates = c.cacheMgr.TrackedAverage(c.topModel, now)
+	}
+	sc := c.sched.Counters()
+	rep.LocalQueueMoves = sc.LocalQueueMoves
+	rep.O3Dispatches = sc.O3Dispatches
+	rep.Starved = sc.Starved
+	return rep
+}
+
+// Results returns retained completion records (KeepResults must be on).
+func (c *Cluster) Results() []gpumgr.Result {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]gpumgr.Result, len(c.results))
+	copy(out, c.results)
+	return out
+}
+
+// Completed returns the number of finished requests.
+func (c *Cluster) Completed() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.completed
+}
+
+// Snapshot returns a live metrics snapshot (live gateway's status page).
+func (c *Cluster) Snapshot() Report {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rep := c.report()
+	rep.EndOfRun = time.Duration(c.clock.Now())
+	return rep
+}
+
+// PerModelMeanLatency returns each model's mean end-to-end latency.
+func (c *Cluster) PerModelMeanLatency() map[string]float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]float64, len(c.perModel))
+	for m, w := range c.perModel {
+		out[m] = w.Mean()
+	}
+	return out
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"gpufaas/internal/sim"
+)
+
+// driver simulates a cluster around the scheduler: it executes dispatches
+// (marking GPUs busy, updating the cache), completes GPUs in random order,
+// and checks scheduler invariants after every step.
+type driver struct {
+	t       *testing.T
+	b       *mockBackend
+	s       *Scheduler
+	rng     *rand.Rand
+	now     sim.Time
+	running map[string]*Request // gpu -> in-flight request
+	done    map[int64]int       // request ID -> completion count
+	memCap  int                 // max resident models per GPU
+}
+
+func newDriver(t *testing.T, policy Policy, limit int, gpus int, rng *rand.Rand) *driver {
+	names := make([]string, gpus)
+	for i := range names {
+		names[i] = "g" + string(rune('0'+i))
+	}
+	b := newMock(names...)
+	for _, m := range []string{"m0", "m1", "m2", "m3", "m4", "m5"} {
+		b.setModel(m, 3*time.Second, time.Second)
+	}
+	s, err := New(Config{Policy: policy, O3Limit: limit}, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &driver{
+		t: t, b: b, s: s, rng: rng,
+		running: map[string]*Request{},
+		done:    map[int64]int{},
+		memCap:  2,
+	}
+}
+
+// execute applies the scheduler's dispatch decisions to the mock world.
+func (d *driver) execute(ds []Dispatch) {
+	for _, disp := range ds {
+		g, r := disp.GPU, disp.Req
+		if d.b.busy[g] {
+			d.t.Fatalf("dispatch %d to busy GPU %s", r.ID, g)
+		}
+		if d.running[g] != nil {
+			d.t.Fatalf("double dispatch to %s", g)
+		}
+		actualHit := d.b.cached[g][r.Model]
+		if disp.ExpectHit != actualHit && !disp.FromLocalQueue {
+			d.t.Fatalf("dispatch %d hit expectation %v != %v", r.ID, disp.ExpectHit, actualHit)
+		}
+		// Invariant: a miss dispatched to g means no *idle* GPU cached
+		// the model at decision time (locality policies only; local-queue
+		// dispatches are exempt — the driver may have evicted their model
+		// while they waited).
+		if d.s.Policy() != LB && !actualHit && !disp.FromLocalQueue {
+			for _, h := range d.b.GPUsCaching(r.Model) {
+				if !d.b.busy[h] && h != g {
+					d.t.Fatalf("false miss on idle: req %d model %s missed on %s while idle %s caches it",
+						r.ID, r.Model, g, h)
+				}
+			}
+		}
+		if !actualHit {
+			// Evict a random victim if at capacity, then admit.
+			if len(d.b.cached[g]) >= d.memCap {
+				for victim := range d.b.cached[g] {
+					delete(d.b.cached[g], victim)
+					break
+				}
+			}
+			d.b.cached[g][r.Model] = true
+		}
+		d.b.busy[g] = true
+		d.b.finish[g] = d.b.infer[r.Model]
+		if !actualHit {
+			d.b.finish[g] += d.b.load[r.Model]
+		}
+		d.running[g] = r
+	}
+}
+
+// completeOne finishes a random busy GPU and reschedules.
+func (d *driver) completeOne() bool {
+	var busy []string
+	for _, g := range d.b.gpus {
+		if d.running[g] != nil {
+			busy = append(busy, g)
+		}
+	}
+	if len(busy) == 0 {
+		return false
+	}
+	g := busy[d.rng.Intn(len(busy))]
+	r := d.running[g]
+	d.running[g] = nil
+	d.b.busy[g] = false
+	d.b.finish[g] = 0
+	d.done[r.ID]++
+	d.now += sim.Time(time.Second)
+	d.execute(d.s.Schedule(d.now))
+	return true
+}
+
+// TestSchedulerLifecycleProperty: under every policy, any workload drains
+// completely with each request dispatched exactly once, never onto a busy
+// GPU, and without idle-cached false misses.
+func TestSchedulerLifecycleProperty(t *testing.T) {
+	policies := []struct {
+		p     Policy
+		limit int
+	}{{LB, 0}, {LALB, 0}, {LALBO3, 3}, {LALBO3, 25}}
+	f := func(seed int64, reqsRaw []uint8) bool {
+		for _, pc := range policies {
+			rng := rand.New(rand.NewSource(seed))
+			d := newDriver(t, pc.p, pc.limit, 3, rng)
+			n := len(reqsRaw)
+			for i, raw := range reqsRaw {
+				r := &Request{
+					ID:        int64(i),
+					Model:     "m" + string(rune('0'+raw%6)),
+					BatchSize: 32,
+					Arrival:   d.now,
+				}
+				if err := d.s.Enqueue(r); err != nil {
+					return false
+				}
+				d.execute(d.s.Schedule(d.now))
+				// Occasionally complete something mid-stream.
+				if rng.Intn(3) == 0 {
+					d.completeOne()
+				}
+			}
+			// Drain.
+			for i := 0; i < 10*n+10; i++ {
+				if !d.completeOne() && d.s.PendingTotal() == 0 {
+					break
+				}
+			}
+			if d.s.PendingTotal() != 0 {
+				t.Logf("%v: %d requests still pending", pc.p, d.s.PendingTotal())
+				return false
+			}
+			for id := int64(0); id < int64(n); id++ {
+				if d.done[id] != 1 {
+					t.Logf("%v: request %d completed %d times", pc.p, id, d.done[id])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestO3NeverStarvesProperty: with a positive limit, no request is ever
+// skipped more than the limit allows.
+func TestO3NeverStarvesProperty(t *testing.T) {
+	f := func(seed int64, reqsRaw []uint8) bool {
+		const limit = 4
+		rng := rand.New(rand.NewSource(seed))
+		d := newDriver(t, LALBO3, limit, 2, rng)
+		for i, raw := range reqsRaw {
+			r := &Request{
+				ID:        int64(i),
+				Model:     "m" + string(rune('0'+raw%6)),
+				BatchSize: 32,
+				Arrival:   d.now,
+			}
+			if err := d.s.Enqueue(r); err != nil {
+				return false
+			}
+			d.execute(d.s.Schedule(d.now))
+			if rng.Intn(2) == 0 {
+				d.completeOne()
+			}
+			// Invariant: nothing in the global queue has been skipped
+			// beyond the limit plus the in-scan allowance of one round.
+			for _, q := range d.s.global {
+				if q.Visits() > limit+1 {
+					t.Logf("request %d skipped %d times (limit %d)", q.ID, q.Visits(), limit)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,436 @@
+// Package core implements the paper's primary contribution: the global
+// function Scheduler with its three policies (§IV):
+//
+//   - LB — the baseline load-balancing scheduler: "simply dispatches the
+//     request at the head of the global queue whenever a GPU becomes idle"
+//     (§V-A);
+//   - LALB — locality-aware load balancing (Algorithm 1 + Algorithm 2):
+//     prefer idle GPUs that already cache the request's model; when only a
+//     busy GPU caches it, compare that GPU's estimated finish time against
+//     the model-load time and queue locally when the busy hit wins;
+//   - LALB+O3 — LALB with out-of-order dispatch: a waiting request whose
+//     model is cached on an idle GPU may be dispatched ahead of earlier
+//     arrivals, bounded by a starvation limit (default 25 skips, §IV-B).
+//
+// The Scheduler maintains the paper's queue topology (Fig. 3): one
+// system-wide global queue ordered by arrival, plus one local queue per
+// GPU holding requests that were scheduled to a busy GPU and wait there.
+// When a GPU becomes idle it always serves its local queue before the
+// global queue (Algorithm 1 lines 2–4).
+//
+// The Scheduler is a passive decision engine: Schedule(now) inspects the
+// cluster through the Backend interface and returns the dispatch decisions
+// for the harness (simulated or live) to execute. It is not safe for
+// concurrent use; callers serialize.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"gpufaas/internal/sim"
+)
+
+// Policy selects the scheduling algorithm.
+type Policy int
+
+// Scheduling policies.
+const (
+	// LB is the default load-balancing baseline.
+	LB Policy = iota
+	// LALB is locality-aware load balancing with in-order dispatch.
+	LALB
+	// LALBO3 is LALB with out-of-order dispatch.
+	LALBO3
+)
+
+// String returns the policy name as used in the paper's figures.
+func (p Policy) String() string {
+	switch p {
+	case LB:
+		return "LB"
+	case LALB:
+		return "LALB"
+	case LALBO3:
+		return "LALBO3"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy converts a case-sensitive policy name ("LB", "LALB",
+// "LALBO3") to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "LB", "lb":
+		return LB, nil
+	case "LALB", "lalb":
+		return LALB, nil
+	case "LALBO3", "lalbo3", "LALB+O3":
+		return LALBO3, nil
+	default:
+		return 0, fmt.Errorf("core: unknown policy %q", s)
+	}
+}
+
+// DefaultO3Limit is the paper's default starvation limit for out-of-order
+// dispatch (§IV-B).
+const DefaultO3Limit = 25
+
+// Request is a function invocation as seen by the scheduler.
+type Request struct {
+	ID        int64
+	Function  string
+	Model     string
+	BatchSize int
+	Arrival   sim.Time
+	Tenant    string
+
+	// visits counts how many times this request has been passed over by
+	// an out-of-order dispatch (Algorithm 1 line 15).
+	visits int
+}
+
+// Visits returns the request's out-of-order skip count (exported for tests
+// and metrics).
+func (r *Request) Visits() int { return r.visits }
+
+// Backend is the scheduler's view of the cluster, implemented by the
+// cluster harness. All methods are queries; the scheduler performs no
+// mutation through it.
+type Backend interface {
+	// GPUIDs returns every GPU in deterministic order.
+	GPUIDs() []string
+	// Busy reports whether the GPU is executing a request.
+	Busy(gpuID string) bool
+	// Cached reports whether the model is resident on the GPU.
+	Cached(gpuID, model string) bool
+	// GPUsCaching returns the GPUs caching the model, in deterministic
+	// order (the Cache Manager's global index, §VI).
+	GPUsCaching(model string) []string
+	// EstimatedFinish returns the remaining execution time of the GPU's
+	// in-flight request (zero when idle). The scheduler adds local-queue
+	// inference times itself.
+	EstimatedFinish(gpuID string, now sim.Time) time.Duration
+	// LoadTime returns the profiled model-upload time on the GPU.
+	LoadTime(gpuID, model string) time.Duration
+	// InferTime returns the profiled inference latency on the GPU for
+	// the batch size.
+	InferTime(gpuID, model string, batch int) time.Duration
+}
+
+// Dispatch is one decision returned by Schedule: run Req on GPU now.
+// ExpectHit records whether the model was cached on the GPU at decision
+// time (the harness re-validates at execution).
+type Dispatch struct {
+	Req       *Request
+	GPU       string
+	ExpectHit bool
+	// FromLocalQueue marks a dispatch of a request that had been parked
+	// in the GPU's local queue.
+	FromLocalQueue bool
+}
+
+// Config configures a Scheduler.
+type Config struct {
+	Policy Policy
+	// O3Limit is the starvation limit for LALBO3 (how many times a
+	// request may be passed over before it is force-scheduled). It is
+	// ignored for LB and LALB, whose effective limit is 0 (in-order).
+	// Callers who want the paper's default pass DefaultO3Limit.
+	O3Limit int
+	// DisableLocalQueue turns off Algorithm 2's busy-GPU parking (lines
+	// 8–15): requests whose model is cached only on busy GPUs always
+	// miss onto an idle GPU instead of waiting. This is an ablation knob
+	// quantifying the finish-time-estimation mechanism; the paper's
+	// schedulers keep it enabled.
+	DisableLocalQueue bool
+}
+
+// Scheduler implements the three policies over the Backend.
+type Scheduler struct {
+	policy  Policy
+	limit   int
+	noPark  bool
+	backend Backend
+
+	global []*Request
+	local  map[string][]*Request
+
+	// moves counts global→local-queue migrations (Algorithm 2 line 12).
+	moves int64
+	// o3Dispatches counts dispatches that jumped the queue.
+	o3Dispatches int64
+	// starved counts requests force-dispatched by the starvation limit.
+	starved int64
+}
+
+// New creates a Scheduler. The backend must be non-nil.
+func New(cfg Config, backend Backend) (*Scheduler, error) {
+	if backend == nil {
+		return nil, errors.New("core: nil backend")
+	}
+	limit := 0
+	switch cfg.Policy {
+	case LB, LALB:
+		limit = 0
+	case LALBO3:
+		limit = cfg.O3Limit
+		if limit < 0 {
+			return nil, fmt.Errorf("core: negative O3 limit %d", limit)
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown policy %v", cfg.Policy)
+	}
+	return &Scheduler{
+		policy:  cfg.Policy,
+		limit:   limit,
+		noPark:  cfg.DisableLocalQueue,
+		backend: backend,
+		local:   make(map[string][]*Request),
+	}, nil
+}
+
+// PolicyName returns the configured policy.
+func (s *Scheduler) Policy() Policy { return s.policy }
+
+// O3Limit returns the effective starvation limit.
+func (s *Scheduler) O3Limit() int { return s.limit }
+
+// Enqueue appends a request to the global queue. Requests must be
+// enqueued in non-decreasing arrival order (the Gateway forwards them as
+// they arrive).
+func (s *Scheduler) Enqueue(r *Request) error {
+	if r == nil {
+		return errors.New("core: nil request")
+	}
+	if n := len(s.global); n > 0 && s.global[n-1].Arrival > r.Arrival {
+		return fmt.Errorf("core: out-of-order enqueue: %v after %v", r.Arrival, s.global[n-1].Arrival)
+	}
+	s.global = append(s.global, r)
+	return nil
+}
+
+// GlobalQueueLen returns the number of requests waiting in the global
+// queue.
+func (s *Scheduler) GlobalQueueLen() int { return len(s.global) }
+
+// LocalQueueLen returns the number of requests parked at the GPU.
+func (s *Scheduler) LocalQueueLen(gpuID string) int { return len(s.local[gpuID]) }
+
+// PendingTotal returns all queued requests (global + local).
+func (s *Scheduler) PendingTotal() int {
+	n := len(s.global)
+	for _, q := range s.local {
+		n += len(q)
+	}
+	return n
+}
+
+// Counters reports scheduler-internal decision counts for the efficiency
+// analyses.
+type Counters struct {
+	LocalQueueMoves int64
+	O3Dispatches    int64
+	Starved         int64
+}
+
+// Counters returns a snapshot of internal counters.
+func (s *Scheduler) Counters() Counters {
+	return Counters{LocalQueueMoves: s.moves, O3Dispatches: s.o3Dispatches, Starved: s.starved}
+}
+
+// localInferSum returns the summed profiled inference time of the GPU's
+// local queue — the tail of the estimated finish time (§IV-A: "the time to
+// wait for the busy GPU to finish its current request (and requests
+// already queued in its local queue)").
+func (s *Scheduler) localInferSum(gpuID string) time.Duration {
+	var sum time.Duration
+	for _, r := range s.local[gpuID] {
+		sum += s.backend.InferTime(gpuID, r.Model, r.BatchSize)
+	}
+	return sum
+}
+
+// EstimatedFinishWithQueue returns the busy GPU's estimated finish time
+// including its local queue.
+func (s *Scheduler) EstimatedFinishWithQueue(gpuID string, now sim.Time) time.Duration {
+	return s.backend.EstimatedFinish(gpuID, now) + s.localInferSum(gpuID)
+}
+
+// removeGlobal removes the request at index i from the global queue.
+func (s *Scheduler) removeGlobal(i int) *Request {
+	r := s.global[i]
+	s.global = append(s.global[:i], s.global[i+1:]...)
+	return r
+}
+
+// Schedule runs the configured policy to completion for the current
+// cluster state: it keeps assigning requests until no idle GPU can accept
+// one. The returned dispatches must be executed (GPUs become busy) by the
+// caller; Busy() is expected to reflect each dispatch immediately, which
+// the harness guarantees by marking the GPU reserved as it executes the
+// decisions — to keep the scheduler self-contained it also tracks GPUs it
+// has dispatched to within this call and treats them as busy.
+func (s *Scheduler) Schedule(now sim.Time) []Dispatch {
+	var out []Dispatch
+	taken := make(map[string]bool) // GPUs consumed within this round
+	busy := func(id string) bool { return taken[id] || s.backend.Busy(id) }
+
+	for {
+		progressed := false
+		for _, id := range s.backend.GPUIDs() {
+			if busy(id) {
+				continue
+			}
+			d, ok := s.scheduleIdleGPU(id, now, busy, taken)
+			if ok {
+				out = append(out, d...)
+				progressed = true
+			}
+		}
+		if !progressed {
+			return out
+		}
+	}
+}
+
+// scheduleIdleGPU implements Algorithm 1 for one idle GPU. It returns the
+// dispatches produced while trying to occupy this GPU (the LLB routine may
+// also dispatch requests to *other* idle GPUs) and whether any dispatch or
+// queue movement happened.
+func (s *Scheduler) scheduleIdleGPU(gpuID string, now sim.Time, busy func(string) bool, taken map[string]bool) ([]Dispatch, bool) {
+	// Lines 2–4: prioritize the local queue.
+	if q := s.local[gpuID]; len(q) > 0 {
+		r := q[0]
+		s.local[gpuID] = q[1:]
+		taken[gpuID] = true
+		return []Dispatch{{
+			Req: r, GPU: gpuID,
+			ExpectHit:      s.backend.Cached(gpuID, r.Model),
+			FromLocalQueue: true,
+		}}, true
+	}
+	if len(s.global) == 0 {
+		return nil, false
+	}
+
+	// Baseline LB: head of queue to this idle GPU, no locality.
+	if s.policy == LB {
+		r := s.removeGlobal(0)
+		taken[gpuID] = true
+		return []Dispatch{{Req: r, GPU: gpuID, ExpectHit: s.backend.Cached(gpuID, r.Model)}}, true
+	}
+
+	// Lines 6–16: look for a request whose model is cached on this GPU,
+	// enforcing the out-of-order starvation limit along the way.
+	var all []Dispatch
+	i := 0
+	for i < len(s.global) {
+		r := s.global[i]
+		if s.backend.Cached(gpuID, r.Model) {
+			s.removeGlobal(i)
+			taken[gpuID] = true
+			if i > 0 {
+				s.o3Dispatches++
+			}
+			all = append(all, Dispatch{Req: r, GPU: gpuID, ExpectHit: true})
+			return all, true
+		}
+		if r.visits >= s.limit {
+			// Starvation limit reached (or limit==0, i.e. plain LALB
+			// considering the head in order): schedule it now via
+			// LocalityLoadBalance.
+			if r.visits > 0 && s.limit > 0 {
+				s.starved++
+			}
+			d, tookThis := s.llb(gpuID, i, now, busy, taken)
+			all = append(all, d...)
+			if tookThis {
+				return all, true
+			}
+			// Request left the queue for another GPU; the element at
+			// index i is now a different request — re-examine it.
+			continue
+		}
+		r.visits++
+		i++
+	}
+	// Lines 17–22: no queued request has its model cached here — drain
+	// through LocalityLoadBalance until this GPU takes one.
+	for len(s.global) > 0 {
+		before := len(s.global)
+		d, tookThis := s.llb(gpuID, 0, now, busy, taken)
+		all = append(all, d...)
+		if tookThis {
+			return all, true
+		}
+		if len(s.global) == before {
+			// llb always removes the request; guard against spinning if
+			// that invariant is ever broken.
+			break
+		}
+	}
+	return all, len(all) > 0
+}
+
+// llb implements Algorithm 2 (function LocalityLoadBalance) for the
+// request at global-queue index idx, considering idle GPU gpuID. It
+// returns the dispatches performed and whether gpuID itself was taken.
+func (s *Scheduler) llb(gpuID string, idx int, now sim.Time, busy func(string) bool, taken map[string]bool) ([]Dispatch, bool) {
+	r := s.global[idx]
+	holders := s.backend.GPUsCaching(r.Model)
+
+	// Line 1–3: model cached nowhere — cache miss on the selected idle
+	// GPU.
+	if len(holders) == 0 {
+		s.removeGlobal(idx)
+		taken[gpuID] = true
+		return []Dispatch{{Req: r, GPU: gpuID, ExpectHit: false}}, true
+	}
+
+	// Line 4–6: model cached on another idle GPU — dispatch there (a
+	// cache hit); the selected GPU stays idle.
+	for _, h := range holders {
+		if h == gpuID {
+			// The caller only reaches llb when the model is not cached
+			// on gpuID, but handle it for robustness: hit right here.
+			s.removeGlobal(idx)
+			taken[gpuID] = true
+			return []Dispatch{{Req: r, GPU: gpuID, ExpectHit: true}}, true
+		}
+		if !busy(h) {
+			s.removeGlobal(idx)
+			taken[h] = true
+			return []Dispatch{{Req: r, GPU: h, ExpectHit: true}}, false
+		}
+	}
+
+	// Lines 8–15: model cached only on busy GPUs. Find the busy holder
+	// with the smallest estimated finish time; if waiting for it beats
+	// paying the model-load time on the idle GPU, park the request in
+	// that GPU's local queue. (Skipped entirely under the
+	// DisableLocalQueue ablation.)
+	if !s.noPark {
+		bestGPU := ""
+		var bestFinish time.Duration
+		for _, h := range holders {
+			fin := s.EstimatedFinishWithQueue(h, now)
+			if bestGPU == "" || fin < bestFinish {
+				bestGPU, bestFinish = h, fin
+			}
+		}
+		if bestGPU != "" && bestFinish < s.backend.LoadTime(gpuID, r.Model) {
+			s.removeGlobal(idx)
+			s.local[bestGPU] = append(s.local[bestGPU], r)
+			s.moves++
+			return nil, false
+		}
+	}
+
+	// Lines 16–18: allow the cache miss on the idle GPU.
+	s.removeGlobal(idx)
+	taken[gpuID] = true
+	return []Dispatch{{Req: r, GPU: gpuID, ExpectHit: false}}, true
+}

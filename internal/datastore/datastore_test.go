@@ -1,0 +1,354 @@
+package datastore
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPutGetDelete(t *testing.T) {
+	s := New()
+	rev, err := s.Put("gpu/node0/gpu0/status", []byte("busy"), 0)
+	if err != nil || rev != 1 {
+		t.Fatalf("Put = %d, %v", rev, err)
+	}
+	kv, err := s.Get("gpu/node0/gpu0/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(kv.Value) != "busy" || kv.CreateRevision != 1 || kv.ModRevision != 1 {
+		t.Errorf("kv = %+v", kv)
+	}
+	rev2, err := s.Put("gpu/node0/gpu0/status", []byte("idle"), 0)
+	if err != nil || rev2 != 2 {
+		t.Fatalf("second Put = %d, %v", rev2, err)
+	}
+	kv, _ = s.Get("gpu/node0/gpu0/status")
+	if kv.CreateRevision != 1 || kv.ModRevision != 2 {
+		t.Errorf("revisions = %+v", kv)
+	}
+	ok, err := s.Delete("gpu/node0/gpu0/status")
+	if err != nil || !ok {
+		t.Fatalf("Delete = %v, %v", ok, err)
+	}
+	if _, err := s.Get("gpu/node0/gpu0/status"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get after delete: %v", err)
+	}
+	ok, _ = s.Delete("gpu/node0/gpu0/status")
+	if ok {
+		t.Error("double delete should report false")
+	}
+	if _, err := s.Put("", []byte("x"), 0); err == nil {
+		t.Error("empty key should fail")
+	}
+}
+
+func TestValueIsolation(t *testing.T) {
+	s := New()
+	buf := []byte("abc")
+	if _, err := s.Put("k", buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 'X' // caller mutation must not leak in
+	kv, _ := s.Get("k")
+	if string(kv.Value) != "abc" {
+		t.Error("store aliased caller buffer")
+	}
+	kv.Value[0] = 'Y' // reader mutation must not leak back
+	kv2, _ := s.Get("k")
+	if string(kv2.Value) != "abc" {
+		t.Error("reader mutated stored value")
+	}
+}
+
+func TestListPrefix(t *testing.T) {
+	s := New()
+	keys := []string{"lru/g1", "lru/g0", "status/g0", "lru/g2"}
+	for _, k := range keys {
+		if _, err := s.Put(k, []byte(k), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := s.List("lru/")
+	if len(got) != 3 {
+		t.Fatalf("List = %d entries", len(got))
+	}
+	if got[0].Key != "lru/g0" || got[2].Key != "lru/g2" {
+		t.Errorf("not sorted: %v", got)
+	}
+	if len(s.List("nope/")) != 0 {
+		t.Error("unmatched prefix should be empty")
+	}
+	if s.Len() != 4 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestCompareAndSwap(t *testing.T) {
+	s := New()
+	// Create-if-absent.
+	rev, err := s.CompareAndSwap("leader", 0, []byte("sched-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second create must fail.
+	if _, err := s.CompareAndSwap("leader", 0, []byte("sched-2")); !errors.Is(err, ErrCASFailed) {
+		t.Errorf("create-exists: %v", err)
+	}
+	// Swap at the right revision succeeds.
+	if _, err := s.CompareAndSwap("leader", rev, []byte("sched-2")); err != nil {
+		t.Fatal(err)
+	}
+	// Swap at a stale revision fails.
+	if _, err := s.CompareAndSwap("leader", rev, []byte("sched-3")); !errors.Is(err, ErrCASFailed) {
+		t.Errorf("stale swap: %v", err)
+	}
+	// Swap of a missing key fails.
+	if _, err := s.CompareAndSwap("ghost", 5, []byte("x")); !errors.Is(err, ErrCASFailed) {
+		t.Errorf("missing swap: %v", err)
+	}
+	if _, err := s.CompareAndSwap("", 0, nil); err == nil {
+		t.Error("empty key should fail")
+	}
+}
+
+func TestWatch(t *testing.T) {
+	s := New()
+	ch, cancel, err := s.Watch("gpu/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	if _, err := s.Put("gpu/g0", []byte("busy"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put("other/x", []byte("y"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Delete("gpu/g0"); err != nil {
+		t.Fatal(err)
+	}
+	ev1 := <-ch
+	if ev1.Type != EventPut || ev1.Key != "gpu/g0" || string(ev1.Value) != "busy" {
+		t.Errorf("ev1 = %+v", ev1)
+	}
+	ev2 := <-ch
+	if ev2.Type != EventDelete || ev2.Key != "gpu/g0" {
+		t.Errorf("ev2 = %+v", ev2)
+	}
+	if ev2.Revision <= ev1.Revision {
+		t.Error("revisions must increase")
+	}
+	cancel()
+	if _, ok := <-ch; ok {
+		// drained events may remain; read until closed
+		for range ch {
+		}
+	}
+	cancel() // double cancel is a no-op
+}
+
+func TestWatchOrdering(t *testing.T) {
+	s := New()
+	ch, cancel, err := s.Watch("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	const n = 100
+	go func() {
+		for i := 0; i < n; i++ {
+			s.Put("k", []byte{byte(i)}, 0)
+		}
+	}()
+	var prev int64
+	for i := 0; i < n; i++ {
+		ev := <-ch
+		if ev.Revision <= prev {
+			t.Fatalf("out of order: %d after %d", ev.Revision, prev)
+		}
+		prev = ev.Revision
+	}
+}
+
+func TestLeaseExpiry(t *testing.T) {
+	s := New()
+	now := time.Unix(1000, 0)
+	s.SetClock(func() time.Time { return now })
+	id, err := s.GrantLease(10 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put("ephemeral/g0", []byte("alive"), id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("ephemeral/g0"); err != nil {
+		t.Fatal(err)
+	}
+	// Advance past the TTL: key disappears.
+	now = now.Add(11 * time.Second)
+	if _, err := s.Get("ephemeral/g0"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("expired key: %v", err)
+	}
+	if err := s.KeepAlive(id); !errors.Is(err, ErrLeaseExpire) {
+		t.Errorf("keepalive expired lease: %v", err)
+	}
+}
+
+func TestLeaseKeepAlive(t *testing.T) {
+	s := New()
+	now := time.Unix(1000, 0)
+	s.SetClock(func() time.Time { return now })
+	id, _ := s.GrantLease(10 * time.Second)
+	if _, err := s.Put("k", []byte("v"), id); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(8 * time.Second)
+	if err := s.KeepAlive(id); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(8 * time.Second) // 16s after grant, 8s after refresh
+	if _, err := s.Get("k"); err != nil {
+		t.Errorf("refreshed lease expired early: %v", err)
+	}
+}
+
+func TestLeaseRevoke(t *testing.T) {
+	s := New()
+	id, _ := s.GrantLease(time.Hour)
+	s.Put("a", []byte("1"), id)
+	s.Put("b", []byte("2"), id)
+	s.Put("c", []byte("3"), 0)
+	if err := s.RevokeLease(id); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d after revoke", s.Len())
+	}
+	if err := s.RevokeLease(id); !errors.Is(err, ErrLeaseExpire) {
+		t.Errorf("double revoke: %v", err)
+	}
+	if _, err := s.GrantLease(0); err == nil {
+		t.Error("zero TTL should fail")
+	}
+	if _, err := s.Put("d", []byte("4"), 999); !errors.Is(err, ErrLeaseExpire) {
+		t.Errorf("put with bogus lease: %v", err)
+	}
+}
+
+func TestLeaseRebind(t *testing.T) {
+	s := New()
+	id1, _ := s.GrantLease(time.Hour)
+	id2, _ := s.GrantLease(time.Hour)
+	s.Put("k", []byte("1"), id1)
+	s.Put("k", []byte("2"), id2) // rebinding moves the key to lease 2
+	if err := s.RevokeLease(id1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("k"); err != nil {
+		t.Errorf("key should survive revoking the old lease: %v", err)
+	}
+	if err := s.RevokeLease(id2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("k"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("key should die with its lease: %v", err)
+	}
+}
+
+func TestClose(t *testing.T) {
+	s := New()
+	ch, _, err := s.Watch("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if _, ok := <-ch; ok {
+		t.Error("watcher channel should close")
+	}
+	if _, err := s.Put("k", nil, 0); !errors.Is(err, ErrClosed) {
+		t.Errorf("Put after close: %v", err)
+	}
+	if _, err := s.Get("k"); !errors.Is(err, ErrClosed) {
+		t.Errorf("Get after close: %v", err)
+	}
+	if _, _, err := s.Watch(""); !errors.Is(err, ErrClosed) {
+		t.Errorf("Watch after close: %v", err)
+	}
+	s.Close() // idempotent
+}
+
+func TestConcurrentClients(t *testing.T) {
+	s := New()
+	const writers = 8
+	const perWriter = 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				key := fmt.Sprintf("w%d/k%d", w, i)
+				if _, err := s.Put(key, []byte{byte(i)}, 0); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := s.Get(key); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != writers*perWriter {
+		t.Errorf("Len = %d, want %d", s.Len(), writers*perWriter)
+	}
+	if s.Revision() != writers*perWriter {
+		t.Errorf("Revision = %d", s.Revision())
+	}
+}
+
+func TestConcurrentCASCounter(t *testing.T) {
+	// A CAS-based counter incremented by racing goroutines must not lose
+	// updates — the consistency property the paper gets from etcd.
+	s := New()
+	if _, err := s.Put("counter", []byte{0, 0}, 0); err != nil {
+		t.Fatal(err)
+	}
+	const clients = 8
+	const increments = 50
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < increments; i++ {
+				for {
+					kv, err := s.Get("counter")
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					v := int(kv.Value[0])<<8 | int(kv.Value[1])
+					v++
+					next := []byte{byte(v >> 8), byte(v)}
+					if _, err := s.CompareAndSwap("counter", kv.ModRevision, next); err == nil {
+						break
+					} else if !errors.Is(err, ErrCASFailed) {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	kv, _ := s.Get("counter")
+	total := int(kv.Value[0])<<8 | int(kv.Value[1])
+	if total != clients*increments {
+		t.Errorf("counter = %d, want %d", total, clients*increments)
+	}
+}

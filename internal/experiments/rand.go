@@ -1,0 +1,6 @@
+package experiments
+
+import "math/rand"
+
+// newRand builds the deterministic source used for workload shuffling.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

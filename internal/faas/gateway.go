@@ -1,0 +1,376 @@
+package faas
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"gpufaas/internal/cluster"
+	"gpufaas/internal/core"
+	"gpufaas/internal/datastore"
+	"gpufaas/internal/gpumgr"
+	"gpufaas/internal/models"
+	"gpufaas/internal/sim"
+	"gpufaas/internal/stats"
+)
+
+// GatewayConfig assembles a live GPU-FaaS gateway.
+type GatewayConfig struct {
+	// Policy is the scheduler policy name ("LB", "LALB", "LALBO3").
+	Policy string
+	// O3Limit is the LALBO3 starvation limit (default 25).
+	O3Limit int
+	// Nodes / GPUsPerNode / GPUMemory describe the cluster (defaults:
+	// the paper's 3x4 testbed).
+	Nodes       int
+	GPUsPerNode int
+	GPUMemory   int64
+	// TimeScale scales the Table I profile times so demos run quickly
+	// (0.001 turns seconds into milliseconds). Default 1.0.
+	TimeScale float64
+	// InvokeTimeout bounds one inference invocation (default 60s,
+	// scaled by TimeScale is the caller's business — this is wall time).
+	InvokeTimeout time.Duration
+	// Zoo overrides the Table I model zoo.
+	Zoo *models.Zoo
+}
+
+// Gateway is the public route of the FaaS platform (Fig. 1): it handles
+// function CRUD and invocation, and fronts the GPU scheduler.
+type Gateway struct {
+	registry *Registry
+	cluster  *cluster.Cluster
+	store    *datastore.Store
+	infer    *InferenceClient
+	clock    sim.Clock
+
+	mu        sync.Mutex
+	watchdogs map[string]*Watchdog
+	rr        map[string]int // function -> round-robin replica cursor
+	latHist   *stats.Welford
+}
+
+// NewGateway builds the gateway plus its live cluster and datastore.
+func NewGateway(cfg GatewayConfig) (*Gateway, error) {
+	if cfg.Policy == "" {
+		cfg.Policy = "LALBO3"
+	}
+	pol, err := core.ParsePolicy(cfg.Policy)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.TimeScale == 0 {
+		cfg.TimeScale = 1
+	}
+	if cfg.TimeScale < 0 {
+		return nil, fmt.Errorf("faas: negative time scale %g", cfg.TimeScale)
+	}
+	if cfg.InvokeTimeout == 0 {
+		cfg.InvokeTimeout = 60 * time.Second
+	}
+	zoo := cfg.Zoo
+	if zoo == nil {
+		zoo = models.Default()
+	}
+
+	ccfg := cluster.DefaultConfig()
+	ccfg.Policy = pol
+	if cfg.O3Limit > 0 {
+		ccfg.O3Limit = cfg.O3Limit
+	}
+	if cfg.Nodes > 0 {
+		ccfg.Nodes = cfg.Nodes
+	}
+	if cfg.GPUsPerNode > 0 {
+		ccfg.GPUsPerNode = cfg.GPUsPerNode
+	}
+	if cfg.GPUMemory > 0 {
+		ccfg.GPUMemory = cfg.GPUMemory
+	}
+	ccfg.Zoo = zoo
+	ccfg.Profiles = ScaledProfiles(zoo, ccfg.GPUType, cfg.TimeScale)
+	clock := sim.NewRealClock()
+	ccfg.Clock = clock
+
+	store := datastore.New()
+	ccfg.Sink = DatastoreSink{Store: store}
+
+	g := &Gateway{
+		registry:  NewRegistry(),
+		store:     store,
+		clock:     clock,
+		watchdogs: make(map[string]*Watchdog),
+		rr:        make(map[string]int),
+		latHist:   &stats.Welford{},
+	}
+	var ic *InferenceClient
+	ccfg.OnResult = func(res gpumgr.Result) {
+		g.latHist.Add(res.Latency().Seconds())
+		ic.Route(res)
+	}
+	c, err := cluster.New(ccfg)
+	if err != nil {
+		return nil, err
+	}
+	ic = NewInferenceClient(c, clock, cfg.InvokeTimeout)
+	g.cluster = c
+	g.infer = ic
+	return g, nil
+}
+
+// Cluster exposes the underlying cluster (metrics, devices).
+func (g *Gateway) Cluster() *cluster.Cluster { return g.cluster }
+
+// Store exposes the datastore (status pages, tests).
+func (g *Gateway) Store() *datastore.Store { return g.store }
+
+// Registry exposes function CRUD.
+func (g *Gateway) Registry() *Registry { return g.registry }
+
+// Deploy registers a function and builds its watchdog.
+func (g *Gateway) Deploy(spec FunctionSpec) (*Function, error) {
+	fn, err := g.registry.Deploy(spec)
+	if err != nil {
+		return nil, err
+	}
+	if spec.GPUEnabled {
+		if _, ok := g.cluster.Zoo().Get(spec.Model); !ok {
+			_ = g.registry.Remove(spec.Name)
+			return nil, fmt.Errorf("faas: model %q not in the cluster zoo", spec.Model)
+		}
+	}
+	g.mu.Lock()
+	g.watchdogs[spec.Name] = NewWatchdog(fn.Spec, g.infer, g.store)
+	g.mu.Unlock()
+	return fn, nil
+}
+
+// Invoke routes one invocation to the function's next container replica.
+func (g *Gateway) Invoke(name string, req InvokeRequest) (InvokeResponse, error) {
+	fn, err := g.registry.Get(name)
+	if err != nil {
+		return InvokeResponse{}, err
+	}
+	g.registry.recordInvocation(name)
+	g.mu.Lock()
+	wd := g.watchdogs[name]
+	g.rr[name] = (g.rr[name] + 1) % len(fn.Containers)
+	g.mu.Unlock()
+	if wd == nil {
+		return InvokeResponse{}, fmt.Errorf("%w: %s has no watchdog", ErrNotFound, name)
+	}
+	return wd.Handle(req)
+}
+
+// Remove deletes a function and its watchdog.
+func (g *Gateway) Remove(name string) error {
+	if err := g.registry.Remove(name); err != nil {
+		return err
+	}
+	g.mu.Lock()
+	delete(g.watchdogs, name)
+	delete(g.rr, name)
+	g.mu.Unlock()
+	return nil
+}
+
+// ScaledProfiles builds a profile store from the zoo's Table I times with
+// all durations multiplied by scale (live demos use scale << 1).
+func ScaledProfiles(zoo *models.Zoo, gpuType string, scale float64) *models.ProfileStore {
+	base := models.TableProfiles(gpuType, zoo)
+	if scale == 1 {
+		return base
+	}
+	out := models.NewProfileStore()
+	for _, m := range zoo.All() {
+		p, ok := base.Get(gpuType, m.Name)
+		if !ok {
+			continue
+		}
+		p.LoadTime = time.Duration(float64(p.LoadTime) * scale)
+		p.InferFit.Alpha *= scale
+		p.InferFit.Beta *= scale
+		out.Put(p)
+	}
+	return out
+}
+
+// ---- HTTP layer ----
+
+// Handler returns the gateway's HTTP mux with the OpenFaaS-style routes:
+//
+//	POST   /system/functions        deploy (JSON FunctionSpec)
+//	PUT    /system/functions        update
+//	GET    /system/functions        list
+//	GET    /system/functions/{name} describe
+//	DELETE /system/functions/{name} remove
+//	POST   /system/scale/{name}     {"replicas": N}
+//	GET    /system/metrics          cluster report
+//	GET    /system/gpus             GPU status from the datastore
+//	POST   /function/{name}         invoke
+//	GET    /healthz                 liveness
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/system/functions", g.handleFunctions)
+	mux.HandleFunc("/system/functions/", g.handleFunction)
+	mux.HandleFunc("/system/scale/", g.handleScale)
+	mux.HandleFunc("/system/metrics", g.handleMetrics)
+	mux.HandleFunc("/system/gpus", g.handleGPUs)
+	mux.HandleFunc("/function/", g.handleInvoke)
+	mux.HandleFunc("/metrics", g.handlePromMetrics)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ok\n")
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrExists):
+		status = http.StatusConflict
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (g *Gateway) handleFunctions(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, g.registry.List())
+	case http.MethodPost, http.MethodPut:
+		var spec FunctionSpec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		var fn *Function
+		var err error
+		if r.Method == http.MethodPost {
+			fn, err = g.Deploy(spec)
+		} else {
+			fn, err = g.registry.Update(spec)
+			if err == nil {
+				g.mu.Lock()
+				g.watchdogs[spec.Name] = NewWatchdog(fn.Spec, g.infer, g.store)
+				g.mu.Unlock()
+			}
+		}
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, fn)
+	default:
+		w.WriteHeader(http.StatusMethodNotAllowed)
+	}
+}
+
+func (g *Gateway) handleFunction(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/system/functions/")
+	if name == "" {
+		w.WriteHeader(http.StatusBadRequest)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		fn, err := g.registry.Get(name)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, fn)
+	case http.MethodDelete:
+		if err := g.Remove(name); err != nil {
+			writeErr(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+	default:
+		w.WriteHeader(http.StatusMethodNotAllowed)
+	}
+}
+
+func (g *Gateway) handleScale(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		return
+	}
+	name := strings.TrimPrefix(r.URL.Path, "/system/scale/")
+	var body struct {
+		Replicas int `json:"replicas"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	fn, err := g.registry.Scale(name, body.Replicas)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, fn)
+}
+
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, http.StatusOK, g.cluster.Snapshot())
+}
+
+func (g *Gateway) handleGPUs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		return
+	}
+	type gpuStatus struct {
+		ID     string `json:"id"`
+		Status string `json:"status"`
+	}
+	var out []gpuStatus
+	for _, kv := range g.store.List("gpu/") {
+		id := strings.TrimSuffix(strings.TrimPrefix(kv.Key, "gpu/"), "/status")
+		out = append(out, gpuStatus{ID: id, Status: string(kv.Value)})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (g *Gateway) handleInvoke(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		return
+	}
+	name := strings.TrimPrefix(r.URL.Path, "/function/")
+	body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	resp, err := g.Invoke(name, InvokeRequest{Body: body})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	if len(resp.Body) > 0 {
+		w.Write(resp.Body)
+	} else {
+		_ = json.NewEncoder(w).Encode(resp)
+	}
+}

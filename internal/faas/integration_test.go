@@ -1,0 +1,87 @@
+package faas
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"gpufaas/internal/datastore"
+)
+
+// TestDatastoreWatchSeesGPULifecycle exercises the full Fig. 2 flow with a
+// Datastore observer: a watcher on the gpu/ prefix must see the busy→idle
+// transition that the GPU Manager reports around an inference, and the
+// latency record must land under latency/.
+func TestDatastoreWatchSeesGPULifecycle(t *testing.T) {
+	g := testGateway(t)
+	ch, cancel, err := g.Store().Watch("gpu/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+
+	if _, err := g.Deploy(FunctionSpec{Name: "fn", GPUEnabled: true, Model: "alexnet", BatchSize: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Invoke("fn", InvokeRequest{}); err != nil {
+		t.Fatal(err)
+	}
+
+	var sawBusy, sawIdle bool
+	deadline := time.After(5 * time.Second)
+	for !(sawBusy && sawIdle) {
+		select {
+		case ev := <-ch:
+			if ev.Type != datastore.EventPut {
+				continue
+			}
+			switch string(ev.Value) {
+			case "busy":
+				sawBusy = true
+			case "idle":
+				if sawBusy {
+					sawIdle = true
+				}
+			}
+		case <-deadline:
+			t.Fatalf("watch timed out: busy=%v idle=%v", sawBusy, sawIdle)
+		}
+	}
+
+	recs := g.Store().List("latency/fn/")
+	if len(recs) != 1 {
+		t.Fatalf("latency records = %d", len(recs))
+	}
+	var rec struct {
+		Function  string `json:"function"`
+		Model     string `json:"model"`
+		Hit       bool   `json:"hit"`
+		LatencyMs int64  `json:"latencyMs"`
+	}
+	if err := json.Unmarshal(recs[0].Value, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Function != "fn" || rec.Model != "alexnet" || rec.Hit {
+		t.Errorf("record = %+v", rec)
+	}
+	if rec.LatencyMs <= 0 {
+		t.Errorf("latency = %d ms", rec.LatencyMs)
+	}
+}
+
+// TestInvocationMetricsRecorded verifies the Watchdog's own metric stream
+// (Fig. 1: "Record function execution metrics").
+func TestInvocationMetricsRecorded(t *testing.T) {
+	g := testGateway(t)
+	if _, err := g.Deploy(FunctionSpec{Name: "fn2", GPUEnabled: true, Model: "resnet34", BatchSize: 4}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := g.Invoke("fn2", InvokeRequest{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if recs := g.Store().List("metrics/invocations/fn2/"); len(recs) != 3 {
+		t.Errorf("invocation metrics = %d, want 3", len(recs))
+	}
+}

@@ -1,0 +1,63 @@
+package faas
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// handlePromMetrics serves the cluster and gateway counters in the
+// Prometheus text exposition format at /metrics, which is how OpenFaaS
+// exposes its gateway metrics in production.
+func (g *Gateway) handlePromMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		return
+	}
+	snap := g.cluster.Snapshot()
+	var sb strings.Builder
+
+	counter := func(name, help string, value float64, labels string) {
+		fmt.Fprintf(&sb, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+		if labels != "" {
+			fmt.Fprintf(&sb, "%s{%s} %g\n", name, labels, value)
+		} else {
+			fmt.Fprintf(&sb, "%s %g\n", name, value)
+		}
+	}
+	counter("gpufaas_requests_total", "Completed inference requests.", float64(snap.Requests), "")
+	counter("gpufaas_requests_failed_total", "Requests rejected (quota, unknown model).", float64(snap.Failed), "")
+	counter("gpufaas_avg_latency_seconds", "Mean end-to-end function latency.", snap.AvgLatencySec, "")
+	counter("gpufaas_p99_latency_seconds", "99th percentile function latency.", snap.P99LatencySec, "")
+	counter("gpufaas_cache_miss_ratio", "Model cache miss ratio.", snap.MissRatio, "")
+	counter("gpufaas_false_miss_ratio", "False-miss ratio (miss while cached elsewhere).", snap.FalseMissRatio, "")
+	counter("gpufaas_sm_utilization", "Mean GPU SM utilization.", snap.SMUtilization, "")
+	counter("gpufaas_scheduler_queue_moves_total", "Requests parked on busy GPUs' local queues.", float64(snap.LocalQueueMoves), "")
+	counter("gpufaas_scheduler_o3_dispatches_total", "Out-of-order dispatches.", float64(snap.O3Dispatches), "")
+
+	// Per-function invocation counters.
+	fns := g.registry.List()
+	fmt.Fprintf(&sb, "# HELP gpufaas_function_invocations_total Invocations routed per function.\n# TYPE gpufaas_function_invocations_total counter\n")
+	for _, fn := range fns {
+		fmt.Fprintf(&sb, "gpufaas_function_invocations_total{function=%q} %d\n",
+			fn.Spec.Name, fn.Invocations)
+	}
+
+	// Per-GPU status (0 idle, 1 busy) from the datastore.
+	fmt.Fprintf(&sb, "# HELP gpufaas_gpu_busy GPU busy flag per device.\n# TYPE gpufaas_gpu_busy gauge\n")
+	kvs := g.store.List("gpu/")
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].Key < kvs[j].Key })
+	for _, kv := range kvs {
+		id := strings.TrimSuffix(strings.TrimPrefix(kv.Key, "gpu/"), "/status")
+		v := 0
+		if string(kv.Value) == "busy" {
+			v = 1
+		}
+		fmt.Fprintf(&sb, "gpufaas_gpu_busy{gpu=%q} %d\n", id, v)
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte(sb.String()))
+}

@@ -1,0 +1,54 @@
+package faas
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestPrometheusMetricsEndpoint(t *testing.T) {
+	g := testGateway(t)
+	if _, err := g.Deploy(FunctionSpec{Name: "mfn", GPUEnabled: true, Model: "resnet50", BatchSize: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Invoke("mfn", InvokeRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+	res, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", res.StatusCode)
+	}
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"gpufaas_requests_total 1",
+		"gpufaas_cache_miss_ratio 1",
+		`gpufaas_function_invocations_total{function="mfn"} 1`,
+		"gpufaas_gpu_busy{gpu=",
+		"# TYPE gpufaas_avg_latency_seconds gauge",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %q\n%s", want, text)
+		}
+	}
+	// Wrong method rejected.
+	res2, err := http.Post(srv.URL+"/metrics", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2.Body.Close()
+	if res2.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /metrics = %d", res2.StatusCode)
+	}
+}

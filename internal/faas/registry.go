@@ -1,0 +1,235 @@
+// Package faas implements the OpenFaaS-like platform of Figure 1/2: the
+// Gateway (HTTP CRUD + invocation routing), the function Registry,
+// in-process Containers each running a Watchdog, and the Datastore sink
+// that records GPU status and invocation metrics.
+//
+// GPU-enabled functions carry the paper's "GPU-enable flag in the
+// Dockerfile" (§III-A): the Gateway detects it and replaces the function's
+// model-loading/inference interface with one that redirects to the GPU
+// Managers through the Scheduler — the function code itself is unchanged.
+package faas
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// FunctionSpec is the deployment descriptor a user registers (the
+// OpenFaaS function spec plus the paper's GPU flag).
+type FunctionSpec struct {
+	// Name is the function's route: POST /function/<Name>.
+	Name string `json:"name"`
+	// Image is the container image reference (informational in the
+	// in-process runtime).
+	Image string `json:"image,omitempty"`
+	// Handler selects the function body: "inference" (default for GPU
+	// functions) or "echo".
+	Handler string `json:"handler,omitempty"`
+	// GPUEnabled is the Dockerfile GPU-enable flag (§III-A). When set,
+	// model load/predict calls are redirected to the GPU Manager.
+	GPUEnabled bool `json:"gpuEnabled"`
+	// Model names the inference model the function uses (must exist in
+	// the cluster's zoo for GPU functions).
+	Model string `json:"model,omitempty"`
+	// BatchSize is the inference batch size (default 32).
+	BatchSize int `json:"batchSize,omitempty"`
+	// Tenant identifies the owner for multi-tenant quota enforcement.
+	Tenant string `json:"tenant,omitempty"`
+	// Replicas is the desired container count (default 1).
+	Replicas int `json:"replicas,omitempty"`
+	// Env is passed to the handler.
+	Env map[string]string `json:"env,omitempty"`
+}
+
+// Validate normalizes and checks the spec.
+func (s *FunctionSpec) Validate() error {
+	if s.Name == "" {
+		return errors.New("faas: function name required")
+	}
+	if strings.ContainsAny(s.Name, "/ \t\n") {
+		return fmt.Errorf("faas: invalid function name %q", s.Name)
+	}
+	if s.Handler == "" {
+		if s.GPUEnabled {
+			s.Handler = HandlerInference
+		} else {
+			s.Handler = HandlerEcho
+		}
+	}
+	switch s.Handler {
+	case HandlerInference, HandlerEcho:
+	default:
+		return fmt.Errorf("faas: unknown handler %q", s.Handler)
+	}
+	if s.Handler == HandlerInference && s.Model == "" {
+		return errors.New("faas: inference function requires a model")
+	}
+	if s.BatchSize == 0 {
+		s.BatchSize = 32
+	}
+	if s.BatchSize < 0 {
+		return fmt.Errorf("faas: negative batch size %d", s.BatchSize)
+	}
+	if s.Replicas == 0 {
+		s.Replicas = 1
+	}
+	if s.Replicas < 0 {
+		return fmt.Errorf("faas: negative replicas %d", s.Replicas)
+	}
+	return nil
+}
+
+// Handler names.
+const (
+	HandlerInference = "inference"
+	HandlerEcho      = "echo"
+)
+
+// Container is one running replica of a function, hosting a Watchdog.
+type Container struct {
+	ID       string
+	Function string
+	Replica  int
+}
+
+// Function is a deployed function: its spec plus running containers.
+type Function struct {
+	Spec       FunctionSpec
+	Containers []Container
+	// Invocations counts requests routed to this function.
+	Invocations int64
+}
+
+// Registry stores deployed functions; it is the Gateway's CRUD backend.
+type Registry struct {
+	mu     sync.RWMutex
+	byName map[string]*Function
+	nextID int64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*Function)}
+}
+
+// Errors reported by the registry.
+var (
+	ErrExists   = errors.New("faas: function already deployed")
+	ErrNotFound = errors.New("faas: function not found")
+)
+
+func (r *Registry) containersFor(spec FunctionSpec) []Container {
+	cs := make([]Container, spec.Replicas)
+	for i := range cs {
+		r.nextID++
+		cs[i] = Container{
+			ID:       fmt.Sprintf("%s-%d", spec.Name, r.nextID),
+			Function: spec.Name,
+			Replica:  i,
+		}
+	}
+	return cs
+}
+
+// Deploy registers a new function and starts its containers.
+func (r *Registry) Deploy(spec FunctionSpec) (*Function, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[spec.Name]; dup {
+		return nil, fmt.Errorf("%w: %s", ErrExists, spec.Name)
+	}
+	fn := &Function{Spec: spec, Containers: r.containersFor(spec)}
+	r.byName[spec.Name] = fn
+	return fn, nil
+}
+
+// Update replaces a function's spec (rolling redeploy).
+func (r *Registry) Update(spec FunctionSpec) (*Function, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old, ok := r.byName[spec.Name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, spec.Name)
+	}
+	fn := &Function{Spec: spec, Containers: r.containersFor(spec), Invocations: old.Invocations}
+	r.byName[spec.Name] = fn
+	return fn, nil
+}
+
+// Remove deletes a function.
+func (r *Registry) Remove(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byName[name]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	delete(r.byName, name)
+	return nil
+}
+
+// Get fetches a function by name.
+func (r *Registry) Get(name string) (*Function, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	fn, ok := r.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	cp := *fn
+	cp.Containers = append([]Container(nil), fn.Containers...)
+	return &cp, nil
+}
+
+// List returns all functions sorted by name.
+func (r *Registry) List() []*Function {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Function, 0, len(r.byName))
+	for _, fn := range r.byName {
+		cp := *fn
+		cp.Containers = append([]Container(nil), fn.Containers...)
+		out = append(out, &cp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Spec.Name < out[j].Spec.Name })
+	return out
+}
+
+// Scale sets the replica count of a deployed function (the Datastore-
+// triggered scaling action of Fig. 1).
+func (r *Registry) Scale(name string, replicas int) (*Function, error) {
+	if replicas <= 0 {
+		return nil, fmt.Errorf("faas: non-positive replicas %d", replicas)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fn, ok := r.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	fn.Spec.Replicas = replicas
+	fn.Containers = r.containersFor(fn.Spec)
+	cp := *fn
+	cp.Containers = append([]Container(nil), fn.Containers...)
+	return &cp, nil
+}
+
+// recordInvocation bumps the function's counter; returns false if absent.
+func (r *Registry) recordInvocation(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fn, ok := r.byName[name]
+	if !ok {
+		return false
+	}
+	fn.Invocations++
+	return true
+}

@@ -1,0 +1,293 @@
+package faas
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"gpufaas/internal/cluster"
+	"gpufaas/internal/core"
+	"gpufaas/internal/dataset"
+	"gpufaas/internal/datastore"
+	"gpufaas/internal/gpumgr"
+	"gpufaas/internal/nn"
+	"gpufaas/internal/sim"
+	"gpufaas/internal/tensor"
+)
+
+// Result re-exports the GPU Manager's completion record.
+type Result = gpumgr.Result
+
+// InvokeRequest is the payload a function receives.
+type InvokeRequest struct {
+	// Body is the raw request body (echo handler returns it).
+	Body []byte
+	// Images is the inference input batch; when empty, the handler
+	// draws BatchSize images from the shared evaluation pool.
+	Images []dataset.Image
+}
+
+// InvokeResponse is a function's result.
+type InvokeResponse struct {
+	// Body is the raw response (echo) or JSON-encoded predictions
+	// (inference).
+	Body []byte
+	// Predictions are the per-input class indices (inference only).
+	Predictions []int `json:"predictions,omitempty"`
+	// GPU, Hit and timings describe the GPU execution (inference only).
+	GPU          string        `json:"gpu,omitempty"`
+	Hit          bool          `json:"hit"`
+	QueueWait    time.Duration `json:"queueWait"`
+	LoadTime     time.Duration `json:"loadTime"`
+	InferTime    time.Duration `json:"inferTime"`
+	TotalLatency time.Duration `json:"totalLatency"`
+}
+
+// Watchdog starts and monitors the function inside its container (Fig. 1):
+// it receives invocations from the Gateway, executes the handler, and
+// records execution metrics to the Datastore.
+type Watchdog struct {
+	spec    FunctionSpec
+	infer   *InferenceClient
+	store   *datastore.Store
+	netOnce sync.Once
+	net     *nn.Network
+	netErr  error
+}
+
+// NewWatchdog builds a watchdog for a function. infer may be nil for
+// non-GPU functions; store may be nil to disable metric recording.
+func NewWatchdog(spec FunctionSpec, infer *InferenceClient, store *datastore.Store) *Watchdog {
+	return &Watchdog{spec: spec, infer: infer, store: store}
+}
+
+// Handle executes one invocation.
+func (w *Watchdog) Handle(req InvokeRequest) (InvokeResponse, error) {
+	start := time.Now()
+	var resp InvokeResponse
+	var err error
+	switch w.spec.Handler {
+	case HandlerEcho:
+		resp = InvokeResponse{Body: req.Body}
+	case HandlerInference:
+		resp, err = w.handleInference(req)
+	default:
+		err = fmt.Errorf("faas: watchdog has no handler %q", w.spec.Handler)
+	}
+	if w.store != nil {
+		status := "ok"
+		if err != nil {
+			status = "error"
+		}
+		rec, _ := json.Marshal(map[string]any{
+			"function": w.spec.Name,
+			"status":   status,
+			"wallMs":   time.Since(start).Milliseconds(),
+			"latateMs": resp.TotalLatency.Milliseconds(),
+		})
+		w.store.Put("metrics/invocations/"+w.spec.Name+"/"+strconv.FormatInt(time.Now().UnixNano(), 10), rec, 0)
+	}
+	return resp, err
+}
+
+// handleInference is the ML-inference function body. With the GPU flag
+// set, the model load + predict calls go through the InferenceClient —
+// the §III-A interface replacement — which schedules them onto the GPU
+// cluster; the actual class predictions are computed by the scaled CNN on
+// the CPU (the simulated GPU provides timing, not arithmetic).
+func (w *Watchdog) handleInference(req InvokeRequest) (InvokeResponse, error) {
+	if w.spec.GPUEnabled {
+		if w.infer == nil {
+			return InvokeResponse{}, errors.New("faas: GPU function without inference client")
+		}
+	}
+	imgs := req.Images
+	if len(imgs) == 0 {
+		pool, err := sharedEvalPool()
+		if err != nil {
+			return InvokeResponse{}, err
+		}
+		imgs, err = dataset.Batch(pool, 0, w.spec.BatchSize)
+		if err != nil {
+			return InvokeResponse{}, err
+		}
+	}
+	x, err := dataset.ToTensor(imgs, nn.InputSize)
+	if err != nil {
+		return InvokeResponse{}, err
+	}
+
+	var gpuRes gpumgr.Result
+	if w.spec.GPUEnabled {
+		gpuRes, err = w.infer.Predict(w.spec, len(imgs))
+		if err != nil {
+			return InvokeResponse{}, err
+		}
+	}
+	preds, err := w.predictCPU(x)
+	if err != nil {
+		return InvokeResponse{}, err
+	}
+	resp := InvokeResponse{
+		Predictions: preds,
+		GPU:         gpuRes.GPU,
+		Hit:         gpuRes.Hit,
+		LoadTime:    gpuRes.LoadTime,
+		InferTime:   gpuRes.InferTime,
+	}
+	if w.spec.GPUEnabled {
+		resp.TotalLatency = gpuRes.Latency()
+		resp.QueueWait = resp.TotalLatency - gpuRes.LoadTime - gpuRes.InferTime
+	}
+	resp.Body, err = json.Marshal(resp)
+	return resp, err
+}
+
+// predictCPU lazily builds the scaled network and runs the forward pass.
+func (w *Watchdog) predictCPU(x *tensor.Tensor) ([]int, error) {
+	w.netOnce.Do(func() {
+		w.net, w.netErr = nn.Build(w.spec.Model, seedFor(w.spec.Model))
+	})
+	if w.netErr != nil {
+		return nil, w.netErr
+	}
+	return w.net.Predict(x)
+}
+
+var (
+	evalPoolOnce sync.Once
+	evalPool     []dataset.Image
+	evalPoolErr  error
+)
+
+// sharedEvalPool lazily builds the paper's 150-image pool once per
+// process; invocations without an explicit input batch draw from it.
+func sharedEvalPool() ([]dataset.Image, error) {
+	evalPoolOnce.Do(func() {
+		evalPool, evalPoolErr = dataset.EvalPool(1)
+	})
+	return evalPool, evalPoolErr
+}
+
+func seedFor(model string) int64 {
+	var h int64 = 1469598103934665603
+	for _, b := range []byte(model) {
+		h ^= int64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// InferenceClient is the customized interface that replaces
+// torch.load()/model(input) in GPU-enabled functions (§III-A): it forwards
+// load+predict to the GPU Manager via the Scheduler and blocks until the
+// inference completes.
+type InferenceClient struct {
+	cluster *cluster.Cluster
+	clock   sim.Clock
+	timeout time.Duration
+
+	mu      sync.Mutex
+	nextID  int64
+	waiters map[int64]chan gpumgr.Result
+}
+
+// NewInferenceClient wires a client to a live-mode cluster. The caller
+// must register Route as the cluster's OnResult hook (WithResultHook /
+// Config.OnResult). timeout bounds each Predict.
+func NewInferenceClient(c *cluster.Cluster, clock sim.Clock, timeout time.Duration) *InferenceClient {
+	return &InferenceClient{
+		cluster: c,
+		clock:   clock,
+		timeout: timeout,
+		waiters: make(map[int64]chan gpumgr.Result),
+	}
+}
+
+// Route delivers completion results to waiting Predict calls; it is the
+// cluster's OnResult hook.
+func (ic *InferenceClient) Route(res gpumgr.Result) {
+	ic.mu.Lock()
+	ch, ok := ic.waiters[res.ReqID]
+	if ok {
+		delete(ic.waiters, res.ReqID)
+	}
+	ic.mu.Unlock()
+	if ok {
+		ch <- res
+	}
+}
+
+// Predict schedules one inference of the function's model and waits for
+// completion.
+func (ic *InferenceClient) Predict(spec FunctionSpec, batch int) (gpumgr.Result, error) {
+	ic.mu.Lock()
+	ic.nextID++
+	id := ic.nextID
+	ch := make(chan gpumgr.Result, 1)
+	ic.waiters[id] = ch
+	ic.mu.Unlock()
+
+	req := &core.Request{
+		ID:        id,
+		Function:  spec.Name,
+		Model:     spec.Model,
+		BatchSize: batch,
+		Arrival:   ic.clock.Now(),
+		Tenant:    spec.Tenant,
+	}
+	if err := ic.cluster.Submit(req); err != nil {
+		ic.mu.Lock()
+		delete(ic.waiters, id)
+		ic.mu.Unlock()
+		return gpumgr.Result{}, err
+	}
+	select {
+	case res := <-ch:
+		return res, nil
+	case <-time.After(ic.timeout):
+		ic.mu.Lock()
+		delete(ic.waiters, id)
+		ic.mu.Unlock()
+		return gpumgr.Result{}, fmt.Errorf("faas: inference %d timed out after %v", id, ic.timeout)
+	}
+}
+
+// DatastoreSink records GPU status transitions and completions into the
+// Datastore, as the GPU Managers do in §III-C ("reports the latency to the
+// Datastore... updates the status back to idle").
+type DatastoreSink struct {
+	Store *datastore.Store
+}
+
+// GPUStatus implements gpumgr.StatusSink.
+func (s DatastoreSink) GPUStatus(gpuID string, busy bool, at sim.Time) {
+	if s.Store == nil {
+		return
+	}
+	v := "idle"
+	if busy {
+		v = "busy"
+	}
+	s.Store.Put("gpu/"+gpuID+"/status", []byte(v), 0)
+}
+
+// Completion implements gpumgr.StatusSink.
+func (s DatastoreSink) Completion(res gpumgr.Result) {
+	if s.Store == nil {
+		return
+	}
+	rec, _ := json.Marshal(map[string]any{
+		"function":  res.Function,
+		"model":     res.Model,
+		"gpu":       res.GPU,
+		"hit":       res.Hit,
+		"latencyMs": res.Latency().Milliseconds(),
+		"loadMs":    res.LoadTime.Milliseconds(),
+		"inferMs":   res.InferTime.Milliseconds(),
+	})
+	s.Store.Put(fmt.Sprintf("latency/%s/%d", res.Function, res.ReqID), rec, 0)
+}

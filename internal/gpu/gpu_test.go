@@ -1,0 +1,339 @@
+package gpu
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"gpufaas/internal/sim"
+)
+
+const gib = int64(1) << 30
+
+func newDev(t *testing.T) *Device {
+	t.Helper()
+	d, err := New(Config{ID: "n0/gpu0", Node: "n0", Type: "rtx2080", Capacity: 8 * gib})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{ID: "", Capacity: 1}); err == nil {
+		t.Error("want error for empty ID")
+	}
+	if _, err := New(Config{ID: "x", Capacity: 0}); err == nil {
+		t.Error("want error for zero capacity")
+	}
+}
+
+func TestAdmitEvictMemoryAccounting(t *testing.T) {
+	d := newDev(t)
+	if err := d.Admit("resnet18", 2*gib, 0); err != nil {
+		t.Fatal(err)
+	}
+	if d.MemUsed() != 2*gib || d.MemFree() != 6*gib {
+		t.Errorf("mem = %d used / %d free", d.MemUsed(), d.MemFree())
+	}
+	if !d.Resident("resnet18") {
+		t.Error("model should be resident")
+	}
+	if sz, ok := d.ResidentSize("resnet18"); !ok || sz != 2*gib {
+		t.Errorf("ResidentSize = %d, %v", sz, ok)
+	}
+	if err := d.Admit("resnet18", gib, 0); !errors.Is(err, ErrResident) {
+		t.Errorf("double admit: %v", err)
+	}
+	if err := d.Evict("resnet18"); err != nil {
+		t.Fatal(err)
+	}
+	if d.MemUsed() != 0 {
+		t.Errorf("MemUsed after evict = %d", d.MemUsed())
+	}
+	if err := d.Evict("resnet18"); !errors.Is(err, ErrNotResident) {
+		t.Errorf("double evict: %v", err)
+	}
+}
+
+func TestAdmitOOMRejected(t *testing.T) {
+	d := newDev(t)
+	if err := d.Admit("big", 7*gib, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Admit("too-big", 2*gib, 0); !errors.Is(err, ErrOOM) {
+		t.Fatalf("want OOM, got %v", err)
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Admit("zero", 0, 0); err == nil {
+		t.Error("want error for zero size")
+	}
+}
+
+func TestExecuteMissLifecycle(t *testing.T) {
+	d := newDev(t)
+	now := sim.Time(0)
+	if err := d.Admit("vgg19", 4*gib, now); err != nil {
+		t.Fatal(err)
+	}
+	fin, err := d.Begin(1, "vgg19", 4*time.Second, time.Second, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin != sim.Time(5*time.Second) {
+		t.Errorf("finishAt = %v", fin)
+	}
+	if !d.Busy() || d.Phase() != Loading {
+		t.Errorf("phase = %v busy = %v", d.Phase(), d.Busy())
+	}
+	inf, ok := d.Inflight()
+	if !ok || inf.ReqID != 1 || inf.LoadUntil != sim.Time(4*time.Second) {
+		t.Errorf("inflight = %+v %v", inf, ok)
+	}
+	if err := d.LoadDone(sim.Time(4 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if d.Phase() != Inferring {
+		t.Errorf("phase after load = %v", d.Phase())
+	}
+	done, err := d.Complete(sim.Time(5 * time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.ReqID != 1 || d.Busy() || d.Phase() != Idle {
+		t.Errorf("completion state wrong: %+v", done)
+	}
+	if d.Completed() != 1 {
+		t.Errorf("Completed = %d", d.Completed())
+	}
+	u := d.Utilization(sim.Time(5 * time.Second))
+	if u.Loading != 4*time.Second || u.Inferring != time.Second || u.Idle != 0 {
+		t.Errorf("utilization = %+v", u)
+	}
+	if sm := u.SM(); sm < 0.19 || sm > 0.21 {
+		t.Errorf("SM = %g, want 0.2", sm)
+	}
+}
+
+func TestExecuteHitSkipsLoading(t *testing.T) {
+	d := newDev(t)
+	if err := d.Admit("resnet18", gib, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Begin(7, "resnet18", 0, time.Second, 0); err != nil {
+		t.Fatal(err)
+	}
+	if d.Phase() != Inferring {
+		t.Errorf("hit should start in Inferring, got %v", d.Phase())
+	}
+	if _, err := d.Complete(sim.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	u := d.Utilization(sim.Time(time.Second))
+	if u.SM() != 1 {
+		t.Errorf("SM = %g, want 1 for pure inference", u.SM())
+	}
+}
+
+func TestBeginErrors(t *testing.T) {
+	d := newDev(t)
+	if _, err := d.Begin(1, "ghost", 0, time.Second, 0); !errors.Is(err, ErrNotResident) {
+		t.Errorf("Begin non-resident: %v", err)
+	}
+	if err := d.Admit("m", gib, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Begin(1, "m", 0, 0, 0); err == nil {
+		t.Error("want error for zero inference time")
+	}
+	if _, err := d.Begin(1, "m", -time.Second, time.Second, 0); err == nil {
+		t.Error("want error for negative load time")
+	}
+	if _, err := d.Begin(1, "m", 0, time.Second, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Begin(2, "m", 0, time.Second, 0); !errors.Is(err, ErrBusy) {
+		t.Errorf("Begin while busy: %v", err)
+	}
+}
+
+func TestEvictInflightModelRefused(t *testing.T) {
+	d := newDev(t)
+	if err := d.Admit("live", gib, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Admit("victim", gib, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Begin(1, "live", 0, time.Second, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Evict("live"); !errors.Is(err, ErrInUse) {
+		t.Errorf("evicting in-flight model: %v", err)
+	}
+	if err := d.Evict("victim"); err != nil {
+		t.Errorf("evicting idle model while busy should work: %v", err)
+	}
+}
+
+func TestLoadDoneAndCompleteErrors(t *testing.T) {
+	d := newDev(t)
+	if err := d.LoadDone(0); !errors.Is(err, ErrIdle) {
+		t.Errorf("LoadDone idle: %v", err)
+	}
+	if _, err := d.Complete(0); !errors.Is(err, ErrIdle) {
+		t.Errorf("Complete idle: %v", err)
+	}
+	if err := d.Admit("m", gib, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Begin(1, "m", 0, time.Second, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.LoadDone(0); err == nil {
+		t.Error("LoadDone while inferring should fail")
+	}
+}
+
+func TestEstimatedFinish(t *testing.T) {
+	d := newDev(t)
+	if d.EstimatedFinish(0) != 0 {
+		t.Error("idle device should estimate 0")
+	}
+	if err := d.Admit("m", gib, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Begin(1, "m", 2*time.Second, time.Second, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.EstimatedFinish(sim.Time(time.Second)); got != 2*time.Second {
+		t.Errorf("EstimatedFinish = %v", got)
+	}
+	if got := d.EstimatedFinish(sim.Time(10 * time.Second)); got != 0 {
+		t.Errorf("past-deadline estimate = %v", got)
+	}
+}
+
+func TestUtilizationIdleOnly(t *testing.T) {
+	d := newDev(t)
+	u := d.Utilization(sim.Time(10 * time.Second))
+	if u.Idle != 10*time.Second || u.SM() != 0 || u.BusyFraction() != 0 {
+		t.Errorf("utilization = %+v", u)
+	}
+	if (Utilization{}).SM() != 0 {
+		t.Error("zero-total SM should be 0")
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	if Idle.String() != "idle" || Loading.String() != "loading" || Inferring.String() != "inferring" {
+		t.Error("phase names wrong")
+	}
+	if Phase(9).String() == "" {
+		t.Error("unknown phase should still stringify")
+	}
+}
+
+// Property: a random sequence of admit/evict/execute operations never
+// violates device invariants, and memory accounting always balances.
+func TestDeviceInvariantProperty(t *testing.T) {
+	modelsList := []string{"a", "b", "c", "d", "e", "f"}
+	f := func(ops []uint8, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d, err := New(Config{ID: "p", Capacity: 4 * gib})
+		if err != nil {
+			return false
+		}
+		now := sim.Time(0)
+		reqID := int64(0)
+		for _, op := range ops {
+			m := modelsList[int(op)%len(modelsList)]
+			switch op % 4 {
+			case 0:
+				_ = d.Admit(m, gib+int64(rng.Intn(int(gib))), now)
+			case 1:
+				_ = d.Evict(m)
+			case 2:
+				if d.Resident(m) && !d.Busy() {
+					reqID++
+					if _, err := d.Begin(reqID, m, time.Second, time.Second, now); err != nil {
+						return false
+					}
+				}
+			case 3:
+				if d.Busy() {
+					now += sim.Time(time.Second)
+					_ = d.LoadDone(now)
+					now += sim.Time(time.Second)
+					if _, err := d.Complete(now); err != nil {
+						return false
+					}
+				}
+			}
+			now += sim.Time(100 * time.Millisecond)
+			if err := d.CheckInvariants(); err != nil {
+				t.Logf("invariant violated: %v", err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: utilization phases always sum to total elapsed time.
+func TestUtilizationSumsProperty(t *testing.T) {
+	f := func(steps []uint8) bool {
+		d, err := New(Config{ID: "p", Capacity: 8 * gib})
+		if err != nil {
+			return false
+		}
+		_ = d.Admit("m", gib, 0)
+		now := sim.Time(0)
+		for _, s := range steps {
+			dt := sim.Time(time.Duration(s%50+1) * time.Millisecond)
+			switch s % 3 {
+			case 0:
+				if !d.Busy() {
+					_, _ = d.Begin(1, "m", time.Duration(dt), time.Duration(dt), now)
+				}
+			case 1:
+				if d.Phase() == Loading {
+					_ = d.LoadDone(now)
+				}
+			case 2:
+				if d.Busy() {
+					if d.Phase() == Loading {
+						_ = d.LoadDone(now)
+					}
+					_, _ = d.Complete(now)
+				}
+			}
+			now += dt
+		}
+		u := d.Utilization(now)
+		return u.Idle+u.Loading+u.Inferring == time.Duration(now) && u.Total == time.Duration(now)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResidentModelsSorted(t *testing.T) {
+	d := newDev(t)
+	for _, m := range []string{"zeta", "alpha", "mid"} {
+		if err := d.Admit(m, gib, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := d.ResidentModels()
+	if len(got) != 3 || got[0] != "alpha" || got[2] != "zeta" {
+		t.Errorf("ResidentModels = %v", got)
+	}
+}

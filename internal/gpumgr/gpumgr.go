@@ -1,0 +1,392 @@
+// Package gpumgr implements the paper's GPU Manager (§III-C): the per-node
+// component that owns the GPU processes, executes inference requests on
+// behalf of functions, and coordinates with the global Cache Manager.
+//
+// For each dispatched request the manager determines hit/miss with the
+// Cache Manager; on a miss it kills victim processes (evicting their
+// models), starts a fresh GPU process, and uploads the model (the Loading
+// phase); it then runs the inference and reports the completion with
+// measured latency. One request executes at a time per GPU, and the model
+// serving an in-flight request is pinned against eviction.
+//
+// The manager also implements the §VI multi-tenancy isolation hooks:
+// per-tenant limits on concurrent GPU processes and cumulative GPU time.
+package gpumgr
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"gpufaas/internal/cache"
+	"gpufaas/internal/core"
+	"gpufaas/internal/gpu"
+	"gpufaas/internal/models"
+	"gpufaas/internal/sim"
+)
+
+// Errors reported by the manager.
+var (
+	ErrUnknownDevice = errors.New("gpumgr: unknown device")
+	ErrUnknownModel  = errors.New("gpumgr: unknown model")
+	ErrNoProfile     = errors.New("gpumgr: no profile for model on GPU type")
+	ErrQuota         = errors.New("gpumgr: tenant quota exceeded")
+)
+
+// Process is one GPU process serving a loaded model ("each GPU process
+// uploads an inference model when initiating").
+type Process struct {
+	PID     int64
+	GPU     string
+	Model   string
+	Tenant  string
+	Started sim.Time
+}
+
+// Result records one completed request for the Datastore and the metric
+// collectors.
+type Result struct {
+	ReqID        int64
+	Function     string
+	Model        string
+	GPU          string
+	Tenant       string
+	Hit          bool
+	Arrival      sim.Time
+	DispatchedAt sim.Time
+	FinishedAt   sim.Time
+	LoadTime     time.Duration
+	InferTime    time.Duration
+}
+
+// Latency is the end-to-end function latency: completion minus arrival
+// (queueing + loading + inference), the quantity of Fig. 4a.
+func (r Result) Latency() time.Duration { return time.Duration(r.FinishedAt - r.Arrival) }
+
+// ServiceTime is load + inference, excluding queueing.
+func (r Result) ServiceTime() time.Duration { return r.LoadTime + r.InferTime }
+
+// Quota bounds one tenant's GPU consumption (§VI "Multi-tenancy and
+// Security"). Zero-valued fields mean unlimited.
+type Quota struct {
+	// MaxProcesses caps concurrently live GPU processes.
+	MaxProcesses int
+	// MaxGPUTime caps cumulative load+inference time consumed.
+	MaxGPUTime time.Duration
+	// MaxMemoryBytes caps summed occupancy of the tenant's resident
+	// models.
+	MaxMemoryBytes int64
+}
+
+type tenantUsage struct {
+	processes int
+	gpuTime   time.Duration
+	memory    int64
+}
+
+// StatusSink receives GPU status and completion reports; the live FaaS
+// layer wires this to the Datastore ("GPU Manager reports to the Datastore
+// that the GPU status is busy", §III-C). A nil sink disables reporting.
+type StatusSink interface {
+	GPUStatus(gpuID string, busy bool, at sim.Time)
+	Completion(res Result)
+}
+
+// Manager manages the GPUs of one node. Not safe for concurrent use; the
+// cluster serializes access (event loop in sim mode, mutex in live mode).
+type Manager struct {
+	node     string
+	clock    sim.Clock
+	devices  map[string]*gpu.Device
+	order    []string
+	cacheMgr *cache.Manager
+	zoo      *models.Zoo
+	profiles *models.ProfileStore
+	sink     StatusSink
+
+	nextPID   int64
+	processes map[string]map[string]*Process // gpuID -> model -> process
+
+	quotas map[string]Quota
+	usage  map[string]*tenantUsage
+
+	onComplete func(res Result)
+}
+
+// Config assembles a Manager.
+type Config struct {
+	Node     string
+	Clock    sim.Clock
+	Cache    *cache.Manager
+	Zoo      *models.Zoo
+	Profiles *models.ProfileStore
+	// Sink receives status reports; may be nil.
+	Sink StatusSink
+	// OnComplete is invoked after each request finishes (the cluster
+	// uses it to record metrics and re-run the scheduler). May be nil.
+	OnComplete func(res Result)
+}
+
+// New creates a Manager with no devices.
+func New(cfg Config) (*Manager, error) {
+	if cfg.Clock == nil {
+		return nil, errors.New("gpumgr: nil clock")
+	}
+	if cfg.Cache == nil {
+		return nil, errors.New("gpumgr: nil cache manager")
+	}
+	if cfg.Zoo == nil {
+		return nil, errors.New("gpumgr: nil model zoo")
+	}
+	if cfg.Profiles == nil {
+		return nil, errors.New("gpumgr: nil profile store")
+	}
+	return &Manager{
+		node:       cfg.Node,
+		clock:      cfg.Clock,
+		devices:    make(map[string]*gpu.Device),
+		cacheMgr:   cfg.Cache,
+		zoo:        cfg.Zoo,
+		profiles:   cfg.Profiles,
+		sink:       cfg.Sink,
+		processes:  make(map[string]map[string]*Process),
+		quotas:     make(map[string]Quota),
+		usage:      make(map[string]*tenantUsage),
+		onComplete: cfg.OnComplete,
+	}, nil
+}
+
+// Node returns the node name.
+func (m *Manager) Node() string { return m.node }
+
+// AddDevice registers a GPU with the manager and the Cache Manager.
+func (m *Manager) AddDevice(d *gpu.Device) error {
+	if _, dup := m.devices[d.ID()]; dup {
+		return fmt.Errorf("gpumgr: device %s already added", d.ID())
+	}
+	if err := m.cacheMgr.RegisterGPU(d.ID()); err != nil {
+		return err
+	}
+	m.devices[d.ID()] = d
+	m.order = append(m.order, d.ID())
+	m.processes[d.ID()] = make(map[string]*Process)
+	return nil
+}
+
+// Device returns the device by ID.
+func (m *Manager) Device(id string) (*gpu.Device, bool) {
+	d, ok := m.devices[id]
+	return d, ok
+}
+
+// DeviceIDs returns the managed GPU IDs in registration order.
+func (m *Manager) DeviceIDs() []string {
+	out := make([]string, len(m.order))
+	copy(out, m.order)
+	return out
+}
+
+// SetQuota installs (or replaces) a tenant's quota.
+func (m *Manager) SetQuota(tenant string, q Quota) { m.quotas[tenant] = q }
+
+// Processes returns the live processes on a GPU, sorted by model for
+// determinism.
+func (m *Manager) Processes(gpuID string) []Process {
+	byModel := m.processes[gpuID]
+	out := make([]Process, 0, len(byModel))
+	for _, p := range byModel {
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Model < out[j].Model })
+	return out
+}
+
+func (m *Manager) tenantUsageFor(tenant string) *tenantUsage {
+	u, ok := m.usage[tenant]
+	if !ok {
+		u = &tenantUsage{}
+		m.usage[tenant] = u
+	}
+	return u
+}
+
+// checkQuota verifies the tenant can start a request that will consume the
+// given GPU time and (on a miss) memory.
+func (m *Manager) checkQuota(tenant string, gpuTime time.Duration, newProcess bool, memBytes int64) error {
+	q, ok := m.quotas[tenant]
+	if !ok {
+		return nil
+	}
+	u := m.tenantUsageFor(tenant)
+	if newProcess && q.MaxProcesses > 0 && u.processes+1 > q.MaxProcesses {
+		return fmt.Errorf("%w: tenant %q at %d/%d processes", ErrQuota, tenant, u.processes, q.MaxProcesses)
+	}
+	if q.MaxGPUTime > 0 && u.gpuTime+gpuTime > q.MaxGPUTime {
+		return fmt.Errorf("%w: tenant %q GPU time %v + %v > %v", ErrQuota, tenant, u.gpuTime, gpuTime, q.MaxGPUTime)
+	}
+	if newProcess && q.MaxMemoryBytes > 0 && u.memory+memBytes > q.MaxMemoryBytes {
+		return fmt.Errorf("%w: tenant %q memory %d + %d > %d", ErrQuota, tenant, u.memory, memBytes, q.MaxMemoryBytes)
+	}
+	return nil
+}
+
+// Execute runs a scheduler dispatch on one of this node's GPUs. It
+// resolves hit/miss against the Cache Manager, performs evictions (killing
+// victim processes), starts the GPU process on a miss, begins execution on
+// the device, and schedules the load-done and completion callbacks on the
+// clock. The returned hit flag is the actual outcome (it can differ from
+// the scheduler's expectation if the model was evicted after the decision,
+// which the harness tolerates).
+func (m *Manager) Execute(req *core.Request, gpuID string, now sim.Time) (hit bool, err error) {
+	dev, ok := m.devices[gpuID]
+	if !ok {
+		return false, fmt.Errorf("%w: %s", ErrUnknownDevice, gpuID)
+	}
+	mdl, ok := m.zoo.Get(req.Model)
+	if !ok {
+		return false, fmt.Errorf("%w: %s", ErrUnknownModel, req.Model)
+	}
+	prof, ok := m.profiles.Get(dev.Type(), mdl.Name)
+	if !ok {
+		return false, fmt.Errorf("%w: %s on %s", ErrNoProfile, mdl.Name, dev.Type())
+	}
+
+	hit = m.cacheMgr.Cached(gpuID, mdl.Name)
+	inferTime := prof.InferTime(req.BatchSize)
+	loadTime := time.Duration(0)
+	if !hit {
+		loadTime = prof.LoadTime
+	}
+	newProcess := !hit
+	if err := m.checkQuota(req.Tenant, loadTime+inferTime, newProcess, mdl.OccupancyBytes()); err != nil {
+		return hit, err
+	}
+
+	if hit {
+		if err := m.cacheMgr.OnHit(gpuID, mdl.Name, now); err != nil {
+			return true, err
+		}
+	} else {
+		victims, err := m.cacheMgr.Victims(dev, mdl.OccupancyBytes())
+		if err != nil {
+			return false, err
+		}
+		for _, v := range victims {
+			if err := m.killProcess(gpuID, v, now); err != nil {
+				return false, err
+			}
+		}
+		if err := dev.Admit(mdl.Name, mdl.OccupancyBytes(), now); err != nil {
+			return false, err
+		}
+		if err := m.cacheMgr.OnMiss(gpuID, mdl.Name, now); err != nil {
+			return false, err
+		}
+		m.startProcess(gpuID, mdl.Name, req.Tenant, now)
+	}
+
+	finishAt, err := dev.Begin(req.ID, mdl.Name, loadTime, inferTime, now)
+	if err != nil {
+		return hit, err
+	}
+	m.cacheMgr.Pin(gpuID, mdl.Name)
+	if m.sink != nil {
+		m.sink.GPUStatus(gpuID, true, now)
+	}
+
+	res := Result{
+		ReqID:        req.ID,
+		Function:     req.Function,
+		Model:        mdl.Name,
+		GPU:          gpuID,
+		Tenant:       req.Tenant,
+		Hit:          hit,
+		Arrival:      req.Arrival,
+		DispatchedAt: now,
+		FinishedAt:   finishAt,
+		LoadTime:     loadTime,
+		InferTime:    inferTime,
+	}
+	if loadTime > 0 {
+		m.clock.AfterFunc(loadTime, "gpumgr.loadDone "+gpuID, func(at sim.Time) {
+			// Ignore error: in live mode a completion race can make
+			// this a no-op.
+			_ = dev.LoadDone(at)
+		})
+	}
+	m.clock.AfterFunc(time.Duration(finishAt-now), "gpumgr.complete "+gpuID, func(at sim.Time) {
+		m.complete(dev, res, at)
+	})
+	return hit, nil
+}
+
+func (m *Manager) complete(dev *gpu.Device, res Result, now sim.Time) {
+	if _, err := dev.Complete(now); err != nil {
+		// Completion of a request the device does not believe it is
+		// running indicates a harness bug; surface it loudly in tests
+		// by panicking in sim mode (deterministic), tolerating in live.
+		panic(fmt.Sprintf("gpumgr: complete on %s: %v", dev.ID(), err))
+	}
+	m.cacheMgr.Pin(dev.ID(), "")
+	u := m.tenantUsageFor(res.Tenant)
+	u.gpuTime += res.LoadTime + res.InferTime
+	res.FinishedAt = now
+	if m.sink != nil {
+		m.sink.GPUStatus(dev.ID(), false, now)
+		m.sink.Completion(res)
+	}
+	if m.onComplete != nil {
+		m.onComplete(res)
+	}
+}
+
+// startProcess records a new GPU process serving the model.
+func (m *Manager) startProcess(gpuID, model, tenant string, now sim.Time) {
+	m.nextPID++
+	m.processes[gpuID][model] = &Process{
+		PID: m.nextPID, GPU: gpuID, Model: model, Tenant: tenant, Started: now,
+	}
+	u := m.tenantUsageFor(tenant)
+	u.processes++
+	if mdl, ok := m.zoo.Get(model); ok {
+		u.memory += mdl.OccupancyBytes()
+	}
+}
+
+// killProcess kills the process serving a victim model and evicts the
+// model from the device and the cache index.
+func (m *Manager) killProcess(gpuID, model string, now sim.Time) error {
+	dev := m.devices[gpuID]
+	if err := dev.Evict(model); err != nil {
+		return err
+	}
+	if err := m.cacheMgr.OnEvict(gpuID, model, now); err != nil {
+		return err
+	}
+	if p, ok := m.processes[gpuID][model]; ok {
+		u := m.tenantUsageFor(p.Tenant)
+		u.processes--
+		if mdl, ok := m.zoo.Get(model); ok {
+			u.memory -= mdl.OccupancyBytes()
+		}
+		delete(m.processes[gpuID], model)
+	}
+	return nil
+}
+
+// TenantGPUTime returns the cumulative GPU time consumed by a tenant.
+func (m *Manager) TenantGPUTime(tenant string) time.Duration {
+	if u, ok := m.usage[tenant]; ok {
+		return u.gpuTime
+	}
+	return 0
+}
+
+// TenantProcesses returns the tenant's live process count.
+func (m *Manager) TenantProcesses(tenant string) int {
+	if u, ok := m.usage[tenant]; ok {
+		return u.processes
+	}
+	return 0
+}

@@ -1,0 +1,307 @@
+// Package models defines the ML model zoo used by the GPU-FaaS
+// reproduction. It embeds the paper's Table I — the 22 production CNN
+// models with their GPU-memory occupancy, model-upload (PCIe) time, and
+// inference latency at batch size 32 — and provides the profile store the
+// scheduler consults for finish-time estimation (§IV-A: "The latencies of
+// uploading the model and running the inference are collected by profiling
+// each unique model on the GPUs in the system").
+package models
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"gpufaas/internal/stats"
+)
+
+// MB is one mebibyte; model occupancy sizes are expressed in MB as in
+// Table I of the paper.
+const MB = int64(1) << 20
+
+// Model describes one inference model deployable as a FaaS function.
+type Model struct {
+	// Name is the unique model identifier (Table I, column 1).
+	Name string
+	// OccupancyMB is the peak GPU memory occupancy (MB) when the model
+	// runs inference with the evaluation batch size of 32. The Cache
+	// Manager uses this for replacement decisions because exceeding it
+	// would cause a GPU OOM (§V-A1).
+	OccupancyMB int64
+	// LoadTime is the time to upload the model's parameters over PCIe
+	// into GPU memory (Table I "Loading time").
+	LoadTime time.Duration
+	// InferTime is the inference latency for a batch of 32 inputs
+	// (Table I "Inference time").
+	InferTime time.Duration
+	// Params is the approximate parameter count, used by the live-mode
+	// nn substrate to construct a scaled architecture. Derived, not from
+	// the table.
+	Params int64
+}
+
+// OccupancyBytes returns the model's GPU memory footprint in bytes.
+func (m Model) OccupancyBytes() int64 { return m.OccupancyMB * MB }
+
+func ms(v float64) time.Duration { return time.Duration(v * float64(time.Second)) }
+
+// TableI is the paper's Table I verbatim: occupancy size in GPU memory
+// (MB), loading time (s) and inference latency (s) at batch size 32,
+// ordered by occupancy as in the paper.
+var TableI = []Model{
+	{Name: "squeezenet1.1", OccupancyMB: 1269, LoadTime: ms(2.41), InferTime: ms(1.28), Params: 1_235_496},
+	{Name: "resnet18", OccupancyMB: 1313, LoadTime: ms(2.52), InferTime: ms(1.25), Params: 11_689_512},
+	{Name: "resnet34", OccupancyMB: 1357, LoadTime: ms(2.60), InferTime: ms(1.25), Params: 21_797_672},
+	{Name: "squeezenet1.0", OccupancyMB: 1435, LoadTime: ms(2.32), InferTime: ms(1.33), Params: 1_248_424},
+	{Name: "alexnet", OccupancyMB: 1437, LoadTime: ms(2.81), InferTime: ms(1.25), Params: 61_100_840},
+	{Name: "resnext50.32x4d", OccupancyMB: 1555, LoadTime: ms(2.64), InferTime: ms(1.29), Params: 25_028_904},
+	{Name: "densenet121", OccupancyMB: 1601, LoadTime: ms(2.49), InferTime: ms(1.28), Params: 7_978_856},
+	{Name: "densenet169", OccupancyMB: 1631, LoadTime: ms(2.56), InferTime: ms(1.30), Params: 14_149_480},
+	{Name: "densenet201", OccupancyMB: 1665, LoadTime: ms(2.67), InferTime: ms(1.40), Params: 20_013_928},
+	{Name: "resnet50", OccupancyMB: 1701, LoadTime: ms(2.67), InferTime: ms(1.28), Params: 25_557_032},
+	{Name: "resnet101", OccupancyMB: 1757, LoadTime: ms(2.95), InferTime: ms(1.30), Params: 44_549_160},
+	{Name: "resnet152", OccupancyMB: 1827, LoadTime: ms(3.10), InferTime: ms(1.31), Params: 60_192_808},
+	{Name: "densenet161", OccupancyMB: 1919, LoadTime: ms(2.75), InferTime: ms(1.32), Params: 28_681_000},
+	{Name: "inception.v3", OccupancyMB: 2157, LoadTime: ms(4.42), InferTime: ms(1.63), Params: 27_161_264},
+	{Name: "resnext101.32x8d", OccupancyMB: 2191, LoadTime: ms(3.51), InferTime: ms(1.33), Params: 88_791_336},
+	{Name: "vgg11", OccupancyMB: 2903, LoadTime: ms(3.94), InferTime: ms(1.29), Params: 132_863_336},
+	{Name: "wideresnet502", OccupancyMB: 3611, LoadTime: ms(3.16), InferTime: ms(1.31), Params: 68_883_240},
+	{Name: "wideresnet1012", OccupancyMB: 3831, LoadTime: ms(3.91), InferTime: ms(1.32), Params: 126_886_696},
+	{Name: "vgg13", OccupancyMB: 3887, LoadTime: ms(3.98), InferTime: ms(1.30), Params: 133_047_848},
+	{Name: "vgg16", OccupancyMB: 3907, LoadTime: ms(4.04), InferTime: ms(1.27), Params: 138_357_544},
+	{Name: "vgg16.bn", OccupancyMB: 3907, LoadTime: ms(4.03), InferTime: ms(1.26), Params: 138_365_992},
+	{Name: "vgg19", OccupancyMB: 3947, LoadTime: ms(4.07), InferTime: ms(1.33), Params: 143_667_240},
+}
+
+// EvalBatchSize is the fixed batch size used throughout the paper's
+// evaluation (§V-A1).
+const EvalBatchSize = 32
+
+// Zoo is an immutable-by-convention registry of models keyed by name.
+type Zoo struct {
+	byName map[string]Model
+	names  []string // insertion order
+}
+
+// NewZoo builds a registry from the given models. Duplicate names are an
+// error.
+func NewZoo(models []Model) (*Zoo, error) {
+	z := &Zoo{byName: make(map[string]Model, len(models))}
+	for _, m := range models {
+		if m.Name == "" {
+			return nil, fmt.Errorf("models: model with empty name")
+		}
+		if _, dup := z.byName[m.Name]; dup {
+			return nil, fmt.Errorf("models: duplicate model %q", m.Name)
+		}
+		if m.OccupancyMB <= 0 || m.LoadTime <= 0 || m.InferTime <= 0 {
+			return nil, fmt.Errorf("models: model %q has non-positive profile fields", m.Name)
+		}
+		z.byName[m.Name] = m
+		z.names = append(z.names, m.Name)
+	}
+	return z, nil
+}
+
+// Default returns the Table I zoo. It panics only on programmer error
+// (the embedded table is validated by tests).
+func Default() *Zoo {
+	z, err := NewZoo(TableI)
+	if err != nil {
+		panic(err)
+	}
+	return z
+}
+
+// Get looks a model up by name.
+func (z *Zoo) Get(name string) (Model, bool) {
+	m, ok := z.byName[name]
+	return m, ok
+}
+
+// MustGet looks a model up and panics if absent; for tests and embedded
+// tables only.
+func (z *Zoo) MustGet(name string) Model {
+	m, ok := z.Get(name)
+	if !ok {
+		panic(fmt.Sprintf("models: unknown model %q", name))
+	}
+	return m
+}
+
+// Names returns the model names in registry order.
+func (z *Zoo) Names() []string {
+	out := make([]string, len(z.names))
+	copy(out, z.names)
+	return out
+}
+
+// Len returns the number of registered models.
+func (z *Zoo) Len() int { return len(z.names) }
+
+// All returns the models in registry order.
+func (z *Zoo) All() []Model {
+	out := make([]Model, 0, len(z.names))
+	for _, n := range z.names {
+		out = append(out, z.byName[n])
+	}
+	return out
+}
+
+// BySize returns the models sorted by ascending GPU occupancy, the order
+// Table I uses.
+func (z *Zoo) BySize() []Model {
+	out := z.All()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].OccupancyMB != out[j].OccupancyMB {
+			return out[i].OccupancyMB < out[j].OccupancyMB
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Profile is the per-(GPU-type, model) timing record the Scheduler uses.
+// Inference time scales with batch size via a fitted line (§IV-A: "the
+// inference time depends on the model and the batch size which can be
+// profiled using simple regression methods"); load time depends only on
+// model size.
+type Profile struct {
+	Model    string
+	GPUType  string
+	LoadTime time.Duration
+	// InferFit maps batch size (x) to inference seconds (y).
+	InferFit stats.Linear
+}
+
+// InferTime predicts the inference latency for a batch of n inputs.
+func (p Profile) InferTime(n int) time.Duration {
+	if n <= 0 {
+		n = 1
+	}
+	sec := p.InferFit.Predict(float64(n))
+	if sec < 0 {
+		sec = 0
+	}
+	return time.Duration(sec * float64(time.Second))
+}
+
+// ProfileStore holds profiles keyed by (GPU type, model). The paper
+// supports heterogeneous GPUs by running the same profiling procedure per
+// GPU type (§VI "Heterogeneity of GPUs").
+type ProfileStore struct {
+	m map[string]map[string]Profile // gpuType -> model -> profile
+}
+
+// NewProfileStore returns an empty store.
+func NewProfileStore() *ProfileStore {
+	return &ProfileStore{m: make(map[string]map[string]Profile)}
+}
+
+// Put inserts or replaces a profile.
+func (s *ProfileStore) Put(p Profile) {
+	byModel, ok := s.m[p.GPUType]
+	if !ok {
+		byModel = make(map[string]Profile)
+		s.m[p.GPUType] = byModel
+	}
+	byModel[p.Model] = p
+}
+
+// Get fetches the profile for (gpuType, model).
+func (s *ProfileStore) Get(gpuType, model string) (Profile, bool) {
+	byModel, ok := s.m[gpuType]
+	if !ok {
+		return Profile{}, false
+	}
+	p, ok := byModel[model]
+	return p, ok
+}
+
+// GPUTypes returns the GPU types with at least one profile, sorted.
+func (s *ProfileStore) GPUTypes() []string {
+	out := make([]string, 0, len(s.m))
+	for t := range s.m {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Runner executes a model on a device and reports measured latencies; the
+// simulated GPU and (in principle) a real backend both satisfy it. It is
+// what the profiling procedure drives.
+type Runner interface {
+	// GPUType identifies the device class being profiled.
+	GPUType() string
+	// MeasureLoad uploads the model and returns the observed load time.
+	MeasureLoad(m Model) time.Duration
+	// MeasureInfer runs one inference at the given batch size and
+	// returns the observed latency. The model must be loaded.
+	MeasureInfer(m Model, batch int) time.Duration
+}
+
+// DefaultProfileBatches are the batch sizes swept during profiling.
+var DefaultProfileBatches = []int{1, 2, 4, 8, 16, 32, 64}
+
+// ProfileModel runs the paper's profiling procedure for one model on one
+// device: measure the upload once, then sweep batch sizes and fit a line.
+func ProfileModel(r Runner, m Model, batches []int) (Profile, error) {
+	if len(batches) < 2 {
+		return Profile{}, fmt.Errorf("models: need >=2 batch sizes to fit, got %d", len(batches))
+	}
+	load := r.MeasureLoad(m)
+	xs := make([]float64, 0, len(batches))
+	ys := make([]float64, 0, len(batches))
+	for _, b := range batches {
+		if b <= 0 {
+			return Profile{}, fmt.Errorf("models: non-positive batch size %d", b)
+		}
+		lat := r.MeasureInfer(m, b)
+		xs = append(xs, float64(b))
+		ys = append(ys, lat.Seconds())
+	}
+	fit, err := stats.FitLinear(xs, ys)
+	if err != nil {
+		return Profile{}, fmt.Errorf("models: fitting %s on %s: %w", m.Name, r.GPUType(), err)
+	}
+	return Profile{Model: m.Name, GPUType: r.GPUType(), LoadTime: load, InferFit: fit}, nil
+}
+
+// ProfileZoo profiles every model in the zoo on the device and stores the
+// results.
+func ProfileZoo(r Runner, z *Zoo, batches []int, into *ProfileStore) error {
+	for _, m := range z.All() {
+		p, err := ProfileModel(r, m, batches)
+		if err != nil {
+			return err
+		}
+		into.Put(p)
+	}
+	return nil
+}
+
+// TableProfiles builds a ProfileStore directly from Table I for the given
+// GPU type, modelling inference time as the paper does: a fixed per-batch
+// launch cost plus a per-sample cost calibrated so that batch 32 matches
+// the table. This is the store all simulated experiments use.
+func TableProfiles(gpuType string, z *Zoo) *ProfileStore {
+	s := NewProfileStore()
+	for _, m := range z.All() {
+		total := m.InferTime.Seconds()
+		// Calibration: ~70% of the batch-32 latency is fixed kernel
+		// launch/overhead, 30% scales with batch size. The split only
+		// matters for non-32 batch sizes, which the paper's evaluation
+		// does not exercise; at batch 32 the fit reproduces Table I
+		// exactly.
+		alpha := total * 0.7
+		beta := total * 0.3 / float64(EvalBatchSize)
+		s.Put(Profile{
+			Model:    m.Name,
+			GPUType:  gpuType,
+			LoadTime: m.LoadTime,
+			InferFit: stats.Linear{Alpha: alpha, Beta: beta, R2: 1, N: 2},
+		})
+	}
+	return s
+}

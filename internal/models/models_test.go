@@ -1,0 +1,212 @@
+package models
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTableIIntegrity(t *testing.T) {
+	if len(TableI) != 22 {
+		t.Fatalf("Table I has %d models, want 22", len(TableI))
+	}
+	seen := map[string]bool{}
+	for _, m := range TableI {
+		if seen[m.Name] {
+			t.Errorf("duplicate model %q", m.Name)
+		}
+		seen[m.Name] = true
+		if m.OccupancyMB < 1000 || m.OccupancyMB > 4000 {
+			t.Errorf("%s occupancy %d MB outside Table I range", m.Name, m.OccupancyMB)
+		}
+		if m.LoadTime < 2*time.Second || m.LoadTime > 5*time.Second {
+			t.Errorf("%s load time %v outside Table I range", m.Name, m.LoadTime)
+		}
+		if m.InferTime < time.Second || m.InferTime > 2*time.Second {
+			t.Errorf("%s inference time %v outside Table I range", m.Name, m.InferTime)
+		}
+	}
+	// Spot-check exact values from the paper.
+	z := Default()
+	sq := z.MustGet("squeezenet1.1")
+	if sq.OccupancyMB != 1269 || sq.LoadTime != 2410*time.Millisecond || sq.InferTime != 1280*time.Millisecond {
+		t.Errorf("squeezenet1.1 = %+v", sq)
+	}
+	vg := z.MustGet("vgg19")
+	if vg.OccupancyMB != 3947 || vg.LoadTime != 4070*time.Millisecond || vg.InferTime != 1330*time.Millisecond {
+		t.Errorf("vgg19 = %+v", vg)
+	}
+}
+
+func TestTableIOrderedByOccupancy(t *testing.T) {
+	for i := 1; i < len(TableI); i++ {
+		if TableI[i].OccupancyMB < TableI[i-1].OccupancyMB {
+			t.Errorf("Table I not size-ordered at %s", TableI[i].Name)
+		}
+	}
+}
+
+func TestZooErrors(t *testing.T) {
+	if _, err := NewZoo([]Model{{Name: ""}}); err == nil {
+		t.Error("want error for empty name")
+	}
+	m := TableI[0]
+	if _, err := NewZoo([]Model{m, m}); err == nil {
+		t.Error("want error for duplicate")
+	}
+	bad := m
+	bad.LoadTime = 0
+	if _, err := NewZoo([]Model{bad}); err == nil {
+		t.Error("want error for zero load time")
+	}
+}
+
+func TestZooAccessors(t *testing.T) {
+	z := Default()
+	if z.Len() != 22 {
+		t.Fatalf("Len = %d", z.Len())
+	}
+	if _, ok := z.Get("nope"); ok {
+		t.Error("Get of unknown model succeeded")
+	}
+	names := z.Names()
+	if names[0] != "squeezenet1.1" || names[len(names)-1] != "vgg19" {
+		t.Errorf("Names order wrong: first=%s last=%s", names[0], names[len(names)-1])
+	}
+	all := z.All()
+	if len(all) != 22 || all[4].Name != "alexnet" {
+		t.Errorf("All order wrong")
+	}
+	bySize := z.BySize()
+	for i := 1; i < len(bySize); i++ {
+		if bySize[i].OccupancyMB < bySize[i-1].OccupancyMB {
+			t.Fatal("BySize not sorted")
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustGet of unknown model should panic")
+		}
+	}()
+	z.MustGet("nope")
+}
+
+func TestOccupancyBytes(t *testing.T) {
+	m := Model{OccupancyMB: 3}
+	if m.OccupancyBytes() != 3<<20 {
+		t.Errorf("OccupancyBytes = %d", m.OccupancyBytes())
+	}
+}
+
+// fakeRunner implements Runner with a known linear latency law.
+type fakeRunner struct{ alpha, beta float64 }
+
+func (f fakeRunner) GPUType() string                   { return "fake" }
+func (f fakeRunner) MeasureLoad(m Model) time.Duration { return m.LoadTime }
+func (f fakeRunner) MeasureInfer(m Model, batch int) time.Duration {
+	return time.Duration((f.alpha + f.beta*float64(batch)) * float64(time.Second))
+}
+
+func TestProfileModelRecoversLaw(t *testing.T) {
+	r := fakeRunner{alpha: 0.9, beta: 0.0125}
+	p, err := ProfileModel(r, TableI[0], DefaultProfileBatches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.LoadTime != TableI[0].LoadTime {
+		t.Errorf("LoadTime = %v", p.LoadTime)
+	}
+	if math.Abs(p.InferFit.Alpha-0.9) > 1e-9 || math.Abs(p.InferFit.Beta-0.0125) > 1e-9 {
+		t.Errorf("fit = %+v", p.InferFit)
+	}
+	want := time.Duration((0.9 + 0.0125*64) * float64(time.Second))
+	if got := p.InferTime(64); got != want {
+		t.Errorf("InferTime(64) = %v, want %v", got, want)
+	}
+}
+
+func TestProfileModelErrors(t *testing.T) {
+	r := fakeRunner{alpha: 1, beta: 0.01}
+	if _, err := ProfileModel(r, TableI[0], []int{32}); err == nil {
+		t.Error("want error for single batch size")
+	}
+	if _, err := ProfileModel(r, TableI[0], []int{1, -2}); err == nil {
+		t.Error("want error for negative batch size")
+	}
+}
+
+func TestProfileZooAndStore(t *testing.T) {
+	store := NewProfileStore()
+	z := Default()
+	if err := ProfileZoo(fakeRunner{alpha: 1, beta: 0.01}, z, DefaultProfileBatches, store); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range z.Names() {
+		if _, ok := store.Get("fake", name); !ok {
+			t.Errorf("missing profile for %s", name)
+		}
+	}
+	if _, ok := store.Get("other", "resnet18"); ok {
+		t.Error("profile for unknown GPU type should be absent")
+	}
+	if got := store.GPUTypes(); len(got) != 1 || got[0] != "fake" {
+		t.Errorf("GPUTypes = %v", got)
+	}
+}
+
+func TestTableProfilesMatchesTableAtBatch32(t *testing.T) {
+	z := Default()
+	s := TableProfiles("rtx2080", z)
+	for _, m := range z.All() {
+		p, ok := s.Get("rtx2080", m.Name)
+		if !ok {
+			t.Fatalf("missing profile for %s", m.Name)
+		}
+		if p.LoadTime != m.LoadTime {
+			t.Errorf("%s load = %v, want %v", m.Name, p.LoadTime, m.LoadTime)
+		}
+		got := p.InferTime(EvalBatchSize)
+		if d := got - m.InferTime; d > time.Millisecond || d < -time.Millisecond {
+			t.Errorf("%s infer(32) = %v, want %v", m.Name, got, m.InferTime)
+		}
+	}
+}
+
+func TestProfileInferTimeClamps(t *testing.T) {
+	p := Profile{InferFit: statsLinear(-1, 0.001)}
+	if p.InferTime(1) != 0 {
+		t.Error("negative prediction should clamp to 0")
+	}
+	p2 := Profile{InferFit: statsLinear(0.5, 0.01)}
+	if p2.InferTime(0) != p2.InferTime(1) {
+		t.Error("batch<=0 should be treated as 1")
+	}
+}
+
+// Property: predicted inference time is monotone in batch size for
+// non-negative slope fits.
+func TestProfileMonotoneProperty(t *testing.T) {
+	f := func(a, b uint16, n1, n2 uint8) bool {
+		p := Profile{InferFit: statsLinear(float64(a)/1000, float64(b)/100000)}
+		x, y := int(n1)+1, int(n2)+1
+		if x > y {
+			x, y = y, x
+		}
+		return p.InferTime(x) <= p.InferTime(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// statsLinear builds a stats.Linear without importing the package name in
+// every call site.
+func statsLinear(alpha, beta float64) (l struct {
+	Alpha, Beta float64
+	R2          float64
+	N           int
+}) {
+	l.Alpha, l.Beta = alpha, beta
+	return
+}

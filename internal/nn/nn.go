@@ -1,0 +1,443 @@
+// Package nn builds runnable CNN forward passes for the model zoo's
+// architectures. Live-mode FaaS functions execute these networks on real
+// image tensors, so the gateway path is exercised end to end with actual
+// computation; the simulated experiments use the Table I timing profiles
+// instead (the scheduling results depend only on those).
+//
+// The architectures are faithful-in-structure, scaled-down-in-width
+// variants of their namesakes (residual blocks for the ResNet family,
+// dense concatenation blocks for DenseNets, fire-style squeeze/expand for
+// SqueezeNets, plain deep stacks for VGG/AlexNet, parallel branches for
+// Inception). Weights are deterministic pseudo-random: the goal is
+// realistic compute and dataflow, not trained accuracy.
+package nn
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"gpufaas/internal/tensor"
+)
+
+// NumClasses is the output width (CIFAR-10-style tasks).
+const NumClasses = 10
+
+// InputSize is the expected spatial input (32x32 RGB).
+const InputSize = 32
+
+// Layer is one step of a forward pass.
+type Layer interface {
+	// Forward consumes the previous activation and returns the next.
+	Forward(x *tensor.Tensor) (*tensor.Tensor, error)
+	// Params returns the number of learnable parameters.
+	Params() int64
+	// Name identifies the layer for inspection.
+	Name() string
+}
+
+// Network is an executable sequence of layers.
+type Network struct {
+	Arch   string
+	Layers []Layer
+}
+
+// Forward runs the network on a [N,3,32,32] input, returning logits
+// [N, NumClasses].
+func (n *Network) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	if x.Dims() != 4 || x.Shape[1] != 3 || x.Shape[2] != InputSize || x.Shape[3] != InputSize {
+		return nil, fmt.Errorf("nn: input must be [N,3,%d,%d], got %v", InputSize, InputSize, x.Shape)
+	}
+	var err error
+	for _, l := range n.Layers {
+		if x, err = l.Forward(x); err != nil {
+			return nil, fmt.Errorf("nn: %s/%s: %w", n.Arch, l.Name(), err)
+		}
+	}
+	return x, nil
+}
+
+// Predict runs Forward then softmax+argmax, returning the class per input.
+func (n *Network) Predict(x *tensor.Tensor) ([]int, error) {
+	logits, err := n.Forward(x)
+	if err != nil {
+		return nil, err
+	}
+	probs, err := tensor.Softmax(logits)
+	if err != nil {
+		return nil, err
+	}
+	return tensor.Argmax(probs)
+}
+
+// Params returns the total learnable parameter count.
+func (n *Network) Params() int64 {
+	var total int64
+	for _, l := range n.Layers {
+		total += l.Params()
+	}
+	return total
+}
+
+// ---- concrete layers ----
+
+type convLayer struct {
+	name       string
+	w, b       *tensor.Tensor
+	stride     int
+	pad        int
+	relu       bool
+	paramCount int64
+}
+
+func newConv(name string, rng *rand.Rand, cin, cout, k, stride, pad int, relu bool) *convLayer {
+	w := tensor.MustNew(cout, cin, k, k)
+	w.FillRandom(rng, 0.35/float64(k)) // keep activations bounded through depth
+	b := tensor.MustNew(cout)
+	return &convLayer{
+		name: name, w: w, b: b, stride: stride, pad: pad, relu: relu,
+		paramCount: int64(cout*cin*k*k + cout),
+	}
+}
+
+func (l *convLayer) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	y, err := tensor.Conv2D(x, l.w, l.b, l.stride, l.pad)
+	if err != nil {
+		return nil, err
+	}
+	if l.relu {
+		tensor.ReLU(y)
+	}
+	return y, nil
+}
+func (l *convLayer) Params() int64 { return l.paramCount }
+func (l *convLayer) Name() string  { return l.name }
+
+type poolLayer struct {
+	name      string
+	k, stride int
+}
+
+func (l *poolLayer) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	return tensor.MaxPool2D(x, l.k, l.stride)
+}
+func (l *poolLayer) Params() int64 { return 0 }
+func (l *poolLayer) Name() string  { return l.name }
+
+type gapLayer struct{}
+
+func (gapLayer) Forward(x *tensor.Tensor) (*tensor.Tensor, error) { return tensor.GlobalAvgPool(x) }
+func (gapLayer) Params() int64                                    { return 0 }
+func (gapLayer) Name() string                                     { return "gap" }
+
+type denseLayer struct {
+	name       string
+	w, b       *tensor.Tensor
+	relu       bool
+	paramCount int64
+}
+
+func newDense(name string, rng *rand.Rand, in, out int, relu bool) *denseLayer {
+	w := tensor.MustNew(out, in)
+	w.FillRandom(rng, 0.2)
+	b := tensor.MustNew(out)
+	return &denseLayer{name: name, w: w, b: b, relu: relu, paramCount: int64(out*in + out)}
+}
+
+func (l *denseLayer) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	if x.Dims() != 2 {
+		var err error
+		if x, err = tensor.Flatten(x); err != nil {
+			return nil, err
+		}
+	}
+	y, err := tensor.Dense(x, l.w, l.b)
+	if err != nil {
+		return nil, err
+	}
+	if l.relu {
+		tensor.ReLU(y)
+	}
+	return y, nil
+}
+func (l *denseLayer) Params() int64 { return l.paramCount }
+func (l *denseLayer) Name() string  { return l.name }
+
+// residualBlock is conv-conv plus identity skip (ResNet family).
+type residualBlock struct {
+	name   string
+	c1, c2 *convLayer
+}
+
+func newResidual(name string, rng *rand.Rand, channels int) *residualBlock {
+	return &residualBlock{
+		name: name,
+		c1:   newConv(name+".c1", rng, channels, channels, 3, 1, 1, true),
+		c2:   newConv(name+".c2", rng, channels, channels, 3, 1, 1, false),
+	}
+}
+
+func (l *residualBlock) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	y, err := l.c1.Forward(x)
+	if err != nil {
+		return nil, err
+	}
+	if y, err = l.c2.Forward(y); err != nil {
+		return nil, err
+	}
+	sum, err := tensor.Add(y, x)
+	if err != nil {
+		return nil, err
+	}
+	return tensor.ReLU(sum), nil
+}
+func (l *residualBlock) Params() int64 { return l.c1.Params() + l.c2.Params() }
+func (l *residualBlock) Name() string  { return l.name }
+
+// denseBlock concatenates each conv's output onto its input (DenseNet).
+type denseBlock struct {
+	name  string
+	convs []*convLayer
+}
+
+func newDenseBlock(name string, rng *rand.Rand, cin, growth, n int) *denseBlock {
+	b := &denseBlock{name: name}
+	c := cin
+	for i := 0; i < n; i++ {
+		b.convs = append(b.convs, newConv(fmt.Sprintf("%s.c%d", name, i), rng, c, growth, 3, 1, 1, true))
+		c += growth
+	}
+	return b
+}
+
+func (l *denseBlock) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	cur := x
+	for _, c := range l.convs {
+		y, err := c.Forward(cur)
+		if err != nil {
+			return nil, err
+		}
+		if cur, err = tensor.ConcatChannels(cur, y); err != nil {
+			return nil, err
+		}
+	}
+	return cur, nil
+}
+func (l *denseBlock) Params() int64 {
+	var t int64
+	for _, c := range l.convs {
+		t += c.Params()
+	}
+	return t
+}
+func (l *denseBlock) Name() string { return l.name }
+
+// fireBlock is SqueezeNet's squeeze (1x1) then expand (1x1 || 3x3).
+type fireBlock struct {
+	name            string
+	squeeze, e1, e3 *convLayer
+}
+
+func newFire(name string, rng *rand.Rand, cin, squeeze, expand int) *fireBlock {
+	return &fireBlock{
+		name:    name,
+		squeeze: newConv(name+".squeeze", rng, cin, squeeze, 1, 1, 0, true),
+		e1:      newConv(name+".expand1", rng, squeeze, expand, 1, 1, 0, true),
+		e3:      newConv(name+".expand3", rng, squeeze, expand, 3, 1, 1, true),
+	}
+}
+
+func (l *fireBlock) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	s, err := l.squeeze.Forward(x)
+	if err != nil {
+		return nil, err
+	}
+	a, err := l.e1.Forward(s)
+	if err != nil {
+		return nil, err
+	}
+	b, err := l.e3.Forward(s)
+	if err != nil {
+		return nil, err
+	}
+	return tensor.ConcatChannels(a, b)
+}
+func (l *fireBlock) Params() int64 { return l.squeeze.Params() + l.e1.Params() + l.e3.Params() }
+func (l *fireBlock) Name() string  { return l.name }
+
+// inceptionBlock runs parallel 1x1 and 3x3 branches and concatenates.
+type inceptionBlock struct {
+	name   string
+	b1, b3 *convLayer
+}
+
+func newInception(name string, rng *rand.Rand, cin, per int) *inceptionBlock {
+	return &inceptionBlock{
+		name: name,
+		b1:   newConv(name+".b1", rng, cin, per, 1, 1, 0, true),
+		b3:   newConv(name+".b3", rng, cin, per, 3, 1, 1, true),
+	}
+}
+
+func (l *inceptionBlock) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	a, err := l.b1.Forward(x)
+	if err != nil {
+		return nil, err
+	}
+	b, err := l.b3.Forward(x)
+	if err != nil {
+		return nil, err
+	}
+	return tensor.ConcatChannels(a, b)
+}
+func (l *inceptionBlock) Params() int64 { return l.b1.Params() + l.b3.Params() }
+func (l *inceptionBlock) Name() string  { return l.name }
+
+// ---- architecture builder ----
+
+// BaseArch strips a per-function instance suffix ("resnet18@f07" ->
+// "resnet18").
+func BaseArch(model string) string {
+	if i := strings.IndexByte(model, '@'); i >= 0 {
+		return model[:i]
+	}
+	return model
+}
+
+// ErrUnknownArch is returned for model names outside the zoo's families.
+var ErrUnknownArch = errors.New("nn: unknown architecture")
+
+// Build constructs the network for a zoo model name (instance suffixes
+// allowed). The seed makes weights deterministic per instance.
+func Build(model string, seed int64) (*Network, error) {
+	arch := BaseArch(model)
+	rng := rand.New(rand.NewSource(seed))
+	net := &Network{Arch: arch}
+	add := func(ls ...Layer) {
+		net.Layers = append(net.Layers, ls...)
+	}
+
+	switch {
+	case strings.HasPrefix(arch, "squeezenet"):
+		add(newConv("stem", rng, 3, 16, 3, 2, 1, true)) // 16x16
+		add(newFire("fire1", rng, 16, 4, 8))            // 16ch
+		add(&poolLayer{"pool1", 2, 2})                  // 8x8
+		add(newFire("fire2", rng, 16, 8, 16))           // 32ch
+		add(gapLayer{})
+		add(newDense("fc", rng, 32, NumClasses, false))
+
+	case arch == "alexnet":
+		add(newConv("c1", rng, 3, 24, 5, 2, 2, true)) // 16x16
+		add(&poolLayer{"p1", 2, 2})                   // 8x8
+		add(newConv("c2", rng, 24, 48, 3, 1, 1, true))
+		add(newConv("c3", rng, 48, 48, 3, 1, 1, true))
+		add(&poolLayer{"p2", 2, 2}) // 4x4
+		add(newDense("fc1", rng, 48*4*4, 128, true))
+		add(newDense("fc2", rng, 128, NumClasses, false))
+
+	case strings.HasPrefix(arch, "vgg"):
+		depth := vggDepth(arch)
+		add(newConv("stem", rng, 3, 16, 3, 1, 1, true))
+		add(&poolLayer{"p0", 2, 2}) // 16x16
+		c := 16
+		for i := 0; i < depth; i++ {
+			add(newConv(fmt.Sprintf("c%d", i+1), rng, c, 32, 3, 1, 1, true))
+			c = 32
+			if i == depth/2 {
+				add(&poolLayer{fmt.Sprintf("p%d", i+1), 2, 2}) // 8x8
+			}
+		}
+		add(&poolLayer{"pend", 2, 2}) // 4x4
+		add(newDense("fc1", rng, 32*4*4, 128, true))
+		add(newDense("fc2", rng, 128, NumClasses, false))
+
+	case strings.HasPrefix(arch, "resnet"), strings.HasPrefix(arch, "resnext"),
+		strings.HasPrefix(arch, "wideresnet"):
+		blocks, width := resnetShape(arch)
+		add(newConv("stem", rng, 3, width, 3, 1, 1, true))
+		add(&poolLayer{"p0", 2, 2}) // 16x16
+		for i := 0; i < blocks; i++ {
+			add(newResidual(fmt.Sprintf("res%d", i+1), rng, width))
+			if i == blocks/2 {
+				add(&poolLayer{fmt.Sprintf("p%d", i+1), 2, 2}) // 8x8
+			}
+		}
+		add(gapLayer{})
+		add(newDense("fc", rng, width, NumClasses, false))
+
+	case strings.HasPrefix(arch, "densenet"):
+		n := densenetShape(arch)
+		add(newConv("stem", rng, 3, 16, 3, 2, 1, true)) // 16x16
+		add(newDenseBlock("dense1", rng, 16, 8, n))
+		add(&poolLayer{"p1", 2, 2}) // 8x8
+		c := 16 + 8*n
+		add(newDenseBlock("dense2", rng, c, 8, 2))
+		add(gapLayer{})
+		add(newDense("fc", rng, c+16, NumClasses, false))
+
+	case strings.HasPrefix(arch, "inception"):
+		add(newConv("stem", rng, 3, 16, 3, 2, 1, true)) // 16x16
+		add(newInception("inc1", rng, 16, 12))          // 24ch
+		add(&poolLayer{"p1", 2, 2})                     // 8x8
+		add(newInception("inc2", rng, 24, 16))          // 32ch
+		add(gapLayer{})
+		add(newDense("fc", rng, 32, NumClasses, false))
+
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrUnknownArch, model)
+	}
+	return net, nil
+}
+
+// vggDepth maps the VGG variant to a (scaled) conv-stack depth.
+func vggDepth(arch string) int {
+	switch {
+	case strings.HasPrefix(arch, "vgg19"):
+		return 8
+	case strings.HasPrefix(arch, "vgg16"):
+		return 7
+	case strings.HasPrefix(arch, "vgg13"):
+		return 6
+	default: // vgg11
+		return 5
+	}
+}
+
+// resnetShape maps a ResNet-family variant to (blocks, width).
+func resnetShape(arch string) (blocks, width int) {
+	switch {
+	case strings.HasPrefix(arch, "wideresnet101"):
+		return 6, 32
+	case strings.HasPrefix(arch, "wideresnet"):
+		return 4, 32
+	case strings.HasPrefix(arch, "resnext101"):
+		return 6, 24
+	case strings.HasPrefix(arch, "resnext"):
+		return 4, 24
+	case arch == "resnet152":
+		return 8, 16
+	case arch == "resnet101":
+		return 7, 16
+	case arch == "resnet50":
+		return 6, 16
+	case arch == "resnet34":
+		return 4, 16
+	default: // resnet18
+		return 3, 16
+	}
+}
+
+// densenetShape maps a DenseNet variant to its first block's depth.
+func densenetShape(arch string) int {
+	switch arch {
+	case "densenet201":
+		return 5
+	case "densenet169":
+		return 4
+	case "densenet161":
+		return 4
+	default: // densenet121
+		return 3
+	}
+}

@@ -1,0 +1,180 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gpufaas/internal/models"
+	"gpufaas/internal/tensor"
+)
+
+func randomBatch(t *testing.T, n int) *tensor.Tensor {
+	t.Helper()
+	x := tensor.MustNew(n, 3, InputSize, InputSize)
+	x.FillRandom(rand.New(rand.NewSource(99)), 1)
+	return x
+}
+
+func TestBuildAllZooArchitectures(t *testing.T) {
+	zoo := models.Default()
+	x := randomBatch(t, 2)
+	for _, m := range zoo.All() {
+		net, err := Build(m.Name, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		logits, err := net.Forward(x)
+		if err != nil {
+			t.Fatalf("%s forward: %v", m.Name, err)
+		}
+		if logits.Dims() != 2 || logits.Shape[0] != 2 || logits.Shape[1] != NumClasses {
+			t.Fatalf("%s logits shape %v", m.Name, logits.Shape)
+		}
+		for _, v := range logits.Data {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				t.Fatalf("%s produced NaN/Inf logits", m.Name)
+			}
+		}
+		if net.Params() <= 0 {
+			t.Errorf("%s has no parameters", m.Name)
+		}
+	}
+}
+
+func TestBuildInstanceSuffix(t *testing.T) {
+	net, err := Build("resnet18@f07", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Arch != "resnet18" {
+		t.Errorf("Arch = %s", net.Arch)
+	}
+	if BaseArch("vgg19@f31") != "vgg19" || BaseArch("alexnet") != "alexnet" {
+		t.Error("BaseArch wrong")
+	}
+}
+
+func TestBuildUnknown(t *testing.T) {
+	if _, err := Build("gpt4", 1); err == nil {
+		t.Error("unknown architecture should fail")
+	}
+}
+
+func TestPredictDeterministic(t *testing.T) {
+	x := randomBatch(t, 4)
+	a, err := Build("resnet18", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build("resnet18", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, err := a.Predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := b.Predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatal("same seed produced different predictions")
+		}
+		if pa[i] < 0 || pa[i] >= NumClasses {
+			t.Fatalf("class out of range: %d", pa[i])
+		}
+	}
+}
+
+func TestDifferentSeedsDifferentWeights(t *testing.T) {
+	a, _ := Build("alexnet", 1)
+	b, _ := Build("alexnet", 2)
+	x := randomBatch(t, 1)
+	la, err := a.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := b.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range la.Data {
+		if la.Data[i] != lb.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical logits")
+	}
+}
+
+func TestForwardInputValidation(t *testing.T) {
+	net, err := Build("resnet18", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Forward(tensor.MustNew(1, 1, 32, 32)); err == nil {
+		t.Error("wrong channel count should fail")
+	}
+	if _, err := net.Forward(tensor.MustNew(1, 3, 16, 16)); err == nil {
+		t.Error("wrong spatial size should fail")
+	}
+}
+
+func TestVariantDepthOrdering(t *testing.T) {
+	// Bigger variants must have at least as many parameters.
+	pairs := [][2]string{
+		{"resnet18", "resnet152"},
+		{"vgg11", "vgg19"},
+		{"densenet121", "densenet201"},
+		{"resnext50.32x4d", "resnext101.32x8d"},
+	}
+	for _, p := range pairs {
+		small, err := Build(p[0], 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		big, err := Build(p[1], 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if big.Params() <= small.Params() {
+			t.Errorf("%s params %d <= %s params %d", p[1], big.Params(), p[0], small.Params())
+		}
+	}
+}
+
+func BenchmarkResNet18Forward(b *testing.B) {
+	net, err := Build("resnet18", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := tensor.MustNew(8, 3, InputSize, InputSize)
+	x.FillRandom(rand.New(rand.NewSource(5)), 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := net.Forward(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVGG19Forward(b *testing.B) {
+	net, err := Build("vgg19", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := tensor.MustNew(8, 3, InputSize, InputSize)
+	x.FillRandom(rand.New(rand.NewSource(5)), 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := net.Forward(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,213 @@
+// Package sim implements the discrete-event simulation engine that drives
+// the GPU-FaaS cluster in simulated-time mode. The engine provides a
+// deterministic virtual clock and a priority event queue; all scheduling,
+// caching and GPU-execution components are passive state machines that the
+// engine calls back at event boundaries.
+//
+// Determinism: events with equal timestamps are delivered in the order they
+// were scheduled (FIFO tie-breaking via a monotone sequence number), so a
+// simulation with a fixed workload and seed always produces identical
+// results — a property the test suite relies on.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Time is virtual simulation time measured from the start of the run.
+type Time = time.Duration
+
+// Event is a callback scheduled to fire at a virtual time.
+type Event struct {
+	At   Time
+	Name string // for tracing/debugging
+	Fn   func(now Time)
+
+	seq   uint64
+	index int // heap index; -1 once popped or cancelled
+}
+
+// Cancelled reports whether the event was removed before firing.
+func (e *Event) Cancelled() bool { return e.index == -2 }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event loop. It is not safe for
+// concurrent use; the live (real-time) FaaS path uses goroutines and a wall
+// clock instead of this engine.
+type Engine struct {
+	now    Time
+	queue  eventHeap
+	seq    uint64
+	fired  uint64
+	maxLen int
+}
+
+// New returns an empty engine at virtual time zero.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events delivered so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events still queued.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// MaxQueueLen returns the high-water mark of the event queue.
+func (e *Engine) MaxQueueLen() int { return e.maxLen }
+
+// ErrPastEvent is returned when scheduling an event before the current
+// virtual time.
+var ErrPastEvent = errors.New("sim: event scheduled in the past")
+
+// At schedules fn at absolute virtual time t and returns a handle that can
+// be cancelled. Scheduling in the past is an error: virtual time never runs
+// backwards.
+func (e *Engine) At(t Time, name string, fn func(now Time)) (*Event, error) {
+	if t < e.now {
+		return nil, fmt.Errorf("%w: at=%v now=%v (%s)", ErrPastEvent, t, e.now, name)
+	}
+	ev := &Event{At: t, Name: name, Fn: fn, seq: e.seq}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	if len(e.queue) > e.maxLen {
+		e.maxLen = len(e.queue)
+	}
+	return ev, nil
+}
+
+// After schedules fn after delay d from the current time. Negative delays
+// are clamped to zero (fires at the current time, after already-queued
+// same-time events).
+func (e *Engine) After(d Time, name string, fn func(now Time)) *Event {
+	if d < 0 {
+		d = 0
+	}
+	ev, _ := e.At(e.now+d, name, fn) // cannot be in the past by construction
+	return ev
+}
+
+// Cancel removes a pending event. It is a no-op if the event already fired
+// or was cancelled.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 {
+		return
+	}
+	heap.Remove(&e.queue, ev.index)
+	ev.index = -2
+}
+
+// Step delivers the next event, advancing virtual time to its timestamp.
+// It reports false when the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	e.now = ev.At
+	e.fired++
+	ev.Fn(e.now)
+	return true
+}
+
+// Run delivers events until the queue empties or the event budget is
+// exhausted. A budget <= 0 means unlimited. It returns the number of events
+// delivered by this call.
+func (e *Engine) Run(budget uint64) uint64 {
+	var n uint64
+	for (budget <= 0 || n < budget) && e.Step() {
+		n++
+	}
+	return n
+}
+
+// RunUntil delivers events with timestamps <= deadline; the clock is left at
+// min(deadline, time of last event). Events scheduled beyond the deadline
+// remain queued.
+func (e *Engine) RunUntil(deadline Time) uint64 {
+	var n uint64
+	for len(e.queue) > 0 && e.queue[0].At <= deadline {
+		e.Step()
+		n++
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return n
+}
+
+// Clock abstracts "what time is it" and "call me later" so that the
+// scheduler, cache manager and GPU managers run identically under the
+// discrete-event engine (benchmarks) and the wall clock (live gateway).
+type Clock interface {
+	// Now returns the current time as an offset from the run epoch.
+	Now() Time
+	// AfterFunc arranges for fn to run after d. The returned cancel func
+	// stops a pending timer; calling it after firing is a no-op.
+	AfterFunc(d Time, name string, fn func(now Time)) (cancel func())
+}
+
+// SimClock adapts Engine to the Clock interface.
+type SimClock struct{ E *Engine }
+
+// Now returns the engine's virtual time.
+func (c SimClock) Now() Time { return c.E.Now() }
+
+// AfterFunc schedules fn on the engine.
+func (c SimClock) AfterFunc(d Time, name string, fn func(now Time)) func() {
+	ev := c.E.After(d, name, fn)
+	return func() { c.E.Cancel(ev) }
+}
+
+// RealClock implements Clock over the wall clock. Callbacks run on timer
+// goroutines; components that use RealClock must be mutex-protected (the
+// live FaaS path locks around every scheduler entry point).
+type RealClock struct {
+	Epoch time.Time
+}
+
+// NewRealClock returns a RealClock rooted at the current instant.
+func NewRealClock() *RealClock { return &RealClock{Epoch: time.Now()} }
+
+// Now returns the elapsed wall time since the epoch.
+func (c *RealClock) Now() Time { return time.Since(c.Epoch) }
+
+// AfterFunc runs fn on a timer goroutine after d.
+func (c *RealClock) AfterFunc(d Time, _ string, fn func(now Time)) func() {
+	t := time.AfterFunc(d, func() { fn(c.Now()) })
+	return func() { t.Stop() }
+}

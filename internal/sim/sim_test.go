@@ -1,0 +1,261 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := New()
+	var got []int
+	e.After(3*time.Second, "c", func(Time) { got = append(got, 3) })
+	e.After(1*time.Second, "a", func(Time) { got = append(got, 1) })
+	e.After(2*time.Second, "b", func(Time) { got = append(got, 2) })
+	e.Run(0)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order = %v", got)
+	}
+	if e.Now() != 3*time.Second {
+		t.Errorf("Now = %v", e.Now())
+	}
+	if e.Fired() != 3 {
+		t.Errorf("Fired = %d", e.Fired())
+	}
+}
+
+func TestEngineFIFOTieBreak(t *testing.T) {
+	e := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.After(time.Second, "tie", func(Time) { got = append(got, i) })
+	}
+	e.Run(0)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events reordered: %v", got)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := New()
+	var trace []string
+	e.After(time.Second, "outer", func(now Time) {
+		trace = append(trace, "outer")
+		e.After(time.Second, "inner", func(Time) { trace = append(trace, "inner") })
+	})
+	e.Run(0)
+	if len(trace) != 2 || trace[0] != "outer" || trace[1] != "inner" {
+		t.Fatalf("trace = %v", trace)
+	}
+	if e.Now() != 2*time.Second {
+		t.Errorf("Now = %v", e.Now())
+	}
+}
+
+func TestEnginePastEventRejected(t *testing.T) {
+	e := New()
+	e.After(5*time.Second, "later", func(Time) {})
+	e.Step()
+	if _, err := e.At(time.Second, "past", func(Time) {}); err == nil {
+		t.Fatal("want error scheduling into the past")
+	}
+}
+
+func TestEngineNegativeDelayClamps(t *testing.T) {
+	e := New()
+	fired := false
+	e.After(-time.Second, "neg", func(now Time) {
+		fired = true
+		if now != 0 {
+			t.Errorf("fired at %v, want 0", now)
+		}
+	})
+	e.Run(0)
+	if !fired {
+		t.Fatal("clamped event did not fire")
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := New()
+	fired := 0
+	ev := e.After(time.Second, "x", func(Time) { fired++ })
+	e.After(2*time.Second, "y", func(Time) { fired++ })
+	e.Cancel(ev)
+	if !ev.Cancelled() {
+		t.Error("event should report cancelled")
+	}
+	e.Cancel(ev) // double cancel is a no-op
+	e.Cancel(nil)
+	e.Run(0)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+}
+
+func TestEngineCancelAfterFireNoop(t *testing.T) {
+	e := New()
+	ev := e.After(time.Second, "x", func(Time) {})
+	e.Run(0)
+	e.Cancel(ev) // must not panic or corrupt the heap
+	e.After(time.Second, "y", func(Time) {})
+	if e.Run(0) != 1 {
+		t.Fatal("engine corrupted after cancelling a fired event")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	var fired []Time
+	for _, d := range []Time{time.Second, 2 * time.Second, 5 * time.Second} {
+		e.After(d, "x", func(now Time) { fired = append(fired, now) })
+	}
+	n := e.RunUntil(3 * time.Second)
+	if n != 2 || len(fired) != 2 {
+		t.Fatalf("delivered %d, fired %v", n, fired)
+	}
+	if e.Now() != 3*time.Second {
+		t.Errorf("clock should sit at the deadline, got %v", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d", e.Pending())
+	}
+	e.Run(0)
+	if e.Now() != 5*time.Second {
+		t.Errorf("Now = %v", e.Now())
+	}
+}
+
+func TestRunBudget(t *testing.T) {
+	e := New()
+	for i := 0; i < 10; i++ {
+		e.After(Time(i)*time.Millisecond, "x", func(Time) {})
+	}
+	if n := e.Run(4); n != 4 {
+		t.Fatalf("budget run delivered %d", n)
+	}
+	if e.Pending() != 6 {
+		t.Errorf("Pending = %d", e.Pending())
+	}
+}
+
+// Property: regardless of insertion order, events fire in timestamp order
+// with FIFO tie-breaking, and the clock is monotone.
+func TestEngineTimestampOrderProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := New()
+		var fired []Time
+		for _, d := range delays {
+			e.After(Time(d)*time.Millisecond, "p", func(now Time) { fired = append(fired, now) })
+		}
+		e.Run(0)
+		if len(fired) != len(delays) {
+			return false
+		}
+		if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+			return false
+		}
+		want := make([]Time, len(delays))
+		for i, d := range delays {
+			want[i] = Time(d) * time.Millisecond
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if fired[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cancelling a random subset leaves exactly the others firing.
+func TestEngineCancelSubsetProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	f := func(n uint8) bool {
+		e := New()
+		count := int(n%50) + 1
+		fired := make([]bool, count)
+		evs := make([]*Event, count)
+		for i := 0; i < count; i++ {
+			i := i
+			evs[i] = e.After(Time(rng.Intn(1000))*time.Millisecond, "p", func(Time) { fired[i] = true })
+		}
+		cancelled := make([]bool, count)
+		for i := 0; i < count; i++ {
+			if rng.Intn(2) == 0 {
+				e.Cancel(evs[i])
+				cancelled[i] = true
+			}
+		}
+		e.Run(0)
+		for i := 0; i < count; i++ {
+			if fired[i] == cancelled[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimClock(t *testing.T) {
+	e := New()
+	c := SimClock{E: e}
+	var at Time
+	cancel := c.AfterFunc(2*time.Second, "t", func(now Time) { at = now })
+	_ = cancel
+	e.Run(0)
+	if at != 2*time.Second {
+		t.Fatalf("fired at %v", at)
+	}
+	if c.Now() != 2*time.Second {
+		t.Errorf("Now = %v", c.Now())
+	}
+
+	var fired bool
+	cancel2 := c.AfterFunc(time.Second, "t2", func(Time) { fired = true })
+	cancel2()
+	e.Run(0)
+	if fired {
+		t.Error("cancelled SimClock timer fired")
+	}
+}
+
+func TestRealClock(t *testing.T) {
+	c := NewRealClock()
+	done := make(chan Time, 1)
+	c.AfterFunc(5*time.Millisecond, "t", func(now Time) { done <- now })
+	select {
+	case at := <-done:
+		if at < 4*time.Millisecond {
+			t.Errorf("fired too early: %v", at)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("RealClock timer never fired")
+	}
+	cancel := c.AfterFunc(50*time.Millisecond, "t2", func(Time) { t.Error("cancelled timer fired") })
+	cancel()
+	time.Sleep(80 * time.Millisecond)
+}
+
+func TestMaxQueueLen(t *testing.T) {
+	e := New()
+	for i := 0; i < 5; i++ {
+		e.After(time.Duration(i)*time.Second, "x", func(Time) {})
+	}
+	e.Run(0)
+	if e.MaxQueueLen() != 5 {
+		t.Errorf("MaxQueueLen = %d", e.MaxQueueLen())
+	}
+}

@@ -1,0 +1,383 @@
+// Package stats provides the statistical primitives used throughout the
+// GPU-FaaS reproduction: streaming moments (Welford), percentiles,
+// time-weighted averages for utilization-style metrics, simple linear
+// regression for model profiling (inference time vs. batch size, §IV-A of
+// the paper), and small histogram utilities used by the benchmark harness.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Welford accumulates streaming mean and variance without storing samples.
+// The zero value is ready to use.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add folds one observation into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the running mean, or 0 with no observations.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the population variance, or 0 for fewer than two samples.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// SampleVariance returns the unbiased (n-1) variance.
+func (w *Welford) SampleVariance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the population standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// Merge combines another accumulator into this one (parallel Welford).
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	n := w.n + o.n
+	d := o.mean - w.mean
+	mean := w.mean + d*float64(o.n)/float64(n)
+	m2 := w.m2 + o.m2 + d*d*float64(w.n)*float64(o.n)/float64(n)
+	w.n, w.mean, w.m2 = n, mean, m2
+}
+
+// Sample stores observations for percentile queries. It keeps the raw
+// values; for the workload sizes in this repo (hundreds to a few thousand
+// requests per experiment) exact percentiles are cheap and preferable to a
+// sketch.
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// NewSample returns a Sample with capacity hint n.
+func NewSample(n int) *Sample { return &Sample{xs: make([]float64, 0, n)} }
+
+// Add appends an observation.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Mean returns the arithmetic mean, or 0 when empty.
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// Variance returns the population variance of the sample.
+func (s *Sample) Variance() float64 {
+	n := len(s.xs)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	acc := 0.0
+	for _, x := range s.xs {
+		d := x - m
+		acc += d * d
+	}
+	return acc / float64(n)
+}
+
+// StdDev returns the population standard deviation of the sample.
+func (s *Sample) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Min returns the smallest observation, or 0 when empty.
+func (s *Sample) Min() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	m := s.xs[0]
+	for _, x := range s.xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest observation, or 0 when empty.
+func (s *Sample) Max() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	m := s.xs[0]
+	for _, x := range s.xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using linear
+// interpolation between closest ranks. It returns 0 when empty.
+func (s *Sample) Percentile(p float64) float64 {
+	n := len(s.xs)
+	if n == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+	if p <= 0 {
+		return s.xs[0]
+	}
+	if p >= 100 {
+		return s.xs[n-1]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s.xs[lo]
+	}
+	frac := rank - float64(lo)
+	return s.xs[lo]*(1-frac) + s.xs[hi]*frac
+}
+
+// Values returns a copy of the stored observations (sorted ascending if a
+// percentile has been queried since the last Add).
+func (s *Sample) Values() []float64 {
+	out := make([]float64, len(s.xs))
+	copy(out, s.xs)
+	return out
+}
+
+// TimeWeighted tracks a step function of time (for example, the number of
+// GPUs caching a model, or a busy/idle flag) and reports its time-weighted
+// average. Observations must arrive with non-decreasing timestamps.
+type TimeWeighted struct {
+	started  bool
+	t0, last float64
+	value    float64
+	area     float64
+}
+
+// Set records that the tracked quantity changed to v at time t (seconds).
+func (tw *TimeWeighted) Set(t, v float64) {
+	if !tw.started {
+		tw.started = true
+		tw.t0, tw.last, tw.value = t, t, v
+		return
+	}
+	if t < tw.last {
+		t = tw.last // clamp minor reordering; callers use a monotone clock
+	}
+	tw.area += tw.value * (t - tw.last)
+	tw.last, tw.value = t, v
+}
+
+// Average returns the time-weighted average over [t0, t]. If t precedes the
+// last update the average up to the last update is returned.
+func (tw *TimeWeighted) Average(t float64) float64 {
+	if !tw.started {
+		return 0
+	}
+	if t < tw.last {
+		t = tw.last
+	}
+	total := t - tw.t0
+	if total <= 0 {
+		return tw.value
+	}
+	return (tw.area + tw.value*(t-tw.last)) / total
+}
+
+// Value returns the current value of the step function.
+func (tw *TimeWeighted) Value() float64 { return tw.value }
+
+// Linear is a least-squares fit y = Alpha + Beta*x, used to profile model
+// inference time as a function of batch size ("which can be profiled using
+// simple regression methods", §IV-A).
+type Linear struct {
+	Alpha, Beta float64
+	R2          float64
+	N           int
+}
+
+// ErrDegenerate is returned when a regression has no x-variance or too few
+// points to fit.
+var ErrDegenerate = errors.New("stats: degenerate regression input")
+
+// FitLinear fits a least-squares line through the (x, y) pairs.
+func FitLinear(xs, ys []float64) (Linear, error) {
+	if len(xs) != len(ys) {
+		return Linear{}, fmt.Errorf("stats: mismatched lengths %d vs %d", len(xs), len(ys))
+	}
+	n := len(xs)
+	if n < 2 {
+		return Linear{}, ErrDegenerate
+	}
+	var sx, sy float64
+	for i := 0; i < n; i++ {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/float64(n), sy/float64(n)
+	var sxx, sxy, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return Linear{}, ErrDegenerate
+	}
+	beta := sxy / sxx
+	alpha := my - beta*mx
+	r2 := 1.0
+	if syy > 0 {
+		ss := 0.0
+		for i := 0; i < n; i++ {
+			r := ys[i] - (alpha + beta*xs[i])
+			ss += r * r
+		}
+		r2 = 1 - ss/syy
+	}
+	return Linear{Alpha: alpha, Beta: beta, R2: r2, N: n}, nil
+}
+
+// Predict evaluates the fitted line at x.
+func (l Linear) Predict(x float64) float64 { return l.Alpha + l.Beta*x }
+
+// Histogram is a fixed-bucket histogram over [lo, hi); out-of-range values
+// clamp to the edge buckets. It is used by the bench harness to summarize
+// latency distributions.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int64
+	total  int64
+}
+
+// NewHistogram creates a histogram with n buckets spanning [lo, hi).
+func NewHistogram(lo, hi float64, n int) (*Histogram, error) {
+	if n <= 0 || hi <= lo {
+		return nil, fmt.Errorf("stats: invalid histogram [%g,%g) n=%d", lo, hi, n)
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int64, n)}, nil
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	n := len(h.Counts)
+	i := int(float64(n) * (x - h.Lo) / (h.Hi - h.Lo))
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	h.Counts[i]++
+	h.total++
+}
+
+// Total returns the number of recorded observations.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Quantile returns an approximate quantile (0..1) from bucket boundaries.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(q * float64(h.total))
+	var cum int64
+	width := (h.Hi - h.Lo) / float64(len(h.Counts))
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= target {
+			return h.Lo + width*float64(i+1)
+		}
+	}
+	return h.Hi
+}
+
+// Ratio is a hit/total style counter with a convenience accessor, used for
+// cache miss ratios and false-miss ratios.
+type Ratio struct {
+	Num, Den int64
+}
+
+// Observe adds one trial; hit selects the numerator.
+func (r *Ratio) Observe(hit bool) {
+	r.Den++
+	if hit {
+		r.Num++
+	}
+}
+
+// Value returns Num/Den, or 0 when no trials were observed.
+func (r *Ratio) Value() float64 {
+	if r.Den == 0 {
+		return 0
+	}
+	return float64(r.Num) / float64(r.Den)
+}
+
+// Reduction returns the relative reduction from base to x, e.g. the paper's
+// "reduces the average latency by 97.74%" is Reduction(lbLatency,
+// lalbLatency) == 0.9774. Returns 0 when base is 0.
+func Reduction(base, x float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (base - x) / base
+}
+
+// Speedup returns base/x, the paper's "48x speedup" form. Returns +Inf for
+// x == 0 with nonzero base, and 1 when both are zero.
+func Speedup(base, x float64) float64 {
+	if x == 0 {
+		if base == 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return base / x
+}

@@ -1,0 +1,319 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestWelfordBasic(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Fatalf("N = %d, want 8", w.N())
+	}
+	if !almost(w.Mean(), 5, 1e-12) {
+		t.Errorf("Mean = %g, want 5", w.Mean())
+	}
+	if !almost(w.Variance(), 4, 1e-12) {
+		t.Errorf("Variance = %g, want 4", w.Variance())
+	}
+	if !almost(w.StdDev(), 2, 1e-12) {
+		t.Errorf("StdDev = %g, want 2", w.StdDev())
+	}
+}
+
+func TestWelfordEmptyAndSingle(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 {
+		t.Fatal("empty Welford must report zeros")
+	}
+	w.Add(3.5)
+	if w.Mean() != 3.5 {
+		t.Errorf("Mean = %g, want 3.5", w.Mean())
+	}
+	if w.Variance() != 0 || w.SampleVariance() != 0 {
+		t.Error("single observation must have zero variance")
+	}
+}
+
+func TestWelfordMergeMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(split uint8) bool {
+		xs := make([]float64, 50)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()*10 + 3
+		}
+		k := int(split) % len(xs)
+		var all, a, b Welford
+		for _, x := range xs {
+			all.Add(x)
+		}
+		for _, x := range xs[:k] {
+			a.Add(x)
+		}
+		for _, x := range xs[k:] {
+			b.Add(x)
+		}
+		a.Merge(b)
+		return almost(a.Mean(), all.Mean(), 1e-9) && almost(a.Variance(), all.Variance(), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleMeanVariance(t *testing.T) {
+	s := NewSample(4)
+	for _, x := range []float64{1, 2, 3, 4} {
+		s.Add(x)
+	}
+	if !almost(s.Mean(), 2.5, 1e-12) {
+		t.Errorf("Mean = %g", s.Mean())
+	}
+	if !almost(s.Variance(), 1.25, 1e-12) {
+		t.Errorf("Variance = %g", s.Variance())
+	}
+	if s.Min() != 1 || s.Max() != 4 {
+		t.Errorf("Min/Max = %g/%g", s.Min(), s.Max())
+	}
+}
+
+func TestSamplePercentile(t *testing.T) {
+	s := NewSample(0)
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {100, 100}, {50, 50.5}, {25, 25.75}, {99, 99.01},
+	}
+	for _, c := range cases {
+		if got := s.Percentile(c.p); !almost(got, c.want, 1e-9) {
+			t.Errorf("P%g = %g, want %g", c.p, got, c.want)
+		}
+	}
+}
+
+func TestSamplePercentileEmptyAndSingleton(t *testing.T) {
+	s := NewSample(0)
+	if s.Percentile(50) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+	s.Add(7)
+	for _, p := range []float64{0, 50, 100} {
+		if s.Percentile(p) != 7 {
+			t.Errorf("singleton P%g = %g, want 7", p, s.Percentile(p))
+		}
+	}
+}
+
+func TestSamplePercentileMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := NewSample(0)
+	for i := 0; i < 200; i++ {
+		s.Add(rng.Float64() * 1000)
+	}
+	prev := math.Inf(-1)
+	for p := 0.0; p <= 100; p += 0.5 {
+		v := s.Percentile(p)
+		if v < prev {
+			t.Fatalf("percentile not monotone at p=%g: %g < %g", p, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestTimeWeightedAverage(t *testing.T) {
+	var tw TimeWeighted
+	tw.Set(0, 1) // value 1 during [0,10)
+	tw.Set(10, 3)
+	// average over [0,20]: (1*10 + 3*10)/20 = 2
+	if got := tw.Average(20); !almost(got, 2, 1e-12) {
+		t.Errorf("Average = %g, want 2", got)
+	}
+	if tw.Value() != 3 {
+		t.Errorf("Value = %g, want 3", tw.Value())
+	}
+}
+
+func TestTimeWeightedDegenerate(t *testing.T) {
+	var tw TimeWeighted
+	if tw.Average(100) != 0 {
+		t.Error("unstarted TimeWeighted should average 0")
+	}
+	tw.Set(5, 4)
+	if got := tw.Average(5); got != 4 {
+		t.Errorf("zero-span average = %g, want current value 4", got)
+	}
+	// Time going backwards clamps rather than corrupting the area.
+	tw.Set(3, 9)
+	if got := tw.Average(10); got < 4 || got > 9 {
+		t.Errorf("clamped average = %g, want within [4,9]", got)
+	}
+}
+
+func TestFitLinearExact(t *testing.T) {
+	xs := []float64{1, 2, 4, 8, 16, 32}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 0.9 + 0.0125*x // paper-style: fixed cost + per-sample cost
+	}
+	l, err := FitLinear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(l.Alpha, 0.9, 1e-9) || !almost(l.Beta, 0.0125, 1e-9) {
+		t.Errorf("fit = %+v", l)
+	}
+	if !almost(l.R2, 1, 1e-9) {
+		t.Errorf("R2 = %g, want 1", l.R2)
+	}
+	if got := l.Predict(64); !almost(got, 0.9+0.8, 1e-9) {
+		t.Errorf("Predict(64) = %g", got)
+	}
+}
+
+func TestFitLinearErrors(t *testing.T) {
+	if _, err := FitLinear([]float64{1}, []float64{1}); err == nil {
+		t.Error("want error for single point")
+	}
+	if _, err := FitLinear([]float64{1, 1, 1}, []float64{1, 2, 3}); err == nil {
+		t.Error("want error for zero x-variance")
+	}
+	if _, err := FitLinear([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("want error for mismatched lengths")
+	}
+}
+
+func TestFitLinearNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var xs, ys []float64
+	for i := 0; i < 500; i++ {
+		x := rng.Float64() * 100
+		xs = append(xs, x)
+		ys = append(ys, 5+2*x+rng.NormFloat64()*0.01)
+	}
+	l, err := FitLinear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(l.Alpha, 5, 0.01) || !almost(l.Beta, 2, 0.001) {
+		t.Errorf("fit = %+v", l)
+	}
+	if l.R2 < 0.9999 {
+		t.Errorf("R2 = %g", l.R2)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram(0, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	h.Add(-5) // clamps to first bucket
+	h.Add(99) // clamps to last bucket
+	if h.Total() != 12 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	if h.Counts[0] != 2 || h.Counts[9] != 2 {
+		t.Errorf("edge clamping: %v", h.Counts)
+	}
+	if q := h.Quantile(0.5); q < 4 || q > 7 {
+		t.Errorf("median bucket edge = %g", q)
+	}
+}
+
+func TestHistogramInvalid(t *testing.T) {
+	if _, err := NewHistogram(5, 5, 10); err == nil {
+		t.Error("want error for empty range")
+	}
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Error("want error for zero buckets")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	var r Ratio
+	if r.Value() != 0 {
+		t.Error("empty ratio should be 0")
+	}
+	r.Observe(true)
+	r.Observe(true)
+	r.Observe(false)
+	r.Observe(false)
+	if !almost(r.Value(), 0.5, 1e-12) {
+		t.Errorf("Value = %g", r.Value())
+	}
+}
+
+func TestReductionAndSpeedup(t *testing.T) {
+	if !almost(Reduction(100, 2.26), 0.9774, 1e-9) {
+		t.Errorf("Reduction = %g", Reduction(100, 2.26))
+	}
+	if Reduction(0, 5) != 0 {
+		t.Error("Reduction with zero base should be 0")
+	}
+	if !almost(Speedup(96, 2), 48, 1e-12) {
+		t.Errorf("Speedup = %g", Speedup(96, 2))
+	}
+	if !math.IsInf(Speedup(1, 0), 1) {
+		t.Error("Speedup(x,0) should be +Inf")
+	}
+	if Speedup(0, 0) != 1 {
+		t.Error("Speedup(0,0) should be 1")
+	}
+}
+
+// Property: variance is never negative and mean lies within [min, max].
+func TestWelfordProperties(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var w Welford
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range raw {
+			x := float64(v)
+			w.Add(x)
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		return w.Variance() >= 0 && w.Mean() >= lo-1e-9 && w.Mean() <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: time-weighted average of a step function lies within the range
+// of values it took on.
+func TestTimeWeightedBounded(t *testing.T) {
+	f := func(steps []uint8) bool {
+		if len(steps) == 0 {
+			return true
+		}
+		var tw TimeWeighted
+		lo, hi := math.Inf(1), math.Inf(-1)
+		t0 := 0.0
+		for _, s := range steps {
+			v := float64(s)
+			tw.Set(t0, v)
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+			t0 += 1
+		}
+		avg := tw.Average(t0 + 5)
+		return avg >= lo-1e-9 && avg <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

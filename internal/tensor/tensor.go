@@ -1,0 +1,429 @@
+// Package tensor is a small CPU tensor library supporting the forward
+// passes of the CNN architectures in the model zoo (internal/nn). Layout
+// is dense NCHW float32. Convolutions and dense layers parallelize across
+// the output dimension with a worker pool sized to GOMAXPROCS, which keeps
+// live-mode inference latency reasonable without any external
+// dependencies.
+package tensor
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// Tensor is a dense n-dimensional array of float32 in row-major order.
+type Tensor struct {
+	Shape []int
+	Data  []float32
+}
+
+// New allocates a zero tensor with the given shape.
+func New(shape ...int) (*Tensor, error) {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			return nil, fmt.Errorf("tensor: non-positive dim %d in %v", d, shape)
+		}
+		n *= d
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float32, n)}, nil
+}
+
+// MustNew is New for statically-correct shapes; panics on error.
+func MustNew(shape ...int) *Tensor {
+	t, err := New(shape...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// FromData wraps data with a shape; the length must match.
+func FromData(data []float32, shape ...int) (*Tensor, error) {
+	t, err := New(shape...)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) != len(t.Data) {
+		return nil, fmt.Errorf("tensor: data len %d != shape size %d", len(data), len(t.Data))
+	}
+	copy(t.Data, data)
+	return t, nil
+}
+
+// Len returns the number of elements.
+func (t *Tensor) Len() int { return len(t.Data) }
+
+// Dims returns the number of dimensions.
+func (t *Tensor) Dims() int { return len(t.Shape) }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.Shape[i] }
+
+// SameShape reports whether two tensors have identical shapes.
+func (t *Tensor) SameShape(o *Tensor) bool {
+	if len(t.Shape) != len(o.Shape) {
+		return false
+	}
+	for i := range t.Shape {
+		if t.Shape[i] != o.Shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone deep-copies the tensor.
+func (t *Tensor) Clone() *Tensor {
+	out := &Tensor{Shape: append([]int(nil), t.Shape...), Data: make([]float32, len(t.Data))}
+	copy(out.Data, t.Data)
+	return out
+}
+
+// Reshape returns a view-copy with a new shape of equal size.
+func (t *Tensor) Reshape(shape ...int) (*Tensor, error) {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			return nil, fmt.Errorf("tensor: non-positive dim in %v", shape)
+		}
+		n *= d
+	}
+	if n != len(t.Data) {
+		return nil, fmt.Errorf("tensor: reshape %v -> %v changes size", t.Shape, shape)
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: t.Data}, nil
+}
+
+// FillRandom fills with N(0, stddev) values from rng (deterministic model
+// initialization).
+func (t *Tensor) FillRandom(rng *rand.Rand, stddev float64) {
+	for i := range t.Data {
+		t.Data[i] = float32(rng.NormFloat64() * stddev)
+	}
+}
+
+// ErrShape indicates incompatible operand shapes.
+var ErrShape = errors.New("tensor: shape mismatch")
+
+// parallelFor runs fn(i) for i in [0, n) across GOMAXPROCS workers.
+func parallelFor(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Conv2D computes a 2-D convolution. x is [N, Cin, H, W]; w is
+// [Cout, Cin, KH, KW]; bias (may be nil) is [Cout]. Stride and padding are
+// symmetric. Output is [N, Cout, Ho, Wo].
+func Conv2D(x, w, bias *Tensor, stride, pad int) (*Tensor, error) {
+	if x.Dims() != 4 || w.Dims() != 4 {
+		return nil, fmt.Errorf("%w: conv2d needs 4-D x and w, got %v and %v", ErrShape, x.Shape, w.Shape)
+	}
+	if stride <= 0 || pad < 0 {
+		return nil, fmt.Errorf("tensor: invalid stride %d / pad %d", stride, pad)
+	}
+	n, cin, h, wd := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	cout, wcin, kh, kw := w.Shape[0], w.Shape[1], w.Shape[2], w.Shape[3]
+	if cin != wcin {
+		return nil, fmt.Errorf("%w: conv2d Cin %d != weight Cin %d", ErrShape, cin, wcin)
+	}
+	if bias != nil && (bias.Dims() != 1 || bias.Shape[0] != cout) {
+		return nil, fmt.Errorf("%w: conv2d bias %v, want [%d]", ErrShape, bias.Shape, cout)
+	}
+	ho := (h+2*pad-kh)/stride + 1
+	wo := (wd+2*pad-kw)/stride + 1
+	if ho <= 0 || wo <= 0 {
+		return nil, fmt.Errorf("%w: conv2d output %dx%d", ErrShape, ho, wo)
+	}
+	out := MustNew(n, cout, ho, wo)
+	parallelFor(n*cout, func(job int) {
+		b := job / cout
+		oc := job % cout
+		var bv float32
+		if bias != nil {
+			bv = bias.Data[oc]
+		}
+		for oy := 0; oy < ho; oy++ {
+			for ox := 0; ox < wo; ox++ {
+				sum := bv
+				for ic := 0; ic < cin; ic++ {
+					xBase := ((b*cin + ic) * h) * wd
+					wBase := ((oc*cin + ic) * kh) * kw
+					for ky := 0; ky < kh; ky++ {
+						iy := oy*stride + ky - pad
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < kw; kx++ {
+							ix := ox*stride + kx - pad
+							if ix < 0 || ix >= wd {
+								continue
+							}
+							sum += x.Data[xBase+iy*wd+ix] * w.Data[wBase+ky*kw+kx]
+						}
+					}
+				}
+				out.Data[((b*cout+oc)*ho+oy)*wo+ox] = sum
+			}
+		}
+	})
+	return out, nil
+}
+
+// Dense computes y = x·Wᵀ + b. x is [N, In]; w is [Out, In]; b (may be
+// nil) is [Out]. Output is [N, Out].
+func Dense(x, w, bias *Tensor) (*Tensor, error) {
+	if x.Dims() != 2 || w.Dims() != 2 {
+		return nil, fmt.Errorf("%w: dense needs 2-D x and w", ErrShape)
+	}
+	n, in := x.Shape[0], x.Shape[1]
+	outDim, win := w.Shape[0], w.Shape[1]
+	if in != win {
+		return nil, fmt.Errorf("%w: dense In %d != weight In %d", ErrShape, in, win)
+	}
+	if bias != nil && (bias.Dims() != 1 || bias.Shape[0] != outDim) {
+		return nil, fmt.Errorf("%w: dense bias %v, want [%d]", ErrShape, bias.Shape, outDim)
+	}
+	out := MustNew(n, outDim)
+	parallelFor(n, func(b int) {
+		xRow := x.Data[b*in : (b+1)*in]
+		for o := 0; o < outDim; o++ {
+			wRow := w.Data[o*in : (o+1)*in]
+			var sum float32
+			if bias != nil {
+				sum = bias.Data[o]
+			}
+			for i, xv := range xRow {
+				sum += xv * wRow[i]
+			}
+			out.Data[b*outDim+o] = sum
+		}
+	})
+	return out, nil
+}
+
+// ReLU applies max(0, x) in place and returns x.
+func ReLU(x *Tensor) *Tensor {
+	for i, v := range x.Data {
+		if v < 0 {
+			x.Data[i] = 0
+		}
+	}
+	return x
+}
+
+// Add computes x + y element-wise into a new tensor (residual connections).
+func Add(x, y *Tensor) (*Tensor, error) {
+	if !x.SameShape(y) {
+		return nil, fmt.Errorf("%w: add %v vs %v", ErrShape, x.Shape, y.Shape)
+	}
+	out := x.Clone()
+	for i, v := range y.Data {
+		out.Data[i] += v
+	}
+	return out, nil
+}
+
+// ConcatChannels concatenates 4-D tensors along the channel dimension
+// (DenseNet blocks).
+func ConcatChannels(xs ...*Tensor) (*Tensor, error) {
+	if len(xs) == 0 {
+		return nil, errors.New("tensor: concat of nothing")
+	}
+	n, h, w := xs[0].Shape[0], xs[0].Shape[2], xs[0].Shape[3]
+	totalC := 0
+	for _, x := range xs {
+		if x.Dims() != 4 || x.Shape[0] != n || x.Shape[2] != h || x.Shape[3] != w {
+			return nil, fmt.Errorf("%w: concat operand %v", ErrShape, x.Shape)
+		}
+		totalC += x.Shape[1]
+	}
+	out := MustNew(n, totalC, h, w)
+	hw := h * w
+	for b := 0; b < n; b++ {
+		off := 0
+		for _, x := range xs {
+			c := x.Shape[1]
+			src := x.Data[b*c*hw : (b+1)*c*hw]
+			dst := out.Data[(b*totalC+off)*hw : (b*totalC+off+c)*hw]
+			copy(dst, src)
+			off += c
+		}
+	}
+	return out, nil
+}
+
+// MaxPool2D applies kxk max pooling with the given stride to a 4-D tensor.
+func MaxPool2D(x *Tensor, k, stride int) (*Tensor, error) {
+	if x.Dims() != 4 {
+		return nil, fmt.Errorf("%w: maxpool needs 4-D input", ErrShape)
+	}
+	if k <= 0 || stride <= 0 {
+		return nil, fmt.Errorf("tensor: invalid pool k=%d stride=%d", k, stride)
+	}
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	ho := (h-k)/stride + 1
+	wo := (w-k)/stride + 1
+	if ho <= 0 || wo <= 0 {
+		return nil, fmt.Errorf("%w: maxpool output %dx%d", ErrShape, ho, wo)
+	}
+	out := MustNew(n, c, ho, wo)
+	parallelFor(n*c, func(job int) {
+		base := job * h * w
+		obase := job * ho * wo
+		for oy := 0; oy < ho; oy++ {
+			for ox := 0; ox < wo; ox++ {
+				best := float32(math.Inf(-1))
+				for ky := 0; ky < k; ky++ {
+					for kx := 0; kx < k; kx++ {
+						v := x.Data[base+(oy*stride+ky)*w+ox*stride+kx]
+						if v > best {
+							best = v
+						}
+					}
+				}
+				out.Data[obase+oy*wo+ox] = best
+			}
+		}
+	})
+	return out, nil
+}
+
+// GlobalAvgPool reduces a 4-D tensor [N,C,H,W] to [N,C] by averaging each
+// channel plane.
+func GlobalAvgPool(x *Tensor) (*Tensor, error) {
+	if x.Dims() != 4 {
+		return nil, fmt.Errorf("%w: gap needs 4-D input", ErrShape)
+	}
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	out := MustNew(n, c)
+	hw := float32(h * w)
+	for j := 0; j < n*c; j++ {
+		var sum float32
+		for _, v := range x.Data[j*h*w : (j+1)*h*w] {
+			sum += v
+		}
+		out.Data[j] = sum / hw
+	}
+	return out, nil
+}
+
+// BatchNorm applies per-channel inference-mode normalization
+// y = gamma*(x-mean)/sqrt(var+eps) + beta to a 4-D tensor in place.
+func BatchNorm(x, gamma, beta, mean, variance *Tensor, eps float32) (*Tensor, error) {
+	if x.Dims() != 4 {
+		return nil, fmt.Errorf("%w: batchnorm needs 4-D input", ErrShape)
+	}
+	c := x.Shape[1]
+	for _, p := range []*Tensor{gamma, beta, mean, variance} {
+		if p.Dims() != 1 || p.Shape[0] != c {
+			return nil, fmt.Errorf("%w: batchnorm param %v, want [%d]", ErrShape, p.Shape, c)
+		}
+	}
+	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
+	hw := h * w
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			scale := gamma.Data[ch] / float32(math.Sqrt(float64(variance.Data[ch]+eps)))
+			shift := beta.Data[ch] - mean.Data[ch]*scale
+			seg := x.Data[(b*c+ch)*hw : (b*c+ch+1)*hw]
+			for i, v := range seg {
+				seg[i] = v*scale + shift
+			}
+		}
+	}
+	return x, nil
+}
+
+// Softmax applies a row-wise softmax to a 2-D tensor, returning a new
+// tensor of probabilities.
+func Softmax(x *Tensor) (*Tensor, error) {
+	if x.Dims() != 2 {
+		return nil, fmt.Errorf("%w: softmax needs 2-D input", ErrShape)
+	}
+	n, c := x.Shape[0], x.Shape[1]
+	out := MustNew(n, c)
+	for b := 0; b < n; b++ {
+		row := x.Data[b*c : (b+1)*c]
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for i, v := range row {
+			e := math.Exp(float64(v - maxv))
+			out.Data[b*c+i] = float32(e)
+			sum += e
+		}
+		for i := range row {
+			out.Data[b*c+i] = float32(float64(out.Data[b*c+i]) / sum)
+		}
+	}
+	return out, nil
+}
+
+// Argmax returns the index of the largest value in each row of a 2-D
+// tensor.
+func Argmax(x *Tensor) ([]int, error) {
+	if x.Dims() != 2 {
+		return nil, fmt.Errorf("%w: argmax needs 2-D input", ErrShape)
+	}
+	n, c := x.Shape[0], x.Shape[1]
+	out := make([]int, n)
+	for b := 0; b < n; b++ {
+		best, bi := x.Data[b*c], 0
+		for i := 1; i < c; i++ {
+			if v := x.Data[b*c+i]; v > best {
+				best, bi = v, i
+			}
+		}
+		out[b] = bi
+	}
+	return out, nil
+}
+
+// Flatten reshapes [N, ...] to [N, rest].
+func Flatten(x *Tensor) (*Tensor, error) {
+	if x.Dims() < 2 {
+		return nil, fmt.Errorf("%w: flatten needs >=2 dims", ErrShape)
+	}
+	rest := 1
+	for _, d := range x.Shape[1:] {
+		rest *= d
+	}
+	return x.Reshape(x.Shape[0], rest)
+}

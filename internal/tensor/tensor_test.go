@@ -1,0 +1,400 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndShape(t *testing.T) {
+	x, err := New(2, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Len() != 24 || x.Dims() != 3 || x.Dim(1) != 3 {
+		t.Errorf("shape accessors wrong: %+v", x)
+	}
+	if _, err := New(2, 0); err == nil {
+		t.Error("zero dim should fail")
+	}
+	if _, err := FromData([]float32{1, 2, 3}, 2, 2); err == nil {
+		t.Error("mismatched FromData should fail")
+	}
+	y, err := FromData([]float32{1, 2, 3, 4}, 2, 2)
+	if err != nil || y.Data[3] != 4 {
+		t.Errorf("FromData: %v %v", y, err)
+	}
+}
+
+func TestReshapeAndClone(t *testing.T) {
+	x := MustNew(2, 6)
+	x.Data[0] = 5
+	y, err := x.Reshape(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.Data[0] != 5 {
+		t.Error("reshape should share data")
+	}
+	if _, err := x.Reshape(5, 5); err == nil {
+		t.Error("size-changing reshape should fail")
+	}
+	c := x.Clone()
+	c.Data[0] = 9
+	if x.Data[0] != 5 {
+		t.Error("clone must not alias")
+	}
+	if !x.SameShape(MustNew(2, 6)) || x.SameShape(MustNew(6, 2)) || x.SameShape(MustNew(12)) {
+		t.Error("SameShape wrong")
+	}
+}
+
+func TestConv2DIdentity(t *testing.T) {
+	// 1x1 kernel with weight 1 is identity.
+	x, _ := FromData([]float32{1, 2, 3, 4}, 1, 1, 2, 2)
+	w, _ := FromData([]float32{1}, 1, 1, 1, 1)
+	y, err := Conv2D(x, w, nil, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x.Data {
+		if y.Data[i] != x.Data[i] {
+			t.Fatalf("identity conv: %v", y.Data)
+		}
+	}
+}
+
+func TestConv2DKnown(t *testing.T) {
+	// 3x3 input, 2x2 kernel of ones, stride 1, no pad -> 2x2 sums.
+	x, _ := FromData([]float32{
+		1, 2, 3,
+		4, 5, 6,
+		7, 8, 9,
+	}, 1, 1, 3, 3)
+	w, _ := FromData([]float32{1, 1, 1, 1}, 1, 1, 2, 2)
+	bias, _ := FromData([]float32{10}, 1)
+	y, err := Conv2D(x, w, bias, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{1 + 2 + 4 + 5 + 10, 2 + 3 + 5 + 6 + 10, 4 + 5 + 7 + 8 + 10, 5 + 6 + 8 + 9 + 10}
+	for i, v := range want {
+		if y.Data[i] != v {
+			t.Fatalf("conv out = %v, want %v", y.Data, want)
+		}
+	}
+}
+
+func TestConv2DPaddingAndStride(t *testing.T) {
+	x := MustNew(1, 1, 4, 4)
+	for i := range x.Data {
+		x.Data[i] = 1
+	}
+	w, _ := FromData([]float32{1, 1, 1, 1, 1, 1, 1, 1, 1}, 1, 1, 3, 3)
+	y, err := Conv2D(x, w, nil, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.Shape[2] != 2 || y.Shape[3] != 2 {
+		t.Fatalf("shape = %v", y.Shape)
+	}
+	// Top-left window covers 4 ones (corner), center windows more.
+	if y.Data[0] != 4 {
+		t.Errorf("corner = %v", y.Data[0])
+	}
+}
+
+func TestConv2DErrors(t *testing.T) {
+	x := MustNew(1, 2, 4, 4)
+	w := MustNew(3, 5, 3, 3) // Cin mismatch
+	if _, err := Conv2D(x, w, nil, 1, 0); err == nil {
+		t.Error("Cin mismatch should fail")
+	}
+	w2 := MustNew(3, 2, 3, 3)
+	if _, err := Conv2D(x, w2, MustNew(7), 1, 0); err == nil {
+		t.Error("bias mismatch should fail")
+	}
+	if _, err := Conv2D(x, w2, nil, 0, 0); err == nil {
+		t.Error("zero stride should fail")
+	}
+	if _, err := Conv2D(x, MustNew(1, 2, 9, 9), nil, 1, 0); err == nil {
+		t.Error("kernel larger than input should fail")
+	}
+	if _, err := Conv2D(MustNew(2, 2), w2, nil, 1, 0); err == nil {
+		t.Error("2-D input should fail")
+	}
+}
+
+func TestDense(t *testing.T) {
+	x, _ := FromData([]float32{1, 2}, 1, 2)
+	w, _ := FromData([]float32{3, 4, 5, 6}, 2, 2) // rows: [3,4],[5,6]
+	b, _ := FromData([]float32{0.5, -0.5}, 2)
+	y, err := Dense(x, w, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.Data[0] != 1*3+2*4+0.5 || y.Data[1] != 1*5+2*6-0.5 {
+		t.Fatalf("dense = %v", y.Data)
+	}
+	if _, err := Dense(x, MustNew(2, 3), nil); err == nil {
+		t.Error("inner-dim mismatch should fail")
+	}
+	if _, err := Dense(x, w, MustNew(3)); err == nil {
+		t.Error("bias mismatch should fail")
+	}
+}
+
+func TestReLU(t *testing.T) {
+	x, _ := FromData([]float32{-1, 0, 2}, 3, 1)
+	ReLU(x)
+	if x.Data[0] != 0 || x.Data[1] != 0 || x.Data[2] != 2 {
+		t.Errorf("relu = %v", x.Data)
+	}
+}
+
+func TestAddAndConcat(t *testing.T) {
+	a, _ := FromData([]float32{1, 2, 3, 4}, 1, 1, 2, 2)
+	b, _ := FromData([]float32{10, 20, 30, 40}, 1, 1, 2, 2)
+	s, err := Add(a, b)
+	if err != nil || s.Data[3] != 44 {
+		t.Errorf("add = %v (%v)", s.Data, err)
+	}
+	if _, err := Add(a, MustNew(1, 1, 2, 3)); err == nil {
+		t.Error("shape mismatch add should fail")
+	}
+	c, err := ConcatChannels(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Shape[1] != 2 || c.Data[0] != 1 || c.Data[4] != 10 {
+		t.Errorf("concat = %v %v", c.Shape, c.Data)
+	}
+	if _, err := ConcatChannels(); err == nil {
+		t.Error("empty concat should fail")
+	}
+	if _, err := ConcatChannels(a, MustNew(1, 1, 3, 3)); err == nil {
+		t.Error("mismatched concat should fail")
+	}
+}
+
+func TestMaxPool(t *testing.T) {
+	x, _ := FromData([]float32{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+		13, 14, 15, 16,
+	}, 1, 1, 4, 4)
+	y, err := MaxPool2D(x, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{6, 8, 14, 16}
+	for i, v := range want {
+		if y.Data[i] != v {
+			t.Fatalf("maxpool = %v", y.Data)
+		}
+	}
+	if _, err := MaxPool2D(MustNew(2, 2), 2, 2); err == nil {
+		t.Error("2-D input should fail")
+	}
+	if _, err := MaxPool2D(x, 0, 1); err == nil {
+		t.Error("zero k should fail")
+	}
+	if _, err := MaxPool2D(x, 9, 1); err == nil {
+		t.Error("pool larger than input should fail")
+	}
+}
+
+func TestGlobalAvgPool(t *testing.T) {
+	x, _ := FromData([]float32{1, 2, 3, 4, 10, 20, 30, 40}, 1, 2, 2, 2)
+	y, err := GlobalAvgPool(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.Data[0] != 2.5 || y.Data[1] != 25 {
+		t.Errorf("gap = %v", y.Data)
+	}
+	if _, err := GlobalAvgPool(MustNew(2, 2)); err == nil {
+		t.Error("2-D input should fail")
+	}
+}
+
+func TestBatchNorm(t *testing.T) {
+	x, _ := FromData([]float32{1, 2, 3, 4}, 1, 1, 2, 2)
+	gamma, _ := FromData([]float32{2}, 1)
+	beta, _ := FromData([]float32{1}, 1)
+	mean, _ := FromData([]float32{2.5}, 1)
+	variance, _ := FromData([]float32{1}, 1)
+	if _, err := BatchNorm(x, gamma, beta, mean, variance, 0); err != nil {
+		t.Fatal(err)
+	}
+	// y = 2*(x-2.5)/1 + 1
+	want := []float32{-2, 0, 2, 4}
+	for i, v := range want {
+		if math.Abs(float64(x.Data[i]-v)) > 1e-5 {
+			t.Fatalf("bn = %v", x.Data)
+		}
+	}
+	if _, err := BatchNorm(x, MustNew(3), beta, mean, variance, 0); err == nil {
+		t.Error("param mismatch should fail")
+	}
+	if _, err := BatchNorm(MustNew(2, 2), gamma, beta, mean, variance, 0); err == nil {
+		t.Error("2-D input should fail")
+	}
+}
+
+func TestSoftmaxAndArgmax(t *testing.T) {
+	x, _ := FromData([]float32{1, 2, 3, 3, 2, 1}, 2, 3)
+	p, err := Softmax(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < 2; b++ {
+		var sum float64
+		for i := 0; i < 3; i++ {
+			v := float64(p.Data[b*3+i])
+			if v <= 0 || v >= 1 {
+				t.Errorf("prob out of range: %v", v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-5 {
+			t.Errorf("row %d sums to %v", b, sum)
+		}
+	}
+	am, err := Argmax(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if am[0] != 2 || am[1] != 0 {
+		t.Errorf("argmax = %v", am)
+	}
+	if _, err := Softmax(MustNew(1, 2, 3)); err == nil {
+		t.Error("3-D softmax should fail")
+	}
+	if _, err := Argmax(MustNew(1, 2, 3)); err == nil {
+		t.Error("3-D argmax should fail")
+	}
+}
+
+func TestFlatten(t *testing.T) {
+	x := MustNew(2, 3, 4, 5)
+	y, err := Flatten(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.Shape[0] != 2 || y.Shape[1] != 60 {
+		t.Errorf("flatten = %v", y.Shape)
+	}
+	if _, err := Flatten(MustNew(5)); err == nil {
+		t.Error("1-D flatten should fail")
+	}
+}
+
+func TestFillRandomDeterministic(t *testing.T) {
+	a := MustNew(100)
+	b := MustNew(100)
+	a.FillRandom(rand.New(rand.NewSource(7)), 0.1)
+	b.FillRandom(rand.New(rand.NewSource(7)), 0.1)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("same seed produced different weights")
+		}
+	}
+}
+
+// Property: softmax output is a probability distribution for any input.
+func TestSoftmaxProperty(t *testing.T) {
+	f := func(raw []int8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		n := len(raw)
+		data := make([]float32, n)
+		for i, v := range raw {
+			data[i] = float32(v) / 8
+		}
+		x, err := FromData(data, 1, n)
+		if err != nil {
+			return false
+		}
+		p, err := Softmax(x)
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, v := range p.Data {
+			if v < 0 || v > 1 {
+				return false
+			}
+			sum += float64(v)
+		}
+		return math.Abs(sum-1) < 1e-4
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: conv with a single 1x1 unit kernel preserves any input.
+func TestConvIdentityProperty(t *testing.T) {
+	f := func(raw []int8) bool {
+		n := len(raw)
+		if n < 4 {
+			return true
+		}
+		side := int(math.Sqrt(float64(n)))
+		if side < 2 {
+			return true
+		}
+		data := make([]float32, side*side)
+		for i := range data {
+			data[i] = float32(raw[i])
+		}
+		x, err := FromData(data, 1, 1, side, side)
+		if err != nil {
+			return false
+		}
+		w, _ := FromData([]float32{1}, 1, 1, 1, 1)
+		y, err := Conv2D(x, w, nil, 1, 0)
+		if err != nil {
+			return false
+		}
+		for i := range x.Data {
+			if y.Data[i] != x.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkConv2D(b *testing.B) {
+	x := MustNew(1, 16, 32, 32)
+	w := MustNew(32, 16, 3, 3)
+	x.FillRandom(rand.New(rand.NewSource(1)), 1)
+	w.FillRandom(rand.New(rand.NewSource(2)), 0.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Conv2D(x, w, nil, 1, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDense(b *testing.B) {
+	x := MustNew(32, 512)
+	w := MustNew(256, 512)
+	x.FillRandom(rand.New(rand.NewSource(1)), 1)
+	w.FillRandom(rand.New(rand.NewSource(2)), 0.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Dense(x, w, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

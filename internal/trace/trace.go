@@ -1,0 +1,557 @@
+// Package trace models the Microsoft Azure Functions invocation trace used
+// in the paper's evaluation (§V-A1, Shahrad et al., ATC'20). It provides:
+//
+//   - a parser for the published CSV format (one row per function, one
+//     column per minute, cell = invocations of that function that minute);
+//   - a synthesizer that reproduces the trace's published shape — a highly
+//     skewed popularity distribution where the top-15 functions account
+//     for 56% of per-minute invocations and every function outside the top
+//     15 contributes less than 0.01% each;
+//   - the paper's workload-construction pipeline: keep the top-N most
+//     frequent functions ("working set"), normalize each minute to a fixed
+//     request budget (325 requests for the 12-GPU testbed), map functions
+//     onto models, and randomize arrival order within each minute.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Trace holds per-function, per-minute invocation counts.
+type Trace struct {
+	// Functions[i] is the identifier of row i.
+	Functions []string
+	// Counts[i][m] is the number of invocations of function i during
+	// minute m.
+	Counts [][]int
+	// Minutes is the number of per-minute columns.
+	Minutes int
+}
+
+// Validate checks internal consistency.
+func (t *Trace) Validate() error {
+	if len(t.Functions) != len(t.Counts) {
+		return fmt.Errorf("trace: %d functions but %d count rows", len(t.Functions), len(t.Counts))
+	}
+	for i, row := range t.Counts {
+		if len(row) != t.Minutes {
+			return fmt.Errorf("trace: row %d has %d minutes, want %d", i, len(row), t.Minutes)
+		}
+		for m, c := range row {
+			if c < 0 {
+				return fmt.Errorf("trace: negative count at row %d minute %d", i, m)
+			}
+		}
+	}
+	return nil
+}
+
+// TotalInvocations returns the sum of all counts.
+func (t *Trace) TotalInvocations() int64 {
+	var total int64
+	for _, row := range t.Counts {
+		for _, c := range row {
+			total += int64(c)
+		}
+	}
+	return total
+}
+
+// FunctionTotals returns per-function invocation sums, index-aligned with
+// Functions.
+func (t *Trace) FunctionTotals() []int64 {
+	out := make([]int64, len(t.Counts))
+	for i, row := range t.Counts {
+		for _, c := range row {
+			out[i] += int64(c)
+		}
+	}
+	return out
+}
+
+// TopShare returns the fraction of total invocations contributed by the n
+// most-invoked functions. The paper reports TopShare(15) ≈ 0.56 for the
+// Azure trace.
+func (t *Trace) TopShare(n int) float64 {
+	totals := t.FunctionTotals()
+	sort.Slice(totals, func(i, j int) bool { return totals[i] > totals[j] })
+	var top, all int64
+	for i, v := range totals {
+		all += v
+		if i < n {
+			top += v
+		}
+	}
+	if all == 0 {
+		return 0
+	}
+	return float64(top) / float64(all)
+}
+
+// TopN returns a trace restricted to the n most-invoked functions — the
+// paper's "working set" extraction. Functions are renumbered in descending
+// popularity order so index 0 is the hottest function.
+func (t *Trace) TopN(n int) *Trace {
+	type ranked struct {
+		idx   int
+		total int64
+	}
+	totals := t.FunctionTotals()
+	rs := make([]ranked, len(totals))
+	for i, v := range totals {
+		rs[i] = ranked{i, v}
+	}
+	sort.SliceStable(rs, func(i, j int) bool { return rs[i].total > rs[j].total })
+	if n > len(rs) {
+		n = len(rs)
+	}
+	out := &Trace{Minutes: t.Minutes}
+	for _, r := range rs[:n] {
+		out.Functions = append(out.Functions, t.Functions[r.idx])
+		row := make([]int, t.Minutes)
+		copy(row, t.Counts[r.idx])
+		out.Counts = append(out.Counts, row)
+	}
+	return out
+}
+
+// FirstMinutes returns a trace truncated to the first m minutes (the paper
+// extracts the first 6 minutes).
+func (t *Trace) FirstMinutes(m int) *Trace {
+	if m > t.Minutes {
+		m = t.Minutes
+	}
+	out := &Trace{Functions: append([]string(nil), t.Functions...), Minutes: m}
+	for _, row := range t.Counts {
+		out.Counts = append(out.Counts, append([]int(nil), row[:m]...))
+	}
+	return out
+}
+
+// NormalizeMinutes scales every minute so its column sum equals budget
+// requests (the paper normalizes to 325 requests/minute for its 12-GPU
+// testbed), preserving each function's within-minute share. Rounding
+// residue is assigned to the most popular functions of that minute via
+// largest-remainder apportionment, so the column sums are exact.
+func (t *Trace) NormalizeMinutes(budget int) *Trace {
+	out := &Trace{Functions: append([]string(nil), t.Functions...), Minutes: t.Minutes}
+	out.Counts = make([][]int, len(t.Counts))
+	for i := range out.Counts {
+		out.Counts[i] = make([]int, t.Minutes)
+	}
+	for m := 0; m < t.Minutes; m++ {
+		var colSum int64
+		for i := range t.Counts {
+			colSum += int64(t.Counts[i][m])
+		}
+		if colSum == 0 {
+			continue
+		}
+		type frac struct {
+			idx  int
+			rem  float64
+			base int
+		}
+		fracs := make([]frac, 0, len(t.Counts))
+		assigned := 0
+		for i := range t.Counts {
+			exact := float64(t.Counts[i][m]) * float64(budget) / float64(colSum)
+			base := int(math.Floor(exact))
+			assigned += base
+			fracs = append(fracs, frac{idx: i, rem: exact - float64(base), base: base})
+		}
+		sort.SliceStable(fracs, func(a, b int) bool { return fracs[a].rem > fracs[b].rem })
+		left := budget - assigned
+		for k := range fracs {
+			n := fracs[k].base
+			if k < left {
+				n++
+			}
+			out.Counts[fracs[k].idx][m] = n
+		}
+	}
+	return out
+}
+
+// ZipfWeights returns normalized rank weights w_r ∝ (r+1)^-s for r in
+// [0, n). s = 0 is uniform; larger s is more skewed.
+func ZipfWeights(n int, s float64) []float64 {
+	w := make([]float64, n)
+	var sum float64
+	for i := 0; i < n; i++ {
+		w[i] = math.Pow(float64(i+1), -s)
+		sum += w[i]
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return w
+}
+
+// WorkloadZipfS is the within-working-set skew used when redistributing
+// the per-minute request budget across the working set. The paper states
+// that the top-15 functions carry 56% of the per-minute invocations; with
+// s = 0.4 the top 15 of a 35-function working set receive ≈57% of the
+// budget, matching that statistic while leaving the remaining functions
+// enough traffic to exert the memory pressure the evaluation observes at
+// the larger working sets.
+const WorkloadZipfS = 0.4
+
+// RedistributeMinutes reassigns each minute's budget across the trace's
+// functions (assumed ordered by descending popularity, as TopN produces)
+// according to Zipf rank weights with exponent s, using largest-remainder
+// apportionment so each minute sums exactly to budget. This implements the
+// paper's workload construction: "we randomly distribute the invocations
+// of different functions while maintaining the normalized total
+// invocations per minute" (§V-A1).
+func (t *Trace) RedistributeMinutes(budget int, s float64) *Trace {
+	out := &Trace{Functions: append([]string(nil), t.Functions...), Minutes: t.Minutes}
+	out.Counts = make([][]int, len(t.Counts))
+	for i := range out.Counts {
+		out.Counts[i] = make([]int, t.Minutes)
+	}
+	if len(t.Counts) == 0 {
+		return out
+	}
+	weights := ZipfWeights(len(t.Counts), s)
+	for m := 0; m < t.Minutes; m++ {
+		type frac struct {
+			idx  int
+			rem  float64
+			base int
+		}
+		fracs := make([]frac, 0, len(t.Counts))
+		assigned := 0
+		for i := range t.Counts {
+			exact := weights[i] * float64(budget)
+			base := int(math.Floor(exact))
+			assigned += base
+			fracs = append(fracs, frac{idx: i, rem: exact - float64(base), base: base})
+		}
+		sort.SliceStable(fracs, func(a, b int) bool { return fracs[a].rem > fracs[b].rem })
+		left := budget - assigned
+		for k := range fracs {
+			n := fracs[k].base
+			if k < left {
+				n++
+			}
+			out.Counts[fracs[k].idx][m] = n
+		}
+	}
+	return out
+}
+
+// Request is one function invocation materialized from the trace.
+type Request struct {
+	// ID is a unique sequence number in arrival order.
+	ID int64
+	// Function is the trace function identifier.
+	Function string
+	// Model is the inference model the function uses.
+	Model string
+	// Arrival is the offset from the start of the workload.
+	Arrival time.Duration
+	// BatchSize is the inference batch size (the evaluation fixes 32).
+	BatchSize int
+	// Tenant optionally identifies the owning tenant (multi-tenancy
+	// extension, §VI); empty for the paper's single-tenant evaluation.
+	Tenant string
+}
+
+// ModelMapping assigns models to trace functions. The paper maps "each
+// unique function in the trace to a unique model in Table I and ensure[s]
+// models with different sizes are distributed evenly in the workload".
+type ModelMapping map[string]string
+
+// EvenSizeMapping maps functions (in descending popularity order) onto the
+// given models such that model sizes are distributed evenly across the
+// popularity ranks: models are taken in size order and dealt round-robin,
+// wrapping when the working set exceeds the model count.
+func EvenSizeMapping(functions []string, modelNames []string) (ModelMapping, error) {
+	if len(modelNames) == 0 {
+		return nil, fmt.Errorf("trace: no models to map onto")
+	}
+	mm := make(ModelMapping, len(functions))
+	for i, f := range functions {
+		mm[f] = modelNames[i%len(modelNames)]
+	}
+	return mm, nil
+}
+
+// BuildRequests expands a trace into a time-ordered request stream.
+// Within each minute, invocations of the different functions are shuffled
+// uniformly and assigned arrival offsets spread evenly across the minute,
+// matching the paper's "randomly distribute the invocations of different
+// functions while maintaining the normalized total invocations per minute".
+// The rng makes the workload reproducible.
+func (t *Trace) BuildRequests(mapping ModelMapping, batch int, rng *rand.Rand) ([]Request, error) {
+	if batch <= 0 {
+		return nil, fmt.Errorf("trace: non-positive batch size %d", batch)
+	}
+	var reqs []Request
+	var id int64
+	for m := 0; m < t.Minutes; m++ {
+		var minuteFns []string
+		for i, row := range t.Counts {
+			model, ok := mapping[t.Functions[i]]
+			if !ok {
+				return nil, fmt.Errorf("trace: no model mapping for function %q", t.Functions[i])
+			}
+			_ = model
+			for k := 0; k < row[m]; k++ {
+				minuteFns = append(minuteFns, t.Functions[i])
+			}
+		}
+		rng.Shuffle(len(minuteFns), func(a, b int) {
+			minuteFns[a], minuteFns[b] = minuteFns[b], minuteFns[a]
+		})
+		n := len(minuteFns)
+		for k, fn := range minuteFns {
+			offset := time.Duration(float64(time.Minute) * float64(k) / float64(max(n, 1)))
+			reqs = append(reqs, Request{
+				ID:        id,
+				Function:  fn,
+				Model:     mapping[fn],
+				Arrival:   time.Duration(m)*time.Minute + offset,
+				BatchSize: batch,
+			})
+			id++
+		}
+	}
+	return reqs, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// SynthConfig controls the Azure-shaped synthesizer.
+type SynthConfig struct {
+	// Functions is the total number of unique functions (the real trace
+	// has 46,413).
+	Functions int
+	// Minutes is the number of per-minute columns to generate.
+	Minutes int
+	// InvocationsPerMinute is the mean column sum before normalization.
+	InvocationsPerMinute int
+	// TopShare is the fraction of invocations the TopCount hottest
+	// functions receive (paper: 0.56 for the top 15).
+	TopShare float64
+	// TopCount is the size of the hot set (paper: 15).
+	TopCount int
+	// Seed makes generation reproducible.
+	Seed int64
+}
+
+// DefaultSynthConfig mirrors the published Azure trace statistics scaled
+// to the paper's 6-minute evaluation window.
+func DefaultSynthConfig() SynthConfig {
+	return SynthConfig{
+		Functions:            46413,
+		Minutes:              6,
+		InvocationsPerMinute: 40000,
+		TopShare:             0.56,
+		TopCount:             15,
+		Seed:                 1,
+	}
+}
+
+// Synthesize builds a trace matching cfg: a Zipf-like popularity curve over
+// the hot set scaled so it receives exactly TopShare of the mass, with the
+// remainder spread across the long tail so that each tail function stays
+// under 0.01% of per-minute invocations, as the paper describes. Counts
+// vary Poisson-like across minutes.
+func Synthesize(cfg SynthConfig) (*Trace, error) {
+	if cfg.Functions <= 0 || cfg.Minutes <= 0 || cfg.InvocationsPerMinute <= 0 {
+		return nil, fmt.Errorf("trace: invalid synth config %+v", cfg)
+	}
+	if cfg.TopCount <= 0 || cfg.TopCount > cfg.Functions {
+		return nil, fmt.Errorf("trace: invalid TopCount %d", cfg.TopCount)
+	}
+	if cfg.TopShare <= 0 || cfg.TopShare >= 1 {
+		return nil, fmt.Errorf("trace: TopShare must be in (0,1), got %g", cfg.TopShare)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Popularity weights: Zipf(s=1) within the hot set, scaled to
+	// TopShare; uniform-ish tail with mild Zipf decay for the rest.
+	weights := make([]float64, cfg.Functions)
+	var hotRaw float64
+	for i := 0; i < cfg.TopCount; i++ {
+		w := 1 / float64(i+1)
+		weights[i] = w
+		hotRaw += w
+	}
+	for i := 0; i < cfg.TopCount; i++ {
+		weights[i] = weights[i] / hotRaw * cfg.TopShare
+	}
+	tail := cfg.Functions - cfg.TopCount
+	if tail > 0 {
+		// Near-uniform tail with a gentle linear decay (1.5x to 0.5x of
+		// the mean): the paper reports every tail function individually
+		// contributes <0.01% of invocations, i.e. the tail is flat.
+		var tailRaw float64
+		for i := 0; i < tail; i++ {
+			w := 1.5 - float64(i)/float64(tail)
+			weights[cfg.TopCount+i] = w
+			tailRaw += w
+		}
+		for i := 0; i < tail; i++ {
+			weights[cfg.TopCount+i] = weights[cfg.TopCount+i] / tailRaw * (1 - cfg.TopShare)
+		}
+	} else {
+		// No tail: renormalize the hot set to 1.
+		for i := range weights {
+			weights[i] /= cfg.TopShare
+		}
+	}
+
+	t := &Trace{Minutes: cfg.Minutes}
+	t.Functions = make([]string, cfg.Functions)
+	t.Counts = make([][]int, cfg.Functions)
+	for i := 0; i < cfg.Functions; i++ {
+		t.Functions[i] = fmt.Sprintf("func-%05d", i)
+		t.Counts[i] = make([]int, cfg.Minutes)
+	}
+	for m := 0; m < cfg.Minutes; m++ {
+		for i := 0; i < cfg.Functions; i++ {
+			mean := weights[i] * float64(cfg.InvocationsPerMinute)
+			t.Counts[i][m] = poisson(rng, mean)
+		}
+	}
+	return t, nil
+}
+
+// poisson draws a Poisson variate; for large means it falls back to a
+// normal approximation to stay O(1).
+func poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 30 {
+		v := mean + math.Sqrt(mean)*rng.NormFloat64()
+		if v < 0 {
+			return 0
+		}
+		return int(v + 0.5)
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 1000 {
+			return k
+		}
+	}
+}
+
+// ParseCSV reads the Azure trace CSV format: a header row, then one row per
+// function: "HashFunction,1,2,...,1440" where numbered columns hold
+// per-minute invocation counts. Columns other than the function hash and
+// minute counts (e.g. HashOwner, HashApp, Trigger in the published
+// dataset) are skipped by name.
+func ParseCSV(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("trace: empty CSV")
+	}
+	header := strings.Split(sc.Text(), ",")
+	fnCol := -1
+	minuteCols := make([]int, 0, len(header))
+	for i, h := range header {
+		h = strings.TrimSpace(h)
+		if _, err := strconv.Atoi(h); err == nil {
+			minuteCols = append(minuteCols, i)
+			continue
+		}
+		if strings.EqualFold(h, "HashFunction") || strings.EqualFold(h, "Function") {
+			fnCol = i
+		}
+	}
+	if fnCol < 0 {
+		return nil, fmt.Errorf("trace: CSV header lacks a HashFunction column")
+	}
+	if len(minuteCols) == 0 {
+		return nil, fmt.Errorf("trace: CSV header lacks minute columns")
+	}
+	t := &Trace{Minutes: len(minuteCols)}
+	line := 1
+	for sc.Scan() {
+		line++
+		row := strings.Split(sc.Text(), ",")
+		if len(row) != len(header) {
+			return nil, fmt.Errorf("trace: line %d has %d fields, want %d", line, len(row), len(header))
+		}
+		t.Functions = append(t.Functions, strings.TrimSpace(row[fnCol]))
+		counts := make([]int, len(minuteCols))
+		for k, col := range minuteCols {
+			v, err := strconv.Atoi(strings.TrimSpace(row[col]))
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d col %d: %v", line, col, err)
+			}
+			if v < 0 {
+				return nil, fmt.Errorf("trace: line %d col %d: negative count", line, col)
+			}
+			counts[k] = v
+		}
+		t.Counts = append(t.Counts, counts)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return t, t.Validate()
+}
+
+// WriteCSV emits the trace in the Azure CSV format.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("HashFunction"); err != nil {
+		return err
+	}
+	for m := 1; m <= t.Minutes; m++ {
+		fmt.Fprintf(bw, ",%d", m)
+	}
+	bw.WriteByte('\n')
+	for i, fn := range t.Functions {
+		bw.WriteString(fn)
+		for _, c := range t.Counts[i] {
+			fmt.Fprintf(bw, ",%d", c)
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// PaperWorkload builds the exact workload of §V-A1: synthesize (or accept)
+// an Azure-shaped trace, truncate to the first `minutes` minutes, restrict
+// to the top `workingSet` functions, normalize each minute to
+// `requestsPerMinute`, map onto the model names evenly by size, and expand
+// to a shuffled request stream.
+func PaperWorkload(t *Trace, minutes, workingSet, requestsPerMinute int, modelNames []string, batch int, seed int64) ([]Request, error) {
+	if workingSet <= 0 {
+		return nil, fmt.Errorf("trace: non-positive working set %d", workingSet)
+	}
+	w := t.FirstMinutes(minutes).TopN(workingSet).NormalizeMinutes(requestsPerMinute)
+	mapping, err := EvenSizeMapping(w.Functions, modelNames)
+	if err != nil {
+		return nil, err
+	}
+	return w.BuildRequests(mapping, batch, rand.New(rand.NewSource(seed)))
+}

@@ -1,0 +1,394 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func synthSmall(t *testing.T) *Trace {
+	t.Helper()
+	cfg := SynthConfig{
+		Functions:            500,
+		Minutes:              6,
+		InvocationsPerMinute: 5000,
+		TopShare:             0.56,
+		TopCount:             15,
+		Seed:                 7,
+	}
+	tr, err := Synthesize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestSynthesizeShape(t *testing.T) {
+	tr := synthSmall(t)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	share := tr.TopShare(15)
+	if math.Abs(share-0.56) > 0.05 {
+		t.Errorf("top-15 share = %.3f, want ~0.56", share)
+	}
+	// Tail functions must each be small relative to the total.
+	totals := tr.FunctionTotals()
+	grand := tr.TotalInvocations()
+	// identify the 15 largest
+	hot := map[int]bool{}
+	type kv struct {
+		i int
+		v int64
+	}
+	var rs []kv
+	for i, v := range totals {
+		rs = append(rs, kv{i, v})
+	}
+	for k := 0; k < 15; k++ {
+		best := k
+		for j := k + 1; j < len(rs); j++ {
+			if rs[j].v > rs[best].v {
+				best = j
+			}
+		}
+		rs[k], rs[best] = rs[best], rs[k]
+		hot[rs[k].i] = true
+	}
+	for i, v := range totals {
+		if hot[i] {
+			continue
+		}
+		if frac := float64(v) / float64(grand); frac > 0.01 {
+			t.Errorf("tail function %d has share %.4f, want < 0.01", i, frac)
+		}
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	a := synthSmall(t)
+	b := synthSmall(t)
+	if a.TotalInvocations() != b.TotalInvocations() {
+		t.Fatal("same seed produced different traces")
+	}
+	for i := range a.Counts {
+		for m := range a.Counts[i] {
+			if a.Counts[i][m] != b.Counts[i][m] {
+				t.Fatal("same seed produced different counts")
+			}
+		}
+	}
+}
+
+func TestSynthesizeConfigErrors(t *testing.T) {
+	bad := []SynthConfig{
+		{Functions: 0, Minutes: 1, InvocationsPerMinute: 1, TopCount: 1, TopShare: 0.5},
+		{Functions: 10, Minutes: 0, InvocationsPerMinute: 1, TopCount: 1, TopShare: 0.5},
+		{Functions: 10, Minutes: 1, InvocationsPerMinute: 0, TopCount: 1, TopShare: 0.5},
+		{Functions: 10, Minutes: 1, InvocationsPerMinute: 1, TopCount: 0, TopShare: 0.5},
+		{Functions: 10, Minutes: 1, InvocationsPerMinute: 1, TopCount: 20, TopShare: 0.5},
+		{Functions: 10, Minutes: 1, InvocationsPerMinute: 1, TopCount: 5, TopShare: 0},
+		{Functions: 10, Minutes: 1, InvocationsPerMinute: 1, TopCount: 5, TopShare: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := Synthesize(cfg); err == nil {
+			t.Errorf("config %d should fail: %+v", i, cfg)
+		}
+	}
+}
+
+func TestSynthesizeNoTail(t *testing.T) {
+	tr, err := Synthesize(SynthConfig{Functions: 15, Minutes: 2, InvocationsPerMinute: 1000, TopCount: 15, TopShare: 0.56, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.TotalInvocations() == 0 {
+		t.Fatal("no invocations generated")
+	}
+}
+
+func TestTopN(t *testing.T) {
+	tr := synthSmall(t)
+	top := tr.TopN(15)
+	if len(top.Functions) != 15 {
+		t.Fatalf("TopN kept %d", len(top.Functions))
+	}
+	totals := top.FunctionTotals()
+	for i := 1; i < len(totals); i++ {
+		if totals[i] > totals[i-1] {
+			t.Fatal("TopN not sorted by popularity")
+		}
+	}
+	// Requesting more than available returns everything.
+	if got := tr.TopN(10_000); len(got.Functions) != 500 {
+		t.Errorf("overlarge TopN kept %d", len(got.Functions))
+	}
+}
+
+func TestFirstMinutes(t *testing.T) {
+	tr := synthSmall(t)
+	f := tr.FirstMinutes(2)
+	if f.Minutes != 2 {
+		t.Fatalf("Minutes = %d", f.Minutes)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.FirstMinutes(99); got.Minutes != 6 {
+		t.Errorf("clamped FirstMinutes = %d", got.Minutes)
+	}
+}
+
+func TestNormalizeMinutesExactBudget(t *testing.T) {
+	tr := synthSmall(t).TopN(25)
+	n := tr.NormalizeMinutes(325)
+	for m := 0; m < n.Minutes; m++ {
+		sum := 0
+		for i := range n.Counts {
+			sum += n.Counts[i][m]
+		}
+		if sum != 325 {
+			t.Errorf("minute %d sums to %d, want 325", m, sum)
+		}
+	}
+	// Shares approximately preserved for the hottest function.
+	beforeTotals := tr.FunctionTotals()
+	afterTotals := n.FunctionTotals()
+	before := float64(beforeTotals[0]) / float64(tr.TotalInvocations())
+	after := float64(afterTotals[0]) / float64(n.TotalInvocations())
+	if math.Abs(before-after) > 0.03 {
+		t.Errorf("hot share drifted: %.3f -> %.3f", before, after)
+	}
+}
+
+func TestNormalizeEmptyMinute(t *testing.T) {
+	tr := &Trace{
+		Functions: []string{"a", "b"},
+		Counts:    [][]int{{0, 3}, {0, 1}},
+		Minutes:   2,
+	}
+	n := tr.NormalizeMinutes(100)
+	if n.Counts[0][0] != 0 || n.Counts[1][0] != 0 {
+		t.Error("empty minute should stay empty")
+	}
+	if n.Counts[0][1]+n.Counts[1][1] != 100 {
+		t.Error("non-empty minute should sum to budget")
+	}
+}
+
+// Property: normalization hits the budget exactly for any column.
+func TestNormalizeBudgetProperty(t *testing.T) {
+	f := func(counts []uint8, budget uint8) bool {
+		if len(counts) == 0 || budget == 0 {
+			return true
+		}
+		tr := &Trace{Minutes: 1}
+		anyPositive := false
+		for i, c := range counts {
+			tr.Functions = append(tr.Functions, string(rune('a'+i%26))+string(rune('0'+i%10)))
+			tr.Counts = append(tr.Counts, []int{int(c)})
+			if c > 0 {
+				anyPositive = true
+			}
+		}
+		n := tr.NormalizeMinutes(int(budget))
+		sum := 0
+		for i := range n.Counts {
+			sum += n.Counts[i][0]
+		}
+		if !anyPositive {
+			return sum == 0
+		}
+		return sum == int(budget)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvenSizeMapping(t *testing.T) {
+	fns := []string{"f0", "f1", "f2", "f3", "f4"}
+	models := []string{"m0", "m1", "m2"}
+	mm, err := EvenSizeMapping(fns, models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mm["f0"] != "m0" || mm["f3"] != "m0" || mm["f4"] != "m1" {
+		t.Errorf("mapping = %v", mm)
+	}
+	if _, err := EvenSizeMapping(fns, nil); err == nil {
+		t.Error("want error with no models")
+	}
+}
+
+func TestBuildRequests(t *testing.T) {
+	tr := &Trace{
+		Functions: []string{"hot", "cold"},
+		Counts:    [][]int{{3, 2}, {1, 0}},
+		Minutes:   2,
+	}
+	mm := ModelMapping{"hot": "resnet18", "cold": "vgg19"}
+	reqs, err := tr.BuildRequests(mm, 32, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 6 {
+		t.Fatalf("got %d requests", len(reqs))
+	}
+	for i, r := range reqs {
+		if r.ID != int64(i) {
+			t.Errorf("IDs not sequential: %d at %d", r.ID, i)
+		}
+		if i > 0 && r.Arrival < reqs[i-1].Arrival {
+			t.Error("arrivals not sorted")
+		}
+		if r.BatchSize != 32 {
+			t.Error("batch size lost")
+		}
+		if r.Model != mm[r.Function] {
+			t.Error("model mapping broken")
+		}
+	}
+	// Minute boundaries respected: first 4 in minute 0, last 2 in minute 1.
+	if reqs[3].Arrival >= time.Minute || reqs[4].Arrival < time.Minute {
+		t.Errorf("minute bucketing wrong: %v %v", reqs[3].Arrival, reqs[4].Arrival)
+	}
+}
+
+func TestBuildRequestsErrors(t *testing.T) {
+	tr := &Trace{Functions: []string{"f"}, Counts: [][]int{{1}}, Minutes: 1}
+	if _, err := tr.BuildRequests(ModelMapping{}, 32, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("want error for missing mapping")
+	}
+	if _, err := tr.BuildRequests(ModelMapping{"f": "m"}, 0, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("want error for zero batch")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := synthSmall(t).TopN(20)
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Functions) != 20 || back.Minutes != 6 {
+		t.Fatalf("round trip lost shape: %d fns, %d minutes", len(back.Functions), back.Minutes)
+	}
+	for i := range tr.Counts {
+		if back.Functions[i] != tr.Functions[i] {
+			t.Fatal("function names lost")
+		}
+		for m := range tr.Counts[i] {
+			if back.Counts[i][m] != tr.Counts[i][m] {
+				t.Fatal("counts lost")
+			}
+		}
+	}
+}
+
+func TestParseCSVWithExtraColumns(t *testing.T) {
+	csv := "HashOwner,HashApp,HashFunction,Trigger,1,2\no1,a1,fX,http,5,7\no2,a2,fY,queue,0,1\n"
+	tr, err := ParseCSV(strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Minutes != 2 || len(tr.Functions) != 2 {
+		t.Fatalf("shape = %d fns %d minutes", len(tr.Functions), tr.Minutes)
+	}
+	if tr.Functions[0] != "fX" || tr.Counts[0][1] != 7 {
+		t.Errorf("parse wrong: %+v", tr)
+	}
+}
+
+func TestParseCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"NoFunctionCol,foo\nx,y\n",
+		"HashFunction\nf1\n",
+		"HashFunction,1\nf1,notanumber\n",
+		"HashFunction,1\nf1,-3\n",
+		"HashFunction,1,2\nf1,5\n",
+	}
+	for i, c := range cases {
+		if _, err := ParseCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d should fail: %q", i, c)
+		}
+	}
+}
+
+func TestPaperWorkload(t *testing.T) {
+	tr := synthSmall(t)
+	names := []string{"m0", "m1", "m2", "m3", "m4"}
+	reqs, err := PaperWorkload(tr, 6, 25, 325, names, 32, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 6*325 {
+		t.Fatalf("got %d requests, want %d", len(reqs), 6*325)
+	}
+	// Every minute has exactly 325 requests.
+	perMinute := map[int]int{}
+	for _, r := range reqs {
+		perMinute[int(r.Arrival/time.Minute)]++
+	}
+	for m := 0; m < 6; m++ {
+		if perMinute[m] != 325 {
+			t.Errorf("minute %d has %d requests", m, perMinute[m])
+		}
+	}
+	// Working set respected.
+	fns := map[string]bool{}
+	for _, r := range reqs {
+		fns[r.Function] = true
+	}
+	if len(fns) > 25 {
+		t.Errorf("working set = %d, want <= 25", len(fns))
+	}
+	if _, err := PaperWorkload(tr, 6, 0, 325, names, 32, 1); err == nil {
+		t.Error("want error for zero working set")
+	}
+}
+
+func TestPaperWorkloadDeterministic(t *testing.T) {
+	tr := synthSmall(t)
+	names := []string{"m0", "m1"}
+	a, err := PaperWorkload(tr, 3, 15, 100, names, 32, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PaperWorkload(tr, 3, 15, 100, names, 32, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different workloads")
+		}
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	bad := &Trace{Functions: []string{"a"}, Counts: [][]int{{1}, {2}}, Minutes: 1}
+	if bad.Validate() == nil {
+		t.Error("row/function mismatch should fail")
+	}
+	bad2 := &Trace{Functions: []string{"a"}, Counts: [][]int{{1, 2}}, Minutes: 1}
+	if bad2.Validate() == nil {
+		t.Error("minute mismatch should fail")
+	}
+	bad3 := &Trace{Functions: []string{"a"}, Counts: [][]int{{-1}}, Minutes: 1}
+	if bad3.Validate() == nil {
+		t.Error("negative count should fail")
+	}
+}
