@@ -1,0 +1,45 @@
+# Local targets mirror .github/workflows/ci.yml exactly, so `make ci`
+# reproduces the gate a PR must pass.
+
+GO ?= go
+
+.PHONY: all build test race vet fmt fmt-check bench bench-smoke snapshot ci-snapshot ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Full benchmark suite: regenerates every table/figure series.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# One iteration per benchmark: the CI smoke pass.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Machine-readable perf snapshot (schema in EXPERIMENTS.md).
+snapshot:
+	$(GO) run ./cmd/faas-bench -exp all -json BENCH_baseline.json
+
+# The same snapshot CI produces (uploaded as an artifact there).
+ci-snapshot:
+	$(GO) run ./cmd/faas-bench -exp fig4 -json BENCH_ci.json
+
+ci: fmt-check vet build race bench-smoke ci-snapshot

@@ -12,11 +12,14 @@ package gpufaas
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
+	"time"
 
 	"gpufaas/internal/cache"
 	"gpufaas/internal/core"
 	"gpufaas/internal/experiments"
+	"gpufaas/internal/sim"
 )
 
 // benchRun executes one experiment per iteration and reports its metrics.
@@ -209,6 +212,171 @@ func BenchmarkAblationGPUScaling(b *testing.B) {
 					"sm_utilization": r.SMUtilization,
 				}
 			})
+		})
+	}
+}
+
+// schedBackend is a synthetic core.Backend over a large cluster used by
+// BenchmarkScheduleDecision. In scan mode it reproduces the seed's
+// lookup shape: GPUsCaching walks every GPU and idle GPUs are found by
+// scanning Busy. The indexed variant (idleListerBackend wrapper +
+// precomputed holder lists) is the shape the cluster backend has after
+// the Cache-Manager-index / idle-set refactor.
+type schedBackend struct {
+	ids     []string
+	busy    map[string]bool
+	cached  map[string]map[string]bool // gpuID -> model set
+	holders map[string][]string        // model -> GPUs, GPUIDs order
+	indexed bool
+}
+
+func (s *schedBackend) GPUIDs() []string         { return s.ids }
+func (s *schedBackend) Busy(id string) bool      { return s.busy[id] }
+func (s *schedBackend) Cached(id, m string) bool { return s.cached[id][m] }
+func (s *schedBackend) GPUsCaching(m string) []string {
+	if s.indexed {
+		return s.holders[m]
+	}
+	var out []string
+	for _, id := range s.ids {
+		if s.cached[id][m] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+func (s *schedBackend) EstimatedFinish(id string, now sim.Time) time.Duration {
+	if s.busy[id] {
+		return 40 * time.Millisecond
+	}
+	return 0
+}
+func (s *schedBackend) LoadTime(id, m string) time.Duration { return 90 * time.Millisecond }
+func (s *schedBackend) InferTime(id, m string, batch int) time.Duration {
+	return 12 * time.Millisecond
+}
+
+// idleListerBackend adds the core.IdleLister extension, so the scheduler
+// iterates the precomputed idle set instead of scanning.
+type idleListerBackend struct {
+	*schedBackend
+	idle []string
+}
+
+func (b idleListerBackend) IdleGPUs() []string { return b.idle }
+
+// newSchedBackend builds a 64-GPU, 192-model cluster snapshot: half the
+// GPUs busy, each model resident on up to two GPUs.
+func newSchedBackend(indexed bool) (core.Backend, *schedBackend) {
+	const gpus, mdls = 64, 192
+	s := &schedBackend{
+		busy:    make(map[string]bool),
+		cached:  make(map[string]map[string]bool),
+		holders: make(map[string][]string),
+		indexed: indexed,
+	}
+	for g := 0; g < gpus; g++ {
+		id := fmt.Sprintf("g%02d", g)
+		s.ids = append(s.ids, id)
+		s.cached[id] = make(map[string]bool)
+		s.busy[id] = g%2 == 1
+	}
+	rng := rand.New(rand.NewSource(7))
+	for m := 0; m < mdls; m++ {
+		model := fmt.Sprintf("m%03d", m)
+		for _, g := range []int{rng.Intn(gpus), rng.Intn(gpus)} {
+			id := s.ids[g]
+			if !s.cached[id][model] {
+				s.cached[id][model] = true
+			}
+		}
+		for _, id := range s.ids { // holders in GPUIDs order
+			if s.cached[id][model] {
+				s.holders[model] = append(s.holders[model], id)
+			}
+		}
+	}
+	if !indexed {
+		return s, s
+	}
+	var idle []string
+	for _, id := range s.ids {
+		if !s.busy[id] {
+			idle = append(idle, id)
+		}
+	}
+	return idleListerBackend{schedBackend: s, idle: idle}, s
+}
+
+// schedRequests builds a deterministic queue of n requests over the
+// backend's models (zipf-ish: low-numbered models are hotter).
+func schedRequests(n int) []*core.Request {
+	rng := rand.New(rand.NewSource(11))
+	zipf := rand.NewZipf(rng, 1.2, 1.0, 191)
+	reqs := make([]*core.Request, n)
+	for i := range reqs {
+		reqs[i] = &core.Request{
+			ID:        int64(i),
+			Model:     fmt.Sprintf("m%03d", zipf.Uint64()),
+			BatchSize: 32,
+			Arrival:   sim.Time(i),
+		}
+	}
+	return reqs
+}
+
+// scheduleOnce runs one full Schedule round over a fresh scheduler and
+// queue, returning the dispatches.
+func scheduleOnce(b testing.TB, backend core.Backend, n int) []core.Dispatch {
+	s, err := core.New(core.Config{Policy: core.LALBO3, O3Limit: core.DefaultO3Limit}, backend)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, r := range schedRequests(n) {
+		if err := s.Enqueue(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return s.Schedule(sim.Time(n))
+}
+
+// TestScheduleDecisionEquivalence pins the refactor's contract: the
+// indexed backend (incremental idle set + holder lists) and the
+// scan-based backend produce identical dispatch sequences.
+func TestScheduleDecisionEquivalence(t *testing.T) {
+	idxBackend, _ := newSchedBackend(true)
+	scanBackend, _ := newSchedBackend(false)
+	di := scheduleOnce(t, idxBackend, 256)
+	ds := scheduleOnce(t, scanBackend, 256)
+	if len(di) != len(ds) {
+		t.Fatalf("dispatch counts differ: indexed=%d scan=%d", len(di), len(ds))
+	}
+	for i := range di {
+		if di[i].Req.ID != ds[i].Req.ID || di[i].GPU != ds[i].GPU ||
+			di[i].ExpectHit != ds[i].ExpectHit || di[i].FromLocalQueue != ds[i].FromLocalQueue {
+			t.Errorf("dispatch %d differs: indexed=%+v scan=%+v", i, di[i], ds[i])
+		}
+	}
+	if len(di) == 0 {
+		t.Fatal("no dispatches produced")
+	}
+}
+
+// BenchmarkScheduleDecision measures one full Schedule round (64 GPUs,
+// half busy, 256 queued requests) with the indexed backend (incremental
+// idle set + model→resident-GPUs holder lists) against the seed's
+// scan-based lookups. This is the hot path of every simulation event.
+func BenchmarkScheduleDecision(b *testing.B) {
+	for _, mode := range []string{"indexed", "scan"} {
+		mode := mode
+		b.Run(mode, func(b *testing.B) {
+			backend, _ := newSchedBackend(mode == "indexed")
+			var dispatches int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dispatches = len(scheduleOnce(b, backend, 256))
+			}
+			b.ReportMetric(float64(dispatches), "dispatches")
 		})
 	}
 }

@@ -1,95 +1,167 @@
 // Command faas-bench regenerates the paper's evaluation artifacts: Table I
 // and the data series behind Figures 4a/4b/4c, 5, 6 and 7, plus the
-// extension ablations (cache replacement policy, GPU scaling).
+// extension ablations (cache replacement policy, GPU scaling). Grid
+// experiments fan out across a worker pool; -json writes a machine-
+// readable BENCH_*.json snapshot (schema documented in EXPERIMENTS.md) so
+// the perf trajectory is tracked across commits.
 //
 // Usage:
 //
 //	faas-bench [-exp all|table1|fig4|fig7|cachepolicy|scaling]
+//	           [-workers N] [-json BENCH_baseline.json] [-v]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
+	"time"
 
 	"gpufaas/internal/experiments"
 )
 
+// snapshot is the BENCH_*.json payload. Every figure series the run
+// produced is embedded, plus enough environment metadata to compare
+// wall-clock numbers across commits.
+type snapshot struct {
+	Schema      string  `json:"schema"`
+	CreatedAt   string  `json:"created_at"`
+	GoVersion   string  `json:"go_version"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	Workers     int     `json:"workers"`
+	Experiment  string  `json:"experiment"`
+	WallSeconds float64 `json:"wall_seconds"`
+
+	Experiments map[string]expResult `json:"experiments"`
+}
+
+// expResult is one experiment's series plus its wall-clock cost.
+type expResult struct {
+	WallSeconds float64                    `json:"wall_seconds"`
+	Runs        int                        `json:"runs"`
+	Rows        []experiments.Row          `json:"rows,omitempty"`
+	Fig7        []experiments.Fig7Point    `json:"fig7,omitempty"`
+	TableI      []experiments.TableIRow    `json:"table1,omitempty"`
+	CachePolicy map[string]experiments.Row `json:"cache_policy,omitempty"`
+}
+
 func main() {
 	exp := flag.String("exp", "all", "experiment to run: all|table1|fig4|fig7|cachepolicy|scaling")
+	workers := flag.Int("workers", 0, "concurrent experiment runs (0 = GOMAXPROCS)")
+	jsonPath := flag.String("json", "", "write a BENCH_*.json snapshot to this path")
+	verbose := flag.Bool("v", false, "stream each grid cell as it completes")
 	flag.Parse()
 
-	run := func(name string, fn func() error) {
-		fmt.Printf("\n== %s ==\n", name)
-		if err := fn(); err != nil {
+	switch *exp {
+	case "all", "table1", "fig4", "fig7", "cachepolicy", "scaling":
+	default:
+		fmt.Fprintf(os.Stderr, "faas-bench: unknown experiment %q (want all|table1|fig4|fig7|cachepolicy|scaling)\n", *exp)
+		os.Exit(2)
+	}
+
+	var stream func(experiments.Spec, experiments.Row)
+	if *verbose {
+		stream = func(s experiments.Spec, r experiments.Row) {
+			fmt.Printf("  done %-24s avg_lat=%.3fs miss=%.4f\n", s.Name, r.AvgLatencySec, r.MissRatio)
+		}
+	}
+	m := experiments.Matrix{Workers: *workers, OnRow: stream}
+
+	snap := snapshot{
+		Schema:      "gpufaas-bench/v1",
+		CreatedAt:   time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Workers:     *workers,
+		Experiment:  *exp,
+		Experiments: make(map[string]expResult),
+	}
+
+	run := func(name, title string, fn func() (expResult, error)) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		fmt.Printf("\n== %s ==\n", title)
+		start := time.Now()
+		res, err := fn()
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "faas-bench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
+		res.WallSeconds = time.Since(start).Seconds()
+		snap.Experiments[name] = res
+		fmt.Printf("-- %s: %d runs in %.2fs\n", name, res.Runs, res.WallSeconds)
 	}
 
-	want := func(name string) bool { return *exp == "all" || *exp == name }
+	total := time.Now()
+	run("table1", "Table I — model profiles (occupancy, load, inference @ batch 32)", func() (expResult, error) {
+		rows, err := experiments.TableI()
+		if err != nil {
+			return expResult{}, err
+		}
+		experiments.WriteTableI(os.Stdout, rows)
+		return expResult{TableI: rows, Runs: 1}, nil
+	})
+	run("fig4", "Figures 4a/4b/4c, 5, 6 — scheduler x working-set matrix", func() (expResult, error) {
+		rows, err := experiments.Fig4MatrixWith(m)
+		if err != nil {
+			return expResult{}, err
+		}
+		experiments.WriteFig4Table(os.Stdout, rows)
+		return expResult{Rows: rows, Runs: len(rows)}, nil
+	})
+	run("fig7", "Figure 7 — O3 starvation-limit sensitivity (working set 35)", func() (expResult, error) {
+		pts, err := experiments.Fig7SweepWith(m)
+		if err != nil {
+			return expResult{}, err
+		}
+		experiments.WriteFig7Table(os.Stdout, pts)
+		return expResult{Fig7: pts, Runs: len(pts)}, nil
+	})
+	run("cachepolicy", "Ablation — cache replacement policy under LALBO3 (ws=35)", func() (expResult, error) {
+		out, err := experiments.CachePolicyComparisonWith(m, 35)
+		if err != nil {
+			return expResult{}, err
+		}
+		var keys []string
+		for k := range out {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Printf("%-6s %12s %10s\n", "policy", "avg_lat(s)", "miss")
+		for _, k := range keys {
+			r := out[k]
+			fmt.Printf("%-6s %12.3f %10.4f\n", k, r.AvgLatencySec, r.MissRatio)
+		}
+		return expResult{CachePolicy: out, Runs: len(out)}, nil
+	})
+	run("scaling", "Ablation — GPU count scaling under LALBO3 (ws=25)", func() (expResult, error) {
+		rows, err := experiments.GPUScalingWith(m, []int{2, 3, 4, 5})
+		if err != nil {
+			return expResult{}, err
+		}
+		fmt.Printf("%-14s %12s %10s %8s\n", "config", "avg_lat(s)", "miss", "sm_util")
+		for _, r := range rows {
+			fmt.Printf("%-14s %12.3f %10.4f %8.4f\n", r.Policy, r.AvgLatencySec, r.MissRatio, r.SMUtilization)
+		}
+		return expResult{Rows: rows, Runs: len(rows)}, nil
+	})
+	snap.WallSeconds = time.Since(total).Seconds()
 
-	if want("table1") {
-		run("Table I — model profiles (occupancy, load, inference @ batch 32)", func() error {
-			rows, err := experiments.TableI()
-			if err != nil {
-				return err
-			}
-			experiments.WriteTableI(os.Stdout, rows)
-			return nil
-		})
-	}
-	if want("fig4") {
-		run("Figures 4a/4b/4c, 5, 6 — scheduler x working-set matrix", func() error {
-			rows, err := experiments.Fig4Matrix()
-			if err != nil {
-				return err
-			}
-			experiments.WriteFig4Table(os.Stdout, rows)
-			return nil
-		})
-	}
-	if want("fig7") {
-		run("Figure 7 — O3 starvation-limit sensitivity (working set 35)", func() error {
-			pts, err := experiments.Fig7Sweep()
-			if err != nil {
-				return err
-			}
-			experiments.WriteFig7Table(os.Stdout, pts)
-			return nil
-		})
-	}
-	if want("cachepolicy") {
-		run("Ablation — cache replacement policy under LALBO3 (ws=35)", func() error {
-			out, err := experiments.CachePolicyComparison(35)
-			if err != nil {
-				return err
-			}
-			var keys []string
-			for k := range out {
-				keys = append(keys, k)
-			}
-			sort.Strings(keys)
-			fmt.Printf("%-6s %12s %10s\n", "policy", "avg_lat(s)", "miss")
-			for _, k := range keys {
-				r := out[k]
-				fmt.Printf("%-6s %12.3f %10.4f\n", k, r.AvgLatencySec, r.MissRatio)
-			}
-			return nil
-		})
-	}
-	if want("scaling") {
-		run("Ablation — GPU count scaling under LALBO3 (ws=25)", func() error {
-			rows, err := experiments.GPUScaling([]int{2, 3, 4, 5})
-			if err != nil {
-				return err
-			}
-			fmt.Printf("%-14s %12s %10s %8s\n", "config", "avg_lat(s)", "miss", "sm_util")
-			for _, r := range rows {
-				fmt.Printf("%-14s %12.3f %10.4f %8.4f\n", r.Policy, r.AvgLatencySec, r.MissRatio, r.SMUtilization)
-			}
-			return nil
-		})
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "faas-bench: marshal snapshot: %v\n", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "faas-bench: write %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote snapshot %s (%.2fs total)\n", *jsonPath, snap.WallSeconds)
 	}
 }

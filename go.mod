@@ -1,0 +1,3 @@
+module gpufaas
+
+go 1.24

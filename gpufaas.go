@@ -31,6 +31,7 @@
 package gpufaas
 
 import (
+	"errors"
 	"fmt"
 
 	"gpufaas/internal/cluster"
@@ -156,10 +157,21 @@ func ReplayPaperWorkload(c *Cluster, workingSet int) (Report, error) {
 	if err != nil {
 		return Report{}, err
 	}
+	if len(built.Requests) == 0 {
+		return Report{}, errors.New("gpufaas: workload produced an empty request stream")
+	}
 	// The cluster must know the instance models; callers who need the
 	// paper workload on a custom cluster should build it with
-	// WithZoo(built.Zoo). Detect the mismatch early.
-	for _, r := range built.Requests[:1] {
+	// WithZoo(built.Zoo). Detect the mismatch early, across every
+	// distinct model in the stream — a partially-matching zoo would
+	// otherwise silently drop the unmatched requests as failed
+	// dispatches mid-run.
+	seen := make(map[string]bool, workingSet)
+	for _, r := range built.Requests {
+		if seen[r.Model] {
+			continue
+		}
+		seen[r.Model] = true
 		if _, ok := c.Zoo().Get(r.Model); !ok {
 			return Report{}, fmt.Errorf("gpufaas: cluster zoo lacks workload instance %q; build the cluster with the experiment zoo or use RunExperiment", r.Model)
 		}

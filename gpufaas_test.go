@@ -1,7 +1,10 @@
 package gpufaas
 
 import (
+	"strings"
 	"testing"
+
+	"gpufaas/internal/models"
 )
 
 func TestNewClusterDefaults(t *testing.T) {
@@ -78,6 +81,40 @@ func TestReplayZooMismatch(t *testing.T) {
 	}
 	if _, err := ReplayPaperWorkload(c, 15); err == nil {
 		t.Error("zoo mismatch should be detected")
+	}
+}
+
+func TestReplayPartialZooMismatch(t *testing.T) {
+	// A zoo that contains the workload's top model but is missing another
+	// instance: validating only the first request would let this cluster
+	// run and silently fail the unmatched requests mid-workload.
+	_, zoo, top, err := PaperWorkload(15, 1) // seed 1 = replay's seed
+	if err != nil {
+		t.Fatal(err)
+	}
+	var subset []Model
+	dropped := ""
+	for _, m := range zoo.All() {
+		if dropped == "" && m.Name != top {
+			dropped = m.Name
+			continue
+		}
+		subset = append(subset, m)
+	}
+	partial, err := models.NewZoo(subset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCluster(WithZoo(partial))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = ReplayPaperWorkload(c, 15)
+	if err == nil {
+		t.Fatal("partial zoo mismatch should be detected before the run")
+	}
+	if !strings.Contains(err.Error(), dropped) {
+		t.Errorf("error %q should name the missing instance %q", err, dropped)
 	}
 }
 

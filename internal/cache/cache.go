@@ -211,12 +211,13 @@ type Manager struct {
 	policy string
 	perGPU map[string]ReplacementList
 	gpuIDs []string
-	where  map[string]map[string]bool // model -> gpuID set
-	pinned map[string]string          // gpuID -> model currently in use (not evictable)
+	idx    *Index            // model -> resident GPUs, updated from events
+	pinned map[string]string // gpuID -> model currently in use (not evictable)
 	sizeOf func(model string) (int64, bool)
 	miss   stats.Ratio
 	falseMiss
 	tracked map[string]*stats.TimeWeighted
+	subs    []func(Event)
 }
 
 type falseMiss struct {
@@ -239,11 +240,31 @@ func NewManager(policy string, sizeOf func(model string) (int64, bool)) (*Manage
 	return &Manager{
 		policy:  policy,
 		perGPU:  make(map[string]ReplacementList),
-		where:   make(map[string]map[string]bool),
+		idx:     NewIndex(),
 		pinned:  make(map[string]string),
 		sizeOf:  sizeOf,
 		tracked: make(map[string]*stats.TimeWeighted),
 	}, nil
+}
+
+// Subscribe registers a listener for cache residency events. Listeners
+// run synchronously, in subscription order, after the Manager's own state
+// (replacement lists and the global index) reflects the transition; they
+// must not call back into the Manager.
+func (m *Manager) Subscribe(fn func(Event)) {
+	if fn != nil {
+		m.subs = append(m.subs, fn)
+	}
+}
+
+// emit folds the transition into the index, refreshes tracked-duplicate
+// sampling, and notifies subscribers.
+func (m *Manager) emit(ev Event) {
+	m.idx.Apply(ev)
+	m.sample(ev.Model, ev.At)
+	for _, fn := range m.subs {
+		fn(ev)
+	}
 }
 
 // Policy returns the replacement policy name.
@@ -261,6 +282,7 @@ func (m *Manager) RegisterGPU(gpuID string) error {
 	}
 	m.perGPU[gpuID] = rl
 	m.gpuIDs = append(m.gpuIDs, gpuID)
+	m.idx.AddGPU(gpuID)
 	return nil
 }
 
@@ -274,35 +296,40 @@ func (m *Manager) GPUs() []string {
 // Cached reports whether model is resident on gpuID according to the
 // manager's view.
 func (m *Manager) Cached(gpuID, model string) bool {
-	set, ok := m.where[model]
-	return ok && set[gpuID]
+	return m.idx.Cached(gpuID, model)
 }
 
 // GPUsCaching returns the GPUs currently caching model, in registration
 // order (deterministic). This is the §VI index that bounds the scheduler's
-// search "by the number of GPUs that have this model cached".
+// search "by the number of GPUs that have this model cached". The result
+// is a fresh slice the caller may keep; hot paths should prefer
+// GPUsCachingView.
 func (m *Manager) GPUsCaching(model string) []string {
-	set, ok := m.where[model]
-	if !ok || len(set) == 0 {
+	hs := m.idx.Holders(model)
+	if len(hs) == 0 {
 		return nil
 	}
-	out := make([]string, 0, len(set))
-	for _, id := range m.gpuIDs {
-		if set[id] {
-			out = append(out, id)
-		}
-	}
+	out := make([]string, len(hs))
+	copy(out, hs)
 	return out
+}
+
+// GPUsCachingView is the allocation-free variant of GPUsCaching for the
+// scheduler's hot path: it returns the index's internal holder list
+// (registration order). Callers must treat it as read-only and must not
+// retain it across the next cache mutation.
+func (m *Manager) GPUsCachingView(model string) []string {
+	return m.idx.Holders(model)
 }
 
 // NumCaching returns how many GPUs cache the model (Fig. 6 duplicates).
 func (m *Manager) NumCaching(model string) int {
-	return len(m.where[model])
+	return m.idx.NumCaching(model)
 }
 
 // CachedAnywhere reports whether any GPU caches the model.
 func (m *Manager) CachedAnywhere(model string) bool {
-	return len(m.where[model]) > 0
+	return m.idx.NumCaching(model) > 0
 }
 
 // Pin marks the model as in use on the GPU; pinned models are never chosen
@@ -384,13 +411,7 @@ func (m *Manager) OnMiss(gpuID, model string, now sim.Time) error {
 		m.falseMisses++
 	}
 	rl.Insert(model)
-	set, ok := m.where[model]
-	if !ok {
-		set = make(map[string]bool)
-		m.where[model] = set
-	}
-	set[gpuID] = true
-	m.sample(model, now)
+	m.emit(Event{Kind: EventInsert, GPU: gpuID, Model: model, At: now})
 	return nil
 }
 
@@ -405,11 +426,7 @@ func (m *Manager) OnEvict(gpuID, model string, now sim.Time) error {
 		return fmt.Errorf("%w: %s on %s", ErrNotTracked, model, gpuID)
 	}
 	rl.Remove(model)
-	delete(m.where[model], gpuID)
-	if len(m.where[model]) == 0 {
-		delete(m.where, model)
-	}
-	m.sample(model, now)
+	m.emit(Event{Kind: EventEvict, GPU: gpuID, Model: model, At: now})
 	return nil
 }
 
@@ -479,6 +496,9 @@ func (m *Manager) ResidentCount(gpuID string) int {
 // CheckConsistency verifies that the per-GPU lists and the global index
 // agree; the property tests call it after every operation.
 func (m *Manager) CheckConsistency() error {
+	if err := m.idx.CheckConsistency(); err != nil {
+		return err
+	}
 	fromLists := make(map[string]map[string]bool)
 	for id, rl := range m.perGPU {
 		for _, model := range rl.Candidates() {
@@ -490,17 +510,16 @@ func (m *Manager) CheckConsistency() error {
 			set[id] = true
 		}
 	}
-	if len(fromLists) != len(m.where) {
-		return fmt.Errorf("cache: index has %d models, lists have %d", len(m.where), len(fromLists))
+	if len(fromLists) != m.idx.Models() {
+		return fmt.Errorf("cache: index has %d models, lists have %d", m.idx.Models(), len(fromLists))
 	}
-	for model, set := range m.where {
-		lset := fromLists[model]
-		if len(lset) != len(set) {
+	for model, lset := range fromLists {
+		if m.idx.NumCaching(model) != len(lset) {
 			return fmt.Errorf("cache: index/list mismatch for %s", model)
 		}
-		for id := range set {
-			if !lset[id] {
-				return fmt.Errorf("cache: %s indexed on %s but not in its list", model, id)
+		for id := range lset {
+			if !m.idx.Cached(id, model) {
+				return fmt.Errorf("cache: %s in %s's list but not indexed", model, id)
 			}
 		}
 	}

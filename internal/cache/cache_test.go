@@ -435,3 +435,117 @@ func TestManagerConsistencyProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestEventSubscription(t *testing.T) {
+	m := newMgr(t, PolicyLRU)
+	for _, id := range []string{"g0", "g1"} {
+		if err := m.RegisterGPU(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var events []Event
+	m.Subscribe(func(ev Event) { events = append(events, ev) })
+	// Subscribers observe post-transition state.
+	m.Subscribe(func(ev Event) {
+		cached := m.Cached(ev.GPU, ev.Model)
+		if ev.Kind == EventInsert && !cached {
+			t.Errorf("insert event for %s/%s observed before index update", ev.GPU, ev.Model)
+		}
+		if ev.Kind == EventEvict && cached {
+			t.Errorf("evict event for %s/%s observed before index update", ev.GPU, ev.Model)
+		}
+	})
+
+	if err := m.OnMiss("g0", "a", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.OnMiss("g1", "a", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.OnHit("g0", "a", 3); err != nil { // hits emit no event
+		t.Fatal(err)
+	}
+	if err := m.OnEvict("g0", "a", 4); err != nil {
+		t.Fatal(err)
+	}
+
+	want := []Event{
+		{Kind: EventInsert, GPU: "g0", Model: "a", At: 1},
+		{Kind: EventInsert, GPU: "g1", Model: "a", At: 2},
+		{Kind: EventEvict, GPU: "g0", Model: "a", At: 4},
+	}
+	if len(events) != len(want) {
+		t.Fatalf("events = %v, want %v", events, want)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Errorf("event %d = %+v, want %+v", i, events[i], want[i])
+		}
+	}
+}
+
+func TestGPUsCachingView(t *testing.T) {
+	m := newMgr(t, PolicyLRU)
+	for _, id := range []string{"g0", "g1", "g2"} {
+		if err := m.RegisterGPU(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Insert out of registration order; views stay in registration order.
+	for i, id := range []string{"g2", "g0", "g1"} {
+		if err := m.OnMiss(id, "a", sim.Time(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	view := m.GPUsCachingView("a")
+	copied := m.GPUsCaching("a")
+	wantOrder := []string{"g0", "g1", "g2"}
+	for i, id := range wantOrder {
+		if view[i] != id || copied[i] != id {
+			t.Fatalf("holder order: view=%v copy=%v, want %v", view, copied, wantOrder)
+		}
+	}
+	if m.GPUsCachingView("nope") != nil {
+		t.Error("unknown model should have nil view")
+	}
+	// The copy is detached from the index; the view reflects mutations.
+	if err := m.OnEvict("g1", "a", 5); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.GPUsCachingView("a"); len(got) != 2 || got[0] != "g0" || got[1] != "g2" {
+		t.Errorf("view after evict = %v", got)
+	}
+	if copied[1] != "g1" {
+		t.Errorf("copy mutated by evict: %v", copied)
+	}
+}
+
+func TestIndexConsistencyProperty(t *testing.T) {
+	m := newMgr(t, PolicyLFU)
+	gpus := []string{"g0", "g1", "g2", "g3"}
+	for _, id := range gpus {
+		if err := m.RegisterGPU(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mdls := []string{"a", "b", "c", "d", "e"}
+	rng := rand.New(rand.NewSource(42))
+	for step := 0; step < 2000; step++ {
+		g := gpus[rng.Intn(len(gpus))]
+		mdl := mdls[rng.Intn(len(mdls))]
+		if m.Cached(g, mdl) {
+			if rng.Intn(2) == 0 {
+				if err := m.OnHit(g, mdl, sim.Time(step)); err != nil {
+					t.Fatal(err)
+				}
+			} else if err := m.OnEvict(g, mdl, sim.Time(step)); err != nil {
+				t.Fatal(err)
+			}
+		} else if err := m.OnMiss(g, mdl, sim.Time(step)); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.CheckConsistency(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+}

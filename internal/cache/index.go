@@ -1,0 +1,166 @@
+// Residency index and event stream. The Manager emits an Event for every
+// cache state transition (a model becoming resident on a miss, a model
+// being evicted); the Index consumes that stream to maintain the global
+// model → {GPUs caching it} map the Scheduler's hot path queries. Keeping
+// the index event-driven means every lookup the scheduler performs per
+// decision — Cached, GPUsCaching — is O(1) in the cluster size instead of
+// a scan, and external components (datastores, dashboards) can subscribe
+// to the same stream to maintain their own derived views.
+package cache
+
+import (
+	"fmt"
+	"sort"
+
+	"gpufaas/internal/sim"
+)
+
+// EventKind classifies a cache state transition.
+type EventKind int
+
+// Cache transition kinds.
+const (
+	// EventInsert: a miss was resolved and the model became resident.
+	EventInsert EventKind = iota
+	// EventEvict: the model was evicted (its GPU process killed).
+	EventEvict
+)
+
+// String returns the kind name.
+func (k EventKind) String() string {
+	switch k {
+	case EventInsert:
+		return "insert"
+	case EventEvict:
+		return "evict"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one cache residency transition, emitted by the Manager after
+// its own state (including the Index) reflects the transition.
+type Event struct {
+	Kind  EventKind
+	GPU   string
+	Model string
+	At    sim.Time
+}
+
+// Index is the incremental model → resident-GPUs map. It is updated from
+// the Manager's insert/evict events and keeps, per model, the holder set
+// (for O(1) Cached checks) plus the holders ordered by GPU registration
+// index (for deterministic, allocation-free GPUsCaching lookups bounded
+// by the number of holders rather than the cluster size).
+type Index struct {
+	ord     map[string]int // gpuID -> registration index
+	where   map[string]map[string]bool
+	holders map[string][]string // model -> GPUs in registration order
+}
+
+// NewIndex creates an empty index.
+func NewIndex() *Index {
+	return &Index{
+		ord:     make(map[string]int),
+		where:   make(map[string]map[string]bool),
+		holders: make(map[string][]string),
+	}
+}
+
+// AddGPU registers a GPU; registration order defines the deterministic
+// holder order. Duplicate registrations are ignored.
+func (ix *Index) AddGPU(gpuID string) {
+	if _, ok := ix.ord[gpuID]; ok {
+		return
+	}
+	ix.ord[gpuID] = len(ix.ord)
+}
+
+// Apply folds one residency transition into the index. Unknown GPUs and
+// redundant transitions are ignored (the Manager validates before
+// emitting).
+func (ix *Index) Apply(ev Event) {
+	ord, ok := ix.ord[ev.GPU]
+	if !ok {
+		return
+	}
+	switch ev.Kind {
+	case EventInsert:
+		set, ok := ix.where[ev.Model]
+		if !ok {
+			set = make(map[string]bool)
+			ix.where[ev.Model] = set
+		}
+		if set[ev.GPU] {
+			return
+		}
+		set[ev.GPU] = true
+		hs := ix.holders[ev.Model]
+		i := sort.Search(len(hs), func(i int) bool { return ix.ord[hs[i]] >= ord })
+		hs = append(hs, "")
+		copy(hs[i+1:], hs[i:])
+		hs[i] = ev.GPU
+		ix.holders[ev.Model] = hs
+	case EventEvict:
+		set, ok := ix.where[ev.Model]
+		if !ok || !set[ev.GPU] {
+			return
+		}
+		delete(set, ev.GPU)
+		if len(set) == 0 {
+			delete(ix.where, ev.Model)
+		}
+		hs := ix.holders[ev.Model]
+		i := sort.Search(len(hs), func(i int) bool { return ix.ord[hs[i]] >= ord })
+		if i < len(hs) && hs[i] == ev.GPU {
+			hs = append(hs[:i], hs[i+1:]...)
+		}
+		if len(hs) == 0 {
+			delete(ix.holders, ev.Model)
+		} else {
+			ix.holders[ev.Model] = hs
+		}
+	}
+}
+
+// Cached reports whether the model is resident on the GPU.
+func (ix *Index) Cached(gpuID, model string) bool {
+	set, ok := ix.where[model]
+	return ok && set[gpuID]
+}
+
+// NumCaching returns how many GPUs cache the model.
+func (ix *Index) NumCaching(model string) int { return len(ix.where[model]) }
+
+// Holders returns the GPUs caching the model in registration order. The
+// returned slice is the index's internal storage: callers must treat it
+// as read-only and must not retain it across the next Apply. It is nil
+// when the model is resident nowhere.
+func (ix *Index) Holders(model string) []string { return ix.holders[model] }
+
+// Models returns the number of distinct models resident anywhere.
+func (ix *Index) Models() int { return len(ix.where) }
+
+// CheckConsistency verifies the holder set and the ordered holder list
+// agree for every model, and that holder lists are sorted by registration
+// index.
+func (ix *Index) CheckConsistency() error {
+	if len(ix.where) != len(ix.holders) {
+		return fmt.Errorf("cache: index has %d models in set, %d in holder lists", len(ix.where), len(ix.holders))
+	}
+	for model, set := range ix.where {
+		hs := ix.holders[model]
+		if len(hs) != len(set) {
+			return fmt.Errorf("cache: index set/list mismatch for %s", model)
+		}
+		for i, id := range hs {
+			if !set[id] {
+				return fmt.Errorf("cache: %s listed on %s but not in its set", model, id)
+			}
+			if i > 0 && ix.ord[hs[i-1]] >= ix.ord[id] {
+				return fmt.Errorf("cache: holder list for %s out of registration order", model)
+			}
+		}
+	}
+	return nil
+}

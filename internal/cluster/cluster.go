@@ -16,6 +16,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -92,6 +93,14 @@ type Cluster struct {
 	mgrByDev map[string]*gpumgr.Manager
 	gpuIDs   []string
 
+	// idle is the incremental idle-GPU set, ordered by registration
+	// index; it is maintained from GPU status transitions (statusSink)
+	// so the scheduler's per-decision candidate scan is proportional to
+	// the idle count, never the cluster size.
+	idle     []string
+	gpuOrd   map[string]int
+	userSink gpumgr.StatusSink
+
 	latencies  *stats.Sample
 	perModel   map[string]*stats.Welford
 	results    []gpumgr.Result
@@ -144,6 +153,8 @@ func New(cfg Config) (*Cluster, error) {
 		profiles:  cfg.Profiles,
 		devByID:   make(map[string]*gpu.Device),
 		mgrByDev:  make(map[string]*gpumgr.Manager),
+		gpuOrd:    make(map[string]int),
+		userSink:  cfg.Sink,
 		latencies: stats.NewSample(4096),
 		perModel:  make(map[string]*stats.Welford),
 		onResult:  cfg.OnResult,
@@ -175,7 +186,7 @@ func New(cfg Config) (*Cluster, error) {
 			Cache:      c.cacheMgr,
 			Zoo:        cfg.Zoo,
 			Profiles:   cfg.Profiles,
-			Sink:       cfg.Sink,
+			Sink:       statusSink{c: c},
 			OnComplete: c.handleComplete,
 		})
 		if err != nil {
@@ -196,10 +207,13 @@ func New(cfg Config) (*Cluster, error) {
 			}
 			c.devByID[dev.ID()] = dev
 			c.mgrByDev[dev.ID()] = mgr
+			c.gpuOrd[dev.ID()] = len(c.gpuIDs)
 			c.gpuIDs = append(c.gpuIDs, dev.ID())
 		}
 		c.mgrs = append(c.mgrs, mgr)
 	}
+	// Every GPU starts idle.
+	c.idle = append(c.idle, c.gpuIDs...)
 
 	c.sched, err = core.New(core.Config{
 		Policy:            cfg.Policy,
@@ -212,18 +226,63 @@ func New(cfg Config) (*Cluster, error) {
 	return c, nil
 }
 
+// statusSink observes GPU busy transitions from the GPU Managers to keep
+// the cluster's incremental idle set current, then forwards to the
+// user-configured sink. Transitions arrive before the scheduler re-runs
+// (gpumgr reports status ahead of OnComplete), so the idle set is always
+// fresh at decision time.
+type statusSink struct{ c *Cluster }
+
+func (s statusSink) GPUStatus(gpuID string, busy bool, at sim.Time) {
+	s.c.markIdle(gpuID, !busy)
+	if s.c.userSink != nil {
+		s.c.userSink.GPUStatus(gpuID, busy, at)
+	}
+}
+
+func (s statusSink) Completion(res gpumgr.Result) {
+	if s.c.userSink != nil {
+		s.c.userSink.Completion(res)
+	}
+}
+
+// markIdle inserts or removes the GPU from the ordered idle set. Runs
+// under the cluster's serialization (event loop in sim mode, lockedClock
+// mutex in live mode).
+func (c *Cluster) markIdle(gpuID string, idle bool) {
+	ord, ok := c.gpuOrd[gpuID]
+	if !ok {
+		return
+	}
+	i := sort.Search(len(c.idle), func(i int) bool { return c.gpuOrd[c.idle[i]] >= ord })
+	present := i < len(c.idle) && c.idle[i] == gpuID
+	switch {
+	case idle && !present:
+		c.idle = append(c.idle, "")
+		copy(c.idle[i+1:], c.idle[i:])
+		c.idle[i] = gpuID
+	case !idle && present:
+		c.idle = append(c.idle[:i], c.idle[i+1:]...)
+	}
+}
+
 // backendView adapts Cluster to core.Backend without exporting the
 // methods on Cluster itself.
 type backendView Cluster
 
 func (b *backendView) GPUIDs() []string { return b.gpuIDs }
+
+// IdleGPUs implements core.IdleLister: the incrementally-maintained idle
+// set, ordered like GPUIDs. Read-only view for the duration of one
+// Schedule call.
+func (b *backendView) IdleGPUs() []string { return b.idle }
 func (b *backendView) Busy(gpuID string) bool {
 	d, ok := b.devByID[gpuID]
 	return ok && d.Busy()
 }
 func (b *backendView) Cached(gpuID, model string) bool { return b.cacheMgr.Cached(gpuID, model) }
 func (b *backendView) GPUsCaching(model string) []string {
-	return b.cacheMgr.GPUsCaching(model)
+	return b.cacheMgr.GPUsCachingView(model)
 }
 func (b *backendView) EstimatedFinish(gpuID string, now sim.Time) time.Duration {
 	d, ok := b.devByID[gpuID]
@@ -258,6 +317,16 @@ func (b *backendView) profile(gpuID, model string) (models.Profile, bool) {
 func (c *Cluster) GPUIDs() []string {
 	out := make([]string, len(c.gpuIDs))
 	copy(out, c.gpuIDs)
+	return out
+}
+
+// IdleGPUs returns a snapshot of the currently idle GPUs in registration
+// order (the scheduler's candidate set).
+func (c *Cluster) IdleGPUs() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, len(c.idle))
+	copy(out, c.idle)
 	return out
 }
 

@@ -280,3 +280,65 @@ func TestSubmitOutOfOrderArrivalRejected(t *testing.T) {
 		t.Error("out-of-order Submit should fail")
 	}
 }
+
+// idleCheckSink verifies, at every GPU status transition, that the
+// cluster's incremental idle set matches the devices' actual busy state
+// and stays in registration order.
+type idleCheckSink struct {
+	t      *testing.T
+	c      *Cluster
+	events int
+}
+
+func (s *idleCheckSink) GPUStatus(gpuID string, busy bool, at sim.Time) {
+	s.events++
+	idle := map[string]bool{}
+	for _, id := range s.c.idle {
+		idle[id] = true
+	}
+	for i := 1; i < len(s.c.idle); i++ {
+		if s.c.gpuOrd[s.c.idle[i-1]] >= s.c.gpuOrd[s.c.idle[i]] {
+			s.t.Errorf("idle set out of registration order: %v", s.c.idle)
+		}
+	}
+	for _, id := range s.c.gpuIDs {
+		d := s.c.devByID[id]
+		if d.Busy() == idle[id] {
+			s.t.Errorf("at %v: GPU %s busy=%v but idle-set membership=%v",
+				at, id, d.Busy(), idle[id])
+		}
+	}
+}
+
+func (s *idleCheckSink) Completion(res gpumgr.Result) {}
+
+func TestIdleSetTracksDeviceState(t *testing.T) {
+	cfg := testConfig(core.LALBO3)
+	sink := &idleCheckSink{t: t}
+	cfg.Sink = sink
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink.c = c
+
+	// All GPUs idle at rest.
+	if got := c.IdleGPUs(); len(got) != 12 {
+		t.Fatalf("initial idle = %v", got)
+	}
+	reqs := tinyWorkload(80, 150*time.Millisecond, "resnet18", "vgg19", "alexnet", "squeezenet1.1")
+	rep, err := c.RunWorkload(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 80 {
+		t.Fatalf("requests = %d", rep.Requests)
+	}
+	if sink.events == 0 {
+		t.Fatal("sink observed no transitions")
+	}
+	// After drain, every GPU is idle again.
+	if got := c.IdleGPUs(); len(got) != 12 {
+		t.Errorf("post-run idle = %v", got)
+	}
+}

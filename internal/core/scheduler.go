@@ -107,7 +107,10 @@ type Backend interface {
 	// Cached reports whether the model is resident on the GPU.
 	Cached(gpuID, model string) bool
 	// GPUsCaching returns the GPUs caching the model, in deterministic
-	// order (the Cache Manager's global index, §VI).
+	// order (the Cache Manager's global index, §VI). The returned slice
+	// may be a read-only view into backend state, valid only until the
+	// next cache mutation; the scheduler consumes it within the call and
+	// never mutates or retains it.
 	GPUsCaching(model string) []string
 	// EstimatedFinish returns the remaining execution time of the GPU's
 	// in-flight request (zero when idle). The scheduler adds local-queue
@@ -118,6 +121,17 @@ type Backend interface {
 	// InferTime returns the profiled inference latency on the GPU for
 	// the batch size.
 	InferTime(gpuID, model string, batch int) time.Duration
+}
+
+// IdleLister is an optional Backend extension. Backends that track busy
+// transitions incrementally (the cluster harness does, from GPU status
+// events) expose the current idle set here so Schedule iterates only the
+// idle GPUs instead of scanning every GPU each round. The slice must be
+// ordered consistently with GPUIDs and is treated as a read-only view
+// valid for the duration of one Schedule call. Backends without the
+// extension fall back to a Busy() scan.
+type IdleLister interface {
+	IdleGPUs() []string
 }
 
 // Dispatch is one decision returned by Schedule: run Req on GPU now.
@@ -148,15 +162,29 @@ type Config struct {
 	DisableLocalQueue bool
 }
 
+// parked is one local-queue entry: the request plus its profiled
+// inference time on the queue's GPU, captured at parking time so the
+// estimated-finish sum is maintained incrementally instead of re-walking
+// the queue per decision. Profiles are static, so the captured value
+// equals a fresh lookup.
+type parked struct {
+	req   *Request
+	infer time.Duration
+}
+
 // Scheduler implements the three policies over the Backend.
 type Scheduler struct {
 	policy  Policy
 	limit   int
 	noPark  bool
 	backend Backend
+	idle    IdleLister // non-nil when the backend tracks idle GPUs
 
 	global []*Request
-	local  map[string][]*Request
+	local  map[string][]parked
+	// localSum caches the summed inference time of each local queue,
+	// updated on park/dispatch (Algorithm 2's estimated-finish tail).
+	localSum map[string]time.Duration
 
 	// moves counts global→local-queue migrations (Algorithm 2 line 12).
 	moves int64
@@ -183,12 +211,15 @@ func New(cfg Config, backend Backend) (*Scheduler, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown policy %v", cfg.Policy)
 	}
+	il, _ := backend.(IdleLister)
 	return &Scheduler{
-		policy:  cfg.Policy,
-		limit:   limit,
-		noPark:  cfg.DisableLocalQueue,
-		backend: backend,
-		local:   make(map[string][]*Request),
+		policy:   cfg.Policy,
+		limit:    limit,
+		noPark:   cfg.DisableLocalQueue,
+		backend:  backend,
+		idle:     il,
+		local:    make(map[string][]parked),
+		localSum: make(map[string]time.Duration),
 	}, nil
 }
 
@@ -241,22 +272,13 @@ func (s *Scheduler) Counters() Counters {
 	return Counters{LocalQueueMoves: s.moves, O3Dispatches: s.o3Dispatches, Starved: s.starved}
 }
 
-// localInferSum returns the summed profiled inference time of the GPU's
-// local queue — the tail of the estimated finish time (§IV-A: "the time to
-// wait for the busy GPU to finish its current request (and requests
-// already queued in its local queue)").
-func (s *Scheduler) localInferSum(gpuID string) time.Duration {
-	var sum time.Duration
-	for _, r := range s.local[gpuID] {
-		sum += s.backend.InferTime(gpuID, r.Model, r.BatchSize)
-	}
-	return sum
-}
-
 // EstimatedFinishWithQueue returns the busy GPU's estimated finish time
-// including its local queue.
+// including its local queue (§IV-A: "the time to wait for the busy GPU to
+// finish its current request (and requests already queued in its local
+// queue)"). The queue tail is the incrementally-maintained localSum, so
+// this is O(1) regardless of queue depth.
 func (s *Scheduler) EstimatedFinishWithQueue(gpuID string, now sim.Time) time.Duration {
-	return s.backend.EstimatedFinish(gpuID, now) + s.localInferSum(gpuID)
+	return s.backend.EstimatedFinish(gpuID, now) + s.localSum[gpuID]
 }
 
 // removeGlobal removes the request at index i from the global queue.
@@ -278,9 +300,14 @@ func (s *Scheduler) Schedule(now sim.Time) []Dispatch {
 	taken := make(map[string]bool) // GPUs consumed within this round
 	busy := func(id string) bool { return taken[id] || s.backend.Busy(id) }
 
+	// Backend busy state is stable for the duration of a Schedule call
+	// (the harness executes the returned dispatches afterwards), so the
+	// idle candidates are computed once; GPUs consumed mid-call are
+	// filtered through taken.
+	idle := s.idleCandidates()
 	for {
 		progressed := false
-		for _, id := range s.backend.GPUIDs() {
+		for _, id := range idle {
 			if busy(id) {
 				continue
 			}
@@ -296,6 +323,23 @@ func (s *Scheduler) Schedule(now sim.Time) []Dispatch {
 	}
 }
 
+// idleCandidates returns the idle GPUs in deterministic order: the
+// backend's incremental idle set when available, otherwise a Busy scan
+// over all GPUs (same order either way, so decisions are identical).
+func (s *Scheduler) idleCandidates() []string {
+	if s.idle != nil {
+		return s.idle.IdleGPUs()
+	}
+	ids := s.backend.GPUIDs()
+	out := make([]string, 0, len(ids))
+	for _, id := range ids {
+		if !s.backend.Busy(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
 // scheduleIdleGPU implements Algorithm 1 for one idle GPU. It returns the
 // dispatches produced while trying to occupy this GPU (the LLB routine may
 // also dispatch requests to *other* idle GPUs) and whether any dispatch or
@@ -303,12 +347,13 @@ func (s *Scheduler) Schedule(now sim.Time) []Dispatch {
 func (s *Scheduler) scheduleIdleGPU(gpuID string, now sim.Time, busy func(string) bool, taken map[string]bool) ([]Dispatch, bool) {
 	// Lines 2–4: prioritize the local queue.
 	if q := s.local[gpuID]; len(q) > 0 {
-		r := q[0]
+		p := q[0]
 		s.local[gpuID] = q[1:]
+		s.localSum[gpuID] -= p.infer
 		taken[gpuID] = true
 		return []Dispatch{{
-			Req: r, GPU: gpuID,
-			ExpectHit:      s.backend.Cached(gpuID, r.Model),
+			Req: p.req, GPU: gpuID,
+			ExpectHit:      s.backend.Cached(gpuID, p.req.Model),
 			FromLocalQueue: true,
 		}}, true
 	}
@@ -423,7 +468,9 @@ func (s *Scheduler) llb(gpuID string, idx int, now sim.Time, busy func(string) b
 		}
 		if bestGPU != "" && bestFinish < s.backend.LoadTime(gpuID, r.Model) {
 			s.removeGlobal(idx)
-			s.local[bestGPU] = append(s.local[bestGPU], r)
+			infer := s.backend.InferTime(bestGPU, r.Model, r.BatchSize)
+			s.local[bestGPU] = append(s.local[bestGPU], parked{req: r, infer: infer})
+			s.localSum[bestGPU] += infer
 			s.moves++
 			return nil, false
 		}

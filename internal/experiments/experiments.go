@@ -199,22 +199,30 @@ var PaperWorkingSets = []int{15, 25, 35}
 // PaperPolicies are the schedulers compared in Figures 4–6.
 var PaperPolicies = []core.Policy{core.LB, core.LALB, core.LALBO3}
 
-// Fig4Matrix runs the full scheduler × working-set matrix behind Figures
-// 4a (average latency), 4b (cache miss ratio), 4c (SM utilization), 5
-// (false-miss ratio) and 6 (top-model duplicates).
-func Fig4Matrix() ([]Row, error) {
-	var rows []Row
+// Fig4Specs returns the scheduler × working-set grid behind Figures 4a
+// (average latency), 4b (cache miss ratio), 4c (SM utilization), 5
+// (false-miss ratio) and 6 (top-model duplicates), in row order
+// (working set outer, policy inner).
+func Fig4Specs() []Spec {
+	var specs []Spec
 	for _, ws := range PaperWorkingSets {
 		for _, pol := range PaperPolicies {
-			row, err := Run(RunParams{Policy: pol, WorkingSet: ws})
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %v ws=%d: %w", pol, ws, err)
-			}
-			rows = append(rows, row)
+			specs = append(specs, Spec{
+				Name:   fmt.Sprintf("fig4/%v/ws=%d", pol, ws),
+				Params: RunParams{Policy: pol, WorkingSet: ws},
+			})
 		}
 	}
-	return rows, nil
+	return specs
 }
+
+// Fig4Matrix runs the full scheduler × working-set matrix across the
+// default worker pool.
+func Fig4Matrix() ([]Row, error) { return Fig4MatrixWith(Matrix{}) }
+
+// Fig4MatrixWith is Fig4Matrix under an explicit runner (worker count,
+// streaming observer).
+func Fig4MatrixWith(m Matrix) ([]Row, error) { return m.Run(Fig4Specs()) }
 
 // Fig7Point is one x-value of the O3 sensitivity sweep (§V-E).
 type Fig7Point struct {
@@ -227,22 +235,38 @@ type Fig7Point struct {
 // Fig7Limits are the paper's swept O3 limits ("from zero to 45").
 var Fig7Limits = []int{0, 5, 10, 15, 20, 25, 30, 35, 40, 45}
 
-// Fig7Sweep reproduces Fig. 7: the LALBO3 scheduler at working set 35 with
-// the starvation limit swept from 0 to 45.
-func Fig7Sweep() ([]Fig7Point, error) {
-	var pts []Fig7Point
+// Fig7Specs returns the O3 starvation-limit sweep grid, one cell per
+// entry of Fig7Limits in order.
+func Fig7Specs() []Spec {
+	specs := make([]Spec, 0, len(Fig7Limits))
 	for _, limit := range Fig7Limits {
 		limit := limit
-		row, err := Run(RunParams{Policy: core.LALBO3, O3Limit: &limit, WorkingSet: 35})
-		if err != nil {
-			return nil, fmt.Errorf("experiments: fig7 limit=%d: %w", limit, err)
-		}
-		pts = append(pts, Fig7Point{
-			Limit:               limit,
+		specs = append(specs, Spec{
+			Name:   fmt.Sprintf("fig7/limit=%d", limit),
+			Params: RunParams{Policy: core.LALBO3, O3Limit: &limit, WorkingSet: 35},
+		})
+	}
+	return specs
+}
+
+// Fig7Sweep reproduces Fig. 7: the LALBO3 scheduler at working set 35 with
+// the starvation limit swept from 0 to 45.
+func Fig7Sweep() ([]Fig7Point, error) { return Fig7SweepWith(Matrix{}) }
+
+// Fig7SweepWith is Fig7Sweep under an explicit runner.
+func Fig7SweepWith(m Matrix) ([]Fig7Point, error) {
+	rows, err := m.Run(Fig7Specs())
+	if err != nil {
+		return nil, err
+	}
+	pts := make([]Fig7Point, len(rows))
+	for i, row := range rows {
+		pts[i] = Fig7Point{
+			Limit:               Fig7Limits[i],
 			AvgLatencySec:       row.AvgLatencySec,
 			MissRatio:           row.MissRatio,
 			LatencyVarianceSec2: row.LatencyVarianceSec2,
-		})
+		}
 	}
 	return pts, nil
 }
@@ -304,32 +328,71 @@ func TableI() ([]TableIRow, error) {
 	return rows, nil
 }
 
+// CachePolicies are the replacement policies compared by the §VI
+// ablation, in presentation order.
+var CachePolicies = []string{cache.PolicyLRU, cache.PolicyFIFO, cache.PolicyLFU}
+
+// CachePolicySpecs returns the §VI replacement-policy ablation grid at
+// the working-set size, one cell per CachePolicies entry in order.
+func CachePolicySpecs(workingSet int) []Spec {
+	specs := make([]Spec, len(CachePolicies))
+	for i, pol := range CachePolicies {
+		specs[i] = Spec{
+			Name:   "cachepolicy/" + pol,
+			Params: RunParams{Policy: core.LALBO3, WorkingSet: workingSet, CachePolicy: pol},
+		}
+	}
+	return specs
+}
+
 // CachePolicyComparison is the §VI ablation: the same workload under LRU,
 // FIFO and LFU replacement with the LALBO3 scheduler.
 func CachePolicyComparison(workingSet int) (map[string]Row, error) {
-	out := make(map[string]Row, 3)
-	for _, pol := range []string{cache.PolicyLRU, cache.PolicyFIFO, cache.PolicyLFU} {
-		row, err := Run(RunParams{Policy: core.LALBO3, WorkingSet: workingSet, CachePolicy: pol})
-		if err != nil {
-			return nil, err
-		}
-		out[pol] = row
+	return CachePolicyComparisonWith(Matrix{}, workingSet)
+}
+
+// CachePolicyComparisonWith is CachePolicyComparison under an explicit
+// runner.
+func CachePolicyComparisonWith(m Matrix, workingSet int) (map[string]Row, error) {
+	rows, err := m.Run(CachePolicySpecs(workingSet))
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]Row, len(rows))
+	for i, row := range rows {
+		out[CachePolicies[i]] = row
 	}
 	return out, nil
+}
+
+// GPUScalingSpecs returns the cluster-growth ablation grid: LALBO3 at
+// working set 25 with 4 GPUs per node and the given node counts.
+func GPUScalingSpecs(nodes []int) []Spec {
+	specs := make([]Spec, len(nodes))
+	for i, n := range nodes {
+		specs[i] = Spec{
+			Name:   fmt.Sprintf("scaling/%dgpu", n*4),
+			Params: RunParams{Policy: core.LALBO3, WorkingSet: 25, Nodes: n, GPUsPerNode: 4},
+		}
+	}
+	return specs
 }
 
 // GPUScaling runs the LALBO3 scheduler at working set 25 while varying the
 // GPU count (ablation: does the locality benefit persist as the cluster
 // grows?). gpusPerNode stays 4; nodes varies.
 func GPUScaling(nodes []int) ([]Row, error) {
-	var rows []Row
-	for _, n := range nodes {
-		row, err := Run(RunParams{Policy: core.LALBO3, WorkingSet: 25, Nodes: n, GPUsPerNode: 4})
-		if err != nil {
-			return nil, err
-		}
-		row.Policy = fmt.Sprintf("LALBO3/%dgpu", n*4)
-		rows = append(rows, row)
+	return GPUScalingWith(Matrix{}, nodes)
+}
+
+// GPUScalingWith is GPUScaling under an explicit runner.
+func GPUScalingWith(m Matrix, nodes []int) ([]Row, error) {
+	rows, err := m.Run(GPUScalingSpecs(nodes))
+	if err != nil {
+		return nil, err
+	}
+	for i := range rows {
+		rows[i].Policy = fmt.Sprintf("LALBO3/%dgpu", nodes[i]*4)
 	}
 	return rows, nil
 }

@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"gpufaas/internal/core"
+)
+
+// smallSpecs is a reduced policy × working-set grid (2-minute workload)
+// so matrix tests stay fast while still exercising every policy.
+func smallSpecs() []Spec {
+	var specs []Spec
+	for _, ws := range []int{15, 25} {
+		for _, pol := range PaperPolicies {
+			specs = append(specs, Spec{
+				Name: pol.String(),
+				Params: RunParams{
+					Policy: pol, WorkingSet: ws,
+					Workload: WorkloadParams{
+						Minutes: 2, RequestsPerMinute: 120,
+						WorkingSet: ws, Batch: 32, Seed: 1,
+					},
+				},
+			})
+		}
+	}
+	return specs
+}
+
+// TestMatrixDeterminism is the parallel-runner contract: the same seeded
+// grid run serially and with 8 workers produces identical Row sets, in
+// grid order.
+func TestMatrixDeterminism(t *testing.T) {
+	specs := smallSpecs()
+	serial, err := Matrix{Workers: 1}.Run(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Matrix{Workers: 8}.Run(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("row counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Errorf("row %d (%s) differs:\nserial:   %+v\nparallel: %+v",
+				i, specs[i].Name, serial[i], parallel[i])
+		}
+	}
+}
+
+// TestMatrixFullGridDeterminism runs the real Fig. 4 grid both ways; this
+// is the acceptance check that the rewritten Fig4Matrix is bit-stable.
+func TestMatrixFullGridDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full grid in -short mode")
+	}
+	specs := Fig4Specs()
+	serial, err := Matrix{Workers: 1}.Run(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Matrix{Workers: 8}.Run(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Errorf("row %d (%s) differs", i, specs[i].Name)
+		}
+	}
+}
+
+// TestMatrixConcurrentRunners exercises several Matrix runs in flight at
+// once under the race detector (experiment runs share no mutable state).
+func TestMatrixConcurrentRunners(t *testing.T) {
+	specs := smallSpecs()[:3]
+	want, err := Matrix{Workers: 1}.Run(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rows, err := Matrix{Workers: 3}.Run(specs)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := range rows {
+				if rows[i] != want[i] {
+					t.Errorf("concurrent run diverged at row %d", i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestMatrixStreams verifies OnRow fires exactly once per spec.
+func TestMatrixStreams(t *testing.T) {
+	specs := smallSpecs()[:4]
+	seen := make(map[string]int)
+	_, err := Matrix{Workers: 4, OnRow: func(s Spec, r Row) {
+		seen[s.Name+"/"+itoa(r.WorkingSet)]++
+		if r.Requests == 0 {
+			t.Errorf("streamed empty row for %s", s.Name)
+		}
+	}}.Run(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(specs) {
+		t.Fatalf("streamed %d distinct rows, want %d: %v", len(seen), len(specs), seen)
+	}
+	for k, n := range seen {
+		if n != 1 {
+			t.Errorf("%s streamed %d times", k, n)
+		}
+	}
+}
+
+// TestMatrixError: a failing cell reports the lowest-index failure with
+// its spec name, regardless of worker count, and all cells are attempted.
+func TestMatrixError(t *testing.T) {
+	bad := RunParams{Policy: core.Policy(99), WorkingSet: 15,
+		Workload: WorkloadParams{Minutes: 1, RequestsPerMinute: 10, WorkingSet: 15, Batch: 32, Seed: 1}}
+	specs := []Spec{
+		{Name: "ok-first", Params: smallSpecs()[0].Params},
+		{Name: "bad-one", Params: bad},
+		{Name: "bad-two", Params: bad},
+	}
+	for _, workers := range []int{1, 3} {
+		_, err := Matrix{Workers: workers}.Run(specs)
+		if err == nil {
+			t.Fatalf("workers=%d: expected error", workers)
+		}
+		if !strings.Contains(err.Error(), "bad-one") {
+			t.Errorf("workers=%d: error %q should name the first failing spec", workers, err)
+		}
+	}
+}
+
+// TestMatrixEmpty: no specs, no rows, no error.
+func TestMatrixEmpty(t *testing.T) {
+	rows, err := Matrix{}.Run(nil)
+	if err != nil || rows != nil {
+		t.Fatalf("empty grid: rows=%v err=%v", rows, err)
+	}
+}
