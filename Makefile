@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt fmt-check bench bench-smoke snapshot ci-snapshot ci
+.PHONY: all build test race vet fmt fmt-check bench bench-smoke snapshot ci-snapshot elasticity-smoke vuln ci
 
 all: build
 
@@ -42,4 +42,14 @@ snapshot:
 ci-snapshot:
 	$(GO) run ./cmd/faas-bench -exp fig4 -json BENCH_ci.json
 
-ci: fmt-check vet build race bench-smoke ci-snapshot
+# Short-mode elasticity scenario (fixed vs autoscaled fleet), mirrored in
+# CI as the "elasticity smoke" step.
+elasticity-smoke:
+	$(GO) run ./cmd/faas-bench -exp elasticity -short -json BENCH_elasticity.json
+
+# Non-blocking vulnerability scan (mirrors CI's advisory step; needs
+# network for the vuln DB, so failures never gate).
+vuln:
+	-$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...
+
+ci: fmt-check vet build race bench-smoke ci-snapshot elasticity-smoke

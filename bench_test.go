@@ -16,10 +16,12 @@ import (
 	"testing"
 	"time"
 
+	"gpufaas/internal/autoscale"
 	"gpufaas/internal/cache"
 	"gpufaas/internal/core"
 	"gpufaas/internal/experiments"
 	"gpufaas/internal/sim"
+	"gpufaas/internal/trace"
 )
 
 // benchRun executes one experiment per iteration and reports its metrics.
@@ -212,6 +214,68 @@ func BenchmarkAblationGPUScaling(b *testing.B) {
 					"sm_utilization": r.SMUtilization,
 				}
 			})
+		})
+	}
+}
+
+// BenchmarkElasticity runs the elasticity sweep cells (fixed vs
+// autoscaled fleets on diurnal/bursty traces), reporting the
+// cost-vs-latency pair the autoscale subsystem trades on.
+func BenchmarkElasticity(b *testing.B) {
+	for _, cell := range experiments.ElasticitySpecs(testing.Short()) {
+		cell := cell
+		b.Run(cell.Name, func(b *testing.B) {
+			benchRun(b, cell.Params, func(r experiments.Row) map[string]float64 {
+				return map[string]float64{
+					"gpu_seconds": r.GPUSeconds,
+					"p95_s":       r.P95LatencySec,
+					"miss_ratio":  r.MissRatio,
+					"peak_gpus":   float64(r.PeakGPUs),
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkAutoscaleDecision measures one autoscaler evaluation tick —
+// signal sampling plus policy decision — against a live 12-GPU cluster.
+// This is the control-plane overhead each tick adds to the event loop.
+func BenchmarkAutoscaleDecision(b *testing.B) {
+	for _, policy := range []string{"target-util", "step"} {
+		policy := policy
+		b.Run(policy, func(b *testing.B) {
+			pol, err := autoscale.ParsePolicy(policy, 0.7, 1, 4, 0.5, 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			c, err := NewCluster(WithAutoscaler(AutoscaleConfig{
+				Policy:   pol,
+				MinGPUs:  12,
+				MaxGPUs:  12, // clamp to a no-op so ticks measure pure decision cost
+				Horizon:  time.Minute,
+				Interval: time.Second,
+			}))
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Pre-fill latency windows and fleet state with a tiny run.
+			names := []string{"resnet18", "vgg19", "alexnet"}
+			reqs := make([]trace.Request, 60)
+			for i := range reqs {
+				reqs[i] = trace.Request{
+					ID: int64(i), Function: "bench", Model: names[i%len(names)],
+					Arrival: time.Duration(i) * 100 * time.Millisecond, BatchSize: 32,
+				}
+			}
+			if _, err := c.RunWorkload(reqs); err != nil {
+				b.Fatal(err)
+			}
+			a := c.Autoscaler()
+			now := c.Engine().Now()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a.Evaluate(now)
+			}
 		})
 	}
 }

@@ -7,8 +7,8 @@
 //
 // Usage:
 //
-//	faas-bench [-exp all|table1|fig4|fig7|cachepolicy|scaling]
-//	           [-workers N] [-json BENCH_baseline.json] [-v]
+//	faas-bench [-exp all|table1|fig4|fig7|cachepolicy|scaling|elasticity]
+//	           [-workers N] [-short] [-json BENCH_baseline.json] [-v]
 package main
 
 import (
@@ -40,25 +40,27 @@ type snapshot struct {
 
 // expResult is one experiment's series plus its wall-clock cost.
 type expResult struct {
-	WallSeconds float64                    `json:"wall_seconds"`
-	Runs        int                        `json:"runs"`
-	Rows        []experiments.Row          `json:"rows,omitempty"`
-	Fig7        []experiments.Fig7Point    `json:"fig7,omitempty"`
-	TableI      []experiments.TableIRow    `json:"table1,omitempty"`
-	CachePolicy map[string]experiments.Row `json:"cache_policy,omitempty"`
+	WallSeconds float64                     `json:"wall_seconds"`
+	Runs        int                         `json:"runs"`
+	Rows        []experiments.Row           `json:"rows,omitempty"`
+	Fig7        []experiments.Fig7Point     `json:"fig7,omitempty"`
+	TableI      []experiments.TableIRow     `json:"table1,omitempty"`
+	CachePolicy map[string]experiments.Row  `json:"cache_policy,omitempty"`
+	Elasticity  []experiments.ElasticityRow `json:"elasticity,omitempty"`
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all|table1|fig4|fig7|cachepolicy|scaling")
+	exp := flag.String("exp", "all", "experiment to run: all|table1|fig4|fig7|cachepolicy|scaling|elasticity")
 	workers := flag.Int("workers", 0, "concurrent experiment runs (0 = GOMAXPROCS)")
+	short := flag.Bool("short", false, "shrink long experiments (elasticity runs the 6-minute traces)")
 	jsonPath := flag.String("json", "", "write a BENCH_*.json snapshot to this path")
 	verbose := flag.Bool("v", false, "stream each grid cell as it completes")
 	flag.Parse()
 
 	switch *exp {
-	case "all", "table1", "fig4", "fig7", "cachepolicy", "scaling":
+	case "all", "table1", "fig4", "fig7", "cachepolicy", "scaling", "elasticity":
 	default:
-		fmt.Fprintf(os.Stderr, "faas-bench: unknown experiment %q (want all|table1|fig4|fig7|cachepolicy|scaling)\n", *exp)
+		fmt.Fprintf(os.Stderr, "faas-bench: unknown experiment %q (want all|table1|fig4|fig7|cachepolicy|scaling|elasticity)\n", *exp)
 		os.Exit(2)
 	}
 
@@ -148,6 +150,14 @@ func main() {
 			fmt.Printf("%-14s %12.3f %10.4f %8.4f\n", r.Policy, r.AvgLatencySec, r.MissRatio, r.SMUtilization)
 		}
 		return expResult{Rows: rows, Runs: len(rows)}, nil
+	})
+	run("elasticity", "Elasticity — fixed vs autoscaled fleet on diurnal/bursty traces", func() (expResult, error) {
+		rows, err := experiments.ElasticitySweep(m, *short)
+		if err != nil {
+			return expResult{}, err
+		}
+		experiments.WriteElasticityTable(os.Stdout, rows)
+		return expResult{Elasticity: rows, Runs: len(rows)}, nil
 	})
 	snap.WallSeconds = time.Since(total).Seconds()
 

@@ -18,7 +18,9 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"time"
 
+	"gpufaas/internal/autoscale"
 	"gpufaas/internal/faas"
 )
 
@@ -29,19 +31,38 @@ func main() {
 	nodes := flag.Int("nodes", 3, "GPU nodes")
 	gpus := flag.Int("gpus-per-node", 4, "GPUs per node")
 	timescale := flag.Float64("timescale", 0.01, "profile time scale (1.0 = paper-real seconds)")
+	asPolicy := flag.String("autoscale", "", "attach an autoscaler: target-util|step (empty = off)")
+	asMin := flag.Int("autoscale-min", 2, "autoscaler fleet floor")
+	asMax := flag.Int("autoscale-max", 0, "autoscaler fleet ceiling (0 = unbounded)")
+	asInterval := flag.Duration("autoscale-interval", 5*time.Second, "autoscaler tick interval (wall time)")
+	asColdStart := flag.Duration("autoscale-coldstart", 2*time.Second, "provisioned-GPU cold start (wall time)")
 	flag.Parse()
 
-	g, err := faas.NewGateway(faas.GatewayConfig{
+	cfg := faas.GatewayConfig{
 		Policy:      *policy,
 		O3Limit:     *o3limit,
 		Nodes:       *nodes,
 		GPUsPerNode: *gpus,
 		TimeScale:   *timescale,
-	})
+	}
+	if *asPolicy != "" {
+		pol, err := autoscale.ParsePolicy(*asPolicy, 0, 0, 0, 0, 0)
+		if err != nil {
+			log.Fatalf("faas-gateway: %v", err)
+		}
+		cfg.Autoscale = &autoscale.Config{
+			Policy:    pol,
+			Interval:  *asInterval,
+			MinGPUs:   *asMin,
+			MaxGPUs:   *asMax,
+			ColdStart: *asColdStart,
+		}
+	}
+	g, err := faas.NewGateway(cfg)
 	if err != nil {
 		log.Fatalf("faas-gateway: %v", err)
 	}
-	fmt.Printf("GPU-FaaS gateway listening on %s (policy=%s, %d GPUs, timescale=%g)\n",
-		*addr, *policy, *nodes**gpus, *timescale)
+	fmt.Printf("GPU-FaaS gateway listening on %s (policy=%s, %d GPUs, timescale=%g, autoscale=%q)\n",
+		*addr, *policy, *nodes**gpus, *timescale, *asPolicy)
 	log.Fatal(http.ListenAndServe(*addr, g.Handler()))
 }

@@ -3,9 +3,16 @@
 // matching the statistics the paper reports: the top-15 functions carry
 // 56% of invocations and the long tail is nearly flat.
 //
+// Besides the paper's flat (stationary) load, tracegen generates the
+// elasticity workload shapes: -shape diurnal modulates the per-minute
+// load sinusoidally (trough at minute 0), -shape burst overlays periodic
+// spikes on a flat baseline.
+//
 // Usage:
 //
 //	tracegen -functions 46413 -minutes 1440 -rpm 40000 -seed 1 > trace.csv
+//	tracegen -minutes 24 -shape diurnal -amplitude 0.7 > diurnal.csv
+//	tracegen -minutes 24 -shape burst -burst-every 6 -burst-factor 4 > burst.csv
 package main
 
 import (
@@ -23,6 +30,13 @@ func main() {
 	topShare := flag.Float64("topshare", 0.56, "fraction of invocations carried by the hot set")
 	topCount := flag.Int("topcount", 15, "hot-set size")
 	seed := flag.Int64("seed", 1, "random seed")
+	shape := flag.String("shape", "flat", "per-minute load shape: flat|diurnal|burst")
+	period := flag.Int("period", 0, "diurnal: full-cycle length in minutes (0 = trace length)")
+	amplitude := flag.Float64("amplitude", 0.6, "diurnal: modulation depth in [0,1)")
+	phase := flag.Int("phase", 0, "diurnal: phase shift in minutes")
+	burstEvery := flag.Int("burst-every", 6, "burst: period in minutes")
+	burstLen := flag.Int("burst-len", 1, "burst: burst duration in minutes")
+	burstFactor := flag.Float64("burst-factor", 3, "burst: load multiplier during a burst")
 	flag.Parse()
 
 	tr, err := trace.Synthesize(trace.SynthConfig{
@@ -32,6 +46,15 @@ func main() {
 		TopShare:             *topShare,
 		TopCount:             *topCount,
 		Seed:                 *seed,
+		Shape: trace.Shape{
+			Kind:          *shape,
+			PeriodMinutes: *period,
+			Amplitude:     *amplitude,
+			PhaseMinutes:  *phase,
+			BurstEvery:    *burstEvery,
+			BurstLen:      *burstLen,
+			BurstFactor:   *burstFactor,
+		},
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)

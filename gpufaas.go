@@ -34,6 +34,7 @@ import (
 	"errors"
 	"fmt"
 
+	"gpufaas/internal/autoscale"
 	"gpufaas/internal/cluster"
 	"gpufaas/internal/core"
 	"gpufaas/internal/experiments"
@@ -46,7 +47,7 @@ import (
 // Re-exported result and configuration types.
 type (
 	// Report is the evaluation summary of a run (latency, miss ratios,
-	// utilization, duplicates).
+	// utilization, duplicates, GPU-seconds).
 	Report = cluster.Report
 	// Result is one completed request record.
 	Result = gpumgr.Result
@@ -56,6 +57,14 @@ type (
 	Model = models.Model
 	// Cluster is the assembled GPU-FaaS system.
 	Cluster = cluster.Cluster
+	// AutoscaleConfig configures the elastic-membership autoscaler
+	// (policy, tick interval, fleet bounds, cold start, horizon).
+	AutoscaleConfig = autoscale.Config
+	// AutoscalePolicy decides the desired fleet size each tick.
+	AutoscalePolicy = autoscale.Policy
+	// ScaleEvent is one executed scale-up/scale-down, as logged in
+	// Report.ScaleEvents.
+	ScaleEvent = autoscale.ScaleEvent
 )
 
 // Option customizes the cluster configuration.
@@ -132,6 +141,33 @@ func WithResultHook(fn func(Result)) Option {
 		cfg.OnResult = fn
 		return nil
 	}
+}
+
+// WithAutoscaler attaches a policy-driven autoscaler: the cluster gains
+// elastic membership (AddGPU / DecommissionGPU with drain) driven by the
+// policy at (simulated or wall) time. In simulated-time mode
+// acfg.Horizon must be set — see AutoscaleConfig. Scale events appear in
+// Report.ScaleEvents and through Cluster.AutoscalerStatus.
+func WithAutoscaler(acfg AutoscaleConfig) Option {
+	return func(cfg *cluster.Config) error {
+		if acfg.Policy == nil {
+			return errors.New("gpufaas: autoscaler needs a policy")
+		}
+		cfg.Autoscale = &acfg
+		return nil
+	}
+}
+
+// TargetUtilizationPolicy sizes the fleet toward a busy-fraction target
+// in (0,1]; queuePerGPU (default 1) damps queue-driven scale-up.
+func TargetUtilizationPolicy(utilization float64, queuePerGPU int) (AutoscalePolicy, error) {
+	return autoscale.NewTargetUtilization(utilization, queuePerGPU)
+}
+
+// StepHysteresisPolicy scales in fixed steps after sustained queue
+// pressure (up) or sustained idleness (down).
+func StepHysteresisPolicy(upQueueDepth int, downIdleRatio float64, step int) (AutoscalePolicy, error) {
+	return autoscale.NewStepHysteresis(upQueueDepth, downIdleRatio, step)
 }
 
 // NewCluster builds a GPU-FaaS cluster; without options it is the paper's

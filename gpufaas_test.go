@@ -3,8 +3,10 @@ package gpufaas
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"gpufaas/internal/models"
+	"gpufaas/internal/trace"
 )
 
 func TestNewClusterDefaults(t *testing.T) {
@@ -149,5 +151,64 @@ func TestResultHook(t *testing.T) {
 	}
 	if int64(count) != rep.Requests {
 		t.Errorf("hook fired %d times for %d requests", count, rep.Requests)
+	}
+}
+
+func TestWithAutoscalerFacade(t *testing.T) {
+	if _, err := NewCluster(WithAutoscaler(AutoscaleConfig{})); err == nil {
+		t.Error("autoscaler without a policy should fail")
+	}
+	pol, err := TargetUtilizationPolicy(0.7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TargetUtilizationPolicy(2, 1); err == nil {
+		t.Error("utilization > 1 should fail")
+	}
+	if _, err := StepHysteresisPolicy(0, 0.5, 2); err == nil {
+		t.Error("bad step policy should fail")
+	}
+	// Sim mode without a horizon is rejected (RunWorkload would never
+	// drain under a forever-rescheduling tick).
+	if _, err := NewCluster(WithAutoscaler(AutoscaleConfig{Policy: pol})); err == nil {
+		t.Error("sim-mode autoscaler without Horizon should fail")
+	}
+	c, err := NewCluster(
+		WithTopology(1, 2),
+		WithAutoscaler(AutoscaleConfig{
+			Policy:    pol,
+			Interval:  2 * time.Second,
+			MinGPUs:   2,
+			MaxGPUs:   6,
+			ColdStart: time.Second,
+			Horizon:   2 * time.Minute,
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive enough same-window load that the queue forces a scale-up.
+	var stream []trace.Request
+	for i := 0; i < 120; i++ {
+		stream = append(stream, trace.Request{
+			ID: int64(i), Function: "fn", Model: "resnet18",
+			Arrival: time.Duration(i) * 250 * time.Millisecond, BatchSize: 32,
+		})
+	}
+	rep, err := c.RunWorkload(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ScaleUps == 0 {
+		t.Error("autoscaler never scaled up under sustained backlog")
+	}
+	if len(rep.ScaleEvents) == 0 {
+		t.Error("report carries no scale events")
+	}
+	if st, ok := c.AutoscalerStatus(); !ok || st.Ticks == 0 {
+		t.Errorf("autoscaler status = %+v ok=%v", st, ok)
+	}
+	if rep.GPUSeconds <= 0 {
+		t.Errorf("GPUSeconds = %g", rep.GPUSeconds)
 	}
 }

@@ -1,0 +1,402 @@
+// Package autoscale implements elastic cluster membership control: a
+// policy-driven autoscaler that provisions and decommissions GPUs while
+// the locality-aware scheduler keeps running. The paper evaluates LALB /
+// LALB+O3 on a fixed 12-GPU fleet; serving heavy, time-varying traffic at
+// production scale additionally requires the fleet itself to track load
+// (diurnal cycles, bursts, scale-to-zero cost), which is what this
+// subsystem adds.
+//
+// The Autoscaler is a passive component on the shared Clock abstraction:
+// every Interval it samples a Signal (queue depth, idle ratio, windowed
+// p95 latency) from the Fleet, asks its Policy for a desired fleet size,
+// clamps the answer to [MinGPUs, MaxGPUs], and issues scale-up /
+// scale-down operations. Under the discrete-event engine the whole loop
+// is deterministic: the same trace, seed and policy produce byte-identical
+// ScaleEvent logs at any worker count. Under the wall clock the cluster's
+// mutex serializes ticks with the rest of the system.
+//
+// Scale-down is drain-before-remove (the Kubernetes GPU-scheduler idiom):
+// a decommissioned GPU first becomes unschedulable, finishes its in-flight
+// and parked work, has its cache residents evicted through the ordinary
+// insert/evict event stream (so the global index and the idle set stay
+// consistent), and only then leaves the membership. Scale-up pays a
+// configurable cold-start delay before the new GPU becomes schedulable.
+package autoscale
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"gpufaas/internal/sim"
+	"gpufaas/internal/stats"
+)
+
+// Size is the fleet's membership breakdown at a sampling instant.
+type Size struct {
+	// Active GPUs are schedulable (neither provisioning nor draining).
+	Active int
+	// Provisioning GPUs were added but are still in their cold-start
+	// window.
+	Provisioning int
+	// Draining GPUs are finishing in-flight/parked work before removal.
+	Draining int
+	// Idle is the number of Active GPUs with no request executing.
+	Idle int
+}
+
+// Fleet is the autoscaler's view of the cluster; the cluster harness
+// implements it. Methods are invoked from within clock callbacks, so the
+// harness's usual serialization (event loop in sim mode, cluster mutex in
+// live mode) already applies.
+type Fleet interface {
+	// FleetSize returns the current membership breakdown.
+	FleetSize() Size
+	// PendingRequests returns queued requests (global + local queues).
+	PendingRequests() int
+	// ScaleUp provisions n GPUs, each schedulable after coldStart; it
+	// returns the new GPU IDs (possibly fewer than n on error).
+	ScaleUp(n int, coldStart time.Duration) []string
+	// ScaleDown drain-decommissions up to n GPUs and returns their IDs.
+	// The fleet picks victims deterministically (provisioning first,
+	// then idle, then busy; newest first within each class).
+	ScaleDown(n int) []string
+}
+
+// Signal is one evaluation-tick sample, the policy's input.
+type Signal struct {
+	// At is the virtual (or wall-offset) sampling time.
+	At sim.Time `json:"at"`
+	// QueueDepth is the number of queued requests (global + local).
+	QueueDepth int `json:"queueDepth"`
+	// Active/Provisioning/Draining/Idle mirror Size.
+	Active       int `json:"active"`
+	Provisioning int `json:"provisioning"`
+	Draining     int `json:"draining"`
+	Idle         int `json:"idle"`
+	// IdleRatio is Idle / Active (0 when the fleet is empty).
+	IdleRatio float64 `json:"idleRatio"`
+	// P95LatencySec is the 95th-percentile end-to-end latency of the
+	// requests that completed since the previous tick (0 when none did).
+	P95LatencySec float64 `json:"p95LatencySec"`
+	// Completions is how many requests finished since the previous tick.
+	Completions int `json:"completions"`
+}
+
+// Decision is a policy's verdict for one tick.
+type Decision struct {
+	// Target is the desired number of non-draining GPUs
+	// (active + provisioning). It is clamped to [MinGPUs, MaxGPUs].
+	Target int
+	// Reason explains the verdict; it lands in the ScaleEvent log.
+	Reason string
+}
+
+// Policy maps a Signal to a desired fleet size. Implementations may keep
+// state (hysteresis counters) but must be deterministic functions of the
+// signal sequence: no wall-clock or randomness.
+type Policy interface {
+	Name() string
+	Decide(sig Signal) Decision
+}
+
+// ClonablePolicy is implemented by stateful policies. New clones the
+// policy at construction so a Config shared across clusters never shares
+// mutable decision state (which would corrupt hysteresis counters and
+// race between clusters).
+type ClonablePolicy interface {
+	Policy
+	Clone() Policy
+}
+
+// ScaleEvent records one executed scaling operation.
+type ScaleEvent struct {
+	At     sim.Time `json:"at"`
+	Action string   `json:"action"` // "scale-up" | "scale-down"
+	Delta  int      `json:"delta"`  // GPUs requested (+up / -down)
+	From   int      `json:"from"`   // non-draining fleet size before
+	To     int      `json:"to"`     // non-draining fleet size after
+	Reason string   `json:"reason"`
+	GPUs   []string `json:"gpus"` // affected GPU IDs
+}
+
+// Actions recorded in ScaleEvent.Action.
+const (
+	ActionScaleUp   = "scale-up"
+	ActionScaleDown = "scale-down"
+)
+
+// Config assembles an Autoscaler.
+type Config struct {
+	// Policy decides the target fleet size each tick. Required.
+	Policy Policy
+	// Interval between evaluation ticks (default 5s of virtual time).
+	Interval time.Duration
+	// MinGPUs / MaxGPUs bound the fleet (defaults 1 / no bound).
+	MinGPUs int
+	MaxGPUs int
+	// ColdStart is the provisioning delay before a scaled-up GPU
+	// becomes schedulable.
+	ColdStart time.Duration
+	// Horizon stops evaluation ticks after this virtual time. It is
+	// required in simulated-time mode — a forever-rescheduling tick
+	// would keep the discrete-event queue nonempty and RunWorkload
+	// would never drain. Zero means no horizon (live mode only).
+	Horizon time.Duration
+	// MaxEvents bounds the retained scale-event log: once exceeded, the
+	// oldest events are dropped (TotalEvents keeps the lifetime count).
+	// A long-lived live gateway under flapping load would otherwise
+	// grow the log without bound. Zero means DefaultMaxEvents;
+	// experiment runs stay far below the default, so Report event logs
+	// keep their determinism contract.
+	MaxEvents int
+}
+
+// DefaultInterval is the evaluation tick period when Config.Interval is
+// zero.
+const DefaultInterval = 5 * time.Second
+
+// DefaultMaxEvents is the retained scale-event log bound when
+// Config.MaxEvents is zero.
+const DefaultMaxEvents = 4096
+
+// Autoscaler drives a Fleet from a Policy. It is a passive component:
+// not safe for concurrent use, serialized by the harness like the
+// scheduler and cache manager.
+type Autoscaler struct {
+	cfg   Config
+	fleet Fleet
+	clock sim.Clock
+
+	enabled bool
+	stopped bool
+	cancel  func()
+
+	window      *stats.Sample // latencies since the previous tick
+	last        Signal
+	ticks       int64
+	events      []ScaleEvent
+	totalEvents int64
+	started     bool
+}
+
+// New validates the config and builds an Autoscaler. Call Start to begin
+// ticking.
+func New(fleet Fleet, clock sim.Clock, cfg Config) (*Autoscaler, error) {
+	if fleet == nil {
+		return nil, errors.New("autoscale: nil fleet")
+	}
+	if clock == nil {
+		return nil, errors.New("autoscale: nil clock")
+	}
+	if cfg.Policy == nil {
+		return nil, errors.New("autoscale: nil policy")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultInterval
+	}
+	if cfg.MinGPUs <= 0 {
+		cfg.MinGPUs = 1
+	}
+	if cfg.MaxGPUs > 0 && cfg.MaxGPUs < cfg.MinGPUs {
+		return nil, fmt.Errorf("autoscale: MaxGPUs %d < MinGPUs %d", cfg.MaxGPUs, cfg.MinGPUs)
+	}
+	if cfg.ColdStart < 0 || cfg.Horizon < 0 {
+		return nil, fmt.Errorf("autoscale: negative ColdStart/Horizon")
+	}
+	if cp, ok := cfg.Policy.(ClonablePolicy); ok {
+		cfg.Policy = cp.Clone()
+	}
+	if cfg.MaxEvents < 0 {
+		return nil, fmt.Errorf("autoscale: negative MaxEvents %d", cfg.MaxEvents)
+	}
+	if cfg.MaxEvents == 0 {
+		cfg.MaxEvents = DefaultMaxEvents
+	}
+	return &Autoscaler{
+		cfg:     cfg,
+		fleet:   fleet,
+		clock:   clock,
+		enabled: true,
+		window:  stats.NewSample(256),
+	}, nil
+}
+
+// Config returns the autoscaler's effective configuration.
+func (a *Autoscaler) Config() Config { return a.cfg }
+
+// Start schedules the first evaluation tick. It is idempotent.
+func (a *Autoscaler) Start() {
+	if a.started || a.stopped {
+		return
+	}
+	a.started = true
+	a.schedule()
+}
+
+// Stop cancels the pending tick; the autoscaler will not evaluate again.
+func (a *Autoscaler) Stop() {
+	a.stopped = true
+	if a.cancel != nil {
+		a.cancel()
+		a.cancel = nil
+	}
+}
+
+// SetEnabled pauses (false) or resumes (true) scaling decisions. Ticks
+// keep sampling signals while paused so a re-enabled policy sees fresh
+// state.
+func (a *Autoscaler) SetEnabled(on bool) { a.enabled = on }
+
+// Enabled reports whether scaling decisions are being executed.
+func (a *Autoscaler) Enabled() bool { return a.enabled }
+
+// ObserveLatency feeds one completed request's end-to-end latency into
+// the current tick window; the harness calls it from its completion hook.
+func (a *Autoscaler) ObserveLatency(seconds float64) { a.window.Add(seconds) }
+
+// Ticks returns the number of evaluations performed.
+func (a *Autoscaler) Ticks() int64 { return a.ticks }
+
+// LastSignal returns the most recent tick's sampled signal.
+func (a *Autoscaler) LastSignal() Signal { return a.last }
+
+// Events returns a copy of the retained scale-event log (the most
+// recent MaxEvents), in execution order.
+func (a *Autoscaler) Events() []ScaleEvent {
+	out := make([]ScaleEvent, len(a.events))
+	copy(out, a.events)
+	return out
+}
+
+// TotalEvents returns the lifetime count of executed scaling operations,
+// including any dropped from the retained log.
+func (a *Autoscaler) TotalEvents() int64 { return a.totalEvents }
+
+// record appends a scale event, dropping the oldest beyond MaxEvents.
+func (a *Autoscaler) record(ev ScaleEvent) {
+	a.totalEvents++
+	if len(a.events) >= a.cfg.MaxEvents {
+		n := copy(a.events, a.events[len(a.events)-a.cfg.MaxEvents+1:])
+		a.events = a.events[:n]
+	}
+	a.events = append(a.events, ev)
+}
+
+func (a *Autoscaler) schedule() {
+	a.cancel = a.clock.AfterFunc(a.cfg.Interval, "autoscale.tick", a.tick)
+}
+
+func (a *Autoscaler) tick(now sim.Time) {
+	a.cancel = nil
+	a.Evaluate(now)
+	if a.stopped {
+		return
+	}
+	if a.cfg.Horizon > 0 && now+a.cfg.Interval > a.cfg.Horizon {
+		return // past the horizon: let the event queue drain
+	}
+	a.schedule()
+}
+
+// Evaluate performs one evaluation: sample the signal, consult the
+// policy, execute the clamped decision. It is exported so benchmarks and
+// admin endpoints can drive a tick outside the timer.
+func (a *Autoscaler) Evaluate(now sim.Time) Signal {
+	size := a.fleet.FleetSize()
+	sig := Signal{
+		At:           now,
+		QueueDepth:   a.fleet.PendingRequests(),
+		Active:       size.Active,
+		Provisioning: size.Provisioning,
+		Draining:     size.Draining,
+		Idle:         size.Idle,
+		Completions:  a.window.N(),
+	}
+	if size.Active > 0 {
+		sig.IdleRatio = float64(size.Idle) / float64(size.Active)
+	}
+	if sig.Completions > 0 {
+		sig.P95LatencySec = a.window.Percentile(95)
+	}
+	a.window.Reset()
+	a.last = sig
+	a.ticks++
+	if !a.enabled {
+		return sig
+	}
+
+	d := a.cfg.Policy.Decide(sig)
+	target := d.Target
+	if target < a.cfg.MinGPUs {
+		target = a.cfg.MinGPUs
+	}
+	if a.cfg.MaxGPUs > 0 && target > a.cfg.MaxGPUs {
+		target = a.cfg.MaxGPUs
+	}
+	current := size.Active + size.Provisioning
+	switch {
+	case target > current:
+		n := target - current
+		if a.cfg.MaxGPUs > 0 {
+			// MaxGPUs caps the PHYSICAL fleet: draining GPUs still
+			// occupy machines (and bill GPU-seconds) until their
+			// in-flight work finishes, so scale-up may not overshoot
+			// the ceiling while they wind down.
+			if room := a.cfg.MaxGPUs - (current + size.Draining); room < n {
+				n = room
+			}
+		}
+		if n <= 0 {
+			return sig
+		}
+		gpus := a.fleet.ScaleUp(n, a.cfg.ColdStart)
+		if len(gpus) > 0 {
+			a.record(ScaleEvent{
+				At: now, Action: ActionScaleUp, Delta: len(gpus),
+				From: current, To: current + len(gpus),
+				Reason: d.Reason, GPUs: gpus,
+			})
+		}
+	case target < current:
+		gpus := a.fleet.ScaleDown(current - target)
+		if len(gpus) > 0 {
+			a.record(ScaleEvent{
+				At: now, Action: ActionScaleDown, Delta: -len(gpus),
+				From: current, To: current - len(gpus),
+				Reason: d.Reason, GPUs: gpus,
+			})
+		}
+	}
+	return sig
+}
+
+// Status is a read-only snapshot for admin endpoints.
+type Status struct {
+	Policy      string        `json:"policy"`
+	Enabled     bool          `json:"enabled"`
+	Interval    time.Duration `json:"interval"`
+	MinGPUs     int           `json:"minGPUs"`
+	MaxGPUs     int           `json:"maxGPUs"`
+	ColdStart   time.Duration `json:"coldStart"`
+	Ticks       int64         `json:"ticks"`
+	LastSignal  Signal        `json:"lastSignal"`
+	TotalEvents int64         `json:"totalEvents"`
+	Events      []ScaleEvent  `json:"events"`
+}
+
+// Status snapshots the autoscaler for reporting.
+func (a *Autoscaler) Status() Status {
+	return Status{
+		Policy:      a.cfg.Policy.Name(),
+		Enabled:     a.enabled,
+		Interval:    a.cfg.Interval,
+		MinGPUs:     a.cfg.MinGPUs,
+		MaxGPUs:     a.cfg.MaxGPUs,
+		ColdStart:   a.cfg.ColdStart,
+		Ticks:       a.ticks,
+		LastSignal:  a.last,
+		TotalEvents: a.totalEvents,
+		Events:      a.Events(),
+	}
+}

@@ -1,0 +1,408 @@
+package autoscale
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"gpufaas/internal/sim"
+)
+
+// fakeFleet is a scriptable Fleet: tests set the size/pending fields and
+// record the scale calls.
+type fakeFleet struct {
+	size    Size
+	pending int
+	nextID  int
+	ups     []int
+	downs   []int
+}
+
+func (f *fakeFleet) FleetSize() Size      { return f.size }
+func (f *fakeFleet) PendingRequests() int { return f.pending }
+
+func (f *fakeFleet) ScaleUp(n int, _ time.Duration) []string {
+	f.ups = append(f.ups, n)
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("g%d", f.nextID)
+		f.nextID++
+	}
+	f.size.Provisioning += n
+	return out
+}
+
+func (f *fakeFleet) ScaleDown(n int) []string {
+	f.downs = append(f.downs, n)
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("d%d", i)
+	}
+	f.size.Active -= n
+	f.size.Draining += n
+	return out
+}
+
+func mustTU(t *testing.T, util float64, qpg int) *TargetUtilization {
+	t.Helper()
+	p, err := NewTargetUtilization(util, qpg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewValidation(t *testing.T) {
+	fleet := &fakeFleet{}
+	clock := sim.SimClock{E: sim.New()}
+	pol := mustTU(t, 0.7, 1)
+	bad := []Config{
+		{Policy: nil},
+		{Policy: pol, MinGPUs: 4, MaxGPUs: 2},
+		{Policy: pol, ColdStart: -time.Second},
+		{Policy: pol, Horizon: -time.Second},
+	}
+	for i, cfg := range bad {
+		if _, err := New(fleet, clock, cfg); err == nil {
+			t.Errorf("config %d should fail", i)
+		}
+	}
+	if _, err := New(nil, clock, Config{Policy: pol}); err == nil {
+		t.Error("nil fleet should fail")
+	}
+	if _, err := New(fleet, nil, Config{Policy: pol}); err == nil {
+		t.Error("nil clock should fail")
+	}
+	a, err := New(fleet, clock, Config{Policy: pol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Config().Interval != DefaultInterval || a.Config().MinGPUs != 1 {
+		t.Errorf("defaults = %+v", a.Config())
+	}
+}
+
+func TestTargetUtilizationDecide(t *testing.T) {
+	cases := []struct {
+		util       float64
+		qpg        int
+		sig        Signal
+		wantTarget int
+	}{
+		// 7 busy of 10, no queue, util 0.7 → ceil(7/0.7) = 10: steady.
+		{0.7, 1, Signal{Active: 10, Idle: 3}, 10},
+		// All 10 busy + 4 queued → ceil(14/0.7) = 20.
+		{0.7, 1, Signal{Active: 10, Idle: 0, QueueDepth: 4}, 20},
+		// Queue damped at 4/GPU: ceil((10+1)/0.7) = 16.
+		{0.7, 4, Signal{Active: 10, Idle: 0, QueueDepth: 4}, 16},
+		// 1 busy of 10 → ceil(1/0.7) = 2: scale-in pressure.
+		{0.7, 1, Signal{Active: 10, Idle: 9}, 2},
+		// Empty fleet, empty queue → 0 (clamped to MinGPUs by the
+		// autoscaler, not the policy).
+		{0.5, 1, Signal{}, 0},
+	}
+	for i, c := range cases {
+		p := mustTU(t, c.util, c.qpg)
+		if d := p.Decide(c.sig); d.Target != c.wantTarget {
+			t.Errorf("case %d: target = %d, want %d (%s)", i, d.Target, c.wantTarget, d.Reason)
+		}
+	}
+	if _, err := NewTargetUtilization(0, 1); err == nil {
+		t.Error("utilization 0 should fail")
+	}
+	if _, err := NewTargetUtilization(1.5, 1); err == nil {
+		t.Error("utilization > 1 should fail")
+	}
+}
+
+func TestStepHysteresisConsecutiveTicks(t *testing.T) {
+	p, err := NewStepHysteresis(4, 0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := Signal{Active: 4, Provisioning: 0, QueueDepth: 10}
+	// First hot tick: pressure building, no action.
+	if d := p.Decide(hot); d.Target != 4 {
+		t.Errorf("tick 1 target = %d (%s)", d.Target, d.Reason)
+	}
+	// Second consecutive hot tick: step up.
+	if d := p.Decide(hot); d.Target != 6 {
+		t.Errorf("tick 2 target = %d (%s)", d.Target, d.Reason)
+	}
+	// A cold tick resets the up counter.
+	cold := Signal{Active: 4, Idle: 1, QueueDepth: 0, IdleRatio: 0.25}
+	if d := p.Decide(cold); d.Target != 4 {
+		t.Errorf("steady target = %d (%s)", d.Target, d.Reason)
+	}
+	if d := p.Decide(hot); d.Target != 4 {
+		t.Error("up counter must restart after a cold tick")
+	}
+	// Sustained slack: DownAfter (4) consecutive idle ticks step down.
+	slack := Signal{Active: 4, Idle: 3, QueueDepth: 0, IdleRatio: 0.75}
+	for i := 0; i < 3; i++ {
+		if d := p.Decide(slack); d.Target != 4 {
+			t.Errorf("slack tick %d target = %d", i+1, d.Target)
+		}
+	}
+	if d := p.Decide(slack); d.Target != 2 {
+		t.Errorf("4th slack tick target = %d (%s)", d.Target, d.Reason)
+	}
+}
+
+func TestAutoscalerClampsAndLogs(t *testing.T) {
+	engine := sim.New()
+	clock := sim.SimClock{E: engine}
+	fleet := &fakeFleet{size: Size{Active: 2}, pending: 50}
+	a, err := New(fleet, clock, Config{
+		Policy:   mustTU(t, 0.7, 1),
+		Interval: time.Second,
+		MinGPUs:  2,
+		MaxGPUs:  6,
+		Horizon:  3500 * time.Millisecond, // ticks at 1s, 2s, 3s
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Start()
+	engine.Run(0)
+	if a.Ticks() != 3 {
+		t.Fatalf("ticks = %d, want 3 (horizon)", a.Ticks())
+	}
+	// Demand is 2 busy + 50 queued → far above MaxGPUs: the first tick
+	// scales to the clamp, later ticks hold (active+provisioning == 6).
+	evs := a.Events()
+	if len(evs) != 1 {
+		t.Fatalf("events = %+v", evs)
+	}
+	if evs[0].Action != ActionScaleUp || evs[0].From != 2 || evs[0].To != 6 || evs[0].Delta != 4 {
+		t.Errorf("event = %+v", evs[0])
+	}
+	if evs[0].At != time.Second {
+		t.Errorf("event at %v, want 1s", evs[0].At)
+	}
+	if len(evs[0].GPUs) != 4 {
+		t.Errorf("event GPUs = %v", evs[0].GPUs)
+	}
+}
+
+func TestAutoscalerScaleDownToMin(t *testing.T) {
+	engine := sim.New()
+	fleet := &fakeFleet{size: Size{Active: 8, Idle: 8}}
+	a, err := New(fleet, sim.SimClock{E: engine}, Config{
+		Policy:   mustTU(t, 0.7, 1),
+		Interval: time.Second,
+		MinGPUs:  3,
+		Horizon:  time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Start()
+	engine.Run(0)
+	evs := a.Events()
+	if len(evs) != 1 || evs[0].Action != ActionScaleDown {
+		t.Fatalf("events = %+v", evs)
+	}
+	// Nothing busy → policy wants 0, clamped to MinGPUs 3: remove 5.
+	if evs[0].Delta != -5 || evs[0].To != 3 {
+		t.Errorf("event = %+v", evs[0])
+	}
+}
+
+func TestAutoscalerWindowedP95(t *testing.T) {
+	engine := sim.New()
+	fleet := &fakeFleet{size: Size{Active: 2, Idle: 1}}
+	a, err := New(fleet, sim.SimClock{E: engine}, Config{
+		Policy:   mustTU(t, 0.7, 1),
+		Interval: time.Second,
+		MinGPUs:  1,
+		Horizon:  2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 100; i++ {
+		a.ObserveLatency(float64(i))
+	}
+	a.Start()
+	engine.RunUntil(time.Second)
+	sig := a.LastSignal()
+	if sig.Completions != 100 {
+		t.Fatalf("completions = %d", sig.Completions)
+	}
+	if sig.P95LatencySec < 95 || sig.P95LatencySec > 96 {
+		t.Errorf("p95 = %g", sig.P95LatencySec)
+	}
+	// Window resets per tick: a quiet interval reports zero.
+	engine.Run(0)
+	if sig := a.LastSignal(); sig.Completions != 0 || sig.P95LatencySec != 0 {
+		t.Errorf("second tick signal = %+v", sig)
+	}
+}
+
+func TestAutoscalerDisableAndStop(t *testing.T) {
+	engine := sim.New()
+	fleet := &fakeFleet{size: Size{Active: 1}, pending: 40}
+	a, err := New(fleet, sim.SimClock{E: engine}, Config{
+		Policy:   mustTU(t, 0.7, 1),
+		Interval: time.Second,
+		Horizon:  10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.SetEnabled(false)
+	a.Start()
+	engine.RunUntil(3 * time.Second)
+	if len(a.Events()) != 0 {
+		t.Fatalf("disabled autoscaler scaled: %+v", a.Events())
+	}
+	if a.Ticks() != 3 {
+		t.Errorf("disabled autoscaler stopped sampling: ticks = %d", a.Ticks())
+	}
+	a.SetEnabled(true)
+	engine.RunUntil(4 * time.Second)
+	if len(a.Events()) != 1 {
+		t.Fatalf("re-enabled autoscaler did not scale: %+v", a.Events())
+	}
+	a.Stop()
+	engine.Run(0)
+	if a.Ticks() != 4 {
+		t.Errorf("stopped autoscaler kept ticking: %d", a.Ticks())
+	}
+	st := a.Status()
+	if !st.Enabled || st.Ticks != 4 || len(st.Events) != 1 {
+		t.Errorf("status = %+v", st)
+	}
+}
+
+// TestMaxGPUsCountsDrainingMembers: draining GPUs still occupy machines,
+// so scale-up must not push the physical fleet past MaxGPUs while they
+// wind down.
+func TestMaxGPUsCountsDrainingMembers(t *testing.T) {
+	engine := sim.New()
+	fleet := &fakeFleet{size: Size{Active: 10, Draining: 2}, pending: 50}
+	a, err := New(fleet, sim.SimClock{E: engine}, Config{
+		Policy:   mustTU(t, 0.7, 1),
+		Interval: time.Second,
+		MinGPUs:  2,
+		MaxGPUs:  12,
+		Horizon:  time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Start()
+	engine.Run(0)
+	// Demand wants 12+ but 10 active + 2 draining already fill the
+	// physical ceiling: no scale-up allowed.
+	if evs := a.Events(); len(evs) != 0 {
+		t.Fatalf("scaled past the physical ceiling: %+v", evs)
+	}
+	// With one machine of room (9 active + 2 draining), only 1 GPU fits.
+	fleet2 := &fakeFleet{size: Size{Active: 9, Draining: 2}, pending: 50}
+	b, err := New(fleet2, sim.SimClock{E: engine}, Config{
+		Policy:   mustTU(t, 0.7, 1),
+		Interval: time.Second,
+		MinGPUs:  2,
+		MaxGPUs:  12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Evaluate(engine.Now())
+	evs := b.Events()
+	if len(evs) != 1 || evs[0].Delta != 1 {
+		t.Fatalf("events = %+v, want one +1 scale-up", evs)
+	}
+}
+
+// TestEventLogBounded: the retained log is capped (live gateways run
+// for weeks); TotalEvents keeps the lifetime count.
+func TestEventLogBounded(t *testing.T) {
+	engine := sim.New()
+	// Alternating pressure/slack flaps the fleet every tick.
+	fleet := &fakeFleet{size: Size{Active: 4}, pending: 50}
+	a, err := New(fleet, sim.SimClock{E: engine}, Config{
+		Policy:    mustTU(t, 0.7, 1),
+		Interval:  time.Second,
+		MinGPUs:   2,
+		MaxGPUs:   100,
+		MaxEvents: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if i%2 == 0 {
+			fleet.pending, fleet.size.Idle = 50, 0
+		} else {
+			fleet.pending, fleet.size.Idle = 0, fleet.size.Active
+		}
+		fleet.size.Active += fleet.size.Provisioning
+		fleet.size.Provisioning = 0
+		fleet.size.Draining = 0
+		a.Evaluate(sim.Time(i) * time.Second)
+	}
+	if got := len(a.Events()); got > 3 {
+		t.Errorf("retained events = %d, cap 3", got)
+	}
+	if a.TotalEvents() <= 3 {
+		t.Errorf("TotalEvents = %d, want > cap", a.TotalEvents())
+	}
+	evs := a.Events()
+	// Retained events are the most recent ones, still in order.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At <= evs[i-1].At {
+			t.Errorf("retained log out of order: %v", evs)
+		}
+	}
+	if _, err := New(fleet, sim.SimClock{E: engine}, Config{Policy: mustTU(t, 0.7, 1), MaxEvents: -1}); err == nil {
+		t.Error("negative MaxEvents should fail")
+	}
+}
+
+// TestStatefulPolicyClonedPerAutoscaler: one Config (and thus one
+// policy value) shared across two autoscalers must not share hysteresis
+// counters.
+func TestStatefulPolicyClonedPerAutoscaler(t *testing.T) {
+	pol, err := NewStepHysteresis(4, 0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Policy: pol, Interval: time.Second, Horizon: time.Second}
+	engine := sim.New()
+	clock := sim.SimClock{E: engine}
+	a1, err := New(&fakeFleet{}, clock, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := New(&fakeFleet{}, clock, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Config().Policy == a2.Config().Policy || a1.Config().Policy == Policy(pol) {
+		t.Fatal("stateful policy must be cloned per autoscaler")
+	}
+	// Advance a1's counter one hot tick; a2's first hot tick must still
+	// be "pressure building", not an immediate step.
+	hot := Signal{Active: 4, QueueDepth: 10}
+	if d := a1.Config().Policy.Decide(hot); d.Target != 4 {
+		t.Fatalf("a1 tick 1 target = %d", d.Target)
+	}
+	if d := a2.Config().Policy.Decide(hot); d.Target != 4 {
+		t.Fatalf("a2 leaked a1's hysteresis counter: target = %d", d.Target)
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	if p, err := ParsePolicy("target-util", 0, 0, 0, 0, 0); err != nil || p.Name() != "target-util(0.70)" {
+		t.Errorf("default target-util: %v %v", p, err)
+	}
+	if p, err := ParsePolicy("step", 0, 0, 0, 0, 0); err != nil || p == nil {
+		t.Errorf("default step: %v %v", p, err)
+	}
+	if _, err := ParsePolicy("bogus", 0, 0, 0, 0, 0); err == nil {
+		t.Error("bogus policy should fail")
+	}
+}

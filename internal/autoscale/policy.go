@@ -1,0 +1,173 @@
+package autoscale
+
+import (
+	"fmt"
+	"math"
+)
+
+// TargetUtilization sizes the fleet so the busy fraction approaches a
+// target: demand is the number of busy GPUs plus the GPUs the current
+// queue backlog would occupy, and the desired size is demand scaled by
+// 1/utilization so the fleet retains headroom.
+type TargetUtilization struct {
+	// Utilization is the desired busy fraction in (0, 1]; 0.7 means
+	// "size the fleet so ~70% of GPUs are busy".
+	Utilization float64
+	// QueuePerGPU is how many queued requests one GPU is assumed to
+	// absorb within a tick (default 1; larger values damp queue-driven
+	// scale-up).
+	QueuePerGPU int
+}
+
+// NewTargetUtilization validates and builds the policy.
+func NewTargetUtilization(utilization float64, queuePerGPU int) (*TargetUtilization, error) {
+	if utilization <= 0 || utilization > 1 {
+		return nil, fmt.Errorf("autoscale: utilization %g outside (0,1]", utilization)
+	}
+	if queuePerGPU <= 0 {
+		queuePerGPU = 1
+	}
+	return &TargetUtilization{Utilization: utilization, QueuePerGPU: queuePerGPU}, nil
+}
+
+// Name implements Policy.
+func (p *TargetUtilization) Name() string {
+	return fmt.Sprintf("target-util(%.2f)", p.Utilization)
+}
+
+// Decide implements Policy.
+func (p *TargetUtilization) Decide(sig Signal) Decision {
+	busy := sig.Active - sig.Idle
+	qp := p.QueuePerGPU
+	if qp <= 0 {
+		qp = 1
+	}
+	demand := float64(busy) + float64(sig.QueueDepth)/float64(qp)
+	target := int(math.Ceil(demand / p.Utilization))
+	return Decision{
+		Target: target,
+		Reason: fmt.Sprintf("busy=%d queue=%d demand=%.1f util=%.2f", busy, sig.QueueDepth, demand, p.Utilization),
+	}
+}
+
+// StepHysteresis scales in fixed steps after sustained pressure: Step
+// GPUs up once the queue depth has exceeded UpQueueDepth for UpAfter
+// consecutive ticks, Step GPUs down once the idle ratio has exceeded
+// DownIdleRatio (with an empty queue) for DownAfter consecutive ticks.
+// The consecutive-tick requirement is the hysteresis: transient spikes
+// and lulls do not flap the fleet.
+type StepHysteresis struct {
+	// UpQueueDepth: queue depth that counts as sustained pressure.
+	UpQueueDepth int
+	// DownIdleRatio: idle fraction that counts as sustained slack.
+	DownIdleRatio float64
+	// Step is how many GPUs each scaling action adds or removes.
+	Step int
+	// UpAfter / DownAfter are the consecutive-tick thresholds
+	// (defaults 2 and 4: scaling down is the more cautious move).
+	UpAfter   int
+	DownAfter int
+
+	upTicks, downTicks int
+}
+
+// NewStepHysteresis validates and builds the policy.
+func NewStepHysteresis(upQueueDepth int, downIdleRatio float64, step int) (*StepHysteresis, error) {
+	if upQueueDepth <= 0 {
+		return nil, fmt.Errorf("autoscale: non-positive UpQueueDepth %d", upQueueDepth)
+	}
+	if downIdleRatio <= 0 || downIdleRatio > 1 {
+		return nil, fmt.Errorf("autoscale: DownIdleRatio %g outside (0,1]", downIdleRatio)
+	}
+	if step <= 0 {
+		return nil, fmt.Errorf("autoscale: non-positive Step %d", step)
+	}
+	return &StepHysteresis{
+		UpQueueDepth:  upQueueDepth,
+		DownIdleRatio: downIdleRatio,
+		Step:          step,
+		UpAfter:       2,
+		DownAfter:     4,
+	}, nil
+}
+
+// Clone implements ClonablePolicy: a copy with fresh hysteresis
+// counters, so autoscalers built from a shared Config never share
+// mutable state.
+func (p *StepHysteresis) Clone() Policy {
+	cp := *p
+	cp.upTicks, cp.downTicks = 0, 0
+	return &cp
+}
+
+// Name implements Policy.
+func (p *StepHysteresis) Name() string {
+	return fmt.Sprintf("step-hysteresis(q>%d,idle>%.2f,step=%d)", p.UpQueueDepth, p.DownIdleRatio, p.Step)
+}
+
+// Decide implements Policy.
+func (p *StepHysteresis) Decide(sig Signal) Decision {
+	current := sig.Active + sig.Provisioning
+	upAfter, downAfter := p.UpAfter, p.DownAfter
+	if upAfter <= 0 {
+		upAfter = 2
+	}
+	if downAfter <= 0 {
+		downAfter = 4
+	}
+
+	if sig.QueueDepth > p.UpQueueDepth {
+		p.upTicks++
+		p.downTicks = 0
+		if p.upTicks >= upAfter {
+			p.upTicks = 0
+			return Decision{
+				Target: current + p.Step,
+				Reason: fmt.Sprintf("queue=%d > %d for %d ticks", sig.QueueDepth, p.UpQueueDepth, upAfter),
+			}
+		}
+		return Decision{Target: current, Reason: "pressure building"}
+	}
+	p.upTicks = 0
+
+	if sig.QueueDepth == 0 && sig.IdleRatio > p.DownIdleRatio {
+		p.downTicks++
+		if p.downTicks >= downAfter {
+			p.downTicks = 0
+			return Decision{
+				Target: current - p.Step,
+				Reason: fmt.Sprintf("idle=%.2f > %.2f for %d ticks", sig.IdleRatio, p.DownIdleRatio, downAfter),
+			}
+		}
+		return Decision{Target: current, Reason: "slack building"}
+	}
+	p.downTicks = 0
+	return Decision{Target: current, Reason: "steady"}
+}
+
+// ParsePolicy builds a policy from its admin-endpoint name:
+// "target-util" (params: utilization, queuePerGPU) or "step"
+// (params: upQueueDepth, downIdleRatio, step). Zero-valued params take
+// the documented defaults.
+func ParsePolicy(name string, utilization float64, queuePerGPU, upQueueDepth int, downIdleRatio float64, step int) (Policy, error) {
+	switch name {
+	case "target-util", "target-utilization", "":
+		if utilization == 0 {
+			utilization = 0.7
+		}
+		return NewTargetUtilization(utilization, queuePerGPU)
+	case "step", "step-hysteresis":
+		if upQueueDepth == 0 {
+			upQueueDepth = 4
+		}
+		if downIdleRatio == 0 {
+			downIdleRatio = 0.5
+		}
+		if step == 0 {
+			step = 2
+		}
+		return NewStepHysteresis(upQueueDepth, downIdleRatio, step)
+	default:
+		return nil, fmt.Errorf("autoscale: unknown policy %q", name)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"container/list"
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 
 	"gpufaas/internal/sim"
@@ -283,6 +284,29 @@ func (m *Manager) RegisterGPU(gpuID string) error {
 	m.perGPU[gpuID] = rl
 	m.gpuIDs = append(m.gpuIDs, gpuID)
 	m.idx.AddGPU(gpuID)
+	return nil
+}
+
+// UnregisterGPU removes a GPU from the manager (elastic decommission).
+// Every resident model must already have been evicted through OnEvict so
+// the index, subscribers and derived views saw the departures; a GPU with
+// residents cannot be unregistered.
+func (m *Manager) UnregisterGPU(gpuID string) error {
+	rl, ok := m.perGPU[gpuID]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownGPU, gpuID)
+	}
+	if rl.Len() != 0 {
+		return fmt.Errorf("cache: GPU %s still holds %d residents", gpuID, rl.Len())
+	}
+	if err := m.idx.RemoveGPU(gpuID); err != nil {
+		return err
+	}
+	delete(m.perGPU, gpuID)
+	delete(m.pinned, gpuID)
+	if i := slices.Index(m.gpuIDs, gpuID); i >= 0 {
+		m.gpuIDs = slices.Delete(m.gpuIDs, i, i+1)
+	}
 	return nil
 }
 

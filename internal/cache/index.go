@@ -10,8 +10,8 @@ package cache
 
 import (
 	"fmt"
-	"sort"
 
+	"gpufaas/internal/ordset"
 	"gpufaas/internal/sim"
 )
 
@@ -54,6 +54,7 @@ type Event struct {
 // by the number of holders rather than the cluster size).
 type Index struct {
 	ord     map[string]int // gpuID -> registration index
+	nextOrd int            // monotone, survives removals
 	where   map[string]map[string]bool
 	holders map[string][]string // model -> GPUs in registration order
 }
@@ -68,20 +69,38 @@ func NewIndex() *Index {
 }
 
 // AddGPU registers a GPU; registration order defines the deterministic
-// holder order. Duplicate registrations are ignored.
+// holder order. Duplicate registrations are ignored. Registration indices
+// are monotone and never reused, so GPUs added after a removal
+// (elastic membership) still sort after every earlier registration.
 func (ix *Index) AddGPU(gpuID string) {
 	if _, ok := ix.ord[gpuID]; ok {
 		return
 	}
-	ix.ord[gpuID] = len(ix.ord)
+	ix.ord[gpuID] = ix.nextOrd
+	ix.nextOrd++
+}
+
+// RemoveGPU deregisters a GPU. The caller must have evicted all of the
+// GPU's residents first (the Manager enforces this); removing a GPU that
+// still appears in a holder list is an error.
+func (ix *Index) RemoveGPU(gpuID string) error {
+	if _, ok := ix.ord[gpuID]; !ok {
+		return nil
+	}
+	for model, set := range ix.where {
+		if set[gpuID] {
+			return fmt.Errorf("cache: removing GPU %s still caching %s", gpuID, model)
+		}
+	}
+	delete(ix.ord, gpuID)
+	return nil
 }
 
 // Apply folds one residency transition into the index. Unknown GPUs and
 // redundant transitions are ignored (the Manager validates before
 // emitting).
 func (ix *Index) Apply(ev Event) {
-	ord, ok := ix.ord[ev.GPU]
-	if !ok {
+	if _, ok := ix.ord[ev.GPU]; !ok {
 		return
 	}
 	switch ev.Kind {
@@ -95,12 +114,7 @@ func (ix *Index) Apply(ev Event) {
 			return
 		}
 		set[ev.GPU] = true
-		hs := ix.holders[ev.Model]
-		i := sort.Search(len(hs), func(i int) bool { return ix.ord[hs[i]] >= ord })
-		hs = append(hs, "")
-		copy(hs[i+1:], hs[i:])
-		hs[i] = ev.GPU
-		ix.holders[ev.Model] = hs
+		ix.holders[ev.Model] = ordset.Insert(ix.holders[ev.Model], ix.ord, ev.GPU)
 	case EventEvict:
 		set, ok := ix.where[ev.Model]
 		if !ok || !set[ev.GPU] {
@@ -110,11 +124,7 @@ func (ix *Index) Apply(ev Event) {
 		if len(set) == 0 {
 			delete(ix.where, ev.Model)
 		}
-		hs := ix.holders[ev.Model]
-		i := sort.Search(len(hs), func(i int) bool { return ix.ord[hs[i]] >= ord })
-		if i < len(hs) && hs[i] == ev.GPU {
-			hs = append(hs[:i], hs[i+1:]...)
-		}
+		hs := ordset.Remove(ix.holders[ev.Model], ix.ord, ev.GPU)
 		if len(hs) == 0 {
 			delete(ix.holders, ev.Model)
 		} else {

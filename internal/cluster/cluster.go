@@ -16,15 +16,17 @@ package cluster
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 	"time"
 
+	"gpufaas/internal/autoscale"
 	"gpufaas/internal/cache"
 	"gpufaas/internal/core"
 	"gpufaas/internal/gpu"
 	"gpufaas/internal/gpumgr"
 	"gpufaas/internal/models"
+	"gpufaas/internal/ordset"
 	"gpufaas/internal/sim"
 	"gpufaas/internal/stats"
 	"gpufaas/internal/trace"
@@ -54,6 +56,11 @@ type Config struct {
 	// OnResult is called after each completion, outside metric
 	// bookkeeping; may be nil.
 	OnResult func(gpumgr.Result)
+	// Autoscale, when non-nil, attaches a policy-driven autoscaler that
+	// provisions/decommissions GPUs at (simulated or wall) time. In
+	// simulated-time mode Autoscale.Horizon must be set, or the
+	// rescheduling tick would keep RunWorkload from draining.
+	Autoscale *autoscale.Config
 }
 
 // DefaultGPUMemory is the usable model memory per GPU: the testbed's
@@ -91,7 +98,13 @@ type Cluster struct {
 	mgrs     []*gpumgr.Manager
 	devByID  map[string]*gpu.Device
 	mgrByDev map[string]*gpumgr.Manager
-	gpuIDs   []string
+	// gpuIDs is the membership list. Mutations (elastic add/remove)
+	// happen under the harness serialization AND idsMu; GPUIDs()
+	// snapshots under idsMu alone, so it stays safe to call from result
+	// hooks and sinks that already hold c.mu in live mode (idsMu is a
+	// leaf lock — never held while taking c.mu).
+	gpuIDs []string
+	idsMu  sync.Mutex
 
 	// idle is the incremental idle-GPU set, ordered by registration
 	// index; it is maintained from GPU status transitions (statusSink)
@@ -100,6 +113,24 @@ type Cluster struct {
 	idle     []string
 	gpuOrd   map[string]int
 	userSink gpumgr.StatusSink
+
+	// Elastic membership (autoscale subsystem). gpuState tracks each
+	// member's lifecycle; registration ords are monotone (nextOrd) so
+	// GPUs provisioned after a removal still sort deterministically.
+	gpuState   map[string]gpuLifecycle
+	addedAt    map[string]sim.Time
+	activation map[string]func() // pending cold-start timer cancels
+	nextOrd    int
+	gpuSeq     int             // provisioned-GPU name counter
+	elasticMgr *gpumgr.Manager // lazily-created manager for provisioned GPUs
+	gpuSeconds float64         // accumulated GPU-seconds of removed members
+	// Removed members' phase durations accumulate here so the report's
+	// utilization covers the whole fleet history, not just survivors.
+	remIdle, remLoading, remInferring time.Duration
+	scaleUps                          int64
+	scaleDowns                        int64
+	peakGPUs                          int
+	scaler                            *autoscale.Autoscaler
 
 	latencies  *stats.Sample
 	perModel   map[string]*stats.Welford
@@ -111,6 +142,20 @@ type Cluster struct {
 	topModel   string
 	onResult   func(gpumgr.Result)
 }
+
+// gpuLifecycle is a member GPU's elastic-membership state.
+type gpuLifecycle int
+
+const (
+	// gpuActive: schedulable.
+	gpuActive gpuLifecycle = iota
+	// gpuProvisioning: added, still inside the cold-start window; not
+	// schedulable and invisible to the idle set.
+	gpuProvisioning
+	// gpuDraining: decommission requested; finishes in-flight and
+	// parked work, takes no new work, leaves once quiescent.
+	gpuDraining
+)
 
 // lockedClock wraps a clock so that timer callbacks run holding the
 // cluster mutex; this is what makes the passive components safe under the
@@ -148,16 +193,19 @@ func New(cfg Config) (*Cluster, error) {
 	}
 
 	c := &Cluster{
-		cfg:       cfg,
-		zoo:       cfg.Zoo,
-		profiles:  cfg.Profiles,
-		devByID:   make(map[string]*gpu.Device),
-		mgrByDev:  make(map[string]*gpumgr.Manager),
-		gpuOrd:    make(map[string]int),
-		userSink:  cfg.Sink,
-		latencies: stats.NewSample(4096),
-		perModel:  make(map[string]*stats.Welford),
-		onResult:  cfg.OnResult,
+		cfg:        cfg,
+		zoo:        cfg.Zoo,
+		profiles:   cfg.Profiles,
+		devByID:    make(map[string]*gpu.Device),
+		mgrByDev:   make(map[string]*gpumgr.Manager),
+		gpuOrd:     make(map[string]int),
+		gpuState:   make(map[string]gpuLifecycle),
+		addedAt:    make(map[string]sim.Time),
+		activation: make(map[string]func()),
+		userSink:   cfg.Sink,
+		latencies:  stats.NewSample(4096),
+		perModel:   make(map[string]*stats.Welford),
+		onResult:   cfg.OnResult,
 	}
 	if cfg.Clock == nil {
 		c.engine = sim.New()
@@ -207,13 +255,17 @@ func New(cfg Config) (*Cluster, error) {
 			}
 			c.devByID[dev.ID()] = dev
 			c.mgrByDev[dev.ID()] = mgr
-			c.gpuOrd[dev.ID()] = len(c.gpuIDs)
+			c.gpuOrd[dev.ID()] = c.nextOrd
+			c.nextOrd++
+			c.gpuState[dev.ID()] = gpuActive
+			c.addedAt[dev.ID()] = 0
 			c.gpuIDs = append(c.gpuIDs, dev.ID())
 		}
 		c.mgrs = append(c.mgrs, mgr)
 	}
 	// Every GPU starts idle.
 	c.idle = append(c.idle, c.gpuIDs...)
+	c.peakGPUs = len(c.gpuIDs)
 
 	c.sched, err = core.New(core.Config{
 		Policy:            cfg.Policy,
@@ -222,6 +274,19 @@ func New(cfg Config) (*Cluster, error) {
 	}, (*backendView)(c))
 	if err != nil {
 		return nil, err
+	}
+
+	if cfg.Autoscale != nil {
+		if c.engine != nil && cfg.Autoscale.Horizon <= 0 {
+			return nil, errors.New("cluster: autoscaler in simulated-time mode requires a Horizon")
+		}
+		// The fleet adapter's methods run inside clock callbacks, which
+		// the harness already serializes (event loop / lockedClock).
+		c.scaler, err = autoscale.New((*fleetView)(c), c.clock, *cfg.Autoscale)
+		if err != nil {
+			return nil, err
+		}
+		c.scaler.Start()
 	}
 	return c, nil
 }
@@ -235,8 +300,18 @@ type statusSink struct{ c *Cluster }
 
 func (s statusSink) GPUStatus(gpuID string, busy bool, at sim.Time) {
 	s.c.markIdle(gpuID, !busy)
+	// Forward before any drain finalization: GPURemoved must be the
+	// sink's last event for a GPU, or the trailing idle report would
+	// re-create state (e.g. the datastore status key) the removal just
+	// cleaned up.
 	if s.c.userSink != nil {
 		s.c.userSink.GPUStatus(gpuID, busy, at)
+	}
+	if !busy {
+		// A draining GPU that just went idle with an empty local queue
+		// is quiescent: complete its decommission before the scheduler
+		// runs again.
+		s.c.maybeFinishDrain(gpuID, at)
 	}
 }
 
@@ -250,20 +325,313 @@ func (s statusSink) Completion(res gpumgr.Result) {
 // under the cluster's serialization (event loop in sim mode, lockedClock
 // mutex in live mode).
 func (c *Cluster) markIdle(gpuID string, idle bool) {
-	ord, ok := c.gpuOrd[gpuID]
-	if !ok {
+	if _, ok := c.gpuOrd[gpuID]; !ok {
+		return // already removed from the fleet
+	}
+	if idle {
+		c.idle = ordset.Insert(c.idle, c.gpuOrd, gpuID)
+	} else {
+		c.idle = ordset.Remove(c.idle, c.gpuOrd, gpuID)
+	}
+}
+
+// ---- Elastic membership ----
+
+// Errors reported by the membership operations.
+var (
+	ErrUnknownGPU = errors.New("cluster: unknown GPU")
+	ErrNotQuiet   = errors.New("cluster: GPU has in-flight or parked work; decommission with drain")
+)
+
+// AddGPU provisions one GPU (same type and memory as the rest of the
+// fleet). The GPU becomes schedulable after coldStart elapses on the
+// cluster clock; until then it is invisible to the scheduler but already
+// accrues GPU-seconds (you pay for booting instances). Returns the new
+// GPU's ID.
+func (c *Cluster) AddGPU(coldStart time.Duration) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.addGPU(coldStart)
+}
+
+// addGPU is AddGPU under the harness's serialization (callers inside
+// clock callbacks use it directly; the exported wrapper locks).
+func (c *Cluster) addGPU(coldStart time.Duration) (string, error) {
+	if coldStart < 0 {
+		return "", fmt.Errorf("cluster: negative cold start %v", coldStart)
+	}
+	if c.elasticMgr == nil {
+		mgr, err := gpumgr.New(gpumgr.Config{
+			Node:       "elastic",
+			Clock:      c.clock,
+			Cache:      c.cacheMgr,
+			Zoo:        c.zoo,
+			Profiles:   c.profiles,
+			Sink:       statusSink{c: c},
+			OnComplete: c.handleComplete,
+		})
+		if err != nil {
+			return "", err
+		}
+		c.elasticMgr = mgr
+		c.mgrs = append(c.mgrs, mgr)
+	}
+	id := fmt.Sprintf("elastic/gpu%d", c.gpuSeq)
+	c.gpuSeq++
+	now := c.clock.Now()
+	dev, err := gpu.New(gpu.Config{
+		ID:        id,
+		Node:      c.elasticMgr.Node(),
+		Type:      c.cfg.GPUType,
+		Capacity:  c.cfg.GPUMemory,
+		CreatedAt: now,
+	})
+	if err != nil {
+		return "", err
+	}
+	if err := c.elasticMgr.AddDevice(dev); err != nil {
+		return "", err
+	}
+	c.devByID[id] = dev
+	c.mgrByDev[id] = c.elasticMgr
+	c.gpuOrd[id] = c.nextOrd
+	c.nextOrd++
+	c.addedAt[id] = now
+	c.idsMu.Lock()
+	c.gpuIDs = append(c.gpuIDs, id)
+	c.idsMu.Unlock()
+	if n := len(c.gpuIDs); n > c.peakGPUs {
+		c.peakGPUs = n
+	}
+	c.scaleUps++
+	if coldStart == 0 {
+		c.gpuState[id] = gpuActive
+		c.markIdle(id, true)
+		c.runScheduler(now)
+		return id, nil
+	}
+	c.gpuState[id] = gpuProvisioning
+	c.activation[id] = c.clock.AfterFunc(coldStart, "cluster.gpuActivate "+id, func(at sim.Time) {
+		c.activate(id, at)
+	})
+	return id, nil
+}
+
+// activate flips a provisioned GPU to schedulable once its cold-start
+// window closes; a GPU decommissioned mid-boot never activates.
+func (c *Cluster) activate(id string, now sim.Time) {
+	if c.gpuState[id] != gpuProvisioning {
 		return
 	}
-	i := sort.Search(len(c.idle), func(i int) bool { return c.gpuOrd[c.idle[i]] >= ord })
-	present := i < len(c.idle) && c.idle[i] == gpuID
-	switch {
-	case idle && !present:
-		c.idle = append(c.idle, "")
-		copy(c.idle[i+1:], c.idle[i:])
-		c.idle[i] = gpuID
-	case !idle && present:
-		c.idle = append(c.idle[:i], c.idle[i+1:]...)
+	delete(c.activation, id)
+	c.gpuState[id] = gpuActive
+	c.markIdle(id, true)
+	c.runScheduler(now)
+}
+
+// DecommissionGPU removes a GPU from the fleet. With drain=true the GPU
+// first becomes unschedulable, finishes its in-flight request and any
+// requests parked in its local queue, has its cache residents evicted
+// (through the normal insert/evict event stream, so the global index and
+// idle set stay consistent), and then leaves. With drain=false the GPU
+// must already be quiescent — ErrNotQuiet otherwise.
+func (c *Cluster) DecommissionGPU(gpuID string, drain bool) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.decommission(gpuID, drain)
+}
+
+// decommission is DecommissionGPU under the harness's serialization.
+func (c *Cluster) decommission(gpuID string, drain bool) error {
+	state, ok := c.gpuState[gpuID]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownGPU, gpuID)
 	}
+	now := c.clock.Now()
+	switch state {
+	case gpuDraining:
+		return nil // already on the way out
+	case gpuProvisioning:
+		// Never became schedulable: cancel the boot and remove.
+		return c.finishRemove(gpuID, now)
+	}
+	busy := c.devByID[gpuID].Busy()
+	parked := c.sched.LocalQueueLen(gpuID)
+	if !busy && parked == 0 {
+		return c.finishRemove(gpuID, now)
+	}
+	if !drain {
+		return fmt.Errorf("%w: %s (busy=%v parked=%d)", ErrNotQuiet, gpuID, busy, parked)
+	}
+	c.gpuState[gpuID] = gpuDraining
+	c.sched.SetDraining(gpuID, true)
+	return nil
+}
+
+// maybeFinishDrain completes a drain once the GPU is quiescent; called
+// from the status sink on every busy→idle transition.
+func (c *Cluster) maybeFinishDrain(gpuID string, now sim.Time) {
+	if c.gpuState[gpuID] != gpuDraining {
+		return
+	}
+	if c.sched.LocalQueueLen(gpuID) != 0 {
+		return // parked work left; the next scheduler round dispatches it
+	}
+	// Quiescent: remove before the scheduler sees this GPU as idle.
+	if err := c.finishRemove(gpuID, now); err != nil {
+		// Unreachable if the drain invariants hold; surface loudly in
+		// sim mode like other harness bugs.
+		panic(fmt.Sprintf("cluster: finish drain %s: %v", gpuID, err))
+	}
+}
+
+// finishRemove deregisters a quiescent GPU everywhere: scheduler state,
+// GPU manager (which kills remaining processes, evicting their models
+// through the Cache Manager's event stream), idle set, and membership
+// maps. GPU-seconds stop accruing at `now`.
+func (c *Cluster) finishRemove(gpuID string, now sim.Time) error {
+	if cancel, ok := c.activation[gpuID]; ok {
+		cancel()
+		delete(c.activation, gpuID)
+	}
+	if err := c.sched.RemoveGPU(gpuID); err != nil {
+		return err
+	}
+	// Fold the departing GPU's phase durations into the removed-member
+	// accumulators before the device is dropped, so report() covers
+	// every member that ever served, not just survivors.
+	u := c.devByID[gpuID].Utilization(now)
+	c.remIdle += u.Idle
+	c.remLoading += u.Loading
+	c.remInferring += u.Inferring
+	if err := c.mgrByDev[gpuID].RemoveDevice(gpuID, now); err != nil {
+		return err
+	}
+	c.gpuSeconds += time.Duration(now - c.addedAt[gpuID]).Seconds()
+	c.markIdle(gpuID, false)
+	delete(c.gpuOrd, gpuID)
+	delete(c.gpuState, gpuID)
+	delete(c.addedAt, gpuID)
+	delete(c.devByID, gpuID)
+	delete(c.mgrByDev, gpuID)
+	c.idsMu.Lock()
+	if i := slices.Index(c.gpuIDs, gpuID); i >= 0 {
+		c.gpuIDs = slices.Delete(c.gpuIDs, i, i+1)
+	}
+	c.idsMu.Unlock()
+	c.scaleDowns++
+	if rs, ok := c.userSink.(gpumgr.GPURemovalSink); ok {
+		rs.GPURemoved(gpuID, now)
+	}
+	return nil
+}
+
+// ScaleTo reconciles the non-draining fleet size (active + provisioning)
+// to target: provisioning new GPUs with the given cold start, or
+// drain-decommissioning surplus ones (provisioning first, then idle,
+// then busy; newest first). It is the manual-scaling path behind the
+// gateway's /system/scale endpoint.
+func (c *Cluster) ScaleTo(target int, coldStart time.Duration) (added, removed []string, err error) {
+	if target < 1 {
+		return nil, nil, fmt.Errorf("cluster: target fleet size %d < 1", target)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	size := (*fleetView)(c).FleetSize()
+	current := size.Active + size.Provisioning
+	switch {
+	case target > current:
+		for i := current; i < target; i++ {
+			id, err := c.addGPU(coldStart)
+			if err != nil {
+				return added, nil, err
+			}
+			added = append(added, id)
+		}
+	case target < current:
+		removed = (*fleetView)(c).ScaleDown(current - target)
+	}
+	return added, removed, nil
+}
+
+// fleetView adapts Cluster to autoscale.Fleet. Its methods run inside
+// clock callbacks, under the harness's serialization — they must not take
+// the cluster mutex (live mode already holds it via lockedClock).
+type fleetView Cluster
+
+// FleetSize implements autoscale.Fleet.
+func (f *fleetView) FleetSize() autoscale.Size {
+	var s autoscale.Size
+	for _, st := range f.gpuState {
+		switch st {
+		case gpuActive:
+			s.Active++
+		case gpuProvisioning:
+			s.Provisioning++
+		case gpuDraining:
+			s.Draining++
+		}
+	}
+	for _, id := range f.idle {
+		if f.gpuState[id] == gpuActive {
+			s.Idle++
+		}
+	}
+	return s
+}
+
+// PendingRequests implements autoscale.Fleet.
+func (f *fleetView) PendingRequests() int { return f.sched.PendingTotal() }
+
+// ScaleUp implements autoscale.Fleet.
+func (f *fleetView) ScaleUp(n int, coldStart time.Duration) []string {
+	c := (*Cluster)(f)
+	var out []string
+	for i := 0; i < n; i++ {
+		id, err := c.addGPU(coldStart)
+		if err != nil {
+			break
+		}
+		out = append(out, id)
+	}
+	return out
+}
+
+// ScaleDown implements autoscale.Fleet: drain-decommission up to n GPUs,
+// preferring provisioning GPUs (they did no useful work yet), then idle,
+// then busy; newest registration first within each class, so scale-down
+// unwinds scale-up deterministically.
+func (f *fleetView) ScaleDown(n int) []string {
+	c := (*Cluster)(f)
+	idleSet := make(map[string]bool, len(c.idle))
+	for _, id := range c.idle {
+		idleSet[id] = true
+	}
+	var provisioning, idle, busy []string
+	for i := len(c.gpuIDs) - 1; i >= 0; i-- { // newest first
+		id := c.gpuIDs[i]
+		switch {
+		case c.gpuState[id] == gpuDraining:
+			// already leaving; not a candidate
+		case c.gpuState[id] == gpuProvisioning:
+			provisioning = append(provisioning, id)
+		case idleSet[id]:
+			idle = append(idle, id)
+		default:
+			busy = append(busy, id)
+		}
+	}
+	var out []string
+	for _, id := range append(append(provisioning, idle...), busy...) {
+		if len(out) == n {
+			break
+		}
+		if err := c.decommission(id, true); err != nil {
+			continue
+		}
+		out = append(out, id)
+	}
+	return out
 }
 
 // backendView adapts Cluster to core.Backend without exporting the
@@ -313,8 +681,14 @@ func (b *backendView) profile(gpuID, model string) (models.Profile, bool) {
 	return b.profiles.Get(d.Type(), model)
 }
 
-// GPUIDs returns the cluster's GPUs in deterministic order.
+// GPUIDs returns the cluster's GPUs in deterministic order. Membership
+// is mutable at runtime (elastic scaling); the snapshot is taken under
+// the dedicated membership lock, NOT the cluster mutex, so it remains
+// safe to call from result hooks and sinks (which run holding c.mu in
+// live mode, where c.mu would deadlock).
 func (c *Cluster) GPUIDs() []string {
+	c.idsMu.Lock()
+	defer c.idsMu.Unlock()
 	out := make([]string, len(c.gpuIDs))
 	copy(out, c.gpuIDs)
 	return out
@@ -332,6 +706,56 @@ func (c *Cluster) IdleGPUs() []string {
 
 // Scheduler exposes the scheduler (read-mostly: counters, queue lengths).
 func (c *Cluster) Scheduler() *core.Scheduler { return c.sched }
+
+// Autoscaler returns the attached autoscaler, or nil. In live mode use
+// the locked accessors (AutoscalerStatus, SetAutoscalerEnabled,
+// ScaleEvents) instead of touching it directly.
+func (c *Cluster) Autoscaler() *autoscale.Autoscaler { return c.scaler }
+
+// FleetCounts returns the current membership breakdown. Like the other
+// autoscaler accessors below (and AddGPU/DecommissionGPU/ScaleTo) it
+// takes the cluster mutex: do not call it from result hooks or status
+// sinks, which in live mode already run holding that mutex — use
+// GPUIDs for hook-safe membership reads.
+func (c *Cluster) FleetCounts() autoscale.Size {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return (*fleetView)(c).FleetSize()
+}
+
+// AutoscalerStatus snapshots the attached autoscaler; ok is false when
+// the cluster has none.
+func (c *Cluster) AutoscalerStatus() (autoscale.Status, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.scaler == nil {
+		return autoscale.Status{}, false
+	}
+	return c.scaler.Status(), true
+}
+
+// SetAutoscalerEnabled pauses or resumes the attached autoscaler;
+// returns false when the cluster has none.
+func (c *Cluster) SetAutoscalerEnabled(on bool) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.scaler == nil {
+		return false
+	}
+	c.scaler.SetEnabled(on)
+	return true
+}
+
+// ScaleEvents returns a copy of the autoscaler's event log (nil without
+// an autoscaler).
+func (c *Cluster) ScaleEvents() []autoscale.ScaleEvent {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.scaler == nil {
+		return nil
+	}
+	return c.scaler.Events()
+}
 
 // CacheManager exposes the cache manager for metric inspection.
 func (c *Cluster) CacheManager() *cache.Manager { return c.cacheMgr }
@@ -375,6 +799,9 @@ func (c *Cluster) handleComplete(res gpumgr.Result) {
 		c.perModel[res.Model] = w
 	}
 	w.Add(res.Latency().Seconds())
+	if c.scaler != nil {
+		c.scaler.ObserveLatency(res.Latency().Seconds())
+	}
 	if c.keepResult {
 		c.results = append(c.results, res)
 	}
@@ -490,6 +917,20 @@ type Report struct {
 	LocalQueueMoves int64
 	O3Dispatches    int64
 	Starved         int64
+
+	// Elasticity accounting (autoscale subsystem). GPUSeconds is the
+	// integral of fleet size over the run — the cost metric the
+	// elasticity sweep compares against latency. A GPU accrues from the
+	// instant it is provisioned (cold starts are paid for) until its
+	// decommission completes.
+	GPUSeconds float64
+	ScaleUps   int64
+	ScaleDowns int64
+	PeakGPUs   int
+	FinalGPUs  int
+	// ScaleEvents is the autoscaler's event log (nil without one);
+	// deterministic for a fixed trace, seed and policy.
+	ScaleEvents []autoscale.ScaleEvent
 }
 
 // report snapshots the metrics (sim mode, after drain).
@@ -514,19 +955,25 @@ func (c *Cluster) report() Report {
 	rep.Misses = cm.Misses
 	rep.FalseMisses = cm.FalseMisses
 
-	var sm, load, busy float64
+	// Utilization is time-weighted over every member that ever served:
+	// current GPUs through `now` plus the phase durations of removed
+	// members (folded in at decommission time). For a fixed fleet all
+	// member lifetimes are equal, so this matches the paper's per-GPU
+	// average; for an elastic fleet it weights each member by the
+	// GPU-time it actually contributed instead of letting short-lived
+	// transients dominate an unweighted mean.
+	idleT, loadT, inferT := c.remIdle, c.remLoading, c.remInferring
 	for _, id := range c.gpuIDs {
 		u := c.devByID[id].Utilization(now)
-		sm += u.SM()
-		if u.Total > 0 {
-			load += float64(u.Loading) / float64(u.Total)
-		}
-		busy += u.BusyFraction()
+		idleT += u.Idle
+		loadT += u.Loading
+		inferT += u.Inferring
 	}
-	n := float64(len(c.gpuIDs))
-	rep.SMUtilization = sm / n
-	rep.LoadFraction = load / n
-	rep.BusyFraction = busy / n
+	if total := float64(idleT + loadT + inferT); total > 0 {
+		rep.SMUtilization = float64(inferT) / total
+		rep.LoadFraction = float64(loadT) / total
+		rep.BusyFraction = float64(loadT+inferT) / total
+	}
 
 	if c.topModel != "" {
 		rep.TopModelDuplicates = c.cacheMgr.TrackedAverage(c.topModel, now)
@@ -535,6 +982,25 @@ func (c *Cluster) report() Report {
 	rep.LocalQueueMoves = sc.LocalQueueMoves
 	rep.O3Dispatches = sc.O3Dispatches
 	rep.Starved = sc.Starved
+
+	// GPU-seconds integrate through the clock's now (autoscaler ticks
+	// may outlive the last completion); removed members were already
+	// accumulated at removal time.
+	end := c.clock.Now()
+	if end < now {
+		end = now
+	}
+	rep.GPUSeconds = c.gpuSeconds
+	for _, id := range c.gpuIDs {
+		rep.GPUSeconds += time.Duration(end - c.addedAt[id]).Seconds()
+	}
+	rep.ScaleUps = c.scaleUps
+	rep.ScaleDowns = c.scaleDowns
+	rep.PeakGPUs = c.peakGPUs
+	rep.FinalGPUs = len(c.gpuIDs)
+	if c.scaler != nil {
+		rep.ScaleEvents = c.scaler.Events()
+	}
 	return rep
 }
 

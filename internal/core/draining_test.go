@@ -1,0 +1,124 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDrainingGPUServesOnlyLocalQueue: a draining GPU dispatches its
+// parked work but never takes global-queue requests.
+func TestDrainingGPUServesOnlyLocalQueue(t *testing.T) {
+	m := newMock("g0", "g1")
+	m.setModel("a", 100*time.Millisecond, 10*time.Millisecond)
+	m.setModel("b", 100*time.Millisecond, 10*time.Millisecond)
+	// Park request 1 on g0: model a cached only on busy g0, waiting
+	// beats loading.
+	m.cached["g0"]["a"] = true
+	m.busy["g0"] = true
+	m.finish["g0"] = 5 * time.Millisecond
+	s := newSched(t, LALB, 0, m)
+	mustEnqueue(t, s, req(1, "a"))
+	if d := s.Schedule(0); len(d) != 0 || s.LocalQueueLen("g0") != 1 {
+		t.Fatalf("expected a parked request: dispatches=%v local=%d", d, s.LocalQueueLen("g0"))
+	}
+
+	// g0 finishes and is marked draining (decommission requested).
+	m.busy["g0"] = false
+	m.finish["g0"] = 0
+	s.SetDraining("g0", true)
+	if !s.Draining("g0") {
+		t.Fatal("Draining not set")
+	}
+	mustEnqueue(t, s, req(2, "b"))
+	m.busy["g1"] = true // keep g1 out of the way
+
+	d := s.Schedule(0)
+	if len(d) != 1 || d[0].Req.ID != 1 || d[0].GPU != "g0" || !d[0].FromLocalQueue {
+		t.Fatalf("dispatches = %+v, want parked req 1 on g0", d)
+	}
+	if s.GlobalQueueLen() != 1 {
+		t.Fatalf("global queue = %d, want request 2 still waiting", s.GlobalQueueLen())
+	}
+
+	// Local queue empty, still draining: g0 takes nothing more.
+	m.busy["g0"] = false
+	if d := s.Schedule(0); len(d) != 0 {
+		t.Fatalf("draining GPU took new work: %+v", d)
+	}
+
+	// Once g1 frees up, request 2 goes there, not to the draining GPU.
+	m.busy["g1"] = false
+	d = s.Schedule(0)
+	if len(d) != 1 || d[0].GPU != "g1" {
+		t.Fatalf("dispatches = %+v, want req 2 on g1", d)
+	}
+}
+
+// TestDrainingHolderNotUsedByLLB: LocalityLoadBalance must neither
+// dispatch to an idle draining holder nor park behind a busy draining
+// holder.
+func TestDrainingHolderNotUsedByLLB(t *testing.T) {
+	m := newMock("g0", "g1", "g2")
+	m.setModel("a", 100*time.Millisecond, 10*time.Millisecond)
+	m.cached["g1"]["a"] = true
+	s := newSched(t, LALB, 0, m)
+
+	// Idle draining holder: the request must miss onto g0 instead of
+	// hitting on g1.
+	s.SetDraining("g1", true)
+	mustEnqueue(t, s, req(1, "a"))
+	d := s.Schedule(0)
+	if len(d) != 1 || d[0].GPU != "g2" && d[0].GPU != "g0" || d[0].ExpectHit {
+		t.Fatalf("dispatches = %+v, want a miss on a non-draining GPU", d)
+	}
+
+	// Busy draining holder: no parking (the local queue of a draining
+	// GPU accepts no new work) — the request misses instead.
+	m2 := newMock("g0", "g1")
+	m2.setModel("a", time.Hour, 10*time.Millisecond) // waiting always beats loading
+	m2.cached["g1"]["a"] = true
+	m2.busy["g1"] = true
+	m2.finish["g1"] = time.Millisecond
+	s2 := newSched(t, LALB, 0, m2)
+	s2.SetDraining("g1", true)
+	mustEnqueue(t, s2, req(1, "a"))
+	d = s2.Schedule(0)
+	if len(d) != 1 || d[0].GPU != "g0" || d[0].ExpectHit {
+		t.Fatalf("dispatches = %+v, want a forced miss on g0", d)
+	}
+	if s2.LocalQueueLen("g1") != 0 {
+		t.Error("request parked behind a draining GPU")
+	}
+}
+
+// TestRemoveGPUGuards: removal requires an empty local queue and clears
+// scheduler state.
+func TestRemoveGPUGuards(t *testing.T) {
+	m := newMock("g0", "g1")
+	m.setModel("a", time.Hour, 10*time.Millisecond)
+	m.cached["g0"]["a"] = true
+	m.busy["g0"] = true
+	m.finish["g0"] = time.Millisecond
+	s := newSched(t, LALB, 0, m)
+	mustEnqueue(t, s, req(1, "a"))
+	s.Schedule(0) // parks on g0
+	if s.LocalQueueLen("g0") != 1 {
+		t.Fatal("setup: expected a parked request")
+	}
+	if err := s.RemoveGPU("g0"); err == nil {
+		t.Fatal("RemoveGPU with parked work must fail")
+	}
+	// Dispatch the parked request, then removal succeeds.
+	m.busy["g0"] = false
+	s.Schedule(0)
+	s.SetDraining("g0", true)
+	if err := s.RemoveGPU("g0"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Draining("g0") {
+		t.Error("draining flag survived removal")
+	}
+	if s.PendingTotal() != 0 {
+		t.Errorf("pending = %d", s.PendingTotal())
+	}
+}

@@ -185,6 +185,10 @@ type Scheduler struct {
 	// localSum caches the summed inference time of each local queue,
 	// updated on park/dispatch (Algorithm 2's estimated-finish tail).
 	localSum map[string]time.Duration
+	// draining marks GPUs being decommissioned: they still serve their
+	// local queue (parked work completes where it was promised the cache
+	// hit) but take no new global-queue work and attract no new parkings.
+	draining map[string]bool
 
 	// moves counts global→local-queue migrations (Algorithm 2 line 12).
 	moves int64
@@ -220,7 +224,38 @@ func New(cfg Config, backend Backend) (*Scheduler, error) {
 		idle:     il,
 		local:    make(map[string][]parked),
 		localSum: make(map[string]time.Duration),
+		draining: make(map[string]bool),
 	}, nil
+}
+
+// SetDraining marks (or clears) a GPU as draining. A draining GPU only
+// dispatches from its own local queue; the global queue and the
+// LocalityLoadBalance routine treat it as if it were not part of the
+// cluster. The harness flips this while decommissioning a GPU that still
+// has in-flight or parked work.
+func (s *Scheduler) SetDraining(gpuID string, draining bool) {
+	if draining {
+		s.draining[gpuID] = true
+		return
+	}
+	delete(s.draining, gpuID)
+}
+
+// Draining reports whether the GPU is draining.
+func (s *Scheduler) Draining(gpuID string) bool { return s.draining[gpuID] }
+
+// RemoveGPU forgets a decommissioned GPU's scheduler state. The GPU's
+// local queue must be empty — the harness drains it before removal; a
+// non-empty queue is an error so churn bugs surface instead of silently
+// dropping requests.
+func (s *Scheduler) RemoveGPU(gpuID string) error {
+	if n := len(s.local[gpuID]); n != 0 {
+		return fmt.Errorf("core: removing GPU %s with %d parked requests", gpuID, n)
+	}
+	delete(s.local, gpuID)
+	delete(s.localSum, gpuID)
+	delete(s.draining, gpuID)
+	return nil
 }
 
 // PolicyName returns the configured policy.
@@ -357,6 +392,10 @@ func (s *Scheduler) scheduleIdleGPU(gpuID string, now sim.Time, busy func(string
 			FromLocalQueue: true,
 		}}, true
 	}
+	if s.draining[gpuID] {
+		// A draining GPU with an empty local queue takes no new work.
+		return nil, false
+	}
 	if len(s.global) == 0 {
 		return nil, false
 	}
@@ -436,8 +475,12 @@ func (s *Scheduler) llb(gpuID string, idx int, now sim.Time, busy func(string) b
 	}
 
 	// Line 4–6: model cached on another idle GPU — dispatch there (a
-	// cache hit); the selected GPU stays idle.
+	// cache hit); the selected GPU stays idle. Draining holders are
+	// skipped: their residents are on the way out.
 	for _, h := range holders {
+		if s.draining[h] {
+			continue
+		}
 		if h == gpuID {
 			// The caller only reaches llb when the model is not cached
 			// on gpuID, but handle it for robustness: hit right here.
@@ -461,6 +504,9 @@ func (s *Scheduler) llb(gpuID string, idx int, now sim.Time, busy func(string) b
 		bestGPU := ""
 		var bestFinish time.Duration
 		for _, h := range holders {
+			if s.draining[h] {
+				continue
+			}
 			fin := s.EstimatedFinishWithQueue(h, now)
 			if bestGPU == "" || fin < bestFinish {
 				bestGPU, bestFinish = h, fin

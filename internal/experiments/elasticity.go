@@ -1,0 +1,215 @@
+package experiments
+
+// The elasticity sweep: the paper evaluates LALB/LALB+O3 on a fixed
+// 12-GPU fleet, but production traffic is diurnal and bursty. This file
+// compares a peak-provisioned fixed fleet against an autoscaled fleet
+// (the internal/autoscale subsystem) on non-flat arrival shapes,
+// reporting GPU-seconds consumed alongside the usual latency / miss-ratio
+// metrics — the cost/performance trade the autoscaler exists to win.
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"gpufaas/internal/autoscale"
+	"gpufaas/internal/core"
+	"gpufaas/internal/trace"
+)
+
+// defaultElasticityPolicy: the sweep compares fleets, not schedulers, so
+// every cell runs the paper's best scheduler.
+const defaultElasticityPolicy = core.LALBO3
+
+// AutoscaleSpec is a value-typed autoscaler description for experiment
+// grids. Unlike autoscale.Config it carries no live Policy: every run
+// builds a fresh policy instance, so stateful policies (hysteresis
+// counters) never leak across Matrix workers and runs stay deterministic.
+type AutoscaleSpec struct {
+	// Policy: "target-util" (Utilization, QueuePerGPU) or "step"
+	// (UpQueueDepth, DownIdleRatio, Step). Zero-valued fields take the
+	// autoscale package defaults.
+	Policy        string
+	Utilization   float64
+	QueuePerGPU   int
+	UpQueueDepth  int
+	DownIdleRatio float64
+	Step          int
+
+	Interval  time.Duration
+	ColdStart time.Duration
+	MinGPUs   int
+	MaxGPUs   int
+	// Horizon stops evaluation ticks; zero derives it from the
+	// workload length plus a drain margin.
+	Horizon time.Duration
+}
+
+// Config materializes a fresh autoscale.Config for one run over the
+// given workload.
+func (s AutoscaleSpec) Config(wp WorkloadParams) (*autoscale.Config, error) {
+	pol, err := autoscale.ParsePolicy(s.Policy, s.Utilization, s.QueuePerGPU,
+		s.UpQueueDepth, s.DownIdleRatio, s.Step)
+	if err != nil {
+		return nil, err
+	}
+	// GPU-seconds integrate through the last clock event, so the
+	// default horizon adds only a short drain margin past the trace:
+	// idle ticks after end-of-service would bill the autoscaled fleet
+	// for time the fixed fleet's run never observes.
+	horizon := s.Horizon
+	if horizon == 0 {
+		horizon = time.Duration(wp.Minutes)*time.Minute + 30*time.Second
+	}
+	return &autoscale.Config{
+		Policy:    pol,
+		Interval:  s.Interval,
+		MinGPUs:   s.MinGPUs,
+		MaxGPUs:   s.MaxGPUs,
+		ColdStart: s.ColdStart,
+		Horizon:   horizon,
+	}, nil
+}
+
+// ElasticityRow is one elasticity-sweep cell: a (trace shape, fleet
+// strategy) pair. The embedded Report carries the GPUSeconds /
+// ScaleUps / ScaleDowns / PeakGPUs accounting and the deterministic
+// ScaleEvents log.
+type ElasticityRow struct {
+	// Scenario is the arrival shape ("diurnal", "burst").
+	Scenario string
+	// Fleet is the strategy ("fixed", "autoscale/target-util",
+	// "autoscale/step").
+	Fleet string
+	Row
+}
+
+// elasticityCell pairs a Spec with its sweep labels.
+type elasticityCell struct {
+	scenario, fleet string
+	spec            Spec
+}
+
+// ElasticityWorkload returns the sweep's workload for an arrival shape.
+// Short mode halves the trace for CI smoke runs.
+func ElasticityWorkload(shape trace.Shape, short bool) WorkloadParams {
+	wp := DefaultWorkload(15)
+	wp.Minutes = 12
+	if short {
+		wp.Minutes = 6
+	}
+	wp.Shape = shape
+	return wp
+}
+
+// elasticityAutoscale is the sweep's autoscaler configuration: start at
+// a 6-GPU floor, grow to the fixed fleet's 12 at peak. target-util sizes
+// toward 60% busy with every queued request counting as a full GPU of
+// demand (QueuePerGPU=1 — deliberately eager, since scale-up lag is what
+// costs p95); step waits for queue depth > 4 on consecutive ticks before
+// stepping ±2. The 5 s cold start is on the order of one Table I model
+// load.
+func elasticityAutoscale(policy string) *AutoscaleSpec {
+	return &AutoscaleSpec{
+		Policy:        policy,
+		Utilization:   0.60,
+		QueuePerGPU:   1,
+		UpQueueDepth:  4,
+		DownIdleRatio: 0.5,
+		Step:          2,
+		Interval:      2 * time.Second,
+		ColdStart:     5 * time.Second,
+		MinGPUs:       6,
+		MaxGPUs:       12,
+	}
+}
+
+// ElasticityScenarios returns the sweep grid: {diurnal, burst} arrival
+// shapes × {fixed 12-GPU, target-utilization autoscaled, step-hysteresis
+// autoscaled} fleets, in presentation order.
+func ElasticityScenarios(short bool) []elasticityCell {
+	shapes := []struct {
+		name  string
+		shape trace.Shape
+	}{
+		{"diurnal", trace.Shape{Kind: trace.ShapeDiurnal, Amplitude: 0.7}},
+		{"burst", trace.Shape{Kind: trace.ShapeBurst, BurstEvery: 6, BurstLen: 1, BurstFactor: 2}},
+	}
+	fleets := []struct {
+		name string
+		auto *AutoscaleSpec
+	}{
+		{"fixed", nil},
+		{"autoscale/target-util", elasticityAutoscale("target-util")},
+		{"autoscale/step", elasticityAutoscale("step")},
+	}
+	var cells []elasticityCell
+	for _, sh := range shapes {
+		wp := ElasticityWorkload(sh.shape, short)
+		for _, fl := range fleets {
+			p := RunParams{
+				Policy:     defaultElasticityPolicy,
+				WorkingSet: wp.WorkingSet,
+				Workload:   wp,
+				Autoscale:  fl.auto,
+			}
+			if fl.auto != nil {
+				// Autoscaled fleets boot at the floor and grow; the
+				// fixed fleet keeps the paper's peak-provisioned 3x4.
+				p.Nodes, p.GPUsPerNode = 1, fl.auto.MinGPUs
+			}
+			cells = append(cells, elasticityCell{
+				scenario: sh.name,
+				fleet:    fl.name,
+				spec: Spec{
+					Name:   fmt.Sprintf("elasticity/%s/%s", sh.name, fl.name),
+					Params: p,
+				},
+			})
+		}
+	}
+	return cells
+}
+
+// ElasticitySpecs exposes the sweep's Specs (grid order), for callers
+// that drive the Matrix directly.
+func ElasticitySpecs(short bool) []Spec {
+	cells := ElasticityScenarios(short)
+	specs := make([]Spec, len(cells))
+	for i, c := range cells {
+		specs[i] = c.spec
+	}
+	return specs
+}
+
+// ElasticitySweep runs the sweep and returns labelled rows in grid
+// order. Determinism contract (same as every Matrix grid): identical
+// rows — including the ScaleEvents logs — at any worker count.
+func ElasticitySweep(m Matrix, short bool) ([]ElasticityRow, error) {
+	cells := ElasticityScenarios(short)
+	specs := make([]Spec, len(cells))
+	for i, c := range cells {
+		specs[i] = c.spec
+	}
+	rows, err := m.Run(specs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ElasticityRow, len(rows))
+	for i, row := range rows {
+		out[i] = ElasticityRow{Scenario: cells[i].scenario, Fleet: cells[i].fleet, Row: row}
+	}
+	return out, nil
+}
+
+// WriteElasticityTable renders the sweep with the cost metric next to
+// the latency metrics.
+func WriteElasticityTable(w io.Writer, rows []ElasticityRow) {
+	fmt.Fprintf(w, "%-8s %-22s %12s %10s %10s %8s %6s %6s\n",
+		"trace", "fleet", "gpu_seconds", "p95(s)", "miss", "avg(s)", "peak", "final")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %-22s %12.1f %10.3f %10.4f %8.3f %6d %6d\n",
+			r.Scenario, r.Fleet, r.GPUSeconds, r.P95LatencySec, r.MissRatio,
+			r.AvgLatencySec, r.PeakGPUs, r.FinalGPUs)
+	}
+}

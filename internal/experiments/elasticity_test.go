@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"gpufaas/internal/trace"
+)
+
+// shortSweep runs the CI-sized elasticity sweep once per test binary;
+// the full 12-minute sweep runs in cmd/faas-bench.
+func shortSweep(t *testing.T, workers int) []ElasticityRow {
+	t.Helper()
+	rows, err := ElasticitySweep(Matrix{Workers: workers}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("sweep returned %d rows, want 6", len(rows))
+	}
+	return rows
+}
+
+func rowFor(t *testing.T, rows []ElasticityRow, scenario, fleet string) ElasticityRow {
+	t.Helper()
+	for _, r := range rows {
+		if r.Scenario == scenario && r.Fleet == fleet {
+			return r
+		}
+	}
+	t.Fatalf("no row %s/%s", scenario, fleet)
+	return ElasticityRow{}
+}
+
+// TestElasticitySweepAcceptance pins the PR's headline claim: on the
+// diurnal trace the target-utilization autoscaled fleet consumes fewer
+// GPU-seconds than the peak-provisioned fixed fleet at equal-or-better
+// p95 latency.
+func TestElasticitySweepAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("elasticity sweep in -short mode")
+	}
+	rows, err := ElasticitySweep(Matrix{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed := rowFor(t, rows, "diurnal", "fixed")
+	auto := rowFor(t, rows, "diurnal", "autoscale/target-util")
+	if auto.GPUSeconds >= fixed.GPUSeconds {
+		t.Errorf("autoscaled fleet used %.1f GPU-seconds, fixed %.1f — no saving",
+			auto.GPUSeconds, fixed.GPUSeconds)
+	}
+	if auto.P95LatencySec > fixed.P95LatencySec {
+		t.Errorf("autoscaled p95 %.3fs worse than fixed %.3fs",
+			auto.P95LatencySec, fixed.P95LatencySec)
+	}
+	if auto.Requests != fixed.Requests {
+		t.Errorf("request counts differ: %d vs %d", auto.Requests, fixed.Requests)
+	}
+	if auto.Failed != 0 || fixed.Failed != 0 {
+		t.Errorf("failures: auto=%d fixed=%d", auto.Failed, fixed.Failed)
+	}
+	if len(auto.ScaleEvents) == 0 || auto.ScaleUps == 0 || auto.ScaleDowns == 0 {
+		t.Errorf("autoscaled run did not scale: ups=%d downs=%d events=%d",
+			auto.ScaleUps, auto.ScaleDowns, len(auto.ScaleEvents))
+	}
+	if fixed.ScaleUps != 0 || len(fixed.ScaleEvents) != 0 {
+		t.Errorf("fixed fleet scaled: %+v", fixed.ScaleEvents)
+	}
+}
+
+// TestElasticitySweepDeterministic is the grid determinism contract
+// extended to elasticity: identical rows — including scale-event logs —
+// at any worker count.
+func TestElasticitySweepDeterministic(t *testing.T) {
+	serial := shortSweep(t, 1)
+	parallel := shortSweep(t, 6)
+	for i := range serial {
+		if !reflect.DeepEqual(serial[i], parallel[i]) {
+			t.Errorf("row %d (%s/%s) differs between worker counts:\nserial:   %+v\nparallel: %+v",
+				i, serial[i].Scenario, serial[i].Fleet, serial[i], parallel[i])
+		}
+	}
+	for _, r := range serial {
+		if r.Requests == 0 {
+			t.Errorf("%s/%s completed no requests", r.Scenario, r.Fleet)
+		}
+	}
+}
+
+// TestAutoscaleSpecConfig checks spec materialization: fresh policies
+// per call and the derived horizon.
+func TestAutoscaleSpecConfig(t *testing.T) {
+	spec := elasticityAutoscale("step")
+	wp := ElasticityWorkload(trace.Shape{Kind: trace.ShapeDiurnal}, true)
+	a, err := spec.Config(wp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := spec.Config(wp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Policy == b.Policy {
+		t.Error("Config must build a fresh policy per run (shared hysteresis state)")
+	}
+	if want := time.Duration(wp.Minutes)*time.Minute + 30*time.Second; a.Horizon != want {
+		t.Errorf("derived horizon = %v, want %v", a.Horizon, want)
+	}
+	bad := *spec
+	bad.Policy = "bogus"
+	if _, err := bad.Config(wp); err == nil {
+		t.Error("unknown policy should fail")
+	}
+}

@@ -33,6 +33,9 @@ type WorkloadParams struct {
 	// Synth optionally overrides the Azure-shape synthesizer config;
 	// zero value uses a scaled default.
 	Synth trace.SynthConfig
+	// Shape modulates the per-minute request budget (diurnal, burst);
+	// the zero value is the paper's flat load.
+	Shape trace.Shape
 }
 
 // DefaultWorkload returns the paper's workload for a working-set size.
@@ -91,8 +94,15 @@ func Workload(p WorkloadParams, base *models.Zoo) (BuiltWorkload, error) {
 	if err != nil {
 		return BuiltWorkload{}, err
 	}
-	w := tr.FirstMinutes(p.Minutes).TopN(p.WorkingSet).
-		RedistributeMinutes(p.RequestsPerMinute, trace.WorkloadZipfS)
+	budgets, err := p.Shape.Budgets(p.Minutes, p.RequestsPerMinute)
+	if err != nil {
+		return BuiltWorkload{}, err
+	}
+	w, err := tr.FirstMinutes(p.Minutes).TopN(p.WorkingSet).
+		RedistributeMinutesBudgets(budgets, trace.WorkloadZipfS)
+	if err != nil {
+		return BuiltWorkload{}, err
+	}
 
 	// One model instance per working-set function, architectures dealt
 	// round-robin in size order so sizes spread evenly across popularity
@@ -140,6 +150,11 @@ type RunParams struct {
 	GPUsPerNode int
 	GPUMemory   int64
 	Workload    WorkloadParams // zero value -> DefaultWorkload(WorkingSet)
+	// Autoscale attaches an autoscaler to the run's cluster. It is a
+	// value spec (not a live autoscale.Config) so every run materializes
+	// a fresh, stateless-by-construction policy — grid cells must not
+	// share hysteresis counters across workers.
+	Autoscale *AutoscaleSpec
 }
 
 // Row is one experiment result: a point in Figures 4a/4b/4c/5/6.
@@ -173,6 +188,13 @@ func Run(p RunParams) (Row, error) {
 	wp := p.Workload
 	if wp.Minutes == 0 {
 		wp = DefaultWorkload(p.WorkingSet)
+	}
+	if p.Autoscale != nil {
+		ac, err := p.Autoscale.Config(wp)
+		if err != nil {
+			return Row{}, err
+		}
+		cfg.Autoscale = ac
 	}
 	built, err := Workload(wp, models.Default())
 	if err != nil {

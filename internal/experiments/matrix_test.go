@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -46,7 +47,7 @@ func TestMatrixDeterminism(t *testing.T) {
 		t.Fatalf("row counts differ: %d vs %d", len(serial), len(parallel))
 	}
 	for i := range serial {
-		if serial[i] != parallel[i] {
+		if !reflect.DeepEqual(serial[i], parallel[i]) {
 			t.Errorf("row %d (%s) differs:\nserial:   %+v\nparallel: %+v",
 				i, specs[i].Name, serial[i], parallel[i])
 		}
@@ -69,7 +70,7 @@ func TestMatrixFullGridDeterminism(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range serial {
-		if serial[i] != parallel[i] {
+		if !reflect.DeepEqual(serial[i], parallel[i]) {
 			t.Errorf("row %d (%s) differs", i, specs[i].Name)
 		}
 	}
@@ -94,7 +95,7 @@ func TestMatrixConcurrentRunners(t *testing.T) {
 				return
 			}
 			for i := range rows {
-				if rows[i] != want[i] {
+				if !reflect.DeepEqual(rows[i], want[i]) {
 					t.Errorf("concurrent run diverged at row %d", i)
 				}
 			}

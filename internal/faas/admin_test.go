@@ -1,0 +1,275 @@
+package faas
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"gpufaas/internal/autoscale"
+)
+
+// TestAdminClusterScale drives the elastic-membership admin endpoint:
+// grow the live fleet, observe the breakdown, shrink it back.
+func TestAdminClusterScale(t *testing.T) {
+	g := testGateway(t)
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+
+	get := func() (counts autoscale.Size, gpus []string) {
+		res, err := http.Get(srv.URL + "/system/scale")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer res.Body.Close()
+		var body struct {
+			Counts autoscale.Size `json:"counts"`
+			GPUs   []string       `json:"gpus"`
+		}
+		if err := json.NewDecoder(res.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return body.Counts, body.GPUs
+	}
+	counts, gpus := get()
+	if counts.Active != 12 || len(gpus) != 12 {
+		t.Fatalf("initial fleet = %+v (%d GPUs)", counts, len(gpus))
+	}
+
+	post := func(target int, wantStatus int) map[string]json.RawMessage {
+		payload, _ := json.Marshal(map[string]any{"target": target})
+		res, err := http.Post(srv.URL+"/system/scale", "application/json", bytes.NewReader(payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer res.Body.Close()
+		if res.StatusCode != wantStatus {
+			t.Fatalf("scale to %d: status = %d, want %d", target, res.StatusCode, wantStatus)
+		}
+		var out map[string]json.RawMessage
+		_ = json.NewDecoder(res.Body).Decode(&out)
+		return out
+	}
+	out := post(14, http.StatusAccepted)
+	var added []string
+	_ = json.Unmarshal(out["added"], &added)
+	if len(added) != 2 || !strings.HasPrefix(added[0], "elastic/") {
+		t.Fatalf("added = %v", added)
+	}
+	counts, gpus = get()
+	if counts.Active != 14 || len(gpus) != 14 {
+		t.Fatalf("after grow: %+v (%d GPUs)", counts, len(gpus))
+	}
+
+	out = post(12, http.StatusAccepted)
+	var removed []string
+	_ = json.Unmarshal(out["removed"], &removed)
+	if len(removed) != 2 {
+		t.Fatalf("removed = %v", removed)
+	}
+	// Idle GPUs drain instantly; the fleet shrinks synchronously here.
+	counts, _ = get()
+	if counts.Active != 12 || counts.Draining != 0 {
+		t.Fatalf("after shrink: %+v", counts)
+	}
+	post(0, http.StatusBadRequest)
+
+	// Autoscaler endpoints 404 without one attached.
+	res, _ := http.Get(srv.URL + "/system/autoscaler")
+	if res.StatusCode != http.StatusNotFound {
+		t.Fatalf("autoscaler status without autoscaler = %d", res.StatusCode)
+	}
+	res.Body.Close()
+}
+
+// TestAdminAutoscalerEndpoint covers status + toggle on a gateway with
+// an attached autoscaler.
+func TestAdminAutoscalerEndpoint(t *testing.T) {
+	pol, err := autoscale.NewTargetUtilization(0.7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGateway(GatewayConfig{
+		Policy:        "LALBO3",
+		TimeScale:     0.001,
+		InvokeTimeout: 10 * time.Second,
+		Autoscale: &autoscale.Config{
+			Policy:   pol,
+			Interval: time.Hour, // no ticks during the test
+			MinGPUs:  2,
+			MaxGPUs:  16,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+
+	res, err := http.Get(srv.URL + "/system/autoscaler")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st autoscale.Status
+	if err := json.NewDecoder(res.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if !st.Enabled || st.MinGPUs != 2 || st.MaxGPUs != 16 || st.Policy == "" {
+		t.Fatalf("status = %+v", st)
+	}
+
+	toggle := func(on bool) autoscale.Status {
+		payload, _ := json.Marshal(map[string]bool{"enabled": on})
+		res, err := http.Post(srv.URL+"/system/autoscaler", "application/json", bytes.NewReader(payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer res.Body.Close()
+		if res.StatusCode != http.StatusAccepted {
+			t.Fatalf("toggle status = %d", res.StatusCode)
+		}
+		var st autoscale.Status
+		if err := json.NewDecoder(res.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	if st := toggle(false); st.Enabled {
+		t.Error("autoscaler still enabled after pause")
+	}
+	if st := toggle(true); !st.Enabled {
+		t.Error("autoscaler still paused after resume")
+	}
+
+	// Malformed toggle.
+	res, _ = http.Post(srv.URL+"/system/autoscaler", "application/json", strings.NewReader("{}"))
+	if res.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing enabled: status = %d", res.StatusCode)
+	}
+	res.Body.Close()
+}
+
+// TestDecommissionClearsDatastoreStatus: a GPU that served work has a
+// gpu/<id>/status key in the datastore; decommissioning it must delete
+// the key, or /system/gpus lists phantom idle GPUs forever.
+func TestDecommissionClearsDatastoreStatus(t *testing.T) {
+	g := testGateway(t)
+	if _, err := g.Deploy(FunctionSpec{Name: "cls", GPUEnabled: true, Model: "resnet18", BatchSize: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Invoke("cls", InvokeRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	// The serving GPU reported busy/idle transitions into the store.
+	served := ""
+	for _, kv := range g.Store().List("gpu/") {
+		served = strings.TrimSuffix(strings.TrimPrefix(kv.Key, "gpu/"), "/status")
+	}
+	if served == "" {
+		t.Fatal("no GPU status key after an invocation")
+	}
+	if err := g.Cluster().DecommissionGPU(served, true); err != nil {
+		t.Fatal(err)
+	}
+	// The invocation completed before the decommission, so the GPU was
+	// quiescent and left synchronously — its status key must be gone.
+	for _, kv := range g.Store().List("gpu/") {
+		if strings.Contains(kv.Key, served) {
+			t.Errorf("datastore still holds %s after decommission", kv.Key)
+		}
+	}
+}
+
+// TestBusyDrainClearsDatastoreStatus covers the asynchronous drain
+// path: decommissioning a GPU while it serves a request must, once the
+// request finishes and the drain completes, leave no status key behind
+// (the final idle report is forwarded before removal, and GPURemoved is
+// the sink's last event).
+func TestBusyDrainClearsDatastoreStatus(t *testing.T) {
+	g := testGateway(t)
+	if _, err := g.Deploy(FunctionSpec{Name: "cls2", GPUEnabled: true, Model: "vgg19", BatchSize: 4}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := g.Invoke("cls2", InvokeRequest{})
+		done <- err
+	}()
+	// Wait until some GPU reports busy, then drain it mid-request.
+	var victim string
+	deadline := time.Now().Add(5 * time.Second)
+	for victim == "" {
+		if time.Now().After(deadline) {
+			t.Fatal("no GPU went busy")
+		}
+		for _, kv := range g.Store().List("gpu/") {
+			if string(kv.Value) == "busy" {
+				victim = strings.TrimSuffix(strings.TrimPrefix(kv.Key, "gpu/"), "/status")
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := g.Cluster().DecommissionGPU(victim, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	// The drain completes on the completion callback; poll briefly.
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		stale := false
+		for _, kv := range g.Store().List("gpu/") {
+			if strings.Contains(kv.Key, victim) {
+				stale = true
+			}
+		}
+		member := false
+		for _, id := range g.Cluster().GPUIDs() {
+			if id == victim {
+				member = true
+			}
+		}
+		if !stale && !member {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("drained GPU %s: still member=%v, datastore key stale=%v", victim, member, stale)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestWatchdogDeterministicMetrics pins the satellite fix: under a
+// simulated clock the watchdog's metric records carry virtual
+// timestamps and the corrected "latencyMs" key.
+func TestWatchdogDeterministicMetrics(t *testing.T) {
+	g := testGateway(t)
+	if _, err := g.Deploy(FunctionSpec{Name: "echo-fn", Handler: HandlerEcho}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Invoke("echo-fn", InvokeRequest{Body: []byte("hi")}); err != nil {
+		t.Fatal(err)
+	}
+	kvs := g.Store().List("metrics/invocations/echo-fn/")
+	if len(kvs) != 1 {
+		t.Fatalf("metric records = %d", len(kvs))
+	}
+	var rec map[string]any
+	if err := json.Unmarshal(kvs[0].Value, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rec["latencyMs"]; !ok {
+		t.Errorf("record lacks latencyMs (typo regression): %v", rec)
+	}
+	if _, ok := rec["latateMs"]; ok {
+		t.Error("record still carries the latateMs typo key")
+	}
+	if _, ok := rec["wallMs"]; !ok {
+		t.Errorf("record lacks wallMs: %v", rec)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"gpufaas/internal/autoscale"
 	"gpufaas/internal/cluster"
 	"gpufaas/internal/core"
 	"gpufaas/internal/datastore"
@@ -38,6 +39,9 @@ type GatewayConfig struct {
 	InvokeTimeout time.Duration
 	// Zoo overrides the Table I model zoo.
 	Zoo *models.Zoo
+	// Autoscale attaches an autoscaler to the live cluster; the admin
+	// endpoints (/system/autoscaler) expose and toggle it.
+	Autoscale *autoscale.Config
 }
 
 // Gateway is the public route of the FaaS platform (Fig. 1): it handles
@@ -99,6 +103,7 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 
 	store := datastore.New()
 	ccfg.Sink = DatastoreSink{Store: store}
+	ccfg.Autoscale = cfg.Autoscale
 
 	g := &Gateway{
 		registry:  NewRegistry(),
@@ -145,7 +150,7 @@ func (g *Gateway) Deploy(spec FunctionSpec) (*Function, error) {
 		}
 	}
 	g.mu.Lock()
-	g.watchdogs[spec.Name] = NewWatchdog(fn.Spec, g.infer, g.store)
+	g.watchdogs[spec.Name] = NewWatchdog(fn.Spec, g.infer, g.store, g.clock)
 	g.mu.Unlock()
 	return fn, nil
 }
@@ -210,6 +215,10 @@ func ScaledProfiles(zoo *models.Zoo, gpuType string, scale float64) *models.Prof
 //	GET    /system/functions/{name} describe
 //	DELETE /system/functions/{name} remove
 //	POST   /system/scale/{name}     {"replicas": N}
+//	GET    /system/scale            fleet membership breakdown
+//	POST   /system/scale            {"target": N, "coldStartMs": M} — elastic GPU scaling
+//	GET    /system/autoscaler       autoscaler status + scale-event log
+//	POST   /system/autoscaler       {"enabled": bool} — pause/resume the autoscaler
 //	GET    /system/metrics          cluster report
 //	GET    /system/gpus             GPU status from the datastore
 //	POST   /function/{name}         invoke
@@ -218,6 +227,8 @@ func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/system/functions", g.handleFunctions)
 	mux.HandleFunc("/system/functions/", g.handleFunction)
+	mux.HandleFunc("/system/scale", g.handleClusterScale)
+	mux.HandleFunc("/system/autoscaler", g.handleAutoscaler)
 	mux.HandleFunc("/system/scale/", g.handleScale)
 	mux.HandleFunc("/system/metrics", g.handleMetrics)
 	mux.HandleFunc("/system/gpus", g.handleGPUs)
@@ -265,7 +276,7 @@ func (g *Gateway) handleFunctions(w http.ResponseWriter, r *http.Request) {
 			fn, err = g.registry.Update(spec)
 			if err == nil {
 				g.mu.Lock()
-				g.watchdogs[spec.Name] = NewWatchdog(fn.Spec, g.infer, g.store)
+				g.watchdogs[spec.Name] = NewWatchdog(fn.Spec, g.infer, g.store, g.clock)
 				g.mu.Unlock()
 			}
 		}
@@ -323,6 +334,78 @@ func (g *Gateway) handleScale(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, fn)
+}
+
+// handleClusterScale is the elastic-membership admin endpoint: GET
+// reports the fleet breakdown; POST reconciles the fleet to a target
+// size (provision with cold start / drain-decommission).
+func (g *Gateway) handleClusterScale(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, map[string]any{
+			"counts": g.cluster.FleetCounts(),
+			"gpus":   g.cluster.GPUIDs(),
+		})
+	case http.MethodPost:
+		var body struct {
+			Target      int   `json:"target"`
+			ColdStartMs int64 `json:"coldStartMs"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		if body.ColdStartMs < 0 {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "negative coldStartMs"})
+			return
+		}
+		added, removed, err := g.cluster.ScaleTo(body.Target, time.Duration(body.ColdStartMs)*time.Millisecond)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusAccepted, map[string]any{
+			"added":   added,
+			"removed": removed,
+			"counts":  g.cluster.FleetCounts(),
+		})
+	default:
+		w.WriteHeader(http.StatusMethodNotAllowed)
+	}
+}
+
+// handleAutoscaler exposes the attached autoscaler: GET returns status
+// (policy, last signal, scale-event log), POST toggles it.
+func (g *Gateway) handleAutoscaler(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		st, ok := g.cluster.AutoscalerStatus()
+		if !ok {
+			writeJSON(w, http.StatusNotFound, map[string]string{"error": "no autoscaler attached"})
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	case http.MethodPost:
+		var body struct {
+			Enabled *bool `json:"enabled"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		if body.Enabled == nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "missing enabled"})
+			return
+		}
+		if !g.cluster.SetAutoscalerEnabled(*body.Enabled) {
+			writeJSON(w, http.StatusNotFound, map[string]string{"error": "no autoscaler attached"})
+			return
+		}
+		st, _ := g.cluster.AutoscalerStatus()
+		writeJSON(w, http.StatusAccepted, st)
+	default:
+		w.WriteHeader(http.StatusMethodNotAllowed)
+	}
 }
 
 func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {

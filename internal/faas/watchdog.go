@@ -4,8 +4,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gpufaas/internal/cluster"
@@ -48,25 +48,34 @@ type InvokeResponse struct {
 
 // Watchdog starts and monitors the function inside its container (Fig. 1):
 // it receives invocations from the Gateway, executes the handler, and
-// records execution metrics to the Datastore.
+// records execution metrics to the Datastore. Metric timestamps come from
+// the injected clock, so under a simulated clock the recorded metrics are
+// deterministic; seq disambiguates invocations sharing a clock instant.
 type Watchdog struct {
 	spec    FunctionSpec
 	infer   *InferenceClient
 	store   *datastore.Store
+	clock   sim.Clock
+	seq     atomic.Int64
 	netOnce sync.Once
 	net     *nn.Network
 	netErr  error
 }
 
 // NewWatchdog builds a watchdog for a function. infer may be nil for
-// non-GPU functions; store may be nil to disable metric recording.
-func NewWatchdog(spec FunctionSpec, infer *InferenceClient, store *datastore.Store) *Watchdog {
-	return &Watchdog{spec: spec, infer: infer, store: store}
+// non-GPU functions; store may be nil to disable metric recording. clock
+// stamps the recorded metrics (the gateway passes its cluster clock); nil
+// falls back to a fresh wall clock.
+func NewWatchdog(spec FunctionSpec, infer *InferenceClient, store *datastore.Store, clock sim.Clock) *Watchdog {
+	if clock == nil {
+		clock = sim.NewRealClock()
+	}
+	return &Watchdog{spec: spec, infer: infer, store: store, clock: clock}
 }
 
 // Handle executes one invocation.
 func (w *Watchdog) Handle(req InvokeRequest) (InvokeResponse, error) {
-	start := time.Now()
+	start := w.clock.Now()
 	var resp InvokeResponse
 	var err error
 	switch w.spec.Handler {
@@ -83,12 +92,14 @@ func (w *Watchdog) Handle(req InvokeRequest) (InvokeResponse, error) {
 			status = "error"
 		}
 		rec, _ := json.Marshal(map[string]any{
-			"function": w.spec.Name,
-			"status":   status,
-			"wallMs":   time.Since(start).Milliseconds(),
-			"latateMs": resp.TotalLatency.Milliseconds(),
+			"function":  w.spec.Name,
+			"status":    status,
+			"wallMs":    time.Duration(w.clock.Now() - start).Milliseconds(),
+			"latencyMs": resp.TotalLatency.Milliseconds(),
 		})
-		w.store.Put("metrics/invocations/"+w.spec.Name+"/"+strconv.FormatInt(time.Now().UnixNano(), 10), rec, 0)
+		key := fmt.Sprintf("metrics/invocations/%s/%d-%d",
+			w.spec.Name, int64(start), w.seq.Add(1))
+		w.store.Put(key, rec, 0)
 	}
 	return resp, err
 }
@@ -273,6 +284,16 @@ func (s DatastoreSink) GPUStatus(gpuID string, busy bool, at sim.Time) {
 		v = "busy"
 	}
 	s.Store.Put("gpu/"+gpuID+"/status", []byte(v), 0)
+}
+
+// GPURemoved implements gpumgr.GPURemovalSink: a decommissioned GPU's
+// status key leaves the Datastore with it, so /system/gpus never lists
+// phantom idle GPUs.
+func (s DatastoreSink) GPURemoved(gpuID string, _ sim.Time) {
+	if s.Store == nil {
+		return
+	}
+	_, _ = s.Store.Delete("gpu/" + gpuID + "/status")
 }
 
 // Completion implements gpumgr.StatusSink.

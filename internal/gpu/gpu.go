@@ -100,6 +100,10 @@ type Config struct {
 	Node     string
 	Type     string
 	Capacity int64 // bytes of GPU memory
+	// CreatedAt anchors the phase/utilization accounting: a GPU
+	// provisioned mid-run (elastic scale-up) must not be charged idle
+	// time for the epoch before it existed. Zero is the run epoch.
+	CreatedAt sim.Time
 }
 
 // New creates an idle device with the given memory capacity.
@@ -111,12 +115,13 @@ func New(cfg Config) (*Device, error) {
 		return nil, fmt.Errorf("gpu: non-positive capacity %d for %s", cfg.Capacity, cfg.ID)
 	}
 	return &Device{
-		id:       cfg.ID,
-		node:     cfg.Node,
-		gpuType:  cfg.Type,
-		capacity: cfg.Capacity,
-		resident: make(map[string]int64),
-		loadedAt: make(map[string]sim.Time),
+		id:         cfg.ID,
+		node:       cfg.Node,
+		gpuType:    cfg.Type,
+		capacity:   cfg.Capacity,
+		phaseSince: cfg.CreatedAt,
+		resident:   make(map[string]int64),
+		loadedAt:   make(map[string]sim.Time),
 	}, nil
 }
 

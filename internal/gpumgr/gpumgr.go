@@ -16,6 +16,7 @@ package gpumgr
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 	"time"
 
@@ -91,6 +92,15 @@ type tenantUsage struct {
 type StatusSink interface {
 	GPUStatus(gpuID string, busy bool, at sim.Time)
 	Completion(res Result)
+}
+
+// GPURemovalSink is an optional StatusSink extension: sinks that keep
+// per-GPU derived state (the Datastore's gpu/<id>/status keys) implement
+// it to drop that state when a GPU leaves the fleet — otherwise a
+// decommissioned GPU's final busy=false report would linger as a
+// phantom "idle" entry forever.
+type GPURemovalSink interface {
+	GPURemoved(gpuID string, at sim.Time)
 }
 
 // Manager manages the GPUs of one node. Not safe for concurrent use; the
@@ -171,6 +181,35 @@ func (m *Manager) AddDevice(d *gpu.Device) error {
 	m.devices[d.ID()] = d
 	m.order = append(m.order, d.ID())
 	m.processes[d.ID()] = make(map[string]*Process)
+	return nil
+}
+
+// RemoveDevice decommissions a GPU: it kills every process on the device
+// (evicting the resident models through the Cache Manager, so the global
+// index and all event subscribers observe the departures), then drops the
+// device from the manager and deregisters it from the Cache Manager. The
+// device must be idle — the cluster drains in-flight work first.
+func (m *Manager) RemoveDevice(gpuID string, now sim.Time) error {
+	dev, ok := m.devices[gpuID]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownDevice, gpuID)
+	}
+	if dev.Busy() {
+		return fmt.Errorf("gpumgr: device %s busy, drain before removal", gpuID)
+	}
+	for _, model := range dev.ResidentModels() {
+		if err := m.killProcess(gpuID, model, now); err != nil {
+			return err
+		}
+	}
+	if err := m.cacheMgr.UnregisterGPU(gpuID); err != nil {
+		return err
+	}
+	delete(m.devices, gpuID)
+	delete(m.processes, gpuID)
+	if i := slices.Index(m.order, gpuID); i >= 0 {
+		m.order = slices.Delete(m.order, i, i+1)
+	}
 	return nil
 }
 

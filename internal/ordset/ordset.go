@@ -1,0 +1,32 @@
+// Package ordset maintains string slices ordered by a caller-owned
+// registration index (gpuID → monotone ord). Two hot structures share
+// this shape — the cluster's incremental idle-GPU set and the cache
+// index's per-model holder lists — and the scheduler's indexed/scan
+// equivalence contract requires them to order identically, so the
+// insert/remove logic lives here once.
+package ordset
+
+import "sort"
+
+// Insert returns s with id inserted at its registration-order position;
+// s is returned unchanged if id is already present. ids missing from ord
+// sort as 0 — callers register before inserting.
+func Insert(s []string, ord map[string]int, id string) []string {
+	i := sort.Search(len(s), func(i int) bool { return ord[s[i]] >= ord[id] })
+	if i < len(s) && s[i] == id {
+		return s
+	}
+	s = append(s, "")
+	copy(s[i+1:], s[i:])
+	s[i] = id
+	return s
+}
+
+// Remove returns s without id; unchanged if absent.
+func Remove(s []string, ord map[string]int, id string) []string {
+	i := sort.Search(len(s), func(i int) bool { return ord[s[i]] >= ord[id] })
+	if i < len(s) && s[i] == id {
+		return append(s[:i], s[i+1:]...)
+	}
+	return s
+}

@@ -1,0 +1,32 @@
+package ordset
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestInsertRemoveOrder(t *testing.T) {
+	ord := map[string]int{"a": 0, "b": 1, "c": 2, "d": 7}
+	var s []string
+	for _, id := range []string{"c", "a", "d", "b"} {
+		s = Insert(s, ord, id)
+	}
+	if want := []string{"a", "b", "c", "d"}; !reflect.DeepEqual(s, want) {
+		t.Fatalf("s = %v, want %v", s, want)
+	}
+	// Duplicate insert is a no-op.
+	if got := Insert(s, ord, "b"); !reflect.DeepEqual(got, s) {
+		t.Errorf("dup insert = %v", got)
+	}
+	s = Remove(s, ord, "b")
+	s = Remove(s, ord, "b") // absent: no-op
+	if want := []string{"a", "c", "d"}; !reflect.DeepEqual(s, want) {
+		t.Fatalf("after remove s = %v, want %v", s, want)
+	}
+	// Monotone ords from re-registration keep sorting after everything.
+	ord["e"] = 99
+	s = Insert(s, ord, "e")
+	if s[len(s)-1] != "e" {
+		t.Errorf("monotone insert = %v", s)
+	}
+}

@@ -90,6 +90,14 @@ func (s *Sample) Add(x float64) {
 // N returns the number of observations.
 func (s *Sample) N() int { return len(s.xs) }
 
+// Reset discards all observations, keeping the allocated capacity. The
+// autoscaler reuses one Sample as a per-tick latency window: fill,
+// Percentile(95), Reset.
+func (s *Sample) Reset() {
+	s.xs = s.xs[:0]
+	s.sorted = false
+}
+
 // Mean returns the arithmetic mean, or 0 when empty.
 func (s *Sample) Mean() float64 {
 	if len(s.xs) == 0 {

@@ -112,6 +112,28 @@ func TestSamplePercentileEmptyAndSingleton(t *testing.T) {
 	}
 }
 
+func TestSampleReset(t *testing.T) {
+	s := NewSample(8)
+	for i := 1; i <= 10; i++ {
+		s.Add(float64(i))
+	}
+	if s.Percentile(95) == 0 {
+		t.Fatal("pre-reset percentile should be nonzero")
+	}
+	s.Reset()
+	if s.N() != 0 || s.Percentile(95) != 0 || s.Mean() != 0 {
+		t.Errorf("after Reset: N=%d P95=%g mean=%g", s.N(), s.Percentile(95), s.Mean())
+	}
+	// The sample is reusable as a rolling window (the autoscaler's
+	// per-tick p95): refill and query again.
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if got := s.Percentile(95); !almost(got, 95.05, 1e-9) {
+		t.Errorf("refilled P95 = %g", got)
+	}
+}
+
 func TestSamplePercentileMonotone(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	s := NewSample(0)

@@ -213,16 +213,34 @@ const WorkloadZipfS = 0.4
 // of different functions while maintaining the normalized total
 // invocations per minute" (§V-A1).
 func (t *Trace) RedistributeMinutes(budget int, s float64) *Trace {
+	budgets := make([]int, t.Minutes)
+	for m := range budgets {
+		budgets[m] = budget
+	}
+	out, _ := t.RedistributeMinutesBudgets(budgets, s) // lengths match by construction
+	return out
+}
+
+// RedistributeMinutesBudgets is RedistributeMinutes with a per-minute
+// budget vector (len == Minutes), the hook through which arrival shapes
+// (diurnal, burst) reach the workload: minute m's column sums to
+// budgets[m] exactly. A budget vector of the wrong length is an error,
+// not an empty trace.
+func (t *Trace) RedistributeMinutesBudgets(budgets []int, s float64) (*Trace, error) {
+	if len(budgets) != t.Minutes {
+		return nil, fmt.Errorf("trace: %d budgets for %d minutes", len(budgets), t.Minutes)
+	}
 	out := &Trace{Functions: append([]string(nil), t.Functions...), Minutes: t.Minutes}
 	out.Counts = make([][]int, len(t.Counts))
 	for i := range out.Counts {
 		out.Counts[i] = make([]int, t.Minutes)
 	}
 	if len(t.Counts) == 0 {
-		return out
+		return out, nil
 	}
 	weights := ZipfWeights(len(t.Counts), s)
 	for m := 0; m < t.Minutes; m++ {
+		budget := budgets[m]
 		type frac struct {
 			idx  int
 			rem  float64
@@ -246,7 +264,7 @@ func (t *Trace) RedistributeMinutes(budget int, s float64) *Trace {
 			out.Counts[fracs[k].idx][m] = n
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Request is one function invocation materialized from the trace.
@@ -336,6 +354,125 @@ func max(a, b int) int {
 	return b
 }
 
+// Shape kinds accepted by Shape.Kind.
+const (
+	// ShapeFlat is the paper's stationary load (the default).
+	ShapeFlat = "flat"
+	// ShapeDiurnal modulates per-minute load sinusoidally — the daily
+	// traffic cycle the elasticity experiments scale against.
+	ShapeDiurnal = "diurnal"
+	// ShapeBurst overlays periodic load spikes on a flat baseline.
+	ShapeBurst = "burst"
+)
+
+// Shape describes how aggregate load varies across minutes. The zero
+// value is flat (every minute identical), which reproduces the paper's
+// stationary workload; the diurnal and burst shapes drive the elasticity
+// experiments, where a fixed fleet is provisioned for the peak and an
+// autoscaled fleet tracks the curve.
+type Shape struct {
+	// Kind is ShapeFlat, ShapeDiurnal or ShapeBurst ("" = flat).
+	Kind string
+	// PeriodMinutes is the diurnal full-cycle length (default: the
+	// trace length, one full day-cycle per trace).
+	PeriodMinutes int
+	// Amplitude is the diurnal modulation depth in [0, 1): minute load
+	// swings between (1-Amplitude) and (1+Amplitude) of the mean
+	// (default 0.6).
+	Amplitude float64
+	// PhaseMinutes shifts the diurnal curve; with the default phase the
+	// trace starts at the trough, so an autoscaled fleet begins small.
+	PhaseMinutes int
+	// BurstEvery is the burst period in minutes (default 6).
+	BurstEvery int
+	// BurstLen is how many minutes each burst lasts (default 1).
+	BurstLen int
+	// BurstFactor multiplies the baseline during a burst (default 3).
+	BurstFactor float64
+}
+
+// normalized fills in the documented defaults for a trace of the given
+// length.
+func (s Shape) normalized(minutes int) (Shape, error) {
+	switch s.Kind {
+	case "", ShapeFlat:
+		s.Kind = ShapeFlat
+	case ShapeDiurnal:
+		if s.PeriodMinutes <= 0 {
+			s.PeriodMinutes = minutes
+		}
+		if s.Amplitude == 0 {
+			s.Amplitude = 0.6
+		}
+		if s.Amplitude < 0 || s.Amplitude >= 1 {
+			return s, fmt.Errorf("trace: diurnal amplitude %g outside [0,1)", s.Amplitude)
+		}
+	case ShapeBurst:
+		if s.BurstEvery <= 0 {
+			s.BurstEvery = 6
+		}
+		if s.BurstLen <= 0 {
+			s.BurstLen = 1
+		}
+		if s.BurstLen > s.BurstEvery {
+			return s, fmt.Errorf("trace: burst length %d exceeds period %d", s.BurstLen, s.BurstEvery)
+		}
+		if s.BurstFactor == 0 {
+			s.BurstFactor = 3
+		}
+		if s.BurstFactor < 1 {
+			return s, fmt.Errorf("trace: burst factor %g < 1", s.BurstFactor)
+		}
+	default:
+		return s, fmt.Errorf("trace: unknown shape %q", s.Kind)
+	}
+	return s, nil
+}
+
+// Factor returns minute m's load multiplier (flat = 1). Diurnal minutes
+// follow 1 + A*sin(2π(m+phase)/period - π/2) so minute 0 sits at the
+// trough; burst minutes m with (m mod BurstEvery) < BurstLen carry
+// BurstFactor.
+func (s Shape) Factor(m int) float64 {
+	switch s.Kind {
+	case ShapeDiurnal:
+		if s.PeriodMinutes <= 0 {
+			return 1
+		}
+		phase := 2*math.Pi*float64(m+s.PhaseMinutes)/float64(s.PeriodMinutes) - math.Pi/2
+		return 1 + s.Amplitude*math.Sin(phase)
+	case ShapeBurst:
+		if s.BurstEvery > 0 && m%s.BurstEvery < s.BurstLen {
+			return s.BurstFactor
+		}
+		return 1
+	default:
+		return 1
+	}
+}
+
+// Budgets expands the shape into per-minute request budgets around the
+// mean rpm, for RedistributeMinutesBudgets. Every minute gets at least
+// one request so arrival streams never go fully silent.
+func (s Shape) Budgets(minutes, rpm int) ([]int, error) {
+	if minutes <= 0 || rpm <= 0 {
+		return nil, fmt.Errorf("trace: invalid shape budget %d minutes x %d rpm", minutes, rpm)
+	}
+	ns, err := s.normalized(minutes)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, minutes)
+	for m := 0; m < minutes; m++ {
+		b := int(math.Round(float64(rpm) * ns.Factor(m)))
+		if b < 1 {
+			b = 1
+		}
+		out[m] = b
+	}
+	return out, nil
+}
+
 // SynthConfig controls the Azure-shaped synthesizer.
 type SynthConfig struct {
 	// Functions is the total number of unique functions (the real trace
@@ -352,6 +489,9 @@ type SynthConfig struct {
 	TopCount int
 	// Seed makes generation reproducible.
 	Seed int64
+	// Shape modulates per-minute aggregate load (zero value = flat,
+	// the paper's stationary workload).
+	Shape Shape
 }
 
 // DefaultSynthConfig mirrors the published Azure trace statistics scaled
@@ -381,6 +521,10 @@ func Synthesize(cfg SynthConfig) (*Trace, error) {
 	}
 	if cfg.TopShare <= 0 || cfg.TopShare >= 1 {
 		return nil, fmt.Errorf("trace: TopShare must be in (0,1), got %g", cfg.TopShare)
+	}
+	shape, err := cfg.Shape.normalized(cfg.Minutes)
+	if err != nil {
+		return nil, err
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
@@ -425,8 +569,9 @@ func Synthesize(cfg SynthConfig) (*Trace, error) {
 		t.Counts[i] = make([]int, cfg.Minutes)
 	}
 	for m := 0; m < cfg.Minutes; m++ {
+		factor := shape.Factor(m)
 		for i := 0; i < cfg.Functions; i++ {
-			mean := weights[i] * float64(cfg.InvocationsPerMinute)
+			mean := weights[i] * float64(cfg.InvocationsPerMinute) * factor
 			t.Counts[i][m] = poisson(rng, mean)
 		}
 	}
