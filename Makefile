@@ -3,7 +3,10 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt fmt-check bench bench-smoke snapshot ci-snapshot elasticity-smoke vuln ci
+# Hot-path benchmarks compared by bench-save / bench-compare.
+BENCH_PATTERN ?= BenchmarkEngineFire|BenchmarkEngineCancel|BenchmarkScheduleDecision
+
+.PHONY: all build test race vet fmt fmt-check bench bench-smoke snapshot ci-snapshot elasticity-smoke bench-save bench-compare bench-regress vuln ci
 
 all: build
 
@@ -46,6 +49,42 @@ ci-snapshot:
 # CI as the "elasticity smoke" step.
 elasticity-smoke:
 	$(GO) run ./cmd/faas-bench -exp elasticity -short -json BENCH_elasticity.json
+
+# Record the hot-path benchmarks for later comparison: the previous
+# recording rotates to bench_old.txt, so the workflow is
+#   make bench-save            # on the old commit
+#   ...change code...
+#   make bench-save            # on the new commit
+#   make bench-compare
+bench-save:
+	@if [ -f bench_new.txt ]; then mv bench_new.txt bench_old.txt; fi
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -count 6 ./internal/sim . | tee bench_new.txt
+
+# benchstat old vs new hot-path snapshot; falls back to a per-benchmark
+# mean comparison when benchstat is not installed (the dev container has
+# no network to fetch it).
+bench-compare:
+	@if [ ! -f bench_old.txt ] || [ ! -f bench_new.txt ]; then \
+		echo "need bench_old.txt and bench_new.txt — run 'make bench-save' on each commit"; exit 1; fi
+	@if command -v benchstat >/dev/null 2>&1; then \
+		benchstat bench_old.txt bench_new.txt; \
+	else \
+		echo "benchstat not found (go install golang.org/x/perf/cmd/benchstat@latest); mean ns/op fallback:"; \
+		awk '/^Benchmark/ { sub(/-[0-9]+$$/, "", $$1); n[$$1]++; t[$$1] += $$3 } \
+		     END { for (b in n) printf "%-50s %12.1f ns/op\n", b, t[b]/n[b] }' bench_old.txt | sort > /tmp/bench_old.mean; \
+		awk '/^Benchmark/ { sub(/-[0-9]+$$/, "", $$1); n[$$1]++; t[$$1] += $$3 } \
+		     END { for (b in n) printf "%-50s %12.1f ns/op\n", b, t[b]/n[b] }' bench_new.txt | sort > /tmp/bench_new.mean; \
+		join -j 1 /tmp/bench_old.mean /tmp/bench_new.mean | \
+		awk '{ printf "%-50s old %10.1f  new %10.1f  (%+.1f%%)\n", $$1, $$2, $$4, ($$4-$$2)/$$2*100 }'; \
+	fi
+
+# Advisory hot-path regression check against the committed baseline
+# snapshot: re-measures the gpufaas-bench/v1 hotpath rows and flags any
+# case more than 50% slower than BENCH_baseline.json. Mirrored as the
+# CI "benchmark regression" advisory step; never gates locally.
+bench-regress:
+	-$(GO) run ./cmd/faas-bench -exp hotpath -json BENCH_hotpath.json && \
+		$(GO) run ./cmd/faas-bench/benchregress BENCH_baseline.json BENCH_hotpath.json
 
 # Non-blocking vulnerability scan (mirrors CI's advisory step; needs
 # network for the vuln DB, so failures never gate).

@@ -1,0 +1,100 @@
+// Command benchregress compares the hotpath microbenchmark rows of two
+// gpufaas-bench/v1 snapshots (baseline first, current second) and exits
+// non-zero when any case regressed in ns/op by more than the threshold
+// factor, or gained allocations per op. It backs `make bench-regress` and
+// the advisory benchmark-regression step in CI — advisory because shared
+// runners are noisy; the threshold is deliberately loose to only catch
+// step-function regressions (a lost pooling path, a reintroduced
+// per-event allocation), not scheduling jitter.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type snapshot struct {
+	Schema      string                `json:"schema"`
+	Experiments map[string]experiment `json:"experiments"`
+}
+
+type experiment struct {
+	Hotpath []hotpathRow `json:"hotpath"`
+}
+
+type hotpathRow struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+func load(path string) (map[string]hotpathRow, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap snapshot
+	if err := json.Unmarshal(buf, &snap); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if snap.Schema != "gpufaas-bench/v1" {
+		return nil, fmt.Errorf("%s: unexpected schema %q", path, snap.Schema)
+	}
+	rows := make(map[string]hotpathRow)
+	for _, exp := range snap.Experiments {
+		for _, r := range exp.Hotpath {
+			rows[r.Name] = r
+		}
+	}
+	return rows, nil
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 1.5, "fail when current ns/op exceeds baseline by this factor")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchregress [-threshold 1.5] baseline.json current.json")
+		os.Exit(2)
+	}
+	base, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchregress: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchregress: %v\n", err)
+		os.Exit(2)
+	}
+	if len(base) == 0 {
+		fmt.Println("benchregress: baseline has no hotpath rows; nothing to compare")
+		return
+	}
+	regressed := false
+	for name, b := range base {
+		c, ok := cur[name]
+		if !ok {
+			fmt.Printf("MISSING  %-26s (in baseline, not in current run)\n", name)
+			regressed = true
+			continue
+		}
+		ratio := c.NsPerOp / b.NsPerOp
+		status := "ok      "
+		switch {
+		case ratio > *threshold:
+			status = "REGRESS "
+			regressed = true
+		case c.AllocsPerOp > b.AllocsPerOp:
+			status = "ALLOCS  "
+			regressed = true
+		}
+		fmt.Printf("%s %-26s baseline %10.1f ns/op  current %10.1f ns/op  (%.2fx)  allocs %d -> %d\n",
+			status, name, b.NsPerOp, c.NsPerOp, ratio, b.AllocsPerOp, c.AllocsPerOp)
+	}
+	if regressed {
+		fmt.Println("benchregress: hot-path regression detected (advisory)")
+		os.Exit(1)
+	}
+}

@@ -7,8 +7,13 @@
 //
 // Usage:
 //
-//	faas-bench [-exp all|table1|fig4|fig7|cachepolicy|scaling|elasticity]
+//	faas-bench [-exp all|table1|fig4|fig7|cachepolicy|scaling|elasticity|hotpath]
 //	           [-workers N] [-short] [-json BENCH_baseline.json] [-v]
+//	           [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// The pprof flags profile the experiment run itself (`go tool pprof
+// <binary> cpu.pprof`), so perf work on the simulator hot paths starts
+// from a measured profile rather than guesswork.
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"time"
 
@@ -47,21 +53,64 @@ type expResult struct {
 	TableI      []experiments.TableIRow     `json:"table1,omitempty"`
 	CachePolicy map[string]experiments.Row  `json:"cache_policy,omitempty"`
 	Elasticity  []experiments.ElasticityRow `json:"elasticity,omitempty"`
+	Hotpath     []experiments.HotpathRow    `json:"hotpath,omitempty"`
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all|table1|fig4|fig7|cachepolicy|scaling|elasticity")
+	// The body runs in a helper so deferred profile flushes execute even
+	// when an experiment fails (os.Exit skips defers).
+	os.Exit(benchMain())
+}
+
+func benchMain() int {
+	exp := flag.String("exp", "all", "experiment to run: all|table1|fig4|fig7|cachepolicy|scaling|elasticity|hotpath")
 	workers := flag.Int("workers", 0, "concurrent experiment runs (0 = GOMAXPROCS)")
 	short := flag.Bool("short", false, "shrink long experiments (elasticity runs the 6-minute traces)")
 	jsonPath := flag.String("json", "", "write a BENCH_*.json snapshot to this path")
 	verbose := flag.Bool("v", false, "stream each grid cell as it completes")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this path")
+	memProfile := flag.String("memprofile", "", "write an allocation profile (at exit) to this path")
 	flag.Parse()
 
 	switch *exp {
-	case "all", "table1", "fig4", "fig7", "cachepolicy", "scaling", "elasticity":
+	case "all", "table1", "fig4", "fig7", "cachepolicy", "scaling", "elasticity", "hotpath":
 	default:
-		fmt.Fprintf(os.Stderr, "faas-bench: unknown experiment %q (want all|table1|fig4|fig7|cachepolicy|scaling|elasticity)\n", *exp)
+		fmt.Fprintf(os.Stderr, "faas-bench: unknown experiment %q (want all|table1|fig4|fig7|cachepolicy|scaling|elasticity|hotpath)\n", *exp)
 		os.Exit(2)
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "faas-bench: create %s: %v\n", *cpuProfile, err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "faas-bench: start CPU profile: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Printf("wrote CPU profile %s\n", *cpuProfile)
+		}()
+	}
+	if *memProfile != "" {
+		path := *memProfile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "faas-bench: create %s: %v\n", path, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush final allocation stats into the profile
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "faas-bench: write mem profile: %v\n", err)
+				return
+			}
+			fmt.Printf("wrote allocation profile %s\n", path)
+		}()
 	}
 
 	var stream func(experiments.Spec, experiments.Row)
@@ -82,8 +131,13 @@ func main() {
 		Experiments: make(map[string]expResult),
 	}
 
+	// A failed experiment aborts the remaining ones (and the snapshot
+	// write) but still returns through benchMain, so the deferred
+	// profile flushes run — a failing run is exactly the one worth
+	// profiling.
+	failed := false
 	run := func(name, title string, fn func() (expResult, error)) {
-		if *exp != "all" && *exp != name {
+		if failed || (*exp != "all" && *exp != name) {
 			return
 		}
 		fmt.Printf("\n== %s ==\n", title)
@@ -91,7 +145,8 @@ func main() {
 		res, err := fn()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "faas-bench: %s: %v\n", name, err)
-			os.Exit(1)
+			failed = true
+			return
 		}
 		res.WallSeconds = time.Since(start).Seconds()
 		snap.Experiments[name] = res
@@ -159,19 +214,31 @@ func main() {
 		experiments.WriteElasticityTable(os.Stdout, rows)
 		return expResult{Elasticity: rows, Runs: len(rows)}, nil
 	})
+	run("hotpath", "Hot path — engine fire / scheduler decision microbenchmarks", func() (expResult, error) {
+		rows, err := experiments.Hotpath()
+		if err != nil {
+			return expResult{}, err
+		}
+		experiments.WriteHotpathTable(os.Stdout, rows)
+		return expResult{Hotpath: rows, Runs: len(rows)}, nil
+	})
 	snap.WallSeconds = time.Since(total).Seconds()
+	if failed {
+		return 1
+	}
 
 	if *jsonPath != "" {
 		buf, err := json.MarshalIndent(snap, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "faas-bench: marshal snapshot: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		buf = append(buf, '\n')
 		if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "faas-bench: write %s: %v\n", *jsonPath, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("\nwrote snapshot %s (%.2fs total)\n", *jsonPath, snap.WallSeconds)
 	}
+	return 0
 }

@@ -327,23 +327,39 @@ func (m *Manager) Cached(gpuID, model string) bool {
 // order (deterministic). This is the §VI index that bounds the scheduler's
 // search "by the number of GPUs that have this model cached". The result
 // is a fresh slice the caller may keep; hot paths should prefer
-// GPUsCachingView.
+// HoldersView.
 func (m *Manager) GPUsCaching(model string) []string {
 	hs := m.idx.Holders(model)
 	if len(hs) == 0 {
 		return nil
 	}
 	out := make([]string, len(hs))
-	copy(out, hs)
+	for i, o := range hs {
+		out[i] = m.idx.IDOf(o)
+	}
 	return out
 }
 
-// GPUsCachingView is the allocation-free variant of GPUsCaching for the
-// scheduler's hot path: it returns the index's internal holder list
-// (registration order). Callers must treat it as read-only and must not
-// retain it across the next cache mutation.
-func (m *Manager) GPUsCachingView(model string) []string {
+// HoldersView is the allocation-free holder lookup for the scheduler's
+// hot path: the index's internal ascending-Ord holder list (registration
+// order). Callers must treat it as read-only and must not retain it
+// across the next cache mutation.
+func (m *Manager) HoldersView(model string) []Ord {
 	return m.idx.Holders(model)
+}
+
+// Ord resolves a GPU ID to its dense registration ordinal.
+func (m *Manager) Ord(gpuID string) (Ord, bool) { return m.idx.Ord(gpuID) }
+
+// IDOf translates a live ordinal back to its GPU ID.
+func (m *Manager) IDOf(o Ord) string { return m.idx.IDOf(o) }
+
+// OrdBound returns one past the highest ordinal ever assigned.
+func (m *Manager) OrdBound() Ord { return m.idx.OrdBound() }
+
+// CachedOrd is Cached for a pre-resolved ordinal.
+func (m *Manager) CachedOrd(o Ord, model string) bool {
+	return m.idx.CachedOrd(o, model)
 }
 
 // NumCaching returns how many GPUs cache the model (Fig. 6 duplicates).

@@ -497,22 +497,36 @@ func TestGPUsCachingView(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	view := m.GPUsCachingView("a")
+	view := m.HoldersView("a")
 	copied := m.GPUsCaching("a")
 	wantOrder := []string{"g0", "g1", "g2"}
 	for i, id := range wantOrder {
-		if view[i] != id || copied[i] != id {
+		if m.IDOf(view[i]) != id || copied[i] != id {
 			t.Fatalf("holder order: view=%v copy=%v, want %v", view, copied, wantOrder)
 		}
 	}
-	if m.GPUsCachingView("nope") != nil {
+	if m.HoldersView("nope") != nil {
 		t.Error("unknown model should have nil view")
+	}
+	// Ordinals round-trip through the string boundary.
+	for _, id := range wantOrder {
+		o, ok := m.Ord(id)
+		if !ok || m.IDOf(o) != id {
+			t.Errorf("ord round-trip failed for %s", id)
+		}
+		if !m.CachedOrd(o, "a") {
+			t.Errorf("CachedOrd(%s, a) = false", id)
+		}
+	}
+	if m.OrdBound() != 3 {
+		t.Errorf("OrdBound = %d", m.OrdBound())
 	}
 	// The copy is detached from the index; the view reflects mutations.
 	if err := m.OnEvict("g1", "a", 5); err != nil {
 		t.Fatal(err)
 	}
-	if got := m.GPUsCachingView("a"); len(got) != 2 || got[0] != "g0" || got[1] != "g2" {
+	got := m.HoldersView("a")
+	if len(got) != 2 || m.IDOf(got[0]) != "g0" || m.IDOf(got[1]) != "g2" {
 		t.Errorf("view after evict = %v", got)
 	}
 	if copied[1] != "g1" {

@@ -3,9 +3,15 @@
 // being evicted); the Index consumes that stream to maintain the global
 // model → {GPUs caching it} map the Scheduler's hot path queries. Keeping
 // the index event-driven means every lookup the scheduler performs per
-// decision — Cached, GPUsCaching — is O(1) in the cluster size instead of
-// a scan, and external components (datastores, dashboards) can subscribe
-// to the same stream to maintain their own derived views.
+// decision — Cached, holder lists — is O(holders) instead of a cluster
+// scan, and external components (datastores, dashboards) can subscribe to
+// the same stream to maintain their own derived views.
+//
+// The Index is also the system's interning authority for GPU identifiers:
+// registration assigns each GPU a dense, monotone ordset.Ord, and the
+// holder lists are ascending Ord slices. Hot-path consumers (the
+// scheduler, the cluster's idle set) operate on Ords — slice and bitset
+// indexing — and only translate back to strings at the dispatch boundary.
 package cache
 
 import (
@@ -14,6 +20,9 @@ import (
 	"gpufaas/internal/ordset"
 	"gpufaas/internal/sim"
 )
+
+// Ord is the dense GPU registration ordinal (see ordset.Ord).
+type Ord = ordset.Ord
 
 // EventKind classifies a cache state transition.
 type EventKind int
@@ -48,83 +57,92 @@ type Event struct {
 }
 
 // Index is the incremental model → resident-GPUs map. It is updated from
-// the Manager's insert/evict events and keeps, per model, the holder set
-// (for O(1) Cached checks) plus the holders ordered by GPU registration
-// index (for deterministic, allocation-free GPUsCaching lookups bounded
-// by the number of holders rather than the cluster size).
+// the Manager's insert/evict events and keeps, per model, the holders as
+// an ascending Ord slice — registration order, so lookups are
+// deterministic, allocation-free, and bounded by the number of holders
+// rather than the cluster size. Membership tests binary-search the holder
+// list: resident sets per model are tiny (duplicates of one model are
+// what the paper's Fig. 6 counts), so this beats a per-model hash set on
+// both lookup cost and memory.
 type Index struct {
-	ord     map[string]int // gpuID -> registration index
-	nextOrd int            // monotone, survives removals
-	where   map[string]map[string]bool
-	holders map[string][]string // model -> GPUs in registration order
+	ord map[string]Ord // gpuID -> registration ordinal
+	// ids translates a live ordinal back to its GPU ID ("" once
+	// removed). Ordinals are monotone and never reused, so len(ids) is
+	// the OrdBound: every ordinal ever assigned is < len(ids).
+	ids     []string
+	holders map[string][]Ord // model -> caching GPUs, ascending Ord
 }
 
 // NewIndex creates an empty index.
 func NewIndex() *Index {
 	return &Index{
-		ord:     make(map[string]int),
-		where:   make(map[string]map[string]bool),
-		holders: make(map[string][]string),
+		ord:     make(map[string]Ord),
+		holders: make(map[string][]Ord),
 	}
 }
 
 // AddGPU registers a GPU; registration order defines the deterministic
-// holder order. Duplicate registrations are ignored. Registration indices
-// are monotone and never reused, so GPUs added after a removal
+// holder order. Duplicate registrations are ignored. Registration
+// ordinals are monotone and never reused, so GPUs added after a removal
 // (elastic membership) still sort after every earlier registration.
 func (ix *Index) AddGPU(gpuID string) {
 	if _, ok := ix.ord[gpuID]; ok {
 		return
 	}
-	ix.ord[gpuID] = ix.nextOrd
-	ix.nextOrd++
+	ix.ord[gpuID] = Ord(len(ix.ids))
+	ix.ids = append(ix.ids, gpuID)
 }
 
 // RemoveGPU deregisters a GPU. The caller must have evicted all of the
 // GPU's residents first (the Manager enforces this); removing a GPU that
 // still appears in a holder list is an error.
 func (ix *Index) RemoveGPU(gpuID string) error {
-	if _, ok := ix.ord[gpuID]; !ok {
+	o, ok := ix.ord[gpuID]
+	if !ok {
 		return nil
 	}
-	for model, set := range ix.where {
-		if set[gpuID] {
+	for model, hs := range ix.holders {
+		if ordset.Contains(hs, o) {
 			return fmt.Errorf("cache: removing GPU %s still caching %s", gpuID, model)
 		}
 	}
 	delete(ix.ord, gpuID)
+	ix.ids[o] = ""
 	return nil
 }
+
+// Ord resolves a GPU ID to its registration ordinal.
+func (ix *Index) Ord(gpuID string) (Ord, bool) {
+	o, ok := ix.ord[gpuID]
+	return o, ok
+}
+
+// IDOf returns the GPU ID for an ordinal ("" if never assigned or
+// removed).
+func (ix *Index) IDOf(o Ord) string {
+	if o < 0 || int(o) >= len(ix.ids) {
+		return ""
+	}
+	return ix.ids[o]
+}
+
+// OrdBound returns one past the highest ordinal ever assigned; ordinals
+// are dense, so slices indexed by Ord are sized by this bound.
+func (ix *Index) OrdBound() Ord { return Ord(len(ix.ids)) }
 
 // Apply folds one residency transition into the index. Unknown GPUs and
 // redundant transitions are ignored (the Manager validates before
 // emitting).
 func (ix *Index) Apply(ev Event) {
-	if _, ok := ix.ord[ev.GPU]; !ok {
+	o, ok := ix.ord[ev.GPU]
+	if !ok {
 		return
 	}
 	switch ev.Kind {
 	case EventInsert:
-		set, ok := ix.where[ev.Model]
-		if !ok {
-			set = make(map[string]bool)
-			ix.where[ev.Model] = set
-		}
-		if set[ev.GPU] {
-			return
-		}
-		set[ev.GPU] = true
-		ix.holders[ev.Model] = ordset.Insert(ix.holders[ev.Model], ix.ord, ev.GPU)
+		ix.holders[ev.Model] = ordset.Insert(ix.holders[ev.Model], o)
 	case EventEvict:
-		set, ok := ix.where[ev.Model]
-		if !ok || !set[ev.GPU] {
-			return
-		}
-		delete(set, ev.GPU)
-		if len(set) == 0 {
-			delete(ix.where, ev.Model)
-		}
-		hs := ordset.Remove(ix.holders[ev.Model], ix.ord, ev.GPU)
+		hs := ordset.Remove(ix.holders[ev.Model], o)
 		if len(hs) == 0 {
 			delete(ix.holders, ev.Model)
 		} else {
@@ -135,40 +153,45 @@ func (ix *Index) Apply(ev Event) {
 
 // Cached reports whether the model is resident on the GPU.
 func (ix *Index) Cached(gpuID, model string) bool {
-	set, ok := ix.where[model]
-	return ok && set[gpuID]
+	o, ok := ix.ord[gpuID]
+	return ok && ordset.Contains(ix.holders[model], o)
+}
+
+// CachedOrd is Cached for a pre-resolved ordinal (the scheduler's
+// per-decision path).
+func (ix *Index) CachedOrd(o Ord, model string) bool {
+	return ordset.Contains(ix.holders[model], o)
 }
 
 // NumCaching returns how many GPUs cache the model.
-func (ix *Index) NumCaching(model string) int { return len(ix.where[model]) }
+func (ix *Index) NumCaching(model string) int { return len(ix.holders[model]) }
 
-// Holders returns the GPUs caching the model in registration order. The
-// returned slice is the index's internal storage: callers must treat it
-// as read-only and must not retain it across the next Apply. It is nil
-// when the model is resident nowhere.
-func (ix *Index) Holders(model string) []string { return ix.holders[model] }
+// Holders returns the ordinals of the GPUs caching the model, ascending
+// (= registration order). The returned slice is the index's internal
+// storage: callers must treat it as read-only and must not retain it
+// across the next Apply. It is nil when the model is resident nowhere.
+func (ix *Index) Holders(model string) []Ord { return ix.holders[model] }
 
 // Models returns the number of distinct models resident anywhere.
-func (ix *Index) Models() int { return len(ix.where) }
+func (ix *Index) Models() int { return len(ix.holders) }
 
-// CheckConsistency verifies the holder set and the ordered holder list
-// agree for every model, and that holder lists are sorted by registration
-// index.
+// CheckConsistency verifies every holder list is strictly ascending and
+// every listed ordinal belongs to a live registration.
 func (ix *Index) CheckConsistency() error {
-	if len(ix.where) != len(ix.holders) {
-		return fmt.Errorf("cache: index has %d models in set, %d in holder lists", len(ix.where), len(ix.holders))
-	}
-	for model, set := range ix.where {
-		hs := ix.holders[model]
-		if len(hs) != len(set) {
-			return fmt.Errorf("cache: index set/list mismatch for %s", model)
+	for model, hs := range ix.holders {
+		if len(hs) == 0 {
+			return fmt.Errorf("cache: empty holder list retained for %s", model)
 		}
-		for i, id := range hs {
-			if !set[id] {
-				return fmt.Errorf("cache: %s listed on %s but not in its set", model, id)
-			}
-			if i > 0 && ix.ord[hs[i-1]] >= ix.ord[id] {
+		for i, o := range hs {
+			if i > 0 && hs[i-1] >= o {
 				return fmt.Errorf("cache: holder list for %s out of registration order", model)
+			}
+			id := ix.IDOf(o)
+			if id == "" {
+				return fmt.Errorf("cache: %s held by dead ordinal %d", model, o)
+			}
+			if got, ok := ix.ord[id]; !ok || got != o {
+				return fmt.Errorf("cache: ordinal %d for %s does not round-trip", o, id)
 			}
 		}
 	}

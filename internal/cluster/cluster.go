@@ -106,24 +106,26 @@ type Cluster struct {
 	gpuIDs []string
 	idsMu  sync.Mutex
 
-	// idle is the incremental idle-GPU set, ordered by registration
-	// index; it is maintained from GPU status transitions (statusSink)
-	// so the scheduler's per-decision candidate scan is proportional to
-	// the idle count, never the cluster size.
-	idle     []string
-	gpuOrd   map[string]int
+	// idle is the incremental idle-GPU set as ascending registration
+	// ordinals; it is maintained from GPU status transitions
+	// (statusSink) so the scheduler's per-decision candidate scan is
+	// proportional to the idle count, never the cluster size. The Cache
+	// Manager's index is the ordinal authority (ords are assigned at
+	// RegisterGPU, monotone and never reused); devByOrd gives the
+	// scheduler's per-decision device lookups slice indexing instead of
+	// a map probe.
+	idle     []ordset.Ord
+	devByOrd []*gpu.Device // ord -> device; nil once removed
 	userSink gpumgr.StatusSink
 
 	// Elastic membership (autoscale subsystem). gpuState tracks each
-	// member's lifecycle; registration ords are monotone (nextOrd) so
-	// GPUs provisioned after a removal still sort deterministically.
+	// member's lifecycle.
 	gpuState   map[string]gpuLifecycle
 	addedAt    map[string]sim.Time
 	activation map[string]func() // pending cold-start timer cancels
-	nextOrd    int
-	gpuSeq     int             // provisioned-GPU name counter
-	elasticMgr *gpumgr.Manager // lazily-created manager for provisioned GPUs
-	gpuSeconds float64         // accumulated GPU-seconds of removed members
+	gpuSeq     int               // provisioned-GPU name counter
+	elasticMgr *gpumgr.Manager   // lazily-created manager for provisioned GPUs
+	gpuSeconds float64           // accumulated GPU-seconds of removed members
 	// Removed members' phase durations accumulate here so the report's
 	// utilization covers the whole fleet history, not just survivors.
 	remIdle, remLoading, remInferring time.Duration
@@ -198,7 +200,6 @@ func New(cfg Config) (*Cluster, error) {
 		profiles:   cfg.Profiles,
 		devByID:    make(map[string]*gpu.Device),
 		mgrByDev:   make(map[string]*gpumgr.Manager),
-		gpuOrd:     make(map[string]int),
 		gpuState:   make(map[string]gpuLifecycle),
 		addedAt:    make(map[string]sim.Time),
 		activation: make(map[string]func()),
@@ -255,8 +256,7 @@ func New(cfg Config) (*Cluster, error) {
 			}
 			c.devByID[dev.ID()] = dev
 			c.mgrByDev[dev.ID()] = mgr
-			c.gpuOrd[dev.ID()] = c.nextOrd
-			c.nextOrd++
+			c.trackOrd(dev)
 			c.gpuState[dev.ID()] = gpuActive
 			c.addedAt[dev.ID()] = 0
 			c.gpuIDs = append(c.gpuIDs, dev.ID())
@@ -264,7 +264,10 @@ func New(cfg Config) (*Cluster, error) {
 		c.mgrs = append(c.mgrs, mgr)
 	}
 	// Every GPU starts idle.
-	c.idle = append(c.idle, c.gpuIDs...)
+	for _, id := range c.gpuIDs {
+		o, _ := c.cacheMgr.Ord(id)
+		c.idle = append(c.idle, o)
+	}
 	c.peakGPUs = len(c.gpuIDs)
 
 	c.sched, err = core.New(core.Config{
@@ -321,17 +324,31 @@ func (s statusSink) Completion(res gpumgr.Result) {
 	}
 }
 
+// trackOrd records a freshly registered device in the ord-indexed device
+// table (the Cache Manager assigned its ordinal during AddDevice).
+func (c *Cluster) trackOrd(dev *gpu.Device) {
+	o, ok := c.cacheMgr.Ord(dev.ID())
+	if !ok {
+		panic("cluster: device registered without an ordinal: " + dev.ID())
+	}
+	for ordset.Ord(len(c.devByOrd)) <= o {
+		c.devByOrd = append(c.devByOrd, nil)
+	}
+	c.devByOrd[o] = dev
+}
+
 // markIdle inserts or removes the GPU from the ordered idle set. Runs
 // under the cluster's serialization (event loop in sim mode, lockedClock
 // mutex in live mode).
 func (c *Cluster) markIdle(gpuID string, idle bool) {
-	if _, ok := c.gpuOrd[gpuID]; !ok {
+	o, ok := c.cacheMgr.Ord(gpuID)
+	if !ok {
 		return // already removed from the fleet
 	}
 	if idle {
-		c.idle = ordset.Insert(c.idle, c.gpuOrd, gpuID)
+		c.idle = ordset.Insert(c.idle, o)
 	} else {
-		c.idle = ordset.Remove(c.idle, c.gpuOrd, gpuID)
+		c.idle = ordset.Remove(c.idle, o)
 	}
 }
 
@@ -394,8 +411,7 @@ func (c *Cluster) addGPU(coldStart time.Duration) (string, error) {
 	}
 	c.devByID[id] = dev
 	c.mgrByDev[id] = c.elasticMgr
-	c.gpuOrd[id] = c.nextOrd
-	c.nextOrd++
+	c.trackOrd(dev)
 	c.addedAt[id] = now
 	c.idsMu.Lock()
 	c.gpuIDs = append(c.gpuIDs, id)
@@ -490,6 +506,9 @@ func (c *Cluster) maybeFinishDrain(gpuID string, now sim.Time) {
 // through the Cache Manager's event stream), idle set, and membership
 // maps. GPU-seconds stop accruing at `now`.
 func (c *Cluster) finishRemove(gpuID string, now sim.Time) error {
+	// The ordinal dies with the cache deregistration inside RemoveDevice;
+	// capture it first for the idle-set and device-table cleanup below.
+	ord, hasOrd := c.cacheMgr.Ord(gpuID)
 	if cancel, ok := c.activation[gpuID]; ok {
 		cancel()
 		delete(c.activation, gpuID)
@@ -508,8 +527,10 @@ func (c *Cluster) finishRemove(gpuID string, now sim.Time) error {
 		return err
 	}
 	c.gpuSeconds += time.Duration(now - c.addedAt[gpuID]).Seconds()
-	c.markIdle(gpuID, false)
-	delete(c.gpuOrd, gpuID)
+	if hasOrd {
+		c.idle = ordset.Remove(c.idle, ord)
+		c.devByOrd[ord] = nil
+	}
 	delete(c.gpuState, gpuID)
 	delete(c.addedAt, gpuID)
 	delete(c.devByID, gpuID)
@@ -572,8 +593,8 @@ func (f *fleetView) FleetSize() autoscale.Size {
 			s.Draining++
 		}
 	}
-	for _, id := range f.idle {
-		if f.gpuState[id] == gpuActive {
+	for _, o := range f.idle {
+		if f.gpuState[f.cacheMgr.IDOf(o)] == gpuActive {
 			s.Idle++
 		}
 	}
@@ -604,8 +625,8 @@ func (f *fleetView) ScaleUp(n int, coldStart time.Duration) []string {
 func (f *fleetView) ScaleDown(n int) []string {
 	c := (*Cluster)(f)
 	idleSet := make(map[string]bool, len(c.idle))
-	for _, id := range c.idle {
-		idleSet[id] = true
+	for _, o := range c.idle {
+		idleSet[c.cacheMgr.IDOf(o)] = true
 	}
 	var provisioning, idle, busy []string
 	for i := len(c.gpuIDs) - 1; i >= 0; i-- { // newest first
@@ -635,47 +656,74 @@ func (f *fleetView) ScaleDown(n int) []string {
 }
 
 // backendView adapts Cluster to core.Backend without exporting the
-// methods on Cluster itself.
+// methods on Cluster itself. The scheduler addresses GPUs by registration
+// ordinal; every per-decision lookup below is a slice index (devByOrd) or
+// an index view (holder lists), never a string-keyed map probe.
 type backendView Cluster
 
-func (b *backendView) GPUIDs() []string { return b.gpuIDs }
+// Ords returns the current members' ordinals in registration order. Only
+// the scheduler's no-IdleLister fallback iterates this; the cluster
+// always provides IdleOrds, so the allocation here is off the hot path.
+func (b *backendView) Ords() []ordset.Ord {
+	out := make([]ordset.Ord, 0, len(b.gpuIDs))
+	for _, id := range b.gpuIDs {
+		if o, ok := b.cacheMgr.Ord(id); ok {
+			out = append(out, o)
+		}
+	}
+	return out
+}
 
-// IdleGPUs implements core.IdleLister: the incrementally-maintained idle
-// set, ordered like GPUIDs. Read-only view for the duration of one
-// Schedule call.
-func (b *backendView) IdleGPUs() []string { return b.idle }
-func (b *backendView) Busy(gpuID string) bool {
-	d, ok := b.devByID[gpuID]
-	return ok && d.Busy()
+func (b *backendView) OrdBound() ordset.Ord { return b.cacheMgr.OrdBound() }
+func (b *backendView) OrdOf(gpuID string) (ordset.Ord, bool) {
+	return b.cacheMgr.Ord(gpuID)
 }
-func (b *backendView) Cached(gpuID, model string) bool { return b.cacheMgr.Cached(gpuID, model) }
-func (b *backendView) GPUsCaching(model string) []string {
-	return b.cacheMgr.GPUsCachingView(model)
+func (b *backendView) IDOf(o ordset.Ord) string { return b.cacheMgr.IDOf(o) }
+
+// IdleOrds implements core.IdleLister: the incrementally-maintained idle
+// set, ascending. Read-only view for the duration of one Schedule call.
+func (b *backendView) IdleOrds() []ordset.Ord { return b.idle }
+
+func (b *backendView) Busy(o ordset.Ord) bool {
+	d := b.dev(o)
+	return d != nil && d.Busy()
 }
-func (b *backendView) EstimatedFinish(gpuID string, now sim.Time) time.Duration {
-	d, ok := b.devByID[gpuID]
-	if !ok {
+func (b *backendView) Cached(o ordset.Ord, model string) bool {
+	return b.cacheMgr.CachedOrd(o, model)
+}
+func (b *backendView) GPUsCaching(model string) []ordset.Ord {
+	return b.cacheMgr.HoldersView(model)
+}
+func (b *backendView) EstimatedFinish(o ordset.Ord, now sim.Time) time.Duration {
+	d := b.dev(o)
+	if d == nil {
 		return 0
 	}
 	return d.EstimatedFinish(now)
 }
-func (b *backendView) LoadTime(gpuID, model string) time.Duration {
-	p, ok := b.profile(gpuID, model)
+func (b *backendView) LoadTime(o ordset.Ord, model string) time.Duration {
+	p, ok := b.profile(o, model)
 	if !ok {
 		return 0
 	}
 	return p.LoadTime
 }
-func (b *backendView) InferTime(gpuID, model string, batch int) time.Duration {
-	p, ok := b.profile(gpuID, model)
+func (b *backendView) InferTime(o ordset.Ord, model string, batch int) time.Duration {
+	p, ok := b.profile(o, model)
 	if !ok {
 		return 0
 	}
 	return p.InferTime(batch)
 }
-func (b *backendView) profile(gpuID, model string) (models.Profile, bool) {
-	d, ok := b.devByID[gpuID]
-	if !ok {
+func (b *backendView) dev(o ordset.Ord) *gpu.Device {
+	if o < 0 || int(o) >= len(b.devByOrd) {
+		return nil
+	}
+	return b.devByOrd[o]
+}
+func (b *backendView) profile(o ordset.Ord, model string) (models.Profile, bool) {
+	d := b.dev(o)
+	if d == nil {
 		return models.Profile{}, false
 	}
 	return b.profiles.Get(d.Type(), model)
@@ -700,7 +748,9 @@ func (c *Cluster) IdleGPUs() []string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	out := make([]string, len(c.idle))
-	copy(out, c.idle)
+	for i, o := range c.idle {
+		out[i] = c.cacheMgr.IDOf(o)
+	}
 	return out
 }
 
@@ -849,9 +899,20 @@ func (c *Cluster) RunWorkload(reqs []trace.Request) (Report, error) {
 	if c.engine == nil {
 		return Report{}, ErrLiveMode
 	}
+	// Inject all arrivals in one batch: a single shared callback and one
+	// O(n) heapify instead of a per-request closure allocation plus heap
+	// sift. Arrivals before the engine's current time are rejected, as
+	// Engine.At did when each arrival was scheduled individually.
+	now0 := c.engine.Now()
+	delays := make([]sim.Time, len(reqs))
+	creqs := make([]*core.Request, len(reqs))
 	for i := range reqs {
 		r := reqs[i]
-		cr := &core.Request{
+		if sim.Time(r.Arrival) < now0 {
+			return Report{}, fmt.Errorf("%w: at=%v now=%v (arrival)", sim.ErrPastEvent, sim.Time(r.Arrival), now0)
+		}
+		delays[i] = sim.Time(r.Arrival) - now0
+		creqs[i] = &core.Request{
 			ID:        r.ID,
 			Function:  r.Function,
 			Model:     r.Model,
@@ -859,16 +920,14 @@ func (c *Cluster) RunWorkload(reqs []trace.Request) (Report, error) {
 			Arrival:   sim.Time(r.Arrival),
 			Tenant:    r.Tenant,
 		}
-		if _, err := c.engine.At(sim.Time(r.Arrival), "arrival", func(now sim.Time) {
-			if err := c.sched.Enqueue(cr); err != nil {
-				c.failed++
-				return
-			}
-			c.runScheduler(now)
-		}); err != nil {
-			return Report{}, err
-		}
 	}
+	c.engine.AfterBatch(delays, "arrival", func(i int, now sim.Time) {
+		if err := c.sched.Enqueue(creqs[i]); err != nil {
+			c.failed++
+			return
+		}
+		c.runScheduler(now)
+	})
 	c.engine.Run(0)
 	if pending := c.sched.PendingTotal(); pending != 0 {
 		return Report{}, fmt.Errorf("cluster: %d requests still pending after drain", pending)

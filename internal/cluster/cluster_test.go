@@ -293,11 +293,11 @@ type idleCheckSink struct {
 func (s *idleCheckSink) GPUStatus(gpuID string, busy bool, at sim.Time) {
 	s.events++
 	idle := map[string]bool{}
-	for _, id := range s.c.idle {
-		idle[id] = true
+	for _, o := range s.c.idle {
+		idle[s.c.cacheMgr.IDOf(o)] = true
 	}
 	for i := 1; i < len(s.c.idle); i++ {
-		if s.c.gpuOrd[s.c.idle[i-1]] >= s.c.gpuOrd[s.c.idle[i]] {
+		if s.c.idle[i-1] >= s.c.idle[i] {
 			s.t.Errorf("idle set out of registration order: %v", s.c.idle)
 		}
 	}

@@ -63,7 +63,7 @@ func (d *driver) execute(ds []Dispatch) {
 		// dispatches are exempt — the driver may have evicted their model
 		// while they waited).
 		if d.s.Policy() != LB && !actualHit && !disp.FromLocalQueue {
-			for _, h := range d.b.GPUsCaching(r.Model) {
+			for _, h := range d.b.holderIDs(r.Model) {
 				if !d.b.busy[h] && h != g {
 					d.t.Fatalf("false miss on idle: req %d model %s missed on %s while idle %s caches it",
 						r.ID, r.Model, g, h)
@@ -187,11 +187,15 @@ func TestO3NeverStarvesProperty(t *testing.T) {
 			}
 			// Invariant: nothing in the global queue has been skipped
 			// beyond the limit plus the in-scan allowance of one round.
-			for _, q := range d.s.global {
+			over := false
+			d.s.global.forEach(func(q *Request) {
 				if q.Visits() > limit+1 {
 					t.Logf("request %d skipped %d times (limit %d)", q.ID, q.Visits(), limit)
-					return false
+					over = true
 				}
+			})
+			if over {
+				return false
 			}
 		}
 		return true

@@ -1,0 +1,102 @@
+package core
+
+// reqRing is the global queue's backing store: a power-of-two ring-buffer
+// deque addressed by monotone absolute positions, with tombstoned O(1)
+// mid-queue removal. The paper's O3 and LLB mechanics extract requests
+// from the middle of the arrival order; a slice splice there is O(n) per
+// extraction and dominated deep-queue burst traces, while a tombstone is
+// a single nil store. Invariants: the head and tail always rest on live
+// requests (removal advances them past tombstones eagerly), so headPos()
+// is the first live request and position order is arrival order.
+//
+// Positions are only meaningful within one Schedule call: push may grow
+// and compact the ring, which renumbers positions, but push is never
+// called mid-Schedule (the harness enqueues between rounds).
+type reqRing struct {
+	buf  []*Request // len(buf) is a power of two
+	head int        // absolute position of the first live request
+	tail int        // absolute position one past the last live request
+	live int        // live (non-tombstone) count
+}
+
+// len returns the number of live requests.
+func (q *reqRing) len() int { return q.live }
+
+// headPos returns the absolute position of the first live request
+// (undefined when empty; callers check len first).
+func (q *reqRing) headPos() int { return q.head }
+
+// at returns the request at an absolute position, or nil for a tombstone.
+func (q *reqRing) at(pos int) *Request { return q.buf[pos&(len(q.buf)-1)] }
+
+// last returns the most recently pushed live request, or nil when empty.
+func (q *reqRing) last() *Request {
+	if q.live == 0 {
+		return nil
+	}
+	return q.buf[(q.tail-1)&(len(q.buf)-1)]
+}
+
+// push appends a request at the tail, growing (and compacting tombstones
+// out of) the ring when the position span fills the buffer.
+func (q *reqRing) push(r *Request) {
+	if q.buf == nil {
+		q.buf = make([]*Request, 16)
+	}
+	if q.tail-q.head == len(q.buf) {
+		q.compact()
+	}
+	q.buf[q.tail&(len(q.buf)-1)] = r
+	q.tail++
+	q.live++
+}
+
+// compact rewrites the live requests contiguously from position zero,
+// doubling the buffer only when it is genuinely full of live entries.
+func (q *reqRing) compact() {
+	size := len(q.buf)
+	if q.live == size {
+		size *= 2
+	}
+	fresh := make([]*Request, size)
+	n := 0
+	for pos := q.head; pos < q.tail; pos++ {
+		if r := q.buf[pos&(len(q.buf)-1)]; r != nil {
+			fresh[n] = r
+			n++
+		}
+	}
+	q.buf = fresh
+	q.head = 0
+	q.tail = n
+}
+
+// remove tombstones the live request at an absolute position and returns
+// it, advancing head/tail past any adjacent tombstones so both always
+// rest on live requests.
+func (q *reqRing) remove(pos int) *Request {
+	mask := len(q.buf) - 1
+	r := q.buf[pos&mask]
+	q.buf[pos&mask] = nil
+	q.live--
+	if pos == q.head {
+		for q.head < q.tail && q.buf[q.head&mask] == nil {
+			q.head++
+		}
+	}
+	if pos == q.tail-1 {
+		for q.tail > q.head && q.buf[(q.tail-1)&mask] == nil {
+			q.tail--
+		}
+	}
+	return r
+}
+
+// forEach visits the live requests in arrival order.
+func (q *reqRing) forEach(f func(*Request)) {
+	for pos := q.head; pos < q.tail; pos++ {
+		if r := q.at(pos); r != nil {
+			f(r)
+		}
+	}
+}

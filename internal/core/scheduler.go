@@ -22,6 +22,14 @@
 // cluster through the Backend interface and returns the dispatch decisions
 // for the harness (simulated or live) to execute. It is not safe for
 // concurrent use; callers serialize.
+//
+// Hot-path representation: GPUs are identified by dense registration
+// ordinals (ordset.Ord, interned once at cluster registration) rather
+// than strings. Per-GPU state — local queues, queue-time sums, the
+// draining set, the per-round taken set — lives in Ord-indexed slices and
+// an epoch-stamped array instead of map[string]s, the global queue is a
+// ring-buffer deque with tombstoned O(1) mid-queue removal, and the
+// dispatch slice is pooled across Schedule calls.
 package core
 
 import (
@@ -29,8 +37,13 @@ import (
 	"fmt"
 	"time"
 
+	"gpufaas/internal/ordset"
 	"gpufaas/internal/sim"
 )
+
+// Ord is the dense GPU registration ordinal (see ordset.Ord). Ordinals
+// are assigned monotonically at registration and never reused.
+type Ord = ordset.Ord
 
 // Policy selects the scheduling algorithm.
 type Policy int
@@ -59,8 +72,10 @@ func (p Policy) String() string {
 	}
 }
 
-// ParsePolicy converts a case-sensitive policy name ("LB", "LALB",
-// "LALBO3") to a Policy.
+// ParsePolicy converts a policy name to a Policy. Each policy is accepted
+// in its canonical upper-case figure spelling ("LB", "LALB", "LALBO3",
+// "LALB+O3") or all-lower-case ("lb", "lalb", "lalbo3"); mixed case is
+// rejected.
 func ParsePolicy(s string) (Policy, error) {
 	switch s {
 	case "LB", "lb":
@@ -98,40 +113,51 @@ func (r *Request) Visits() int { return r.visits }
 
 // Backend is the scheduler's view of the cluster, implemented by the
 // cluster harness. All methods are queries; the scheduler performs no
-// mutation through it.
+// mutation through it. GPUs are addressed by their dense registration
+// ordinal; OrdOf/IDOf translate at the (cold) string boundary.
 type Backend interface {
-	// GPUIDs returns every GPU in deterministic order.
-	GPUIDs() []string
+	// Ords returns the current members' ordinals in registration order.
+	// Only the no-IdleLister fallback path iterates it.
+	Ords() []Ord
+	// OrdBound returns one past the highest ordinal ever assigned
+	// (monotone; sizes the scheduler's Ord-indexed state).
+	OrdBound() Ord
+	// OrdOf resolves a GPU ID to its ordinal.
+	OrdOf(gpuID string) (Ord, bool)
+	// IDOf returns the GPU ID for a live ordinal (interned: the returned
+	// string is shared, not allocated per call).
+	IDOf(o Ord) string
 	// Busy reports whether the GPU is executing a request.
-	Busy(gpuID string) bool
+	Busy(o Ord) bool
 	// Cached reports whether the model is resident on the GPU.
-	Cached(gpuID, model string) bool
-	// GPUsCaching returns the GPUs caching the model, in deterministic
-	// order (the Cache Manager's global index, §VI). The returned slice
-	// may be a read-only view into backend state, valid only until the
-	// next cache mutation; the scheduler consumes it within the call and
-	// never mutates or retains it.
-	GPUsCaching(model string) []string
+	Cached(o Ord, model string) bool
+	// GPUsCaching returns the ordinals of the GPUs caching the model in
+	// ascending order — registration order, the Cache Manager's global
+	// index (§VI). The returned slice may be a read-only view into
+	// backend state, valid only until the next cache mutation; the
+	// scheduler consumes it within the call and never mutates or retains
+	// it.
+	GPUsCaching(model string) []Ord
 	// EstimatedFinish returns the remaining execution time of the GPU's
 	// in-flight request (zero when idle). The scheduler adds local-queue
 	// inference times itself.
-	EstimatedFinish(gpuID string, now sim.Time) time.Duration
+	EstimatedFinish(o Ord, now sim.Time) time.Duration
 	// LoadTime returns the profiled model-upload time on the GPU.
-	LoadTime(gpuID, model string) time.Duration
+	LoadTime(o Ord, model string) time.Duration
 	// InferTime returns the profiled inference latency on the GPU for
 	// the batch size.
-	InferTime(gpuID, model string, batch int) time.Duration
+	InferTime(o Ord, model string, batch int) time.Duration
 }
 
 // IdleLister is an optional Backend extension. Backends that track busy
 // transitions incrementally (the cluster harness does, from GPU status
 // events) expose the current idle set here so Schedule iterates only the
 // idle GPUs instead of scanning every GPU each round. The slice must be
-// ordered consistently with GPUIDs and is treated as a read-only view
-// valid for the duration of one Schedule call. Backends without the
-// extension fall back to a Busy() scan.
+// ascending (registration order) and is treated as a read-only view valid
+// for the duration of one Schedule call. Backends without the extension
+// fall back to a Busy() scan over Ords().
 type IdleLister interface {
-	IdleGPUs() []string
+	IdleOrds() []Ord
 }
 
 // Dispatch is one decision returned by Schedule: run Req on GPU now.
@@ -172,6 +198,14 @@ type parked struct {
 	infer time.Duration
 }
 
+// bitset is a fixed-capacity Ord-indexed bit array.
+type bitset []uint64
+
+func (b bitset) get(o Ord) bool { return b[o>>6]&(1<<(uint(o)&63)) != 0 }
+func (b bitset) set(o Ord)      { b[o>>6] |= 1 << (uint(o) & 63) }
+func (b bitset) clear(o Ord)    { b[o>>6] &^= 1 << (uint(o) & 63) }
+func bitsetSize(bound Ord) int  { return (int(bound) + 63) / 64 }
+
 // Scheduler implements the three policies over the Backend.
 type Scheduler struct {
 	policy  Policy
@@ -180,15 +214,28 @@ type Scheduler struct {
 	backend Backend
 	idle    IdleLister // non-nil when the backend tracks idle GPUs
 
-	global []*Request
-	local  map[string][]parked
-	// localSum caches the summed inference time of each local queue,
-	// updated on park/dispatch (Algorithm 2's estimated-finish tail).
-	localSum map[string]time.Duration
-	// draining marks GPUs being decommissioned: they still serve their
-	// local queue (parked work completes where it was promised the cache
-	// hit) but take no new global-queue work and attract no new parkings.
-	draining map[string]bool
+	// global is the system-wide arrival-ordered queue: a ring-buffer
+	// deque with tombstoned removal, so out-of-order extraction (O3
+	// jumps, LLB placements) is O(1) instead of a slice splice.
+	global reqRing
+
+	// Ord-indexed per-GPU state, sized by the backend's OrdBound and
+	// grown lazily as elastic membership raises the bound.
+	local    [][]parked // local[o]: requests parked at GPU o
+	localSum []time.Duration
+	draining bitset
+
+	// takenEpoch marks GPUs consumed within the current Schedule round:
+	// takenEpoch[o] == epoch means taken. Bumping epoch resets the whole
+	// set in O(1) — no per-round map allocation or clearing pass.
+	takenEpoch []uint32
+	epoch      uint32
+
+	// out is the pooled dispatch slice returned by Schedule, valid until
+	// the next Schedule call.
+	out []Dispatch
+	// idleScratch backs the fallback (no IdleLister) candidate scan.
+	idleScratch []Ord
 
 	// moves counts global→local-queue migrations (Algorithm 2 line 12).
 	moves int64
@@ -216,45 +263,82 @@ func New(cfg Config, backend Backend) (*Scheduler, error) {
 		return nil, fmt.Errorf("core: unknown policy %v", cfg.Policy)
 	}
 	il, _ := backend.(IdleLister)
-	return &Scheduler{
-		policy:   cfg.Policy,
-		limit:    limit,
-		noPark:   cfg.DisableLocalQueue,
-		backend:  backend,
-		idle:     il,
-		local:    make(map[string][]parked),
-		localSum: make(map[string]time.Duration),
-		draining: make(map[string]bool),
-	}, nil
+	s := &Scheduler{
+		policy:  cfg.Policy,
+		limit:   limit,
+		noPark:  cfg.DisableLocalQueue,
+		backend: backend,
+		idle:    il,
+	}
+	s.grow(backend.OrdBound())
+	return s, nil
 }
+
+// grow extends the Ord-indexed state to cover ordinals < bound (elastic
+// membership only ever raises the bound).
+func (s *Scheduler) grow(bound Ord) {
+	for Ord(len(s.local)) < bound {
+		s.local = append(s.local, nil)
+	}
+	for Ord(len(s.localSum)) < bound {
+		s.localSum = append(s.localSum, 0)
+	}
+	for Ord(len(s.takenEpoch)) < bound {
+		s.takenEpoch = append(s.takenEpoch, 0)
+	}
+	for len(s.draining) < bitsetSize(bound) {
+		s.draining = append(s.draining, 0)
+	}
+}
+
+// syncBound refreshes the Ord-indexed state against the backend's current
+// bound; call before any ord-indexed access on externally-driven paths.
+func (s *Scheduler) syncBound() { s.grow(s.backend.OrdBound()) }
 
 // SetDraining marks (or clears) a GPU as draining. A draining GPU only
 // dispatches from its own local queue; the global queue and the
 // LocalityLoadBalance routine treat it as if it were not part of the
 // cluster. The harness flips this while decommissioning a GPU that still
-// has in-flight or parked work.
+// has in-flight or parked work. Unknown GPUs are a no-op.
 func (s *Scheduler) SetDraining(gpuID string, draining bool) {
-	if draining {
-		s.draining[gpuID] = true
+	o, ok := s.backend.OrdOf(gpuID)
+	if !ok {
 		return
 	}
-	delete(s.draining, gpuID)
+	s.syncBound()
+	if draining {
+		s.draining.set(o)
+		return
+	}
+	s.draining.clear(o)
 }
 
 // Draining reports whether the GPU is draining.
-func (s *Scheduler) Draining(gpuID string) bool { return s.draining[gpuID] }
+func (s *Scheduler) Draining(gpuID string) bool {
+	o, ok := s.backend.OrdOf(gpuID)
+	if !ok || int(o)>>6 >= len(s.draining) {
+		return false
+	}
+	return s.draining.get(o)
+}
 
 // RemoveGPU forgets a decommissioned GPU's scheduler state. The GPU's
 // local queue must be empty — the harness drains it before removal; a
 // non-empty queue is an error so churn bugs surface instead of silently
-// dropping requests.
+// dropping requests. The GPU must still resolve through the backend (the
+// harness removes scheduler state before deregistering the ID).
 func (s *Scheduler) RemoveGPU(gpuID string) error {
-	if n := len(s.local[gpuID]); n != 0 {
+	o, ok := s.backend.OrdOf(gpuID)
+	if !ok {
+		return nil
+	}
+	s.syncBound()
+	if n := len(s.local[o]); n != 0 {
 		return fmt.Errorf("core: removing GPU %s with %d parked requests", gpuID, n)
 	}
-	delete(s.local, gpuID)
-	delete(s.localSum, gpuID)
-	delete(s.draining, gpuID)
+	s.local[o] = nil
+	s.localSum[o] = 0
+	s.draining.clear(o)
 	return nil
 }
 
@@ -271,23 +355,29 @@ func (s *Scheduler) Enqueue(r *Request) error {
 	if r == nil {
 		return errors.New("core: nil request")
 	}
-	if n := len(s.global); n > 0 && s.global[n-1].Arrival > r.Arrival {
-		return fmt.Errorf("core: out-of-order enqueue: %v after %v", r.Arrival, s.global[n-1].Arrival)
+	if last := s.global.last(); last != nil && last.Arrival > r.Arrival {
+		return fmt.Errorf("core: out-of-order enqueue: %v after %v", r.Arrival, last.Arrival)
 	}
-	s.global = append(s.global, r)
+	s.global.push(r)
 	return nil
 }
 
 // GlobalQueueLen returns the number of requests waiting in the global
 // queue.
-func (s *Scheduler) GlobalQueueLen() int { return len(s.global) }
+func (s *Scheduler) GlobalQueueLen() int { return s.global.len() }
 
 // LocalQueueLen returns the number of requests parked at the GPU.
-func (s *Scheduler) LocalQueueLen(gpuID string) int { return len(s.local[gpuID]) }
+func (s *Scheduler) LocalQueueLen(gpuID string) int {
+	o, ok := s.backend.OrdOf(gpuID)
+	if !ok || int(o) >= len(s.local) {
+		return 0
+	}
+	return len(s.local[o])
+}
 
 // PendingTotal returns all queued requests (global + local).
 func (s *Scheduler) PendingTotal() int {
-	n := len(s.global)
+	n := s.global.len()
 	for _, q := range s.local {
 		n += len(q)
 	}
@@ -313,15 +403,27 @@ func (s *Scheduler) Counters() Counters {
 // queue)"). The queue tail is the incrementally-maintained localSum, so
 // this is O(1) regardless of queue depth.
 func (s *Scheduler) EstimatedFinishWithQueue(gpuID string, now sim.Time) time.Duration {
-	return s.backend.EstimatedFinish(gpuID, now) + s.localSum[gpuID]
+	o, ok := s.backend.OrdOf(gpuID)
+	if !ok {
+		return 0
+	}
+	s.syncBound()
+	return s.estFinish(o, now)
 }
 
-// removeGlobal removes the request at index i from the global queue.
-func (s *Scheduler) removeGlobal(i int) *Request {
-	r := s.global[i]
-	s.global = append(s.global[:i], s.global[i+1:]...)
-	return r
+// estFinish is EstimatedFinishWithQueue on the ord-indexed hot path.
+func (s *Scheduler) estFinish(o Ord, now sim.Time) time.Duration {
+	return s.backend.EstimatedFinish(o, now) + s.localSum[o]
 }
+
+// taken reports whether the GPU was consumed earlier in this round.
+func (s *Scheduler) taken(o Ord) bool { return s.takenEpoch[o] == s.epoch }
+
+// markTaken consumes the GPU for the rest of this round.
+func (s *Scheduler) markTaken(o Ord) { s.takenEpoch[o] = s.epoch }
+
+// busyOrTaken folds the backend's busy state with this round's takes.
+func (s *Scheduler) busyOrTaken(o Ord) bool { return s.taken(o) || s.backend.Busy(o) }
 
 // Schedule runs the configured policy to completion for the current
 // cluster state: it keeps assigning requests until no idle GPU can accept
@@ -330,30 +432,36 @@ func (s *Scheduler) removeGlobal(i int) *Request {
 // the harness guarantees by marking the GPU reserved as it executes the
 // decisions — to keep the scheduler self-contained it also tracks GPUs it
 // has dispatched to within this call and treats them as busy.
+//
+// The returned slice is pooled: it is valid until the next Schedule call
+// on this Scheduler, and callers that retain dispatches across rounds
+// must copy them out.
 func (s *Scheduler) Schedule(now sim.Time) []Dispatch {
-	var out []Dispatch
-	taken := make(map[string]bool) // GPUs consumed within this round
-	busy := func(id string) bool { return taken[id] || s.backend.Busy(id) }
+	s.syncBound()
+	s.out = s.out[:0]
+	s.epoch++
+	if s.epoch == 0 { // wrapped: stale stamps could read as taken
+		clear(s.takenEpoch)
+		s.epoch = 1
+	}
 
 	// Backend busy state is stable for the duration of a Schedule call
 	// (the harness executes the returned dispatches afterwards), so the
 	// idle candidates are computed once; GPUs consumed mid-call are
-	// filtered through taken.
+	// filtered through the epoch-stamped taken set.
 	idle := s.idleCandidates()
 	for {
 		progressed := false
-		for _, id := range idle {
-			if busy(id) {
+		for _, o := range idle {
+			if s.busyOrTaken(o) {
 				continue
 			}
-			d, ok := s.scheduleIdleGPU(id, now, busy, taken)
-			if ok {
-				out = append(out, d...)
+			if s.scheduleIdleGPU(o, now) {
 				progressed = true
 			}
 		}
 		if !progressed {
-			return out
+			return s.out
 		}
 	}
 }
@@ -361,66 +469,75 @@ func (s *Scheduler) Schedule(now sim.Time) []Dispatch {
 // idleCandidates returns the idle GPUs in deterministic order: the
 // backend's incremental idle set when available, otherwise a Busy scan
 // over all GPUs (same order either way, so decisions are identical).
-func (s *Scheduler) idleCandidates() []string {
+func (s *Scheduler) idleCandidates() []Ord {
 	if s.idle != nil {
-		return s.idle.IdleGPUs()
+		return s.idle.IdleOrds()
 	}
-	ids := s.backend.GPUIDs()
-	out := make([]string, 0, len(ids))
-	for _, id := range ids {
-		if !s.backend.Busy(id) {
-			out = append(out, id)
+	s.idleScratch = s.idleScratch[:0]
+	for _, o := range s.backend.Ords() {
+		if !s.backend.Busy(o) {
+			s.idleScratch = append(s.idleScratch, o)
 		}
 	}
-	return out
+	return s.idleScratch
 }
 
-// scheduleIdleGPU implements Algorithm 1 for one idle GPU. It returns the
-// dispatches produced while trying to occupy this GPU (the LLB routine may
-// also dispatch requests to *other* idle GPUs) and whether any dispatch or
-// queue movement happened.
-func (s *Scheduler) scheduleIdleGPU(gpuID string, now sim.Time, busy func(string) bool, taken map[string]bool) ([]Dispatch, bool) {
+// scheduleIdleGPU implements Algorithm 1 for one idle GPU, appending the
+// dispatches produced while trying to occupy it (the LLB routine may also
+// dispatch requests to *other* idle GPUs) to s.out. It reports whether
+// any dispatch was produced.
+func (s *Scheduler) scheduleIdleGPU(o Ord, now sim.Time) bool {
+	n0 := len(s.out)
 	// Lines 2–4: prioritize the local queue.
-	if q := s.local[gpuID]; len(q) > 0 {
+	if q := s.local[o]; len(q) > 0 {
 		p := q[0]
-		s.local[gpuID] = q[1:]
-		s.localSum[gpuID] -= p.infer
-		taken[gpuID] = true
-		return []Dispatch{{
-			Req: p.req, GPU: gpuID,
-			ExpectHit:      s.backend.Cached(gpuID, p.req.Model),
+		s.local[o] = q[1:]
+		s.localSum[o] -= p.infer
+		s.markTaken(o)
+		s.out = append(s.out, Dispatch{
+			Req: p.req, GPU: s.backend.IDOf(o),
+			ExpectHit:      s.backend.Cached(o, p.req.Model),
 			FromLocalQueue: true,
-		}}, true
+		})
+		return true
 	}
-	if s.draining[gpuID] {
+	if s.draining.get(o) {
 		// A draining GPU with an empty local queue takes no new work.
-		return nil, false
+		return false
 	}
-	if len(s.global) == 0 {
-		return nil, false
+	if s.global.len() == 0 {
+		return false
 	}
 
 	// Baseline LB: head of queue to this idle GPU, no locality.
 	if s.policy == LB {
-		r := s.removeGlobal(0)
-		taken[gpuID] = true
-		return []Dispatch{{Req: r, GPU: gpuID, ExpectHit: s.backend.Cached(gpuID, r.Model)}}, true
+		r := s.global.remove(s.global.headPos())
+		s.markTaken(o)
+		s.out = append(s.out, Dispatch{Req: r, GPU: s.backend.IDOf(o), ExpectHit: s.backend.Cached(o, r.Model)})
+		return true
 	}
 
 	// Lines 6–16: look for a request whose model is cached on this GPU,
-	// enforcing the out-of-order starvation limit along the way.
-	var all []Dispatch
-	i := 0
-	for i < len(s.global) {
-		r := s.global[i]
-		if s.backend.Cached(gpuID, r.Model) {
-			s.removeGlobal(i)
-			taken[gpuID] = true
-			if i > 0 {
+	// enforcing the out-of-order starvation limit along the way. The
+	// scan walks ring positions; tombstones (removed mid-scan by LLB
+	// placements) are skipped.
+	pos := s.global.headPos()
+	for pos < s.global.tail {
+		r := s.global.at(pos)
+		if r == nil {
+			pos++
+			continue
+		}
+		if s.backend.Cached(o, r.Model) {
+			// The ring's head is kept tombstone-free, so any position
+			// past it has a live request ahead: an out-of-order jump.
+			if pos > s.global.headPos() {
 				s.o3Dispatches++
 			}
-			all = append(all, Dispatch{Req: r, GPU: gpuID, ExpectHit: true})
-			return all, true
+			s.global.remove(pos)
+			s.markTaken(o)
+			s.out = append(s.out, Dispatch{Req: r, GPU: s.backend.IDOf(o), ExpectHit: true})
+			return true
 		}
 		if r.visits >= s.limit {
 			// Starvation limit reached (or limit==0, i.e. plain LALB
@@ -429,69 +546,73 @@ func (s *Scheduler) scheduleIdleGPU(gpuID string, now sim.Time, busy func(string
 			if r.visits > 0 && s.limit > 0 {
 				s.starved++
 			}
-			d, tookThis := s.llb(gpuID, i, now, busy, taken)
-			all = append(all, d...)
+			tookThis := s.llb(o, pos, now)
 			if tookThis {
-				return all, true
+				return true
 			}
-			// Request left the queue for another GPU; the element at
-			// index i is now a different request — re-examine it.
+			// The request left the queue for another GPU (or a local
+			// queue); its slot is tombstoned — re-examine from the same
+			// position, which now resolves to the next live request.
 			continue
 		}
 		r.visits++
-		i++
+		pos++
 	}
 	// Lines 17–22: no queued request has its model cached here — drain
 	// through LocalityLoadBalance until this GPU takes one.
-	for len(s.global) > 0 {
-		before := len(s.global)
-		d, tookThis := s.llb(gpuID, 0, now, busy, taken)
-		all = append(all, d...)
+	for s.global.len() > 0 {
+		before := s.global.len()
+		tookThis := s.llb(o, s.global.headPos(), now)
 		if tookThis {
-			return all, true
+			return true
 		}
-		if len(s.global) == before {
+		if s.global.len() == before {
 			// llb always removes the request; guard against spinning if
 			// that invariant is ever broken.
 			break
 		}
 	}
-	return all, len(all) > 0
+	return len(s.out) > n0
 }
 
 // llb implements Algorithm 2 (function LocalityLoadBalance) for the
-// request at global-queue index idx, considering idle GPU gpuID. It
-// returns the dispatches performed and whether gpuID itself was taken.
-func (s *Scheduler) llb(gpuID string, idx int, now sim.Time, busy func(string) bool, taken map[string]bool) ([]Dispatch, bool) {
-	r := s.global[idx]
+// request at global-queue position pos, considering idle GPU o. It
+// appends any dispatch to s.out and reports whether o itself was taken.
+// llb always removes the request from the global queue (dispatching,
+// parking, or missing it somewhere).
+func (s *Scheduler) llb(o Ord, pos int, now sim.Time) bool {
+	r := s.global.at(pos)
 	holders := s.backend.GPUsCaching(r.Model)
 
 	// Line 1–3: model cached nowhere — cache miss on the selected idle
 	// GPU.
 	if len(holders) == 0 {
-		s.removeGlobal(idx)
-		taken[gpuID] = true
-		return []Dispatch{{Req: r, GPU: gpuID, ExpectHit: false}}, true
+		s.global.remove(pos)
+		s.markTaken(o)
+		s.out = append(s.out, Dispatch{Req: r, GPU: s.backend.IDOf(o), ExpectHit: false})
+		return true
 	}
 
 	// Line 4–6: model cached on another idle GPU — dispatch there (a
 	// cache hit); the selected GPU stays idle. Draining holders are
 	// skipped: their residents are on the way out.
 	for _, h := range holders {
-		if s.draining[h] {
+		if s.draining.get(h) {
 			continue
 		}
-		if h == gpuID {
+		if h == o {
 			// The caller only reaches llb when the model is not cached
-			// on gpuID, but handle it for robustness: hit right here.
-			s.removeGlobal(idx)
-			taken[gpuID] = true
-			return []Dispatch{{Req: r, GPU: gpuID, ExpectHit: true}}, true
+			// on o, but handle it for robustness: hit right here.
+			s.global.remove(pos)
+			s.markTaken(o)
+			s.out = append(s.out, Dispatch{Req: r, GPU: s.backend.IDOf(o), ExpectHit: true})
+			return true
 		}
-		if !busy(h) {
-			s.removeGlobal(idx)
-			taken[h] = true
-			return []Dispatch{{Req: r, GPU: h, ExpectHit: true}}, false
+		if !s.busyOrTaken(h) {
+			s.global.remove(pos)
+			s.markTaken(h)
+			s.out = append(s.out, Dispatch{Req: r, GPU: s.backend.IDOf(h), ExpectHit: true})
+			return false
 		}
 	}
 
@@ -501,29 +622,30 @@ func (s *Scheduler) llb(gpuID string, idx int, now sim.Time, busy func(string) b
 	// that GPU's local queue. (Skipped entirely under the
 	// DisableLocalQueue ablation.)
 	if !s.noPark {
-		bestGPU := ""
+		best := Ord(-1)
 		var bestFinish time.Duration
 		for _, h := range holders {
-			if s.draining[h] {
+			if s.draining.get(h) {
 				continue
 			}
-			fin := s.EstimatedFinishWithQueue(h, now)
-			if bestGPU == "" || fin < bestFinish {
-				bestGPU, bestFinish = h, fin
+			fin := s.estFinish(h, now)
+			if best < 0 || fin < bestFinish {
+				best, bestFinish = h, fin
 			}
 		}
-		if bestGPU != "" && bestFinish < s.backend.LoadTime(gpuID, r.Model) {
-			s.removeGlobal(idx)
-			infer := s.backend.InferTime(bestGPU, r.Model, r.BatchSize)
-			s.local[bestGPU] = append(s.local[bestGPU], parked{req: r, infer: infer})
-			s.localSum[bestGPU] += infer
+		if best >= 0 && bestFinish < s.backend.LoadTime(o, r.Model) {
+			s.global.remove(pos)
+			infer := s.backend.InferTime(best, r.Model, r.BatchSize)
+			s.local[best] = append(s.local[best], parked{req: r, infer: infer})
+			s.localSum[best] += infer
 			s.moves++
-			return nil, false
+			return false
 		}
 	}
 
 	// Lines 16–18: allow the cache miss on the idle GPU.
-	s.removeGlobal(idx)
-	taken[gpuID] = true
-	return []Dispatch{{Req: r, GPU: gpuID, ExpectHit: false}}, true
+	s.global.remove(pos)
+	s.markTaken(o)
+	s.out = append(s.out, Dispatch{Req: r, GPU: s.backend.IDOf(o), ExpectHit: false})
+	return true
 }

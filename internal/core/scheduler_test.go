@@ -37,21 +37,51 @@ func (m *mockBackend) setModel(model string, load, infer time.Duration) {
 	m.infer[model] = infer
 }
 
-func (m *mockBackend) GPUIDs() []string            { return m.gpus }
-func (m *mockBackend) Busy(g string) bool          { return m.busy[g] }
-func (m *mockBackend) Cached(g, model string) bool { return m.cached[g][model] }
-func (m *mockBackend) GPUsCaching(model string) []string {
-	var out []string
-	for _, g := range m.gpus {
+// The mock keeps its state in string-keyed maps for test readability and
+// adapts to the ord-based Backend at the boundary: ordinals are indices
+// into the gpus slice.
+func (m *mockBackend) Ords() []Ord {
+	out := make([]Ord, len(m.gpus))
+	for i := range m.gpus {
+		out[i] = Ord(i)
+	}
+	return out
+}
+func (m *mockBackend) OrdBound() Ord { return Ord(len(m.gpus)) }
+func (m *mockBackend) OrdOf(g string) (Ord, bool) {
+	for i, id := range m.gpus {
+		if id == g {
+			return Ord(i), true
+		}
+	}
+	return 0, false
+}
+func (m *mockBackend) IDOf(o Ord) string             { return m.gpus[o] }
+func (m *mockBackend) Busy(o Ord) bool               { return m.busy[m.gpus[o]] }
+func (m *mockBackend) Cached(o Ord, mdl string) bool { return m.cached[m.gpus[o]][mdl] }
+func (m *mockBackend) GPUsCaching(model string) []Ord {
+	var out []Ord
+	for i, g := range m.gpus {
 		if m.cached[g][model] {
-			out = append(out, g)
+			out = append(out, Ord(i))
 		}
 	}
 	return out
 }
-func (m *mockBackend) EstimatedFinish(g string, _ sim.Time) time.Duration { return m.finish[g] }
-func (m *mockBackend) LoadTime(_, model string) time.Duration             { return m.load[model] }
-func (m *mockBackend) InferTime(_, model string, _ int) time.Duration     { return m.infer[model] }
+func (m *mockBackend) EstimatedFinish(o Ord, _ sim.Time) time.Duration { return m.finish[m.gpus[o]] }
+func (m *mockBackend) LoadTime(_ Ord, model string) time.Duration      { return m.load[model] }
+func (m *mockBackend) InferTime(_ Ord, model string, _ int) time.Duration {
+	return m.infer[model]
+}
+
+// holderIDs is GPUsCaching translated back to IDs for test assertions.
+func (m *mockBackend) holderIDs(model string) []string {
+	var out []string
+	for _, o := range m.GPUsCaching(model) {
+		out = append(out, m.gpus[o])
+	}
+	return out
+}
 
 func req(id int64, model string) *Request {
 	return &Request{ID: id, Model: model, BatchSize: 32, Arrival: sim.Time(id)}
@@ -79,17 +109,37 @@ func TestNewValidation(t *testing.T) {
 }
 
 func TestParsePolicy(t *testing.T) {
+	// The accepted-spellings table mirrors the doc comment exactly: the
+	// canonical figure spelling, the all-lower-case form, and the paper's
+	// "LALB+O3" — anything else (mixed case, lower-case plus form) is
+	// rejected.
 	for _, c := range []struct {
 		in   string
 		want Policy
-	}{{"LB", LB}, {"lalb", LALB}, {"LALBO3", LALBO3}, {"LALB+O3", LALBO3}} {
+		ok   bool
+	}{
+		{"LB", LB, true},
+		{"lb", LB, true},
+		{"LALB", LALB, true},
+		{"lalb", LALB, true},
+		{"LALBO3", LALBO3, true},
+		{"lalbo3", LALBO3, true},
+		{"LALB+O3", LALBO3, true},
+		{"", 0, false},
+		{"Lb", 0, false},
+		{"Lalb", 0, false},
+		{"lalb+o3", 0, false},
+		{"LALB+o3", 0, false},
+		{"LALBO", 0, false},
+		{"nope", 0, false},
+	} {
 		got, err := ParsePolicy(c.in)
-		if err != nil || got != c.want {
-			t.Errorf("ParsePolicy(%q) = %v, %v", c.in, got, err)
+		if c.ok && (err != nil || got != c.want) {
+			t.Errorf("ParsePolicy(%q) = %v, %v; want %v", c.in, got, err, c.want)
 		}
-	}
-	if _, err := ParsePolicy("nope"); err == nil {
-		t.Error("unknown name should fail")
+		if !c.ok && err == nil {
+			t.Errorf("ParsePolicy(%q) accepted, want error", c.in)
+		}
 	}
 	if LB.String() != "LB" || LALB.String() != "LALB" || LALBO3.String() != "LALBO3" {
 		t.Error("policy names wrong")
@@ -261,8 +311,9 @@ func TestO3JumpsQueueForCacheHit(t *testing.T) {
 		t.Errorf("O3Dispatches = %d", s.Counters().O3Dispatches)
 	}
 	// The cold request was skipped once.
-	if s.GlobalQueueLen() != 1 || s.global[0].Visits() != 1 {
-		t.Errorf("queue=%d visits=%d", s.GlobalQueueLen(), s.global[0].Visits())
+	head := s.global.at(s.global.headPos())
+	if s.GlobalQueueLen() != 1 || head.Visits() != 1 {
+		t.Errorf("queue=%d visits=%d", s.GlobalQueueLen(), head.Visits())
 	}
 }
 

@@ -1,0 +1,122 @@
+package experiments
+
+// Hot-path microbenchmarks for the BENCH snapshot: the discrete-event
+// engine's schedule+fire cycle and the scheduler's per-decision round.
+// These are the two loops every simulated request crosses several times,
+// so their ns/op and allocs/op gate how large a fleet / how long a trace
+// the experiment grids can sweep. faas-bench embeds the rows in the
+// gpufaas-bench/v1 snapshot next to the figure series, with the
+// pre-refactor baselines (measured at the PR-3 seed, Xeon 2.10GHz) kept
+// inline so a regression is visible in the artifact itself.
+
+import (
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"gpufaas/internal/cluster"
+	"gpufaas/internal/core"
+	"gpufaas/internal/sim"
+)
+
+// HotpathRow is one microbenchmark result. Baseline* fields carry the
+// pre-refactor measurement where one exists (zero = the case did not
+// exist before the pooled-engine/dense-ord rework).
+type HotpathRow struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+
+	BaselineNsPerOp     float64 `json:"baseline_ns_per_op,omitempty"`
+	BaselineAllocsPerOp int64   `json:"baseline_allocs_per_op,omitempty"`
+}
+
+// fill converts a testing.BenchmarkResult into a row.
+func (r *HotpathRow) fill(res testing.BenchmarkResult) {
+	r.NsPerOp = float64(res.T.Nanoseconds()) / float64(res.N)
+	r.BytesPerOp = res.AllocedBytesPerOp()
+	r.AllocsPerOp = res.AllocsPerOp()
+}
+
+// Hotpath runs the microbenchmarks. Wall cost is a few seconds (each case
+// runs via testing.Benchmark's standard calibration).
+func Hotpath() ([]HotpathRow, error) {
+	var rows []HotpathRow
+
+	// Engine schedule+fire at two standing queue depths; the cost every
+	// arrival / load-done / completion event pays.
+	for _, c := range []struct {
+		depth          int
+		baselineNs     float64
+		baselineAllocs int64
+	}{
+		{0, 67.0, 1},
+		{1024, 242.2, 1},
+	} {
+		depth := c.depth
+		row := HotpathRow{
+			Name:                fmt.Sprintf("engine_fire/depth=%d", depth),
+			BaselineNsPerOp:     c.baselineNs,
+			BaselineAllocsPerOp: c.baselineAllocs,
+		}
+		row.fill(testing.Benchmark(func(b *testing.B) {
+			e := sim.New()
+			for i := 0; i < depth; i++ {
+				e.After(time.Duration(i+1)*time.Hour, "standing", func(sim.Time) {})
+			}
+			fn := func(sim.Time) {}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.After(time.Millisecond, "fire", fn)
+				e.Step()
+			}
+		}))
+		rows = append(rows, row)
+	}
+
+	// One scheduler decision round against a real 64-GPU cluster backend
+	// (cache index, idle set): enqueue one request, run Schedule. The
+	// dispatches are not executed, so the fleet stays idle and every
+	// round measures the same decision shape. No pre-refactor baseline:
+	// the seed had no per-round case (the full-round numbers live in
+	// BenchmarkScheduleDecision and EXPERIMENTS.md).
+	cfg := cluster.DefaultConfig()
+	cfg.Nodes, cfg.GPUsPerNode = 16, 4
+	c, err := cluster.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := c.Scheduler()
+	row := HotpathRow{Name: "schedule_round/64gpus"}
+	row.fill(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r := &core.Request{ID: int64(i), Model: "resnet18", BatchSize: 32, Arrival: sim.Time(i)}
+			if err := s.Enqueue(r); err != nil {
+				b.Fatal(err)
+			}
+			s.Schedule(sim.Time(i))
+		}
+	}))
+	rows = append(rows, row)
+	return rows, nil
+}
+
+// WriteHotpathTable renders the rows with their baselines.
+func WriteHotpathTable(w io.Writer, rows []HotpathRow) {
+	fmt.Fprintf(w, "%-26s %10s %8s %8s %14s %12s\n",
+		"case", "ns/op", "B/op", "allocs", "baseline ns/op", "baseline allocs")
+	for _, r := range rows {
+		base, baseAllocs := "-", "-"
+		if r.BaselineNsPerOp > 0 {
+			base = fmt.Sprintf("%.1f", r.BaselineNsPerOp)
+			baseAllocs = fmt.Sprintf("%d", r.BaselineAllocsPerOp)
+		}
+		fmt.Fprintf(w, "%-26s %10.1f %8d %8d %14s %12s\n",
+			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, base, baseAllocs)
+	}
+}

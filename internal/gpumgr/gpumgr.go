@@ -117,6 +117,11 @@ type Manager struct {
 
 	nextPID   int64
 	processes map[string]map[string]*Process // gpuID -> model -> process
+	// devOrd caches each device's dense registration ordinal (assigned
+	// by the Cache Manager at registration), so the per-dispatch
+	// hit/miss resolution is an ord-indexed lookup instead of hashing
+	// the GPU ID.
+	devOrd map[string]cache.Ord
 
 	quotas map[string]Quota
 	usage  map[string]*tenantUsage
@@ -161,6 +166,7 @@ func New(cfg Config) (*Manager, error) {
 		profiles:   cfg.Profiles,
 		sink:       cfg.Sink,
 		processes:  make(map[string]map[string]*Process),
+		devOrd:     make(map[string]cache.Ord),
 		quotas:     make(map[string]Quota),
 		usage:      make(map[string]*tenantUsage),
 		onComplete: cfg.OnComplete,
@@ -178,6 +184,13 @@ func (m *Manager) AddDevice(d *gpu.Device) error {
 	if err := m.cacheMgr.RegisterGPU(d.ID()); err != nil {
 		return err
 	}
+	o, ok := m.cacheMgr.Ord(d.ID())
+	if !ok {
+		// Unreachable after a successful RegisterGPU; fail loudly rather
+		// than letting a zero-valued ordinal alias device 0's residency.
+		return fmt.Errorf("gpumgr: no ordinal assigned for %s", d.ID())
+	}
+	m.devOrd[d.ID()] = o
 	m.devices[d.ID()] = d
 	m.order = append(m.order, d.ID())
 	m.processes[d.ID()] = make(map[string]*Process)
@@ -207,6 +220,7 @@ func (m *Manager) RemoveDevice(gpuID string, now sim.Time) error {
 	}
 	delete(m.devices, gpuID)
 	delete(m.processes, gpuID)
+	delete(m.devOrd, gpuID)
 	if i := slices.Index(m.order, gpuID); i >= 0 {
 		m.order = slices.Delete(m.order, i, i+1)
 	}
@@ -291,7 +305,7 @@ func (m *Manager) Execute(req *core.Request, gpuID string, now sim.Time) (hit bo
 		return false, fmt.Errorf("%w: %s on %s", ErrNoProfile, mdl.Name, dev.Type())
 	}
 
-	hit = m.cacheMgr.Cached(gpuID, mdl.Name)
+	hit = m.cacheMgr.CachedOrd(m.devOrd[gpuID], mdl.Name)
 	inferTime := prof.InferTime(req.BatchSize)
 	loadTime := time.Duration(0)
 	if !hit {

@@ -1,32 +1,45 @@
-// Package ordset maintains string slices ordered by a caller-owned
-// registration index (gpuID → monotone ord). Two hot structures share
-// this shape — the cluster's incremental idle-GPU set and the cache
-// index's per-model holder lists — and the scheduler's indexed/scan
-// equivalence contract requires them to order identically, so the
-// insert/remove logic lives here once.
+// Package ordset defines the dense GPU registration ordinal (Ord) and
+// maintains ascending Ord slices. GPU string IDs are interned to Ords
+// once, at cluster registration (the cache index is the authority); every
+// hot-path structure — the cluster's incremental idle set, the cache
+// index's per-model holder lists, the scheduler's taken/draining/local-
+// queue state — is then a slice or bitset indexed by Ord instead of a
+// map[string]. Ords are monotone and never reused, so a sorted Ord slice
+// is exactly "registration order", which the scheduler's determinism
+// contract requires all views to share.
 package ordset
 
-import "sort"
+import "slices"
 
-// Insert returns s with id inserted at its registration-order position;
-// s is returned unchanged if id is already present. ids missing from ord
-// sort as 0 — callers register before inserting.
-func Insert(s []string, ord map[string]int, id string) []string {
-	i := sort.Search(len(s), func(i int) bool { return ord[s[i]] >= ord[id] })
-	if i < len(s) && s[i] == id {
+// Ord is a dense GPU registration ordinal: assigned monotonically at
+// registration, never reused after removal. Never reusing ordinals is
+// what keeps "sorted by Ord" equal to "registration order" across
+// elastic churn; the cost is that Ord-indexed state grows with the
+// cumulative number of GPUs ever registered (a few dozen bytes per dead
+// ordinal across the cluster's tables), not the current fleet size.
+type Ord = int32
+
+// Insert returns s with o inserted at its sorted position; s is returned
+// unchanged if o is already present.
+func Insert(s []Ord, o Ord) []Ord {
+	i, found := slices.BinarySearch(s, o)
+	if found {
 		return s
 	}
-	s = append(s, "")
-	copy(s[i+1:], s[i:])
-	s[i] = id
-	return s
+	return slices.Insert(s, i, o)
 }
 
-// Remove returns s without id; unchanged if absent.
-func Remove(s []string, ord map[string]int, id string) []string {
-	i := sort.Search(len(s), func(i int) bool { return ord[s[i]] >= ord[id] })
-	if i < len(s) && s[i] == id {
+// Remove returns s without o; unchanged if absent.
+func Remove(s []Ord, o Ord) []Ord {
+	i, found := slices.BinarySearch(s, o)
+	if found {
 		return append(s[:i], s[i+1:]...)
 	}
 	return s
+}
+
+// Contains reports whether o is in the sorted slice s.
+func Contains(s []Ord, o Ord) bool {
+	_, found := slices.BinarySearch(s, o)
+	return found
 }

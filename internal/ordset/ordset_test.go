@@ -6,27 +6,39 @@ import (
 )
 
 func TestInsertRemoveOrder(t *testing.T) {
-	ord := map[string]int{"a": 0, "b": 1, "c": 2, "d": 7}
-	var s []string
-	for _, id := range []string{"c", "a", "d", "b"} {
-		s = Insert(s, ord, id)
+	var s []Ord
+	for _, o := range []Ord{2, 0, 7, 1} {
+		s = Insert(s, o)
 	}
-	if want := []string{"a", "b", "c", "d"}; !reflect.DeepEqual(s, want) {
+	if want := []Ord{0, 1, 2, 7}; !reflect.DeepEqual(s, want) {
 		t.Fatalf("s = %v, want %v", s, want)
 	}
 	// Duplicate insert is a no-op.
-	if got := Insert(s, ord, "b"); !reflect.DeepEqual(got, s) {
+	if got := Insert(s, 1); !reflect.DeepEqual(got, s) {
 		t.Errorf("dup insert = %v", got)
 	}
-	s = Remove(s, ord, "b")
-	s = Remove(s, ord, "b") // absent: no-op
-	if want := []string{"a", "c", "d"}; !reflect.DeepEqual(s, want) {
+	s = Remove(s, 1)
+	s = Remove(s, 1) // absent: no-op
+	if want := []Ord{0, 2, 7}; !reflect.DeepEqual(s, want) {
 		t.Fatalf("after remove s = %v, want %v", s, want)
 	}
 	// Monotone ords from re-registration keep sorting after everything.
-	ord["e"] = 99
-	s = Insert(s, ord, "e")
-	if s[len(s)-1] != "e" {
+	s = Insert(s, 99)
+	if s[len(s)-1] != 99 {
 		t.Errorf("monotone insert = %v", s)
+	}
+	for _, c := range []struct {
+		o    Ord
+		want bool
+	}{{0, true}, {1, false}, {7, true}, {99, true}, {100, false}, {-1, false}} {
+		if Contains(s, c.o) != c.want {
+			t.Errorf("Contains(%v) != %v in %v", c.o, c.want, s)
+		}
+	}
+	if Contains(nil, 0) {
+		t.Error("Contains on empty slice")
+	}
+	if got := Remove(nil, 3); len(got) != 0 {
+		t.Errorf("Remove on empty = %v", got)
 	}
 }

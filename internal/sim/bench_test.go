@@ -1,0 +1,48 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkEngineFire measures the steady-state schedule+deliver cycle —
+// the cost every simulated request pays several times over (arrival,
+// load-done, completion). Depth sub-benchmarks hold a standing queue so
+// the heap works at realistic fan-out, not just the empty-queue fast
+// path.
+func BenchmarkEngineFire(b *testing.B) {
+	for _, depth := range []int{0, 1024} {
+		b.Run(benchName(depth), func(b *testing.B) {
+			e := New()
+			for i := 0; i < depth; i++ {
+				e.After(time.Duration(i+1)*time.Hour, "standing", func(Time) {})
+			}
+			fn := func(Time) {}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.After(time.Millisecond, "fire", fn)
+				e.Step()
+			}
+		})
+	}
+}
+
+// BenchmarkEngineCancel measures schedule+cancel — the watchdog/timer
+// pattern where most timers never fire.
+func BenchmarkEngineCancel(b *testing.B) {
+	e := New()
+	fn := func(Time) {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ev := e.After(time.Second, "cancel", fn)
+		e.Cancel(ev)
+	}
+}
+
+func benchName(depth int) string {
+	if depth == 0 {
+		return "depth=0"
+	}
+	return "depth=1024"
+}

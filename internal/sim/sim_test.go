@@ -86,12 +86,15 @@ func TestEngineCancel(t *testing.T) {
 	fired := 0
 	ev := e.After(time.Second, "x", func(Time) { fired++ })
 	e.After(2*time.Second, "y", func(Time) { fired++ })
-	e.Cancel(ev)
-	if !ev.Cancelled() {
-		t.Error("event should report cancelled")
+	if !e.Scheduled(ev) {
+		t.Error("event should be scheduled before cancel")
 	}
-	e.Cancel(ev) // double cancel is a no-op
-	e.Cancel(nil)
+	e.Cancel(ev)
+	if e.Scheduled(ev) {
+		t.Error("event should not be scheduled after cancel")
+	}
+	e.Cancel(ev)       // cancel-twice is a no-op
+	e.Cancel(Handle{}) // zero handle is "no event"
 	e.Run(0)
 	if fired != 1 {
 		t.Fatalf("fired = %d, want 1", fired)
@@ -102,10 +105,145 @@ func TestEngineCancelAfterFireNoop(t *testing.T) {
 	e := New()
 	ev := e.After(time.Second, "x", func(Time) {})
 	e.Run(0)
+	if e.Scheduled(ev) {
+		t.Error("fired event still reports scheduled")
+	}
 	e.Cancel(ev) // must not panic or corrupt the heap
 	e.After(time.Second, "y", func(Time) {})
 	if e.Run(0) != 1 {
 		t.Fatal("engine corrupted after cancelling a fired event")
+	}
+}
+
+// TestEngineStaleHandleAfterReuse: the arena recycles a fired event's
+// slot; cancelling through the stale handle must not touch the slot's new
+// occupant (the generation stamp protects it).
+func TestEngineStaleHandleAfterReuse(t *testing.T) {
+	e := New()
+	stale := e.After(time.Second, "old", func(Time) {})
+	e.Run(0) // fires "old", releasing its slot to the free list
+	fired := false
+	fresh := e.After(time.Second, "new", func(Time) { fired = true })
+	e.Cancel(stale) // stale generation: must be inert
+	if !e.Scheduled(fresh) {
+		t.Fatal("stale cancel killed the slot's new occupant")
+	}
+	e.Cancel(stale) // cancel-twice on a stale handle, still inert
+	e.Run(0)
+	if !fired {
+		t.Fatal("reused-slot event did not fire")
+	}
+}
+
+// TestEngineFIFOUnderInterleavedCancels: same-timestamp events keep their
+// scheduling order even when events between them are cancelled (heap
+// removals must not disturb the (at, seq) total order).
+func TestEngineFIFOUnderInterleavedCancels(t *testing.T) {
+	e := New()
+	var got []int
+	var hs []Handle
+	for i := 0; i < 20; i++ {
+		i := i
+		hs = append(hs, e.After(time.Second, "tie", func(Time) { got = append(got, i) }))
+	}
+	var want []int
+	for i := range hs {
+		if i%3 == 1 { // cancel a strided subset between survivors
+			e.Cancel(hs[i])
+		} else {
+			want = append(want, i)
+		}
+	}
+	e.Run(0)
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("same-time events reordered after cancels: %v, want %v", got, want)
+		}
+	}
+}
+
+// TestRunUntilClockAtDeadline: RunUntil with no events in range must still
+// advance the clock to the deadline, and an event exactly at the deadline
+// is delivered.
+func TestRunUntilClockAtDeadline(t *testing.T) {
+	e := New()
+	if n := e.RunUntil(time.Second); n != 0 || e.Now() != time.Second {
+		t.Fatalf("empty RunUntil: n=%d now=%v", n, e.Now())
+	}
+	fired := false
+	e.After(time.Second, "edge", func(now Time) {
+		fired = true
+		if now != 2*time.Second {
+			t.Errorf("fired at %v", now)
+		}
+	})
+	e.After(5*time.Second, "beyond", func(Time) {})
+	if n := e.RunUntil(2 * time.Second); n != 1 || !fired {
+		t.Fatalf("deadline-edge event: n=%d fired=%v", n, fired)
+	}
+	if e.Now() != 2*time.Second {
+		t.Errorf("clock = %v, want the deadline", e.Now())
+	}
+}
+
+// TestAfterBatchMatchesSequentialAfter: an AfterBatch delivery is
+// indistinguishable from the equivalent loop of After calls, including
+// FIFO tie-breaks and interleaving with already-queued events.
+func TestAfterBatchMatchesSequentialAfter(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		delays := make([]Time, rng.Intn(64))
+		for i := range delays {
+			delays[i] = Time(rng.Intn(8)) * time.Second
+		}
+		runSeq := func(batch bool) []int {
+			e := New()
+			var got []int
+			e.After(3*time.Second, "pre", func(Time) { got = append(got, -1) })
+			if batch {
+				e.AfterBatch(delays, "b", func(i int, _ Time) { got = append(got, i) })
+			} else {
+				for i, d := range delays {
+					i := i
+					e.After(d, "b", func(Time) { got = append(got, i) })
+				}
+			}
+			e.Run(0)
+			return got
+		}
+		seq, bat := runSeq(false), runSeq(true)
+		if len(seq) != len(bat) {
+			t.Fatalf("trial %d: lengths differ: %v vs %v", trial, seq, bat)
+		}
+		for i := range seq {
+			if seq[i] != bat[i] {
+				t.Fatalf("trial %d: order differs at %d: seq=%v batch=%v", trial, i, seq, bat)
+			}
+		}
+	}
+}
+
+// TestAfterBatchEdgeCases: empty batches and negative delays (clamped like
+// After).
+func TestAfterBatchEdgeCases(t *testing.T) {
+	e := New()
+	e.AfterBatch(nil, "empty", func(int, Time) { t.Error("empty batch fired") })
+	if e.Pending() != 0 {
+		t.Fatal("empty batch queued events")
+	}
+	var got []int
+	e.AfterBatch([]Time{-time.Second, 0}, "neg", func(i int, now Time) {
+		if now != 0 {
+			t.Errorf("element %d fired at %v, want 0", i, now)
+		}
+		got = append(got, i)
+	})
+	e.Run(0)
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("fired %v", got)
 	}
 }
 
@@ -184,7 +322,7 @@ func TestEngineCancelSubsetProperty(t *testing.T) {
 		e := New()
 		count := int(n%50) + 1
 		fired := make([]bool, count)
-		evs := make([]*Event, count)
+		evs := make([]Handle, count)
 		for i := 0; i < count; i++ {
 			i := i
 			evs[i] = e.After(Time(rng.Intn(1000))*time.Millisecond, "p", func(Time) { fired[i] = true })
