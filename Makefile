@@ -6,7 +6,7 @@ GO ?= go
 # Hot-path benchmarks compared by bench-save / bench-compare.
 BENCH_PATTERN ?= BenchmarkEngineFire|BenchmarkEngineCancel|BenchmarkScheduleDecision
 
-.PHONY: all build test race vet fmt fmt-check bench bench-smoke snapshot ci-snapshot elasticity-smoke bench-save bench-compare bench-regress vuln ci
+.PHONY: all build test race vet fmt fmt-check bench bench-smoke snapshot ci-snapshot elasticity-smoke heterogeneity-smoke bench-save bench-compare bench-regress vuln ci
 
 all: build
 
@@ -50,6 +50,12 @@ ci-snapshot:
 elasticity-smoke:
 	$(GO) run ./cmd/faas-bench -exp elasticity -short -json BENCH_elasticity.json
 
+# Short-mode heterogeneity scenario (homogeneous vs mixed fleets under
+# cost-aware tiered scaling), mirrored in CI as the "heterogeneity
+# smoke" step.
+heterogeneity-smoke:
+	$(GO) run ./cmd/faas-bench -exp heterogeneity -short -json BENCH_heterogeneity.json
+
 # Record the hot-path benchmarks for later comparison: the previous
 # recording rotates to bench_old.txt, so the workflow is
 #   make bench-save            # on the old commit
@@ -91,4 +97,4 @@ bench-regress:
 vuln:
 	-$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...
 
-ci: fmt-check vet build race bench-smoke ci-snapshot elasticity-smoke
+ci: fmt-check vet build race bench-smoke ci-snapshot elasticity-smoke heterogeneity-smoke

@@ -218,6 +218,26 @@ func BenchmarkAblationGPUScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkHeterogeneity runs the heterogeneity sweep cells
+// (homogeneous-fast / homogeneous-cheap / mixed fleets on the non-flat
+// traces), reporting the cost column the tiered autoscaler trades
+// against p95.
+func BenchmarkHeterogeneity(b *testing.B) {
+	for _, cell := range experiments.HeterogeneitySpecs(testing.Short()) {
+		cell := cell
+		b.Run(cell.Name, func(b *testing.B) {
+			benchRun(b, cell.Params, func(r experiments.Row) map[string]float64 {
+				return map[string]float64{
+					"cost":        r.Cost,
+					"gpu_seconds": r.GPUSeconds,
+					"p95_s":       r.P95LatencySec,
+					"peak_gpus":   float64(r.PeakGPUs),
+				}
+			})
+		})
+	}
+}
+
 // BenchmarkElasticity runs the elasticity sweep cells (fixed vs
 // autoscaled fleets on diurnal/bursty traces), reporting the
 // cost-vs-latency pair the autoscale subsystem trades on.

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	faas-bench [-exp all|table1|fig4|fig7|cachepolicy|scaling|elasticity|hotpath]
+//	faas-bench [-exp all|table1|fig4|fig7|cachepolicy|scaling|elasticity|heterogeneity|hotpath]
 //	           [-workers N] [-short] [-json BENCH_baseline.json] [-v]
 //	           [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
@@ -46,14 +46,15 @@ type snapshot struct {
 
 // expResult is one experiment's series plus its wall-clock cost.
 type expResult struct {
-	WallSeconds float64                     `json:"wall_seconds"`
-	Runs        int                         `json:"runs"`
-	Rows        []experiments.Row           `json:"rows,omitempty"`
-	Fig7        []experiments.Fig7Point     `json:"fig7,omitempty"`
-	TableI      []experiments.TableIRow     `json:"table1,omitempty"`
-	CachePolicy map[string]experiments.Row  `json:"cache_policy,omitempty"`
-	Elasticity  []experiments.ElasticityRow `json:"elasticity,omitempty"`
-	Hotpath     []experiments.HotpathRow    `json:"hotpath,omitempty"`
+	WallSeconds   float64                        `json:"wall_seconds"`
+	Runs          int                            `json:"runs"`
+	Rows          []experiments.Row              `json:"rows,omitempty"`
+	Fig7          []experiments.Fig7Point        `json:"fig7,omitempty"`
+	TableI        []experiments.TableIRow        `json:"table1,omitempty"`
+	CachePolicy   map[string]experiments.Row     `json:"cache_policy,omitempty"`
+	Elasticity    []experiments.ElasticityRow    `json:"elasticity,omitempty"`
+	Heterogeneity []experiments.HeterogeneityRow `json:"heterogeneity,omitempty"`
+	Hotpath       []experiments.HotpathRow       `json:"hotpath,omitempty"`
 }
 
 func main() {
@@ -63,9 +64,9 @@ func main() {
 }
 
 func benchMain() int {
-	exp := flag.String("exp", "all", "experiment to run: all|table1|fig4|fig7|cachepolicy|scaling|elasticity|hotpath")
+	exp := flag.String("exp", "all", "experiment to run: all|table1|fig4|fig7|cachepolicy|scaling|elasticity|heterogeneity|hotpath")
 	workers := flag.Int("workers", 0, "concurrent experiment runs (0 = GOMAXPROCS)")
-	short := flag.Bool("short", false, "shrink long experiments (elasticity runs the 6-minute traces)")
+	short := flag.Bool("short", false, "shrink long experiments (elasticity/heterogeneity run the 6-minute traces)")
 	jsonPath := flag.String("json", "", "write a BENCH_*.json snapshot to this path")
 	verbose := flag.Bool("v", false, "stream each grid cell as it completes")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this path")
@@ -73,9 +74,9 @@ func benchMain() int {
 	flag.Parse()
 
 	switch *exp {
-	case "all", "table1", "fig4", "fig7", "cachepolicy", "scaling", "elasticity", "hotpath":
+	case "all", "table1", "fig4", "fig7", "cachepolicy", "scaling", "elasticity", "heterogeneity", "hotpath":
 	default:
-		fmt.Fprintf(os.Stderr, "faas-bench: unknown experiment %q (want all|table1|fig4|fig7|cachepolicy|scaling|elasticity|hotpath)\n", *exp)
+		fmt.Fprintf(os.Stderr, "faas-bench: unknown experiment %q (want all|table1|fig4|fig7|cachepolicy|scaling|elasticity|heterogeneity|hotpath)\n", *exp)
 		os.Exit(2)
 	}
 
@@ -213,6 +214,14 @@ func benchMain() int {
 		}
 		experiments.WriteElasticityTable(os.Stdout, rows)
 		return expResult{Elasticity: rows, Runs: len(rows)}, nil
+	})
+	run("heterogeneity", "Heterogeneity — homogeneous vs mixed fleets, cost-aware tiered scaling", func() (expResult, error) {
+		rows, err := experiments.HeterogeneitySweep(m, *short)
+		if err != nil {
+			return expResult{}, err
+		}
+		experiments.WriteHeterogeneityTable(os.Stdout, rows)
+		return expResult{Heterogeneity: rows, Runs: len(rows)}, nil
 	})
 	run("hotpath", "Hot path — engine fire / scheduler decision microbenchmarks", func() (expResult, error) {
 		rows, err := experiments.Hotpath()

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	faas-gateway -addr :8080 -policy LALBO3 -timescale 0.01
+//	faas-gateway -fleet t4:8,rtx2080:4 -autoscale tiered
 //
 // Then deploy and invoke with faas-cli or plain curl:
 //
@@ -18,9 +19,11 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"sort"
 	"time"
 
 	"gpufaas/internal/autoscale"
+	"gpufaas/internal/cluster"
 	"gpufaas/internal/faas"
 )
 
@@ -30,12 +33,14 @@ func main() {
 	o3limit := flag.Int("o3limit", 25, "LALBO3 starvation limit")
 	nodes := flag.Int("nodes", 3, "GPU nodes")
 	gpus := flag.Int("gpus-per-node", 4, "GPUs per node")
+	fleet := flag.String("fleet", "", "heterogeneous fleet as type:count[:memGiB],... (e.g. t4:8,rtx2080:4; overrides -nodes/-gpus-per-node)")
 	timescale := flag.Float64("timescale", 0.01, "profile time scale (1.0 = paper-real seconds)")
-	asPolicy := flag.String("autoscale", "", "attach an autoscaler: target-util|step (empty = off)")
+	asPolicy := flag.String("autoscale", "", "attach an autoscaler: target-util|step|tiered (tiered needs -fleet; empty = off)")
 	asMin := flag.Int("autoscale-min", 2, "autoscaler fleet floor")
 	asMax := flag.Int("autoscale-max", 0, "autoscaler fleet ceiling (0 = unbounded)")
 	asInterval := flag.Duration("autoscale-interval", 5*time.Second, "autoscaler tick interval (wall time)")
 	asColdStart := flag.Duration("autoscale-coldstart", 2*time.Second, "provisioned-GPU cold start (wall time)")
+	asP95 := flag.Duration("autoscale-p95", 2*time.Second, "tiered policy p95 objective (wall time, after -timescale)")
 	flag.Parse()
 
 	cfg := faas.GatewayConfig{
@@ -45,8 +50,39 @@ func main() {
 		GPUsPerNode: *gpus,
 		TimeScale:   *timescale,
 	}
+	gpuCount := *nodes * *gpus
+	if *fleet != "" {
+		spec, err := cluster.ParseFleetSpec(*fleet)
+		if err != nil {
+			log.Fatalf("faas-gateway: %v", err)
+		}
+		cfg.Fleet = spec
+		gpuCount = 0
+		for _, class := range spec {
+			gpuCount += class.Count
+		}
+	}
 	if *asPolicy != "" {
-		pol, err := autoscale.ParsePolicy(*asPolicy, 0, 0, 0, 0, 0)
+		var pol autoscale.Policy
+		var err error
+		if *asPolicy == "tiered" {
+			if cfg.Fleet == nil {
+				log.Fatal("faas-gateway: -autoscale tiered requires -fleet")
+			}
+			// Tiers sorted cheapest-first by the classes' declared
+			// cost (ParseFleetSpec fills it from the built-in
+			// registry), so flag order cannot invert the economics.
+			spec := append(cluster.FleetSpec(nil), cfg.Fleet...)
+			sort.SliceStable(spec, func(i, j int) bool {
+				return spec[i].CostPerSecond < spec[j].CostPerSecond
+			})
+			pol, err = autoscale.NewTiered(autoscale.Tiered{
+				Tiers:     spec.Types(),
+				TargetP95: asP95.Seconds(),
+			})
+		} else {
+			pol, err = autoscale.ParsePolicy(*asPolicy, 0, 0, 0, 0, 0)
+		}
 		if err != nil {
 			log.Fatalf("faas-gateway: %v", err)
 		}
@@ -62,7 +98,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("faas-gateway: %v", err)
 	}
-	fmt.Printf("GPU-FaaS gateway listening on %s (policy=%s, %d GPUs, timescale=%g, autoscale=%q)\n",
-		*addr, *policy, *nodes**gpus, *timescale, *asPolicy)
+	fmt.Printf("GPU-FaaS gateway listening on %s (policy=%s, %d GPUs, fleet=%q, timescale=%g, autoscale=%q)\n",
+		*addr, *policy, gpuCount, *fleet, *timescale, *asPolicy)
 	log.Fatal(http.ListenAndServe(*addr, g.Handler()))
 }

@@ -1,0 +1,86 @@
+// Heterofleet: run the same workload on three fleet compositions — the
+// paper's homogeneous RTX 2080 testbed, a cheap t4-class fleet, and a
+// tiered-autoscaled mix that grows the cheap tier with demand and buys
+// fast GPUs only when the p95 objective is violated — and compare cost
+// (per-class GPU-seconds × price) against latency.
+//
+//	go run ./examples/heterofleet
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gpufaas"
+)
+
+// run replays the paper workload (working set 15) on a cluster built
+// with the given extra options and returns its report.
+func run(zoo *gpufaas.ModelZoo, reqs []gpufaas.TraceRequest, opts ...gpufaas.Option) gpufaas.Report {
+	opts = append(opts, gpufaas.WithPolicy("LALBO3"), gpufaas.WithZoo(zoo))
+	c, err := gpufaas.NewCluster(opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := c.RunWorkload(reqs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return rep
+}
+
+func main() {
+	reqs, zoo, _, err := gpufaas.PaperWorkload(15, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The paper's class, priced at 0.60/GPU-second.
+	fast := run(zoo, reqs, gpufaas.WithFleet(gpufaas.FleetSpec{
+		{Type: "rtx2080", Count: 12, CostPerSecond: 0.60},
+	}))
+
+	// The cheap tier: ~1.6x slower, ~3x cheaper; capacity-matched at 20
+	// devices (12 x 1.6).
+	cheap := run(zoo, reqs, gpufaas.WithFleet(gpufaas.FleetSpec{
+		{Type: "t4", Count: 20, CostPerSecond: 0.20},
+	}))
+
+	// The mix: boot 4 cheap GPUs; the tiered policy demand-sizes the
+	// cheap tier and escalates to rtx2080 only on sustained p95
+	// violation. Horizon must cover the 6-minute trace plus drain.
+	pol, err := gpufaas.TieredPolicy([]string{"t4", "rtx2080"}, 6.0, 0.85)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mixed := run(zoo, reqs,
+		gpufaas.WithFleet(gpufaas.FleetSpec{
+			{Type: "t4", Count: 4, CostPerSecond: 0.20},
+			{Type: "rtx2080", Count: 0, CostPerSecond: 0.60},
+		}),
+		gpufaas.WithAutoscaler(gpufaas.AutoscaleConfig{
+			Policy:    pol,
+			Interval:  2e9, // 2s ticks
+			MinGPUs:   4,
+			MaxGPUs:   24,
+			ColdStart: 5e9, // 5s provisioning delay
+			Horizon:   7 * 60 * 1e9,
+		}))
+
+	fmt.Printf("%-22s %10s %10s %8s %s\n", "fleet", "cost", "p95(s)", "peak", "per-class gpu-s")
+	show := func(name string, rep gpufaas.Report) {
+		classes := ""
+		for i, cu := range rep.ClassUsage {
+			if i > 0 {
+				classes += " "
+			}
+			classes += fmt.Sprintf("%s=%.0f", cu.Class, cu.GPUSeconds)
+		}
+		fmt.Printf("%-22s %10.1f %10.2f %8d %s\n", name, rep.Cost, rep.P95LatencySec, rep.PeakGPUs, classes)
+	}
+	show("rtx2080 x12 (fixed)", fast)
+	show("t4 x20 (fixed)", cheap)
+	show("mixed (tiered auto)", mixed)
+	fmt.Printf("\nmixed fleet spend vs fast fleet: %.0f%%  (scale events: %d)\n",
+		100*mixed.Cost/fast.Cost, len(mixed.ScaleEvents))
+}

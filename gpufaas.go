@@ -55,6 +55,10 @@ type (
 	Request = core.Request
 	// Model describes one deployable inference model.
 	Model = models.Model
+	// ModelZoo is the registry of deployable models.
+	ModelZoo = models.Zoo
+	// TraceRequest is one workload-trace inference request.
+	TraceRequest = trace.Request
 	// Cluster is the assembled GPU-FaaS system.
 	Cluster = cluster.Cluster
 	// AutoscaleConfig configures the elastic-membership autoscaler
@@ -65,6 +69,13 @@ type (
 	// ScaleEvent is one executed scale-up/scale-down, as logged in
 	// Report.ScaleEvents.
 	ScaleEvent = autoscale.ScaleEvent
+	// GPUClass declares one device class of a heterogeneous fleet
+	// (type, memory, boot count, cost per GPU-second, cold start).
+	GPUClass = cluster.GPUClass
+	// FleetSpec declares a fleet as an ordered mix of device classes.
+	FleetSpec = cluster.FleetSpec
+	// ClassUsage is one device class's cost row in Report.ClassUsage.
+	ClassUsage = cluster.ClassUsage
 )
 
 // Option customizes the cluster configuration.
@@ -98,6 +109,27 @@ func WithTopology(nodes, gpusPerNode int) Option {
 	return func(cfg *cluster.Config) error {
 		cfg.Nodes = nodes
 		cfg.GPUsPerNode = gpusPerNode
+		return nil
+	}
+}
+
+// WithFleet declares the GPU fleet as an ordered mix of device classes —
+// the heterogeneous alternative to WithTopology/WithGPUMemory. Profiles
+// are resolved per (class, model); with no explicit profile store the
+// built-in Table I scalings cover the "rtx2080" and "t4" classes. The
+// run's Report gains the Cost and ClassUsage columns, and class-aware
+// autoscaling policies (TieredPolicy) become available.
+//
+//	c, _ := gpufaas.NewCluster(gpufaas.WithFleet(gpufaas.FleetSpec{
+//	    {Type: "t4", Count: 8, CostPerSecond: 0.20},
+//	    {Type: "rtx2080", Count: 4, CostPerSecond: 0.60},
+//	}))
+func WithFleet(spec FleetSpec) Option {
+	return func(cfg *cluster.Config) error {
+		if len(spec) == 0 {
+			return errors.New("gpufaas: empty fleet spec")
+		}
+		cfg.Fleet = append(FleetSpec(nil), spec...)
 		return nil
 	}
 }
@@ -168,6 +200,19 @@ func TargetUtilizationPolicy(utilization float64, queuePerGPU int) (AutoscalePol
 // pressure (up) or sustained idleness (down).
 func StepHysteresisPolicy(upQueueDepth int, downIdleRatio float64, step int) (AutoscalePolicy, error) {
 	return autoscale.NewStepHysteresis(upQueueDepth, downIdleRatio, step)
+}
+
+// TieredPolicy is the cost-aware policy for WithFleet clusters: the
+// cheapest class (tiers[0], fleet-spec order) is demand-sized toward
+// the utilization target, and faster tiers are bought only when the
+// windowed p95 stays above targetP95 seconds. Requires a declared
+// fleet; see autoscale.Tiered for the full knob set.
+func TieredPolicy(tiers []string, targetP95, utilization float64) (AutoscalePolicy, error) {
+	return autoscale.NewTiered(autoscale.Tiered{
+		Tiers:       tiers,
+		TargetP95:   targetP95,
+		Utilization: utilization,
+	})
 }
 
 // NewCluster builds a GPU-FaaS cluster; without options it is the paper's

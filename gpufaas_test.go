@@ -35,6 +35,40 @@ func TestOptionErrors(t *testing.T) {
 	if _, err := NewCluster(WithCachePolicy("bogus")); err == nil {
 		t.Error("bogus cache policy should fail")
 	}
+	if _, err := NewCluster(WithFleet(nil)); err == nil {
+		t.Error("empty fleet should fail")
+	}
+	if _, err := NewCluster(WithFleet(FleetSpec{{Type: "t4", Count: 1}, {Type: "t4", Count: 1}})); err == nil {
+		t.Error("duplicate fleet class should fail")
+	}
+}
+
+func TestWithFleetFacade(t *testing.T) {
+	c, err := NewCluster(WithFleet(FleetSpec{
+		{Type: "t4", Count: 2, CostPerSecond: 0.20},
+		{Type: "rtx2080", Count: 1, CostPerSecond: 0.60},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := c.GPUIDs()
+	if len(ids) != 3 || ids[0] != "t4/gpu0" || ids[2] != "rtx2080/gpu0" {
+		t.Fatalf("GPUIDs = %v", ids)
+	}
+	reqs := make([]TraceRequest, 6)
+	for i := range reqs {
+		reqs[i] = TraceRequest{
+			ID: int64(i), Function: "f", Model: "resnet18",
+			Arrival: time.Duration(i) * 100 * time.Millisecond, BatchSize: 32,
+		}
+	}
+	rep, err := c.RunWorkload(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 6 || rep.Cost <= 0 || len(rep.ClassUsage) != 2 {
+		t.Errorf("report = requests %d cost %g usage %+v", rep.Requests, rep.Cost, rep.ClassUsage)
+	}
 }
 
 func TestRunExperimentFacade(t *testing.T) {

@@ -63,6 +63,32 @@ type Fleet interface {
 	ScaleDown(n int) []string
 }
 
+// ClassSize is one device class's membership breakdown.
+type ClassSize struct {
+	// Class is the device class (GPU type).
+	Class string
+	Size
+	// CostPerSecond is the class's declared price per GPU-second (0
+	// when the fleet declares none).
+	CostPerSecond float64
+}
+
+// ClassedFleet is implemented by fleets declared as a mix of device
+// classes (cluster.FleetSpec). Class-aware policies (Tiered) require it;
+// class-agnostic policies keep working against the plain Fleet view.
+type ClassedFleet interface {
+	Fleet
+	// ClassSizes returns the per-class breakdown in fleet-spec order.
+	ClassSizes() []ClassSize
+	// ScaleUpClass provisions n GPUs of the given class; coldStart is
+	// the fallback delay for classes that declare no ColdStart of their
+	// own. Returns the new GPU IDs (possibly fewer than n on error).
+	ScaleUpClass(class string, n int, coldStart time.Duration) []string
+	// ScaleDownClass drain-decommissions up to n GPUs of the given
+	// class, with the same deterministic victim order as ScaleDown.
+	ScaleDownClass(class string, n int) []string
+}
+
 // Signal is one evaluation-tick sample, the policy's input.
 type Signal struct {
 	// At is the virtual (or wall-offset) sampling time.
@@ -81,6 +107,19 @@ type Signal struct {
 	P95LatencySec float64 `json:"p95LatencySec"`
 	// Completions is how many requests finished since the previous tick.
 	Completions int `json:"completions"`
+	// Classes is the per-device-class breakdown in fleet-spec order;
+	// nil when the fleet is not class-aware (homogeneous clusters built
+	// without a FleetSpec).
+	Classes []ClassSignal `json:"classes,omitempty"`
+}
+
+// ClassSignal is one device class's slice of a Signal.
+type ClassSignal struct {
+	Class        string `json:"class"`
+	Active       int    `json:"active"`
+	Provisioning int    `json:"provisioning"`
+	Draining     int    `json:"draining"`
+	Idle         int    `json:"idle"`
 }
 
 // Decision is a policy's verdict for one tick.
@@ -98,6 +137,38 @@ type Decision struct {
 type Policy interface {
 	Name() string
 	Decide(sig Signal) Decision
+}
+
+// ClassTarget is one device class's desired size.
+type ClassTarget struct {
+	Class  string
+	Target int
+}
+
+// ClassDecision is a class-aware policy's verdict: per-class targets in
+// the order they should be reconciled.
+type ClassDecision struct {
+	Targets []ClassTarget
+	Reason  string
+}
+
+// ClassPolicy is a Policy that additionally makes a provisioning
+// decision: not just how many GPUs, but of which device class. The
+// autoscaler uses DecideClasses when (and only when) the fleet is a
+// ClassedFleet; Decide is the degraded single-class fallback.
+type ClassPolicy interface {
+	Policy
+	DecideClasses(sig Signal) ClassDecision
+}
+
+// ClassRequirer is implemented by policies that target specific device
+// classes (Tiered). New validates the requirement against the fleet at
+// construction: a misspelled or undeclared class would otherwise make
+// the autoscaler a silent no-op (unknown-class targets are dropped at
+// reconcile time).
+type ClassRequirer interface {
+	// RequiredClasses lists the device classes the policy addresses.
+	RequiredClasses() []string
 }
 
 // ClonablePolicy is implemented by stateful policies. New clones the
@@ -118,6 +189,10 @@ type ScaleEvent struct {
 	To     int      `json:"to"`     // non-draining fleet size after
 	Reason string   `json:"reason"`
 	GPUs   []string `json:"gpus"` // affected GPU IDs
+	// Class is the device class the operation targeted; empty for
+	// class-agnostic operations (legacy policies), which keeps
+	// pre-heterogeneity event logs byte-identical.
+	Class string `json:"class,omitempty"`
 }
 
 // Actions recorded in ScaleEvent.Action.
@@ -206,6 +281,21 @@ func New(fleet Fleet, clock sim.Clock, cfg Config) (*Autoscaler, error) {
 	}
 	if cp, ok := cfg.Policy.(ClonablePolicy); ok {
 		cfg.Policy = cp.Clone()
+	}
+	if cr, ok := cfg.Policy.(ClassRequirer); ok {
+		cf, classed := fleet.(ClassedFleet)
+		if !classed {
+			return nil, fmt.Errorf("autoscale: policy %s requires a class-aware fleet", cfg.Policy.Name())
+		}
+		declared := make(map[string]bool)
+		for _, cs := range cf.ClassSizes() {
+			declared[cs.Class] = true
+		}
+		for _, class := range cr.RequiredClasses() {
+			if !declared[class] {
+				return nil, fmt.Errorf("autoscale: policy %s requires device class %q, which the fleet does not declare", cfg.Policy.Name(), class)
+			}
+		}
 	}
 	if cfg.MaxEvents < 0 {
 		return nil, fmt.Errorf("autoscale: negative MaxEvents %d", cfg.MaxEvents)
@@ -319,10 +409,30 @@ func (a *Autoscaler) Evaluate(now sim.Time) Signal {
 	if sig.Completions > 0 {
 		sig.P95LatencySec = a.window.Percentile(95)
 	}
+	cf, classed := a.fleet.(ClassedFleet)
+	var classes []ClassSize
+	if classed {
+		classes = cf.ClassSizes()
+		sig.Classes = make([]ClassSignal, len(classes))
+		for i, cs := range classes {
+			sig.Classes[i] = ClassSignal{
+				Class:        cs.Class,
+				Active:       cs.Active,
+				Provisioning: cs.Provisioning,
+				Draining:     cs.Draining,
+				Idle:         cs.Idle,
+			}
+		}
+	}
 	a.window.Reset()
 	a.last = sig
 	a.ticks++
 	if !a.enabled {
+		return sig
+	}
+
+	if cp, ok := a.cfg.Policy.(ClassPolicy); ok && classed {
+		a.evaluateClassed(now, sig, cp, cf, classes)
 		return sig
 	}
 
@@ -369,6 +479,77 @@ func (a *Autoscaler) Evaluate(now sim.Time) Signal {
 		}
 	}
 	return sig
+}
+
+// evaluateClassed reconciles per-class targets from a class-aware
+// policy. The global MinGPUs/MaxGPUs bounds still apply, to the summed
+// non-draining (floor) and physical (ceiling) fleet: per-class deltas
+// are trimmed in decision order once a bound is hit. The fleet size is
+// re-sampled before each operation — an earlier scale-down in the same
+// tick may have put GPUs into the draining state (or removed idle ones
+// outright), and clamping against the pre-tick snapshot would let
+// scale-ups overshoot the physical ceiling.
+func (a *Autoscaler) evaluateClassed(now sim.Time, sig Signal, cp ClassPolicy, cf ClassedFleet, classes []ClassSize) {
+	d := cp.DecideClasses(sig)
+	byClass := make(map[string]ClassSize, len(classes))
+	for _, cs := range classes {
+		byClass[cs.Class] = cs
+	}
+	for _, t := range d.Targets {
+		cs, ok := byClass[t.Class]
+		if !ok {
+			continue // target for a class the fleet does not declare
+		}
+		current := cs.Active + cs.Provisioning
+		target := t.Target
+		if target < 0 {
+			target = 0
+		}
+		live := cf.FleetSize()
+		fleet := live.Active + live.Provisioning // summed non-draining fleet
+		switch {
+		case target > current:
+			n := target - current
+			if a.cfg.MaxGPUs > 0 {
+				// MaxGPUs caps the PHYSICAL fleet across all classes:
+				// draining GPUs still occupy machines (and bill
+				// GPU-seconds) until their in-flight work finishes.
+				if room := a.cfg.MaxGPUs - (fleet + live.Draining); room < n {
+					n = room
+				}
+			}
+			if n <= 0 {
+				continue
+			}
+			gpus := cf.ScaleUpClass(t.Class, n, a.cfg.ColdStart)
+			if len(gpus) > 0 {
+				// From/To keep the documented semantics (summed
+				// non-draining fleet size); Class carries the tier.
+				a.record(ScaleEvent{
+					At: now, Action: ActionScaleUp, Delta: len(gpus),
+					From: fleet, To: fleet + len(gpus),
+					Reason: d.Reason, GPUs: gpus, Class: t.Class,
+				})
+			}
+		case target < current:
+			n := current - target
+			// MinGPUs floors the summed non-draining fleet.
+			if fleet-n < a.cfg.MinGPUs {
+				n = fleet - a.cfg.MinGPUs
+			}
+			if n <= 0 {
+				continue
+			}
+			gpus := cf.ScaleDownClass(t.Class, n)
+			if len(gpus) > 0 {
+				a.record(ScaleEvent{
+					At: now, Action: ActionScaleDown, Delta: -len(gpus),
+					From: fleet, To: fleet - len(gpus),
+					Reason: d.Reason, GPUs: gpus, Class: t.Class,
+				})
+			}
+		}
+	}
 }
 
 // Status is a read-only snapshot for admin endpoints.

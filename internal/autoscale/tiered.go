@@ -1,0 +1,229 @@
+package autoscale
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Tiered is the cost-aware provisioning policy for heterogeneous fleets.
+// The fleet's device classes are ordered into tiers, cheapest per second
+// first, with two distinct roles:
+//
+//   - the base tier (Tiers[0], the cheap class) is demand-proportional,
+//     like TargetUtilization: every tick it is sized to
+//     ceil((busy + queue/QueuePerGPU) / Utilization) minus whatever the
+//     higher tiers already provide, so it tracks load both up and down;
+//   - the higher tiers (faster, more expensive classes) are latency
+//     insurance: Step devices are added only when the windowed p95 has
+//     stayed above TargetP95 for EscalateAfter consecutive ticks — i.e.
+//     when cheap capacity demonstrably is not meeting the objective —
+//     and retired again, most expensive first, once the p95 has been
+//     back under target for DownAfter consecutive ticks.
+//
+// It implements ClassPolicy and therefore requires a class-aware fleet
+// (cluster.Config.Fleet): New rejects it on a plain Fleet, and rejects
+// tiers the fleet does not declare (ClassRequirer), so a misspelled
+// class fails construction instead of silently never scaling. The
+// Decide fallback (direct class-blind invocation) holds the current
+// size.
+type Tiered struct {
+	// Tiers orders device classes cheapest-first; every entry must be a
+	// class the fleet declares. Tiers[0] is the demand-sized base tier.
+	Tiers []string
+	// TierCaps bounds each tier's non-draining size (0 = unbounded).
+	// When set it must have one entry per tier.
+	TierCaps []int
+	// TargetP95 is the latency objective in seconds.
+	TargetP95 float64
+	// Utilization sizes the base tier: desired total capacity is
+	// demand / Utilization (default 0.75).
+	Utilization float64
+	// QueuePerGPU is how many queued requests one GPU absorbs within a
+	// tick when converting backlog to demand (default 1).
+	QueuePerGPU int
+	// Step is how many fast-tier GPUs each escalation adds (and each
+	// cool-down removes; default 2).
+	Step int
+	// EscalateAfter is how many consecutive over-target ticks it takes
+	// to buy fast-tier capacity (default 2).
+	EscalateAfter int
+	// DownAfter is how many consecutive under-target ticks it takes to
+	// retire fast-tier capacity (default 4).
+	DownAfter int
+
+	hotTicks, coolTicks int
+}
+
+// NewTiered validates and builds the policy, filling documented defaults.
+func NewTiered(cfg Tiered) (*Tiered, error) {
+	if len(cfg.Tiers) == 0 {
+		return nil, fmt.Errorf("autoscale: tiered policy needs at least one tier")
+	}
+	seen := make(map[string]bool, len(cfg.Tiers))
+	for _, tier := range cfg.Tiers {
+		if tier == "" {
+			return nil, fmt.Errorf("autoscale: empty tier class name")
+		}
+		if seen[tier] {
+			return nil, fmt.Errorf("autoscale: duplicate tier %q", tier)
+		}
+		seen[tier] = true
+	}
+	if cfg.TierCaps != nil && len(cfg.TierCaps) != len(cfg.Tiers) {
+		return nil, fmt.Errorf("autoscale: %d tier caps for %d tiers", len(cfg.TierCaps), len(cfg.Tiers))
+	}
+	for _, c := range cfg.TierCaps {
+		if c < 0 {
+			return nil, fmt.Errorf("autoscale: negative tier cap %d", c)
+		}
+	}
+	if cfg.TargetP95 <= 0 {
+		return nil, fmt.Errorf("autoscale: tiered policy needs a positive TargetP95, got %g", cfg.TargetP95)
+	}
+	if cfg.Utilization < 0 || cfg.Utilization > 1 {
+		return nil, fmt.Errorf("autoscale: utilization %g outside (0,1]", cfg.Utilization)
+	}
+	if cfg.Utilization == 0 {
+		cfg.Utilization = 0.75
+	}
+	if cfg.QueuePerGPU <= 0 {
+		cfg.QueuePerGPU = 1
+	}
+	if cfg.Step <= 0 {
+		cfg.Step = 2
+	}
+	if cfg.EscalateAfter <= 0 {
+		cfg.EscalateAfter = 2
+	}
+	if cfg.DownAfter <= 0 {
+		cfg.DownAfter = 4
+	}
+	cfg.hotTicks, cfg.coolTicks = 0, 0
+	return &cfg, nil
+}
+
+// Clone implements ClonablePolicy: a copy with fresh tick counters.
+func (p *Tiered) Clone() Policy {
+	cp := *p
+	cp.hotTicks, cp.coolTicks = 0, 0
+	return &cp
+}
+
+// RequiredClasses implements ClassRequirer: every tier must be a class
+// the fleet declares, enforced at autoscaler construction.
+func (p *Tiered) RequiredClasses() []string { return p.Tiers }
+
+// Name implements Policy.
+func (p *Tiered) Name() string {
+	return fmt.Sprintf("tiered(p95<%.2gs,util=%.2f,%s)", p.TargetP95, p.Utilization, strings.Join(p.Tiers, "<"))
+}
+
+// Decide implements Policy as the degraded class-blind fallback: without
+// a ClassedFleet the policy cannot choose a device class, so it holds
+// the current size.
+func (p *Tiered) Decide(sig Signal) Decision {
+	return Decision{
+		Target: sig.Active + sig.Provisioning,
+		Reason: "tiered policy requires a class-aware fleet",
+	}
+}
+
+// cap returns tier i's bound (0 = unbounded).
+func (p *Tiered) cap(i int) int {
+	if p.TierCaps == nil {
+		return 0
+	}
+	return p.TierCaps[i]
+}
+
+// DecideClasses implements ClassPolicy.
+func (p *Tiered) DecideClasses(sig Signal) ClassDecision {
+	current := make([]int, len(p.Tiers))
+	for i, tier := range p.Tiers {
+		for _, cs := range sig.Classes {
+			if cs.Class == tier {
+				current[i] = cs.Active + cs.Provisioning
+				break
+			}
+		}
+	}
+	targets := make([]ClassTarget, len(p.Tiers))
+	for i, tier := range p.Tiers {
+		targets[i] = ClassTarget{Class: tier, Target: current[i]}
+	}
+
+	// Latency bookkeeping: ticks with no completions carry no p95
+	// evidence and advance neither counter.
+	var note string
+	if sig.Completions > 0 {
+		if sig.P95LatencySec > p.TargetP95 {
+			p.hotTicks++
+			p.coolTicks = 0
+		} else {
+			p.hotTicks = 0
+			p.coolTicks++
+		}
+	}
+
+	// Fast tiers: buy Step on sustained violation (cheapest higher tier
+	// with headroom first), retire Step once sustainedly cool (most
+	// expensive non-empty tier first).
+	if p.hotTicks >= p.EscalateAfter {
+		for i := 1; i < len(p.Tiers); i++ {
+			c := p.cap(i)
+			if c > 0 && current[i] >= c {
+				continue
+			}
+			target := current[i] + p.Step
+			if c > 0 && target > c {
+				target = c
+			}
+			targets[i].Target = target
+			// Pay for the fast tier once, then wait for it to take
+			// effect before escalating again.
+			p.hotTicks = 0
+			note = fmt.Sprintf("; p95=%.2fs>%.2fs sustained -> %s+%d",
+				sig.P95LatencySec, p.TargetP95, p.Tiers[i], target-current[i])
+			break
+		}
+	} else if p.coolTicks >= p.DownAfter {
+		for i := len(p.Tiers) - 1; i >= 1; i-- {
+			if current[i] == 0 {
+				continue
+			}
+			target := current[i] - p.Step
+			if target < 0 {
+				target = 0
+			}
+			targets[i].Target = target
+			p.coolTicks = 0
+			note = fmt.Sprintf("; p95=%.2fs<%.2fs sustained -> %s-%d",
+				sig.P95LatencySec, p.TargetP95, p.Tiers[i], current[i]-target)
+			break
+		}
+	}
+
+	// Base tier: demand-proportional, net of what the higher tiers
+	// provide after their step decisions.
+	busy := sig.Active - sig.Idle
+	demand := float64(busy) + float64(sig.QueueDepth)/float64(p.QueuePerGPU)
+	desired := int(math.Ceil(demand / p.Utilization))
+	higher := 0
+	for i := 1; i < len(p.Tiers); i++ {
+		higher += targets[i].Target
+	}
+	base := desired - higher
+	if base < 0 {
+		base = 0
+	}
+	if c := p.cap(0); c > 0 && base > c {
+		base = c
+	}
+	targets[0].Target = base
+	return ClassDecision{
+		Targets: targets,
+		Reason: fmt.Sprintf("busy=%d queue=%d demand=%.1f util=%.2f -> %s=%d%s",
+			busy, sig.QueueDepth, demand, p.Utilization, p.Tiers[0], base, note),
+	}
+}

@@ -1,0 +1,388 @@
+package autoscale
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"gpufaas/internal/sim"
+)
+
+// fakeClassedFleet extends fakeFleet with per-class membership; classes
+// keep spec order.
+type fakeClassedFleet struct {
+	fakeFleet
+	classes  []ClassSize
+	classUps map[string][]int
+	classDns map[string][]int
+}
+
+func newFakeClassedFleet(classes ...ClassSize) *fakeClassedFleet {
+	f := &fakeClassedFleet{
+		classes:  classes,
+		classUps: make(map[string][]int),
+		classDns: make(map[string][]int),
+	}
+	f.syncTotal()
+	return f
+}
+
+func (f *fakeClassedFleet) syncTotal() {
+	f.size = Size{}
+	for _, cs := range f.classes {
+		f.size.Active += cs.Active
+		f.size.Provisioning += cs.Provisioning
+		f.size.Draining += cs.Draining
+		f.size.Idle += cs.Idle
+	}
+}
+
+func (f *fakeClassedFleet) ClassSizes() []ClassSize { return f.classes }
+
+func (f *fakeClassedFleet) ScaleUpClass(class string, n int, _ time.Duration) []string {
+	f.classUps[class] = append(f.classUps[class], n)
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("%s/g%d", class, f.nextID)
+		f.nextID++
+	}
+	for i := range f.classes {
+		if f.classes[i].Class == class {
+			f.classes[i].Provisioning += n
+		}
+	}
+	f.syncTotal()
+	return out
+}
+
+func (f *fakeClassedFleet) ScaleDownClass(class string, n int) []string {
+	f.classDns[class] = append(f.classDns[class], n)
+	out := make([]string, 0, n)
+	for i := range f.classes {
+		if f.classes[i].Class != class {
+			continue
+		}
+		if f.classes[i].Active < n {
+			n = f.classes[i].Active
+		}
+		f.classes[i].Active -= n
+		f.classes[i].Draining += n
+		for j := 0; j < n; j++ {
+			out = append(out, fmt.Sprintf("%s/d%d", class, j))
+		}
+	}
+	f.syncTotal()
+	return out
+}
+
+func mustTiered(t *testing.T, cfg Tiered) *Tiered {
+	t.Helper()
+	p, err := NewTiered(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewTieredValidation(t *testing.T) {
+	bad := []Tiered{
+		{},                                  // no tiers
+		{Tiers: []string{""}, TargetP95: 1}, // empty tier name
+		{Tiers: []string{"a", "a"}, TargetP95: 1},                     // duplicate
+		{Tiers: []string{"a"}, TargetP95: 0},                          // no latency target
+		{Tiers: []string{"a", "b"}, TargetP95: 1, TierCaps: []int{4}}, // cap arity
+		{Tiers: []string{"a"}, TargetP95: 1, TierCaps: []int{-1}},     // negative cap
+		{Tiers: []string{"a"}, TargetP95: 1, Utilization: 1.5},        // bad utilization
+	}
+	for i, cfg := range bad {
+		if _, err := NewTiered(cfg); err == nil {
+			t.Errorf("config %d should fail: %+v", i, cfg)
+		}
+	}
+	p := mustTiered(t, Tiered{Tiers: []string{"t4", "rtx2080"}, TargetP95: 4})
+	if p.Utilization != 0.75 || p.QueuePerGPU != 1 || p.Step != 2 || p.EscalateAfter != 2 || p.DownAfter != 4 {
+		t.Errorf("defaults = %+v", p)
+	}
+}
+
+// sigFor builds a two-tier signal: cheap ("t4") and fast ("rtx2080").
+func sigFor(cheap, fast, idle, queue int, p95 float64) Signal {
+	sig := Signal{
+		Active:     cheap + fast,
+		Idle:       idle,
+		QueueDepth: queue,
+		Classes: []ClassSignal{
+			{Class: "t4", Active: cheap, Idle: idle},
+			{Class: "rtx2080", Active: fast},
+		},
+	}
+	if p95 > 0 {
+		sig.P95LatencySec = p95
+		sig.Completions = 10
+	}
+	if sig.Active > 0 {
+		sig.IdleRatio = float64(idle) / float64(sig.Active)
+	}
+	return sig
+}
+
+func targetOf(t *testing.T, d ClassDecision, class string) int {
+	t.Helper()
+	for _, ct := range d.Targets {
+		if ct.Class == class {
+			return ct.Target
+		}
+	}
+	t.Fatalf("no target for %s in %+v", class, d)
+	return 0
+}
+
+// TestTieredBaseTierTracksDemand: the cheap tier is demand-proportional
+// in both directions, while the fast tier stays untouched without a p95
+// violation.
+func TestTieredBaseTierTracksDemand(t *testing.T) {
+	p := mustTiered(t, Tiered{Tiers: []string{"t4", "rtx2080"}, TargetP95: 4, Utilization: 0.8})
+	// 4 busy + 4 queued → demand 8 → ceil(8/0.8) = 10 cheap GPUs.
+	d := p.DecideClasses(sigFor(4, 0, 0, 4, 1.0))
+	if got := targetOf(t, d, "t4"); got != 10 {
+		t.Errorf("t4 target = %d, want 10 (%s)", got, d.Reason)
+	}
+	if got := targetOf(t, d, "rtx2080"); got != 0 {
+		t.Errorf("rtx2080 target = %d, want 0 — cheap tier first (%s)", got, d.Reason)
+	}
+	// Demand falls: 10 active, 8 idle, empty queue → demand 2 →
+	// ceil(2/0.8) = 3. Tracks down with no hysteresis counter.
+	d = p.DecideClasses(sigFor(10, 0, 8, 0, 1.0))
+	if got := targetOf(t, d, "t4"); got != 3 {
+		t.Errorf("t4 target = %d, want 3 (%s)", got, d.Reason)
+	}
+}
+
+// TestTieredBaseTierCap: the cheap tier saturates at its cap; excess
+// demand does NOT leak into the fast tier (that takes a p95 violation).
+func TestTieredBaseTierCap(t *testing.T) {
+	p := mustTiered(t, Tiered{Tiers: []string{"t4", "rtx2080"}, TierCaps: []int{8, 4}, TargetP95: 4, Utilization: 0.8})
+	d := p.DecideClasses(sigFor(8, 0, 0, 20, 1.0))
+	if got := targetOf(t, d, "t4"); got != 8 {
+		t.Errorf("t4 target = %d, want 8 (capped; %s)", got, d.Reason)
+	}
+	if got := targetOf(t, d, "rtx2080"); got != 0 {
+		t.Errorf("rtx2080 target = %d, want 0 without a p95 violation (%s)", got, d.Reason)
+	}
+}
+
+func TestTieredEscalatesToFastTierOnSustainedP95(t *testing.T) {
+	p := mustTiered(t, Tiered{Tiers: []string{"t4", "rtx2080"}, TargetP95: 4, Step: 2, EscalateAfter: 2, Utilization: 0.8})
+	// Tick 1: p95 above target but not sustained → cheap tier only.
+	d := p.DecideClasses(sigFor(4, 0, 0, 0, 9.0))
+	if got := targetOf(t, d, "rtx2080"); got != 0 {
+		t.Errorf("tick 1: rtx2080 target = %d, want 0 (%s)", got, d.Reason)
+	}
+	// Tick 2: p95 STILL above target → buy Step fast GPUs; the base
+	// tier absorbs the rest of demand (busy 6 → ceil(6/0.8)=8 total,
+	// minus 2 fast = 6 cheap).
+	d = p.DecideClasses(sigFor(6, 0, 0, 0, 9.0))
+	if got := targetOf(t, d, "rtx2080"); got != 2 {
+		t.Errorf("tick 2: rtx2080 target = %d, want 2 (%s)", got, d.Reason)
+	}
+	if got := targetOf(t, d, "t4"); got != 6 {
+		t.Errorf("tick 2: t4 target = %d, want 6 (%s)", got, d.Reason)
+	}
+	// Tick 3: still hot, but the escalation counter was consumed — no
+	// further fast-tier buy until the violation sustains again.
+	d = p.DecideClasses(sigFor(6, 2, 0, 0, 9.0))
+	if got := targetOf(t, d, "rtx2080"); got != 2 {
+		t.Errorf("tick 3: rtx2080 target = %d, want 2 (%s)", got, d.Reason)
+	}
+}
+
+// TestTieredFastTierCap: escalation respects the fast tier's cap.
+func TestTieredFastTierCap(t *testing.T) {
+	p := mustTiered(t, Tiered{Tiers: []string{"t4", "rtx2080"}, TierCaps: []int{0, 2}, TargetP95: 4, Step: 4, EscalateAfter: 1})
+	d := p.DecideClasses(sigFor(4, 0, 0, 0, 9.0))
+	if got := targetOf(t, d, "rtx2080"); got != 2 {
+		t.Errorf("rtx2080 target = %d, want 2 (cap; %s)", got, d.Reason)
+	}
+	// At cap: a further sustained violation cannot buy more.
+	d = p.DecideClasses(sigFor(4, 2, 0, 0, 9.0))
+	if got := targetOf(t, d, "rtx2080"); got != 2 {
+		t.Errorf("capped rtx2080 target = %d, want 2 (%s)", got, d.Reason)
+	}
+}
+
+// TestTieredRetiresFastTierWhenCool: after DownAfter under-target ticks
+// the most expensive tier steps back down; the base tier keeps tracking
+// demand.
+func TestTieredRetiresFastTierWhenCool(t *testing.T) {
+	p := mustTiered(t, Tiered{Tiers: []string{"t4", "rtx2080"}, TargetP95: 4, Step: 2, DownAfter: 2, Utilization: 0.8})
+	cool := sigFor(6, 2, 2, 0, 1.0) // p95 well under target
+	d := p.DecideClasses(cool)
+	if got := targetOf(t, d, "rtx2080"); got != 2 {
+		t.Errorf("tick 1 retired too early: %+v", d)
+	}
+	d = p.DecideClasses(cool)
+	if got := targetOf(t, d, "rtx2080"); got != 0 {
+		t.Errorf("rtx2080 target = %d, want 0 — expensive tier retires first (%s)", got, d.Reason)
+	}
+	// Base tier still demand-sized: busy 6 → ceil(6/0.8) = 8, minus 0
+	// fast.
+	if got := targetOf(t, d, "t4"); got != 8 {
+		t.Errorf("t4 target = %d, want 8 (%s)", got, d.Reason)
+	}
+}
+
+// TestTieredNoCompletionsFreezesLatencyCounters: ticks without
+// completions carry no p95 evidence; neither escalation nor cool-down
+// advances.
+func TestTieredNoCompletionsFreezesLatencyCounters(t *testing.T) {
+	p := mustTiered(t, Tiered{Tiers: []string{"t4", "rtx2080"}, TargetP95: 4, EscalateAfter: 1, DownAfter: 1})
+	d := p.DecideClasses(sigFor(4, 2, 4, 0, 0)) // idle, no completions
+	if got := targetOf(t, d, "rtx2080"); got != 2 {
+		t.Errorf("no-evidence tick moved the fast tier: %+v", d)
+	}
+}
+
+func TestTieredCloneResetsCounters(t *testing.T) {
+	p := mustTiered(t, Tiered{Tiers: []string{"t4", "rtx2080"}, TargetP95: 4, EscalateAfter: 2})
+	p.DecideClasses(sigFor(4, 0, 0, 0, 9.0)) // hotTicks = 1
+	cp, ok := p.Clone().(*Tiered)
+	if !ok {
+		t.Fatal("Clone did not return *Tiered")
+	}
+	if cp.hotTicks != 0 || cp.coolTicks != 0 {
+		t.Errorf("clone kept counters: hot=%d cool=%d", cp.hotTicks, cp.coolTicks)
+	}
+	// The clone must not escalate on its first hot tick.
+	d := cp.DecideClasses(sigFor(4, 0, 0, 0, 9.0))
+	if got := targetOf(t, d, "rtx2080"); got != 0 {
+		t.Errorf("fresh clone escalated immediately: %+v", d)
+	}
+}
+
+func TestTieredDecideFallbackHoldsSize(t *testing.T) {
+	p := mustTiered(t, Tiered{Tiers: []string{"t4"}, TargetP95: 4})
+	d := p.Decide(Signal{Active: 5, Provisioning: 1, QueueDepth: 100})
+	if d.Target != 6 {
+		t.Errorf("class-blind fallback target = %d, want 6 (hold)", d.Target)
+	}
+}
+
+// TestAutoscalerClassedPath drives Evaluate against a classed fleet and
+// checks per-class scale events, the global bounds, and the per-class
+// signal.
+func TestAutoscalerClassedPath(t *testing.T) {
+	fleet := newFakeClassedFleet(
+		ClassSize{Class: "t4", Size: Size{Active: 2}},
+		ClassSize{Class: "rtx2080"},
+	)
+	pol := mustTiered(t, Tiered{Tiers: []string{"t4", "rtx2080"}, TargetP95: 4, Utilization: 0.5})
+	a, err := New(fleet, sim.SimClock{E: sim.New()}, Config{
+		Policy:  pol,
+		MinGPUs: 1,
+		MaxGPUs: 4, // physical ceiling trims the demand-sized target
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 busy + 10 queued → demand 12 → target 24, clamped to 4 → +2.
+	fleet.pending = 10
+	sig := a.Evaluate(0)
+	if len(sig.Classes) != 2 || sig.Classes[0].Class != "t4" || sig.Classes[0].Active != 2 {
+		t.Fatalf("per-class signal = %+v", sig.Classes)
+	}
+	events := a.Events()
+	if len(events) != 1 {
+		t.Fatalf("events = %+v", events)
+	}
+	ev := events[0]
+	if ev.Class != "t4" || ev.Action != ActionScaleUp || ev.Delta != 2 || ev.From != 2 || ev.To != 4 {
+		t.Errorf("event = %+v (want t4 +2, clamped by MaxGPUs=4)", ev)
+	}
+	if got := fleet.classUps["t4"]; len(got) != 1 || got[0] != 2 {
+		t.Errorf("ScaleUpClass calls = %v", got)
+	}
+	if len(fleet.classUps["rtx2080"]) != 0 {
+		t.Errorf("fast tier scaled: %v", fleet.classUps["rtx2080"])
+	}
+}
+
+// TestAutoscalerClassedScaleDownFloor pins that the global MinGPUs floor
+// applies to the summed fleet during per-class scale-down.
+func TestAutoscalerClassedScaleDownFloor(t *testing.T) {
+	fleet := newFakeClassedFleet(
+		ClassSize{Class: "t4", Size: Size{Active: 2, Idle: 2}},
+		ClassSize{Class: "rtx2080", Size: Size{Active: 2, Idle: 2}},
+	)
+	pol := mustTiered(t, Tiered{Tiers: []string{"t4", "rtx2080"}, TargetP95: 4, Utilization: 0.8})
+	a, err := New(fleet, sim.SimClock{E: sim.New()}, Config{Policy: pol, MinGPUs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fully idle fleet, no completions: demand 0 → t4 target 0, but the
+	// summed non-draining fleet must not fall below MinGPUs=3 → -1.
+	a.Evaluate(0)
+	events := a.Events()
+	if len(events) != 1 {
+		t.Fatalf("events = %+v", events)
+	}
+	ev := events[0]
+	if ev.Class != "t4" || ev.Delta != -1 {
+		t.Errorf("event = %+v (want t4 -1: the scale-down floored at MinGPUs=3)", ev)
+	}
+	// From/To keep the documented fleet-level (non-draining) semantics.
+	if ev.From != 4 || ev.To != 3 {
+		t.Errorf("event from/to = %d/%d, want 4/3 (summed non-draining fleet)", ev.From, ev.To)
+	}
+}
+
+// TestAutoscalerClassedSameTickDrainRespectsMaxGPUs: GPUs drained (or
+// removed) by an earlier per-class scale-down in the same tick still
+// occupy machines; a later escalation must clamp against the LIVE
+// physical fleet, not the pre-tick snapshot.
+func TestAutoscalerClassedSameTickDrainRespectsMaxGPUs(t *testing.T) {
+	fleet := newFakeClassedFleet(
+		ClassSize{Class: "t4", Size: Size{Active: 8, Idle: 8}},
+		ClassSize{Class: "rtx2080"},
+	)
+	pol := mustTiered(t, Tiered{
+		Tiers: []string{"t4", "rtx2080"}, TargetP95: 1,
+		Step: 6, EscalateAfter: 1, Utilization: 0.8,
+	})
+	a, err := New(fleet, sim.SimClock{E: sim.New()}, Config{Policy: pol, MinGPUs: 1, MaxGPUs: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hot window: the tick both shrinks the idle base tier (demand 0)
+	// and escalates to the fast tier (p95 5s > 1s target).
+	for i := 0; i < 20; i++ {
+		a.ObserveLatency(5)
+	}
+	a.Evaluate(0)
+	phys := fleet.size.Active + fleet.size.Provisioning + fleet.size.Draining
+	if phys > 10 {
+		t.Errorf("physical fleet = %d > MaxGPUs=10 after same-tick drain + escalate (%+v)", phys, fleet.size)
+	}
+	if len(fleet.classUps["rtx2080"]) == 0 {
+		t.Error("escalation never bought fast-tier capacity")
+	}
+}
+
+// TestNewRejectsUndeclaredTierClass pins the construction-time class
+// validation: a tier the fleet does not declare (e.g. a typo) must fail
+// New instead of silently never scaling, and a class-aware policy on a
+// classless fleet is equally rejected.
+func TestNewRejectsUndeclaredTierClass(t *testing.T) {
+	clock := sim.SimClock{E: sim.New()}
+	fleet := newFakeClassedFleet(ClassSize{Class: "t4", Size: Size{Active: 1}})
+	typo := mustTiered(t, Tiered{Tiers: []string{"T4"}, TargetP95: 1})
+	if _, err := New(fleet, clock, Config{Policy: typo}); err == nil {
+		t.Error("tier class the fleet does not declare must fail New")
+	}
+	ok := mustTiered(t, Tiered{Tiers: []string{"t4"}, TargetP95: 1})
+	if _, err := New(fleet, clock, Config{Policy: ok}); err != nil {
+		t.Errorf("declared tier rejected: %v", err)
+	}
+	if _, err := New(&fakeFleet{}, clock, Config{Policy: ok}); err == nil {
+		t.Error("tiered policy on a classless fleet must fail New")
+	}
+}

@@ -35,9 +35,15 @@ import (
 // Config describes the cluster to build. The defaults mirror the paper's
 // testbed: 3 nodes x 4 GeForce RTX 2080 GPUs with 8 GB memory each.
 type Config struct {
+	// Fleet declares the GPU fleet as an ordered mix of device classes
+	// (heterogeneous fleets, per-class cost accounting, tiered
+	// autoscaling). When nil, a homogeneous DefaultGPUType fleet of
+	// Nodes × GPUsPerNode devices is built in the paper's node layout.
+	Fleet FleetSpec
+	// Nodes / GPUsPerNode / GPUMemory shape the homogeneous default
+	// fleet; they are ignored when Fleet is declared.
 	Nodes       int
 	GPUsPerNode int
-	GPUType     string
 	GPUMemory   int64 // bytes per GPU
 	Policy      core.Policy
 	O3Limit     int
@@ -76,7 +82,6 @@ func DefaultConfig() Config {
 	return Config{
 		Nodes:       3,
 		GPUsPerNode: 4,
-		GPUType:     "rtx2080",
 		GPUMemory:   DefaultGPUMemory,
 		Policy:      core.LALBO3,
 		O3Limit:     core.DefaultO3Limit,
@@ -98,6 +103,12 @@ type Cluster struct {
 	mgrs     []*gpumgr.Manager
 	devByID  map[string]*gpu.Device
 	mgrByDev map[string]*gpumgr.Manager
+	// fleet is the normalized device-class mix; declaredFleet records
+	// whether the caller declared it (per-class report rows) or it was
+	// derived from the homogeneous Nodes × GPUsPerNode default (legacy
+	// reports stay byte-identical).
+	fleet         FleetSpec
+	declaredFleet bool
 	// gpuIDs is the membership list. Mutations (elastic add/remove)
 	// happen under the harness serialization AND idsMu; GPUIDs()
 	// snapshots under idsMu alone, so it stays safe to call from result
@@ -126,6 +137,12 @@ type Cluster struct {
 	gpuSeq     int               // provisioned-GPU name counter
 	elasticMgr *gpumgr.Manager   // lazily-created manager for provisioned GPUs
 	gpuSeconds float64           // accumulated GPU-seconds of removed members
+	// classSeconds accumulates removed members' GPU-seconds per device
+	// class; classCount/classPeak track each class's current membership
+	// and its high-water mark.
+	classSeconds map[string]float64
+	classCount   map[string]int
+	classPeak    map[string]int
 	// Removed members' phase durations accumulate here so the report's
 	// utilization covers the whole fleet history, not just survivors.
 	remIdle, remLoading, remInferring time.Duration
@@ -176,37 +193,74 @@ func (c lockedClock) AfterFunc(d sim.Time, name string, fn func(now sim.Time)) f
 	})
 }
 
+// validateProfileCoverage fails construction when any (device class,
+// zoo model) pair lacks a profile. Before this check existed a missing
+// profile surfaced as silently-zero LLB estimates (and a mid-run
+// dispatch error); now the miss is impossible past New, and the
+// backendView panics if one happens anyway.
+func validateProfileCoverage(profiles *models.ProfileStore, fleet FleetSpec, zoo *models.Zoo) error {
+	for _, class := range fleet {
+		for _, name := range zoo.Names() {
+			if _, ok := profiles.Get(class.Type, name); !ok {
+				return fmt.Errorf("cluster: profile store does not cover model %q on GPU type %q (every (class, model) pair must be profiled)", name, class.Type)
+			}
+		}
+	}
+	return nil
+}
+
 // New assembles a cluster from the config.
 func New(cfg Config) (*Cluster, error) {
-	if cfg.Nodes <= 0 || cfg.GPUsPerNode <= 0 {
-		return nil, fmt.Errorf("cluster: invalid topology %dx%d", cfg.Nodes, cfg.GPUsPerNode)
-	}
-	if cfg.GPUMemory <= 0 {
-		return nil, fmt.Errorf("cluster: invalid GPU memory %d", cfg.GPUMemory)
-	}
-	if cfg.GPUType == "" {
-		cfg.GPUType = "rtx2080"
+	declared := cfg.Fleet != nil
+	if declared {
+		if err := cfg.Fleet.Validate(); err != nil {
+			return nil, err
+		}
+	} else {
+		if cfg.Nodes <= 0 || cfg.GPUsPerNode <= 0 {
+			return nil, fmt.Errorf("cluster: invalid topology %dx%d", cfg.Nodes, cfg.GPUsPerNode)
+		}
+		if cfg.GPUMemory <= 0 {
+			return nil, fmt.Errorf("cluster: invalid GPU memory %d", cfg.GPUMemory)
+		}
+		cfg.Fleet = FleetSpec{{
+			Type:   DefaultGPUType,
+			Memory: cfg.GPUMemory,
+			Count:  cfg.Nodes * cfg.GPUsPerNode,
+		}}
 	}
 	if cfg.Zoo == nil {
 		cfg.Zoo = models.Default()
 	}
 	if cfg.Profiles == nil {
-		cfg.Profiles = models.TableProfiles(cfg.GPUType, cfg.Zoo)
+		var err error
+		cfg.Profiles, err = models.FleetTableProfiles(cfg.Zoo, cfg.Fleet.Types()...)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := validateProfileCoverage(cfg.Profiles, cfg.Fleet, cfg.Zoo); err != nil {
+		return nil, err
 	}
 
 	c := &Cluster{
-		cfg:        cfg,
-		zoo:        cfg.Zoo,
-		profiles:   cfg.Profiles,
-		devByID:    make(map[string]*gpu.Device),
-		mgrByDev:   make(map[string]*gpumgr.Manager),
-		gpuState:   make(map[string]gpuLifecycle),
-		addedAt:    make(map[string]sim.Time),
-		activation: make(map[string]func()),
-		userSink:   cfg.Sink,
-		latencies:  stats.NewSample(4096),
-		perModel:   make(map[string]*stats.Welford),
-		onResult:   cfg.OnResult,
+		cfg:           cfg,
+		fleet:         cfg.Fleet,
+		declaredFleet: declared,
+		zoo:           cfg.Zoo,
+		profiles:      cfg.Profiles,
+		devByID:       make(map[string]*gpu.Device),
+		mgrByDev:      make(map[string]*gpumgr.Manager),
+		gpuState:      make(map[string]gpuLifecycle),
+		addedAt:       make(map[string]sim.Time),
+		activation:    make(map[string]func()),
+		classSeconds:  make(map[string]float64),
+		classCount:    make(map[string]int),
+		classPeak:     make(map[string]int),
+		userSink:      cfg.Sink,
+		latencies:     stats.NewSample(4096),
+		perModel:      make(map[string]*stats.Welford),
+		onResult:      cfg.OnResult,
 	}
 	if cfg.Clock == nil {
 		c.engine = sim.New()
@@ -228,9 +282,9 @@ func New(cfg Config) (*Cluster, error) {
 		return nil, err
 	}
 
-	for n := 0; n < cfg.Nodes; n++ {
-		mgr, err := gpumgr.New(gpumgr.Config{
-			Node:       fmt.Sprintf("node%d", n),
+	newManager := func(node string) (*gpumgr.Manager, error) {
+		return gpumgr.New(gpumgr.Config{
+			Node:       node,
 			Clock:      c.clock,
 			Cache:      c.cacheMgr,
 			Zoo:        cfg.Zoo,
@@ -238,35 +292,78 @@ func New(cfg Config) (*Cluster, error) {
 			Sink:       statusSink{c: c},
 			OnComplete: c.handleComplete,
 		})
-		if err != nil {
-			return nil, err
+	}
+	adopt := func(mgr *gpumgr.Manager, dev *gpu.Device) error {
+		if err := mgr.AddDevice(dev); err != nil {
+			return err
 		}
-		for g := 0; g < cfg.GPUsPerNode; g++ {
-			dev, err := gpu.New(gpu.Config{
-				ID:       fmt.Sprintf("node%d/gpu%d", n, g),
-				Node:     mgr.Node(),
-				Type:     cfg.GPUType,
-				Capacity: cfg.GPUMemory,
-			})
+		c.devByID[dev.ID()] = dev
+		c.mgrByDev[dev.ID()] = mgr
+		c.trackOrd(dev)
+		c.gpuState[dev.ID()] = gpuActive
+		c.addedAt[dev.ID()] = 0
+		c.gpuIDs = append(c.gpuIDs, dev.ID())
+		return nil
+	}
+	if declared {
+		// Declared fleets group each device class under one manager
+		// node named after the class; registration (scheduler ordinal)
+		// order is spec order.
+		for _, class := range cfg.Fleet {
+			if class.Count == 0 {
+				continue
+			}
+			mgr, err := newManager(class.Type)
 			if err != nil {
 				return nil, err
 			}
-			if err := mgr.AddDevice(dev); err != nil {
+			for g := 0; g < class.Count; g++ {
+				dev, err := gpu.New(gpu.Config{
+					ID:       fmt.Sprintf("%s/gpu%d", class.Type, g),
+					Node:     mgr.Node(),
+					Type:     class.Type,
+					Capacity: class.Memory,
+				})
+				if err != nil {
+					return nil, err
+				}
+				if err := adopt(mgr, dev); err != nil {
+					return nil, err
+				}
+			}
+			c.mgrs = append(c.mgrs, mgr)
+		}
+	} else {
+		// The paper's homogeneous layout: Nodes managers of GPUsPerNode
+		// devices each.
+		class := cfg.Fleet[0]
+		for n := 0; n < cfg.Nodes; n++ {
+			mgr, err := newManager(fmt.Sprintf("node%d", n))
+			if err != nil {
 				return nil, err
 			}
-			c.devByID[dev.ID()] = dev
-			c.mgrByDev[dev.ID()] = mgr
-			c.trackOrd(dev)
-			c.gpuState[dev.ID()] = gpuActive
-			c.addedAt[dev.ID()] = 0
-			c.gpuIDs = append(c.gpuIDs, dev.ID())
+			for g := 0; g < cfg.GPUsPerNode; g++ {
+				dev, err := gpu.New(gpu.Config{
+					ID:       fmt.Sprintf("node%d/gpu%d", n, g),
+					Node:     mgr.Node(),
+					Type:     class.Type,
+					Capacity: class.Memory,
+				})
+				if err != nil {
+					return nil, err
+				}
+				if err := adopt(mgr, dev); err != nil {
+					return nil, err
+				}
+			}
+			c.mgrs = append(c.mgrs, mgr)
 		}
-		c.mgrs = append(c.mgrs, mgr)
 	}
 	// Every GPU starts idle.
 	for _, id := range c.gpuIDs {
 		o, _ := c.cacheMgr.Ord(id)
 		c.idle = append(c.idle, o)
+		c.bumpClassPeak(c.devByID[id].Type())
 	}
 	c.peakGPUs = len(c.gpuIDs)
 
@@ -337,6 +434,15 @@ func (c *Cluster) trackOrd(dev *gpu.Device) {
 	c.devByOrd[o] = dev
 }
 
+// bumpClassPeak increments a device class's member count and raises its
+// high-water mark. Runs under the harness's serialization.
+func (c *Cluster) bumpClassPeak(gpuType string) {
+	c.classCount[gpuType]++
+	if c.classCount[gpuType] > c.classPeak[gpuType] {
+		c.classPeak[gpuType] = c.classCount[gpuType]
+	}
+}
+
 // markIdle inserts or removes the GPU from the ordered idle set. Runs
 // under the cluster's serialization (event loop in sim mode, lockedClock
 // mutex in live mode).
@@ -360,20 +466,38 @@ var (
 	ErrNotQuiet   = errors.New("cluster: GPU has in-flight or parked work; decommission with drain")
 )
 
-// AddGPU provisions one GPU (same type and memory as the rest of the
-// fleet). The GPU becomes schedulable after coldStart elapses on the
-// cluster clock; until then it is invisible to the scheduler but already
-// accrues GPU-seconds (you pay for booting instances). Returns the new
-// GPU's ID.
-func (c *Cluster) AddGPU(coldStart time.Duration) (string, error) {
+// AddGPU provisions one GPU of the given device class (any class the
+// fleet declares; "" means the default class, Fleet[0]). The GPU becomes
+// schedulable after coldStart elapses on the cluster clock; until then
+// it is invisible to the scheduler but already accrues GPU-seconds (you
+// pay for booting instances). Returns the new GPU's ID.
+func (c *Cluster) AddGPU(gpuType string, coldStart time.Duration) (string, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.addGPU(coldStart)
+	class, err := c.resolveClass(gpuType)
+	if err != nil {
+		return "", err
+	}
+	return c.addGPU(class, coldStart)
+}
+
+// resolveClass maps a GPU type to its declared fleet class ("" is the
+// default class). Provisioning a class the fleet does not declare is an
+// error: its profiles were never validated.
+func (c *Cluster) resolveClass(gpuType string) (GPUClass, error) {
+	if gpuType == "" {
+		return c.fleet[0], nil
+	}
+	class, ok := c.fleet.Class(gpuType)
+	if !ok {
+		return GPUClass{}, fmt.Errorf("cluster: fleet declares no GPU class %q", gpuType)
+	}
+	return class, nil
 }
 
 // addGPU is AddGPU under the harness's serialization (callers inside
 // clock callbacks use it directly; the exported wrapper locks).
-func (c *Cluster) addGPU(coldStart time.Duration) (string, error) {
+func (c *Cluster) addGPU(class GPUClass, coldStart time.Duration) (string, error) {
 	if coldStart < 0 {
 		return "", fmt.Errorf("cluster: negative cold start %v", coldStart)
 	}
@@ -399,8 +523,8 @@ func (c *Cluster) addGPU(coldStart time.Duration) (string, error) {
 	dev, err := gpu.New(gpu.Config{
 		ID:        id,
 		Node:      c.elasticMgr.Node(),
-		Type:      c.cfg.GPUType,
-		Capacity:  c.cfg.GPUMemory,
+		Type:      class.Type,
+		Capacity:  class.Memory,
 		CreatedAt: now,
 	})
 	if err != nil {
@@ -419,6 +543,7 @@ func (c *Cluster) addGPU(coldStart time.Duration) (string, error) {
 	if n := len(c.gpuIDs); n > c.peakGPUs {
 		c.peakGPUs = n
 	}
+	c.bumpClassPeak(class.Type)
 	c.scaleUps++
 	if coldStart == 0 {
 		c.gpuState[id] = gpuActive
@@ -523,10 +648,14 @@ func (c *Cluster) finishRemove(gpuID string, now sim.Time) error {
 	c.remIdle += u.Idle
 	c.remLoading += u.Loading
 	c.remInferring += u.Inferring
+	gpuType := c.devByID[gpuID].Type()
 	if err := c.mgrByDev[gpuID].RemoveDevice(gpuID, now); err != nil {
 		return err
 	}
-	c.gpuSeconds += time.Duration(now - c.addedAt[gpuID]).Seconds()
+	secs := time.Duration(now - c.addedAt[gpuID]).Seconds()
+	c.gpuSeconds += secs
+	c.classSeconds[gpuType] += secs
+	c.classCount[gpuType]--
 	if hasOrd {
 		c.idle = ordset.Remove(c.idle, ord)
 		c.devByOrd[ord] = nil
@@ -563,7 +692,7 @@ func (c *Cluster) ScaleTo(target int, coldStart time.Duration) (added, removed [
 	switch {
 	case target > current:
 		for i := current; i < target; i++ {
-			id, err := c.addGPU(coldStart)
+			id, err := c.addGPU(c.fleet[0], coldStart)
 			if err != nil {
 				return added, nil, err
 			}
@@ -604,12 +733,20 @@ func (f *fleetView) FleetSize() autoscale.Size {
 // PendingRequests implements autoscale.Fleet.
 func (f *fleetView) PendingRequests() int { return f.sched.PendingTotal() }
 
-// ScaleUp implements autoscale.Fleet.
+// ScaleUp implements autoscale.Fleet: class-agnostic scale-up provisions
+// the default class (Fleet[0]).
 func (f *fleetView) ScaleUp(n int, coldStart time.Duration) []string {
+	return f.scaleUpClass(f.fleet[0], n, coldStart)
+}
+
+func (f *fleetView) scaleUpClass(class GPUClass, n int, coldStart time.Duration) []string {
 	c := (*Cluster)(f)
+	if class.ColdStart > 0 {
+		coldStart = class.ColdStart
+	}
 	var out []string
 	for i := 0; i < n; i++ {
-		id, err := c.addGPU(coldStart)
+		id, err := c.addGPU(class, coldStart)
 		if err != nil {
 			break
 		}
@@ -618,11 +755,67 @@ func (f *fleetView) ScaleUp(n int, coldStart time.Duration) []string {
 	return out
 }
 
+// ClassSizes implements autoscale.ClassedFleet: the per-class breakdown
+// in fleet-spec order.
+func (f *fleetView) ClassSizes() []autoscale.ClassSize {
+	idleSet := make(map[string]bool, len(f.idle))
+	for _, o := range f.idle {
+		idleSet[f.cacheMgr.IDOf(o)] = true
+	}
+	out := make([]autoscale.ClassSize, len(f.fleet))
+	for i, class := range f.fleet {
+		out[i] = autoscale.ClassSize{Class: class.Type, CostPerSecond: class.CostPerSecond}
+	}
+	index := make(map[string]int, len(f.fleet))
+	for i, class := range f.fleet {
+		index[class.Type] = i
+	}
+	for id, st := range f.gpuState {
+		i, ok := index[f.devByID[id].Type()]
+		if !ok {
+			continue
+		}
+		switch st {
+		case gpuActive:
+			out[i].Active++
+			if idleSet[id] {
+				out[i].Idle++
+			}
+		case gpuProvisioning:
+			out[i].Provisioning++
+		case gpuDraining:
+			out[i].Draining++
+		}
+	}
+	return out
+}
+
+// ScaleUpClass implements autoscale.ClassedFleet; the class's declared
+// ColdStart wins over the autoscaler's fallback.
+func (f *fleetView) ScaleUpClass(gpuType string, n int, coldStart time.Duration) []string {
+	class, err := (*Cluster)(f).resolveClass(gpuType)
+	if err != nil {
+		return nil
+	}
+	return f.scaleUpClass(class, n, coldStart)
+}
+
+// ScaleDownClass implements autoscale.ClassedFleet: ScaleDown's victim
+// order (provisioning, then idle, then busy; newest first) restricted to
+// one device class.
+func (f *fleetView) ScaleDownClass(gpuType string, n int) []string {
+	return f.scaleDown(n, gpuType)
+}
+
 // ScaleDown implements autoscale.Fleet: drain-decommission up to n GPUs,
 // preferring provisioning GPUs (they did no useful work yet), then idle,
-// then busy; newest registration first within each class, so scale-down
+// then busy; newest registration first within each bucket, so scale-down
 // unwinds scale-up deterministically.
-func (f *fleetView) ScaleDown(n int) []string {
+func (f *fleetView) ScaleDown(n int) []string { return f.scaleDown(n, "") }
+
+// scaleDown is ScaleDown optionally restricted to one device class
+// (gpuType "" considers the whole fleet).
+func (f *fleetView) scaleDown(n int, gpuType string) []string {
 	c := (*Cluster)(f)
 	idleSet := make(map[string]bool, len(c.idle))
 	for _, o := range c.idle {
@@ -632,6 +825,8 @@ func (f *fleetView) ScaleDown(n int) []string {
 	for i := len(c.gpuIDs) - 1; i >= 0; i-- { // newest first
 		id := c.gpuIDs[i]
 		switch {
+		case gpuType != "" && c.devByID[id].Type() != gpuType:
+			// not the requested class
 		case c.gpuState[id] == gpuDraining:
 			// already leaving; not a candidate
 		case c.gpuState[id] == gpuProvisioning:
@@ -702,31 +897,32 @@ func (b *backendView) EstimatedFinish(o ordset.Ord, now sim.Time) time.Duration 
 	return d.EstimatedFinish(now)
 }
 func (b *backendView) LoadTime(o ordset.Ord, model string) time.Duration {
-	p, ok := b.profile(o, model)
-	if !ok {
-		return 0
-	}
-	return p.LoadTime
+	return b.mustProfile(o, model).LoadTime
 }
 func (b *backendView) InferTime(o ordset.Ord, model string, batch int) time.Duration {
-	p, ok := b.profile(o, model)
-	if !ok {
-		return 0
+	return b.mustProfile(o, model).InferTime(batch)
+}
+
+// mustProfile resolves the (device type, model) profile for an estimate.
+// A miss here would silently zero LLB/O3 finish-time estimates (the bug
+// the construction-time coverage validation exists to prevent), so it is
+// a harness invariant violation: panic with enough context to debug.
+func (b *backendView) mustProfile(o ordset.Ord, model string) models.Profile {
+	d := b.dev(o)
+	if d == nil {
+		panic(fmt.Sprintf("cluster: profile estimate for removed/unknown GPU ord %d (model %q)", o, model))
 	}
-	return p.InferTime(batch)
+	p, ok := b.profiles.Get(d.Type(), model)
+	if !ok {
+		panic(fmt.Sprintf("cluster: no profile for model %q on GPU type %q (%s) — construction-time validation should have rejected this fleet", model, d.Type(), d.ID()))
+	}
+	return p
 }
 func (b *backendView) dev(o ordset.Ord) *gpu.Device {
 	if o < 0 || int(o) >= len(b.devByOrd) {
 		return nil
 	}
 	return b.devByOrd[o]
-}
-func (b *backendView) profile(o ordset.Ord, model string) (models.Profile, bool) {
-	d := b.dev(o)
-	if d == nil {
-		return models.Profile{}, false
-	}
-	return b.profiles.Get(d.Type(), model)
 }
 
 // GPUIDs returns the cluster's GPUs in deterministic order. Membership
@@ -990,6 +1186,16 @@ type Report struct {
 	// ScaleEvents is the autoscaler's event log (nil without one);
 	// deterministic for a fixed trace, seed and policy.
 	ScaleEvents []autoscale.ScaleEvent
+
+	// Cost prices the run: Σ per-class GPU-seconds × CostPerSecond over
+	// the declared device classes. Zero — and omitted from JSON, which
+	// keeps pre-heterogeneity reports byte-identical — when no class
+	// carries a cost.
+	Cost float64 `json:",omitempty"`
+	// ClassUsage is the per-device-class breakdown in fleet-spec order;
+	// nil for clusters built from the homogeneous Nodes × GPUsPerNode
+	// default.
+	ClassUsage []ClassUsage `json:",omitempty"`
 }
 
 // report snapshots the metrics (sim mode, after drain).
@@ -1050,8 +1256,32 @@ func (c *Cluster) report() Report {
 		end = now
 	}
 	rep.GPUSeconds = c.gpuSeconds
+	classSecs := make(map[string]float64, len(c.classSeconds))
+	classFinal := make(map[string]int, len(c.fleet))
+	for t, s := range c.classSeconds {
+		classSecs[t] = s
+	}
 	for _, id := range c.gpuIDs {
-		rep.GPUSeconds += time.Duration(end - c.addedAt[id]).Seconds()
+		secs := time.Duration(end - c.addedAt[id]).Seconds()
+		rep.GPUSeconds += secs
+		t := c.devByID[id].Type()
+		classSecs[t] += secs
+		classFinal[t]++
+	}
+	for _, class := range c.fleet {
+		rep.Cost += classSecs[class.Type] * class.CostPerSecond
+	}
+	if c.declaredFleet {
+		rep.ClassUsage = make([]ClassUsage, len(c.fleet))
+		for i, class := range c.fleet {
+			rep.ClassUsage[i] = ClassUsage{
+				Class:      class.Type,
+				GPUSeconds: classSecs[class.Type],
+				Cost:       classSecs[class.Type] * class.CostPerSecond,
+				PeakGPUs:   c.classPeak[class.Type],
+				FinalGPUs:  classFinal[class.Type],
+			}
+		}
 	}
 	rep.ScaleUps = c.scaleUps
 	rep.ScaleDowns = c.scaleDowns
@@ -1061,6 +1291,49 @@ func (c *Cluster) report() Report {
 		rep.ScaleEvents = c.scaler.Events()
 	}
 	return rep
+}
+
+// ClassStatuses returns the live per-device-class breakdown (counts by
+// lifecycle state, accrued GPU-seconds, cost), in fleet-spec order. Like
+// FleetCounts it takes the cluster mutex — not for use from result hooks
+// or status sinks.
+func (c *Cluster) ClassStatuses() []ClassStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sizes := (*fleetView)(c).ClassSizes()
+	end := c.clock.Now()
+	if end < c.lastFinish {
+		end = c.lastFinish
+	}
+	classSecs := make(map[string]float64, len(c.classSeconds))
+	for t, s := range c.classSeconds {
+		classSecs[t] = s
+	}
+	for _, id := range c.gpuIDs {
+		classSecs[c.devByID[id].Type()] += time.Duration(end - c.addedAt[id]).Seconds()
+	}
+	out := make([]ClassStatus, len(sizes))
+	for i, cs := range sizes {
+		out[i] = ClassStatus{
+			Class:         cs.Class,
+			Active:        cs.Active,
+			Provisioning:  cs.Provisioning,
+			Draining:      cs.Draining,
+			Idle:          cs.Idle,
+			GPUSeconds:    classSecs[cs.Class],
+			CostPerSecond: cs.CostPerSecond,
+			Cost:          classSecs[cs.Class] * cs.CostPerSecond,
+		}
+	}
+	return out
+}
+
+// Fleet returns the normalized device-class mix the cluster was built
+// with (a single DefaultGPUType class for homogeneous configs).
+func (c *Cluster) Fleet() FleetSpec {
+	out := make(FleetSpec, len(c.fleet))
+	copy(out, c.fleet)
+	return out
 }
 
 // Results returns retained completion records (KeepResults must be on).

@@ -200,7 +200,7 @@ func TestSubmitLiveMode(t *testing.T) {
 	cfg := testConfig(core.LALB)
 	cfg.Clock = sim.NewRealClock()
 	cfg.Zoo = models.Default()
-	cfg.Profiles = fastProfiles(cfg.Zoo, cfg.GPUType)
+	cfg.Profiles = fastProfiles(cfg.Zoo, DefaultGPUType)
 	done := make(chan gpumgr.Result, 16)
 	cfg.OnResult = func(r gpumgr.Result) { done <- r }
 	c, err := New(cfg)
@@ -257,7 +257,7 @@ func TestSubmitOutOfOrderArrivalRejected(t *testing.T) {
 	for _, m := range zoo.All() {
 		prof.Put(models.Profile{
 			Model:    m.Name,
-			GPUType:  cfg.GPUType,
+			GPUType:  DefaultGPUType,
 			LoadTime: 500 * time.Millisecond,
 			InferFit: stats.Linear{Alpha: 0.5, Beta: 0, R2: 1, N: 2},
 		})

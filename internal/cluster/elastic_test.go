@@ -48,7 +48,7 @@ func TestAddGPUImmediatelySchedulable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	id, err := c.AddGPU(0)
+	id, err := c.AddGPU("", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +83,7 @@ func TestAddGPUColdStartDelaysSchedulability(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	id, err := c.AddGPU(10 * time.Second)
+	id, err := c.AddGPU("", 10*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -271,13 +271,13 @@ func TestChurnMembershipTable(t *testing.T) {
 			for i, s := range tc.steps {
 				switch s.op {
 				case "add":
-					id, err := c.AddGPU(0)
+					id, err := c.AddGPU("", 0)
 					if err != nil {
 						t.Fatalf("step %d: %v", i, err)
 					}
 					added = append(added, id)
 				case "addCold":
-					id, err := c.AddGPU(time.Hour) // never activates in this test
+					id, err := c.AddGPU("", time.Hour) // never activates in this test
 					if err != nil {
 						t.Fatalf("step %d: %v", i, err)
 					}
@@ -306,7 +306,7 @@ func TestChurnStressRace(t *testing.T) {
 	cfg.Nodes, cfg.GPUsPerNode = 1, 2
 	cfg.Clock = sim.NewRealClock()
 	cfg.Zoo = models.Default()
-	cfg.Profiles = fastProfiles(cfg.Zoo, cfg.GPUType)
+	cfg.Profiles = fastProfiles(cfg.Zoo, DefaultGPUType)
 	done := make(chan struct{}, 256)
 	cfg.OnResult = func(gpumgr.Result) { done <- struct{}{} }
 	c, err := New(cfg)
@@ -346,7 +346,7 @@ func TestChurnStressRace(t *testing.T) {
 		defer wg.Done()
 		var mine []string
 		for i := 0; i < 6; i++ {
-			id, err := c.AddGPU(2 * time.Millisecond)
+			id, err := c.AddGPU("", 2*time.Millisecond)
 			if err != nil {
 				t.Error(err)
 				return
@@ -379,9 +379,12 @@ func TestChurnStressRace(t *testing.T) {
 }
 
 // TestElasticDeterministicReports runs the same autoscaled workload twice
-// and requires identical Reports including the scale-event log.
+// and requires identical Reports including the scale-event log — once on
+// the homogeneous fleet, once on a mixed-class fleet under the tiered
+// policy, so determinism is pinned for heterogeneous membership churn
+// too.
 func TestElasticDeterministicReports(t *testing.T) {
-	run := func() Report {
+	homogeneous := func() Report {
 		cfg := testConfig(core.LALBO3)
 		cfg.Nodes, cfg.GPUsPerNode = 1, 4
 		pol, err := autoscale.NewTargetUtilization(0.7, 1)
@@ -407,15 +410,59 @@ func TestElasticDeterministicReports(t *testing.T) {
 		}
 		return rep
 	}
-	a, b := run(), run()
-	if !reflect.DeepEqual(a, b) {
-		t.Fatalf("nondeterministic elastic runs:\n%+v\n%+v", a, b)
+	mixed := func() Report {
+		cfg := testConfig(core.LALBO3)
+		cfg.Fleet = FleetSpec{
+			{Type: "t4", Count: 3, CostPerSecond: 0.20},
+			{Type: "rtx2080", Count: 1, CostPerSecond: 0.60},
+		}
+		pol, err := autoscale.NewTiered(autoscale.Tiered{
+			Tiers:     []string{"t4", "rtx2080"},
+			TierCaps:  []int{6, 3},
+			TargetP95: 3,
+			Step:      2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Autoscale = &autoscale.Config{
+			Policy:    pol,
+			Interval:  2 * time.Second,
+			MinGPUs:   2,
+			MaxGPUs:   9,
+			ColdStart: 1 * time.Second,
+			Horizon:   2 * time.Minute,
+		}
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reqs := tinyWorkload(150, 300*time.Millisecond, "resnet18", "vgg19", "alexnet", "densenet121")
+		rep, err := c.RunWorkload(reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
 	}
-	if a.ScaleUps == 0 && a.ScaleDowns == 0 {
-		t.Error("autoscaler made no scaling decisions on a 150-request burst")
-	}
-	if a.GPUSeconds <= 0 {
-		t.Errorf("GPUSeconds = %g", a.GPUSeconds)
+	for _, tc := range []struct {
+		name string
+		run  func() Report
+	}{
+		{"homogeneous", homogeneous},
+		{"mixed-tiered", mixed},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			a, b := tc.run(), tc.run()
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("nondeterministic elastic runs:\n%+v\n%+v", a, b)
+			}
+			if a.ScaleUps == 0 && a.ScaleDowns == 0 {
+				t.Error("autoscaler made no scaling decisions on a 150-request burst")
+			}
+			if a.GPUSeconds <= 0 {
+				t.Errorf("GPUSeconds = %g", a.GPUSeconds)
+			}
+		})
 	}
 }
 

@@ -1,0 +1,203 @@
+package cluster
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"gpufaas/internal/models"
+)
+
+// GPUClass declares one device class of a heterogeneous fleet: the GPU
+// type the profile store is keyed by, the usable model memory, how many
+// devices of the class the cluster boots with, and the economics the
+// autoscaler trades against latency (price per GPU-second, provisioning
+// cold start).
+type GPUClass struct {
+	// Type is the GPU type; profiles are resolved per (Type, model) and
+	// every type must be covered by the profile store (validated at
+	// construction). Types must be unique within a FleetSpec.
+	Type string
+	// Memory is the usable model memory per device in bytes.
+	Memory int64
+	// Count is the number of devices the cluster boots with; elastic
+	// scaling can grow or shrink each class afterwards.
+	Count int
+	// CostPerSecond prices one GPU-second of this class; it feeds the
+	// Report's Cost column (GPU-seconds × CostPerSecond, summed over
+	// classes). Zero means the class is not priced.
+	CostPerSecond float64
+	// ColdStart is the class's provisioning delay for elastic scale-up;
+	// zero falls back to the caller-supplied cold start.
+	ColdStart time.Duration
+}
+
+// FleetSpec declares a fleet as an ordered mix of device classes. Order
+// is meaningful: it fixes device registration order (and so scheduler
+// ordinals), the per-class report rows, and the default class ([0]) used
+// by class-agnostic scale-ups.
+type FleetSpec []GPUClass
+
+// DefaultGPUType is the paper testbed's device class.
+const DefaultGPUType = "rtx2080"
+
+// Validate normalizes the spec in place (defaulting Memory from the
+// built-in device classes or DefaultGPUMemory) and checks it is usable:
+// non-empty unique types, positive memory, non-negative counts with at
+// least one device overall, non-negative economics.
+func (f FleetSpec) Validate() error {
+	if len(f) == 0 {
+		return fmt.Errorf("cluster: empty fleet spec")
+	}
+	seen := make(map[string]bool, len(f))
+	total := 0
+	for i := range f {
+		c := &f[i]
+		if c.Type == "" {
+			return fmt.Errorf("cluster: fleet class %d has no GPU type", i)
+		}
+		if seen[c.Type] {
+			return fmt.Errorf("cluster: duplicate fleet class %q", c.Type)
+		}
+		seen[c.Type] = true
+		if c.Memory == 0 {
+			if dc, ok := models.LookupDeviceClass(c.Type); ok {
+				c.Memory = dc.MemoryBytes
+			} else {
+				c.Memory = DefaultGPUMemory
+			}
+		}
+		if c.Memory < 0 {
+			return fmt.Errorf("cluster: fleet class %q has negative memory %d", c.Type, c.Memory)
+		}
+		if c.Count < 0 {
+			return fmt.Errorf("cluster: fleet class %q has negative count %d", c.Type, c.Count)
+		}
+		if c.CostPerSecond < 0 {
+			return fmt.Errorf("cluster: fleet class %q has negative cost %g", c.Type, c.CostPerSecond)
+		}
+		if c.ColdStart < 0 {
+			return fmt.Errorf("cluster: fleet class %q has negative cold start %v", c.Type, c.ColdStart)
+		}
+		total += c.Count
+	}
+	if total == 0 {
+		return fmt.Errorf("cluster: fleet spec declares no devices")
+	}
+	return nil
+}
+
+// Types returns the class types in spec order.
+func (f FleetSpec) Types() []string {
+	out := make([]string, len(f))
+	for i, c := range f {
+		out[i] = c.Type
+	}
+	return out
+}
+
+// Class finds a class by type.
+func (f FleetSpec) Class(gpuType string) (GPUClass, bool) {
+	for _, c := range f {
+		if c.Type == gpuType {
+			return c, true
+		}
+	}
+	return GPUClass{}, false
+}
+
+// DefaultFleet returns the built-in mix for a class type list: counts
+// are zero (callers set them), memory/cost come from the models
+// device-class registry.
+func DefaultFleet(gpuTypes ...string) (FleetSpec, error) {
+	spec := make(FleetSpec, 0, len(gpuTypes))
+	for _, t := range gpuTypes {
+		dc, ok := models.LookupDeviceClass(t)
+		if !ok {
+			return nil, fmt.Errorf("cluster: no built-in device class %q", t)
+		}
+		spec = append(spec, GPUClass{
+			Type:          dc.Type,
+			Memory:        dc.MemoryBytes,
+			CostPerSecond: dc.CostPerSecond,
+		})
+	}
+	return spec, nil
+}
+
+// ParseFleetSpec parses the gateway's -fleet flag syntax: a
+// comma-separated list of "type:count[:memGiB]" entries, e.g.
+//
+//	t4:8,rtx2080:4
+//	t4:8:15,rtx2080:4:7
+//
+// Types must be built-in device classes (the flag path has no explicit
+// profile store to cover anything else); memory defaults to the class's
+// and cost per second always comes from the class registry.
+func ParseFleetSpec(s string) (FleetSpec, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("cluster: empty fleet flag")
+	}
+	var spec FleetSpec
+	for _, entry := range strings.Split(s, ",") {
+		parts := strings.Split(strings.TrimSpace(entry), ":")
+		if len(parts) < 2 || len(parts) > 3 {
+			return nil, fmt.Errorf("cluster: fleet entry %q is not type:count[:memGiB]", entry)
+		}
+		count, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("cluster: fleet entry %q: bad count: %v", entry, err)
+		}
+		c := GPUClass{Type: strings.TrimSpace(parts[0]), Count: count}
+		dc, ok := models.LookupDeviceClass(c.Type)
+		if !ok {
+			known := make([]string, 0, len(models.BuiltinDeviceClasses))
+			for _, b := range models.BuiltinDeviceClasses {
+				known = append(known, b.Type)
+			}
+			return nil, fmt.Errorf("cluster: fleet entry %q: unknown device class %q (built-in: %s)",
+				entry, c.Type, strings.Join(known, ", "))
+		}
+		c.Memory = dc.MemoryBytes
+		c.CostPerSecond = dc.CostPerSecond
+		if len(parts) == 3 {
+			gib, err := strconv.ParseFloat(parts[2], 64)
+			if err != nil || gib <= 0 {
+				return nil, fmt.Errorf("cluster: fleet entry %q: bad memGiB %q", entry, parts[2])
+			}
+			c.Memory = int64(gib * float64(1<<30))
+		}
+		spec = append(spec, c)
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+// ClassUsage is one device class's cost accounting in a Report.
+type ClassUsage struct {
+	// Class is the device class (GPU type).
+	Class string
+	// GPUSeconds is the class's share of the fleet-size integral.
+	GPUSeconds float64
+	// Cost is GPUSeconds × the class's CostPerSecond.
+	Cost float64 `json:",omitempty"`
+	// PeakGPUs / FinalGPUs bracket the class's membership over the run.
+	PeakGPUs  int
+	FinalGPUs int
+}
+
+// ClassStatus is one device class's live breakdown, the per-class view
+// behind the gateway's /system/scale endpoint.
+type ClassStatus struct {
+	Class         string  `json:"class"`
+	Active        int     `json:"active"`
+	Provisioning  int     `json:"provisioning"`
+	Draining      int     `json:"draining"`
+	Idle          int     `json:"idle"`
+	GPUSeconds    float64 `json:"gpuSeconds"`
+	CostPerSecond float64 `json:"costPerSecond,omitempty"`
+	Cost          float64 `json:"cost,omitempty"`
+}

@@ -1,0 +1,349 @@
+package cluster
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"gpufaas/internal/autoscale"
+	"gpufaas/internal/core"
+	"gpufaas/internal/models"
+)
+
+// mixedFleet is the test fixture: 2 cheap t4 devices and 1 fast rtx2080.
+func mixedFleet() FleetSpec {
+	return FleetSpec{
+		{Type: "t4", Count: 2, CostPerSecond: 0.20},
+		{Type: "rtx2080", Count: 1, CostPerSecond: 0.60},
+	}
+}
+
+func TestFleetSpecValidation(t *testing.T) {
+	bad := []FleetSpec{
+		{},                     // empty
+		{{Type: "", Count: 1}}, // no type
+		{{Type: "t4", Count: 1}, {Type: "t4", Count: 1}},  // duplicate type
+		{{Type: "t4", Count: -1}},                         // negative count
+		{{Type: "t4", Count: 0}},                          // no devices at all
+		{{Type: "t4", Count: 1, Memory: -1}},              // negative memory
+		{{Type: "t4", Count: 1, CostPerSecond: -0.1}},     // negative cost
+		{{Type: "t4", Count: 1, ColdStart: -time.Second}}, // negative cold start
+	}
+	for i, spec := range bad {
+		cfg := DefaultConfig()
+		cfg.Fleet = spec
+		if _, err := New(cfg); err == nil {
+			t.Errorf("fleet %d should fail: %+v", i, spec)
+		}
+	}
+	// Memory defaults from the built-in device classes.
+	spec := FleetSpec{{Type: "t4", Count: 1}}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if dc, _ := models.LookupDeviceClass("t4"); spec[0].Memory != dc.MemoryBytes {
+		t.Errorf("t4 memory defaulted to %d, want %d", spec[0].Memory, dc.MemoryBytes)
+	}
+}
+
+func TestDeclaredFleetTopology(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Fleet = mixedFleet()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := c.GPUIDs()
+	want := []string{"t4/gpu0", "t4/gpu1", "rtx2080/gpu0"}
+	if !reflect.DeepEqual(ids, want) {
+		t.Fatalf("GPUIDs = %v, want %v", ids, want)
+	}
+	if len(c.Managers()) != 2 {
+		t.Errorf("managers = %d, want 2 (one per class)", len(c.Managers()))
+	}
+	for _, id := range ids {
+		d, ok := c.Device(id)
+		if !ok {
+			t.Fatalf("no device %s", id)
+		}
+		wantType := strings.Split(id, "/")[0]
+		if d.Type() != wantType {
+			t.Errorf("%s type = %s", id, d.Type())
+		}
+		dc, _ := models.LookupDeviceClass(wantType)
+		if d.Capacity() != dc.MemoryBytes {
+			t.Errorf("%s capacity = %d, want %d", id, d.Capacity(), dc.MemoryBytes)
+		}
+	}
+	fleet := c.Fleet()
+	if len(fleet) != 2 || fleet[0].Type != "t4" || fleet[1].Type != "rtx2080" {
+		t.Errorf("Fleet() = %+v", fleet)
+	}
+}
+
+func TestProfileCoverageValidatedAtConstruction(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Fleet = mixedFleet()
+	// A store covering only rtx2080 must be rejected: the t4 class's
+	// estimates would silently read as zero mid-run otherwise.
+	cfg.Zoo = models.Default()
+	cfg.Profiles = models.TableProfiles("rtx2080", cfg.Zoo)
+	_, err := New(cfg)
+	if err == nil {
+		t.Fatal("partial profile coverage must fail construction")
+	}
+	if !strings.Contains(err.Error(), "t4") {
+		t.Errorf("error does not name the uncovered class: %v", err)
+	}
+	// Unknown class with no explicit profiles: the built-in table cannot
+	// cover it.
+	cfg2 := DefaultConfig()
+	cfg2.Fleet = FleetSpec{{Type: "unobtanium", Count: 1, Memory: 1 << 30}}
+	if _, err := New(cfg2); err == nil {
+		t.Error("unknown class without explicit profiles must fail")
+	}
+}
+
+// TestDeclaredHomogeneousMatchesLegacyMetrics pins that a declared
+// homogeneous rtx2080×12 fleet reproduces the legacy 3×4 topology's
+// metrics exactly — the node grouping is bookkeeping, not behavior.
+func TestDeclaredHomogeneousMatchesLegacyMetrics(t *testing.T) {
+	run := func(declared bool) Report {
+		cfg := testConfig(core.LALBO3)
+		if declared {
+			cfg.Fleet = FleetSpec{{Type: DefaultGPUType, Memory: DefaultGPUMemory, Count: 12}}
+		}
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := c.RunWorkload(tinyWorkload(60, 150*time.Millisecond, "resnet18", "vgg19", "densenet121"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	legacy, declared := run(false), run(true)
+	// The declared run adds the per-class breakdown; blank it for the
+	// field-by-field comparison.
+	declared.ClassUsage = nil
+	if !reflect.DeepEqual(legacy, declared) {
+		t.Errorf("declared homogeneous fleet diverged from legacy topology:\nlegacy:   %+v\ndeclared: %+v", legacy, declared)
+	}
+}
+
+// TestMixedFleetUsesPerTypeProfiles is the type-resolved scheduling
+// check: the same model must run slower on the t4 than on the rtx2080,
+// with the scheduler's estimates (and so the simulated service times)
+// resolved through each device's own profile.
+func TestMixedFleetUsesPerTypeProfiles(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Fleet = FleetSpec{
+		{Type: "t4", Count: 1, CostPerSecond: 0.20},
+		{Type: "rtx2080", Count: 1, CostPerSecond: 0.60},
+	}
+	cfg.Policy = core.LB
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.KeepResults(true)
+	// Two same-model requests at t=0: LB dispatches to both (idle) GPUs.
+	if _, err := c.RunWorkload(tinyWorkload(2, 0, "resnet18")); err != nil {
+		t.Fatal(err)
+	}
+	byGPU := map[string]time.Duration{}
+	for _, r := range c.Results() {
+		byGPU[r.GPU] = r.InferTime
+		if r.Hit {
+			t.Errorf("req %d was a hit on a cold fleet", r.ReqID)
+		}
+	}
+	slow, fast := byGPU["t4/gpu0"], byGPU["rtx2080/gpu0"]
+	if slow == 0 || fast == 0 {
+		t.Fatalf("requests did not spread over both classes: %v", byGPU)
+	}
+	if ratio := float64(slow) / float64(fast); math.Abs(ratio-1.6) > 0.01 {
+		t.Errorf("t4/rtx2080 inference ratio = %.3f, want 1.6 (per-type profiles)", ratio)
+	}
+}
+
+func TestAddGPUByClass(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Fleet = mixedFleet()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := c.AddGPU("rtx2080", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, ok := c.Device(id)
+	if !ok || d.Type() != "rtx2080" {
+		t.Fatalf("added device %s type = %v", id, d)
+	}
+	// Default class is Fleet[0].
+	id2, err := c.AddGPU("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, _ := c.Device(id2)
+	if d2.Type() != "t4" {
+		t.Errorf("default-class device type = %s, want t4", d2.Type())
+	}
+	if _, err := c.AddGPU("unobtanium", 0); err == nil {
+		t.Error("provisioning an undeclared class must fail")
+	}
+	checkMembership(t, c)
+}
+
+// TestMixedFleetCostAccounting runs a tiny workload on the mixed fleet
+// and checks the report's cost column against the per-class GPU-seconds.
+func TestMixedFleetCostAccounting(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Fleet = mixedFleet()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.RunWorkload(tinyWorkload(9, 100*time.Millisecond, "resnet18", "vgg19"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.ClassUsage) != 2 {
+		t.Fatalf("ClassUsage = %+v", rep.ClassUsage)
+	}
+	t4, fast := rep.ClassUsage[0], rep.ClassUsage[1]
+	if t4.Class != "t4" || fast.Class != "rtx2080" {
+		t.Fatalf("class order = %s, %s (want spec order)", t4.Class, fast.Class)
+	}
+	if t4.FinalGPUs != 2 || fast.FinalGPUs != 1 || t4.PeakGPUs != 2 || fast.PeakGPUs != 1 {
+		t.Errorf("class membership = %+v", rep.ClassUsage)
+	}
+	wantSecs := t4.GPUSeconds + fast.GPUSeconds
+	if math.Abs(wantSecs-rep.GPUSeconds) > 1e-9 {
+		t.Errorf("class GPU-seconds sum %.3f != total %.3f", wantSecs, rep.GPUSeconds)
+	}
+	wantCost := t4.GPUSeconds*0.20 + fast.GPUSeconds*0.60
+	if math.Abs(rep.Cost-wantCost) > 1e-9 {
+		t.Errorf("Cost = %.4f, want %.4f", rep.Cost, wantCost)
+	}
+	if t4.Cost <= 0 || fast.Cost <= 0 {
+		t.Errorf("per-class costs = %+v", rep.ClassUsage)
+	}
+
+	// The live per-class view agrees on membership and pricing.
+	sts := c.ClassStatuses()
+	if len(sts) != 2 || sts[0].Class != "t4" || sts[0].CostPerSecond != 0.20 {
+		t.Fatalf("ClassStatuses = %+v", sts)
+	}
+	if sts[0].Active != 2 || sts[0].Idle != 2 || sts[1].Active != 1 {
+		t.Errorf("post-run class statuses = %+v", sts)
+	}
+	if sts[0].Cost <= 0 {
+		t.Errorf("live cost = %+v", sts[0])
+	}
+}
+
+// TestHomogeneousReportsOmitClassFields pins the golden-compatibility
+// contract: legacy configs report no cost column and no per-class rows.
+func TestHomogeneousReportsOmitClassFields(t *testing.T) {
+	c, err := New(testConfig(core.LALBO3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.RunWorkload(tinyWorkload(4, 100*time.Millisecond, "resnet18"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cost != 0 || rep.ClassUsage != nil {
+		t.Errorf("legacy report grew class fields: cost=%g usage=%+v", rep.Cost, rep.ClassUsage)
+	}
+}
+
+// TestMixedFleetTieredAutoscale runs a mixed fleet under the tiered
+// policy end to end: the cheap tier grows first, and the per-class
+// scale events carry the class label.
+func TestMixedFleetTieredAutoscale(t *testing.T) {
+	pol, err := autoscale.NewTiered(autoscale.Tiered{
+		Tiers:     []string{"t4", "rtx2080"},
+		TierCaps:  []int{6, 2},
+		TargetP95: 3,
+		Step:      2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Fleet = FleetSpec{
+		{Type: "t4", Count: 2, CostPerSecond: 0.20},
+		{Type: "rtx2080", Count: 0, CostPerSecond: 0.60, ColdStart: time.Second},
+	}
+	cfg.Autoscale = &autoscale.Config{
+		Policy:    pol,
+		Interval:  2 * time.Second,
+		MinGPUs:   2,
+		MaxGPUs:   8,
+		ColdStart: time.Second,
+		Horizon:   2 * time.Minute,
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.RunWorkload(tinyWorkload(150, 200*time.Millisecond, "resnet18", "vgg19", "alexnet", "densenet121"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 150 || rep.Failed != 0 {
+		t.Fatalf("report = requests %d failed %d", rep.Requests, rep.Failed)
+	}
+	if rep.ScaleUps == 0 {
+		t.Fatal("tiered autoscaler never scaled up under a saturating workload")
+	}
+	sawClass := false
+	for _, ev := range rep.ScaleEvents {
+		if ev.Class == "" {
+			t.Errorf("classed scale event lost its class: %+v", ev)
+		}
+		if ev.Class == "t4" && ev.Action == autoscale.ActionScaleUp {
+			sawClass = true
+		}
+	}
+	if !sawClass {
+		t.Error("cheap tier never scaled up first")
+	}
+	if rep.Cost <= 0 {
+		t.Errorf("Cost = %g", rep.Cost)
+	}
+	checkMembership(t, c)
+}
+
+func TestParseFleetSpec(t *testing.T) {
+	spec, err := ParseFleetSpec("t4:8,rtx2080:4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec) != 2 || spec[0].Type != "t4" || spec[0].Count != 8 || spec[1].Type != "rtx2080" || spec[1].Count != 4 {
+		t.Fatalf("spec = %+v", spec)
+	}
+	if dc, _ := models.LookupDeviceClass("t4"); spec[0].Memory != dc.MemoryBytes || spec[0].CostPerSecond != dc.CostPerSecond {
+		t.Errorf("t4 defaults not applied: %+v", spec[0])
+	}
+	// Explicit memory override in GiB.
+	spec, err = ParseFleetSpec("rtx2080:2:5.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(5.5 * float64(1<<30)); spec[0].Memory != want {
+		t.Errorf("memory = %d, want %d", spec[0].Memory, want)
+	}
+	for _, bad := range []string{"", "t4", "t4:x", "t4:1:zero", "t4:1,t4:2", "t4:0", "mygpu:4"} {
+		if _, err := ParseFleetSpec(bad); err == nil {
+			t.Errorf("ParseFleetSpec(%q) should fail", bad)
+		}
+	}
+}

@@ -26,15 +26,24 @@ const defaultElasticityPolicy = core.LALBO3
 // builds a fresh policy instance, so stateful policies (hysteresis
 // counters) never leak across Matrix workers and runs stay deterministic.
 type AutoscaleSpec struct {
-	// Policy: "target-util" (Utilization, QueuePerGPU) or "step"
-	// (UpQueueDepth, DownIdleRatio, Step). Zero-valued fields take the
-	// autoscale package defaults.
+	// Policy: "target-util" (Utilization, QueuePerGPU), "step"
+	// (UpQueueDepth, DownIdleRatio, Step) or "tiered" (Tiers, TierCaps,
+	// TargetP95, EscalateAfter plus the shared Utilization /
+	// QueuePerGPU / Step knobs). Zero-valued fields take the autoscale
+	// package defaults.
 	Policy        string
 	Utilization   float64
 	QueuePerGPU   int
 	UpQueueDepth  int
 	DownIdleRatio float64
 	Step          int
+	// Tiered-policy fields: device classes cheap-first, optional
+	// per-tier caps, the p95 objective in seconds, and how many
+	// consecutive over-target ticks escalate to the fast tier.
+	Tiers         []string
+	TierCaps      []int
+	TargetP95     float64
+	EscalateAfter int
 
 	Interval  time.Duration
 	ColdStart time.Duration
@@ -45,11 +54,27 @@ type AutoscaleSpec struct {
 	Horizon time.Duration
 }
 
+// policy materializes a fresh policy instance for one run.
+func (s AutoscaleSpec) policy() (autoscale.Policy, error) {
+	if s.Policy == "tiered" {
+		return autoscale.NewTiered(autoscale.Tiered{
+			Tiers:         s.Tiers,
+			TierCaps:      s.TierCaps,
+			TargetP95:     s.TargetP95,
+			Utilization:   s.Utilization,
+			QueuePerGPU:   s.QueuePerGPU,
+			Step:          s.Step,
+			EscalateAfter: s.EscalateAfter,
+		})
+	}
+	return autoscale.ParsePolicy(s.Policy, s.Utilization, s.QueuePerGPU,
+		s.UpQueueDepth, s.DownIdleRatio, s.Step)
+}
+
 // Config materializes a fresh autoscale.Config for one run over the
 // given workload.
 func (s AutoscaleSpec) Config(wp WorkloadParams) (*autoscale.Config, error) {
-	pol, err := autoscale.ParsePolicy(s.Policy, s.Utilization, s.QueuePerGPU,
-		s.UpQueueDepth, s.DownIdleRatio, s.Step)
+	pol, err := s.policy()
 	if err != nil {
 		return nil, err
 	}

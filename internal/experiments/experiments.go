@@ -149,7 +149,11 @@ type RunParams struct {
 	Nodes       int
 	GPUsPerNode int
 	GPUMemory   int64
-	Workload    WorkloadParams // zero value -> DefaultWorkload(WorkingSet)
+	// Fleet declares a heterogeneous device-class mix; when set it
+	// overrides Nodes/GPUsPerNode/GPUMemory and the run's Report gains
+	// the Cost / ClassUsage columns.
+	Fleet    cluster.FleetSpec
+	Workload WorkloadParams // zero value -> DefaultWorkload(WorkingSet)
 	// Autoscale attaches an autoscaler to the run's cluster. It is a
 	// value spec (not a live autoscale.Config) so every run materializes
 	// a fresh, stateless-by-construction policy — grid cells must not
@@ -184,6 +188,11 @@ func Run(p RunParams) (Row, error) {
 	}
 	if p.GPUMemory > 0 {
 		cfg.GPUMemory = p.GPUMemory
+	}
+	if p.Fleet != nil {
+		// Deep-copy: cluster.New normalizes the spec in place, and grid
+		// cells must not share mutable state across Matrix workers.
+		cfg.Fleet = append(cluster.FleetSpec(nil), p.Fleet...)
 	}
 	wp := p.Workload
 	if wp.Minutes == 0 {

@@ -28,8 +28,10 @@ import (
 var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden_reports.json")
 
 // goldenSpecs returns the pinned cells: LB/LALB/LALBO3 at working set 35,
-// plus one autoscaled run per policy flavor (diurnal/target-util and
-// burst/step), which exercise elastic membership churn.
+// one autoscaled run per policy flavor (diurnal/target-util and
+// burst/step), which exercise elastic membership churn, and one
+// mixed-fleet tiered-autoscale run pinning heterogeneous membership
+// (per-type profiles, classed scale events, cost accounting).
 func goldenSpecs() []Spec {
 	var specs []Spec
 	for _, pol := range PaperPolicies {
@@ -41,6 +43,11 @@ func goldenSpecs() []Spec {
 	for _, s := range ElasticitySpecs(true) {
 		switch s.Name {
 		case "elasticity/diurnal/autoscale/target-util", "elasticity/burst/autoscale/step":
+			specs = append(specs, s)
+		}
+	}
+	for _, s := range HeterogeneitySpecs(true) {
+		if s.Name == "heterogeneity/diurnal/"+FleetMixedTiered {
 			specs = append(specs, s)
 		}
 	}
@@ -56,8 +63,8 @@ type goldenEntry struct {
 
 func TestReportGolden(t *testing.T) {
 	specs := goldenSpecs()
-	if len(specs) != 5 {
-		t.Fatalf("golden cells = %d, want 5 (did an elasticity spec get renamed?)", len(specs))
+	if len(specs) != 6 {
+		t.Fatalf("golden cells = %d, want 6 (did an elasticity/heterogeneity spec get renamed?)", len(specs))
 	}
 	entries := make([]goldenEntry, 0, len(specs))
 	for _, s := range specs {

@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"gpufaas/internal/trace"
+)
+
+// shortHeteroSweep runs the CI-sized heterogeneity sweep.
+func shortHeteroSweep(t *testing.T, workers int) []HeterogeneityRow {
+	t.Helper()
+	rows, err := HeterogeneitySweep(Matrix{Workers: workers}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("sweep returned %d rows, want 8", len(rows))
+	}
+	return rows
+}
+
+func heteroRowFor(t *testing.T, rows []HeterogeneityRow, scenario, fleet string) HeterogeneityRow {
+	t.Helper()
+	for _, r := range rows {
+		if r.Scenario == scenario && r.Fleet == fleet {
+			return r
+		}
+	}
+	t.Fatalf("no row %s/%s", scenario, fleet)
+	return HeterogeneityRow{}
+}
+
+// TestHeterogeneitySweepAcceptance pins the PR's headline claims on the
+// full 12-minute traces.
+//
+// Diurnal: the mixed tiered-autoscaled fleet beats BOTH homogeneous
+// fleets on cost at comparable p95 — cheaper than the capacity-matched
+// 20×t4 fleet (which is itself ~45% cheaper than the fast fleet) while
+// keeping p95 within 15% of it, and roughly half the 12×rtx2080 fleet's
+// cost.
+//
+// Burst: the fast tier absorbs the spikes — the mixed autoscaled fleet
+// beats BOTH homogeneous fleets on p95, still far below the fast
+// fleet's cost.
+func TestHeterogeneitySweepAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heterogeneity sweep in -short mode")
+	}
+	rows, err := HeterogeneitySweep(Matrix{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fast := heteroRowFor(t, rows, "diurnal", FleetFastFixed)
+	cheap := heteroRowFor(t, rows, "diurnal", FleetCheapFixed)
+	tiered := heteroRowFor(t, rows, "diurnal", FleetMixedTiered)
+	if tiered.Cost >= cheap.Cost {
+		t.Errorf("diurnal: tiered cost %.1f !< capacity-matched cheap %.1f", tiered.Cost, cheap.Cost)
+	}
+	if tiered.Cost >= fast.Cost {
+		t.Errorf("diurnal: tiered cost %.1f !< fast %.1f", tiered.Cost, fast.Cost)
+	}
+	if tiered.P95LatencySec > cheap.P95LatencySec*1.15 {
+		t.Errorf("diurnal: tiered p95 %.3fs not comparable to cheap %.3fs (>15%% worse)",
+			tiered.P95LatencySec, cheap.P95LatencySec)
+	}
+	for _, r := range []HeterogeneityRow{fast, cheap, tiered} {
+		if r.Failed != 0 {
+			t.Errorf("%s/%s failed %d requests", r.Scenario, r.Fleet, r.Failed)
+		}
+		if r.Requests != fast.Requests {
+			t.Errorf("request counts differ: %s served %d, fast %d", r.Fleet, r.Requests, fast.Requests)
+		}
+	}
+
+	bFast := heteroRowFor(t, rows, "burst", FleetFastFixed)
+	bCheap := heteroRowFor(t, rows, "burst", FleetCheapFixed)
+	bTiered := heteroRowFor(t, rows, "burst", FleetMixedTiered)
+	if bTiered.P95LatencySec >= bFast.P95LatencySec || bTiered.P95LatencySec >= bCheap.P95LatencySec {
+		t.Errorf("burst: tiered p95 %.3fs does not beat both fleets (fast %.3fs, cheap %.3fs)",
+			bTiered.P95LatencySec, bFast.P95LatencySec, bCheap.P95LatencySec)
+	}
+	if bTiered.Cost >= bFast.Cost {
+		t.Errorf("burst: tiered cost %.1f !< fast %.1f", bTiered.Cost, bFast.Cost)
+	}
+
+	// The tiered fleet really is mixed: both classes accrue GPU-seconds,
+	// scale events carry class labels, and the expensive tier stays the
+	// minority share of spend.
+	for _, r := range []HeterogeneityRow{tiered, bTiered} {
+		if len(r.ClassUsage) != 2 {
+			t.Fatalf("%s: ClassUsage = %+v", r.Scenario, r.ClassUsage)
+		}
+		t4, rtx := r.ClassUsage[0], r.ClassUsage[1]
+		if t4.Class != "t4" || rtx.Class != "rtx2080" {
+			t.Fatalf("%s: class order = %+v", r.Scenario, r.ClassUsage)
+		}
+		if t4.GPUSeconds <= 0 || rtx.GPUSeconds <= 0 {
+			t.Errorf("%s: a class served no GPU-seconds: %+v", r.Scenario, r.ClassUsage)
+		}
+		if t4.GPUSeconds <= rtx.GPUSeconds {
+			t.Errorf("%s: cheap tier is not the majority: t4=%.0f rtx=%.0f",
+				r.Scenario, t4.GPUSeconds, rtx.GPUSeconds)
+		}
+		if r.ScaleUps == 0 || r.ScaleDowns == 0 {
+			t.Errorf("%s: tiered fleet did not scale: ups=%d downs=%d", r.Scenario, r.ScaleUps, r.ScaleDowns)
+		}
+		for _, ev := range r.ScaleEvents {
+			if ev.Class == "" {
+				t.Errorf("%s: scale event lost its class: %+v", r.Scenario, ev)
+			}
+		}
+	}
+
+	// Fixed fleets carry the per-class breakdown too, and never scale.
+	if len(fast.ClassUsage) != 1 || fast.ClassUsage[0].Class != "rtx2080" {
+		t.Errorf("fast fleet ClassUsage = %+v", fast.ClassUsage)
+	}
+	if fast.ScaleUps != 0 || len(fast.ScaleEvents) != 0 {
+		t.Errorf("fixed fleet scaled: %+v", fast.ScaleEvents)
+	}
+}
+
+// TestHeterogeneitySweepDeterministic is the grid determinism contract:
+// identical rows — including per-class usage and classed scale-event
+// logs — at any worker count.
+func TestHeterogeneitySweepDeterministic(t *testing.T) {
+	serial := shortHeteroSweep(t, 1)
+	parallel := shortHeteroSweep(t, 6)
+	for i := range serial {
+		if !reflect.DeepEqual(serial[i], parallel[i]) {
+			t.Errorf("row %d (%s/%s) differs between worker counts",
+				i, serial[i].Scenario, serial[i].Fleet)
+		}
+	}
+	for _, r := range serial {
+		if r.Requests == 0 {
+			t.Errorf("%s/%s completed no requests", r.Scenario, r.Fleet)
+		}
+	}
+}
+
+// TestAutoscaleSpecTiered checks tiered-spec materialization: fresh
+// policy instances per run and validation pass-through.
+func TestAutoscaleSpecTiered(t *testing.T) {
+	spec := heterogeneityTiered()
+	wp := ElasticityWorkload(trace.Shape{Kind: trace.ShapeDiurnal}, true)
+	a, err := spec.Config(wp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := spec.Config(wp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Policy == b.Policy {
+		t.Error("Config must build a fresh tiered policy per run (shared escalation counters)")
+	}
+	if !strings.HasPrefix(a.Policy.Name(), "tiered(") {
+		t.Errorf("policy name = %q", a.Policy.Name())
+	}
+	bad := *spec
+	bad.Tiers = nil
+	if _, err := bad.Config(wp); err == nil {
+		t.Error("tiered spec without tiers should fail")
+	}
+}

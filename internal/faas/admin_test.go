@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"gpufaas/internal/autoscale"
+	"gpufaas/internal/cluster"
 )
 
 // TestAdminClusterScale drives the elastic-membership admin endpoint:
@@ -83,6 +84,51 @@ func TestAdminClusterScale(t *testing.T) {
 		t.Fatalf("autoscaler status without autoscaler = %d", res.StatusCode)
 	}
 	res.Body.Close()
+}
+
+// TestAdminClusterScaleClasses: a gateway built with a heterogeneous
+// fleet reports the per-class breakdown on /system/scale.
+func TestAdminClusterScaleClasses(t *testing.T) {
+	g, err := NewGateway(GatewayConfig{
+		Policy: "LALBO3",
+		Fleet: cluster.FleetSpec{
+			{Type: "t4", Count: 2, CostPerSecond: 0.20},
+			{Type: "rtx2080", Count: 1, CostPerSecond: 0.60},
+		},
+		TimeScale:     0.001,
+		InvokeTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+
+	res, err := http.Get(srv.URL + "/system/scale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var body struct {
+		Counts  autoscale.Size        `json:"counts"`
+		Classes []cluster.ClassStatus `json:"classes"`
+		GPUs    []string              `json:"gpus"`
+	}
+	if err := json.NewDecoder(res.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Counts.Active != 3 || len(body.GPUs) != 3 {
+		t.Fatalf("fleet = %+v (%d GPUs)", body.Counts, len(body.GPUs))
+	}
+	if len(body.Classes) != 2 {
+		t.Fatalf("classes = %+v", body.Classes)
+	}
+	if body.Classes[0].Class != "t4" || body.Classes[0].Active != 2 || body.Classes[0].CostPerSecond != 0.20 {
+		t.Errorf("t4 class = %+v", body.Classes[0])
+	}
+	if body.Classes[1].Class != "rtx2080" || body.Classes[1].Active != 1 {
+		t.Errorf("rtx2080 class = %+v", body.Classes[1])
+	}
 }
 
 // TestAdminAutoscalerEndpoint covers status + toggle on a gateway with

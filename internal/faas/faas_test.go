@@ -10,6 +10,9 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"gpufaas/internal/cluster"
+	"gpufaas/internal/models"
 )
 
 func testGateway(t *testing.T) *Gateway {
@@ -334,6 +337,32 @@ func TestScaledProfiles(t *testing.T) {
 	p1, _ := ScaledProfiles(zoo, "rtx2080", 1).Get("rtx2080", "resnet18")
 	if p1.LoadTime != 2520*time.Millisecond {
 		t.Errorf("unit scale load = %v", p1.LoadTime)
+	}
+}
+
+func TestFleetProfiles(t *testing.T) {
+	zoo := models.Default()
+	fleet := cluster.FleetSpec{{Type: "t4", Count: 1}, {Type: "rtx2080", Count: 1}}
+	prof, err := FleetProfiles(zoo, fleet, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, ok := prof.Get("rtx2080", "resnet18")
+	if !ok {
+		t.Fatal("missing rtx2080 profile")
+	}
+	slow, ok := prof.Get("t4", "resnet18")
+	if !ok {
+		t.Fatal("missing t4 profile")
+	}
+	if slow.LoadTime <= fast.LoadTime {
+		t.Errorf("t4 load %v not slower than rtx2080 %v", slow.LoadTime, fast.LoadTime)
+	}
+	if fast.LoadTime < 2*time.Millisecond || fast.LoadTime > 3*time.Millisecond {
+		t.Errorf("scaled load = %v", fast.LoadTime)
+	}
+	if _, err := FleetProfiles(zoo, cluster.FleetSpec{{Type: "nope", Count: 1}}, 1); err == nil {
+		t.Error("unknown class should fail")
 	}
 }
 

@@ -31,6 +31,10 @@ type GatewayConfig struct {
 	Nodes       int
 	GPUsPerNode int
 	GPUMemory   int64
+	// Fleet declares a heterogeneous GPU fleet (device classes with
+	// counts, memory, cost). When nil the homogeneous
+	// Nodes/GPUsPerNode/GPUMemory fields apply.
+	Fleet cluster.FleetSpec
 	// TimeScale scales the Table I profile times so demos run quickly
 	// (0.001 turns seconds into milliseconds). Default 1.0.
 	TimeScale float64
@@ -97,7 +101,18 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 		ccfg.GPUMemory = cfg.GPUMemory
 	}
 	ccfg.Zoo = zoo
-	ccfg.Profiles = ScaledProfiles(zoo, ccfg.GPUType, cfg.TimeScale)
+	if cfg.Fleet != nil {
+		// Copy: cluster.New normalizes the spec in place (memory
+		// defaulting) and must not mutate the caller's GatewayConfig.
+		ccfg.Fleet = append(cluster.FleetSpec(nil), cfg.Fleet...)
+		prof, err := FleetProfiles(zoo, cfg.Fleet, cfg.TimeScale)
+		if err != nil {
+			return nil, err
+		}
+		ccfg.Profiles = prof
+	} else {
+		ccfg.Profiles = ScaledProfiles(zoo, cluster.DefaultGPUType, cfg.TimeScale)
+	}
 	clock := sim.NewRealClock()
 	ccfg.Clock = clock
 
@@ -188,19 +203,38 @@ func (g *Gateway) Remove(name string) error {
 // all durations multiplied by scale (live demos use scale << 1).
 func ScaledProfiles(zoo *models.Zoo, gpuType string, scale float64) *models.ProfileStore {
 	base := models.TableProfiles(gpuType, zoo)
+	return scaleStore(base, zoo, scale)
+}
+
+// FleetProfiles builds the live gateway's profile store for a declared
+// fleet: per-class Table I times (each class's built-in slowdown)
+// multiplied by scale. Classes without a built-in device class are an
+// error — the gateway has no profiling pass to cover them.
+func FleetProfiles(zoo *models.Zoo, fleet cluster.FleetSpec, scale float64) (*models.ProfileStore, error) {
+	base, err := models.FleetTableProfiles(zoo, fleet.Types()...)
+	if err != nil {
+		return nil, err
+	}
+	return scaleStore(base, zoo, scale), nil
+}
+
+// scaleStore multiplies every profile duration in the store by scale.
+func scaleStore(base *models.ProfileStore, zoo *models.Zoo, scale float64) *models.ProfileStore {
 	if scale == 1 {
 		return base
 	}
 	out := models.NewProfileStore()
-	for _, m := range zoo.All() {
-		p, ok := base.Get(gpuType, m.Name)
-		if !ok {
-			continue
+	for _, gpuType := range base.GPUTypes() {
+		for _, m := range zoo.All() {
+			p, ok := base.Get(gpuType, m.Name)
+			if !ok {
+				continue
+			}
+			p.LoadTime = time.Duration(float64(p.LoadTime) * scale)
+			p.InferFit.Alpha *= scale
+			p.InferFit.Beta *= scale
+			out.Put(p)
 		}
-		p.LoadTime = time.Duration(float64(p.LoadTime) * scale)
-		p.InferFit.Alpha *= scale
-		p.InferFit.Beta *= scale
-		out.Put(p)
 	}
 	return out
 }
@@ -343,8 +377,9 @@ func (g *Gateway) handleClusterScale(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodGet:
 		writeJSON(w, http.StatusOK, map[string]any{
-			"counts": g.cluster.FleetCounts(),
-			"gpus":   g.cluster.GPUIDs(),
+			"counts":  g.cluster.FleetCounts(),
+			"classes": g.cluster.ClassStatuses(),
+			"gpus":    g.cluster.GPUIDs(),
 		})
 	case http.MethodPost:
 		var body struct {

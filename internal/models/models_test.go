@@ -173,6 +173,87 @@ func TestTableProfilesMatchesTableAtBatch32(t *testing.T) {
 	}
 }
 
+func TestTableProfilesScaledSlowdown(t *testing.T) {
+	z := Default()
+	base := TableProfiles("rtx2080", z)
+	slow := NewProfileStore()
+	AddTableProfiles(slow, "t4", 1.6, z)
+	for _, m := range z.All() {
+		b, _ := base.Get("rtx2080", m.Name)
+		s, ok := slow.Get("t4", m.Name)
+		if !ok {
+			t.Fatalf("missing scaled profile for %s", m.Name)
+		}
+		if want := time.Duration(float64(b.LoadTime) * 1.6); s.LoadTime != want {
+			t.Errorf("%s load = %v, want %v", m.Name, s.LoadTime, want)
+		}
+		got := s.InferTime(EvalBatchSize).Seconds()
+		want := b.InferTime(EvalBatchSize).Seconds() * 1.6
+		if math.Abs(got-want) > 1e-6 {
+			t.Errorf("%s infer(32) = %gs, want %gs", m.Name, got, want)
+		}
+	}
+}
+
+// TestGPUTypesOrdering pins that GPUTypes is sorted regardless of
+// insertion order — the heterogeneity sweeps and the per-class report
+// rows rely on it for deterministic output.
+func TestGPUTypesOrdering(t *testing.T) {
+	cases := []struct {
+		name   string
+		insert []string
+		want   []string
+	}{
+		{"single", []string{"rtx2080"}, []string{"rtx2080"}},
+		{"sorted-input", []string{"a100", "rtx2080", "t4"}, []string{"a100", "rtx2080", "t4"}},
+		{"reverse-input", []string{"t4", "rtx2080", "a100"}, []string{"a100", "rtx2080", "t4"}},
+		{"interleaved-dups", []string{"t4", "a100", "t4", "rtx2080", "a100"}, []string{"a100", "rtx2080", "t4"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := NewProfileStore()
+			for _, ty := range tc.insert {
+				s.Put(Profile{Model: "resnet18", GPUType: ty})
+			}
+			got := s.GPUTypes()
+			if len(got) != len(tc.want) {
+				t.Fatalf("GPUTypes = %v, want %v", got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("GPUTypes = %v, want %v", got, tc.want)
+				}
+			}
+		})
+	}
+}
+
+func TestFleetTableProfiles(t *testing.T) {
+	z := Default()
+	s, err := FleetTableProfiles(z, "rtx2080", "t4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.GPUTypes(); len(got) != 2 || got[0] != "rtx2080" || got[1] != "t4" {
+		t.Errorf("GPUTypes = %v", got)
+	}
+	fast, _ := s.Get("rtx2080", "resnet18")
+	slow, _ := s.Get("t4", "resnet18")
+	if slow.LoadTime <= fast.LoadTime {
+		t.Errorf("t4 load %v not slower than rtx2080 %v", slow.LoadTime, fast.LoadTime)
+	}
+	if _, err := FleetTableProfiles(z, "rtx2080", "unobtanium"); err == nil {
+		t.Error("unknown device class must error")
+	}
+	c, ok := LookupDeviceClass("t4")
+	if !ok || c.Slowdown <= 1 || c.CostPerSecond >= 0.6 {
+		t.Errorf("t4 class = %+v (want slower and cheaper than rtx2080)", c)
+	}
+	if _, ok := LookupDeviceClass("unobtanium"); ok {
+		t.Error("LookupDeviceClass of unknown type succeeded")
+	}
+}
+
 func TestProfileInferTimeClamps(t *testing.T) {
 	p := Profile{InferFit: statsLinear(-1, 0.001)}
 	if p.InferTime(1) != 0 {
