@@ -4,9 +4,9 @@
 GO ?= go
 
 # Hot-path benchmarks compared by bench-save / bench-compare.
-BENCH_PATTERN ?= BenchmarkEngineFire|BenchmarkEngineCancel|BenchmarkScheduleDecision
+BENCH_PATTERN ?= BenchmarkEngineFire|BenchmarkEngineCancel|BenchmarkScheduleDecision|BenchmarkScheduleRound1024|BenchmarkStreamingReplay
 
-.PHONY: all build test race vet fmt fmt-check bench bench-smoke snapshot ci-snapshot elasticity-smoke heterogeneity-smoke bench-save bench-compare bench-regress vuln ci
+.PHONY: all build test race vet fmt fmt-check bench bench-smoke snapshot ci-snapshot elasticity-smoke heterogeneity-smoke scale-smoke bench-save bench-compare bench-regress vuln ci
 
 all: build
 
@@ -56,6 +56,12 @@ elasticity-smoke:
 heterogeneity-smoke:
 	$(GO) run ./cmd/faas-bench -exp heterogeneity -short -json BENCH_heterogeneity.json
 
+# Short-mode scale scenario (streaming replay at 64/256 GPUs), mirrored
+# in CI as the "scale smoke" step; the full grid — 1024 GPUs × hour-long
+# traces — runs in `make snapshot`.
+scale-smoke:
+	$(GO) run ./cmd/faas-bench -exp scale -short -json BENCH_scale.json
+
 # Record the hot-path benchmarks for later comparison: the previous
 # recording rotates to bench_old.txt, so the workflow is
 #   make bench-save            # on the old commit
@@ -64,7 +70,7 @@ heterogeneity-smoke:
 #   make bench-compare
 bench-save:
 	@if [ -f bench_new.txt ]; then mv bench_new.txt bench_old.txt; fi
-	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -count 6 ./internal/sim . | tee bench_new.txt
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -count 6 ./internal/sim ./internal/experiments . | tee bench_new.txt
 
 # benchstat old vs new hot-path snapshot; falls back to a per-benchmark
 # mean comparison when benchstat is not installed (the dev container has
@@ -97,4 +103,4 @@ bench-regress:
 vuln:
 	-$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...
 
-ci: fmt-check vet build race bench-smoke ci-snapshot elasticity-smoke heterogeneity-smoke
+ci: fmt-check vet build race bench-smoke ci-snapshot elasticity-smoke heterogeneity-smoke scale-smoke

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	faas-bench [-exp all|table1|fig4|fig7|cachepolicy|scaling|elasticity|heterogeneity|hotpath]
+//	faas-bench [-exp all|table1|fig4|fig7|cachepolicy|scaling|elasticity|heterogeneity|scale|hotpath]
 //	           [-workers N] [-short] [-json BENCH_baseline.json] [-v]
 //	           [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
@@ -54,6 +54,7 @@ type expResult struct {
 	CachePolicy   map[string]experiments.Row     `json:"cache_policy,omitempty"`
 	Elasticity    []experiments.ElasticityRow    `json:"elasticity,omitempty"`
 	Heterogeneity []experiments.HeterogeneityRow `json:"heterogeneity,omitempty"`
+	Scale         []experiments.ScaleRow         `json:"scale,omitempty"`
 	Hotpath       []experiments.HotpathRow       `json:"hotpath,omitempty"`
 }
 
@@ -64,9 +65,9 @@ func main() {
 }
 
 func benchMain() int {
-	exp := flag.String("exp", "all", "experiment to run: all|table1|fig4|fig7|cachepolicy|scaling|elasticity|heterogeneity|hotpath")
+	exp := flag.String("exp", "all", "experiment to run: all|table1|fig4|fig7|cachepolicy|scaling|elasticity|heterogeneity|scale|hotpath")
 	workers := flag.Int("workers", 0, "concurrent experiment runs (0 = GOMAXPROCS)")
-	short := flag.Bool("short", false, "shrink long experiments (elasticity/heterogeneity run the 6-minute traces)")
+	short := flag.Bool("short", false, "shrink long experiments (elasticity/heterogeneity run the 6-minute traces; scale drops the 1024-GPU and hour-long cells)")
 	jsonPath := flag.String("json", "", "write a BENCH_*.json snapshot to this path")
 	verbose := flag.Bool("v", false, "stream each grid cell as it completes")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this path")
@@ -74,9 +75,9 @@ func benchMain() int {
 	flag.Parse()
 
 	switch *exp {
-	case "all", "table1", "fig4", "fig7", "cachepolicy", "scaling", "elasticity", "heterogeneity", "hotpath":
+	case "all", "table1", "fig4", "fig7", "cachepolicy", "scaling", "elasticity", "heterogeneity", "scale", "hotpath":
 	default:
-		fmt.Fprintf(os.Stderr, "faas-bench: unknown experiment %q (want all|table1|fig4|fig7|cachepolicy|scaling|elasticity|heterogeneity|hotpath)\n", *exp)
+		fmt.Fprintf(os.Stderr, "faas-bench: unknown experiment %q (want all|table1|fig4|fig7|cachepolicy|scaling|elasticity|heterogeneity|scale|hotpath)\n", *exp)
 		os.Exit(2)
 	}
 
@@ -222,6 +223,14 @@ func benchMain() int {
 		}
 		experiments.WriteHeterogeneityTable(os.Stdout, rows)
 		return expResult{Heterogeneity: rows, Runs: len(rows)}, nil
+	})
+	run("scale", "Scale — streaming replay at production fleet sizes and trace lengths", func() (expResult, error) {
+		rows, err := experiments.ScaleSweep(m, *short)
+		if err != nil {
+			return expResult{}, err
+		}
+		experiments.WriteScaleTable(os.Stdout, rows)
+		return expResult{Scale: rows, Runs: len(rows)}, nil
 	})
 	run("hotpath", "Hot path — engine fire / scheduler decision microbenchmarks", func() (expResult, error) {
 		rows, err := experiments.Hotpath()

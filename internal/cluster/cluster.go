@@ -50,9 +50,13 @@ type Config struct {
 	// DisableLocalQueue is the finish-time-estimation ablation knob
 	// (core.Config.DisableLocalQueue).
 	DisableLocalQueue bool
-	CachePolicy       string // cache.PolicyLRU (default), PolicyFIFO, PolicyLFU
-	Zoo               *models.Zoo
-	Profiles          *models.ProfileStore
+	// ScanPlacement selects the scheduler's reference scan-placement
+	// path (core.Config.ScanPlacement); decision-identical, used as the
+	// benchmark baseline for the indexed path.
+	ScanPlacement bool
+	CachePolicy   string // cache.PolicyLRU (default), PolicyFIFO, PolicyLFU
+	Zoo           *models.Zoo
+	Profiles      *models.ProfileStore
 	// Clock overrides the default simulated clock (live mode passes a
 	// RealClock). When nil, a fresh discrete-event engine is created.
 	Clock sim.Clock
@@ -160,6 +164,11 @@ type Cluster struct {
 	lastFinish sim.Time
 	topModel   string
 	onResult   func(gpumgr.Result)
+
+	// stream is the active streaming replay (RunWorkloadStream); nil on
+	// the materialized and live paths. While set, completed requests are
+	// recycled through its arena.
+	stream *streamRun
 }
 
 // gpuLifecycle is a member GPU's elastic-membership state.
@@ -371,6 +380,7 @@ func New(cfg Config) (*Cluster, error) {
 		Policy:            cfg.Policy,
 		O3Limit:           cfg.O3Limit,
 		DisableLocalQueue: cfg.DisableLocalQueue,
+		ScanPlacement:     cfg.ScanPlacement,
 	}, (*backendView)(c))
 	if err != nil {
 		return nil, err
@@ -1003,6 +1013,20 @@ func (c *Cluster) ScaleEvents() []autoscale.ScaleEvent {
 	return c.scaler.Events()
 }
 
+// OrdStatus reports the registration-ordinal pressure: bound is one past
+// the highest ordinal ever assigned, live the current member count.
+// Ordinals are monotone and never reused, so bound − live is the number
+// of dead ordinals Ord-indexed state still spans — the measurable signal
+// behind the ROADMAP's "ordinal compaction" item.
+func (c *Cluster) OrdStatus() (bound, live int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.idsMu.Lock()
+	live = len(c.gpuIDs)
+	c.idsMu.Unlock()
+	return int(c.cacheMgr.OrdBound()), live
+}
+
 // CacheManager exposes the cache manager for metric inspection.
 func (c *Cluster) CacheManager() *cache.Manager { return c.cacheMgr }
 
@@ -1054,6 +1078,11 @@ func (c *Cluster) handleComplete(res gpumgr.Result) {
 	if c.onResult != nil {
 		c.onResult(res)
 	}
+	if c.stream != nil {
+		// Streaming replay: the request object is dead once its result
+		// is recorded — recycle it before the next scheduling round.
+		c.stream.release(res.ReqID)
+	}
 	c.runScheduler(res.FinishedAt)
 }
 
@@ -1064,6 +1093,9 @@ func (c *Cluster) runScheduler(now sim.Time) {
 			// A failed dispatch (quota, OOM-impossible model) drops the
 			// request; the paper's system returns an error to the user.
 			c.failed++
+			if c.stream != nil {
+				c.stream.release(d.Req.ID)
+			}
 		}
 	}
 }
@@ -1131,6 +1163,153 @@ func (c *Cluster) RunWorkload(reqs []trace.Request) (Report, error) {
 	return c.report(), nil
 }
 
+// ArrivalSource feeds a streaming workload replay: Next returns the next
+// batch of arrivals in time order (arrival times must be non-decreasing
+// across the whole stream and not earlier than the engine clock), or
+// false when exhausted. The returned slice is only read until the next
+// call, so sources may reuse it. trace.ArrivalStream implements this.
+type ArrivalSource interface {
+	Next() ([]trace.Request, bool)
+}
+
+// streamRun is the state of one RunWorkloadStream call: the request
+// arena, the in-flight table that maps completions back to their pooled
+// requests, and the reusable injection buffers.
+type streamRun struct {
+	src      ArrivalSource
+	arena    core.RequestArena
+	inflight map[int64]*core.Request
+	delays   []sim.Time
+	creqs    []*core.Request
+	batches  int
+	injected int64
+	err      error
+}
+
+// release recycles a finished (or failed-to-dispatch) request.
+func (st *streamRun) release(id int64) {
+	if r, ok := st.inflight[id]; ok {
+		delete(st.inflight, id)
+		st.arena.Put(r)
+	}
+}
+
+// RunWorkloadStream is RunWorkload for workloads too large to
+// materialize: it pulls arrival batches from the source on demand (each
+// batch injected through one AfterBatch, with the next pull scheduled at
+// the batch's last arrival), recycles completed requests through a
+// free-list arena, and reports the run with streaming statistics
+// attached. Peak memory is O(in-flight + one batch), independent of the
+// trace length. Timestamp ties between a batch's first arrival and
+// events scheduled earlier resolve in favor of the earlier event (the
+// arrival is injected later); trace.ArrivalStream yields strictly
+// increasing arrivals, so its chunking never reorders anything.
+func (c *Cluster) RunWorkloadStream(src ArrivalSource) (Report, error) {
+	if c.engine == nil {
+		return Report{}, ErrLiveMode
+	}
+	st := &streamRun{src: src, inflight: make(map[int64]*core.Request)}
+	c.stream = st
+	// The stream detaches when the run ends (either way): a later
+	// RunWorkload or live use of this cluster must not recycle through
+	// — or report the statistics of — a finished replay.
+	defer func() { c.stream = nil }()
+	if err := c.injectNext(st); err != nil {
+		return Report{}, err
+	}
+	c.engine.Run(0)
+	if st.err != nil {
+		return Report{}, st.err
+	}
+	if pending := c.sched.PendingTotal(); pending != 0 {
+		return Report{}, fmt.Errorf("cluster: %d requests still pending after drain", pending)
+	}
+	return c.report(), nil
+}
+
+// injectNext pulls the next non-empty batch from the source and injects
+// it into the engine; the follow-up pull fires once the batch's last
+// arrival has been delivered (its event seq is right behind the batch,
+// so no later-timestamped event runs before the refill).
+func (c *Cluster) injectNext(st *streamRun) error {
+	var batch []trace.Request
+	for {
+		b, ok := st.src.Next()
+		if !ok {
+			return nil
+		}
+		if len(b) > 0 {
+			batch = b
+			break
+		}
+	}
+	now0 := c.engine.Now()
+	st.delays = st.delays[:0]
+	st.creqs = st.creqs[:0]
+	last := now0
+	for i := range batch {
+		r := batch[i]
+		// Arrivals must be non-decreasing — within the batch too: the
+		// refill event rides on the batch's LAST element, and an
+		// out-of-order batch would let it fire (and reuse the shared
+		// injection buffers) while earlier-indexed arrivals are still
+		// pending. Reject hard, like every other ordering violation.
+		if sim.Time(r.Arrival) < last {
+			// Release the part of the batch already pooled; nothing was
+			// scheduled yet, so the arena stays balanced on abort.
+			for _, cr := range st.creqs {
+				st.release(cr.ID)
+			}
+			return fmt.Errorf("%w: at=%v now=%v (arrival)", sim.ErrPastEvent, sim.Time(r.Arrival), last)
+		}
+		last = sim.Time(r.Arrival)
+		cr := st.arena.Get()
+		cr.ID = r.ID
+		cr.Function = r.Function
+		cr.Model = r.Model
+		cr.BatchSize = r.BatchSize
+		cr.Arrival = sim.Time(r.Arrival)
+		cr.Tenant = r.Tenant
+		st.inflight[r.ID] = cr
+		st.delays = append(st.delays, sim.Time(r.Arrival)-now0)
+		st.creqs = append(st.creqs, cr)
+	}
+	st.batches++
+	st.injected += int64(len(batch))
+	creqs := st.creqs
+	c.engine.AfterBatch(st.delays, "arrival", func(i int, now sim.Time) {
+		if err := c.sched.Enqueue(creqs[i]); err != nil {
+			c.failed++
+			st.release(creqs[i].ID)
+			return
+		}
+		c.runScheduler(now)
+	})
+	// The injection buffers are reusable after the batch's last arrival
+	// has fired, which is exactly when the refill runs.
+	c.engine.After(st.delays[len(st.delays)-1], "arrival.refill", func(sim.Time) {
+		if err := c.injectNext(st); err != nil && st.err == nil {
+			st.err = err
+		}
+	})
+	return nil
+}
+
+// StreamStats summarizes a streaming replay for the Report: how much
+// arrived, and how small the working set of pooled requests stayed.
+type StreamStats struct {
+	// Requests and Batches count the injected arrival stream.
+	Requests int64
+	Batches  int
+	// PeakInflight is the high-water mark of concurrently live pooled
+	// requests; ArenaAllocated is the number of fresh allocations the
+	// arena performed (equal to PeakInflight once warm) and ArenaReused
+	// the recycled remainder.
+	PeakInflight   int64
+	ArenaAllocated int64
+	ArenaReused    int64
+}
+
 // Report is the evaluation summary for one run; field names reference the
 // paper's figures.
 type Report struct {
@@ -1196,6 +1375,17 @@ type Report struct {
 	// nil for clusters built from the homogeneous Nodes × GPUsPerNode
 	// default.
 	ClassUsage []ClassUsage `json:",omitempty"`
+
+	// OrdBound is one past the highest GPU registration ordinal ever
+	// assigned. Ordinals are never reused, so OrdBound − FinalGPUs is
+	// the dead-ordinal pressure Ord-indexed state pays for (the
+	// ROADMAP's "ordinal compaction" signal; also on /system/scale).
+	// Excluded from JSON so golden reports stay byte-identical.
+	OrdBound int `json:"-"`
+	// Streaming carries the streaming-replay statistics; nil on the
+	// materialized RunWorkload path (and so omitted from legacy report
+	// JSON).
+	Streaming *StreamStats `json:",omitempty"`
 }
 
 // report snapshots the metrics (sim mode, after drain).
@@ -1287,8 +1477,19 @@ func (c *Cluster) report() Report {
 	rep.ScaleDowns = c.scaleDowns
 	rep.PeakGPUs = c.peakGPUs
 	rep.FinalGPUs = len(c.gpuIDs)
+	rep.OrdBound = int(c.cacheMgr.OrdBound())
 	if c.scaler != nil {
 		rep.ScaleEvents = c.scaler.Events()
+	}
+	if st := c.stream; st != nil {
+		as := st.arena.Stats()
+		rep.Streaming = &StreamStats{
+			Requests:       st.injected,
+			Batches:        st.batches,
+			PeakInflight:   as.PeakLive,
+			ArenaAllocated: as.Allocated,
+			ArenaReused:    as.Reused,
+		}
 	}
 	return rep
 }

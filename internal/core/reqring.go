@@ -17,6 +17,10 @@ type reqRing struct {
 	head int        // absolute position of the first live request
 	tail int        // absolute position one past the last live request
 	live int        // live (non-tombstone) count
+	// ver counts compactions. Compaction renumbers positions, so any
+	// derived structure keyed by position (the scheduler's per-model
+	// index) must rebuild when ver changes.
+	ver int
 }
 
 // len returns the number of live requests.
@@ -37,13 +41,25 @@ func (q *reqRing) last() *Request {
 	return q.buf[(q.tail-1)&(len(q.buf)-1)]
 }
 
+// tombstones returns the number of tombstoned slots inside the live
+// span.
+func (q *reqRing) tombstones() int { return (q.tail - q.head) - q.live }
+
 // push appends a request at the tail, growing (and compacting tombstones
-// out of) the ring when the position span fills the buffer.
+// out of) the ring when the position span fills the buffer, when
+// tombstones exceed half the buffer — an adversarial enqueue/extract
+// pattern (O3 jumps and LLB placements hollow out the middle) must not
+// keep a mostly-dead buffer alive — or when the live count has fallen
+// under an eighth of the buffer, so a deep burst's allocation is handed
+// back once the queue returns to its steady depth. Compaction renumbers
+// positions, which is safe here because push is never called
+// mid-Schedule.
 func (q *reqRing) push(r *Request) {
 	if q.buf == nil {
 		q.buf = make([]*Request, 16)
 	}
-	if q.tail-q.head == len(q.buf) {
+	if q.tail-q.head == len(q.buf) || q.tombstones() > len(q.buf)/2 ||
+		(len(q.buf) > 16 && q.live*8 < len(q.buf)) {
 		q.compact()
 	}
 	q.buf[q.tail&(len(q.buf)-1)] = r
@@ -52,12 +68,19 @@ func (q *reqRing) push(r *Request) {
 }
 
 // compact rewrites the live requests contiguously from position zero,
-// doubling the buffer only when it is genuinely full of live entries.
+// doubling the buffer only when it is genuinely full of live entries and
+// shrinking it while the live count fits in a quarter of it, so the
+// ring's memory tracks the live queue depth in both directions.
 func (q *reqRing) compact() {
 	size := len(q.buf)
 	if q.live == size {
 		size *= 2
+	} else {
+		for size > 16 && q.live <= size/4 {
+			size /= 2
+		}
 	}
+	q.ver++
 	fresh := make([]*Request, size)
 	n := 0
 	for pos := q.head; pos < q.tail; pos++ {

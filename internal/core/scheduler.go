@@ -30,11 +30,26 @@
 // an epoch-stamped array instead of map[string]s, the global queue is a
 // ring-buffer deque with tombstoned O(1) mid-queue removal, and the
 // dispatch slice is pooled across Schedule calls.
+//
+// Placement selection is indexed: a per-model list of queued positions
+// answers "first queued request whose model is cached on this GPU" in
+// O(distinct queued models) instead of an O(queue) walk, the
+// LocalityLoadBalance idle-holder pick walks the smaller of (idle set,
+// holder list), and the busy-holder finish-time argmin is memoized per
+// (round, model) over round-frozen finish estimates. All of it is
+// decision-identical to the straight scan, which is retained behind
+// Config.ScanPlacement as the reference baseline (benchmarked as the
+// `scan` rows, cross-checked by TestScheduleEquivalence). The load-
+// bearing invariant is that a request's out-of-order skip count is
+// non-increasing along the live queue — every scan increments a clean
+// prefix — so the only position that can trip the starvation limit is
+// the queue head, and the skip bump is a uniform prefix increment.
 package core
 
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"gpufaas/internal/ordset"
@@ -186,6 +201,12 @@ type Config struct {
 	// quantifying the finish-time-estimation mechanism; the paper's
 	// schedulers keep it enabled.
 	DisableLocalQueue bool
+	// ScanPlacement selects the straight-scan placement path (per-request
+	// queue walk, linear holder argmin) instead of the indexed one. Both
+	// produce identical dispatch sequences; the scan path exists as the
+	// reference baseline for the schedule-round benchmarks and the
+	// equivalence suite.
+	ScanPlacement bool
 }
 
 // parked is one local-queue entry: the request plus its profiled
@@ -196,6 +217,63 @@ type Config struct {
 type parked struct {
 	req   *Request
 	infer time.Duration
+}
+
+// posList tracks the ascending absolute ring positions of one model's
+// queued requests. Pushes arrive in increasing position order (arrival
+// order); removals are arbitrary. Front removals advance a start cursor
+// (the common case: dispatch order tracks arrival order) and the dead
+// prefix is compacted away once it outgrows the live tail.
+type posList struct {
+	pos   []int
+	start int
+}
+
+func (l *posList) push(p int) { l.pos = append(l.pos, p) }
+
+func (l *posList) empty() bool { return l.start >= len(l.pos) }
+
+// first returns the smallest tracked position >= from, or -1.
+func (l *posList) first(from int) int {
+	a := l.pos[l.start:]
+	i := sort.SearchInts(a, from)
+	if i == len(a) {
+		return -1
+	}
+	return a[i]
+}
+
+// remove drops a tracked position.
+func (l *posList) remove(p int) {
+	a := l.pos[l.start:]
+	i := 0
+	if a[0] != p { // head removal is the common case; search otherwise
+		i = sort.SearchInts(a, p)
+	}
+	if i == 0 {
+		l.start++
+		if l.start >= len(l.pos) {
+			l.pos = l.pos[:0]
+			l.start = 0
+		} else if l.start > len(l.pos)-l.start {
+			l.pos = append(l.pos[:0], l.pos[l.start:]...)
+			l.start = 0
+		}
+		return
+	}
+	copy(a[i:], a[i+1:])
+	l.pos = l.pos[:len(l.pos)-1]
+}
+
+// llbMemo caches one model's busy-holder argmin for the duration of a
+// round: holder sets and backend finish estimates are frozen while
+// Schedule runs, so the result only changes when a local-queue sum does
+// (tracked by parkGen).
+type llbMemo struct {
+	epoch uint32
+	gen   uint64
+	ord   Ord
+	fin   time.Duration
 }
 
 // bitset is a fixed-capacity Ord-indexed bit array.
@@ -237,6 +315,42 @@ type Scheduler struct {
 	// idleScratch backs the fallback (no IdleLister) candidate scan.
 	idleScratch []Ord
 
+	// Indexed-placement state (unused under scanPlacement).
+	scanPlacement bool
+	// indexed flips on the first time the global queue crosses
+	// indexActivateLen and stays on: a shallow steady-state queue keeps
+	// the zero-overhead walk (the index would cost more to maintain
+	// than the one-position scan it replaces), while deep queues build
+	// the index once — O(threshold) — and maintain it incrementally.
+	indexed bool
+	// byModel maps each queued model to its ascending queue positions;
+	// maintained on enqueue/extract, rebuilt when the ring compacts
+	// (ringVer tracks reqRing.ver). Emptied lists stay in the map (the
+	// steady path drains and re-fills one model every round — deleting
+	// and re-inserting the entry would dominate the decision cost) and
+	// are pruned into plFree only once empties outnumber live lists
+	// 4:1, keeping the per-scan model iteration proportional to the
+	// queued mix.
+	byModel    map[string]*posList
+	liveModels int
+	plFree     []*posList
+	ringVer    int
+	// lastModel/lastPL short-circuit the byModel lookup for the model
+	// touched by the previous index operation — the steady enqueue →
+	// dispatch cycle hits one model twice in a row.
+	lastModel string
+	lastPL    *posList
+	// roundIdle is the frozen idle candidate list of the current round
+	// (backend busy state is stable for the duration of a Schedule call).
+	roundIdle []Ord
+	// estVal/estEpoch memoize backend.EstimatedFinish per ordinal within
+	// a round; memo/parkGen memoize the per-model busy-holder argmin
+	// until a local-queue sum changes.
+	estVal   []time.Duration
+	estEpoch []uint32
+	memo     map[string]llbMemo
+	parkGen  uint64
+
 	// moves counts global→local-queue migrations (Algorithm 2 line 12).
 	moves int64
 	// o3Dispatches counts dispatches that jumped the queue.
@@ -264,15 +378,24 @@ func New(cfg Config, backend Backend) (*Scheduler, error) {
 	}
 	il, _ := backend.(IdleLister)
 	s := &Scheduler{
-		policy:  cfg.Policy,
-		limit:   limit,
-		noPark:  cfg.DisableLocalQueue,
-		backend: backend,
-		idle:    il,
+		policy:        cfg.Policy,
+		limit:         limit,
+		noPark:        cfg.DisableLocalQueue,
+		backend:       backend,
+		idle:          il,
+		scanPlacement: cfg.ScanPlacement,
+	}
+	if !s.scanPlacement {
+		s.memo = make(map[string]llbMemo)
 	}
 	s.grow(backend.OrdBound())
 	return s, nil
 }
+
+// indexActivateLen is the global-queue depth at which the per-model
+// position index switches on (and stays on). Below it, the plain walk
+// touches fewer positions than the index bookkeeping would.
+const indexActivateLen = 64
 
 // grow extends the Ord-indexed state to cover ordinals < bound (elastic
 // membership only ever raises the bound).
@@ -285,6 +408,10 @@ func (s *Scheduler) grow(bound Ord) {
 	}
 	for Ord(len(s.takenEpoch)) < bound {
 		s.takenEpoch = append(s.takenEpoch, 0)
+	}
+	for Ord(len(s.estEpoch)) < bound {
+		s.estEpoch = append(s.estEpoch, 0)
+		s.estVal = append(s.estVal, 0)
 	}
 	for len(s.draining) < bitsetSize(bound) {
 		s.draining = append(s.draining, 0)
@@ -350,16 +477,131 @@ func (s *Scheduler) O3Limit() int { return s.limit }
 
 // Enqueue appends a request to the global queue. Requests must be
 // enqueued in non-decreasing arrival order (the Gateway forwards them as
-// they arrive).
+// they arrive). The skip count starts at zero — a request enters the
+// queue fresh, which is what keeps skip counts non-increasing along the
+// queue (the invariant the indexed placement path builds on).
 func (s *Scheduler) Enqueue(r *Request) error {
 	if r == nil {
 		return errors.New("core: nil request")
 	}
+	r.visits = 0
 	if last := s.global.last(); last != nil && last.Arrival > r.Arrival {
 		return fmt.Errorf("core: out-of-order enqueue: %v after %v", r.Arrival, last.Arrival)
 	}
 	s.global.push(r)
+	if s.indexed {
+		if s.global.ver != s.ringVer {
+			// The push compacted the ring, renumbering every position:
+			// rebuild the per-model index (the walk is the same O(n) the
+			// compaction itself just paid, and includes this request).
+			s.rebuildIndex()
+		} else {
+			s.indexAdd(r.Model, s.global.tail-1)
+		}
+	} else if s.global.len() >= indexActivateLen {
+		// Only out-of-order dispatch (limit > 0) ever looks past the
+		// head for a cached request; LB and in-order LALB keep the
+		// index off — it would be pure maintenance overhead.
+		if !s.scanPlacement && s.limit > 0 {
+			s.activateIndex()
+		}
+	}
 	return nil
+}
+
+// activateIndex switches the per-model position index on (idempotent;
+// a no-op under ScanPlacement). Exposed to tests so the equivalence
+// suite can exercise the indexed path below the activation depth.
+func (s *Scheduler) activateIndex() {
+	if s.indexed || s.scanPlacement {
+		return
+	}
+	s.indexed = true
+	if s.byModel == nil {
+		s.byModel = make(map[string]*posList)
+	}
+	s.rebuildIndex()
+}
+
+// indexAdd records a queued request's position under its model.
+func (s *Scheduler) indexAdd(model string, pos int) {
+	pl := s.lastPL
+	if pl == nil || s.lastModel != model {
+		var ok bool
+		pl, ok = s.byModel[model]
+		if !ok {
+			if n := len(s.plFree); n > 0 {
+				pl = s.plFree[n-1]
+				s.plFree[n-1] = nil
+				s.plFree = s.plFree[:n-1]
+			} else {
+				pl = &posList{}
+			}
+			s.byModel[model] = pl
+		}
+		s.lastModel, s.lastPL = model, pl
+	}
+	if pl.empty() {
+		s.liveModels++
+	}
+	pl.push(pos)
+}
+
+// rebuildIndex reconstructs the per-model position index from the ring,
+// recycling the displaced lists (ring compaction is now routine under
+// deep queues; the rebuild must not churn the heap).
+func (s *Scheduler) rebuildIndex() {
+	for _, pl := range s.byModel {
+		pl.pos = pl.pos[:0]
+		pl.start = 0
+		s.plFree = append(s.plFree, pl)
+	}
+	clear(s.byModel)
+	s.lastPL = nil
+	s.liveModels = 0
+	for p := s.global.head; p < s.global.tail; p++ {
+		if r := s.global.at(p); r != nil {
+			s.indexAdd(r.Model, p)
+		}
+	}
+	s.ringVer = s.global.ver
+}
+
+// extract removes the live request at a position, keeping the per-model
+// index in sync. Every indexed-path extraction goes through here; the
+// scan path mutates the ring directly (it has no index to maintain).
+func (s *Scheduler) extract(pos int) *Request {
+	r := s.global.remove(pos)
+	if s.indexed {
+		pl := s.lastPL
+		if pl == nil || s.lastModel != r.Model {
+			pl = s.byModel[r.Model]
+			s.lastModel, s.lastPL = r.Model, pl
+		}
+		pl.remove(pos)
+		if pl.empty() {
+			s.liveModels--
+			if n := len(s.byModel); n > 32 && n > 4*s.liveModels {
+				s.pruneIndex()
+			}
+		}
+	}
+	return r
+}
+
+// pruneIndex drops emptied per-model lists once they outnumber live
+// ones 4:1, recycling them through the free list. Amortized: a prune
+// only runs after at least as many emptying extractions.
+func (s *Scheduler) pruneIndex() {
+	for model, pl := range s.byModel {
+		if pl.empty() {
+			delete(s.byModel, model)
+			pl.pos = pl.pos[:0]
+			pl.start = 0
+			s.plFree = append(s.plFree, pl)
+		}
+	}
+	s.lastPL = nil
 }
 
 // GlobalQueueLen returns the number of requests waiting in the global
@@ -440,8 +682,10 @@ func (s *Scheduler) Schedule(now sim.Time) []Dispatch {
 	s.syncBound()
 	s.out = s.out[:0]
 	s.epoch++
-	if s.epoch == 0 { // wrapped: stale stamps could read as taken
+	if s.epoch == 0 { // wrapped: stale stamps could read as taken/fresh
 		clear(s.takenEpoch)
+		clear(s.estEpoch)
+		clear(s.memo)
 		s.epoch = 1
 	}
 
@@ -450,6 +694,7 @@ func (s *Scheduler) Schedule(now sim.Time) []Dispatch {
 	// idle candidates are computed once; GPUs consumed mid-call are
 	// filtered through the epoch-stamped taken set.
 	idle := s.idleCandidates()
+	s.roundIdle = idle
 	for {
 		progressed := false
 		for _, o := range idle {
@@ -493,6 +738,7 @@ func (s *Scheduler) scheduleIdleGPU(o Ord, now sim.Time) bool {
 		p := q[0]
 		s.local[o] = q[1:]
 		s.localSum[o] -= p.infer
+		s.parkGen++
 		s.markTaken(o)
 		s.out = append(s.out, Dispatch{
 			Req: p.req, GPU: s.backend.IDOf(o),
@@ -511,16 +757,249 @@ func (s *Scheduler) scheduleIdleGPU(o Ord, now sim.Time) bool {
 
 	// Baseline LB: head of queue to this idle GPU, no locality.
 	if s.policy == LB {
-		r := s.global.remove(s.global.headPos())
+		r := s.extract(s.global.headPos())
 		s.markTaken(o)
 		s.out = append(s.out, Dispatch{Req: r, GPU: s.backend.IDOf(o), ExpectHit: s.backend.Cached(o, r.Model)})
 		return true
 	}
+	if s.scanPlacement || !s.indexed {
+		// Shallow queues (and the reference baseline) keep the plain
+		// walk; scanPlacement additionally selects the unmemoized llb.
+		return s.findWorkScan(o, now, n0)
+	}
+	return s.findWork(o, now, n0)
+}
 
-	// Lines 6–16: look for a request whose model is cached on this GPU,
-	// enforcing the out-of-order starvation limit along the way. The
-	// scan walks ring positions; tombstones (removed mid-scan by LLB
-	// placements) are skipped.
+// findWork is Algorithm 1 lines 6–22 on the indexed path. Instead of
+// walking the queue per request it relies on the monotone-skip invariant
+// (visits is non-increasing along the live queue, so only the head can
+// be starved) and the per-model position index (the first request cached
+// on o is the min over cached models' first queued positions): each
+// iteration either resolves the head, or jumps straight to the
+// out-of-order hit after bumping the skipped prefix.
+func (s *Scheduler) findWork(o Ord, now sim.Time, n0 int) bool {
+	for s.global.len() > 0 {
+		pos := s.global.headPos()
+		r := s.global.at(pos)
+		if s.backend.Cached(o, r.Model) {
+			// Head hit: in-order, so no out-of-order jump is counted.
+			s.extract(pos)
+			s.markTaken(o)
+			s.out = append(s.out, Dispatch{Req: r, GPU: s.backend.IDOf(o), ExpectHit: true})
+			return true
+		}
+		if r.visits >= s.limit {
+			// Starvation limit reached (or limit==0, i.e. plain LALB
+			// considering the head in order): schedule it now via
+			// LocalityLoadBalance. llb removes the request; re-examine
+			// the queue, whose head now resolves to the next request.
+			if r.visits > 0 && s.limit > 0 {
+				s.starved++
+			}
+			if s.llb(o, pos, now) {
+				return true
+			}
+			continue
+		}
+		// The head is uncached here and under the limit — and by the
+		// monotone-skip invariant so is everything behind it, so the
+		// scan's stop is the first queued request cached on o.
+		if s.global.len() == 1 {
+			// Nothing behind the head to jump to.
+			r.visits++
+			break
+		}
+		jump := s.firstCachedPos(o, pos+1)
+		if jump < 0 {
+			// Nothing cached on o anywhere in the queue: every live
+			// request is passed over once (none can be starved).
+			s.bumpVisits(pos, s.global.tail)
+			break
+		}
+		s.bumpVisits(pos, jump)
+		rj := s.global.at(jump)
+		s.o3Dispatches++
+		s.extract(jump)
+		s.markTaken(o)
+		s.out = append(s.out, Dispatch{Req: rj, GPU: s.backend.IDOf(o), ExpectHit: true})
+		return true
+	}
+	// Lines 17–22: no queued request has its model cached here — drain
+	// through LocalityLoadBalance until this GPU takes one.
+	for s.global.len() > 0 {
+		before := s.global.len()
+		if s.llb(o, s.global.headPos(), now) {
+			return true
+		}
+		if s.global.len() == before {
+			// llb always removes the request; guard against spinning if
+			// that invariant is ever broken.
+			break
+		}
+	}
+	return len(s.out) > n0
+}
+
+// firstCachedPos returns the position of the first queued request at or
+// after from whose model is cached on o, or -1. The per-model index
+// makes this O(distinct queued models · log) instead of O(queue).
+func (s *Scheduler) firstCachedPos(o Ord, from int) int {
+	best := -1
+	for model, pl := range s.byModel {
+		p := pl.first(from)
+		if p < 0 || (best >= 0 && p >= best) {
+			continue
+		}
+		if s.backend.Cached(o, model) {
+			best = p
+		}
+	}
+	return best
+}
+
+// bumpVisits passes every live request in [from, to) over once — the
+// uniform prefix increment behind the monotone-skip invariant.
+func (s *Scheduler) bumpVisits(from, to int) {
+	for p := from; p < to; p++ {
+		if r := s.global.at(p); r != nil {
+			r.visits++
+		}
+	}
+}
+
+// llb implements Algorithm 2 (function LocalityLoadBalance) for the
+// request at global-queue position pos, considering idle GPU o. It
+// appends any dispatch to s.out and reports whether o itself was taken.
+// llb always removes the request from the global queue (dispatching,
+// parking, or missing it somewhere).
+func (s *Scheduler) llb(o Ord, pos int, now sim.Time) bool {
+	r := s.global.at(pos)
+	holders := s.backend.GPUsCaching(r.Model)
+
+	// Line 1–3: model cached nowhere — cache miss on the selected idle
+	// GPU.
+	if len(holders) == 0 {
+		s.extract(pos)
+		s.markTaken(o)
+		s.out = append(s.out, Dispatch{Req: r, GPU: s.backend.IDOf(o), ExpectHit: false})
+		return true
+	}
+
+	// Line 4–6: model cached on another idle GPU — dispatch there (a
+	// cache hit); the selected GPU stays idle. Draining holders are
+	// skipped: their residents are on the way out. The pick walks the
+	// smaller of the frozen idle list and the holder list; both are
+	// ascending ordinals, so either walk yields the same lowest-ord
+	// free holder the straight holder scan finds.
+	if h := s.firstFreeHolder(o, holders); h >= 0 {
+		s.extract(pos)
+		if h == o {
+			s.markTaken(o)
+			s.out = append(s.out, Dispatch{Req: r, GPU: s.backend.IDOf(o), ExpectHit: true})
+			return true
+		}
+		s.markTaken(h)
+		s.out = append(s.out, Dispatch{Req: r, GPU: s.backend.IDOf(h), ExpectHit: true})
+		return false
+	}
+
+	// Lines 8–15: model cached only on busy GPUs. Find the busy holder
+	// with the smallest estimated finish time; if waiting for it beats
+	// paying the model-load time on the idle GPU, park the request in
+	// that GPU's local queue. (Skipped entirely under the
+	// DisableLocalQueue ablation.)
+	if !s.noPark {
+		best, bestFinish := s.argminHolders(r.Model, holders, now)
+		if best >= 0 && bestFinish < s.backend.LoadTime(o, r.Model) {
+			s.extract(pos)
+			infer := s.backend.InferTime(best, r.Model, r.BatchSize)
+			s.local[best] = append(s.local[best], parked{req: r, infer: infer})
+			s.localSum[best] += infer
+			s.parkGen++
+			s.moves++
+			return false
+		}
+	}
+
+	// Lines 16–18: allow the cache miss on the idle GPU.
+	s.extract(pos)
+	s.markTaken(o)
+	s.out = append(s.out, Dispatch{Req: r, GPU: s.backend.IDOf(o), ExpectHit: false})
+	return true
+}
+
+// firstFreeHolder returns the lowest-ord holder that is neither draining
+// nor busy nor taken this round (-1 when none). When the round's idle
+// list is the smaller side it drives the walk — on a saturated fleet the
+// idle list is a handful of GPUs while a hot model's holder list grows
+// with the fleet.
+func (s *Scheduler) firstFreeHolder(o Ord, holders []Ord) Ord {
+	if len(s.roundIdle) < len(holders) {
+		for _, g := range s.roundIdle {
+			if s.draining.get(g) || s.busyOrTaken(g) {
+				continue
+			}
+			if ordset.Contains(holders, g) {
+				return g
+			}
+		}
+		return -1
+	}
+	for _, h := range holders {
+		if s.draining.get(h) {
+			continue
+		}
+		// h == o is the robustness case (the caller only reaches llb
+		// when the model is not cached on o); o is idle and untaken, so
+		// it folds into the busyOrTaken test.
+		if h == o || !s.busyOrTaken(h) {
+			return h
+		}
+	}
+	return -1
+}
+
+// argminHolders returns the non-draining holder with the smallest
+// estimated finish (including its local queue) and that finish, with the
+// original scan's tie-break (lowest ordinal wins on equal finish). The
+// result is memoized per (round, model): holder sets, draining flags and
+// backend finish estimates are all frozen while Schedule runs, so the
+// memo only invalidates when a local-queue sum changes (parkGen).
+func (s *Scheduler) argminHolders(model string, holders []Ord, now sim.Time) (Ord, time.Duration) {
+	if m, ok := s.memo[model]; ok && m.epoch == s.epoch && m.gen == s.parkGen {
+		return m.ord, m.fin
+	}
+	best := Ord(-1)
+	var bestFinish time.Duration
+	for _, h := range holders {
+		if s.draining.get(h) {
+			continue
+		}
+		fin := s.frozenEst(h, now) + s.localSum[h]
+		if best < 0 || fin < bestFinish {
+			best, bestFinish = h, fin
+		}
+	}
+	s.memo[model] = llbMemo{epoch: s.epoch, gen: s.parkGen, ord: best, fin: bestFinish}
+	return best, bestFinish
+}
+
+// frozenEst memoizes the backend's in-flight finish estimate per ordinal
+// for the duration of a round (busy state is stable across a Schedule
+// call, and `now` is fixed).
+func (s *Scheduler) frozenEst(o Ord, now sim.Time) time.Duration {
+	if s.estEpoch[o] != s.epoch {
+		s.estEpoch[o] = s.epoch
+		s.estVal[o] = s.backend.EstimatedFinish(o, now)
+	}
+	return s.estVal[o]
+}
+
+// findWorkScan is Algorithm 1 lines 6–22 on the reference scan path: it
+// walks ring positions request by request, enforcing the out-of-order
+// starvation limit along the way. Tombstones (removed mid-scan by LLB
+// placements) are skipped.
+func (s *Scheduler) findWorkScan(o Ord, now sim.Time, n0 int) bool {
 	pos := s.global.headPos()
 	for pos < s.global.tail {
 		r := s.global.at(pos)
@@ -540,14 +1019,10 @@ func (s *Scheduler) scheduleIdleGPU(o Ord, now sim.Time) bool {
 			return true
 		}
 		if r.visits >= s.limit {
-			// Starvation limit reached (or limit==0, i.e. plain LALB
-			// considering the head in order): schedule it now via
-			// LocalityLoadBalance.
 			if r.visits > 0 && s.limit > 0 {
 				s.starved++
 			}
-			tookThis := s.llb(o, pos, now)
-			if tookThis {
+			if s.llbScan(o, pos, now) {
 				return true
 			}
 			// The request left the queue for another GPU (or a local
@@ -558,34 +1033,24 @@ func (s *Scheduler) scheduleIdleGPU(o Ord, now sim.Time) bool {
 		r.visits++
 		pos++
 	}
-	// Lines 17–22: no queued request has its model cached here — drain
-	// through LocalityLoadBalance until this GPU takes one.
 	for s.global.len() > 0 {
 		before := s.global.len()
-		tookThis := s.llb(o, s.global.headPos(), now)
-		if tookThis {
+		if s.llbScan(o, s.global.headPos(), now) {
 			return true
 		}
 		if s.global.len() == before {
-			// llb always removes the request; guard against spinning if
-			// that invariant is ever broken.
 			break
 		}
 	}
 	return len(s.out) > n0
 }
 
-// llb implements Algorithm 2 (function LocalityLoadBalance) for the
-// request at global-queue position pos, considering idle GPU o. It
-// appends any dispatch to s.out and reports whether o itself was taken.
-// llb always removes the request from the global queue (dispatching,
-// parking, or missing it somewhere).
-func (s *Scheduler) llb(o Ord, pos int, now sim.Time) bool {
+// llbScan is llb on the reference scan path: straight holder walks, no
+// memoization.
+func (s *Scheduler) llbScan(o Ord, pos int, now sim.Time) bool {
 	r := s.global.at(pos)
 	holders := s.backend.GPUsCaching(r.Model)
 
-	// Line 1–3: model cached nowhere — cache miss on the selected idle
-	// GPU.
 	if len(holders) == 0 {
 		s.global.remove(pos)
 		s.markTaken(o)
@@ -593,16 +1058,11 @@ func (s *Scheduler) llb(o Ord, pos int, now sim.Time) bool {
 		return true
 	}
 
-	// Line 4–6: model cached on another idle GPU — dispatch there (a
-	// cache hit); the selected GPU stays idle. Draining holders are
-	// skipped: their residents are on the way out.
 	for _, h := range holders {
 		if s.draining.get(h) {
 			continue
 		}
 		if h == o {
-			// The caller only reaches llb when the model is not cached
-			// on o, but handle it for robustness: hit right here.
 			s.global.remove(pos)
 			s.markTaken(o)
 			s.out = append(s.out, Dispatch{Req: r, GPU: s.backend.IDOf(o), ExpectHit: true})
@@ -616,11 +1076,6 @@ func (s *Scheduler) llb(o Ord, pos int, now sim.Time) bool {
 		}
 	}
 
-	// Lines 8–15: model cached only on busy GPUs. Find the busy holder
-	// with the smallest estimated finish time; if waiting for it beats
-	// paying the model-load time on the idle GPU, park the request in
-	// that GPU's local queue. (Skipped entirely under the
-	// DisableLocalQueue ablation.)
 	if !s.noPark {
 		best := Ord(-1)
 		var bestFinish time.Duration
@@ -643,7 +1098,6 @@ func (s *Scheduler) llb(o Ord, pos int, now sim.Time) bool {
 		}
 	}
 
-	// Lines 16–18: allow the cache miss on the idle GPU.
 	s.global.remove(pos)
 	s.markTaken(o)
 	s.out = append(s.out, Dispatch{Req: r, GPU: s.backend.IDOf(o), ExpectHit: false})

@@ -81,8 +81,12 @@ type BuiltWorkload struct {
 	TopModel string
 }
 
-// Workload materializes the request stream and the derived model zoo.
-func Workload(p WorkloadParams, base *models.Zoo) (BuiltWorkload, error) {
+// workloadTrace runs the §V-A1 construction up to (but excluding) the
+// request expansion: the normalized working-set trace, the
+// function→instance mapping, the derived zoo and the tracked top model.
+// Workload materializes the expansion; StreamWorkload wraps it in an
+// ArrivalStream.
+func workloadTrace(p WorkloadParams, base *models.Zoo) (*trace.Trace, trace.ModelMapping, *models.Zoo, string, error) {
 	synth := p.Synth
 	if synth.Functions == 0 {
 		synth = synthDefaults(p.Seed)
@@ -92,16 +96,16 @@ func Workload(p WorkloadParams, base *models.Zoo) (BuiltWorkload, error) {
 	}
 	tr, err := trace.Synthesize(synth)
 	if err != nil {
-		return BuiltWorkload{}, err
+		return nil, nil, nil, "", err
 	}
 	budgets, err := p.Shape.Budgets(p.Minutes, p.RequestsPerMinute)
 	if err != nil {
-		return BuiltWorkload{}, err
+		return nil, nil, nil, "", err
 	}
 	w, err := tr.FirstMinutes(p.Minutes).TopN(p.WorkingSet).
 		RedistributeMinutesBudgets(budgets, trace.WorkloadZipfS)
 	if err != nil {
-		return BuiltWorkload{}, err
+		return nil, nil, nil, "", err
 	}
 
 	// One model instance per working-set function, architectures dealt
@@ -109,7 +113,7 @@ func Workload(p WorkloadParams, base *models.Zoo) (BuiltWorkload, error) {
 	// ranks.
 	bySize := base.BySize()
 	if len(bySize) == 0 {
-		return BuiltWorkload{}, fmt.Errorf("experiments: empty base zoo")
+		return nil, nil, nil, "", fmt.Errorf("experiments: empty base zoo")
 	}
 	mapping := make(trace.ModelMapping, len(w.Functions))
 	instances := make([]models.Model, 0, len(w.Functions))
@@ -121,17 +125,49 @@ func Workload(p WorkloadParams, base *models.Zoo) (BuiltWorkload, error) {
 	}
 	zoo, err := models.NewZoo(instances)
 	if err != nil {
+		return nil, nil, nil, "", err
+	}
+	top := ""
+	if len(w.Functions) > 0 {
+		top = mapping[w.Functions[0]]
+	}
+	return w, mapping, zoo, top, nil
+}
+
+// Workload materializes the request stream and the derived model zoo.
+func Workload(p WorkloadParams, base *models.Zoo) (BuiltWorkload, error) {
+	w, mapping, zoo, top, err := workloadTrace(p, base)
+	if err != nil {
 		return BuiltWorkload{}, err
 	}
 	reqs, err := w.BuildRequests(mapping, p.Batch, newRand(p.Seed))
 	if err != nil {
 		return BuiltWorkload{}, err
 	}
-	top := ""
-	if len(w.Functions) > 0 {
-		top = mapping[w.Functions[0]]
-	}
 	return BuiltWorkload{Requests: reqs, Zoo: zoo, TopModel: top}, nil
+}
+
+// BuiltStream is BuiltWorkload's streaming form: the same workload as an
+// arrival iterator, so peak memory is one trace minute plus the
+// in-flight set instead of the whole invocation stream.
+type BuiltStream struct {
+	Stream   *trace.ArrivalStream
+	Zoo      *models.Zoo
+	TopModel string
+}
+
+// StreamWorkload builds the workload as an ArrivalStream. chunk caps
+// requests per injected batch (<= 0: one trace minute).
+func StreamWorkload(p WorkloadParams, base *models.Zoo, chunk int) (BuiltStream, error) {
+	w, mapping, zoo, top, err := workloadTrace(p, base)
+	if err != nil {
+		return BuiltStream{}, err
+	}
+	s, err := w.Stream(mapping, p.Batch, newRand(p.Seed), chunk)
+	if err != nil {
+		return BuiltStream{}, err
+	}
+	return BuiltStream{Stream: s, Zoo: zoo, TopModel: top}, nil
 }
 
 // RunParams configures one experiment run.
@@ -159,6 +195,17 @@ type RunParams struct {
 	// a fresh, stateless-by-construction policy — grid cells must not
 	// share hysteresis counters across workers.
 	Autoscale *AutoscaleSpec
+	// Streaming replays the workload through an ArrivalStream and
+	// cluster.RunWorkloadStream — peak memory O(in-flight), with the
+	// Report carrying Streaming statistics — instead of materializing
+	// the full request slice. The scale sweep runs this way.
+	Streaming bool
+	// ScanPlacement runs the scheduler's reference scan path (the
+	// benchmark baseline; decisions are identical to the indexed path).
+	ScanPlacement bool
+	// StreamChunk caps arrivals per injected batch under Streaming
+	// (<= 0: one trace minute per batch).
+	StreamChunk int
 }
 
 // Row is one experiment result: a point in Figures 4a/4b/4c/5/6.
@@ -177,6 +224,7 @@ func Run(p RunParams) (Row, error) {
 		cfg.O3Limit = *p.O3Limit
 	}
 	cfg.DisableLocalQueue = p.DisableLocalQueue
+	cfg.ScanPlacement = p.ScanPlacement
 	if p.CachePolicy != "" {
 		cfg.CachePolicy = p.CachePolicy
 	}
@@ -205,19 +253,40 @@ func Run(p RunParams) (Row, error) {
 		}
 		cfg.Autoscale = ac
 	}
-	built, err := Workload(wp, models.Default())
-	if err != nil {
-		return Row{}, err
+	// The two replay modes differ only in how the workload is built and
+	// fed; everything around them (cluster construction, top-model
+	// tracking, the row shape) is shared so the paths cannot drift.
+	var topModel string
+	var replay func(*cluster.Cluster) (cluster.Report, error)
+	if p.Streaming {
+		built, err := StreamWorkload(wp, models.Default(), p.StreamChunk)
+		if err != nil {
+			return Row{}, err
+		}
+		cfg.Zoo = built.Zoo
+		topModel = built.TopModel
+		replay = func(c *cluster.Cluster) (cluster.Report, error) {
+			return c.RunWorkloadStream(built.Stream)
+		}
+	} else {
+		built, err := Workload(wp, models.Default())
+		if err != nil {
+			return Row{}, err
+		}
+		cfg.Zoo = built.Zoo
+		topModel = built.TopModel
+		replay = func(c *cluster.Cluster) (cluster.Report, error) {
+			return c.RunWorkload(built.Requests)
+		}
 	}
-	cfg.Zoo = built.Zoo
 	c, err := cluster.New(cfg)
 	if err != nil {
 		return Row{}, err
 	}
-	if built.TopModel != "" {
-		c.TrackModel(built.TopModel)
+	if topModel != "" {
+		c.TrackModel(topModel)
 	}
-	rep, err := c.RunWorkload(built.Requests)
+	rep, err := replay(c)
 	if err != nil {
 		return Row{}, err
 	}

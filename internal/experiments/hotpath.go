@@ -17,6 +17,8 @@ import (
 
 	"gpufaas/internal/cluster"
 	"gpufaas/internal/core"
+	"gpufaas/internal/models"
+	"gpufaas/internal/ordset"
 	"gpufaas/internal/sim"
 )
 
@@ -103,7 +105,194 @@ func Hotpath() ([]HotpathRow, error) {
 		}
 	}))
 	rows = append(rows, row)
+
+	// The 1024-GPU round: the saturated deep-queue regime, scan baseline
+	// first so its measurement rides along as the indexed row's inline
+	// baseline (and as its own row for benchregress).
+	scanRow := HotpathRow{Name: "schedule_round/1024gpus_scan"}
+	scanRow.fill(testing.Benchmark(func(b *testing.B) { scheduleRound1024(b, true) }))
+	rows = append(rows, scanRow)
+	idxRow := HotpathRow{
+		Name:                "schedule_round/1024gpus",
+		BaselineNsPerOp:     scanRow.NsPerOp,
+		BaselineAllocsPerOp: scanRow.AllocsPerOp,
+	}
+	idxRow.fill(testing.Benchmark(func(b *testing.B) { scheduleRound1024(b, false) }))
+	rows = append(rows, idxRow)
+
+	// End-to-end streaming replay of the small scale cell: the cost of a
+	// full simulated run on the O(in-flight) path.
+	replay := HotpathRow{Name: "streaming_replay/64gpus_6min"}
+	replay.fill(testing.Benchmark(func(b *testing.B) {
+		p := streamingReplayParams()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := Run(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	rows = append(rows, replay)
 	return rows, nil
+}
+
+// ---- 1024-GPU scheduling round ----
+
+// The scale-round fixture reproduces the regime that made per-round cost
+// grow with fleet × queue before the indexed placement path: a saturated
+// 1024-GPU fleet (8 freshly idle GPUs per round — completions free GPUs
+// a handful at a time), a burst-deep global queue of 1024 requests drawn
+// from 32 hot models, and hot models resident on ~340 busy GPUs each
+// (duplicates scale with the fleet). None of the queue is cached on the
+// idle GPUs, so the scan baseline walks the full queue per idle GPU and
+// runs a full holder argmin per placement, while the indexed path
+// consults the per-model position index, walks the idle side of the
+// holder intersection, and reuses the memoized argmin across the round.
+const (
+	roundFleet      = 1024
+	roundIdleGPUs   = 8
+	roundHotModels  = 32
+	roundQueueDepth = 1024
+)
+
+// roundBackend is a frozen synthetic core.Backend at fleet scale; the
+// benchmark recreates the Scheduler per iteration (outside the timer)
+// so every measured round sees identical state.
+type roundBackend struct {
+	ids     []string
+	busy    []bool
+	est     []time.Duration
+	holders map[string][]ordset.Ord
+	idle    []core.Ord
+	load    time.Duration
+	infer   time.Duration
+}
+
+func newRoundBackend() *roundBackend {
+	bk := &roundBackend{
+		ids:     make([]string, roundFleet),
+		busy:    make([]bool, roundFleet),
+		est:     make([]time.Duration, roundFleet),
+		holders: make(map[string][]ordset.Ord, roundHotModels),
+		load:    5 * time.Second,
+		infer:   2 * time.Second,
+	}
+	firstIdle := roundFleet - roundIdleGPUs
+	for o := 0; o < roundFleet; o++ {
+		bk.ids[o] = fmt.Sprintf("gpu%04d", o)
+		if o < firstIdle {
+			bk.busy[o] = true
+			// Finish estimates beyond the load time: waiting never beats
+			// a miss, so rounds produce no parking and stay stateless.
+			bk.est[o] = 60*time.Second + time.Duration(o)*time.Millisecond
+		} else {
+			bk.idle = append(bk.idle, core.Ord(o))
+		}
+	}
+	for m := 0; m < roundHotModels; m++ {
+		var hs []ordset.Ord
+		for o := 0; o < firstIdle; o++ {
+			if o%3 == m%3 {
+				hs = append(hs, core.Ord(o))
+			}
+		}
+		bk.holders[roundModel(m)] = hs
+	}
+	return bk
+}
+
+func roundModel(m int) string { return fmt.Sprintf("hot%02d", m) }
+
+func (bk *roundBackend) Ords() []core.Ord {
+	out := make([]core.Ord, len(bk.ids))
+	for i := range out {
+		out[i] = core.Ord(i)
+	}
+	return out
+}
+func (bk *roundBackend) OrdBound() core.Ord { return core.Ord(len(bk.ids)) }
+func (bk *roundBackend) OrdOf(id string) (core.Ord, bool) {
+	for i, s := range bk.ids {
+		if s == id {
+			return core.Ord(i), true
+		}
+	}
+	return 0, false
+}
+func (bk *roundBackend) IDOf(o core.Ord) string { return bk.ids[o] }
+func (bk *roundBackend) Busy(o core.Ord) bool   { return bk.busy[o] }
+func (bk *roundBackend) Cached(o core.Ord, model string) bool {
+	return ordset.Contains(bk.holders[model], o)
+}
+func (bk *roundBackend) GPUsCaching(model string) []core.Ord { return bk.holders[model] }
+func (bk *roundBackend) EstimatedFinish(o core.Ord, _ sim.Time) time.Duration {
+	if !bk.busy[o] {
+		return 0
+	}
+	return bk.est[o]
+}
+func (bk *roundBackend) LoadTime(core.Ord, string) time.Duration       { return bk.load }
+func (bk *roundBackend) InferTime(core.Ord, string, int) time.Duration { return bk.infer }
+func (bk *roundBackend) IdleOrds() []core.Ord                          { return bk.idle }
+
+// scheduleRound1024 measures one full Schedule round over the fixture.
+// Scheduler construction and queue fill happen outside the timer; the
+// request objects are shared across iterations (Enqueue resets the skip
+// count). Requests arrive in blocks of eight per model, so the round's
+// successive head placements repeat models — the shape a bursty hot
+// model produces.
+func scheduleRound1024(b *testing.B, scan bool) {
+	bk := newRoundBackend()
+	reqs := make([]*core.Request, roundQueueDepth)
+	for i := range reqs {
+		reqs[i] = &core.Request{
+			ID:        int64(i),
+			Model:     roundModel((i / 8) % roundHotModels),
+			BatchSize: 32,
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s, err := core.New(core.Config{
+			Policy:        core.LALBO3,
+			O3Limit:       core.DefaultO3Limit,
+			ScanPlacement: scan,
+		}, bk)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range reqs {
+			if err := s.Enqueue(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		if ds := s.Schedule(0); len(ds) != roundIdleGPUs {
+			b.Fatalf("round dispatched %d, want %d", len(ds), roundIdleGPUs)
+		}
+	}
+}
+
+// streamingReplayParams is the small streaming scale cell the replay
+// benchmark and hotpath row measure end to end (64 GPUs, 6 minutes).
+func streamingReplayParams() RunParams {
+	return RunParams{
+		Policy:      core.LALBO3,
+		WorkingSet:  64,
+		Nodes:       16,
+		GPUsPerNode: 4,
+		Streaming:   true,
+		Workload: WorkloadParams{
+			Minutes:           6,
+			RequestsPerMinute: 64 * 325 / 12,
+			WorkingSet:        64,
+			Batch:             models.EvalBatchSize,
+			Seed:              1,
+		},
+	}
 }
 
 // WriteHotpathTable renders the rows with their baselines.

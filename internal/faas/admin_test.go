@@ -20,6 +20,7 @@ func TestAdminClusterScale(t *testing.T) {
 	srv := httptest.NewServer(g.Handler())
 	defer srv.Close()
 
+	var ords map[string]int
 	get := func() (counts autoscale.Size, gpus []string) {
 		res, err := http.Get(srv.URL + "/system/scale")
 		if err != nil {
@@ -29,15 +30,20 @@ func TestAdminClusterScale(t *testing.T) {
 		var body struct {
 			Counts autoscale.Size `json:"counts"`
 			GPUs   []string       `json:"gpus"`
+			Ords   map[string]int `json:"ords"`
 		}
 		if err := json.NewDecoder(res.Body).Decode(&body); err != nil {
 			t.Fatal(err)
 		}
+		ords = body.Ords
 		return body.Counts, body.GPUs
 	}
 	counts, gpus := get()
 	if counts.Active != 12 || len(gpus) != 12 {
 		t.Fatalf("initial fleet = %+v (%d GPUs)", counts, len(gpus))
+	}
+	if ords["bound"] != 12 || ords["live"] != 12 || ords["dead"] != 0 {
+		t.Fatalf("initial ords = %v", ords)
 	}
 
 	post := func(target int, wantStatus int) map[string]json.RawMessage {
@@ -75,6 +81,11 @@ func TestAdminClusterScale(t *testing.T) {
 	counts, _ = get()
 	if counts.Active != 12 || counts.Draining != 0 {
 		t.Fatalf("after shrink: %+v", counts)
+	}
+	// Ordinals are never reused: the churn left two dead ordinals — the
+	// dead-ordinal pressure signal behind the ROADMAP's compaction item.
+	if ords["bound"] != 14 || ords["live"] != 12 || ords["dead"] != 2 {
+		t.Fatalf("ords after churn = %v", ords)
 	}
 	post(0, http.StatusBadRequest)
 

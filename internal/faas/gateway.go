@@ -376,10 +376,15 @@ func (g *Gateway) handleScale(w http.ResponseWriter, r *http.Request) {
 func (g *Gateway) handleClusterScale(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodGet:
+		bound, live := g.cluster.OrdStatus()
 		writeJSON(w, http.StatusOK, map[string]any{
 			"counts":  g.cluster.FleetCounts(),
 			"classes": g.cluster.ClassStatuses(),
 			"gpus":    g.cluster.GPUIDs(),
+			// Registration-ordinal pressure: ordinals are never reused,
+			// so dead = bound − live is the state the ROADMAP's ordinal
+			// compaction would reclaim.
+			"ords": map[string]int{"bound": bound, "live": live, "dead": bound - live},
 		})
 	case http.MethodPost:
 		var body struct {

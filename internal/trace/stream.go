@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// ArrivalStream is the iterator form of BuildRequests: it yields the
+// exact same request sequence (same mapping validation, same per-minute
+// shuffle, same arrival offsets, same IDs) in chunks, materializing at
+// most one trace minute at a time. An hour-long trace at production
+// request rates no longer needs its full arrival stream resident before
+// the simulation clock starts — the harness pulls batches on demand.
+//
+// Arrival times are strictly increasing across the whole stream (offsets
+// within a minute are distinct by construction and minutes do not
+// overlap), so chunk boundaries never split a timestamp tie and the
+// yielded sequence is independent of the chunk size.
+type ArrivalStream struct {
+	t       *Trace
+	mapping ModelMapping
+	batch   int
+	rng     *rand.Rand
+	chunk   int
+
+	minute    int
+	id        int64
+	total     int64
+	minuteFns []string  // scratch for one minute's expansion
+	buf       []Request // current minute's requests
+	bufPos    int
+	out       []Request // reusable batch returned by Next
+}
+
+// Stream returns an ArrivalStream over the trace. chunk caps the number
+// of requests per yielded batch; chunk <= 0 yields one trace minute per
+// batch. Batches never span a minute boundary. The mapping must cover
+// every trace function (the same validation BuildRequests performs,
+// hoisted to construction time).
+func (t *Trace) Stream(mapping ModelMapping, batch int, rng *rand.Rand, chunk int) (*ArrivalStream, error) {
+	if batch <= 0 {
+		return nil, fmt.Errorf("trace: non-positive batch size %d", batch)
+	}
+	for _, fn := range t.Functions {
+		if _, ok := mapping[fn]; !ok {
+			return nil, fmt.Errorf("trace: no model mapping for function %q", fn)
+		}
+	}
+	return &ArrivalStream{
+		t:       t,
+		mapping: mapping,
+		batch:   batch,
+		rng:     rng,
+		chunk:   chunk,
+		total:   t.TotalInvocations(),
+	}, nil
+}
+
+// Total returns the total number of requests the stream will yield.
+func (s *ArrivalStream) Total() int64 { return s.total }
+
+// Next returns the next batch of requests in arrival order, or false
+// when the stream is exhausted. The returned slice is reused by the next
+// call; consumers must copy what they retain.
+func (s *ArrivalStream) Next() ([]Request, bool) {
+	for s.bufPos >= len(s.buf) {
+		if s.minute >= s.t.Minutes {
+			return nil, false
+		}
+		s.fillMinute()
+	}
+	n := len(s.buf) - s.bufPos
+	if s.chunk > 0 && n > s.chunk {
+		n = s.chunk
+	}
+	s.out = append(s.out[:0], s.buf[s.bufPos:s.bufPos+n]...)
+	s.bufPos += n
+	return s.out, true
+}
+
+// fillMinute materializes the next minute into buf — the exact
+// per-minute expansion BuildRequests performs: invocations of the
+// minute's functions shuffled uniformly and spread evenly across the
+// minute.
+func (s *ArrivalStream) fillMinute() {
+	t, m := s.t, s.minute
+	s.minute++
+	s.minuteFns = s.minuteFns[:0]
+	for i, row := range t.Counts {
+		for k := 0; k < row[m]; k++ {
+			s.minuteFns = append(s.minuteFns, t.Functions[i])
+		}
+	}
+	s.rng.Shuffle(len(s.minuteFns), func(a, b int) {
+		s.minuteFns[a], s.minuteFns[b] = s.minuteFns[b], s.minuteFns[a]
+	})
+	n := len(s.minuteFns)
+	s.buf = s.buf[:0]
+	s.bufPos = 0
+	for k, fn := range s.minuteFns {
+		offset := time.Duration(float64(time.Minute) * float64(k) / float64(max(n, 1)))
+		s.buf = append(s.buf, Request{
+			ID:        s.id,
+			Function:  fn,
+			Model:     s.mapping[fn],
+			Arrival:   time.Duration(m)*time.Minute + offset,
+			BatchSize: s.batch,
+		})
+		s.id++
+	}
+}

@@ -309,42 +309,26 @@ func EvenSizeMapping(functions []string, modelNames []string) (ModelMapping, err
 // uniformly and assigned arrival offsets spread evenly across the minute,
 // matching the paper's "randomly distribute the invocations of different
 // functions while maintaining the normalized total invocations per minute".
-// The rng makes the workload reproducible.
+// The rng makes the workload reproducible. It is the materialized form of
+// Stream — workloads too large to hold in memory pull batches from an
+// ArrivalStream instead (TestStreamMatchesBuildRequests pins that the
+// sequences are identical).
 func (t *Trace) BuildRequests(mapping ModelMapping, batch int, rng *rand.Rand) ([]Request, error) {
-	if batch <= 0 {
-		return nil, fmt.Errorf("trace: non-positive batch size %d", batch)
+	s, err := t.Stream(mapping, batch, rng, 0)
+	if err != nil {
+		return nil, err
 	}
 	var reqs []Request
-	var id int64
-	for m := 0; m < t.Minutes; m++ {
-		var minuteFns []string
-		for i, row := range t.Counts {
-			model, ok := mapping[t.Functions[i]]
-			if !ok {
-				return nil, fmt.Errorf("trace: no model mapping for function %q", t.Functions[i])
-			}
-			_ = model
-			for k := 0; k < row[m]; k++ {
-				minuteFns = append(minuteFns, t.Functions[i])
-			}
-		}
-		rng.Shuffle(len(minuteFns), func(a, b int) {
-			minuteFns[a], minuteFns[b] = minuteFns[b], minuteFns[a]
-		})
-		n := len(minuteFns)
-		for k, fn := range minuteFns {
-			offset := time.Duration(float64(time.Minute) * float64(k) / float64(max(n, 1)))
-			reqs = append(reqs, Request{
-				ID:        id,
-				Function:  fn,
-				Model:     mapping[fn],
-				Arrival:   time.Duration(m)*time.Minute + offset,
-				BatchSize: batch,
-			})
-			id++
-		}
+	if s.Total() > 0 {
+		reqs = make([]Request, 0, s.Total())
 	}
-	return reqs, nil
+	for {
+		b, ok := s.Next()
+		if !ok {
+			return reqs, nil
+		}
+		reqs = append(reqs, b...)
+	}
 }
 
 func max(a, b int) int {
