@@ -1,12 +1,21 @@
 # Local targets mirror .github/workflows/ci.yml exactly, so `make ci`
-# reproduces the gate a PR must pass.
+# reproduces the gate a PR must pass. The workflow runs three parallel
+# jobs; the union of their steps is what `ci` chains serially:
+#
+#   lint job        -> fmt-check vet
+#   test job        -> build race
+#   experiments job -> bench-smoke ci-snapshot elasticity-smoke
+#                      heterogeneity-smoke scale-smoke cells-smoke
+#                      cells-determinism
+#
+# (bench-regress and vuln stay advisory in both places.)
 
 GO ?= go
 
 # Hot-path benchmarks compared by bench-save / bench-compare.
-BENCH_PATTERN ?= BenchmarkEngineFire|BenchmarkEngineCancel|BenchmarkScheduleDecision|BenchmarkScheduleRound1024|BenchmarkStreamingReplay
+BENCH_PATTERN ?= BenchmarkEngineFire|BenchmarkEngineCancel|BenchmarkScheduleDecision|BenchmarkScheduleRound1024|BenchmarkStreamingReplay|BenchmarkRouterRoute|BenchmarkMultiCellReplay
 
-.PHONY: all build test race vet fmt fmt-check bench bench-smoke snapshot ci-snapshot elasticity-smoke heterogeneity-smoke scale-smoke bench-save bench-compare bench-regress vuln ci
+.PHONY: all build test race vet fmt fmt-check bench bench-smoke snapshot ci-snapshot elasticity-smoke heterogeneity-smoke scale-smoke cells-smoke cells-determinism bench-save bench-compare bench-regress vuln ci
 
 all: build
 
@@ -37,7 +46,9 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-# Machine-readable perf snapshot (schema in EXPERIMENTS.md).
+# Machine-readable perf snapshot (schema in EXPERIMENTS.md). The cell
+# sweep is not part of `-exp all`; regenerate its artifact with
+# `make cells-smoke`.
 snapshot:
 	$(GO) run ./cmd/faas-bench -exp all -json BENCH_baseline.json
 
@@ -61,6 +72,22 @@ heterogeneity-smoke:
 # traces — runs in `make snapshot`.
 scale-smoke:
 	$(GO) run ./cmd/faas-bench -exp scale -short -json BENCH_scale.json
+
+# Short-mode multi-cell sweep ({1,4,16} cells × router policy at
+# 1024/4096 GPUs), mirrored in CI as the "cells smoke" step. The full
+# grid adds the 16384-GPU column (drop -short).
+cells-smoke:
+	$(GO) run ./cmd/faas-bench -exp cells -short -workers 8 -json BENCH_cells.json -det-json BENCH_cells.det.json
+
+# The CI determinism gate: the multi-cell sweep must produce
+# byte-identical canonical snapshots at any worker count. Reuses the
+# workers=8 canonical twin cells-smoke wrote, re-runs the sweep at
+# -workers 1, and fails on any byte difference — two sweep executions
+# total.
+cells-determinism: cells-smoke
+	$(GO) run ./cmd/faas-bench -exp cells -short -workers 1 -det-json /tmp/gpufaas_cells_w1.json
+	cmp /tmp/gpufaas_cells_w1.json BENCH_cells.det.json
+	@echo "multi-cell determinism gate: snapshots byte-identical across worker counts"
 
 # Record the hot-path benchmarks for later comparison: the previous
 # recording rotates to bench_old.txt, so the workflow is
@@ -91,9 +118,10 @@ bench-compare:
 	fi
 
 # Advisory hot-path regression check against the committed baseline
-# snapshot: re-measures the gpufaas-bench/v1 hotpath rows and flags any
-# case more than 50% slower than BENCH_baseline.json. Mirrored as the
-# CI "benchmark regression" advisory step; never gates locally.
+# snapshot: re-measures the gpufaas-bench/v1 hotpath rows (which include
+# the router_route cell benchmarks) and flags any case more than 50%
+# slower than BENCH_baseline.json. Mirrored as the CI "benchmark
+# regression" advisory step; never gates locally.
 bench-regress:
 	-$(GO) run ./cmd/faas-bench -exp hotpath -json BENCH_hotpath.json && \
 		$(GO) run ./cmd/faas-bench/benchregress BENCH_baseline.json BENCH_hotpath.json
@@ -103,4 +131,4 @@ bench-regress:
 vuln:
 	-$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...
 
-ci: fmt-check vet build race bench-smoke ci-snapshot elasticity-smoke heterogeneity-smoke scale-smoke
+ci: fmt-check vet build race bench-smoke ci-snapshot elasticity-smoke heterogeneity-smoke scale-smoke cells-smoke cells-determinism

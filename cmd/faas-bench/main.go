@@ -7,13 +7,23 @@
 //
 // Usage:
 //
-//	faas-bench [-exp all|table1|fig4|fig7|cachepolicy|scaling|elasticity|heterogeneity|scale|hotpath]
-//	           [-workers N] [-short] [-json BENCH_baseline.json] [-v]
+//	faas-bench [-exp all|table1|fig4|fig7|cachepolicy|scaling|elasticity|heterogeneity|scale|cells|hotpath]
+//	           [-workers N] [-short] [-json BENCH_baseline.json] [-det-json canon.json] [-v]
 //	           [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // The pprof flags profile the experiment run itself (`go tool pprof
 // <binary> cpu.pprof`), so perf work on the simulator hot paths starts
 // from a measured profile rather than guesswork.
+//
+// -det-json writes a second, canonicalized snapshot with every
+// environment-/timing-dependent field zeroed (created_at, go_version,
+// gomaxprocs, workers, all wall-clock and speedup fields). Two runs of
+// the same experiment at different worker counts must produce
+// byte-identical -det-json files; CI diffs them as the determinism gate.
+//
+// The `cells` experiment (the multi-cell shard sweep) is deliberately
+// NOT part of `-exp all`: its 16k-GPU rows dwarf the rest of the grid.
+// Run it explicitly with `-exp cells` (and `-short` to cap at 4096).
 package main
 
 import (
@@ -55,7 +65,36 @@ type expResult struct {
 	Elasticity    []experiments.ElasticityRow    `json:"elasticity,omitempty"`
 	Heterogeneity []experiments.HeterogeneityRow `json:"heterogeneity,omitempty"`
 	Scale         []experiments.ScaleRow         `json:"scale,omitempty"`
+	Cells         []experiments.CellRow          `json:"cells,omitempty"`
 	Hotpath       []experiments.HotpathRow       `json:"hotpath,omitempty"`
+}
+
+// canonicalize deep-copies a snapshot with every field that legitimately
+// varies between runs of the same experiment zeroed out, leaving only
+// bytes the simulation itself determines. This is what -det-json writes
+// and what the CI determinism gate compares across worker counts.
+func canonicalize(snap snapshot) snapshot {
+	out := snap
+	out.CreatedAt = ""
+	out.GoVersion = ""
+	out.GOMAXPROCS = 0
+	out.Workers = 0
+	out.WallSeconds = 0
+	out.Experiments = make(map[string]expResult, len(snap.Experiments))
+	for name, res := range snap.Experiments {
+		res.WallSeconds = 0
+		if len(res.Cells) > 0 {
+			rows := make([]experiments.CellRow, len(res.Cells))
+			copy(rows, res.Cells)
+			for i := range rows {
+				rows[i].WallSeconds = 0
+				rows[i].Speedup = 0
+			}
+			res.Cells = rows
+		}
+		out.Experiments[name] = res
+	}
+	return out
 }
 
 func main() {
@@ -65,19 +104,20 @@ func main() {
 }
 
 func benchMain() int {
-	exp := flag.String("exp", "all", "experiment to run: all|table1|fig4|fig7|cachepolicy|scaling|elasticity|heterogeneity|scale|hotpath")
+	exp := flag.String("exp", "all", "experiment to run: all|table1|fig4|fig7|cachepolicy|scaling|elasticity|heterogeneity|scale|cells|hotpath (cells is not part of all)")
 	workers := flag.Int("workers", 0, "concurrent experiment runs (0 = GOMAXPROCS)")
-	short := flag.Bool("short", false, "shrink long experiments (elasticity/heterogeneity run the 6-minute traces; scale drops the 1024-GPU and hour-long cells)")
+	short := flag.Bool("short", false, "shrink long experiments (elasticity/heterogeneity run the 6-minute traces; scale drops the 1024-GPU and hour-long cells; the cell sweep caps at 4096 GPUs)")
 	jsonPath := flag.String("json", "", "write a BENCH_*.json snapshot to this path")
+	detJSONPath := flag.String("det-json", "", "also write a canonicalized snapshot (wall-clock and environment fields zeroed) to this path; CI diffs these across worker counts")
 	verbose := flag.Bool("v", false, "stream each grid cell as it completes")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this path")
 	memProfile := flag.String("memprofile", "", "write an allocation profile (at exit) to this path")
 	flag.Parse()
 
 	switch *exp {
-	case "all", "table1", "fig4", "fig7", "cachepolicy", "scaling", "elasticity", "heterogeneity", "scale", "hotpath":
+	case "all", "table1", "fig4", "fig7", "cachepolicy", "scaling", "elasticity", "heterogeneity", "scale", "cells", "hotpath":
 	default:
-		fmt.Fprintf(os.Stderr, "faas-bench: unknown experiment %q (want all|table1|fig4|fig7|cachepolicy|scaling|elasticity|heterogeneity|scale|hotpath)\n", *exp)
+		fmt.Fprintf(os.Stderr, "faas-bench: unknown experiment %q (want all|table1|fig4|fig7|cachepolicy|scaling|elasticity|heterogeneity|scale|cells|hotpath)\n", *exp)
 		os.Exit(2)
 	}
 
@@ -232,6 +272,18 @@ func benchMain() int {
 		experiments.WriteScaleTable(os.Stdout, rows)
 		return expResult{Scale: rows, Runs: len(rows)}, nil
 	})
+	// Excluded from -exp all (the 16k-GPU rows dwarf the rest of the
+	// grid); runs only when asked for explicitly.
+	if *exp == "cells" {
+		run("cells", "Multi-cell — sharded fleets behind the front-door router", func() (expResult, error) {
+			rows, err := experiments.CellSweep(*workers, *short)
+			if err != nil {
+				return expResult{}, err
+			}
+			experiments.WriteCellTable(os.Stdout, rows)
+			return expResult{Cells: rows, Runs: len(rows)}, nil
+		})
+	}
 	run("hotpath", "Hot path — engine fire / scheduler decision microbenchmarks", func() (expResult, error) {
 		rows, err := experiments.Hotpath()
 		if err != nil {
@@ -257,6 +309,19 @@ func benchMain() int {
 			return 1
 		}
 		fmt.Printf("\nwrote snapshot %s (%.2fs total)\n", *jsonPath, snap.WallSeconds)
+	}
+	if *detJSONPath != "" {
+		buf, err := json.MarshalIndent(canonicalize(snap), "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "faas-bench: marshal canonical snapshot: %v\n", err)
+			return 1
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*detJSONPath, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "faas-bench: write %s: %v\n", *detJSONPath, err)
+			return 1
+		}
+		fmt.Printf("wrote canonical snapshot %s\n", *detJSONPath)
 	}
 	return 0
 }

@@ -7,6 +7,7 @@
 //
 //	faas-gateway -addr :8080 -policy LALBO3 -timescale 0.01
 //	faas-gateway -fleet t4:8,rtx2080:4 -autoscale tiered
+//	faas-gateway -nodes 8 -cells 4 -cell-router leastload
 //
 // Then deploy and invoke with faas-cli or plain curl:
 //
@@ -41,6 +42,8 @@ func main() {
 	asInterval := flag.Duration("autoscale-interval", 5*time.Second, "autoscaler tick interval (wall time)")
 	asColdStart := flag.Duration("autoscale-coldstart", 2*time.Second, "provisioned-GPU cold start (wall time)")
 	asP95 := flag.Duration("autoscale-p95", 2*time.Second, "tiered policy p95 objective (wall time, after -timescale)")
+	cells := flag.Int("cells", 1, "shard the fleet into N independent cells behind the front-door router")
+	cellRouter := flag.String("cell-router", "", "front-door policy for -cells > 1: hash|affinity|leastload (default hash)")
 	flag.Parse()
 
 	cfg := faas.GatewayConfig{
@@ -49,6 +52,8 @@ func main() {
 		Nodes:       *nodes,
 		GPUsPerNode: *gpus,
 		TimeScale:   *timescale,
+		Cells:       *cells,
+		CellRouter:  *cellRouter,
 	}
 	gpuCount := *nodes * *gpus
 	if *fleet != "" {
@@ -98,7 +103,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("faas-gateway: %v", err)
 	}
-	fmt.Printf("GPU-FaaS gateway listening on %s (policy=%s, %d GPUs, fleet=%q, timescale=%g, autoscale=%q)\n",
-		*addr, *policy, gpuCount, *fleet, *timescale, *asPolicy)
+	fmt.Printf("GPU-FaaS gateway listening on %s (policy=%s, %d GPUs, %d cells, fleet=%q, timescale=%g, autoscale=%q)\n",
+		*addr, *policy, gpuCount, g.CellCount(), *fleet, *timescale, *asPolicy)
 	log.Fatal(http.ListenAndServe(*addr, g.Handler()))
 }

@@ -40,6 +40,7 @@ import (
 	"gpufaas/internal/experiments"
 	"gpufaas/internal/gpumgr"
 	"gpufaas/internal/models"
+	"gpufaas/internal/multicell"
 	"gpufaas/internal/sim"
 	"gpufaas/internal/trace"
 )
@@ -76,14 +77,34 @@ type (
 	FleetSpec = cluster.FleetSpec
 	// ClassUsage is one device class's cost row in Report.ClassUsage.
 	ClassUsage = cluster.ClassUsage
+	// CellReport is the merged fleet roll-up of a multi-cell run
+	// (summed counters, exact percentiles over the concatenated
+	// samples, per-cell spread).
+	CellReport = multicell.MergedReport
+	// CellResult is a full multi-cell run: the merged roll-up plus the
+	// per-cell outcomes and the run's wall clock.
+	CellResult = multicell.Result
 )
 
-// Option customizes the cluster configuration.
-type Option func(*cluster.Config) error
+// Config is the resolved facade configuration: the cluster
+// configuration plus the multi-cell front door. Options mutate it; the
+// cluster fields are promoted from the embedded cluster.Config.
+type Config struct {
+	cluster.Config
+	// Cells shards the fleet into this many independent cells behind a
+	// deterministic front-door router (0 or 1: a single cluster).
+	Cells int
+	// CellRouter names the router policy: "hash", "affinity" or
+	// "leastload" (empty: hash).
+	CellRouter string
+}
+
+// Option customizes the configuration.
+type Option func(*Config) error
 
 // WithPolicy selects the scheduler: "LB", "LALB" or "LALBO3".
 func WithPolicy(name string) Option {
-	return func(cfg *cluster.Config) error {
+	return func(cfg *Config) error {
 		p, err := core.ParsePolicy(name)
 		if err != nil {
 			return err
@@ -95,7 +116,7 @@ func WithPolicy(name string) Option {
 
 // WithO3Limit sets the out-of-order starvation limit (LALBO3 only).
 func WithO3Limit(limit int) Option {
-	return func(cfg *cluster.Config) error {
+	return func(cfg *Config) error {
 		if limit < 0 {
 			return fmt.Errorf("gpufaas: negative O3 limit %d", limit)
 		}
@@ -106,7 +127,7 @@ func WithO3Limit(limit int) Option {
 
 // WithTopology sets the node count and GPUs per node.
 func WithTopology(nodes, gpusPerNode int) Option {
-	return func(cfg *cluster.Config) error {
+	return func(cfg *Config) error {
 		cfg.Nodes = nodes
 		cfg.GPUsPerNode = gpusPerNode
 		return nil
@@ -125,7 +146,7 @@ func WithTopology(nodes, gpusPerNode int) Option {
 //	    {Type: "rtx2080", Count: 4, CostPerSecond: 0.60},
 //	}))
 func WithFleet(spec FleetSpec) Option {
-	return func(cfg *cluster.Config) error {
+	return func(cfg *Config) error {
 		if len(spec) == 0 {
 			return errors.New("gpufaas: empty fleet spec")
 		}
@@ -136,7 +157,7 @@ func WithFleet(spec FleetSpec) Option {
 
 // WithGPUMemory sets the usable model memory per GPU in bytes.
 func WithGPUMemory(bytes int64) Option {
-	return func(cfg *cluster.Config) error {
+	return func(cfg *Config) error {
 		cfg.GPUMemory = bytes
 		return nil
 	}
@@ -144,7 +165,7 @@ func WithGPUMemory(bytes int64) Option {
 
 // WithCachePolicy selects the replacement policy: "lru", "fifo" or "lfu".
 func WithCachePolicy(policy string) Option {
-	return func(cfg *cluster.Config) error {
+	return func(cfg *Config) error {
 		cfg.CachePolicy = policy
 		return nil
 	}
@@ -152,7 +173,7 @@ func WithCachePolicy(policy string) Option {
 
 // WithZoo replaces the default Table I model zoo.
 func WithZoo(z *models.Zoo) Option {
-	return func(cfg *cluster.Config) error {
+	return func(cfg *Config) error {
 		cfg.Zoo = z
 		return nil
 	}
@@ -161,7 +182,7 @@ func WithZoo(z *models.Zoo) Option {
 // WithRealClock switches the cluster to wall-clock (live) mode; use
 // Cluster.Submit instead of RunWorkload.
 func WithRealClock() Option {
-	return func(cfg *cluster.Config) error {
+	return func(cfg *Config) error {
 		cfg.Clock = sim.NewRealClock()
 		return nil
 	}
@@ -169,7 +190,7 @@ func WithRealClock() Option {
 
 // WithResultHook registers a callback invoked after every completion.
 func WithResultHook(fn func(Result)) Option {
-	return func(cfg *cluster.Config) error {
+	return func(cfg *Config) error {
 		cfg.OnResult = fn
 		return nil
 	}
@@ -181,11 +202,35 @@ func WithResultHook(fn func(Result)) Option {
 // acfg.Horizon must be set — see AutoscaleConfig. Scale events appear in
 // Report.ScaleEvents and through Cluster.AutoscalerStatus.
 func WithAutoscaler(acfg AutoscaleConfig) Option {
-	return func(cfg *cluster.Config) error {
+	return func(cfg *Config) error {
 		if acfg.Policy == nil {
 			return errors.New("gpufaas: autoscaler needs a policy")
 		}
 		cfg.Autoscale = &acfg
+		return nil
+	}
+}
+
+// WithCells shards the fleet into cells independent simulation cells
+// behind a deterministic front-door router. router names the policy —
+// "hash" (consistent hashing of the function name), "affinity"
+// (model-locality homing with overload spill) or "leastload"
+// (snapshot-lagged least-loaded cell); empty selects "hash". Multi-cell
+// configurations run through RunCellsExperiment (or
+// experiments.RunCells directly) — NewCluster builds exactly one
+// cluster and rejects Cells > 1.
+func WithCells(cells int, router string) Option {
+	return func(cfg *Config) error {
+		if cells < 1 {
+			return fmt.Errorf("gpufaas: need >= 1 cell, got %d", cells)
+		}
+		if router != "" {
+			if _, err := multicell.ParsePolicy(router); err != nil {
+				return fmt.Errorf("gpufaas: %w", err)
+			}
+		}
+		cfg.Cells = cells
+		cfg.CellRouter = router
 		return nil
 	}
 }
@@ -215,16 +260,30 @@ func TieredPolicy(tiers []string, targetP95, utilization float64) (AutoscalePoli
 	})
 }
 
-// NewCluster builds a GPU-FaaS cluster; without options it is the paper's
-// testbed (3 nodes x 4 RTX 2080, LALB+O3, LRU).
-func NewCluster(opts ...Option) (*Cluster, error) {
-	cfg := cluster.DefaultConfig()
+// resolveConfig applies the options over the paper-testbed defaults.
+func resolveConfig(opts []Option) (Config, error) {
+	cfg := Config{Config: cluster.DefaultConfig()}
 	for _, opt := range opts {
 		if err := opt(&cfg); err != nil {
-			return nil, err
+			return Config{}, err
 		}
 	}
-	return cluster.New(cfg)
+	return cfg, nil
+}
+
+// NewCluster builds a GPU-FaaS cluster; without options it is the paper's
+// testbed (3 nodes x 4 RTX 2080, LALB+O3, LRU). A single Cluster is one
+// cell: configurations with WithCells(>1) must run through
+// RunCellsExperiment instead.
+func NewCluster(opts ...Option) (*Cluster, error) {
+	cfg, err := resolveConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Cells > 1 {
+		return nil, fmt.Errorf("gpufaas: NewCluster builds one cell; run %d cells through RunCellsExperiment", cfg.Cells)
+	}
+	return cluster.New(cfg.Config)
 }
 
 // ReplayPaperWorkload runs the §V-A1 evaluation workload (6 minutes of the
@@ -276,6 +335,66 @@ func RunExperiment(policy string, workingSet int) (Report, error) {
 		return Report{}, err
 	}
 	return row.Report, nil
+}
+
+// RunCellsExperiment shards the paper's evaluation workload across the
+// configured cells: the fleet described by the options is partitioned
+// into WithCells' cell count, each cell runs its own full stack
+// (engine, scheduler, cache) on its own goroutine, and a deterministic
+// front-door router splits the arrival stream. The result carries the
+// merged fleet roll-up plus every per-cell outcome, and is
+// byte-identical at any worker count. With one cell (or no WithCells)
+// it degenerates to the single-cluster experiment path.
+//
+//	res, err := gpufaas.RunCellsExperiment(35,
+//	    gpufaas.WithPolicy("LALBO3"),
+//	    gpufaas.WithTopology(64, 4),
+//	    gpufaas.WithCells(4, "leastload"))
+//	fmt.Printf("p95 %.2fs across %d cells\n", res.Merged.P95LatencySec, res.Merged.Cells)
+//
+// Options that attach live state to a single cluster — WithRealClock,
+// WithResultHook, WithZoo, WithAutoscaler — are rejected here: cells
+// build their own zoos from the workload, and per-cell hooks belong to
+// the lower-level experiments.RunCells / multicell.Run API.
+func RunCellsExperiment(workingSet int, opts ...Option) (CellResult, error) {
+	cfg, err := resolveConfig(opts)
+	if err != nil {
+		return CellResult{}, err
+	}
+	switch {
+	case cfg.Clock != nil:
+		return CellResult{}, errors.New("gpufaas: multi-cell runs are simulated-time only (drop WithRealClock)")
+	case cfg.OnResult != nil:
+		return CellResult{}, errors.New("gpufaas: WithResultHook is per-cluster; use experiments.RunCells for per-cell hooks")
+	case cfg.Zoo != nil:
+		return CellResult{}, errors.New("gpufaas: multi-cell runs build their zoo from the workload (drop WithZoo)")
+	case cfg.Autoscale != nil:
+		return CellResult{}, errors.New("gpufaas: per-cell autoscaling is not wired through the facade yet; use experiments.RunCells")
+	}
+	cells := cfg.Cells
+	if cells == 0 {
+		cells = 1
+	}
+	router := multicell.RouteHash
+	if cfg.CellRouter != "" {
+		if router, err = multicell.ParsePolicy(cfg.CellRouter); err != nil {
+			return CellResult{}, fmt.Errorf("gpufaas: %w", err)
+		}
+	}
+	return experiments.RunCells(experiments.CellParams{
+		Run: experiments.RunParams{
+			Policy:      cfg.Policy,
+			O3Limit:     &cfg.O3Limit,
+			WorkingSet:  workingSet,
+			CachePolicy: cfg.CachePolicy,
+			Nodes:       cfg.Nodes,
+			GPUsPerNode: cfg.GPUsPerNode,
+			GPUMemory:   cfg.GPUMemory,
+			Fleet:       cfg.Fleet,
+		},
+		Cells:  cells,
+		Router: router,
+	})
 }
 
 // PaperWorkload materializes the evaluation request stream and the model

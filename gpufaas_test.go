@@ -188,6 +188,52 @@ func TestResultHook(t *testing.T) {
 	}
 }
 
+func TestWithCellsFacade(t *testing.T) {
+	if _, err := NewCluster(WithCells(0, "")); err == nil {
+		t.Error("zero cells should fail")
+	}
+	if _, err := NewCluster(WithCells(2, "bogus")); err == nil {
+		t.Error("bogus router policy should fail")
+	}
+	if _, err := NewCluster(WithCells(2, "hash")); err == nil {
+		t.Error("NewCluster must reject multi-cell configs")
+	}
+	if _, err := NewCluster(WithCells(1, "leastload")); err != nil {
+		t.Errorf("one cell is a plain cluster: %v", err)
+	}
+	if _, err := RunCellsExperiment(15, WithRealClock(), WithCells(2, "")); err == nil {
+		t.Error("multi-cell real-clock runs should be rejected")
+	}
+	if _, err := RunCellsExperiment(15, WithAutoscaler(AutoscaleConfig{}), WithCells(2, "")); err == nil {
+		t.Error("bad autoscaler option should fail")
+	}
+
+	res, err := RunCellsExperiment(15,
+		WithPolicy("LALB"),
+		WithTopology(4, 3),
+		WithCells(2, "leastload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Merged
+	if m.Cells != 2 || m.Router != "leastload" {
+		t.Errorf("merged header = cells %d router %q", m.Cells, m.Router)
+	}
+	if total := int64(6 * 325); m.Requests+m.Failed != total {
+		t.Errorf("completed+failed = %d, want %d", m.Requests+m.Failed, total)
+	}
+	if len(res.Cells) != 2 {
+		t.Fatalf("per-cell outcomes = %d", len(res.Cells))
+	}
+	var sum int64
+	for _, c := range res.Cells {
+		sum += c.Routed
+	}
+	if sum != 6*325 {
+		t.Errorf("router split %d requests, want %d", sum, 6*325)
+	}
+}
+
 func TestWithAutoscalerFacade(t *testing.T) {
 	if _, err := NewCluster(WithAutoscaler(AutoscaleConfig{})); err == nil {
 		t.Error("autoscaler without a policy should fail")

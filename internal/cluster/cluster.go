@@ -1382,6 +1382,13 @@ type Report struct {
 	// ROADMAP's "ordinal compaction" signal; also on /system/scale).
 	// Excluded from JSON so golden reports stay byte-identical.
 	OrdBound int `json:"-"`
+	// MaxEventQueueLen is the peak discrete-event queue length over the
+	// run and PeakLocalQueue the deepest single GPU local queue — the
+	// capacity-planning telemetry pair surfaced by the scale and cell
+	// sweeps. Excluded from JSON for the same golden-stability reason as
+	// OrdBound.
+	MaxEventQueueLen int `json:"-"`
+	PeakLocalQueue   int `json:"-"`
 	// Streaming carries the streaming-replay statistics; nil on the
 	// materialized RunWorkload path (and so omitted from legacy report
 	// JSON).
@@ -1437,6 +1444,10 @@ func (c *Cluster) report() Report {
 	rep.LocalQueueMoves = sc.LocalQueueMoves
 	rep.O3Dispatches = sc.O3Dispatches
 	rep.Starved = sc.Starved
+	rep.PeakLocalQueue = sc.PeakLocalQueue
+	if c.engine != nil {
+		rep.MaxEventQueueLen = c.engine.MaxQueueLen()
+	}
 
 	// GPU-seconds integrate through the clock's now (autoscaler ticks
 	// may outlive the last completion); removed members were already
@@ -1551,6 +1562,42 @@ func (c *Cluster) Completed() int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.completed
+}
+
+// RunStats carries the raw per-run observations behind a Report's
+// summary statistics — the exact latency sample, the fleet-wide phase
+// durations, and the cache-lookup denominator — so a multi-cell roll-up
+// can merge percentiles, utilization and miss ratios exactly instead of
+// approximating from per-cell summaries.
+type RunStats struct {
+	// Latencies are the per-request latencies in seconds (a copy of the
+	// full sample, order unspecified).
+	Latencies []float64
+	// Idle, Loading and Inferring are phase durations summed over every
+	// member that ever served, including decommissioned GPUs.
+	Idle, Loading, Inferring time.Duration
+	// CacheRequests is the lookup count behind Report.MissRatio (its
+	// denominator; Report.Misses is the numerator).
+	CacheRequests int64
+}
+
+// RunStats returns the raw observations for exact cross-cell merging.
+func (c *Cluster) RunStats() RunStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.lastFinish
+	rs := RunStats{
+		Latencies:     c.latencies.Values(),
+		CacheRequests: c.cacheMgr.Metrics().Requests,
+	}
+	rs.Idle, rs.Loading, rs.Inferring = c.remIdle, c.remLoading, c.remInferring
+	for _, id := range c.gpuIDs {
+		u := c.devByID[id].Utilization(now)
+		rs.Idle += u.Idle
+		rs.Loading += u.Loading
+		rs.Inferring += u.Inferring
+	}
+	return rs
 }
 
 // Snapshot returns a live metrics snapshot (live gateway's status page).

@@ -357,6 +357,9 @@ type Scheduler struct {
 	o3Dispatches int64
 	// starved counts requests force-dispatched by the starvation limit.
 	starved int64
+	// peakLocal is the deepest any single local queue has grown, the
+	// capacity-planning companion to sim.Engine.MaxQueueLen.
+	peakLocal int
 }
 
 // New creates a Scheduler. The backend must be non-nil.
@@ -632,11 +635,18 @@ type Counters struct {
 	LocalQueueMoves int64
 	O3Dispatches    int64
 	Starved         int64
+	// PeakLocalQueue is the deepest any single GPU's local queue grew.
+	PeakLocalQueue int
 }
 
 // Counters returns a snapshot of internal counters.
 func (s *Scheduler) Counters() Counters {
-	return Counters{LocalQueueMoves: s.moves, O3Dispatches: s.o3Dispatches, Starved: s.starved}
+	return Counters{
+		LocalQueueMoves: s.moves,
+		O3Dispatches:    s.o3Dispatches,
+		Starved:         s.starved,
+		PeakLocalQueue:  s.peakLocal,
+	}
 }
 
 // EstimatedFinishWithQueue returns the busy GPU's estimated finish time
@@ -914,6 +924,9 @@ func (s *Scheduler) llb(o Ord, pos int, now sim.Time) bool {
 			s.extract(pos)
 			infer := s.backend.InferTime(best, r.Model, r.BatchSize)
 			s.local[best] = append(s.local[best], parked{req: r, infer: infer})
+			if n := len(s.local[best]); n > s.peakLocal {
+				s.peakLocal = n
+			}
 			s.localSum[best] += infer
 			s.parkGen++
 			s.moves++
@@ -1092,6 +1105,9 @@ func (s *Scheduler) llbScan(o Ord, pos int, now sim.Time) bool {
 			s.global.remove(pos)
 			infer := s.backend.InferTime(best, r.Model, r.BatchSize)
 			s.local[best] = append(s.local[best], parked{req: r, infer: infer})
+			if n := len(s.local[best]); n > s.peakLocal {
+				s.peakLocal = n
+			}
 			s.localSum[best] += infer
 			s.moves++
 			return false

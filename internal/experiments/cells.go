@@ -1,0 +1,265 @@
+package experiments
+
+// The multi-cell sweep: the scale sweep's successor. PR 5's streaming
+// replay made a 1024-GPU hour fit in memory; this grid shards fleets up
+// to 16384 GPUs into {1,4,16} cells behind each front-door router
+// policy, so the simulation finally spends cores instead of just
+// memory. Rows run sequentially — each row fans its cells across the
+// worker pool — so the recorded wall-clock per row is meaningful and
+// the K=1 row of each fleet doubles as the speedup baseline.
+
+import (
+	"fmt"
+	"io"
+
+	"gpufaas/internal/cluster"
+	"gpufaas/internal/core"
+	"gpufaas/internal/models"
+	"gpufaas/internal/multicell"
+)
+
+// CellParams configures one multi-cell run. The embedded RunParams is
+// the per-cell template whose fleet/topology fields describe the WHOLE
+// fleet; RunCells partitions it across cells (declared fleets class by
+// class, the homogeneous default node by node).
+type CellParams struct {
+	Run   RunParams
+	Cells int
+	// Router selects the front-door policy (zero value: consistent
+	// hash).
+	Router multicell.Policy
+	// RouterSeed seeds the vnode ring; zero uses the workload seed,
+	// mirroring how grid specs carry one deterministic seed.
+	RouterSeed int64
+	// Workers bounds concurrently simulated cells (<= 0: GOMAXPROCS).
+	Workers int
+	// Materialize replays each cell via RunWorkload instead of the
+	// streaming injector — byte-identical to the legacy single-cluster
+	// path (the golden-equivalence mode).
+	Materialize bool
+}
+
+// RunCells partitions the fleet, builds one full stack per cell and
+// runs them behind the front-door router.
+func RunCells(p CellParams) (multicell.Result, error) {
+	if p.Cells < 1 {
+		return multicell.Result{}, fmt.Errorf("experiments: need >= 1 cell, got %d", p.Cells)
+	}
+	base := p.Run
+	// Resolve the template once: validates the params and fixes the
+	// effective workload (seed, minutes) before any cell builds.
+	_, wp, err := buildConfig(base)
+	if err != nil {
+		return multicell.Result{}, err
+	}
+	var fleets []cluster.FleetSpec
+	var nodes []int
+	if base.Fleet != nil {
+		fleets, err = multicell.PartitionFleet(base.Fleet, p.Cells)
+		if err != nil {
+			return multicell.Result{}, err
+		}
+	} else {
+		n := base.Nodes
+		if n == 0 {
+			n = cluster.DefaultConfig().Nodes
+		}
+		nodes = multicell.PartitionCounts(n, p.Cells)
+		if nodes[len(nodes)-1] == 0 {
+			return multicell.Result{}, fmt.Errorf("experiments: %d nodes cannot shard into %d cells", n, p.Cells)
+		}
+	}
+	seed := p.RouterSeed
+	if seed == 0 {
+		seed = wp.Seed
+	}
+	return multicell.Run(multicell.Config{
+		Cells:       p.Cells,
+		Router:      multicell.RouterConfig{Policy: p.Router, Seed: seed},
+		Workers:     p.Workers,
+		Materialize: p.Materialize,
+		Setup: func(cell int) (multicell.CellSpec, error) {
+			cp := base
+			if fleets != nil {
+				cp.Fleet = fleets[cell]
+			} else {
+				cp.Nodes = nodes[cell]
+			}
+			cfg, cwp, err := buildConfig(cp)
+			if err != nil {
+				return multicell.CellSpec{}, err
+			}
+			// Each cell regenerates the full arrival stream from the
+			// workload seed; the runner's router filter keeps the
+			// cell's share. Memory stays O(one trace minute) per cell.
+			built, err := StreamWorkload(cwp, models.Default(), cp.StreamChunk)
+			if err != nil {
+				return multicell.CellSpec{}, err
+			}
+			cfg.Zoo = built.Zoo
+			return multicell.CellSpec{
+				Config:   cfg,
+				Source:   built.Stream,
+				TopModel: built.TopModel,
+			}, nil
+		},
+	})
+}
+
+// CellFleets are the swept fleet sizes (GPUs); short mode drops the
+// 16384-GPU column.
+var CellFleets = []int{1024, 4096, 16384}
+
+// CellCounts is the sharding axis.
+var CellCounts = []int{1, 4, 16}
+
+// CellRow is one cell-sweep result: the merged fleet metrics, the
+// per-cell imbalance bracket, the capacity-planning telemetry, and the
+// wall-clock speedup over the same fleet's K=1 baseline.
+type CellRow struct {
+	Fleet  int
+	Cells  int
+	Router string
+
+	Requests      int64
+	AvgLatencySec float64
+	P95LatencySec float64
+	MissRatio     float64
+	SMUtilization float64
+
+	// Per-cell spread (min/max over cells): router imbalance.
+	MinCellRequests int64
+	MaxCellRequests int64
+	MinCellP95Sec   float64
+	MaxCellP95Sec   float64
+
+	// Capacity-planning telemetry: the worst single cell's peak event
+	// queue and local-queue depth, and the summed streaming peak.
+	MaxEventQueueLen int
+	PeakLocalQueue   int
+	PeakInflight     int64
+
+	// WallSeconds / Speedup are wall-clock measurements (Speedup is
+	// against the same fleet's K=1 row; 1.0 for the baseline itself).
+	// Volatile by nature: faas-bench's canonical snapshot (-det-json)
+	// zeroes them, and omitempty drops them from the JSON, so the CI
+	// determinism gate compares only reproducible bytes.
+	WallSeconds float64 `json:"wall_seconds,omitempty"`
+	Speedup     float64 `json:"speedup,omitempty"`
+}
+
+// cellSpec is one sweep cell.
+type cellSpec struct {
+	fleet  int
+	cells  int
+	router multicell.Policy
+}
+
+// cellSweepSpecs returns the sweep grid in row order: per fleet, the
+// K=1 baseline (router choice is moot with one cell) then each cell
+// count × router policy.
+func cellSweepSpecs(short bool) []cellSpec {
+	fleets := CellFleets
+	if short {
+		fleets = []int{1024, 4096}
+	}
+	var specs []cellSpec
+	for _, gpus := range fleets {
+		specs = append(specs, cellSpec{fleet: gpus, cells: 1, router: multicell.RouteHash})
+		for _, cells := range CellCounts {
+			if cells == 1 {
+				continue
+			}
+			for _, pol := range multicell.RouterPolicies {
+				specs = append(specs, cellSpec{fleet: gpus, cells: cells, router: pol})
+			}
+		}
+	}
+	return specs
+}
+
+// cellRunParams is the scale sweep's operating point for one fleet
+// size: per-GPU arrival rate held at the paper's 325 req/min per 12
+// GPUs, working set grown with the fleet (capped by the synthesizer's
+// population), streaming replay.
+func cellRunParams(gpus int) RunParams {
+	ws := scaleWorkingSet(gpus)
+	return RunParams{
+		Policy:      core.LALBO3,
+		WorkingSet:  ws,
+		Nodes:       gpus / 4,
+		GPUsPerNode: 4,
+		Streaming:   true,
+		Workload: WorkloadParams{
+			Minutes:           12,
+			RequestsPerMinute: gpus * 325 / 12,
+			WorkingSet:        ws,
+			Batch:             models.EvalBatchSize,
+			Seed:              1,
+		},
+	}
+}
+
+// CellSweep runs the cells × router × fleet grid. Rows execute
+// sequentially; each row's cells fan across the worker pool, so the
+// per-row wall clock is the quantity the Speedup column compares.
+// Everything except the wall-clock fields is byte-identical at any
+// worker count.
+func CellSweep(workers int, short bool) ([]CellRow, error) {
+	specs := cellSweepSpecs(short)
+	rows := make([]CellRow, len(specs))
+	baseWall := make(map[int]float64, len(CellFleets))
+	for i, s := range specs {
+		res, err := RunCells(CellParams{
+			Run:     cellRunParams(s.fleet),
+			Cells:   s.cells,
+			Router:  s.router,
+			Workers: workers,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: cells/gpus=%d/k=%d/%v: %w", s.fleet, s.cells, s.router, err)
+		}
+		m := res.Merged
+		row := CellRow{
+			Fleet:            s.fleet,
+			Cells:            s.cells,
+			Router:           s.router.String(),
+			Requests:         m.Requests,
+			AvgLatencySec:    m.AvgLatencySec,
+			P95LatencySec:    m.P95LatencySec,
+			MissRatio:        m.MissRatio,
+			SMUtilization:    m.SMUtilization,
+			MinCellRequests:  m.CellSpread.MinRequests,
+			MaxCellRequests:  m.CellSpread.MaxRequests,
+			MinCellP95Sec:    m.CellSpread.MinP95LatencySec,
+			MaxCellP95Sec:    m.CellSpread.MaxP95LatencySec,
+			MaxEventQueueLen: m.MaxEventQueueLen,
+			PeakLocalQueue:   m.PeakLocalQueue,
+			WallSeconds:      res.WallSeconds,
+		}
+		if st := m.Streaming; st != nil {
+			row.PeakInflight = st.PeakInflight
+		}
+		if s.cells == 1 {
+			baseWall[s.fleet] = res.WallSeconds
+			row.Speedup = 1
+		} else if b := baseWall[s.fleet]; b > 0 && res.WallSeconds > 0 {
+			row.Speedup = b / res.WallSeconds
+		}
+		rows[i] = row
+	}
+	return rows, nil
+}
+
+// WriteCellTable renders the sweep.
+func WriteCellTable(w io.Writer, rows []CellRow) {
+	fmt.Fprintf(w, "%6s %3s %-10s %9s %12s %10s %8s %8s %9s %9s %8s %8s\n",
+		"gpus", "k", "router", "requests", "avg_lat(s)", "p95(s)", "miss",
+		"sm_util", "req_min", "req_max", "wall(s)", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%6d %3d %-10s %9d %12.3f %10.3f %8.4f %8.4f %9d %9d %8.2f %8.2f\n",
+			r.Fleet, r.Cells, r.Router, r.Requests, r.AvgLatencySec, r.P95LatencySec,
+			r.MissRatio, r.SMUtilization, r.MinCellRequests, r.MaxCellRequests,
+			r.WallSeconds, r.Speedup)
+	}
+}

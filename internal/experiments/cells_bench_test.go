@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"gpufaas/internal/multicell"
+	"gpufaas/internal/trace"
+)
+
+// benchRouter measures one front-door routing decision at the 16-cell
+// shard width; these back the router_route rows in the gpufaas-bench/v1
+// snapshot (and so the benchregress gate).
+func benchRouter(b *testing.B, pol multicell.Policy) {
+	router, err := multicell.NewRouter(multicell.RouterConfig{Cells: 16, Policy: pol, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs := make([]trace.Request, 1024)
+	for i := range reqs {
+		reqs[i] = trace.Request{
+			ID:       int64(i),
+			Function: fmt.Sprintf("f%03d", i%97),
+			Model:    fmt.Sprintf("m%02d", i%31),
+			Arrival:  time.Duration(i) * 10 * time.Millisecond,
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		router.Route(reqs[i%len(reqs)])
+	}
+}
+
+func BenchmarkRouterRouteHash(b *testing.B)      { benchRouter(b, multicell.RouteHash) }
+func BenchmarkRouterRouteAffinity(b *testing.B)  { benchRouter(b, multicell.RouteAffinity) }
+func BenchmarkRouterRouteLeastLoad(b *testing.B) { benchRouter(b, multicell.RouteLeastLoaded) }
+
+// BenchmarkMultiCellReplay runs a small sharded replay end to end — 16
+// GPUs in 4 cells, router filter, streaming injectors, merged roll-up —
+// the per-run overhead the cell sweep pays on top of the cells' own
+// simulation work.
+func BenchmarkMultiCellReplay(b *testing.B) {
+	p := cellTestParams()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunCells(CellParams{Run: p, Cells: 4, Router: multicell.RouteHash}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -215,8 +215,10 @@ type Row struct {
 	cluster.Report
 }
 
-// Run executes one experiment and returns its row.
-func Run(p RunParams) (Row, error) {
+// buildConfig resolves RunParams into the cluster configuration (sans
+// zoo) and the effective workload. Run and the multi-cell runner share
+// this construction so the single- and sharded-cell paths cannot drift.
+func buildConfig(p RunParams) (cluster.Config, WorkloadParams, error) {
 	cfg := cluster.DefaultConfig()
 	cfg.Policy = p.Policy
 	cfg.O3Limit = core.DefaultO3Limit
@@ -249,9 +251,18 @@ func Run(p RunParams) (Row, error) {
 	if p.Autoscale != nil {
 		ac, err := p.Autoscale.Config(wp)
 		if err != nil {
-			return Row{}, err
+			return cluster.Config{}, WorkloadParams{}, err
 		}
 		cfg.Autoscale = ac
+	}
+	return cfg, wp, nil
+}
+
+// Run executes one experiment and returns its row.
+func Run(p RunParams) (Row, error) {
+	cfg, wp, err := buildConfig(p)
+	if err != nil {
+		return Row{}, err
 	}
 	// The two replay modes differ only in how the workload is built and
 	// fed; everything around them (cluster construction, top-model

@@ -18,8 +18,10 @@ import (
 	"gpufaas/internal/cluster"
 	"gpufaas/internal/core"
 	"gpufaas/internal/models"
+	"gpufaas/internal/multicell"
 	"gpufaas/internal/ordset"
 	"gpufaas/internal/sim"
+	"gpufaas/internal/trace"
 )
 
 // HotpathRow is one microbenchmark result. Baseline* fields carry the
@@ -119,6 +121,38 @@ func Hotpath() ([]HotpathRow, error) {
 	}
 	idxRow.fill(testing.Benchmark(func(b *testing.B) { scheduleRound1024(b, false) }))
 	rows = append(rows, idxRow)
+
+	// The front-door routing decision at the 16-cell shard width: the
+	// per-request cost every multi-cell arrival pays once per cell
+	// worker (each worker replays the full stream through its private
+	// router). No pre-multicell baseline exists.
+	for _, pol := range multicell.RouterPolicies {
+		pol := pol
+		row := HotpathRow{Name: fmt.Sprintf("router_route/%v/16cells", pol)}
+		row.fill(testing.Benchmark(func(b *testing.B) {
+			router, err := multicell.NewRouter(multicell.RouterConfig{
+				Cells: 16, Policy: pol, Seed: 1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			reqs := make([]trace.Request, 1024)
+			for i := range reqs {
+				reqs[i] = trace.Request{
+					ID:       int64(i),
+					Function: fmt.Sprintf("f%03d", i%97),
+					Model:    fmt.Sprintf("m%02d", i%31),
+					Arrival:  time.Duration(i) * 10 * time.Millisecond,
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				router.Route(reqs[i%len(reqs)])
+			}
+		}))
+		rows = append(rows, row)
+	}
 
 	// End-to-end streaming replay of the small scale cell: the cost of a
 	// full simulated run on the O(in-flight) path.

@@ -93,6 +93,11 @@ type ScaleRow struct {
 	// OrdBound vs Fleet measures dead-ordinal pressure (equal for these
 	// fixed fleets; diverges under autoscaler churn).
 	OrdBound int
+	// MaxEventQueueLen / PeakLocalQueue complete the capacity-planning
+	// telemetry: the peak discrete-event queue length and the deepest
+	// single GPU local queue over the run.
+	MaxEventQueueLen int
+	PeakLocalQueue   int
 }
 
 // ScaleSweep runs the grid and returns one row per cell, in grid order
@@ -117,6 +122,9 @@ func ScaleSweep(m Matrix, short bool) ([]ScaleRow, error) {
 			MissRatio:     r.MissRatio,
 			SMUtilization: r.SMUtilization,
 			OrdBound:      r.OrdBound,
+
+			MaxEventQueueLen: r.MaxEventQueueLen,
+			PeakLocalQueue:   r.PeakLocalQueue,
 		}
 		if st := r.Streaming; st != nil {
 			out[i].PeakInflight = st.PeakInflight
@@ -129,11 +137,12 @@ func ScaleSweep(m Matrix, short bool) ([]ScaleRow, error) {
 
 // WriteScaleTable renders the sweep.
 func WriteScaleTable(w io.Writer, rows []ScaleRow) {
-	fmt.Fprintf(w, "%6s %5s %5s %9s %12s %10s %8s %8s %10s %10s\n",
-		"gpus", "min", "ws", "requests", "avg_lat(s)", "p95(s)", "miss", "sm_util", "peak_infl", "arena_new")
+	fmt.Fprintf(w, "%6s %5s %5s %9s %12s %10s %8s %8s %10s %10s %8s %8s\n",
+		"gpus", "min", "ws", "requests", "avg_lat(s)", "p95(s)", "miss", "sm_util", "peak_infl", "arena_new", "max_evq", "peak_lq")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%6d %5d %5d %9d %12.3f %10.3f %8.4f %8.4f %10d %10d\n",
+		fmt.Fprintf(w, "%6d %5d %5d %9d %12.3f %10.3f %8.4f %8.4f %10d %10d %8d %8d\n",
 			r.Fleet, r.Minutes, r.WorkingSet, r.Requests, r.AvgLatencySec,
-			r.P95LatencySec, r.MissRatio, r.SMUtilization, r.PeakInflight, r.ArenaAllocated)
+			r.P95LatencySec, r.MissRatio, r.SMUtilization, r.PeakInflight, r.ArenaAllocated,
+			r.MaxEventQueueLen, r.PeakLocalQueue)
 	}
 }

@@ -1,0 +1,190 @@
+package faas
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"gpufaas/internal/autoscale"
+)
+
+// testCellGateway builds a live 2-cell gateway over the default 3x4
+// testbed (cells get 2 and 1 nodes).
+func testCellGateway(t *testing.T, router string) *Gateway {
+	t.Helper()
+	g, err := NewGateway(GatewayConfig{
+		Policy:        "LALBO3",
+		TimeScale:     0.001,
+		InvokeTimeout: 10 * time.Second,
+		Cells:         2,
+		CellRouter:    router,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestMultiCellGatewayConfig(t *testing.T) {
+	if _, err := NewGateway(GatewayConfig{Cells: -1}); err == nil {
+		t.Error("negative cells should fail")
+	}
+	if _, err := NewGateway(GatewayConfig{Cells: 2, CellRouter: "bogus"}); err == nil {
+		t.Error("bogus router should fail")
+	}
+	if _, err := NewGateway(GatewayConfig{Cells: 7}); err == nil {
+		t.Error("sharding 3 nodes into 7 cells should fail")
+	}
+	pol, err := autoscale.NewTargetUtilization(0.7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewGateway(GatewayConfig{Cells: 2, Autoscale: &autoscale.Config{Policy: pol}}); err == nil {
+		t.Error("multi-cell autoscaler should be rejected")
+	}
+}
+
+func TestMultiCellGatewayTopology(t *testing.T) {
+	g := testCellGateway(t, "hash")
+	if g.CellCount() != 2 {
+		t.Fatalf("cells = %d", g.CellCount())
+	}
+	// 3 nodes split 2/1 at 4 GPUs per node.
+	if n0, n1 := len(g.Cell(0).GPUIDs()), len(g.Cell(1).GPUIDs()); n0 != 8 || n1 != 4 {
+		t.Errorf("cell GPU counts = %d,%d, want 8,4", n0, n1)
+	}
+	if g.Cell(2) != nil || g.Cell(-1) != nil {
+		t.Error("out-of-range cells must be nil")
+	}
+	if g.Cluster() != g.Cell(0) {
+		t.Error("Cluster() must be cell 0")
+	}
+}
+
+// TestMultiCellInvokeRoutes drives enough distinct functions through a
+// leastload-routed 2-cell gateway that both cells receive work, and
+// checks the admin surface reflects it.
+func TestMultiCellInvokeRoutes(t *testing.T) {
+	g := testCellGateway(t, "leastload")
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+
+	for i := 0; i < 4; i++ {
+		spec := FunctionSpec{
+			Name:       fmt.Sprintf("cfn%d", i),
+			GPUEnabled: true,
+			Model:      "resnet18",
+			BatchSize:  2,
+		}
+		if _, err := g.Deploy(spec); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := g.Invoke(spec.Name, InvokeRequest{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	routed := g.infer.RoutedByCell()
+	var total int64
+	for _, n := range routed {
+		total += n
+	}
+	if total != 4 {
+		t.Fatalf("routed %v, want 4 total", routed)
+	}
+	if routed[0] == 0 || routed[1] == 0 {
+		t.Errorf("leastload router starved a cell: %v", routed)
+	}
+
+	// GET /system/cells reflects the split.
+	res, err := http.Get(srv.URL + "/system/cells")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var body struct {
+		Cells  int    `json:"cells"`
+		Router string `json:"router"`
+		Rows   []struct {
+			Cell   int   `json:"cell"`
+			GPUs   int   `json:"gpus"`
+			Routed int64 `json:"routed"`
+		} `json:"rows"`
+	}
+	if err := json.NewDecoder(res.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Cells != 2 || body.Router != "leastload" || len(body.Rows) != 2 {
+		t.Fatalf("cells payload = %+v", body)
+	}
+	if body.Rows[0].GPUs != 8 || body.Rows[1].GPUs != 4 {
+		t.Errorf("per-cell GPUs = %+v", body.Rows)
+	}
+	if body.Rows[0].Routed+body.Rows[1].Routed != 4 {
+		t.Errorf("routed counts = %+v", body.Rows)
+	}
+
+	// The per-cell admin selector addresses each cell; out-of-range is
+	// a 400.
+	for cell, want := range map[string]int{"0": 8, "1": 4} {
+		res, err := http.Get(srv.URL + "/system/scale?cell=" + cell)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var scale struct {
+			GPUs []string `json:"gpus"`
+		}
+		err = json.NewDecoder(res.Body).Decode(&scale)
+		res.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(scale.GPUs) != want {
+			t.Errorf("cell %s lists %d GPUs, want %d", cell, len(scale.GPUs), want)
+		}
+	}
+	res2, err := http.Get(srv.URL + "/system/metrics?cell=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2.Body.Close()
+	if res2.StatusCode != http.StatusBadRequest {
+		t.Errorf("out-of-range cell = %d, want 400", res2.StatusCode)
+	}
+
+	// GPU status keys are cell-prefixed, so devices stay distinguishable
+	// fleet-wide.
+	var sawCell0, sawCell1 bool
+	for _, kv := range g.Store().List("gpu/") {
+		if strings.HasPrefix(kv.Key, "gpu/cell0/") {
+			sawCell0 = true
+		}
+		if strings.HasPrefix(kv.Key, "gpu/cell1/") {
+			sawCell1 = true
+		}
+	}
+	if !sawCell0 || !sawCell1 {
+		t.Errorf("datastore lacks cell-prefixed GPU status keys (cell0=%v cell1=%v)", sawCell0, sawCell1)
+	}
+
+	// The merged Prometheus roll-up counts the whole fleet.
+	res3, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := readAll(res3)
+	if !strings.Contains(b, "gpufaas_requests_total 4") {
+		t.Errorf("merged metrics missing fleet request count:\n%s", b)
+	}
+}
+
+func readAll(res *http.Response) (string, error) {
+	defer res.Body.Close()
+	b, err := io.ReadAll(res.Body)
+	return string(b), err
+}

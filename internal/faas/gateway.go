@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -16,6 +17,7 @@ import (
 	"gpufaas/internal/datastore"
 	"gpufaas/internal/gpumgr"
 	"gpufaas/internal/models"
+	"gpufaas/internal/multicell"
 	"gpufaas/internal/sim"
 	"gpufaas/internal/stats"
 )
@@ -44,15 +46,26 @@ type GatewayConfig struct {
 	// Zoo overrides the Table I model zoo.
 	Zoo *models.Zoo
 	// Autoscale attaches an autoscaler to the live cluster; the admin
-	// endpoints (/system/autoscaler) expose and toggle it.
+	// endpoints (/system/autoscaler) expose and toggle it. Multi-cell
+	// gateways reject it (per-cell policies must not share hysteresis
+	// state; see ROADMAP).
 	Autoscale *autoscale.Config
+	// Cells shards the live fleet into this many independent cells,
+	// each with its own scheduler/cache stack, behind the same
+	// deterministic front-door router the simulation uses (0 or 1: one
+	// cluster). The admin endpoints take ?cell=N and /system/cells
+	// summarizes the fleet.
+	Cells int
+	// CellRouter names the front-door policy ("hash", "affinity",
+	// "leastload"); empty selects "hash".
+	CellRouter string
 }
 
 // Gateway is the public route of the FaaS platform (Fig. 1): it handles
 // function CRUD and invocation, and fronts the GPU scheduler.
 type Gateway struct {
 	registry *Registry
-	cluster  *cluster.Cluster
+	cells    []*cluster.Cluster // cell 0 is the whole fleet when unsharded
 	store    *datastore.Store
 	infer    *InferenceClient
 	clock    sim.Clock
@@ -85,6 +98,25 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 	if zoo == nil {
 		zoo = models.Default()
 	}
+	cells := cfg.Cells
+	if cells == 0 {
+		cells = 1
+	}
+	if cells < 1 {
+		return nil, fmt.Errorf("faas: need >= 1 cell, got %d", cells)
+	}
+	routerPol := multicell.RouteHash
+	if cfg.CellRouter != "" {
+		if routerPol, err = multicell.ParsePolicy(cfg.CellRouter); err != nil {
+			return nil, err
+		}
+	}
+	if cells > 1 && cfg.Autoscale != nil {
+		// An autoscale.Config carries one live policy instance; cells
+		// must not share its hysteresis state. Per-cell autoscaling is a
+		// ROADMAP follow-on.
+		return nil, errors.New("faas: autoscaler is single-cell only (per-cell autoscaling is not wired yet)")
+	}
 
 	ccfg := cluster.DefaultConfig()
 	ccfg.Policy = pol
@@ -101,25 +133,36 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 		ccfg.GPUMemory = cfg.GPUMemory
 	}
 	ccfg.Zoo = zoo
-	if cfg.Fleet != nil {
-		// Copy: cluster.New normalizes the spec in place (memory
-		// defaulting) and must not mutate the caller's GatewayConfig.
-		ccfg.Fleet = append(cluster.FleetSpec(nil), cfg.Fleet...)
+	if cfg.Fleet == nil {
+		ccfg.Profiles = ScaledProfiles(zoo, cluster.DefaultGPUType, cfg.TimeScale)
+	} else {
 		prof, err := FleetProfiles(zoo, cfg.Fleet, cfg.TimeScale)
 		if err != nil {
 			return nil, err
 		}
 		ccfg.Profiles = prof
-	} else {
-		ccfg.Profiles = ScaledProfiles(zoo, cluster.DefaultGPUType, cfg.TimeScale)
 	}
 	clock := sim.NewRealClock()
 	ccfg.Clock = clock
-
-	store := datastore.New()
-	ccfg.Sink = DatastoreSink{Store: store}
 	ccfg.Autoscale = cfg.Autoscale
 
+	// Shard the declared fleet (or node count) across the cells exactly
+	// as the simulation does.
+	var cellFleets []cluster.FleetSpec
+	var cellNodes []int
+	if cfg.Fleet != nil {
+		cellFleets, err = multicell.PartitionFleet(cfg.Fleet, cells)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		cellNodes = multicell.PartitionCounts(ccfg.Nodes, cells)
+		if cellNodes[len(cellNodes)-1] == 0 {
+			return nil, fmt.Errorf("faas: %d nodes cannot shard into %d cells", ccfg.Nodes, cells)
+		}
+	}
+
+	store := datastore.New()
 	g := &Gateway{
 		registry:  NewRegistry(),
 		store:     store,
@@ -128,23 +171,67 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 		rr:        make(map[string]int),
 		latHist:   &stats.Welford{},
 	}
+	// One shared inference client fronts every cell: a single request-ID
+	// counter keeps datastore latency keys and waiter routing unique
+	// fleet-wide, and its Route is every cell's OnResult hook.
 	var ic *InferenceClient
-	ccfg.OnResult = func(res gpumgr.Result) {
+	onResult := func(res gpumgr.Result) {
 		g.latHist.Add(res.Latency().Seconds())
 		ic.Route(res)
 	}
-	c, err := cluster.New(ccfg)
-	if err != nil {
-		return nil, err
+	g.cells = make([]*cluster.Cluster, cells)
+	for i := range g.cells {
+		cc := ccfg
+		if cellFleets != nil {
+			// Copy: cluster.New normalizes the spec in place (memory
+			// defaulting) and must not mutate the caller's GatewayConfig.
+			cc.Fleet = append(cluster.FleetSpec(nil), cellFleets[i]...)
+		} else {
+			cc.Nodes = cellNodes[i]
+		}
+		sink := DatastoreSink{Store: store}
+		if cells > 1 {
+			// Every cell names its nodes node0..nodeN; the prefix keeps
+			// the per-GPU status keys fleet-unique.
+			sink.Prefix = fmt.Sprintf("cell%d/", i)
+		}
+		cc.Sink = sink
+		cc.OnResult = onResult
+		c, err := cluster.New(cc)
+		if err != nil {
+			return nil, err
+		}
+		g.cells[i] = c
 	}
-	ic = NewInferenceClient(c, clock, cfg.InvokeTimeout)
-	g.cluster = c
+	var router *multicell.Router
+	if cells > 1 {
+		// The live router is seeded like the simulation's default (the
+		// workload seed there, fixed here: the ring layout is stable
+		// across gateway restarts).
+		router, err = multicell.NewRouter(multicell.RouterConfig{Cells: cells, Policy: routerPol, Seed: 1})
+		if err != nil {
+			return nil, err
+		}
+	}
+	ic = NewCellInferenceClient(g.cells, router, clock, cfg.InvokeTimeout)
 	g.infer = ic
 	return g, nil
 }
 
-// Cluster exposes the underlying cluster (metrics, devices).
-func (g *Gateway) Cluster() *cluster.Cluster { return g.cluster }
+// Cluster exposes the underlying cluster (metrics, devices); with
+// multiple cells it is cell 0 — use Cell for the rest.
+func (g *Gateway) Cluster() *cluster.Cluster { return g.cells[0] }
+
+// CellCount reports the number of live cells.
+func (g *Gateway) CellCount() int { return len(g.cells) }
+
+// Cell exposes one cell's cluster; out-of-range indices return nil.
+func (g *Gateway) Cell(i int) *cluster.Cluster {
+	if i < 0 || i >= len(g.cells) {
+		return nil
+	}
+	return g.cells[i]
+}
 
 // Store exposes the datastore (status pages, tests).
 func (g *Gateway) Store() *datastore.Store { return g.store }
@@ -159,7 +246,7 @@ func (g *Gateway) Deploy(spec FunctionSpec) (*Function, error) {
 		return nil, err
 	}
 	if spec.GPUEnabled {
-		if _, ok := g.cluster.Zoo().Get(spec.Model); !ok {
+		if _, ok := g.cells[0].Zoo().Get(spec.Model); !ok {
 			_ = g.registry.Remove(spec.Name)
 			return nil, fmt.Errorf("faas: model %q not in the cluster zoo", spec.Model)
 		}
@@ -253,16 +340,22 @@ func scaleStore(base *models.ProfileStore, zoo *models.Zoo, scale float64) *mode
 //	POST   /system/scale            {"target": N, "coldStartMs": M} — elastic GPU scaling
 //	GET    /system/autoscaler       autoscaler status + scale-event log
 //	POST   /system/autoscaler       {"enabled": bool} — pause/resume the autoscaler
+//	GET    /system/cells            per-cell fleet + routing summary
 //	GET    /system/metrics          cluster report
 //	GET    /system/gpus             GPU status from the datastore
 //	POST   /function/{name}         invoke
 //	GET    /healthz                 liveness
+//
+// On a multi-cell gateway the per-cluster admin endpoints
+// (/system/scale, /system/autoscaler, /system/metrics) address one cell
+// via ?cell=N (default 0).
 func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/system/functions", g.handleFunctions)
 	mux.HandleFunc("/system/functions/", g.handleFunction)
 	mux.HandleFunc("/system/scale", g.handleClusterScale)
 	mux.HandleFunc("/system/autoscaler", g.handleAutoscaler)
+	mux.HandleFunc("/system/cells", g.handleCells)
 	mux.HandleFunc("/system/scale/", g.handleScale)
 	mux.HandleFunc("/system/metrics", g.handleMetrics)
 	mux.HandleFunc("/system/gpus", g.handleGPUs)
@@ -370,17 +463,68 @@ func (g *Gateway) handleScale(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, fn)
 }
 
+// cellFor resolves the admin ?cell=N selector (default: cell 0).
+func (g *Gateway) cellFor(r *http.Request) (*cluster.Cluster, error) {
+	q := r.URL.Query().Get("cell")
+	if q == "" {
+		return g.cells[0], nil
+	}
+	n, err := strconv.Atoi(q)
+	if err != nil || n < 0 || n >= len(g.cells) {
+		return nil, fmt.Errorf("faas: cell %q out of range [0,%d)", q, len(g.cells))
+	}
+	return g.cells[n], nil
+}
+
+// handleCells summarizes the sharded fleet: one row per cell (device
+// counts, routed requests) plus the router policy.
+func (g *Gateway) handleCells(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		return
+	}
+	routed := g.infer.RoutedByCell()
+	type cellRow struct {
+		Cell   int            `json:"cell"`
+		GPUs   int            `json:"gpus"`
+		Counts autoscale.Size `json:"counts"`
+		Routed int64          `json:"routed"`
+	}
+	rows := make([]cellRow, len(g.cells))
+	for i, c := range g.cells {
+		rows[i] = cellRow{
+			Cell:   i,
+			GPUs:   len(c.GPUIDs()),
+			Counts: c.FleetCounts(),
+		}
+		if i < len(routed) {
+			rows[i].Routed = routed[i]
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"cells":  len(g.cells),
+		"router": g.infer.RouterPolicy(),
+		"rows":   rows,
+	})
+}
+
 // handleClusterScale is the elastic-membership admin endpoint: GET
 // reports the fleet breakdown; POST reconciles the fleet to a target
-// size (provision with cold start / drain-decommission).
+// size (provision with cold start / drain-decommission). ?cell=N
+// selects the cell (default 0).
 func (g *Gateway) handleClusterScale(w http.ResponseWriter, r *http.Request) {
+	cell, err := g.cellFor(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
 	switch r.Method {
 	case http.MethodGet:
-		bound, live := g.cluster.OrdStatus()
+		bound, live := cell.OrdStatus()
 		writeJSON(w, http.StatusOK, map[string]any{
-			"counts":  g.cluster.FleetCounts(),
-			"classes": g.cluster.ClassStatuses(),
-			"gpus":    g.cluster.GPUIDs(),
+			"counts":  cell.FleetCounts(),
+			"classes": cell.ClassStatuses(),
+			"gpus":    cell.GPUIDs(),
 			// Registration-ordinal pressure: ordinals are never reused,
 			// so dead = bound − live is the state the ROADMAP's ordinal
 			// compaction would reclaim.
@@ -399,7 +543,7 @@ func (g *Gateway) handleClusterScale(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "negative coldStartMs"})
 			return
 		}
-		added, removed, err := g.cluster.ScaleTo(body.Target, time.Duration(body.ColdStartMs)*time.Millisecond)
+		added, removed, err := cell.ScaleTo(body.Target, time.Duration(body.ColdStartMs)*time.Millisecond)
 		if err != nil {
 			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 			return
@@ -407,7 +551,7 @@ func (g *Gateway) handleClusterScale(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusAccepted, map[string]any{
 			"added":   added,
 			"removed": removed,
-			"counts":  g.cluster.FleetCounts(),
+			"counts":  cell.FleetCounts(),
 		})
 	default:
 		w.WriteHeader(http.StatusMethodNotAllowed)
@@ -415,11 +559,17 @@ func (g *Gateway) handleClusterScale(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleAutoscaler exposes the attached autoscaler: GET returns status
-// (policy, last signal, scale-event log), POST toggles it.
+// (policy, last signal, scale-event log), POST toggles it. ?cell=N
+// selects the cell (default 0).
 func (g *Gateway) handleAutoscaler(w http.ResponseWriter, r *http.Request) {
+	cell, err := g.cellFor(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
 	switch r.Method {
 	case http.MethodGet:
-		st, ok := g.cluster.AutoscalerStatus()
+		st, ok := cell.AutoscalerStatus()
 		if !ok {
 			writeJSON(w, http.StatusNotFound, map[string]string{"error": "no autoscaler attached"})
 			return
@@ -437,11 +587,11 @@ func (g *Gateway) handleAutoscaler(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "missing enabled"})
 			return
 		}
-		if !g.cluster.SetAutoscalerEnabled(*body.Enabled) {
+		if !cell.SetAutoscalerEnabled(*body.Enabled) {
 			writeJSON(w, http.StatusNotFound, map[string]string{"error": "no autoscaler attached"})
 			return
 		}
-		st, _ := g.cluster.AutoscalerStatus()
+		st, _ := cell.AutoscalerStatus()
 		writeJSON(w, http.StatusAccepted, st)
 	default:
 		w.WriteHeader(http.StatusMethodNotAllowed)
@@ -453,7 +603,12 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusMethodNotAllowed)
 		return
 	}
-	writeJSON(w, http.StatusOK, g.cluster.Snapshot())
+	cell, err := g.cellFor(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, cell.Snapshot())
 }
 
 func (g *Gateway) handleGPUs(w http.ResponseWriter, r *http.Request) {

@@ -5,17 +5,57 @@ import (
 	"net/http"
 	"sort"
 	"strings"
+
+	"gpufaas/internal/multicell"
 )
+
+// promReport is the slice of a report the Prometheus endpoint exposes;
+// single-cell gateways fill it from the cluster snapshot, multi-cell
+// gateways from the deterministic fleet merge.
+type promReport struct {
+	Requests, Failed              int64
+	AvgLatencySec, P99LatencySec  float64
+	MissRatio, FalseMissRatio     float64
+	SMUtilization                 float64
+	LocalQueueMoves, O3Dispatches int64
+}
+
+// fleetReport rolls the live per-cell snapshots into the fleet view.
+func (g *Gateway) fleetReport() promReport {
+	if len(g.cells) == 1 {
+		s := g.cells[0].Snapshot()
+		return promReport{
+			Requests: s.Requests, Failed: s.Failed,
+			AvgLatencySec: s.AvgLatencySec, P99LatencySec: s.P99LatencySec,
+			MissRatio: s.MissRatio, FalseMissRatio: s.FalseMissRatio,
+			SMUtilization:   s.SMUtilization,
+			LocalQueueMoves: s.LocalQueueMoves, O3Dispatches: s.O3Dispatches,
+		}
+	}
+	outs := make([]multicell.CellOutcome, len(g.cells))
+	for i, c := range g.cells {
+		outs[i] = multicell.CellOutcome{Report: c.Snapshot(), Stats: c.RunStats()}
+	}
+	m := multicell.Merge(outs, g.infer.routerPolicyValue())
+	return promReport{
+		Requests: m.Requests, Failed: m.Failed,
+		AvgLatencySec: m.AvgLatencySec, P99LatencySec: m.P99LatencySec,
+		MissRatio: m.MissRatio, FalseMissRatio: m.FalseMissRatio,
+		SMUtilization:   m.SMUtilization,
+		LocalQueueMoves: m.LocalQueueMoves, O3Dispatches: m.O3Dispatches,
+	}
+}
 
 // handlePromMetrics serves the cluster and gateway counters in the
 // Prometheus text exposition format at /metrics, which is how OpenFaaS
-// exposes its gateway metrics in production.
+// exposes its gateway metrics in production. On a multi-cell gateway
+// the fleet-level series are the merged roll-up across cells.
 func (g *Gateway) handlePromMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		w.WriteHeader(http.StatusMethodNotAllowed)
 		return
 	}
-	snap := g.cluster.Snapshot()
+	snap := g.fleetReport()
 	var sb strings.Builder
 
 	counter := func(name, help string, value float64, labels string) {

@@ -13,9 +13,11 @@ import (
 	"gpufaas/internal/dataset"
 	"gpufaas/internal/datastore"
 	"gpufaas/internal/gpumgr"
+	"gpufaas/internal/multicell"
 	"gpufaas/internal/nn"
 	"gpufaas/internal/sim"
 	"gpufaas/internal/tensor"
+	"gpufaas/internal/trace"
 )
 
 // Result re-exports the GPU Manager's completion record.
@@ -195,14 +197,19 @@ func seedFor(model string) int64 {
 // InferenceClient is the customized interface that replaces
 // torch.load()/model(input) in GPU-enabled functions (§III-A): it forwards
 // load+predict to the GPU Manager via the Scheduler and blocks until the
-// inference completes.
+// inference completes. On a multi-cell gateway one client fronts every
+// cell: the front-door router picks the cell per Predict, and the single
+// request-ID counter keeps waiter routing and datastore latency keys
+// unique across the fleet.
 type InferenceClient struct {
-	cluster *cluster.Cluster
+	cells   []*cluster.Cluster
+	router  *multicell.Router // nil: everything goes to cells[0]
 	clock   sim.Clock
 	timeout time.Duration
 
 	mu      sync.Mutex
 	nextID  int64
+	routed  []int64
 	waiters map[int64]chan gpumgr.Result
 }
 
@@ -210,12 +217,46 @@ type InferenceClient struct {
 // must register Route as the cluster's OnResult hook (WithResultHook /
 // Config.OnResult). timeout bounds each Predict.
 func NewInferenceClient(c *cluster.Cluster, clock sim.Clock, timeout time.Duration) *InferenceClient {
+	return NewCellInferenceClient([]*cluster.Cluster{c}, nil, clock, timeout)
+}
+
+// NewCellInferenceClient wires a client across a sharded fleet. router
+// may be nil when there is a single cell; otherwise it picks the cell
+// per request (the client serializes access to it). Route must be
+// registered as EVERY cell's OnResult hook.
+func NewCellInferenceClient(cells []*cluster.Cluster, router *multicell.Router, clock sim.Clock, timeout time.Duration) *InferenceClient {
 	return &InferenceClient{
-		cluster: c,
+		cells:   cells,
+		router:  router,
 		clock:   clock,
 		timeout: timeout,
+		routed:  make([]int64, len(cells)),
 		waiters: make(map[int64]chan gpumgr.Result),
 	}
+}
+
+// RouterPolicy names the front-door policy ("" for a single cell).
+func (ic *InferenceClient) RouterPolicy() string {
+	if ic.router == nil {
+		return ""
+	}
+	return ic.router.Config().Policy.String()
+}
+
+// routerPolicyValue is RouterPolicy as a multicell.Policy (hash when no
+// router is attached).
+func (ic *InferenceClient) routerPolicyValue() multicell.Policy {
+	if ic.router == nil {
+		return multicell.RouteHash
+	}
+	return ic.router.Config().Policy
+}
+
+// RoutedByCell reports how many Predicts each cell has received.
+func (ic *InferenceClient) RoutedByCell() []int64 {
+	ic.mu.Lock()
+	defer ic.mu.Unlock()
+	return append([]int64(nil), ic.routed...)
 }
 
 // Route delivers completion results to waiting Predict calls; it is the
@@ -235,11 +276,25 @@ func (ic *InferenceClient) Route(res gpumgr.Result) {
 // Predict schedules one inference of the function's model and waits for
 // completion.
 func (ic *InferenceClient) Predict(spec FunctionSpec, batch int) (gpumgr.Result, error) {
+	arrival := ic.clock.Now()
 	ic.mu.Lock()
 	ic.nextID++
 	id := ic.nextID
 	ch := make(chan gpumgr.Result, 1)
 	ic.waiters[id] = ch
+	cell := 0
+	if ic.router != nil {
+		// The router is not safe for concurrent use; the client's lock
+		// is its serialization point.
+		cell = ic.router.Route(trace.Request{
+			ID:        id,
+			Function:  spec.Name,
+			Model:     spec.Model,
+			Arrival:   time.Duration(arrival),
+			BatchSize: batch,
+		})
+	}
+	ic.routed[cell]++
 	ic.mu.Unlock()
 
 	req := &core.Request{
@@ -247,10 +302,10 @@ func (ic *InferenceClient) Predict(spec FunctionSpec, batch int) (gpumgr.Result,
 		Function:  spec.Name,
 		Model:     spec.Model,
 		BatchSize: batch,
-		Arrival:   ic.clock.Now(),
+		Arrival:   arrival,
 		Tenant:    spec.Tenant,
 	}
-	if err := ic.cluster.Submit(req); err != nil {
+	if err := ic.cells[cell].Submit(req); err != nil {
 		ic.mu.Lock()
 		delete(ic.waiters, id)
 		ic.mu.Unlock()
@@ -272,6 +327,11 @@ func (ic *InferenceClient) Predict(spec FunctionSpec, batch int) (gpumgr.Result,
 // Datastore... updates the status back to idle").
 type DatastoreSink struct {
 	Store *datastore.Store
+	// Prefix namespaces the per-GPU status keys (a multi-cell gateway
+	// uses "cellN/": every cell names its nodes node0..nodeN, so bare
+	// GPU IDs collide fleet-wide). Completion latency keys need no
+	// prefix — request IDs come from the shared inference client.
+	Prefix string
 }
 
 // GPUStatus implements gpumgr.StatusSink.
@@ -283,7 +343,7 @@ func (s DatastoreSink) GPUStatus(gpuID string, busy bool, at sim.Time) {
 	if busy {
 		v = "busy"
 	}
-	s.Store.Put("gpu/"+gpuID+"/status", []byte(v), 0)
+	s.Store.Put("gpu/"+s.Prefix+gpuID+"/status", []byte(v), 0)
 }
 
 // GPURemoved implements gpumgr.GPURemovalSink: a decommissioned GPU's
@@ -293,7 +353,7 @@ func (s DatastoreSink) GPURemoved(gpuID string, _ sim.Time) {
 	if s.Store == nil {
 		return
 	}
-	_, _ = s.Store.Delete("gpu/" + gpuID + "/status")
+	_, _ = s.Store.Delete("gpu/" + s.Prefix + gpuID + "/status")
 }
 
 // Completion implements gpumgr.StatusSink.

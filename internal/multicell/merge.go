@@ -1,0 +1,211 @@
+package multicell
+
+// Deterministic report merging. Counters and cost sum; percentiles are
+// exact, computed over the concatenated per-cell latency samples (the
+// per-request observations, not a quantile-of-quantiles approximation);
+// utilization fractions are re-derived from summed phase durations, so
+// each cell is weighted by the GPU-time it contributed. The per-cell
+// min/max spread exposes router imbalance the fleet-level means hide.
+
+import (
+	"time"
+
+	"gpufaas/internal/cluster"
+	"gpufaas/internal/stats"
+)
+
+// Spread brackets a per-cell metric across the fleet (min/max over
+// cells) to expose imbalance.
+type Spread struct {
+	MinRequests, MaxRequests           int64
+	MinP95LatencySec, MaxP95LatencySec float64
+	MinMissRatio, MaxMissRatio         float64
+	MinSMUtilization, MaxSMUtilization float64
+}
+
+// MergedReport is the fleet-level roll-up of K per-cell Reports.
+type MergedReport struct {
+	Cells  int
+	Router string
+	// Policy is the cells' scheduler policy (uniform across cells).
+	Policy string
+
+	Requests int64
+	Failed   int64
+	// Makespan is the slowest cell's makespan (cells run in parallel).
+	Makespan time.Duration
+
+	// Latency summary over the concatenated per-cell samples (exact).
+	AvgLatencySec       float64
+	LatencyVarianceSec2 float64
+	P50LatencySec       float64
+	P95LatencySec       float64
+	P99LatencySec       float64
+	MaxLatencySec       float64
+
+	// Cache metrics re-derived from summed numerators/denominators.
+	MissRatio      float64
+	FalseMissRatio float64
+	Misses         int64
+	FalseMisses    int64
+
+	// Utilization fractions from summed phase durations (GPU-time
+	// weighted across cells).
+	SMUtilization float64
+	LoadFraction  float64
+	BusyFraction  float64
+
+	// TopModelDuplicates sums across cells: each cell caches its own
+	// replicas of the tracked model, and fleet-wide duplication is what
+	// Fig. 6 measures.
+	TopModelDuplicates float64
+
+	LocalQueueMoves int64
+	O3Dispatches    int64
+	Starved         int64
+
+	GPUSeconds float64
+	ScaleUps   int64
+	ScaleDowns int64
+	// PeakGPUs sums per-cell peaks: cells peak independently, so the
+	// sum is the fleet's provisioned-capacity bound.
+	PeakGPUs  int
+	FinalGPUs int
+
+	Cost       float64              `json:",omitempty"`
+	ClassUsage []cluster.ClassUsage `json:",omitempty"`
+
+	// MaxEventQueueLen / PeakLocalQueue are maxima across cells: the
+	// capacity planning question is "how big does any one cell's queue
+	// get", not a fleet sum.
+	MaxEventQueueLen int
+	PeakLocalQueue   int
+
+	// Streaming sums the per-cell streaming counters; nil when the
+	// cells replayed materialized.
+	Streaming *cluster.StreamStats `json:",omitempty"`
+
+	// CellSpread is the per-cell min/max imbalance bracket.
+	CellSpread Spread
+}
+
+// Merge rolls K per-cell outcomes into the fleet-level report. The
+// outcomes must be in cell order; the merge is deterministic (fixed
+// iteration and float summation order).
+func Merge(cells []CellOutcome, router Policy) MergedReport {
+	m := MergedReport{Cells: len(cells), Router: router.String()}
+	if len(cells) == 0 {
+		return m
+	}
+	m.Policy = cells[0].Report.Policy
+
+	n := 0
+	for _, c := range cells {
+		n += len(c.Stats.Latencies)
+	}
+	sample := stats.NewSample(n)
+	var idleT, loadT, inferT time.Duration
+	var cacheReqs int64
+	classIdx := make(map[string]int)
+	for i, c := range cells {
+		r := c.Report
+		m.Requests += r.Requests
+		m.Failed += r.Failed
+		if r.Makespan > m.Makespan {
+			m.Makespan = r.Makespan
+		}
+		m.Misses += r.Misses
+		m.FalseMisses += r.FalseMisses
+		m.TopModelDuplicates += r.TopModelDuplicates
+		m.LocalQueueMoves += r.LocalQueueMoves
+		m.O3Dispatches += r.O3Dispatches
+		m.Starved += r.Starved
+		m.GPUSeconds += r.GPUSeconds
+		m.ScaleUps += r.ScaleUps
+		m.ScaleDowns += r.ScaleDowns
+		m.PeakGPUs += r.PeakGPUs
+		m.FinalGPUs += r.FinalGPUs
+		m.Cost += r.Cost
+		if r.MaxEventQueueLen > m.MaxEventQueueLen {
+			m.MaxEventQueueLen = r.MaxEventQueueLen
+		}
+		if r.PeakLocalQueue > m.PeakLocalQueue {
+			m.PeakLocalQueue = r.PeakLocalQueue
+		}
+		for _, cu := range r.ClassUsage {
+			j, ok := classIdx[cu.Class]
+			if !ok {
+				j = len(m.ClassUsage)
+				classIdx[cu.Class] = j
+				m.ClassUsage = append(m.ClassUsage, cluster.ClassUsage{Class: cu.Class})
+			}
+			m.ClassUsage[j].GPUSeconds += cu.GPUSeconds
+			m.ClassUsage[j].Cost += cu.Cost
+			m.ClassUsage[j].PeakGPUs += cu.PeakGPUs
+			m.ClassUsage[j].FinalGPUs += cu.FinalGPUs
+		}
+		if st := r.Streaming; st != nil {
+			if m.Streaming == nil {
+				m.Streaming = &cluster.StreamStats{}
+			}
+			m.Streaming.Requests += st.Requests
+			m.Streaming.Batches += st.Batches
+			m.Streaming.PeakInflight += st.PeakInflight
+			m.Streaming.ArenaAllocated += st.ArenaAllocated
+			m.Streaming.ArenaReused += st.ArenaReused
+		}
+
+		for _, x := range c.Stats.Latencies {
+			sample.Add(x)
+		}
+		idleT += c.Stats.Idle
+		loadT += c.Stats.Loading
+		inferT += c.Stats.Inferring
+		cacheReqs += c.Stats.CacheRequests
+
+		if i == 0 || r.Requests < m.CellSpread.MinRequests {
+			m.CellSpread.MinRequests = r.Requests
+		}
+		if i == 0 || r.Requests > m.CellSpread.MaxRequests {
+			m.CellSpread.MaxRequests = r.Requests
+		}
+		if i == 0 || r.P95LatencySec < m.CellSpread.MinP95LatencySec {
+			m.CellSpread.MinP95LatencySec = r.P95LatencySec
+		}
+		if i == 0 || r.P95LatencySec > m.CellSpread.MaxP95LatencySec {
+			m.CellSpread.MaxP95LatencySec = r.P95LatencySec
+		}
+		if i == 0 || r.MissRatio < m.CellSpread.MinMissRatio {
+			m.CellSpread.MinMissRatio = r.MissRatio
+		}
+		if i == 0 || r.MissRatio > m.CellSpread.MaxMissRatio {
+			m.CellSpread.MaxMissRatio = r.MissRatio
+		}
+		if i == 0 || r.SMUtilization < m.CellSpread.MinSMUtilization {
+			m.CellSpread.MinSMUtilization = r.SMUtilization
+		}
+		if i == 0 || r.SMUtilization > m.CellSpread.MaxSMUtilization {
+			m.CellSpread.MaxSMUtilization = r.SMUtilization
+		}
+	}
+
+	m.AvgLatencySec = sample.Mean()
+	m.LatencyVarianceSec2 = sample.Variance()
+	m.P50LatencySec = sample.Percentile(50)
+	m.P95LatencySec = sample.Percentile(95)
+	m.P99LatencySec = sample.Percentile(99)
+	m.MaxLatencySec = sample.Max()
+
+	if cacheReqs > 0 {
+		m.MissRatio = float64(m.Misses) / float64(cacheReqs)
+	}
+	if m.Misses > 0 {
+		m.FalseMissRatio = float64(m.FalseMisses) / float64(m.Misses)
+	}
+	if total := float64(idleT + loadT + inferT); total > 0 {
+		m.SMUtilization = float64(inferT) / total
+		m.LoadFraction = float64(loadT) / total
+		m.BusyFraction = float64(loadT+inferT) / total
+	}
+	return m
+}

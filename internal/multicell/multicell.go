@@ -1,0 +1,211 @@
+// Package multicell shards a GPU-FaaS fleet into K independent cells —
+// each a full sim.Engine + scheduler + cache/autoscaler stack on its own
+// goroutine — behind a deterministic front-door router. Cells share no
+// GPUs and no event ordering, so the one resource a single-threaded
+// simulation cannot use, cores, converts directly into fleet scale:
+// 10k+ GPU fleets run as K smaller clusters wall-clock-parallel.
+//
+// Determinism is the load-bearing property. The router is a pure
+// function of the arrival-stream prefix (see router.go), so every cell
+// worker regenerates the full stream from its seed, filters it through a
+// private router instance and keeps only its own share. No channels, no
+// cross-cell feedback, no dependence on goroutine interleaving: the same
+// configuration produces byte-identical merged reports at any worker
+// count, which the CI determinism gate enforces end to end.
+package multicell
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"gpufaas/internal/cluster"
+	"gpufaas/internal/trace"
+)
+
+// CellSpec is one cell's stack: its cluster configuration (fleet already
+// partitioned down to the cell's share) and the arrival source the
+// front-door router filters.
+type CellSpec struct {
+	// Config builds the cell's private cluster. It must describe only
+	// this cell's slice of the fleet.
+	Config cluster.Config
+	// Source yields the FULL fleet arrival stream; the runner filters
+	// it through the router and keeps the cell's share. Each cell needs
+	// its own source instance (streams are single-use iterators).
+	Source cluster.ArrivalSource
+	// TopModel, when non-empty, enables duplicate tracking (Fig. 6).
+	TopModel string
+}
+
+// Config describes one multi-cell run.
+type Config struct {
+	// Cells is the number of cells (>= 1).
+	Cells int
+	// Router seeds the front-door router; Cells is overridden from the
+	// field above.
+	Router RouterConfig
+	// Workers bounds concurrently simulated cells (<= 0: GOMAXPROCS).
+	// Results do not depend on it.
+	Workers int
+	// Materialize collects each cell's share into memory and replays it
+	// via RunWorkload instead of RunWorkloadStream. The materialized
+	// path is byte-identical to the legacy single-cluster replay (the
+	// golden-pinned path) at O(trace) memory; the streaming path is the
+	// scale configuration.
+	Materialize bool
+	// Setup builds cell i's spec. It is called once per cell and may
+	// run concurrently with other cells' setups.
+	Setup func(cell int) (CellSpec, error)
+}
+
+// CellOutcome couples one cell's report with the raw merge inputs and
+// the router's accounting for the cell.
+type CellOutcome struct {
+	Report cluster.Report
+	Stats  cluster.RunStats
+	// Routed counts the requests the front door sent to this cell.
+	Routed int64
+}
+
+// Result is one multi-cell run: the fleet-level roll-up plus the
+// per-cell outcomes it was merged from.
+type Result struct {
+	Merged MergedReport
+	Cells  []CellOutcome
+	// WallSeconds is the wall-clock duration of the whole run.
+	// Volatile: excluded from determinism comparisons.
+	WallSeconds float64
+}
+
+// Run simulates all cells and merges their reports. Cell errors are
+// reported lowest-index first (deterministic at any worker count).
+func Run(cfg Config) (Result, error) {
+	if cfg.Cells < 1 {
+		return Result{}, fmt.Errorf("multicell: need >= 1 cell, got %d", cfg.Cells)
+	}
+	if cfg.Setup == nil {
+		return Result{}, fmt.Errorf("multicell: nil Setup")
+	}
+	rcfg := cfg.Router
+	rcfg.Cells = cfg.Cells
+	if _, err := NewRouter(rcfg); err != nil {
+		return Result{}, err
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Cells {
+		workers = cfg.Cells
+	}
+
+	start := time.Now()
+	outs := make([]CellOutcome, cfg.Cells)
+	errs := make([]error, cfg.Cells)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out, err := runCell(cfg, rcfg, i)
+				if err != nil {
+					errs[i] = fmt.Errorf("multicell: cell %d: %w", i, err)
+					continue
+				}
+				outs[i] = out
+			}
+		}()
+	}
+	for i := 0; i < cfg.Cells; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	return Result{
+		Merged:      Merge(outs, rcfg.Policy),
+		Cells:       outs,
+		WallSeconds: time.Since(start).Seconds(),
+	}, nil
+}
+
+// runCell simulates one cell: private router, private cluster, private
+// replay of the full stream filtered down to the cell's share.
+func runCell(cfg Config, rcfg RouterConfig, i int) (CellOutcome, error) {
+	router, err := NewRouter(rcfg)
+	if err != nil {
+		return CellOutcome{}, err
+	}
+	spec, err := cfg.Setup(i)
+	if err != nil {
+		return CellOutcome{}, err
+	}
+	if spec.Source == nil {
+		return CellOutcome{}, fmt.Errorf("nil arrival source")
+	}
+	c, err := cluster.New(spec.Config)
+	if err != nil {
+		return CellOutcome{}, err
+	}
+	if spec.TopModel != "" {
+		c.TrackModel(spec.TopModel)
+	}
+	src := &cellSource{src: spec.Source, router: router, cell: i}
+	var rep cluster.Report
+	if cfg.Materialize {
+		var all []trace.Request
+		for {
+			batch, ok := src.Next()
+			if !ok {
+				break
+			}
+			all = append(all, batch...) // Next's slice is reused: copy
+		}
+		rep, err = c.RunWorkload(all)
+	} else {
+		rep, err = c.RunWorkloadStream(src)
+	}
+	if err != nil {
+		return CellOutcome{}, err
+	}
+	return CellOutcome{Report: rep, Stats: c.RunStats(), Routed: src.kept}, nil
+}
+
+// cellSource filters a full arrival stream down to one cell's share by
+// replaying the front-door routing decision for every request. Empty
+// batches are skipped so the downstream injector always sees progress.
+type cellSource struct {
+	src    cluster.ArrivalSource
+	router *Router
+	cell   int
+	buf    []trace.Request
+	kept   int64
+}
+
+// Next implements cluster.ArrivalSource.
+func (cs *cellSource) Next() ([]trace.Request, bool) {
+	for {
+		batch, ok := cs.src.Next()
+		if !ok {
+			return nil, false
+		}
+		cs.buf = cs.buf[:0]
+		for _, r := range batch {
+			if cs.router.Route(r) == cs.cell {
+				cs.buf = append(cs.buf, r)
+			}
+		}
+		if len(cs.buf) > 0 {
+			cs.kept += int64(len(cs.buf))
+			return cs.buf, true
+		}
+	}
+}

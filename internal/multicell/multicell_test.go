@@ -1,0 +1,152 @@
+package multicell
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"gpufaas/internal/cluster"
+	"gpufaas/internal/stats"
+)
+
+func TestPartitionCounts(t *testing.T) {
+	cases := []struct {
+		total, cells int
+		want         []int
+	}{
+		{12, 4, []int{3, 3, 3, 3}},
+		{13, 4, []int{4, 3, 3, 3}},
+		{3, 4, []int{1, 1, 1, 0}},
+		{0, 2, []int{0, 0}},
+	}
+	for _, c := range cases {
+		got := PartitionCounts(c.total, c.cells)
+		if len(got) != len(c.want) {
+			t.Fatalf("PartitionCounts(%d,%d) len=%d", c.total, c.cells, len(got))
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("PartitionCounts(%d,%d) = %v, want %v", c.total, c.cells, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestPartitionFleet(t *testing.T) {
+	spec := cluster.FleetSpec{
+		{Type: "a100", Count: 10, Memory: 1 << 30},
+		{Type: "rtx2080", Count: 3, Memory: 1 << 30},
+	}
+	parts, err := PartitionFleet(spec, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totals := map[string]int{}
+	for _, f := range parts {
+		cellTotal := 0
+		for _, class := range f {
+			totals[class.Type] += class.Count
+			cellTotal += class.Count
+		}
+		if cellTotal == 0 {
+			t.Fatal("cell with no devices")
+		}
+	}
+	if totals["a100"] != 10 || totals["rtx2080"] != 3 {
+		t.Errorf("partition lost devices: %v", totals)
+	}
+	// Cell 3 gets no rtx2080 devices (3 over 4 cells) but the class
+	// must stay DECLARED at Count 0: declared classes are autoscale
+	// targets (tiered policies scale classes up from zero).
+	if len(parts[3]) != 2 {
+		t.Fatalf("cell 3 lost a class declaration: %v", parts[3])
+	}
+	if parts[3][1].Type != "rtx2080" || parts[3][1].Count != 0 {
+		t.Errorf("cell 3 rtx2080 share = %+v, want declared Count 0", parts[3][1])
+	}
+
+	if _, err := PartitionFleet(cluster.FleetSpec{{Type: "a100", Count: 2}}, 4); err == nil {
+		t.Error("partitioning 2 devices into 4 cells should fail")
+	}
+}
+
+// TestMergeExactPercentiles pins that the roll-up computes latency
+// statistics over the concatenated raw samples, not an approximation of
+// per-cell summaries.
+func TestMergeExactPercentiles(t *testing.T) {
+	cells := []CellOutcome{
+		{Stats: cluster.RunStats{Latencies: []float64{1, 2, 3, 10}}},
+		{Stats: cluster.RunStats{Latencies: []float64{0.5, 4, 20}}},
+	}
+	m := Merge(cells, RouteHash)
+
+	want := stats.NewSample(7)
+	for _, x := range []float64{1, 2, 3, 10, 0.5, 4, 20} {
+		want.Add(x)
+	}
+	if m.P95LatencySec != want.Percentile(95) {
+		t.Errorf("P95 = %v, want %v", m.P95LatencySec, want.Percentile(95))
+	}
+	if m.P50LatencySec != want.Percentile(50) {
+		t.Errorf("P50 = %v, want %v", m.P50LatencySec, want.Percentile(50))
+	}
+	if m.AvgLatencySec != want.Mean() {
+		t.Errorf("Avg = %v, want %v", m.AvgLatencySec, want.Mean())
+	}
+	if m.MaxLatencySec != 20 {
+		t.Errorf("Max = %v, want 20", m.MaxLatencySec)
+	}
+}
+
+func TestMergeCountersAndRatios(t *testing.T) {
+	mk := func(req, misses, falseMisses, lookups int64, p95 float64, idle, infer time.Duration) CellOutcome {
+		return CellOutcome{
+			Report: cluster.Report{
+				Requests:      req,
+				Misses:        misses,
+				FalseMisses:   falseMisses,
+				P95LatencySec: p95,
+				GPUSeconds:    float64(req),
+				Streaming:     &cluster.StreamStats{Requests: req, PeakInflight: 2},
+			},
+			Stats: cluster.RunStats{
+				CacheRequests: lookups,
+				Idle:          idle,
+				Inferring:     infer,
+			},
+		}
+	}
+	cells := []CellOutcome{
+		mk(100, 30, 6, 100, 2.0, 10*time.Second, 30*time.Second),
+		mk(50, 10, 2, 50, 5.0, 30*time.Second, 10*time.Second),
+	}
+	m := Merge(cells, RouteLeastLoaded)
+
+	if m.Requests != 150 || m.Misses != 40 || m.FalseMisses != 8 {
+		t.Errorf("summed counters wrong: %+v", m)
+	}
+	if want := 40.0 / 150.0; m.MissRatio != want {
+		t.Errorf("MissRatio = %v, want %v (summed num/den, not averaged ratios)", m.MissRatio, want)
+	}
+	if want := 8.0 / 40.0; m.FalseMissRatio != want {
+		t.Errorf("FalseMissRatio = %v, want %v", m.FalseMissRatio, want)
+	}
+	// 40s inferring over 80s total GPU-time.
+	if want := 0.5; math.Abs(m.SMUtilization-want) > 1e-12 {
+		t.Errorf("SMUtilization = %v, want %v", m.SMUtilization, want)
+	}
+	if m.GPUSeconds != 150 {
+		t.Errorf("GPUSeconds = %v, want 150", m.GPUSeconds)
+	}
+	if m.Streaming == nil || m.Streaming.Requests != 150 || m.Streaming.PeakInflight != 4 {
+		t.Errorf("Streaming roll-up wrong: %+v", m.Streaming)
+	}
+	sp := m.CellSpread
+	if sp.MinRequests != 50 || sp.MaxRequests != 100 || sp.MinP95LatencySec != 2.0 || sp.MaxP95LatencySec != 5.0 {
+		t.Errorf("spread wrong: %+v", sp)
+	}
+	if m.Router != "leastload" {
+		t.Errorf("Router = %q", m.Router)
+	}
+}

@@ -1,0 +1,60 @@
+package multicell
+
+// Fleet partitioning: cells own disjoint slices of the declared fleet.
+// Shares are near-equal with the remainder dealt to the lowest-indexed
+// cells, so the split is deterministic and independent of everything
+// but (spec, cells).
+
+import (
+	"fmt"
+
+	"gpufaas/internal/cluster"
+)
+
+// PartitionCounts splits total into cells near-equal non-negative
+// shares; the remainder goes to the lowest-indexed cells.
+func PartitionCounts(total, cells int) []int {
+	out := make([]int, cells)
+	if cells <= 0 {
+		return out
+	}
+	base, rem := total/cells, total%cells
+	for i := range out {
+		out[i] = base
+		if i < rem {
+			out[i]++
+		}
+	}
+	return out
+}
+
+// PartitionFleet splits a declared fleet across cells, class by class.
+// Every class stays declared in every cell — even at Count 0 — because
+// a declared class is an autoscale target (tiered policies scale
+// classes up from zero) and class-agnostic report rows key off the
+// declaration, not the boot count. Every cell must still end up with at
+// least one device overall.
+func PartitionFleet(spec cluster.FleetSpec, cells int) ([]cluster.FleetSpec, error) {
+	if cells < 1 {
+		return nil, fmt.Errorf("multicell: need >= 1 cell, got %d", cells)
+	}
+	out := make([]cluster.FleetSpec, cells)
+	for _, class := range spec {
+		shares := PartitionCounts(class.Count, cells)
+		for i, n := range shares {
+			cc := class
+			cc.Count = n
+			out[i] = append(out[i], cc)
+		}
+	}
+	for i, f := range out {
+		total := 0
+		for _, class := range f {
+			total += class.Count
+		}
+		if total == 0 {
+			return nil, fmt.Errorf("multicell: cell %d/%d has no devices (fleet too small to shard)", i, cells)
+		}
+	}
+	return out, nil
+}

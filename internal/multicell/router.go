@@ -1,0 +1,269 @@
+package multicell
+
+// The front-door router. Production serving clouds scale past a single
+// scheduler's reach by sharding the fleet into cells and placing a thin
+// stateless router in front; the only state such a router can afford is
+// a hash ring and a lagged load feed from the metrics pipeline. The
+// three policies here reproduce that design space as a comparison axis:
+// consistent hashing (stable function→cell pinning), model-affinity
+// with overload spill, and pure least-loaded balancing on a
+// snapshot-lagged signal.
+//
+// Determinism contract: a Router is a pure function of its config and
+// the prefix of the arrival stream it has routed. It never observes the
+// cells themselves — the "load" it balances on is its own routing
+// history, bucketed into snapshot intervals, exactly the lag a real
+// front door sees between a cell's state and the metrics feed. Every
+// cell worker can therefore replay the full stream through a private
+// Router instance and keep its own share, which is what makes multi-cell
+// runs byte-identical at any worker count.
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"gpufaas/internal/trace"
+)
+
+// Policy selects how the front-door router splits arrivals across cells.
+type Policy int
+
+const (
+	// RouteHash consistent-hashes the function name onto a seeded
+	// virtual-node ring: each function's requests pin to one cell, and
+	// growing the cell count only remaps keys adjacent to the new
+	// cell's vnodes (the classic minimal-disruption property).
+	RouteHash Policy = iota
+	// RouteAffinity consistent-hashes the model (not the function) to a
+	// home cell, so functions sharing a model instance co-locate and
+	// the cell's cache can serve them all — but spills a request to the
+	// least-loaded cell when the home cell's recent routed load runs
+	// more than SpillFactor ahead of the per-cell average.
+	RouteAffinity
+	// RouteLeastLoaded sends each request to the cell with the smallest
+	// load signal (last interval's routed count plus the current
+	// interval's), ties broken by lowest cell index.
+	RouteLeastLoaded
+)
+
+// String returns the flag-level policy name.
+func (p Policy) String() string {
+	switch p {
+	case RouteHash:
+		return "hash"
+	case RouteAffinity:
+		return "affinity"
+	case RouteLeastLoaded:
+		return "leastload"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// RouterPolicies lists the policies in presentation order.
+var RouterPolicies = []Policy{RouteHash, RouteAffinity, RouteLeastLoaded}
+
+// ParsePolicy resolves a flag-level name ("hash", "affinity",
+// "leastload") to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	for _, p := range RouterPolicies {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("multicell: unknown router policy %q (want hash, affinity or leastload)", s)
+}
+
+// RouterConfig seeds a deterministic front-door router.
+type RouterConfig struct {
+	// Cells is the number of downstream cells (>= 1).
+	Cells int
+	// Policy selects the routing policy; the zero value is RouteHash.
+	Policy Policy
+	// Seed perturbs the vnode ring, like an experiment seed: two
+	// routers with equal configs route identically.
+	Seed int64
+	// Replicas is the number of virtual nodes per cell on the hash ring
+	// (<= 0: 16).
+	Replicas int
+	// SnapshotEvery is the load-signal refresh interval (<= 0: 10s).
+	// The router sees per-cell load with up to this much lag — a
+	// metrics-pipeline front door, not a live queue reader.
+	SnapshotEvery time.Duration
+	// SpillFactor bounds RouteAffinity's tolerance: the home cell takes
+	// the request unless its load signal exceeds SpillFactor × the
+	// per-cell average (<= 0: 2.0).
+	SpillFactor float64
+}
+
+// ringPoint is one virtual node on the consistent-hash ring.
+type ringPoint struct {
+	hash uint64
+	cell int
+}
+
+// Router deterministically assigns arrivals to cells. It is not safe
+// for concurrent use; each cell worker (and the live gateway, under its
+// own lock) owns a private instance.
+type Router struct {
+	cfg  RouterConfig
+	ring []ringPoint
+
+	// Load signal: cur counts routes in the open interval, snap holds
+	// the previous interval's counts. The signal for a cell is
+	// snap[i]+cur[i]; on each interval boundary snap <- cur, cur <- 0.
+	snap    []int64
+	cur     []int64
+	total   []int64 // cumulative per-cell routed counts
+	nextCut time.Duration
+}
+
+// NewRouter builds a router. The returned router's first snapshot
+// boundary is one SnapshotEvery after time zero.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if cfg.Cells < 1 {
+		return nil, fmt.Errorf("multicell: router needs >= 1 cell, got %d", cfg.Cells)
+	}
+	switch cfg.Policy {
+	case RouteHash, RouteAffinity, RouteLeastLoaded:
+	default:
+		return nil, fmt.Errorf("multicell: unknown router policy %d", int(cfg.Policy))
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 16
+	}
+	if cfg.SnapshotEvery <= 0 {
+		cfg.SnapshotEvery = 10 * time.Second
+	}
+	if cfg.SpillFactor <= 0 {
+		cfg.SpillFactor = 2.0
+	}
+	r := &Router{
+		cfg:     cfg,
+		ring:    make([]ringPoint, 0, cfg.Cells*cfg.Replicas),
+		snap:    make([]int64, cfg.Cells),
+		cur:     make([]int64, cfg.Cells),
+		total:   make([]int64, cfg.Cells),
+		nextCut: cfg.SnapshotEvery,
+	}
+	for c := 0; c < cfg.Cells; c++ {
+		for v := 0; v < cfg.Replicas; v++ {
+			r.ring = append(r.ring, ringPoint{
+				hash: hash64(cfg.Seed, fmt.Sprintf("cell/%d/%d", c, v)),
+				cell: c,
+			})
+		}
+	}
+	// Total order even under (astronomically unlikely) hash collisions.
+	sort.Slice(r.ring, func(a, b int) bool {
+		if r.ring[a].hash != r.ring[b].hash {
+			return r.ring[a].hash < r.ring[b].hash
+		}
+		return r.ring[a].cell < r.ring[b].cell
+	})
+	return r, nil
+}
+
+// Cells returns the configured cell count.
+func (r *Router) Cells() int { return r.cfg.Cells }
+
+// Config returns the router's resolved configuration (defaults filled).
+func (r *Router) Config() RouterConfig { return r.cfg }
+
+// Route assigns one arrival to a cell. Arrivals must be fed in
+// non-decreasing arrival order (the stream contract).
+func (r *Router) Route(req trace.Request) int {
+	cell := 0
+	if r.cfg.Cells > 1 {
+		r.advance(req.Arrival)
+		switch r.cfg.Policy {
+		case RouteHash:
+			cell = r.lookup(req.Function)
+		case RouteAffinity:
+			cell = r.lookup(req.Model)
+			if r.overloaded(cell) {
+				cell = r.argmin()
+			}
+		case RouteLeastLoaded:
+			cell = r.argmin()
+		}
+	}
+	r.cur[cell]++
+	r.total[cell]++
+	return cell
+}
+
+// Routed returns the cumulative per-cell routed counts (a copy).
+func (r *Router) Routed() []int64 {
+	out := make([]int64, len(r.total))
+	copy(out, r.total)
+	return out
+}
+
+// advance rolls the load-signal window forward to cover t.
+func (r *Router) advance(t time.Duration) {
+	for t >= r.nextCut {
+		copy(r.snap, r.cur)
+		for i := range r.cur {
+			r.cur[i] = 0
+		}
+		r.nextCut += r.cfg.SnapshotEvery
+	}
+}
+
+// load is the signal the balancing policies see for one cell.
+func (r *Router) load(cell int) int64 { return r.snap[cell] + r.cur[cell] }
+
+// lookup walks the ring: the key's successor vnode owns it.
+func (r *Router) lookup(key string) int {
+	h := hash64(r.cfg.Seed, key)
+	i := sort.Search(len(r.ring), func(i int) bool { return r.ring[i].hash >= h })
+	if i == len(r.ring) {
+		i = 0
+	}
+	return r.ring[i].cell
+}
+
+// argmin returns the cell with the smallest load signal, lowest index
+// winning ties.
+func (r *Router) argmin() int {
+	best, bestLoad := 0, r.load(0)
+	for i := 1; i < r.cfg.Cells; i++ {
+		if l := r.load(i); l < bestLoad {
+			best, bestLoad = i, l
+		}
+	}
+	return best
+}
+
+// overloaded reports whether a home cell should spill: its load signal
+// exceeds SpillFactor × the per-cell average (with +1 slack so empty
+// and near-empty windows never spill).
+func (r *Router) overloaded(cell int) bool {
+	var sum int64
+	for i := 0; i < r.cfg.Cells; i++ {
+		sum += r.load(i)
+	}
+	avg := float64(sum) / float64(r.cfg.Cells)
+	return float64(r.load(cell)) > r.cfg.SpillFactor*avg+1
+}
+
+// hash64 is FNV-1a over the key with the seed folded into the offset
+// basis, finished with murmur3's 64-bit avalanche mix. Raw FNV barely
+// diffuses the high bits on short keys ("cell/3/7", "f042"), which
+// would collapse each cell's vnodes into one tight band of the ring;
+// the finalizer spreads them uniformly, which is what the consistent
+// hash's minimal-disruption property rests on.
+func hash64(seed int64, key string) uint64 {
+	h := uint64(14695981039346656037) ^ uint64(seed)*0x9E3779B97F4A7C15
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}

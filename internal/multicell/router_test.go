@@ -1,0 +1,182 @@
+package multicell
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"gpufaas/internal/trace"
+)
+
+// req builds a routing probe; arrivals spread 100ms apart so the load
+// window advances realistically.
+func req(i int, fn, model string) trace.Request {
+	return trace.Request{
+		ID:       int64(i),
+		Function: fn,
+		Model:    model,
+		Arrival:  time.Duration(i) * 100 * time.Millisecond,
+	}
+}
+
+func newTestRouter(t *testing.T, cfg RouterConfig) *Router {
+	t.Helper()
+	r, err := NewRouter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestParsePolicyRoundTrip(t *testing.T) {
+	for _, p := range RouterPolicies {
+		got, err := ParsePolicy(p.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != p {
+			t.Errorf("ParsePolicy(%q) = %v, want %v", p.String(), got, p)
+		}
+	}
+	if _, err := ParsePolicy("random"); err == nil {
+		t.Error("ParsePolicy accepted an unknown policy")
+	}
+}
+
+// TestHashStabilityAcrossCellCounts pins the consistent-hash property:
+// growing K cells to K+1 moves keys only onto the new cell — no key
+// migrates between surviving cells.
+func TestHashStabilityAcrossCellCounts(t *testing.T) {
+	const keys = 500
+	for _, k := range []int{2, 4, 8} {
+		small := newTestRouter(t, RouterConfig{Cells: k, Policy: RouteHash, Seed: 7})
+		big := newTestRouter(t, RouterConfig{Cells: k + 1, Policy: RouteHash, Seed: 7})
+		moved := 0
+		for i := 0; i < keys; i++ {
+			r := req(i, fmt.Sprintf("f%03d", i), "m")
+			a, b := small.Route(r), big.Route(r)
+			if a != b {
+				if b != k {
+					t.Fatalf("cells %d->%d: key %d moved %d->%d (not to the new cell)", k, k+1, i, a, b)
+				}
+				moved++
+			}
+		}
+		// The new cell should claim roughly 1/(k+1) of the keyspace;
+		// anything between "some" and "half" certifies minimal
+		// disruption without overfitting the hash.
+		if moved == 0 || moved > keys/2 {
+			t.Errorf("cells %d->%d: %d/%d keys moved, want (0, %d]", k, k+1, moved, keys, keys/2)
+		}
+	}
+}
+
+// TestHashPinsFunctions pins that a function's requests always land in
+// the same cell, and that two routers with equal configs agree.
+func TestHashPinsFunctions(t *testing.T) {
+	a := newTestRouter(t, RouterConfig{Cells: 4, Policy: RouteHash, Seed: 3})
+	b := newTestRouter(t, RouterConfig{Cells: 4, Policy: RouteHash, Seed: 3})
+	home := make(map[string]int)
+	for i := 0; i < 400; i++ {
+		fn := fmt.Sprintf("f%02d", i%10)
+		r := req(i, fn, "m")
+		ca, cb := a.Route(r), b.Route(r)
+		if ca != cb {
+			t.Fatalf("equal-config routers disagree at %d: %d vs %d", i, ca, cb)
+		}
+		if prev, ok := home[fn]; ok && prev != ca {
+			t.Fatalf("function %s moved cells %d->%d", fn, prev, ca)
+		}
+		home[fn] = ca
+	}
+	if len(home) != 10 {
+		t.Fatalf("expected 10 pinned functions, got %d", len(home))
+	}
+}
+
+// TestLeastLoadedTieBreakDeterminism pins the tie rule (lowest cell
+// index) and that routing is a pure function of the stream prefix.
+func TestLeastLoadedTieBreakDeterminism(t *testing.T) {
+	a := newTestRouter(t, RouterConfig{Cells: 4, Policy: RouteLeastLoaded, Seed: 1})
+	// From an all-zero signal the first K routes must walk cells
+	// 0,1,2,3 in order: each tie breaks to the lowest index.
+	for i := 0; i < 4; i++ {
+		if got := a.Route(req(i, "f", "m")); got != i {
+			t.Fatalf("route %d = cell %d, want %d (lowest-index tie-break)", i, got, i)
+		}
+	}
+	// Replaying the identical stream through a fresh router reproduces
+	// the full decision sequence.
+	b := newTestRouter(t, RouterConfig{Cells: 4, Policy: RouteLeastLoaded, Seed: 1})
+	c := newTestRouter(t, RouterConfig{Cells: 4, Policy: RouteLeastLoaded, Seed: 1})
+	for i := 0; i < 1000; i++ {
+		r := req(i, fmt.Sprintf("f%02d", i%17), "m")
+		if cb, cc := b.Route(r), c.Route(r); cb != cc {
+			t.Fatalf("replay diverged at %d: %d vs %d", i, cb, cc)
+		}
+	}
+}
+
+// TestLeastLoadedBalances pins that a uniform stream spreads evenly.
+func TestLeastLoadedBalances(t *testing.T) {
+	r := newTestRouter(t, RouterConfig{Cells: 4, Policy: RouteLeastLoaded, Seed: 1})
+	for i := 0; i < 1000; i++ {
+		r.Route(req(i, fmt.Sprintf("f%02d", i%13), "m"))
+	}
+	counts := r.Routed()
+	var min, max int64 = counts[0], counts[0]
+	for _, c := range counts[1:] {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if max-min > 1 {
+		t.Errorf("least-loaded imbalance %d (counts %v), want <= 1", max-min, counts)
+	}
+}
+
+// TestAffinityHomesAndSpills pins both halves of the affinity policy:
+// under balanced load a model stays home; under a single-model hotspot
+// the overload check spills the excess to other cells.
+func TestAffinityHomesAndSpills(t *testing.T) {
+	// SpillFactor high enough that the hash's natural unevenness never
+	// trips the overload check: pure homing behavior.
+	balanced := newTestRouter(t, RouterConfig{Cells: 4, Policy: RouteAffinity, Seed: 5, SpillFactor: 100})
+	home := make(map[string]int)
+	for i := 0; i < 400; i++ {
+		m := fmt.Sprintf("m%02d", i%16)
+		cell := balanced.Route(req(i, "f", m))
+		if prev, ok := home[m]; ok && prev != cell {
+			t.Fatalf("balanced load: model %s moved cells %d->%d", m, prev, cell)
+		}
+		home[m] = cell
+	}
+
+	hot := newTestRouter(t, RouterConfig{Cells: 4, Policy: RouteAffinity, Seed: 5})
+	cellsHit := make(map[int]bool)
+	for i := 0; i < 400; i++ {
+		cellsHit[hot.Route(req(i, "f", "hot-model"))] = true
+	}
+	if len(cellsHit) < 2 {
+		t.Errorf("single-model hotspot never spilled: cells hit %v", cellsHit)
+	}
+}
+
+func TestRouterSeedChangesRing(t *testing.T) {
+	a := newTestRouter(t, RouterConfig{Cells: 8, Policy: RouteHash, Seed: 1})
+	b := newTestRouter(t, RouterConfig{Cells: 8, Policy: RouteHash, Seed: 2})
+	same := 0
+	const keys = 200
+	for i := 0; i < keys; i++ {
+		r := req(i, fmt.Sprintf("f%03d", i), "m")
+		if a.Route(r) == b.Route(r) {
+			same++
+		}
+	}
+	if same == keys {
+		t.Error("distinct seeds produced identical rings")
+	}
+}
