@@ -6,7 +6,7 @@
 #   test job        -> build race
 #   experiments job -> bench-smoke ci-snapshot elasticity-smoke
 #                      heterogeneity-smoke scale-smoke cells-smoke
-#                      cells-determinism
+#                      cells-determinism obs-smoke obs-determinism
 #
 # (bench-regress and vuln stay advisory in both places.)
 
@@ -15,7 +15,7 @@ GO ?= go
 # Hot-path benchmarks compared by bench-save / bench-compare.
 BENCH_PATTERN ?= BenchmarkEngineFire|BenchmarkEngineCancel|BenchmarkScheduleDecision|BenchmarkScheduleRound1024|BenchmarkStreamingReplay|BenchmarkRouterRoute|BenchmarkMultiCellReplay
 
-.PHONY: all build test race vet fmt fmt-check bench bench-smoke snapshot ci-snapshot elasticity-smoke heterogeneity-smoke scale-smoke cells-smoke cells-determinism bench-save bench-compare bench-regress vuln ci
+.PHONY: all build test race vet fmt fmt-check bench bench-smoke snapshot ci-snapshot elasticity-smoke heterogeneity-smoke scale-smoke cells-smoke cells-determinism obs-smoke obs-determinism bench-save bench-compare bench-regress vuln ci
 
 all: build
 
@@ -89,6 +89,22 @@ cells-determinism: cells-smoke
 	cmp /tmp/gpufaas_cells_w1.json BENCH_cells.det.json
 	@echo "multi-cell determinism gate: snapshots byte-identical across worker counts"
 
+# Short-mode observability run (fully instrumented K=1 vs K=16 at 1024
+# GPUs: lifecycle trace, latency decomposition, time-series), mirrored
+# in CI as the "obs smoke" step. BENCH_obs.trace.json opens in Perfetto.
+obs-smoke:
+	$(GO) run ./cmd/faas-bench -exp obs -short -workers 8 -json BENCH_obs.json -det-json BENCH_obs.det.json -trace BENCH_obs.trace.json
+
+# The observability determinism gate: the instrumented sweep AND its
+# rendered trace-event export must be byte-identical at any worker
+# count. Reuses the workers=8 twins obs-smoke wrote and re-runs at
+# -workers 1.
+obs-determinism: obs-smoke
+	$(GO) run ./cmd/faas-bench -exp obs -short -workers 1 -det-json /tmp/gpufaas_obs_w1.json -trace /tmp/gpufaas_obs_w1.trace.json
+	cmp /tmp/gpufaas_obs_w1.json BENCH_obs.det.json
+	cmp /tmp/gpufaas_obs_w1.trace.json BENCH_obs.trace.json
+	@echo "observability determinism gate: snapshot and trace byte-identical across worker counts"
+
 # Record the hot-path benchmarks for later comparison: the previous
 # recording rotates to bench_old.txt, so the workflow is
 #   make bench-save            # on the old commit
@@ -131,4 +147,4 @@ bench-regress:
 vuln:
 	-$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...
 
-ci: fmt-check vet build race bench-smoke ci-snapshot elasticity-smoke heterogeneity-smoke scale-smoke cells-smoke cells-determinism
+ci: fmt-check vet build race bench-smoke ci-snapshot elasticity-smoke heterogeneity-smoke scale-smoke cells-smoke cells-determinism obs-smoke obs-determinism

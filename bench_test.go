@@ -523,6 +523,67 @@ func BenchmarkScheduleDecision(b *testing.B) {
 	})
 }
 
+// TestHotpathZeroAlloc pins the observability tentpole's cost contract:
+// with tracing disabled (the zero obs.Options), the two hot loops every
+// simulated request crosses — the engine's schedule+fire cycle and the
+// steady per-decision scheduler round — stay at 0 allocs/op. The
+// instrumentation hooks are nil-guarded pointer checks; if one ever
+// escapes into an allocation on the disabled path, this fails before
+// the BENCH snapshot quietly regresses.
+func TestHotpathZeroAlloc(t *testing.T) {
+	t.Run("engine_fire", func(t *testing.T) {
+		e := sim.New()
+		fn := func(sim.Time) {}
+		// Warm the engine's event pool before measuring.
+		for i := 0; i < 512; i++ {
+			e.After(time.Millisecond, "fire", fn)
+			e.Step()
+		}
+		if avg := testing.AllocsPerRun(1000, func() {
+			e.After(time.Millisecond, "fire", fn)
+			e.Step()
+		}); avg != 0 {
+			t.Errorf("engine fire allocates %.2f allocs/op, want 0", avg)
+		}
+	})
+	t.Run("steady_decision", func(t *testing.T) {
+		// The steady fixture from BenchmarkScheduleDecision: fully idle
+		// 64-GPU fleet, so every round dispatches exactly one request.
+		_, raw := newSchedBackend(true)
+		for i := range raw.busy {
+			raw.busy[i] = false
+		}
+		idle := make([]core.Ord, len(raw.ids))
+		for i := range idle {
+			idle[i] = core.Ord(i)
+		}
+		s, err := core.New(core.Config{Policy: core.LALBO3, O3Limit: core.DefaultO3Limit},
+			idleListerBackend{schedBackend: raw, idle: idle})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reqs := schedRequests(256)
+		tick := 0
+		round := func() {
+			r := reqs[tick%len(reqs)]
+			r.Arrival = sim.Time(tick)
+			if err := s.Enqueue(r); err != nil {
+				t.Fatal(err)
+			}
+			if n := len(s.Schedule(sim.Time(tick))); n != 1 {
+				t.Fatalf("steady round dispatched %d requests", n)
+			}
+			tick++
+		}
+		for i := 0; i < 512; i++ {
+			round() // warm the queue ring, dispatch pool and ord state
+		}
+		if avg := testing.AllocsPerRun(1000, round); avg != 0 {
+			t.Errorf("steady decision allocates %.2f allocs/op, want 0", avg)
+		}
+	})
+}
+
 // BenchmarkSchedulerOverhead measures the raw decision cost of one
 // Schedule round at a realistic queue depth — the §VI scalability claim
 // that decisions are bounded by cached-model counts rather than queue

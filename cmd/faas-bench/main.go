@@ -7,13 +7,17 @@
 //
 // Usage:
 //
-//	faas-bench [-exp all|table1|fig4|fig7|cachepolicy|scaling|elasticity|heterogeneity|scale|cells|hotpath]
+//	faas-bench [-exp all|table1|fig4|fig7|cachepolicy|scaling|elasticity|heterogeneity|scale|cells|obs|hotpath]
 //	           [-workers N] [-short] [-json BENCH_baseline.json] [-det-json canon.json] [-v]
+//	           [-trace trace.json]
 //	           [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	           [-blockprofile block.pprof] [-mutexprofile mutex.pprof]
 //
 // The pprof flags profile the experiment run itself (`go tool pprof
 // <binary> cpu.pprof`), so perf work on the simulator hot paths starts
-// from a measured profile rather than guesswork.
+// from a measured profile rather than guesswork. -blockprofile and
+// -mutexprofile capture contention (the worker pool and the per-cell
+// cluster locks), which CPU samples cannot see.
 //
 // -det-json writes a second, canonicalized snapshot with every
 // environment-/timing-dependent field zeroed (created_at, go_version,
@@ -24,6 +28,11 @@
 // The `cells` experiment (the multi-cell shard sweep) is deliberately
 // NOT part of `-exp all`: its 16k-GPU rows dwarf the rest of the grid.
 // Run it explicitly with `-exp cells` (and `-short` to cap at 4096).
+// Likewise `obs` (the fully instrumented K=1 vs K=16 comparison): it
+// is the only experiment that produces lifecycle spans, so -trace —
+// which renders them as Chrome trace-event JSON for Perfetto /
+// chrome://tracing — requires `-exp obs`. The trace is deterministic:
+// byte-identical at any worker count (CI diffs it too).
 package main
 
 import (
@@ -37,6 +46,7 @@ import (
 	"time"
 
 	"gpufaas/internal/experiments"
+	"gpufaas/internal/obs"
 )
 
 // snapshot is the BENCH_*.json payload. Every figure series the run
@@ -66,6 +76,7 @@ type expResult struct {
 	Heterogeneity []experiments.HeterogeneityRow `json:"heterogeneity,omitempty"`
 	Scale         []experiments.ScaleRow         `json:"scale,omitempty"`
 	Cells         []experiments.CellRow          `json:"cells,omitempty"`
+	Obs           []experiments.ObsRow           `json:"obs,omitempty"`
 	Hotpath       []experiments.HotpathRow       `json:"hotpath,omitempty"`
 }
 
@@ -104,20 +115,27 @@ func main() {
 }
 
 func benchMain() int {
-	exp := flag.String("exp", "all", "experiment to run: all|table1|fig4|fig7|cachepolicy|scaling|elasticity|heterogeneity|scale|cells|hotpath (cells is not part of all)")
+	exp := flag.String("exp", "all", "experiment to run: all|table1|fig4|fig7|cachepolicy|scaling|elasticity|heterogeneity|scale|cells|obs|hotpath (cells and obs are not part of all)")
 	workers := flag.Int("workers", 0, "concurrent experiment runs (0 = GOMAXPROCS)")
-	short := flag.Bool("short", false, "shrink long experiments (elasticity/heterogeneity run the 6-minute traces; scale drops the 1024-GPU and hour-long cells; the cell sweep caps at 4096 GPUs)")
+	short := flag.Bool("short", false, "shrink long experiments (elasticity/heterogeneity run the 6-minute traces; scale drops the 1024-GPU and hour-long cells; the cell sweep caps at 4096 GPUs; obs halves the trace)")
 	jsonPath := flag.String("json", "", "write a BENCH_*.json snapshot to this path")
 	detJSONPath := flag.String("det-json", "", "also write a canonicalized snapshot (wall-clock and environment fields zeroed) to this path; CI diffs these across worker counts")
+	tracePath := flag.String("trace", "", "write the sampled request-lifecycle spans as Chrome trace-event JSON (open in Perfetto); requires -exp obs")
 	verbose := flag.Bool("v", false, "stream each grid cell as it completes")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this path")
 	memProfile := flag.String("memprofile", "", "write an allocation profile (at exit) to this path")
+	blockProfile := flag.String("blockprofile", "", "write a goroutine blocking profile (at exit) to this path")
+	mutexProfile := flag.String("mutexprofile", "", "write a mutex contention profile (at exit) to this path")
 	flag.Parse()
 
 	switch *exp {
-	case "all", "table1", "fig4", "fig7", "cachepolicy", "scaling", "elasticity", "heterogeneity", "scale", "cells", "hotpath":
+	case "all", "table1", "fig4", "fig7", "cachepolicy", "scaling", "elasticity", "heterogeneity", "scale", "cells", "obs", "hotpath":
 	default:
-		fmt.Fprintf(os.Stderr, "faas-bench: unknown experiment %q (want all|table1|fig4|fig7|cachepolicy|scaling|elasticity|heterogeneity|scale|cells|hotpath)\n", *exp)
+		fmt.Fprintf(os.Stderr, "faas-bench: unknown experiment %q (want all|table1|fig4|fig7|cachepolicy|scaling|elasticity|heterogeneity|scale|cells|obs|hotpath)\n", *exp)
+		os.Exit(2)
+	}
+	if *tracePath != "" && *exp != "obs" {
+		fmt.Fprintf(os.Stderr, "faas-bench: -trace requires -exp obs (only the obs experiment samples lifecycle spans)\n")
 		os.Exit(2)
 	}
 
@@ -153,6 +171,31 @@ func benchMain() int {
 			}
 			fmt.Printf("wrote allocation profile %s\n", path)
 		}()
+	}
+	// Contention profiles dump at exit like the allocation profile.
+	// Rate 1 records every event — acceptable for a bench run, where the
+	// question ("which lock serializes the worker pool?") wants the full
+	// picture, not a sample.
+	writeProfile := func(kind, path string) {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "faas-bench: create %s: %v\n", path, err)
+			return
+		}
+		defer f.Close()
+		if err := pprof.Lookup(kind).WriteTo(f, 0); err != nil {
+			fmt.Fprintf(os.Stderr, "faas-bench: write %s profile: %v\n", kind, err)
+			return
+		}
+		fmt.Printf("wrote %s profile %s\n", kind, path)
+	}
+	if *blockProfile != "" {
+		runtime.SetBlockProfileRate(1)
+		defer writeProfile("block", *blockProfile)
+	}
+	if *mutexProfile != "" {
+		runtime.SetMutexProfileFraction(1)
+		defer writeProfile("mutex", *mutexProfile)
 	}
 
 	var stream func(experiments.Spec, experiments.Row)
@@ -284,6 +327,20 @@ func benchMain() int {
 			return expResult{Cells: rows, Runs: len(rows)}, nil
 		})
 	}
+	// Also excluded from -exp all: the fully instrumented observability
+	// run, the one experiment that produces lifecycle spans for -trace.
+	var traceSpans []obs.Span
+	if *exp == "obs" {
+		run("obs", "Observability — instrumented K=1 vs K=16 at 1024 GPUs (trace, breakdown, series)", func() (expResult, error) {
+			rows, spans, err := experiments.ObsSweep(*workers, *short)
+			if err != nil {
+				return expResult{}, err
+			}
+			traceSpans = spans
+			experiments.WriteObsTable(os.Stdout, rows)
+			return expResult{Obs: rows, Runs: len(rows)}, nil
+		})
+	}
 	run("hotpath", "Hot path — engine fire / scheduler decision microbenchmarks", func() (expResult, error) {
 		rows, err := experiments.Hotpath()
 		if err != nil {
@@ -322,6 +379,23 @@ func benchMain() int {
 			return 1
 		}
 		fmt.Printf("wrote canonical snapshot %s\n", *detJSONPath)
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "faas-bench: create %s: %v\n", *tracePath, err)
+			return 1
+		}
+		if err := obs.WriteTrace(f, traceSpans); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "faas-bench: write trace: %v\n", err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "faas-bench: close %s: %v\n", *tracePath, err)
+			return 1
+		}
+		fmt.Printf("wrote trace %s (%d spans; open in Perfetto or chrome://tracing)\n", *tracePath, len(traceSpans))
 	}
 	return 0
 }

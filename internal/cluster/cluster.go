@@ -26,6 +26,7 @@ import (
 	"gpufaas/internal/gpu"
 	"gpufaas/internal/gpumgr"
 	"gpufaas/internal/models"
+	"gpufaas/internal/obs"
 	"gpufaas/internal/ordset"
 	"gpufaas/internal/sim"
 	"gpufaas/internal/stats"
@@ -71,6 +72,11 @@ type Config struct {
 	// simulated-time mode Autoscale.Horizon must be set, or the
 	// rescheduling tick would keep RunWorkload from draining.
 	Autoscale *autoscale.Config
+	// Obs selects the observability features (lifecycle tracing, latency
+	// decomposition, time-series telemetry). The zero value disables all
+	// of them: the hot paths then pay one nil check per hook and reports
+	// marshal byte-identically to pre-observability goldens.
+	Obs obs.Options
 }
 
 // DefaultGPUMemory is the usable model memory per GPU: the testbed's
@@ -154,6 +160,15 @@ type Cluster struct {
 	scaleDowns                        int64
 	peakGPUs                          int
 	scaler                            *autoscale.Autoscaler
+
+	// Observability (Config.Obs). All nil/zero when disabled; confined
+	// to the harness's serialization like every other collector here.
+	// obsInFlight counts dispatched-not-completed requests for the
+	// series recorder.
+	tracer      *obs.Tracer
+	breakdown   *obs.Collector
+	seriesRec   *obs.Recorder
+	obsInFlight int
 
 	latencies  *stats.Sample
 	perModel   map[string]*stats.Welford
@@ -276,6 +291,15 @@ func New(cfg Config) (*Cluster, error) {
 		c.clock = sim.SimClock{E: c.engine}
 	} else {
 		c.clock = lockedClock{inner: cfg.Clock, mu: &c.mu}
+	}
+	if cfg.Obs.Trace {
+		c.tracer = obs.NewTracer(cfg.Obs.SampleMod, cfg.Obs.Cell)
+	}
+	if cfg.Obs.Breakdown {
+		c.breakdown = obs.NewCollector()
+	}
+	if cfg.Obs.Series {
+		c.seriesRec = obs.NewRecorder(cfg.Obs.SeriesInterval)
 	}
 
 	sizeOf := func(model string) (int64, bool) {
@@ -1063,6 +1087,28 @@ func (c *Cluster) handleComplete(res gpumgr.Result) {
 	c.completed++
 	c.lastFinish = res.FinishedAt
 	c.latencies.Add(res.Latency().Seconds())
+	if c.breakdown != nil {
+		c.breakdown.Observe(res.Hit, res.FalseMiss,
+			time.Duration(res.DispatchedAt-res.Arrival), res.LoadTime, res.InferTime)
+	}
+	if c.tracer != nil {
+		c.tracer.OnComplete(obs.Completion{
+			ReqID:      res.ReqID,
+			Function:   res.Function,
+			Model:      res.Model,
+			Hit:        res.Hit,
+			FalseMiss:  res.FalseMiss,
+			Arrival:    time.Duration(res.Arrival),
+			Dispatched: time.Duration(res.DispatchedAt),
+			Finished:   time.Duration(res.FinishedAt),
+			LoadTime:   res.LoadTime,
+			InferTime:  res.InferTime,
+		})
+	}
+	if c.seriesRec != nil {
+		c.obsInFlight--
+		c.seriesTick(res.FinishedAt)
+	}
 	w, ok := c.perModel[res.Model]
 	if !ok {
 		w = &stats.Welford{}
@@ -1089,15 +1135,40 @@ func (c *Cluster) handleComplete(res gpumgr.Result) {
 // runScheduler executes one scheduling round and dispatches the decisions.
 func (c *Cluster) runScheduler(now sim.Time) {
 	for _, d := range c.sched.Schedule(now) {
+		if c.tracer != nil {
+			if o, ok := c.cacheMgr.Ord(d.GPU); ok {
+				// Ord is captured here, at dispatch: by completion time a
+				// draining GPU may already have left the fleet.
+				c.tracer.OnDispatch(d.Req.ID, d.GPU, int(o), d.Req.Visits(), d.FromLocalQueue, d.ExpectHit)
+			}
+		}
 		if _, err := c.mgrByDev[d.GPU].Execute(d.Req, d.GPU, now); err != nil {
 			// A failed dispatch (quota, OOM-impossible model) drops the
 			// request; the paper's system returns an error to the user.
 			c.failed++
+			c.tracer.Drop(d.Req.ID)
 			if c.stream != nil {
 				c.stream.release(d.Req.ID)
 			}
+		} else if c.seriesRec != nil {
+			c.obsInFlight++
 		}
 	}
+	if c.seriesRec != nil {
+		c.seriesTick(now)
+	}
+}
+
+// seriesTick emits any due time-series samples. The Due pre-check keeps
+// the per-event cost at one comparison; the O(fleet) state probes run
+// only when an interval boundary was actually crossed.
+func (c *Cluster) seriesTick(now sim.Time) {
+	if !c.seriesRec.Due(time.Duration(now)) {
+		return
+	}
+	cm := c.cacheMgr.Metrics()
+	c.seriesRec.Tick(time.Duration(now), c.sched.PendingTotal(), len(c.idle), c.obsInFlight,
+		cm.Requests, cm.Misses, c.completed)
 }
 
 // Submit enqueues one request and runs the scheduler; the live gateway
@@ -1393,6 +1464,16 @@ type Report struct {
 	// materialized RunWorkload path (and so omitted from legacy report
 	// JSON).
 	Streaming *StreamStats `json:",omitempty"`
+	// Breakdown is the queue-wait / load / service latency decomposition
+	// (Config.Obs.Breakdown); nil — and omitted, keeping goldens
+	// byte-identical — when the collector is off.
+	Breakdown *obs.Breakdown `json:",omitempty"`
+	// Series is the fixed-interval telemetry (Config.Obs.Series); nil
+	// when the recorder is off.
+	Series *obs.Series `json:",omitempty"`
+	// SampledSpans counts the lifecycle spans recorded by the tracer
+	// (Config.Obs.Trace); zero — and omitted — when tracing is off.
+	SampledSpans int64 `json:",omitempty"`
 }
 
 // report snapshots the metrics (sim mode, after drain).
@@ -1502,6 +1583,19 @@ func (c *Cluster) report() Report {
 			ArenaReused:    as.Reused,
 		}
 	}
+	if c.breakdown != nil {
+		rep.Breakdown = c.breakdown.Breakdown()
+	}
+	if c.seriesRec != nil {
+		// Flush boundaries the tail of the run crossed without a
+		// subsequent event (the final partial interval stays unreported,
+		// like any fixed-interval sampler's).
+		c.seriesTick(now)
+		rep.Series = c.seriesRec.Series()
+	}
+	if c.tracer != nil {
+		rep.SampledSpans = int64(c.tracer.Len())
+	}
 	return rep
 }
 
@@ -1579,6 +1673,12 @@ type RunStats struct {
 	// CacheRequests is the lookup count behind Report.MissRatio (its
 	// denominator; Report.Misses is the numerator).
 	CacheRequests int64
+	// Breakdown holds the raw latency-decomposition samples when
+	// Config.Obs.Breakdown is on (nil otherwise): multicell merges the
+	// raw components and recomputes exact fleet-wide quantiles.
+	Breakdown *obs.RawBreakdown
+	// Series is this cell's time-series when Config.Obs.Series is on.
+	Series *obs.Series
 }
 
 // RunStats returns the raw observations for exact cross-cell merging.
@@ -1597,7 +1697,17 @@ func (c *Cluster) RunStats() RunStats {
 		rs.Loading += u.Loading
 		rs.Inferring += u.Inferring
 	}
+	rs.Breakdown = c.breakdown.Raw()
+	rs.Series = c.seriesRec.Series()
 	return rs
+}
+
+// Spans returns the lifecycle spans recorded so far (nil unless
+// Config.Obs.Trace is on), in completion order.
+func (c *Cluster) Spans() []obs.Span {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tracer.Spans()
 }
 
 // Snapshot returns a live metrics snapshot (live gateway's status page).

@@ -85,6 +85,9 @@ func RunCells(p CellParams) (multicell.Result, error) {
 			} else {
 				cp.Nodes = nodes[cell]
 			}
+			// Tag each cell's observability output (span Cell field,
+			// trace-event process grouping) with its cell index.
+			cp.Obs.Cell = cell
 			cfg, cwp, err := buildConfig(cp)
 			if err != nil {
 				return multicell.CellSpec{}, err
@@ -126,6 +129,17 @@ type CellRow struct {
 	P95LatencySec float64
 	MissRatio     float64
 	SMUtilization float64
+
+	// Latency decomposition (Report.Breakdown, merged exactly across
+	// cells): the p95 of each additive component over all requests. The
+	// K=16 locality collapse shows here as LoadP95Sec blowing out while
+	// ServiceP95Sec stays flat — aggregate MissRatio only hints at it.
+	QueueP95Sec   float64
+	LoadP95Sec    float64
+	ServiceP95Sec float64
+	// MissLoadP95Sec is the load p95 over misses only (the price of one
+	// miss, independent of the miss rate).
+	MissLoadP95Sec float64
 
 	// Per-cell spread (min/max over cells): router imbalance.
 	MinCellRequests int64
@@ -210,8 +224,12 @@ func CellSweep(workers int, short bool) ([]CellRow, error) {
 	rows := make([]CellRow, len(specs))
 	baseWall := make(map[int]float64, len(CellFleets))
 	for i, s := range specs {
+		run := cellRunParams(s.fleet)
+		// The decomposition is what turns a p95 move into a diagnosis;
+		// tracing/series stay off here (the obs sweep carries those).
+		run.Obs.Breakdown = true
 		res, err := RunCells(CellParams{
-			Run:     cellRunParams(s.fleet),
+			Run:     run,
 			Cells:   s.cells,
 			Router:  s.router,
 			Workers: workers,
@@ -237,6 +255,12 @@ func CellSweep(workers int, short bool) ([]CellRow, error) {
 			PeakLocalQueue:   m.PeakLocalQueue,
 			WallSeconds:      res.WallSeconds,
 		}
+		if b := m.Breakdown; b != nil {
+			row.QueueP95Sec = b.All.QueueWait.P95Sec
+			row.LoadP95Sec = b.All.Load.P95Sec
+			row.ServiceP95Sec = b.All.Service.P95Sec
+			row.MissLoadP95Sec = b.Miss.Load.P95Sec
+		}
 		if st := m.Streaming; st != nil {
 			row.PeakInflight = st.PeakInflight
 		}
@@ -253,13 +277,13 @@ func CellSweep(workers int, short bool) ([]CellRow, error) {
 
 // WriteCellTable renders the sweep.
 func WriteCellTable(w io.Writer, rows []CellRow) {
-	fmt.Fprintf(w, "%6s %3s %-10s %9s %12s %10s %8s %8s %9s %9s %8s %8s\n",
+	fmt.Fprintf(w, "%6s %3s %-10s %9s %12s %10s %8s %10s %8s %9s %9s %8s %8s\n",
 		"gpus", "k", "router", "requests", "avg_lat(s)", "p95(s)", "miss",
-		"sm_util", "req_min", "req_max", "wall(s)", "speedup")
+		"load_p95", "sm_util", "req_min", "req_max", "wall(s)", "speedup")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%6d %3d %-10s %9d %12.3f %10.3f %8.4f %8.4f %9d %9d %8.2f %8.2f\n",
+		fmt.Fprintf(w, "%6d %3d %-10s %9d %12.3f %10.3f %8.4f %10.3f %8.4f %9d %9d %8.2f %8.2f\n",
 			r.Fleet, r.Cells, r.Router, r.Requests, r.AvgLatencySec, r.P95LatencySec,
-			r.MissRatio, r.SMUtilization, r.MinCellRequests, r.MaxCellRequests,
+			r.MissRatio, r.LoadP95Sec, r.SMUtilization, r.MinCellRequests, r.MaxCellRequests,
 			r.WallSeconds, r.Speedup)
 	}
 }

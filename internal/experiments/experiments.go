@@ -14,6 +14,7 @@ import (
 	"gpufaas/internal/cluster"
 	"gpufaas/internal/core"
 	"gpufaas/internal/models"
+	"gpufaas/internal/obs"
 	"gpufaas/internal/trace"
 )
 
@@ -206,6 +207,9 @@ type RunParams struct {
 	// StreamChunk caps arrivals per injected batch under Streaming
 	// (<= 0: one trace minute per batch).
 	StreamChunk int
+	// Obs selects the run's observability features (lifecycle tracing,
+	// latency decomposition, time-series telemetry); zero disables all.
+	Obs obs.Options
 }
 
 // Row is one experiment result: a point in Figures 4a/4b/4c/5/6.
@@ -244,6 +248,7 @@ func buildConfig(p RunParams) (cluster.Config, WorkloadParams, error) {
 		// cells must not share mutable state across Matrix workers.
 		cfg.Fleet = append(cluster.FleetSpec(nil), p.Fleet...)
 	}
+	cfg.Obs = p.Obs
 	wp := p.Workload
 	if wp.Minutes == 0 {
 		wp = DefaultWorkload(p.WorkingSet)

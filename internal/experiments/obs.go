@@ -1,0 +1,128 @@
+package experiments
+
+// The observability sweep: the full instrumented pipeline — lifecycle
+// tracing, latency decomposition, time-series telemetry — turned on at
+// the cell sweep's most interesting operating point, 1024 GPUs sharded
+// into K=1 vs K=16 cells. BENCH_cells.json shows the K=16 miss-ratio
+// jump (cache locality collapses when the fleet shards into 16 small
+// caches); the Breakdown columns here attribute it causally: the load
+// component blows out while service time stays flat. The K=16 run's
+// sampled spans are what `faas-bench -exp obs -trace` exports, and the
+// whole output is byte-identical at any worker count (the trace export
+// is half of the CI determinism gate).
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"gpufaas/internal/multicell"
+	"gpufaas/internal/obs"
+)
+
+// ObsSampleMod keeps 1-in-512 requests in the lifecycle trace: a few
+// hundred spans out of the ~330k-request sweep — enough to populate
+// every GPU-ord track in the viewer without a multi-MB artifact.
+const ObsSampleMod = 512
+
+// ObsSeriesInterval is the telemetry sampling period.
+const ObsSeriesInterval = 30 * time.Second
+
+// ObsRow is one observability-sweep point: the merged fleet metrics
+// with the latency decomposition and merged time-series attached.
+type ObsRow struct {
+	Fleet  int
+	Cells  int
+	Router string
+
+	Requests      int64
+	AvgLatencySec float64
+	P95LatencySec float64
+	MissRatio     float64
+
+	// Component p95s (from Breakdown, also carried in full below).
+	QueueP95Sec    float64
+	LoadP95Sec     float64
+	ServiceP95Sec  float64
+	MissLoadP95Sec float64
+
+	// SampledSpans counts the lifecycle spans the 1-in-ObsSampleMod
+	// sample kept across cells.
+	SampledSpans int64
+
+	Breakdown *obs.Breakdown    `json:"breakdown,omitempty"`
+	Series    *obs.MergedSeries `json:"series,omitempty"`
+}
+
+// ObsSweep runs the fully instrumented K=1 vs K=16 comparison at 1024
+// GPUs behind the least-loaded router and returns the rows plus the
+// sampled spans of the LAST row (the K=16 locality-collapse run — the
+// trace worth looking at). Short mode halves the trace length.
+func ObsSweep(workers int, short bool) ([]ObsRow, []obs.Span, error) {
+	const fleet = 1024
+	minutes := 12
+	if short {
+		minutes = 6
+	}
+	var rows []ObsRow
+	var spans []obs.Span
+	for _, cells := range []int{1, 16} {
+		run := cellRunParams(fleet)
+		run.Workload.Minutes = minutes
+		run.Obs = obs.Options{
+			Trace:          true,
+			SampleMod:      ObsSampleMod,
+			Breakdown:      true,
+			Series:         true,
+			SeriesInterval: ObsSeriesInterval,
+		}
+		res, err := RunCells(CellParams{
+			Run:     run,
+			Cells:   cells,
+			Router:  multicell.RouteLeastLoaded,
+			Workers: workers,
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("experiments: obs/gpus=%d/k=%d: %w", fleet, cells, err)
+		}
+		m := res.Merged
+		row := ObsRow{
+			Fleet:         fleet,
+			Cells:         cells,
+			Router:        multicell.RouteLeastLoaded.String(),
+			Requests:      m.Requests,
+			AvgLatencySec: m.AvgLatencySec,
+			P95LatencySec: m.P95LatencySec,
+			MissRatio:     m.MissRatio,
+			SampledSpans:  m.SampledSpans,
+			Breakdown:     m.Breakdown,
+			Series:        m.Series,
+		}
+		if b := m.Breakdown; b != nil {
+			row.QueueP95Sec = b.All.QueueWait.P95Sec
+			row.LoadP95Sec = b.All.Load.P95Sec
+			row.ServiceP95Sec = b.All.Service.P95Sec
+			row.MissLoadP95Sec = b.Miss.Load.P95Sec
+		}
+		rows = append(rows, row)
+		spans = spans[:0]
+		for _, c := range res.Cells {
+			spans = append(spans, c.Spans...)
+		}
+	}
+	obs.SortSpans(spans)
+	return rows, spans, nil
+}
+
+// WriteObsTable renders the sweep.
+func WriteObsTable(w io.Writer, rows []ObsRow) {
+	fmt.Fprintf(w, "%6s %3s %-10s %9s %12s %10s %8s %10s %9s %9s %10s %7s\n",
+		"gpus", "k", "router", "requests", "avg_lat(s)", "p95(s)", "miss",
+		"queue_p95", "load_p95", "svc_p95", "missld_p95", "spans")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%6d %3d %-10s %9d %12.3f %10.3f %8.4f %10.3f %9.3f %9.3f %10.3f %7d\n",
+			r.Fleet, r.Cells, r.Router, r.Requests, r.AvgLatencySec, r.P95LatencySec,
+			r.MissRatio, r.QueueP95Sec, r.LoadP95Sec, r.ServiceP95Sec,
+			r.MissLoadP95Sec, r.SampledSpans)
+	}
+}

@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+	"time"
+
+	"gpufaas/internal/multicell"
+	"gpufaas/internal/obs"
+)
+
+// obsTestParams is cellTestParams with the full observability surface
+// enabled: tracing at 1-in-4 sampling, decomposition, 15s telemetry.
+func obsTestParams() RunParams {
+	p := cellTestParams()
+	p.Obs = obs.Options{
+		Trace:          true,
+		SampleMod:      4,
+		Breakdown:      true,
+		Series:         true,
+		SeriesInterval: 15 * time.Second,
+	}
+	return p
+}
+
+// TestObsInstrumentedRun pins the semantic invariants of a fully
+// instrumented multi-cell run: the decomposition's components sum to the
+// end-to-end latency, every completed request is classified, the
+// time-series conserves completions, and the sampled spans internally
+// agree with the clock arithmetic the decomposition uses.
+func TestObsInstrumentedRun(t *testing.T) {
+	res, err := RunCells(CellParams{Run: obsTestParams(), Cells: 4, Router: multicell.RouteHash, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Merged
+
+	b := m.Breakdown
+	if b == nil {
+		t.Fatal("instrumented run carries no Breakdown")
+	}
+	if b.Requests != m.Requests {
+		t.Errorf("Breakdown.Requests = %d, completed = %d", b.Requests, m.Requests)
+	}
+	if b.Hits+b.Misses != b.Requests {
+		t.Errorf("hits %d + misses %d != requests %d", b.Hits, b.Misses, b.Requests)
+	}
+	if b.Misses != m.Misses {
+		t.Errorf("Breakdown.Misses = %d, report Misses = %d", b.Misses, m.Misses)
+	}
+	// Queue + load + service is the whole request: the component means
+	// must sum to the end-to-end mean (floating-point slack only).
+	sum := b.All.QueueWait.MeanSec + b.All.Load.MeanSec + b.All.Service.MeanSec
+	if math.Abs(sum-m.AvgLatencySec) > 1e-9*math.Max(1, m.AvgLatencySec) {
+		t.Errorf("component means sum to %v, end-to-end mean is %v", sum, m.AvgLatencySec)
+	}
+	// Hits never load.
+	if b.Hit.Load.MeanSec != 0 || b.Hit.Load.P99Sec != 0 {
+		t.Errorf("hit-path load is nonzero: %+v", b.Hit.Load)
+	}
+
+	s := m.Series
+	if s == nil {
+		t.Fatal("instrumented run carries no Series")
+	}
+	if s.IntervalSec != 15 {
+		t.Errorf("IntervalSec = %v, want 15", s.IntervalSec)
+	}
+	if len(s.Points) == 0 {
+		t.Fatal("empty merged series")
+	}
+	var completed int64
+	for _, pt := range s.Points {
+		completed += pt.Completed
+		if len(pt.CellCompleted) != 4 {
+			t.Fatalf("point %v carries %d cell loads, want 4", pt.TSec, len(pt.CellCompleted))
+		}
+	}
+	// The series counts completions up to the last crossed boundary; the
+	// final partial interval stays unreported, so <= with most of the
+	// trace covered.
+	if completed > m.Requests || completed < m.Requests/2 {
+		t.Errorf("series completions %d vs report %d", completed, m.Requests)
+	}
+
+	var spans []obs.Span
+	for _, c := range res.Cells {
+		spans = append(spans, c.Spans...)
+	}
+	if int64(len(spans)) != m.SampledSpans {
+		t.Fatalf("concatenated spans %d != SampledSpans %d", len(spans), m.SampledSpans)
+	}
+	if len(spans) == 0 {
+		t.Fatal("1-in-4 sampling over 600 requests produced no spans")
+	}
+	for _, sp := range spans {
+		if !obs.Sampled(sp.ReqID, 4) {
+			t.Errorf("span for req %d escaped the sample predicate", sp.ReqID)
+		}
+		if sp.Dispatched < sp.Arrival || sp.Finished < sp.Dispatched {
+			t.Errorf("req %d: non-monotonic lifecycle %d/%d/%d", sp.ReqID, sp.Arrival, sp.Dispatched, sp.Finished)
+		}
+		if got := sp.Finished - sp.Dispatched; got != sp.LoadTime+sp.InferTime {
+			t.Errorf("req %d: dispatch-to-finish %v != load %v + infer %v", sp.ReqID, got, sp.LoadTime, sp.InferTime)
+		}
+		if sp.Hit && sp.LoadTime != 0 {
+			t.Errorf("req %d: hit with nonzero load %v", sp.ReqID, sp.LoadTime)
+		}
+	}
+}
+
+// TestObsDeterminism is the obs half of the worker-count determinism
+// claim, in-process: the instrumented run's merged report, span set and
+// rendered trace-event JSON are byte-identical at workers=1 and
+// workers=4. (`make obs-determinism` pins the same property through the
+// faas-bench binary.)
+func TestObsDeterminism(t *testing.T) {
+	type snapshot struct {
+		merged []byte
+		trace  []byte
+	}
+	take := func(workers int) snapshot {
+		res, err := RunCells(CellParams{Run: obsTestParams(), Cells: 4, Router: multicell.RouteLeastLoaded, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		res.WallSeconds = 0
+		merged, err := json.Marshal(res.Merged)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var spans []obs.Span
+		for _, c := range res.Cells {
+			spans = append(spans, c.Spans...)
+		}
+		var buf bytes.Buffer
+		if err := obs.WriteTrace(&buf, spans); err != nil {
+			t.Fatal(err)
+		}
+		return snapshot{merged: merged, trace: buf.Bytes()}
+	}
+	serial, pooled := take(1), take(4)
+	if !bytes.Equal(serial.merged, pooled.merged) {
+		t.Error("merged reports differ between workers=1 and workers=4")
+	}
+	if !bytes.Equal(serial.trace, pooled.trace) {
+		t.Error("trace-event exports differ between workers=1 and workers=4")
+	}
+}
+
+// TestObsDisabledIsFree pins that the zero Options value leaves the
+// report untouched — nil Breakdown/Series, zero spans — so the goldens
+// (and every uninstrumented run) marshal byte-identically to the
+// pre-observability layout.
+func TestObsDisabledIsFree(t *testing.T) {
+	res, err := RunCells(CellParams{Run: cellTestParams(), Cells: 2, Router: multicell.RouteHash})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Merged
+	if m.Breakdown != nil || m.Series != nil || m.SampledSpans != 0 {
+		t.Errorf("disabled obs leaked into the report: breakdown=%v series=%v spans=%d",
+			m.Breakdown, m.Series, m.SampledSpans)
+	}
+	for i, c := range res.Cells {
+		if len(c.Spans) != 0 || c.Report.Breakdown != nil || c.Report.Series != nil || c.Report.SampledSpans != 0 {
+			t.Errorf("cell %d leaked obs state", i)
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 
 	"gpufaas/internal/core"
 	"gpufaas/internal/models"
+	"gpufaas/internal/obs"
 )
 
 // ScaleFleets are the swept fleet sizes (GPUs-per-node stays at the
@@ -58,6 +59,9 @@ func ScaleSpecs(short bool) []Spec {
 					Nodes:       gpus / 4,
 					GPUsPerNode: 4,
 					Streaming:   true,
+					// Latency decomposition on every scale row: a p95
+					// regression across fleet sizes names its component.
+					Obs: obs.Options{Breakdown: true},
 					Workload: WorkloadParams{
 						Minutes:           minutes,
 						RequestsPerMinute: gpus * 325 / 12,
@@ -84,6 +88,12 @@ type ScaleRow struct {
 	P95LatencySec float64
 	MissRatio     float64
 	SMUtilization float64
+	// Latency decomposition (Report.Breakdown): p95 of each additive
+	// component, plus the load p95 over misses only.
+	QueueP95Sec    float64
+	LoadP95Sec     float64
+	ServiceP95Sec  float64
+	MissLoadP95Sec float64
 	// PeakInflight / ArenaAllocated / ArenaReused are the request-arena
 	// counters: ArenaAllocated tracks the in-flight peak, not the trace
 	// length.
@@ -126,6 +136,12 @@ func ScaleSweep(m Matrix, short bool) ([]ScaleRow, error) {
 			MaxEventQueueLen: r.MaxEventQueueLen,
 			PeakLocalQueue:   r.PeakLocalQueue,
 		}
+		if b := r.Breakdown; b != nil {
+			out[i].QueueP95Sec = b.All.QueueWait.P95Sec
+			out[i].LoadP95Sec = b.All.Load.P95Sec
+			out[i].ServiceP95Sec = b.All.Service.P95Sec
+			out[i].MissLoadP95Sec = b.Miss.Load.P95Sec
+		}
 		if st := r.Streaming; st != nil {
 			out[i].PeakInflight = st.PeakInflight
 			out[i].ArenaAllocated = st.ArenaAllocated
@@ -137,12 +153,13 @@ func ScaleSweep(m Matrix, short bool) ([]ScaleRow, error) {
 
 // WriteScaleTable renders the sweep.
 func WriteScaleTable(w io.Writer, rows []ScaleRow) {
-	fmt.Fprintf(w, "%6s %5s %5s %9s %12s %10s %8s %8s %10s %10s %8s %8s\n",
-		"gpus", "min", "ws", "requests", "avg_lat(s)", "p95(s)", "miss", "sm_util", "peak_infl", "arena_new", "max_evq", "peak_lq")
+	fmt.Fprintf(w, "%6s %5s %5s %9s %12s %10s %8s %9s %8s %9s %8s %10s %10s %8s %8s\n",
+		"gpus", "min", "ws", "requests", "avg_lat(s)", "p95(s)", "miss", "queue_p95", "load_p95", "svc_p95", "sm_util", "peak_infl", "arena_new", "max_evq", "peak_lq")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%6d %5d %5d %9d %12.3f %10.3f %8.4f %8.4f %10d %10d %8d %8d\n",
+		fmt.Fprintf(w, "%6d %5d %5d %9d %12.3f %10.3f %8.4f %9.3f %8.3f %9.3f %8.4f %10d %10d %8d %8d\n",
 			r.Fleet, r.Minutes, r.WorkingSet, r.Requests, r.AvgLatencySec,
-			r.P95LatencySec, r.MissRatio, r.SMUtilization, r.PeakInflight, r.ArenaAllocated,
+			r.P95LatencySec, r.MissRatio, r.QueueP95Sec, r.LoadP95Sec, r.ServiceP95Sec,
+			r.SMUtilization, r.PeakInflight, r.ArenaAllocated,
 			r.MaxEventQueueLen, r.PeakLocalQueue)
 	}
 }

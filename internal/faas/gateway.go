@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -19,7 +20,6 @@ import (
 	"gpufaas/internal/models"
 	"gpufaas/internal/multicell"
 	"gpufaas/internal/sim"
-	"gpufaas/internal/stats"
 )
 
 // GatewayConfig assembles a live GPU-FaaS gateway.
@@ -73,7 +73,9 @@ type Gateway struct {
 	mu        sync.Mutex
 	watchdogs map[string]*Watchdog
 	rr        map[string]int // function -> round-robin replica cursor
-	latHist   *stats.Welford
+	// latHists holds one request-duration histogram per cell; /metrics
+	// exposes them as gpufaas_request_duration_seconds{cell="N"}.
+	latHists []*promHistogram
 }
 
 // NewGateway builds the gateway plus its live cluster and datastore.
@@ -169,18 +171,23 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 		clock:     clock,
 		watchdogs: make(map[string]*Watchdog),
 		rr:        make(map[string]int),
-		latHist:   &stats.Welford{},
+		latHists:  make([]*promHistogram, cells),
 	}
 	// One shared inference client fronts every cell: a single request-ID
 	// counter keeps datastore latency keys and waiter routing unique
-	// fleet-wide, and its Route is every cell's OnResult hook.
+	// fleet-wide, and its Route is every cell's OnResult hook. The hook
+	// is built per cell so each completion lands in its own cell's
+	// latency histogram.
 	var ic *InferenceClient
-	onResult := func(res gpumgr.Result) {
-		g.latHist.Add(res.Latency().Seconds())
-		ic.Route(res)
+	onResult := func(cell int) func(gpumgr.Result) {
+		return func(res gpumgr.Result) {
+			g.latHists[cell].Observe(res.Latency().Seconds())
+			ic.Route(res)
+		}
 	}
 	g.cells = make([]*cluster.Cluster, cells)
 	for i := range g.cells {
+		g.latHists[i] = newPromHistogram()
 		cc := ccfg
 		if cellFleets != nil {
 			// Copy: cluster.New normalizes the spec in place (memory
@@ -196,7 +203,7 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 			sink.Prefix = fmt.Sprintf("cell%d/", i)
 		}
 		cc.Sink = sink
-		cc.OnResult = onResult
+		cc.OnResult = onResult(i)
 		c, err := cluster.New(cc)
 		if err != nil {
 			return nil, err
@@ -345,6 +352,7 @@ func scaleStore(base *models.ProfileStore, zoo *models.Zoo, scale float64) *mode
 //	GET    /system/gpus             GPU status from the datastore
 //	POST   /function/{name}         invoke
 //	GET    /healthz                 liveness
+//	GET    /debug/pprof/*           runtime profiling (CPU, heap, block, mutex)
 //
 // On a multi-cell gateway the per-cluster admin endpoints
 // (/system/scale, /system/autoscaler, /system/metrics) address one cell
@@ -361,6 +369,14 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("/system/gpus", g.handleGPUs)
 	mux.HandleFunc("/function/", g.handleInvoke)
 	mux.HandleFunc("/metrics", g.handlePromMetrics)
+	// The standard pprof surface, registered explicitly: the gateway
+	// serves its own mux, so the net/http/pprof side effects on
+	// http.DefaultServeMux never reach production traffic.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		io.WriteString(w, "ok\n")

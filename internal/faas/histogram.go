@@ -1,0 +1,78 @@
+package faas
+
+// A dependency-free Prometheus histogram. The repo carries no client
+// library, so this implements exactly the slice of the exposition
+// format the gateway needs: cumulative `le` buckets, `_sum`, `_count`,
+// and a constant label set — enough for histogram_quantile() to
+// recover any latency percentile server-side, which is what the old
+// avg/p99 gauges could never offer (gauges of a mean can't be
+// aggregated or re-quantiled across gateways).
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// latencyBuckets spans the live gateway's dynamic range: sub-millisecond
+// time-scaled demo invocations up to the 240s tail of a real cold
+// model load, roughly ×2.5 per step (the classic 1-2.5-5 decades).
+var latencyBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+	1, 2.5, 5, 10, 25, 60, 120, 240,
+}
+
+// promHistogram is a fixed-bucket cumulative histogram safe for
+// concurrent observation (every request completion crosses it).
+type promHistogram struct {
+	mu     sync.Mutex
+	counts []uint64 // one per bucket, non-cumulative; cumulated at render
+	sum    float64
+	total  uint64
+}
+
+func newPromHistogram() *promHistogram {
+	return &promHistogram{counts: make([]uint64, len(latencyBuckets))}
+}
+
+// Observe records one latency sample in seconds.
+func (h *promHistogram) Observe(v float64) {
+	h.mu.Lock()
+	for i, ub := range latencyBuckets {
+		if v <= ub {
+			h.counts[i]++
+			break
+		}
+	}
+	h.sum += v
+	h.total++
+	h.mu.Unlock()
+}
+
+// write renders the histogram's sample lines (no HELP/TYPE header —
+// the caller emits that once for the metric family) with the given
+// label set, e.g. `cell="0"`.
+func (h *promHistogram) write(sb *strings.Builder, name, labels string) {
+	h.mu.Lock()
+	counts := append([]uint64(nil), h.counts...)
+	sum, total := h.sum, h.total
+	h.mu.Unlock()
+
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	var cum uint64
+	for i, ub := range latencyBuckets {
+		cum += counts[i]
+		fmt.Fprintf(sb, "%s_bucket{%s%sle=%q} %d\n",
+			name, labels, sep, strconv.FormatFloat(ub, 'g', -1, 64), cum)
+	}
+	fmt.Fprintf(sb, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, total)
+	if labels != "" {
+		fmt.Fprintf(sb, "%s_sum{%s} %g\n%s_count{%s} %d\n", name, labels, sum, name, labels, total)
+	} else {
+		fmt.Fprintf(sb, "%s_sum %g\n%s_count %d\n", name, sum, name, total)
+	}
+}

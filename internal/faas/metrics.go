@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 
 	"gpufaas/internal/multicell"
@@ -14,7 +15,6 @@ import (
 // gateways from the deterministic fleet merge.
 type promReport struct {
 	Requests, Failed              int64
-	AvgLatencySec, P99LatencySec  float64
 	MissRatio, FalseMissRatio     float64
 	SMUtilization                 float64
 	LocalQueueMoves, O3Dispatches int64
@@ -26,7 +26,6 @@ func (g *Gateway) fleetReport() promReport {
 		s := g.cells[0].Snapshot()
 		return promReport{
 			Requests: s.Requests, Failed: s.Failed,
-			AvgLatencySec: s.AvgLatencySec, P99LatencySec: s.P99LatencySec,
 			MissRatio: s.MissRatio, FalseMissRatio: s.FalseMissRatio,
 			SMUtilization:   s.SMUtilization,
 			LocalQueueMoves: s.LocalQueueMoves, O3Dispatches: s.O3Dispatches,
@@ -39,7 +38,6 @@ func (g *Gateway) fleetReport() promReport {
 	m := multicell.Merge(outs, g.infer.routerPolicyValue())
 	return promReport{
 		Requests: m.Requests, Failed: m.Failed,
-		AvgLatencySec: m.AvgLatencySec, P99LatencySec: m.P99LatencySec,
 		MissRatio: m.MissRatio, FalseMissRatio: m.FalseMissRatio,
 		SMUtilization:   m.SMUtilization,
 		LocalQueueMoves: m.LocalQueueMoves, O3Dispatches: m.O3Dispatches,
@@ -58,23 +56,37 @@ func (g *Gateway) handlePromMetrics(w http.ResponseWriter, r *http.Request) {
 	snap := g.fleetReport()
 	var sb strings.Builder
 
-	counter := func(name, help string, value float64, labels string) {
-		fmt.Fprintf(&sb, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
-		if labels != "" {
-			fmt.Fprintf(&sb, "%s{%s} %g\n", name, labels, value)
-		} else {
-			fmt.Fprintf(&sb, "%s %g\n", name, value)
-		}
+	// Two helpers, one per metric type: `_total` series are monotonic
+	// counters and must advertise TYPE counter — scrapers apply rate()
+	// only to counters, and the old all-gauge exposition silently broke
+	// every rate(gpufaas_requests_total[5m]) recording rule.
+	metric := func(typ, name, help string, value float64) {
+		fmt.Fprintf(&sb, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", name, help, name, typ, name, value)
 	}
-	counter("gpufaas_requests_total", "Completed inference requests.", float64(snap.Requests), "")
-	counter("gpufaas_requests_failed_total", "Requests rejected (quota, unknown model).", float64(snap.Failed), "")
-	counter("gpufaas_avg_latency_seconds", "Mean end-to-end function latency.", snap.AvgLatencySec, "")
-	counter("gpufaas_p99_latency_seconds", "99th percentile function latency.", snap.P99LatencySec, "")
-	counter("gpufaas_cache_miss_ratio", "Model cache miss ratio.", snap.MissRatio, "")
-	counter("gpufaas_false_miss_ratio", "False-miss ratio (miss while cached elsewhere).", snap.FalseMissRatio, "")
-	counter("gpufaas_sm_utilization", "Mean GPU SM utilization.", snap.SMUtilization, "")
-	counter("gpufaas_scheduler_queue_moves_total", "Requests parked on busy GPUs' local queues.", float64(snap.LocalQueueMoves), "")
-	counter("gpufaas_scheduler_o3_dispatches_total", "Out-of-order dispatches.", float64(snap.O3Dispatches), "")
+	counter := func(name, help string, value float64) { metric("counter", name, help, value) }
+	gauge := func(name, help string, value float64) { metric("gauge", name, help, value) }
+
+	counter("gpufaas_requests_total", "Completed inference requests.", float64(snap.Requests))
+	counter("gpufaas_requests_failed_total", "Requests rejected (quota, unknown model).", float64(snap.Failed))
+	gauge("gpufaas_cache_miss_ratio", "Model cache miss ratio.", snap.MissRatio)
+	gauge("gpufaas_false_miss_ratio", "False-miss ratio (miss while cached elsewhere).", snap.FalseMissRatio)
+	gauge("gpufaas_sm_utilization", "Mean GPU SM utilization.", snap.SMUtilization)
+	counter("gpufaas_scheduler_queue_moves_total", "Requests parked on busy GPUs' local queues.", float64(snap.LocalQueueMoves))
+	counter("gpufaas_scheduler_o3_dispatches_total", "Out-of-order dispatches.", float64(snap.O3Dispatches))
+
+	// Request latency as a true histogram, one series set per cell.
+	// This replaces the old gpufaas_avg_latency_seconds /
+	// gpufaas_p99_latency_seconds gauges: pre-digested quantiles can't
+	// be aggregated across gateways or re-sliced over time, while
+	// histogram_quantile() over these buckets yields any percentile.
+	fmt.Fprintf(&sb, "# HELP gpufaas_request_duration_seconds End-to-end inference latency.\n# TYPE gpufaas_request_duration_seconds histogram\n")
+	for i, h := range g.latHists {
+		labels := ""
+		if len(g.latHists) > 1 {
+			labels = fmt.Sprintf("cell=%q", strconv.Itoa(i))
+		}
+		h.write(&sb, "gpufaas_request_duration_seconds", labels)
+	}
 
 	// Per-function invocation counters.
 	fns := g.registry.List()

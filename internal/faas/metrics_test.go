@@ -1,23 +1,72 @@
 package faas
 
 import (
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 )
 
-func TestPrometheusMetricsEndpoint(t *testing.T) {
-	g := testGateway(t)
-	if _, err := g.Deploy(FunctionSpec{Name: "mfn", GPUEnabled: true, Model: "resnet50", BatchSize: 4}); err != nil {
-		t.Fatal(err)
+// expoFamily is one parsed metric family from the /metrics exposition.
+type expoFamily struct {
+	typ     string
+	samples map[string]float64 // "name{labels}" -> value
+}
+
+// parseExposition is a minimal Prometheus text-format parser: enough to
+// assert on TYPE declarations and sample values, and to reject lines
+// that belong to no declared family.
+func parseExposition(t *testing.T, text string) map[string]expoFamily {
+	t.Helper()
+	fams := make(map[string]expoFamily)
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("blank line in exposition")
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			fams[parts[2]] = expoFamily{typ: parts[3], samples: make(map[string]float64)}
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		key, valStr := line[:sp], line[sp+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("non-numeric value in %q: %v", line, err)
+		}
+		name := key
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		// Histogram samples attach to their family's base name.
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		fam, ok := fams[name]
+		if !ok {
+			if fam, ok = fams[base]; !ok {
+				t.Fatalf("sample %q precedes its TYPE declaration", line)
+			}
+			fams[base] = fam
+		}
+		fam.samples[key] = val
 	}
-	if _, err := g.Invoke("mfn", InvokeRequest{}); err != nil {
-		t.Fatal(err)
-	}
-	srv := httptest.NewServer(g.Handler())
-	defer srv.Close()
+	return fams
+}
+
+// scrape GETs /metrics and parses it.
+func scrape(t *testing.T, srv *httptest.Server) map[string]expoFamily {
+	t.Helper()
 	res, err := http.Get(srv.URL + "/metrics")
 	if err != nil {
 		t.Fatal(err)
@@ -30,25 +79,152 @@ func TestPrometheusMetricsEndpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	text := string(body)
-	for _, want := range []string{
-		"gpufaas_requests_total 1",
-		"gpufaas_cache_miss_ratio 1",
-		`gpufaas_function_invocations_total{function="mfn"} 1`,
-		"gpufaas_gpu_busy{gpu=",
-		"# TYPE gpufaas_avg_latency_seconds gauge",
+	return parseExposition(t, string(body))
+}
+
+// TestPrometheusMetricsEndpoint pins the exposition contract on a
+// single-cell gateway: every `_total` family is TYPE counter (scrapers
+// rate() only counters — the old all-gauge exposition broke that),
+// ratios/utilization stay gauges, and request latency is a true
+// histogram whose count matches the completed-request counter.
+func TestPrometheusMetricsEndpoint(t *testing.T) {
+	g := testGateway(t)
+	if _, err := g.Deploy(FunctionSpec{Name: "mfn", GPUEnabled: true, Model: "resnet50", BatchSize: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Invoke("mfn", InvokeRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+	fams := scrape(t, srv)
+
+	for fam, typ := range map[string]string{
+		"gpufaas_requests_total":                "counter",
+		"gpufaas_requests_failed_total":         "counter",
+		"gpufaas_scheduler_queue_moves_total":   "counter",
+		"gpufaas_scheduler_o3_dispatches_total": "counter",
+		"gpufaas_function_invocations_total":    "counter",
+		"gpufaas_cache_miss_ratio":              "gauge",
+		"gpufaas_false_miss_ratio":              "gauge",
+		"gpufaas_sm_utilization":                "gauge",
+		"gpufaas_gpu_busy":                      "gauge",
+		"gpufaas_request_duration_seconds":      "histogram",
 	} {
-		if !strings.Contains(text, want) {
-			t.Errorf("metrics output missing %q\n%s", want, text)
+		got, ok := fams[fam]
+		if !ok {
+			t.Errorf("family %s missing", fam)
+			continue
+		}
+		if got.typ != typ {
+			t.Errorf("%s: TYPE %s, want %s", fam, got.typ, typ)
 		}
 	}
+	// The replaced pre-digested quantile gauges must be gone.
+	for _, gone := range []string{"gpufaas_avg_latency_seconds", "gpufaas_p99_latency_seconds"} {
+		if _, ok := fams[gone]; ok {
+			t.Errorf("legacy gauge %s still exposed", gone)
+		}
+	}
+
+	if v := fams["gpufaas_requests_total"].samples["gpufaas_requests_total"]; v != 1 {
+		t.Errorf("gpufaas_requests_total = %g, want 1", v)
+	}
+	if v := fams["gpufaas_function_invocations_total"].samples[`gpufaas_function_invocations_total{function="mfn"}`]; v != 1 {
+		t.Errorf("per-function invocation counter = %g, want 1", v)
+	}
+
+	hist := fams["gpufaas_request_duration_seconds"].samples
+	if v := hist["gpufaas_request_duration_seconds_count"]; v != 1 {
+		t.Errorf("histogram count = %g, want 1", v)
+	}
+	if v := hist["gpufaas_request_duration_seconds_sum"]; v <= 0 {
+		t.Errorf("histogram sum = %g, want > 0", v)
+	}
+	// The +Inf bucket always equals the count, and buckets are
+	// cumulative (monotone in le).
+	if v := hist[`gpufaas_request_duration_seconds_bucket{le="+Inf"}`]; v != 1 {
+		t.Errorf(`+Inf bucket = %g, want 1`, v)
+	}
+	var prev float64
+	for _, ub := range latencyBuckets {
+		key := fmt.Sprintf("gpufaas_request_duration_seconds_bucket{le=%q}", strconv.FormatFloat(ub, 'g', -1, 64))
+		v, ok := hist[key]
+		if !ok {
+			t.Fatalf("bucket %s missing", key)
+		}
+		if v < prev {
+			t.Fatalf("bucket %s = %g < previous %g (not cumulative)", key, v, prev)
+		}
+		prev = v
+	}
+
 	// Wrong method rejected.
-	res2, err := http.Post(srv.URL+"/metrics", "text/plain", nil)
+	res, err := http.Post(srv.URL+"/metrics", "text/plain", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res2.Body.Close()
-	if res2.StatusCode != http.StatusMethodNotAllowed {
-		t.Errorf("POST /metrics = %d", res2.StatusCode)
+	res.Body.Close()
+	if res.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /metrics = %d", res.StatusCode)
+	}
+}
+
+// TestPrometheusMetricsMultiCell pins the sharded exposition: the
+// latency histogram carries one bucket set per cell (labelled
+// cell="N"), the per-cell counts sum to the fleet-wide request
+// counter, and fleet-level families appear exactly once.
+func TestPrometheusMetricsMultiCell(t *testing.T) {
+	g := testCellGateway(t, "hash")
+	if _, err := g.Deploy(FunctionSpec{Name: "mfn", GPUEnabled: true, Model: "resnet50", BatchSize: 4}); err != nil {
+		t.Fatal(err)
+	}
+	const invocations = 8
+	for i := 0; i < invocations; i++ {
+		if _, err := g.Invoke("mfn", InvokeRequest{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+	fams := scrape(t, srv)
+
+	if v := fams["gpufaas_requests_total"].samples["gpufaas_requests_total"]; v != invocations {
+		t.Errorf("fleet gpufaas_requests_total = %g, want %d", v, invocations)
+	}
+	hist := fams["gpufaas_request_duration_seconds"]
+	if hist.typ != "histogram" {
+		t.Fatalf("duration TYPE = %s", hist.typ)
+	}
+	var total float64
+	for cell := 0; cell < g.CellCount(); cell++ {
+		key := fmt.Sprintf(`gpufaas_request_duration_seconds_count{cell="%d"}`, cell)
+		v, ok := hist.samples[key]
+		if !ok {
+			t.Fatalf("no histogram for cell %d", cell)
+		}
+		total += v
+	}
+	if total != invocations {
+		t.Errorf("per-cell histogram counts sum to %g, want %d", total, invocations)
+	}
+	if _, ok := hist.samples["gpufaas_request_duration_seconds_count"]; ok {
+		t.Error("multi-cell exposition carries an unlabelled histogram")
+	}
+}
+
+// TestPprofEndpoints pins the profiling surface on the gateway mux.
+func TestPprofEndpoints(t *testing.T) {
+	srv := httptest.NewServer(testGateway(t).Handler())
+	defer srv.Close()
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/heap", "/debug/pprof/cmdline"} {
+		res, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Body.Close()
+		if res.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d", path, res.StatusCode)
+		}
 	}
 }

@@ -48,12 +48,16 @@ type Process struct {
 // Result records one completed request for the Datastore and the metric
 // collectors.
 type Result struct {
-	ReqID        int64
-	Function     string
-	Model        string
-	GPU          string
-	Tenant       string
-	Hit          bool
+	ReqID    int64
+	Function string
+	Model    string
+	GPU      string
+	Tenant   string
+	Hit      bool
+	// FalseMiss marks a miss on a model that was resident elsewhere in
+	// the fleet at dispatch time — the load the paper's locality-aware
+	// placement exists to avoid.
+	FalseMiss    bool
 	Arrival      sim.Time
 	DispatchedAt sim.Time
 	FinishedAt   sim.Time
@@ -316,11 +320,15 @@ func (m *Manager) Execute(req *core.Request, gpuID string, now sim.Time) (hit bo
 		return hit, err
 	}
 
+	falseMiss := false
 	if hit {
 		if err := m.cacheMgr.OnHit(gpuID, mdl.Name, now); err != nil {
 			return true, err
 		}
 	} else {
+		// Resolve false-miss attribution before OnMiss inserts the model
+		// here (mirroring the Cache Manager's own aggregate counter).
+		falseMiss = m.cacheMgr.CachedAnywhere(mdl.Name)
 		victims, err := m.cacheMgr.Victims(dev, mdl.OccupancyBytes())
 		if err != nil {
 			return false, err
@@ -355,6 +363,7 @@ func (m *Manager) Execute(req *core.Request, gpuID string, now sim.Time) (hit bo
 		GPU:          gpuID,
 		Tenant:       req.Tenant,
 		Hit:          hit,
+		FalseMiss:    falseMiss,
 		Arrival:      req.Arrival,
 		DispatchedAt: now,
 		FinishedAt:   finishAt,

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"gpufaas/internal/cluster"
+	"gpufaas/internal/obs"
 	"gpufaas/internal/stats"
 )
 
@@ -85,6 +86,17 @@ type MergedReport struct {
 	// cells replayed materialized.
 	Streaming *cluster.StreamStats `json:",omitempty"`
 
+	// Breakdown is the fleet-wide latency decomposition, recomputed
+	// exactly over the concatenated per-cell component samples (like the
+	// latency percentiles above); nil when the cells ran without it.
+	Breakdown *obs.Breakdown `json:",omitempty"`
+	// Series merges the per-cell time-series by interval index (gauges
+	// and deltas summed, per-cell loads retained); nil when off.
+	Series *obs.MergedSeries `json:",omitempty"`
+	// SampledSpans counts lifecycle spans across cells; zero when
+	// tracing is off.
+	SampledSpans int64 `json:",omitempty"`
+
 	// CellSpread is the per-cell min/max imbalance bracket.
 	CellSpread Spread
 }
@@ -106,6 +118,8 @@ func Merge(cells []CellOutcome, router Policy) MergedReport {
 	sample := stats.NewSample(n)
 	var idleT, loadT, inferT time.Duration
 	var cacheReqs int64
+	rawBreakdowns := make([]*obs.RawBreakdown, len(cells))
+	cellSeries := make([]*obs.Series, len(cells))
 	classIdx := make(map[string]int)
 	for i, c := range cells {
 		r := c.Report
@@ -162,6 +176,9 @@ func Merge(cells []CellOutcome, router Policy) MergedReport {
 		loadT += c.Stats.Loading
 		inferT += c.Stats.Inferring
 		cacheReqs += c.Stats.CacheRequests
+		rawBreakdowns[i] = c.Stats.Breakdown
+		cellSeries[i] = c.Stats.Series
+		m.SampledSpans += int64(len(c.Spans))
 
 		if i == 0 || r.Requests < m.CellSpread.MinRequests {
 			m.CellSpread.MinRequests = r.Requests
@@ -207,5 +224,7 @@ func Merge(cells []CellOutcome, router Policy) MergedReport {
 		m.LoadFraction = float64(loadT) / total
 		m.BusyFraction = float64(loadT+inferT) / total
 	}
+	m.Breakdown = obs.MergeRaw(rawBreakdowns).Breakdown()
+	m.Series = obs.MergeSeries(cellSeries)
 	return m
 }

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"gpufaas/internal/cluster"
+	"gpufaas/internal/obs"
 	"gpufaas/internal/trace"
 )
 
@@ -67,6 +68,10 @@ type CellOutcome struct {
 	Stats  cluster.RunStats
 	// Routed counts the requests the front door sent to this cell.
 	Routed int64
+	// Spans are the cell's sampled lifecycle spans (nil unless the cell
+	// config enabled tracing). The sample is a pure function of request
+	// IDs, so concatenating cells reconstructs the fleet-wide sample.
+	Spans []obs.Span
 }
 
 // Result is one multi-cell run: the fleet-level roll-up plus the
@@ -176,7 +181,7 @@ func runCell(cfg Config, rcfg RouterConfig, i int) (CellOutcome, error) {
 	if err != nil {
 		return CellOutcome{}, err
 	}
-	return CellOutcome{Report: rep, Stats: c.RunStats(), Routed: src.kept}, nil
+	return CellOutcome{Report: rep, Stats: c.RunStats(), Routed: src.kept, Spans: c.Spans()}, nil
 }
 
 // cellSource filters a full arrival stream down to one cell's share by

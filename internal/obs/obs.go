@@ -1,0 +1,396 @@
+// Package obs is the observability layer: request-lifecycle spans,
+// latency decomposition, and time-series telemetry, shared by the
+// simulated and live paths.
+//
+// Everything here is opt-in and zero-overhead when disabled: the zero
+// Options value turns every feature off, the cluster holds nil
+// collectors in that state, and the hot paths guard each hook with a
+// single nil check. Reports marshal the collected blocks with
+// `omitempty`, so goldens recorded before this package existed stay
+// byte-identical.
+//
+// Determinism is a hard requirement (the CI gate byte-compares trace
+// exports across worker counts): sampling is a pure function of the
+// request ID, spans record sim time only, and every exporter iterates
+// slices in a sorted order — no map iteration, no wall clock.
+package obs
+
+import (
+	"sort"
+	"time"
+
+	"gpufaas/internal/stats"
+)
+
+// Options selects which observability features a cluster records. The
+// zero value disables everything.
+type Options struct {
+	// Trace records request-lifecycle spans for the deterministic
+	// sample selected by SampleMod.
+	Trace bool
+	// SampleMod keeps roughly 1-in-SampleMod requests
+	// (splitmix64(reqID) % SampleMod == 0). <= 1 keeps every request.
+	SampleMod uint64
+	// Breakdown collects the queue-wait / load / service latency
+	// decomposition surfaced as Report.Breakdown.
+	Breakdown bool
+	// Series samples queue depth, idle count, in-flight count, and the
+	// windowed miss ratio every SeriesInterval of sim time.
+	Series bool
+	// SeriesInterval is the sampling period for Series; <= 0 means
+	// DefaultSeriesInterval.
+	SeriesInterval time.Duration
+	// Cell tags spans with the owning cell index (multi-cell runs).
+	Cell int
+}
+
+// Enabled reports whether any feature is on.
+func (o Options) Enabled() bool { return o.Trace || o.Breakdown || o.Series }
+
+// splitmix64 is the SplitMix64 finalizer: a cheap, well-mixed hash
+// used to turn sequential request IDs into an unbiased sample.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Sampled reports whether request id falls in the deterministic
+// 1-in-mod sample. Pure function of (id, mod): the same request is
+// sampled regardless of worker count, cell partitioning, or replay
+// order.
+func Sampled(id int64, mod uint64) bool {
+	if mod <= 1 {
+		return true
+	}
+	return splitmix64(uint64(id))%mod == 0
+}
+
+// Span is one sampled request's lifecycle, in sim time relative to
+// the run origin. Ord is captured at dispatch: by completion time the
+// GPU may already have been drained out of the fleet.
+type Span struct {
+	ReqID    int64  `json:"req"`
+	Function string `json:"function"`
+	Model    string `json:"model"`
+	GPU      string `json:"gpu"`
+	Ord      int    `json:"ord"`
+	Cell     int    `json:"cell"`
+
+	Arrival    time.Duration `json:"arrival_ns"`
+	Dispatched time.Duration `json:"dispatched_ns"`
+	Finished   time.Duration `json:"finished_ns"`
+	LoadTime   time.Duration `json:"load_ns"`
+	InferTime  time.Duration `json:"infer_ns"`
+
+	Hit       bool `json:"hit"`
+	FalseMiss bool `json:"false_miss"`
+	ExpectHit bool `json:"expect_hit"`
+	Parked    bool `json:"parked"`
+	O3Skips   int  `json:"o3_skips"`
+}
+
+// pendingSpan holds the placement-decision fields captured at
+// dispatch until the completion record arrives.
+type pendingSpan struct {
+	gpu       string
+	ord       int
+	o3Skips   int
+	parked    bool
+	expectHit bool
+}
+
+// Tracer records lifecycle spans for the sampled request subset. It
+// is confined to the owning cluster's goroutine (like every other
+// per-cluster structure) and needs no locking.
+type Tracer struct {
+	mod     uint64
+	cell    int
+	pending map[int64]pendingSpan
+	spans   []Span
+}
+
+// NewTracer returns a tracer sampling 1-in-sampleMod requests,
+// tagging spans with the given cell index.
+func NewTracer(sampleMod uint64, cell int) *Tracer {
+	return &Tracer{mod: sampleMod, cell: cell, pending: make(map[int64]pendingSpan)}
+}
+
+// Sampled reports whether request id is in this tracer's sample.
+func (t *Tracer) Sampled(id int64) bool { return Sampled(id, t.mod) }
+
+// OnDispatch records the placement decision for a request about to
+// execute. No-op for unsampled requests.
+func (t *Tracer) OnDispatch(id int64, gpu string, ord, o3Skips int, parked, expectHit bool) {
+	if !t.Sampled(id) {
+		return
+	}
+	t.pending[id] = pendingSpan{gpu: gpu, ord: ord, o3Skips: o3Skips, parked: parked, expectHit: expectHit}
+}
+
+// Drop discards the pending dispatch record for a request whose
+// execution failed (it will never complete).
+func (t *Tracer) Drop(id int64) {
+	if t == nil {
+		return
+	}
+	delete(t.pending, id)
+}
+
+// Completion carries the execution-side fields of a finished request.
+type Completion struct {
+	ReqID      int64
+	Function   string
+	Model      string
+	Hit        bool
+	FalseMiss  bool
+	Arrival    time.Duration
+	Dispatched time.Duration
+	Finished   time.Duration
+	LoadTime   time.Duration
+	InferTime  time.Duration
+}
+
+// OnComplete joins a completion record with its pending dispatch
+// fields and appends the finished span. No-op for unsampled requests.
+func (t *Tracer) OnComplete(c Completion) {
+	p, ok := t.pending[c.ReqID]
+	if !ok {
+		return
+	}
+	delete(t.pending, c.ReqID)
+	t.spans = append(t.spans, Span{
+		ReqID:      c.ReqID,
+		Function:   c.Function,
+		Model:      c.Model,
+		GPU:        p.gpu,
+		Ord:        p.ord,
+		Cell:       t.cell,
+		Arrival:    c.Arrival,
+		Dispatched: c.Dispatched,
+		Finished:   c.Finished,
+		LoadTime:   c.LoadTime,
+		InferTime:  c.InferTime,
+		Hit:        c.Hit,
+		FalseMiss:  c.FalseMiss,
+		ExpectHit:  p.expectHit,
+		Parked:     p.parked,
+		O3Skips:    p.o3Skips,
+	})
+}
+
+// Len returns the number of completed spans recorded so far.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.spans)
+}
+
+// Spans returns the completed spans in completion order.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	return t.spans
+}
+
+// SortSpans orders spans canonically — by (cell, ord, dispatch time,
+// request ID) — so concatenations from differently-ordered cell
+// slices serialize identically.
+func SortSpans(spans []Span) {
+	sort.Slice(spans, func(i, j int) bool {
+		a, b := spans[i], spans[j]
+		if a.Cell != b.Cell {
+			return a.Cell < b.Cell
+		}
+		if a.Ord != b.Ord {
+			return a.Ord < b.Ord
+		}
+		if a.Dispatched != b.Dispatched {
+			return a.Dispatched < b.Dispatched
+		}
+		return a.ReqID < b.ReqID
+	})
+}
+
+// Quantiles summarizes one latency component in seconds.
+type Quantiles struct {
+	MeanSec float64 `json:"mean_sec"`
+	P50Sec  float64 `json:"p50_sec"`
+	P95Sec  float64 `json:"p95_sec"`
+	P99Sec  float64 `json:"p99_sec"`
+}
+
+// PhaseStats decomposes latency into its three additive phases:
+// queue wait (arrival -> dispatch), model load (zero on a cache hit),
+// and service (inference). queue + load + service == end-to-end
+// latency for every request.
+type PhaseStats struct {
+	QueueWait Quantiles `json:"queue_wait"`
+	Load      Quantiles `json:"load"`
+	Service   Quantiles `json:"service"`
+}
+
+// Breakdown is the per-run latency decomposition: phase quantiles
+// over all requests and split by cache hit vs miss. This is the block
+// that attributes a p95 move to a specific component — e.g. the
+// K=16 locality collapse shows up as the Load component blowing out
+// while Service stays flat.
+type Breakdown struct {
+	Requests    int64 `json:"requests"`
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	FalseMisses int64 `json:"false_misses"`
+
+	All  PhaseStats `json:"all"`
+	Hit  PhaseStats `json:"hit"`
+	Miss PhaseStats `json:"miss"`
+}
+
+// RawBreakdown holds the raw per-request component samples, split by
+// hit/miss, in seconds. Keeping the raw values (rather than
+// pre-computed quantiles) lets multicell.Merge compute exact merged
+// percentiles over the concatenated fleet, the same way it merges
+// end-to-end latencies. Hits have an implicit zero load sample.
+type RawBreakdown struct {
+	Hits        int64
+	Misses      int64
+	FalseMisses int64
+
+	QueueHit    []float64
+	QueueMiss   []float64
+	LoadMiss    []float64
+	ServiceHit  []float64
+	ServiceMiss []float64
+}
+
+// Collector accumulates the raw latency decomposition for one
+// cluster. Goroutine-confined like Tracer.
+type Collector struct {
+	raw RawBreakdown
+}
+
+// NewCollector returns an empty breakdown collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Observe records one completed request's phase durations.
+func (c *Collector) Observe(hit, falseMiss bool, queue, load, service time.Duration) {
+	if hit {
+		c.raw.Hits++
+		c.raw.QueueHit = append(c.raw.QueueHit, queue.Seconds())
+		c.raw.ServiceHit = append(c.raw.ServiceHit, service.Seconds())
+		return
+	}
+	c.raw.Misses++
+	if falseMiss {
+		c.raw.FalseMisses++
+	}
+	c.raw.QueueMiss = append(c.raw.QueueMiss, queue.Seconds())
+	c.raw.LoadMiss = append(c.raw.LoadMiss, load.Seconds())
+	c.raw.ServiceMiss = append(c.raw.ServiceMiss, service.Seconds())
+}
+
+// Raw returns the accumulated raw samples (shared, not copied): the
+// cluster hands it to multicell for exact cross-cell merging.
+func (c *Collector) Raw() *RawBreakdown {
+	if c == nil {
+		return nil
+	}
+	return &c.raw
+}
+
+// Breakdown computes the quantile summary of what was collected.
+func (c *Collector) Breakdown() *Breakdown {
+	if c == nil {
+		return nil
+	}
+	return c.raw.Breakdown()
+}
+
+// quantiles summarizes values (plus zeros implicit zero samples, used
+// for the load component of cache hits) without mutating the input.
+func quantiles(values []float64, zeros int64) Quantiles {
+	n := int64(len(values)) + zeros
+	if n == 0 {
+		return Quantiles{}
+	}
+	s := stats.NewSample(int(n))
+	for i := int64(0); i < zeros; i++ {
+		s.Add(0)
+	}
+	sum := 0.0
+	for _, v := range values {
+		s.Add(v)
+		sum += v
+	}
+	return Quantiles{
+		MeanSec: sum / float64(n),
+		P50Sec:  s.Percentile(50),
+		P95Sec:  s.Percentile(95),
+		P99Sec:  s.Percentile(99),
+	}
+}
+
+// concat returns a ∪ b as a fresh slice.
+func concat(a, b []float64) []float64 {
+	out := make([]float64, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	return out
+}
+
+// Breakdown computes the quantile summary of the raw samples.
+func (r *RawBreakdown) Breakdown() *Breakdown {
+	if r == nil {
+		return nil
+	}
+	b := &Breakdown{
+		Requests:    r.Hits + r.Misses,
+		Hits:        r.Hits,
+		Misses:      r.Misses,
+		FalseMisses: r.FalseMisses,
+	}
+	b.Hit = PhaseStats{
+		QueueWait: quantiles(r.QueueHit, 0),
+		Load:      quantiles(nil, r.Hits),
+		Service:   quantiles(r.ServiceHit, 0),
+	}
+	b.Miss = PhaseStats{
+		QueueWait: quantiles(r.QueueMiss, 0),
+		Load:      quantiles(r.LoadMiss, 0),
+		Service:   quantiles(r.ServiceMiss, 0),
+	}
+	b.All = PhaseStats{
+		QueueWait: quantiles(concat(r.QueueHit, r.QueueMiss), 0),
+		Load:      quantiles(r.LoadMiss, r.Hits),
+		Service:   quantiles(concat(r.ServiceHit, r.ServiceMiss), 0),
+	}
+	return b
+}
+
+// MergeRaw concatenates per-cell raw breakdowns into one fleet-wide
+// raw breakdown (exact: quantiles computed after merging are the
+// quantiles of the union). Nil entries (cells with the collector off)
+// are skipped; returns nil if every entry is nil.
+func MergeRaw(raws []*RawBreakdown) *RawBreakdown {
+	var out *RawBreakdown
+	for _, r := range raws {
+		if r == nil {
+			continue
+		}
+		if out == nil {
+			out = &RawBreakdown{}
+		}
+		out.Hits += r.Hits
+		out.Misses += r.Misses
+		out.FalseMisses += r.FalseMisses
+		out.QueueHit = append(out.QueueHit, r.QueueHit...)
+		out.QueueMiss = append(out.QueueMiss, r.QueueMiss...)
+		out.LoadMiss = append(out.LoadMiss, r.LoadMiss...)
+		out.ServiceHit = append(out.ServiceHit, r.ServiceHit...)
+		out.ServiceMiss = append(out.ServiceMiss, r.ServiceMiss...)
+	}
+	return out
+}

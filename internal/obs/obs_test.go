@@ -1,0 +1,257 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestSampledDeterministicAndUnbiased(t *testing.T) {
+	const n, mod = 100000, 64
+	kept := 0
+	for id := int64(0); id < n; id++ {
+		s := Sampled(id, mod)
+		if s != Sampled(id, mod) {
+			t.Fatalf("Sampled(%d) not stable", id)
+		}
+		if s {
+			kept++
+		}
+	}
+	want := float64(n) / mod
+	if math.Abs(float64(kept)-want) > want/2 {
+		t.Fatalf("sample density off: kept %d of %d at mod %d (want ~%.0f)", kept, n, mod, want)
+	}
+	// mod <= 1 keeps everything.
+	if !Sampled(12345, 0) || !Sampled(12345, 1) {
+		t.Fatal("mod <= 1 must keep every request")
+	}
+}
+
+func TestTracerLifecycle(t *testing.T) {
+	tr := NewTracer(1, 3) // keep everything, cell 3
+	tr.OnDispatch(7, "node0/gpu2", 2, 4, true, true)
+	tr.OnDispatch(8, "node0/gpu1", 1, 0, false, false)
+	tr.Drop(8) // execution failed
+	tr.OnComplete(Completion{
+		ReqID: 7, Function: "f", Model: "resnet50", Hit: false, FalseMiss: true,
+		Arrival: 10 * time.Millisecond, Dispatched: 15 * time.Millisecond,
+		Finished: 40 * time.Millisecond, LoadTime: 20 * time.Millisecond, InferTime: 5 * time.Millisecond,
+	})
+	tr.OnComplete(Completion{ReqID: 8}) // dropped: ignored
+	if tr.Len() != 1 {
+		t.Fatalf("want 1 span, got %d", tr.Len())
+	}
+	s := tr.Spans()[0]
+	if s.ReqID != 7 || s.GPU != "node0/gpu2" || s.Ord != 2 || s.Cell != 3 ||
+		s.O3Skips != 4 || !s.Parked || !s.ExpectHit || s.Hit || !s.FalseMiss {
+		t.Fatalf("span fields wrong: %+v", s)
+	}
+	if s.Dispatched-s.Arrival != 5*time.Millisecond {
+		t.Fatalf("queue wait = %v", s.Dispatched-s.Arrival)
+	}
+
+	// nil tracer is safe for the hooks the cluster calls un-guarded.
+	var nilTr *Tracer
+	nilTr.Drop(1)
+	if nilTr.Len() != 0 || nilTr.Spans() != nil {
+		t.Fatal("nil tracer accessors must be zero")
+	}
+}
+
+func TestCollectorBreakdown(t *testing.T) {
+	c := NewCollector()
+	// Two hits (queue 1s/3s, service 2s each), one miss
+	// (queue 5s, load 10s, service 2s, false miss).
+	c.Observe(true, false, 1*time.Second, 0, 2*time.Second)
+	c.Observe(true, false, 3*time.Second, 0, 2*time.Second)
+	c.Observe(false, true, 5*time.Second, 10*time.Second, 2*time.Second)
+	b := c.Breakdown()
+	if b.Requests != 3 || b.Hits != 2 || b.Misses != 1 || b.FalseMisses != 1 {
+		t.Fatalf("counts wrong: %+v", b)
+	}
+	if got := b.All.QueueWait.MeanSec; math.Abs(got-3) > 1e-12 {
+		t.Fatalf("all queue mean = %v, want 3", got)
+	}
+	// Load over all requests includes the hits' implicit zeros:
+	// mean = 10/3, p50 = 0 (two of three samples are zero).
+	if got := b.All.Load.MeanSec; math.Abs(got-10.0/3) > 1e-12 {
+		t.Fatalf("all load mean = %v, want 10/3", got)
+	}
+	if b.All.Load.P50Sec != 0 {
+		t.Fatalf("all load p50 = %v, want 0", b.All.Load.P50Sec)
+	}
+	if b.Hit.Load.MeanSec != 0 || b.Hit.Load.P99Sec != 0 {
+		t.Fatalf("hit load must be all-zero: %+v", b.Hit.Load)
+	}
+	if b.Miss.Load.P50Sec != 10 || b.Miss.Service.MeanSec != 2 {
+		t.Fatalf("miss phases wrong: %+v", b.Miss)
+	}
+	// The additive identity: mean(queue)+mean(load)+mean(service) ==
+	// mean(end-to-end latency). Latencies: 3, 5, 17 -> mean 25/3.
+	sum := b.All.QueueWait.MeanSec + b.All.Load.MeanSec + b.All.Service.MeanSec
+	if math.Abs(sum-25.0/3) > 1e-9 {
+		t.Fatalf("component means sum to %v, want 25/3", sum)
+	}
+}
+
+func TestMergeRawExactUnion(t *testing.T) {
+	a := NewCollector()
+	a.Observe(true, false, 1*time.Second, 0, 1*time.Second)
+	a.Observe(false, false, 2*time.Second, 4*time.Second, 1*time.Second)
+	b := NewCollector()
+	b.Observe(false, true, 3*time.Second, 8*time.Second, 1*time.Second)
+
+	// Union collector observing the same six requests directly.
+	u := NewCollector()
+	u.Observe(true, false, 1*time.Second, 0, 1*time.Second)
+	u.Observe(false, false, 2*time.Second, 4*time.Second, 1*time.Second)
+	u.Observe(false, true, 3*time.Second, 8*time.Second, 1*time.Second)
+
+	merged := MergeRaw([]*RawBreakdown{a.Raw(), nil, b.Raw()}).Breakdown()
+	want := u.Breakdown()
+	mj, _ := json.Marshal(merged)
+	wj, _ := json.Marshal(want)
+	if !bytes.Equal(mj, wj) {
+		t.Fatalf("merged breakdown != union breakdown:\n%s\n%s", mj, wj)
+	}
+	if MergeRaw([]*RawBreakdown{nil, nil}) != nil {
+		t.Fatal("all-nil merge must be nil")
+	}
+}
+
+func TestRecorderBoundaries(t *testing.T) {
+	r := NewRecorder(10 * time.Second)
+	if r.Due(9 * time.Second) {
+		t.Fatal("not due before first boundary")
+	}
+	if !r.Due(10 * time.Second) {
+		t.Fatal("due at the boundary")
+	}
+	// One event at t=25s crosses two boundaries: both points carry
+	// the same gauges, the first carries the deltas.
+	r.Tick(25*time.Second, 4, 2, 3, 100, 10, 50)
+	// One more at t=31s.
+	r.Tick(31*time.Second, 1, 5, 0, 160, 13, 90)
+	s := r.Series()
+	if len(s.Points) != 3 {
+		t.Fatalf("want 3 points, got %d", len(s.Points))
+	}
+	p0, p1, p2 := s.Points[0], s.Points[1], s.Points[2]
+	if p0.TSec != 10 || p1.TSec != 20 || p2.TSec != 30 {
+		t.Fatalf("boundary times wrong: %v %v %v", p0.TSec, p1.TSec, p2.TSec)
+	}
+	if p0.Completed != 50 || p0.Lookups != 100 || p0.Misses != 10 || p0.MissRatio != 0.1 {
+		t.Fatalf("first point deltas wrong: %+v", p0)
+	}
+	if p1.Completed != 0 || p1.Lookups != 0 || p1.QueueDepth != 4 {
+		t.Fatalf("fill-forward point wrong: %+v", p1)
+	}
+	if p2.Completed != 40 || p2.Lookups != 60 || p2.Misses != 3 || p2.QueueDepth != 1 || p2.Idle != 5 {
+		t.Fatalf("third point wrong: %+v", p2)
+	}
+}
+
+func TestMergeSeries(t *testing.T) {
+	a := &Series{IntervalSec: 10, Points: []Point{
+		{TSec: 10, QueueDepth: 2, Idle: 1, InFlight: 3, Completed: 10, Lookups: 12, Misses: 3},
+		{TSec: 20, QueueDepth: 1, Completed: 5, Lookups: 5, Misses: 1},
+	}}
+	b := &Series{IntervalSec: 10, Points: []Point{
+		{TSec: 10, QueueDepth: 4, Idle: 2, InFlight: 1, Completed: 6, Lookups: 6, Misses: 3},
+	}}
+	m := MergeSeries([]*Series{a, b})
+	if m.IntervalSec != 10 || len(m.Points) != 2 {
+		t.Fatalf("merged shape wrong: %+v", m)
+	}
+	p0 := m.Points[0]
+	if p0.QueueDepth != 6 || p0.Idle != 3 || p0.InFlight != 4 || p0.Completed != 16 ||
+		p0.Lookups != 18 || p0.Misses != 6 {
+		t.Fatalf("merged point wrong: %+v", p0)
+	}
+	if math.Abs(p0.MissRatio-6.0/18) > 1e-12 {
+		t.Fatalf("merged miss ratio = %v", p0.MissRatio)
+	}
+	if len(p0.CellCompleted) != 2 || p0.CellCompleted[0] != 10 || p0.CellCompleted[1] != 6 {
+		t.Fatalf("cell loads wrong: %v", p0.CellCompleted)
+	}
+	// Shorter cell stops contributing.
+	p1 := m.Points[1]
+	if p1.Completed != 5 || p1.CellCompleted[1] != 0 {
+		t.Fatalf("tail point wrong: %+v", p1)
+	}
+	if MergeSeries([]*Series{nil, nil}) != nil {
+		t.Fatal("all-nil merge must be nil")
+	}
+	// Single-cell merge omits the per-cell loads.
+	if s := MergeSeries([]*Series{a}); s.Points[0].CellCompleted != nil {
+		t.Fatal("single-cell merge must omit CellCompleted")
+	}
+}
+
+func TestWriteTraceDeterministicAndValid(t *testing.T) {
+	spans := []Span{
+		{ReqID: 2, Function: "f2", Model: "bert", GPU: "node0/gpu1", Ord: 1, Cell: 1,
+			Arrival: 1 * time.Millisecond, Dispatched: 2 * time.Millisecond,
+			Finished: 30 * time.Millisecond, LoadTime: 20 * time.Millisecond,
+			InferTime: 8 * time.Millisecond, O3Skips: 2},
+		{ReqID: 1, Function: "f1", Model: "resnet50", GPU: "node0/gpu0", Ord: 0, Cell: 0,
+			Arrival: 0, Dispatched: 1500 * time.Microsecond,
+			Finished: 5 * time.Millisecond, InferTime: 3500 * time.Microsecond,
+			Hit: true, ExpectHit: true},
+	}
+	var a, b bytes.Buffer
+	if err := WriteTrace(&a, spans); err != nil {
+		t.Fatal(err)
+	}
+	// Reversed input order must serialize identically (canonical sort).
+	rev := []Span{spans[1], spans[0]}
+	if err := WriteTrace(&b, rev); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("trace output depends on span order:\n%s\n%s", a.Bytes(), b.Bytes())
+	}
+
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(a.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, a.Bytes())
+	}
+	// 2 process_name + 2 thread_name + 2 request slices + 1 load slice.
+	if len(doc.TraceEvents) != 7 {
+		t.Fatalf("want 7 events, got %d:\n%s", len(doc.TraceEvents), a.Bytes())
+	}
+	var sawHit, sawLoad bool
+	for _, e := range doc.TraceEvents {
+		switch {
+		case e.Name == "resnet50 hit":
+			sawHit = true
+			if e.TS != 1500 || e.Dur != 3500 || e.PID != 0 || e.TID != 0 {
+				t.Fatalf("hit slice wrong: %+v", e)
+			}
+			if e.Args["queue_us"].(float64) != 1500 {
+				t.Fatalf("queue_us wrong: %+v", e.Args)
+			}
+		case e.Name == "load":
+			sawLoad = true
+			if e.Dur != 20000 || e.PID != 1 || e.TID != 1 {
+				t.Fatalf("load slice wrong: %+v", e)
+			}
+		}
+	}
+	if !sawHit || !sawLoad {
+		t.Fatalf("missing expected slices (hit=%t load=%t)", sawHit, sawLoad)
+	}
+}

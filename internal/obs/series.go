@@ -1,0 +1,171 @@
+package obs
+
+import "time"
+
+// DefaultSeriesInterval is the sampling period when
+// Options.SeriesInterval is unset.
+const DefaultSeriesInterval = 10 * time.Second
+
+// Point is one fixed-interval telemetry sample. Gauge fields
+// (QueueDepth, Idle, InFlight) are the instantaneous state at the
+// first event on or after the interval boundary; delta fields
+// (Completed, Lookups, Misses) count activity since the previous
+// point. Raw counts rather than ratios so cross-cell merging is
+// exact; MissRatio is derived (Misses/Lookups for the interval).
+type Point struct {
+	TSec       float64 `json:"t_sec"`
+	QueueDepth int     `json:"queue_depth"`
+	Idle       int     `json:"idle"`
+	InFlight   int     `json:"in_flight"`
+	Completed  int64   `json:"completed"`
+	Lookups    int64   `json:"lookups"`
+	Misses     int64   `json:"misses"`
+	MissRatio  float64 `json:"miss_ratio"`
+}
+
+// Series is the time-series telemetry for one cluster.
+type Series struct {
+	IntervalSec float64 `json:"interval_sec"`
+	Points      []Point `json:"points"`
+}
+
+// Recorder emits fixed-interval samples on the sim clock without
+// scheduling any clock events of its own: a self-re-arming AfterFunc
+// would keep the event queue non-empty and stop `engine.Run(0)` from
+// ever draining. Instead the cluster calls Due/Tick from its existing
+// dispatch and completion hooks; when an event crosses one or more
+// interval boundaries the recorder emits a point per crossed boundary
+// (fill-forward: an idle gap repeats the current gauges with zero
+// deltas on the first boundary carrying the delta).
+type Recorder struct {
+	interval time.Duration
+	next     time.Duration
+	series   Series
+
+	lastCompleted int64
+	lastLookups   int64
+	lastMisses    int64
+}
+
+// NewRecorder returns a recorder sampling every interval of sim time
+// (DefaultSeriesInterval if interval <= 0).
+func NewRecorder(interval time.Duration) *Recorder {
+	if interval <= 0 {
+		interval = DefaultSeriesInterval
+	}
+	return &Recorder{interval: interval, next: interval,
+		series: Series{IntervalSec: interval.Seconds()}}
+}
+
+// Due reports whether now has reached the next interval boundary.
+// One comparison: the cluster guards the state-gathering cost of a
+// full Tick behind it.
+func (r *Recorder) Due(now time.Duration) bool { return now >= r.next }
+
+// Tick emits a point for every interval boundary at or before now,
+// using the supplied instantaneous state and cumulative counters.
+func (r *Recorder) Tick(now time.Duration, queueDepth, idle, inFlight int, lookups, misses, completed int64) {
+	for r.next <= now {
+		p := Point{
+			TSec:       r.next.Seconds(),
+			QueueDepth: queueDepth,
+			Idle:       idle,
+			InFlight:   inFlight,
+			Completed:  completed - r.lastCompleted,
+			Lookups:    lookups - r.lastLookups,
+			Misses:     misses - r.lastMisses,
+		}
+		if p.Lookups > 0 {
+			p.MissRatio = float64(p.Misses) / float64(p.Lookups)
+		}
+		r.lastCompleted = completed
+		r.lastLookups = lookups
+		r.lastMisses = misses
+		r.series.Points = append(r.series.Points, p)
+		r.next += r.interval
+	}
+}
+
+// Series returns the recorded series. The points slice is shared with
+// the recorder; callers treat it as read-only.
+func (r *Recorder) Series() *Series {
+	if r == nil {
+		return nil
+	}
+	s := r.series
+	return &s
+}
+
+// MergedPoint is a fleet-wide sample: gauges and deltas summed over
+// cells at the same interval index, plus the per-cell completion
+// counts (the cell-load distribution the router produced).
+type MergedPoint struct {
+	TSec       float64 `json:"t_sec"`
+	QueueDepth int     `json:"queue_depth"`
+	Idle       int     `json:"idle"`
+	InFlight   int     `json:"in_flight"`
+	Completed  int64   `json:"completed"`
+	Lookups    int64   `json:"lookups"`
+	Misses     int64   `json:"misses"`
+	MissRatio  float64 `json:"miss_ratio"`
+	// CellCompleted is this interval's completion count per cell
+	// (index = cell); omitted for single-cell runs.
+	CellCompleted []int64 `json:"cell_completed,omitempty"`
+}
+
+// MergedSeries is the cross-cell merge of per-cell Series.
+type MergedSeries struct {
+	IntervalSec float64       `json:"interval_sec"`
+	Points      []MergedPoint `json:"points"`
+}
+
+// MergeSeries merges per-cell series by interval index. Cells whose
+// runs end earlier simply stop contributing (their makespan is
+// shorter); nil entries are skipped. Returns nil if every entry is
+// nil. All series share the interval configured on the run.
+func MergeSeries(cells []*Series) *MergedSeries {
+	var out *MergedSeries
+	maxLen := 0
+	for _, s := range cells {
+		if s == nil {
+			continue
+		}
+		if out == nil {
+			out = &MergedSeries{IntervalSec: s.IntervalSec}
+		}
+		if len(s.Points) > maxLen {
+			maxLen = len(s.Points)
+		}
+	}
+	if out == nil {
+		return nil
+	}
+	multi := len(cells) > 1
+	for i := 0; i < maxLen; i++ {
+		var mp MergedPoint
+		if multi {
+			mp.CellCompleted = make([]int64, len(cells))
+		}
+		for ci, s := range cells {
+			if s == nil || i >= len(s.Points) {
+				continue
+			}
+			p := s.Points[i]
+			mp.TSec = p.TSec
+			mp.QueueDepth += p.QueueDepth
+			mp.Idle += p.Idle
+			mp.InFlight += p.InFlight
+			mp.Completed += p.Completed
+			mp.Lookups += p.Lookups
+			mp.Misses += p.Misses
+			if multi {
+				mp.CellCompleted[ci] = p.Completed
+			}
+		}
+		if mp.Lookups > 0 {
+			mp.MissRatio = float64(mp.Misses) / float64(mp.Lookups)
+		}
+		out.Points = append(out.Points, mp)
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"time"
+)
+
+// WriteTrace serializes spans as Chrome trace-event JSON (the format
+// Perfetto and chrome://tracing load): one process per cell, one
+// thread (track) per GPU ordinal, a complete ("X") slice per request
+// spanning dispatch -> completion, and a nested "load" slice when the
+// request missed cache and paid a model load.
+//
+// The output is deterministic: spans are sorted canonically, every
+// object is emitted by fmt with fixed field order (no map iteration,
+// no encoding/json), and timestamps are sim-time microseconds printed
+// with fixed precision. The CI determinism gate byte-compares this
+// output across worker counts.
+func WriteTrace(w io.Writer, spans []Span) error {
+	sorted := make([]Span, len(spans))
+	copy(sorted, spans)
+	SortSpans(sorted)
+
+	bw := bufio.NewWriter(w)
+	fmt.Fprint(bw, "{\"traceEvents\":[")
+	first := true
+	emit := func(format string, args ...any) {
+		if !first {
+			fmt.Fprint(bw, ",\n")
+		} else {
+			fmt.Fprint(bw, "\n")
+			first = false
+		}
+		fmt.Fprintf(bw, format, args...)
+	}
+
+	// Metadata: name each cell's process and each ordinal's thread so
+	// the viewer groups tracks by cell and labels them with GPU IDs.
+	// sorted order means cells ascend and, within a cell, ords ascend.
+	lastCell, lastOrd := -1, -1
+	for _, s := range sorted {
+		if s.Cell != lastCell {
+			lastCell, lastOrd = s.Cell, -1
+			emit(`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":"cell%d"}}`, s.Cell, s.Cell)
+		}
+		if s.Ord != lastOrd {
+			lastOrd = s.Ord
+			emit(`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":%q}}`, s.Cell, s.Ord, s.GPU)
+		}
+	}
+
+	for _, s := range sorted {
+		ts := usec(s.Dispatched)
+		dur := usec(s.Finished - s.Dispatched)
+		name := s.Model + " hit"
+		if !s.Hit {
+			name = s.Model + " miss"
+		}
+		emit(`{"name":%q,"ph":"X","ts":%s,"dur":%s,"pid":%d,"tid":%d,"args":{"req":%d,"function":%q,"hit":%t,"false_miss":%t,"expect_hit":%t,"parked":%t,"o3_skips":%d,"queue_us":%s,"load_us":%s,"infer_us":%s}}`,
+			name, ts, dur, s.Cell, s.Ord,
+			s.ReqID, s.Function, s.Hit, s.FalseMiss, s.ExpectHit, s.Parked, s.O3Skips,
+			usec(s.Dispatched-s.Arrival), usec(s.LoadTime), usec(s.InferTime))
+		if s.LoadTime > 0 {
+			emit(`{"name":"load","ph":"X","ts":%s,"dur":%s,"pid":%d,"tid":%d,"args":{"req":%d,"model":%q}}`,
+				ts, usec(s.LoadTime), s.Cell, s.Ord, s.ReqID, s.Model)
+		}
+	}
+	fmt.Fprint(bw, "\n],\"displayTimeUnit\":\"ms\"}\n")
+	return bw.Flush()
+}
+
+// usec renders a sim duration as trace-event microseconds with fixed
+// nanosecond precision (sim time is integer nanoseconds, so three
+// decimals is exact — no floating-point formatting in the output).
+func usec(d time.Duration) string {
+	n := int64(d)
+	return fmt.Sprintf("%d.%03d", n/1000, n%1000)
+}
