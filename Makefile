@@ -7,6 +7,7 @@
 #   experiments job -> bench-smoke ci-snapshot elasticity-smoke
 #                      heterogeneity-smoke scale-smoke cells-smoke
 #                      cells-determinism obs-smoke obs-determinism
+#                      overload-smoke
 #
 # (bench-regress and vuln stay advisory in both places.)
 
@@ -15,7 +16,7 @@ GO ?= go
 # Hot-path benchmarks compared by bench-save / bench-compare.
 BENCH_PATTERN ?= BenchmarkEngineFire|BenchmarkEngineCancel|BenchmarkScheduleDecision|BenchmarkScheduleRound1024|BenchmarkStreamingReplay|BenchmarkRouterRoute|BenchmarkMultiCellReplay
 
-.PHONY: all build test race vet fmt fmt-check bench bench-smoke snapshot ci-snapshot elasticity-smoke heterogeneity-smoke scale-smoke cells-smoke cells-determinism obs-smoke obs-determinism bench-save bench-compare bench-regress vuln ci
+.PHONY: all build test race vet fmt fmt-check bench bench-smoke snapshot ci-snapshot elasticity-smoke heterogeneity-smoke scale-smoke cells-smoke cells-determinism obs-smoke obs-determinism overload-smoke bench-save bench-compare bench-regress vuln ci
 
 all: build
 
@@ -105,6 +106,12 @@ obs-determinism: obs-smoke
 	cmp /tmp/gpufaas_obs_w1.trace.json BENCH_obs.trace.json
 	@echo "observability determinism gate: snapshot and trace byte-identical across worker counts"
 
+# Short-mode overload benchmark (live serving path past saturation,
+# admission control on vs off), mirrored in CI as the "overload smoke"
+# step. Wall-clock rows: never part of the determinism gates.
+overload-smoke:
+	$(GO) run ./cmd/faas-bench -exp overload -short -json BENCH_overload.json
+
 # Record the hot-path benchmarks for later comparison: the previous
 # recording rotates to bench_old.txt, so the workflow is
 #   make bench-save            # on the old commit
@@ -147,4 +154,4 @@ bench-regress:
 vuln:
 	-$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...
 
-ci: fmt-check vet build race bench-smoke ci-snapshot elasticity-smoke heterogeneity-smoke scale-smoke cells-smoke cells-determinism obs-smoke obs-determinism
+ci: fmt-check vet build race bench-smoke ci-snapshot elasticity-smoke heterogeneity-smoke scale-smoke cells-smoke cells-determinism obs-smoke obs-determinism overload-smoke

@@ -6,6 +6,14 @@
 // runners are noisy; the threshold is deliberately loose to only catch
 // step-function regressions (a lost pooling path, a reintroduced
 // per-event allocation), not scheduling jitter.
+//
+// When both snapshots carry overload rows (faas-bench -exp overload),
+// the shedding-on phase is compared too: served-latency p99 and goodput
+// against the baseline, plus allocs/op. The overload threshold is wider
+// than the hotpath one — these are live wall-clock measurements — so
+// only a step change (shedding stopped bounding the tail, goodput
+// collapsed) trips it. Snapshots without overload rows skip the
+// comparison silently.
 package main
 
 import (
@@ -21,7 +29,8 @@ type snapshot struct {
 }
 
 type experiment struct {
-	Hotpath []hotpathRow `json:"hotpath"`
+	Hotpath  []hotpathRow  `json:"hotpath"`
+	Overload []overloadRow `json:"overload"`
 }
 
 type hotpathRow struct {
@@ -30,46 +39,59 @@ type hotpathRow struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
-func load(path string) (map[string]hotpathRow, error) {
+type overloadRow struct {
+	Name        string  `json:"name"`
+	Shedding    bool    `json:"shedding"`
+	GoodputRPS  float64 `json:"goodput_rps"`
+	P99Ms       float64 `json:"p99_ms"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+func load(path string) (map[string]hotpathRow, map[string]overloadRow, error) {
 	buf, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var snap snapshot
 	if err := json.Unmarshal(buf, &snap); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
 	}
 	if snap.Schema != "gpufaas-bench/v1" {
-		return nil, fmt.Errorf("%s: unexpected schema %q", path, snap.Schema)
+		return nil, nil, fmt.Errorf("%s: unexpected schema %q", path, snap.Schema)
 	}
 	rows := make(map[string]hotpathRow)
+	over := make(map[string]overloadRow)
 	for _, exp := range snap.Experiments {
 		for _, r := range exp.Hotpath {
 			rows[r.Name] = r
 		}
+		for _, r := range exp.Overload {
+			over[r.Name] = r
+		}
 	}
-	return rows, nil
+	return rows, over, nil
 }
 
 func main() {
 	threshold := flag.Float64("threshold", 1.5, "fail when current ns/op exceeds baseline by this factor")
+	overThreshold := flag.Float64("overload-threshold", 3.0, "fail when the shedding-on overload p99 exceeds baseline by this factor, or goodput drops below baseline divided by it")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchregress [-threshold 1.5] baseline.json current.json")
+		fmt.Fprintln(os.Stderr, "usage: benchregress [-threshold 1.5] [-overload-threshold 3.0] baseline.json current.json")
 		os.Exit(2)
 	}
-	base, err := load(flag.Arg(0))
+	base, baseOver, err := load(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchregress: %v\n", err)
 		os.Exit(2)
 	}
-	cur, err := load(flag.Arg(1))
+	cur, curOver, err := load(flag.Arg(1))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchregress: %v\n", err)
 		os.Exit(2)
 	}
-	if len(base) == 0 {
-		fmt.Println("benchregress: baseline has no hotpath rows; nothing to compare")
+	if len(base) == 0 && len(baseOver) == 0 {
+		fmt.Println("benchregress: baseline has no hotpath or overload rows; nothing to compare")
 		return
 	}
 	regressed := false
@@ -92,6 +114,33 @@ func main() {
 		}
 		fmt.Printf("%s %-26s baseline %10.1f ns/op  current %10.1f ns/op  (%.2fx)  allocs %d -> %d\n",
 			status, name, b.NsPerOp, c.NsPerOp, ratio, b.AllocsPerOp, c.AllocsPerOp)
+	}
+	// Overload comparison: only the shedding-on phase gates — it is the
+	// claim the admission work makes (bounded tail, goodput plateau at
+	// capacity). The shedding-off divergence row is context, not a
+	// target: its p99 is SUPPOSED to be terrible.
+	for name, b := range baseOver {
+		c, ok := curOver[name]
+		if !ok || !b.Shedding {
+			continue
+		}
+		p99Ratio := c.P99Ms / b.P99Ms
+		goodRatio := b.GoodputRPS / c.GoodputRPS
+		allocRatio := c.AllocsPerOp / b.AllocsPerOp
+		status := "ok      "
+		switch {
+		case p99Ratio > *overThreshold:
+			status = "REGRESS "
+			regressed = true
+		case goodRatio > *overThreshold:
+			status = "GOODPUT "
+			regressed = true
+		case allocRatio > *overThreshold:
+			status = "ALLOCS  "
+			regressed = true
+		}
+		fmt.Printf("%s %-26s p99 %8.1f -> %8.1f ms (%.2fx)  goodput %8.1f -> %8.1f rps  allocs/op %6.1f -> %6.1f\n",
+			status, name, b.P99Ms, c.P99Ms, p99Ratio, b.GoodputRPS, c.GoodputRPS, b.AllocsPerOp, c.AllocsPerOp)
 	}
 	if regressed {
 		fmt.Println("benchregress: hot-path regression detected (advisory)")

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	faas-bench [-exp all|table1|fig4|fig7|cachepolicy|scaling|elasticity|heterogeneity|scale|cells|obs|hotpath]
+//	faas-bench [-exp all|table1|fig4|fig7|cachepolicy|scaling|elasticity|heterogeneity|scale|cells|obs|hotpath|overload]
 //	           [-workers N] [-short] [-json BENCH_baseline.json] [-det-json canon.json] [-v]
 //	           [-trace trace.json]
 //	           [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
@@ -33,6 +33,12 @@
 // which renders them as Chrome trace-event JSON for Perfetto /
 // chrome://tracing — requires `-exp obs`. The trace is deterministic:
 // byte-identical at any worker count (CI diffs it too).
+//
+// The `overload` experiment is also explicit-only, for the opposite
+// reason: it is the one experiment that measures the LIVE serving path
+// with wall-clock goroutines (open-loop arrivals past saturation,
+// admission control on vs off), so its rows are real time measurements
+// — excluded from `-exp all` and from every determinism gate.
 package main
 
 import (
@@ -78,6 +84,7 @@ type expResult struct {
 	Cells         []experiments.CellRow          `json:"cells,omitempty"`
 	Obs           []experiments.ObsRow           `json:"obs,omitempty"`
 	Hotpath       []experiments.HotpathRow       `json:"hotpath,omitempty"`
+	Overload      []experiments.OverloadRow      `json:"overload,omitempty"`
 }
 
 // canonicalize deep-copies a snapshot with every field that legitimately
@@ -115,7 +122,7 @@ func main() {
 }
 
 func benchMain() int {
-	exp := flag.String("exp", "all", "experiment to run: all|table1|fig4|fig7|cachepolicy|scaling|elasticity|heterogeneity|scale|cells|obs|hotpath (cells and obs are not part of all)")
+	exp := flag.String("exp", "all", "experiment to run: all|table1|fig4|fig7|cachepolicy|scaling|elasticity|heterogeneity|scale|cells|obs|hotpath|overload (cells, obs and overload are not part of all)")
 	workers := flag.Int("workers", 0, "concurrent experiment runs (0 = GOMAXPROCS)")
 	short := flag.Bool("short", false, "shrink long experiments (elasticity/heterogeneity run the 6-minute traces; scale drops the 1024-GPU and hour-long cells; the cell sweep caps at 4096 GPUs; obs halves the trace)")
 	jsonPath := flag.String("json", "", "write a BENCH_*.json snapshot to this path")
@@ -129,9 +136,9 @@ func benchMain() int {
 	flag.Parse()
 
 	switch *exp {
-	case "all", "table1", "fig4", "fig7", "cachepolicy", "scaling", "elasticity", "heterogeneity", "scale", "cells", "obs", "hotpath":
+	case "all", "table1", "fig4", "fig7", "cachepolicy", "scaling", "elasticity", "heterogeneity", "scale", "cells", "obs", "hotpath", "overload":
 	default:
-		fmt.Fprintf(os.Stderr, "faas-bench: unknown experiment %q (want all|table1|fig4|fig7|cachepolicy|scaling|elasticity|heterogeneity|scale|cells|obs|hotpath)\n", *exp)
+		fmt.Fprintf(os.Stderr, "faas-bench: unknown experiment %q (want all|table1|fig4|fig7|cachepolicy|scaling|elasticity|heterogeneity|scale|cells|obs|hotpath|overload)\n", *exp)
 		os.Exit(2)
 	}
 	if *tracePath != "" && *exp != "obs" {
@@ -339,6 +346,19 @@ func benchMain() int {
 			traceSpans = spans
 			experiments.WriteObsTable(os.Stdout, rows)
 			return expResult{Obs: rows, Runs: len(rows)}, nil
+		})
+	}
+	// Explicit-only like cells/obs, but for the opposite reason: these
+	// rows are wall-clock measurements of the live serving path, so
+	// they must never feed the determinism gates.
+	if *exp == "overload" {
+		run("overload", "Overload — live gateway past saturation, admission control on vs off", func() (expResult, error) {
+			rows, err := experiments.OverloadSweep(*short)
+			if err != nil {
+				return expResult{}, err
+			}
+			experiments.WriteOverloadTable(os.Stdout, rows)
+			return expResult{Overload: rows, Runs: len(rows)}, nil
 		})
 	}
 	run("hotpath", "Hot path — engine fire / scheduler decision microbenchmarks", func() (expResult, error) {

@@ -44,16 +44,34 @@ func main() {
 	asP95 := flag.Duration("autoscale-p95", 2*time.Second, "tiered policy p95 objective (wall time, after -timescale)")
 	cells := flag.Int("cells", 1, "shard the fleet into N independent cells behind the front-door router")
 	cellRouter := flag.String("cell-router", "", "front-door policy for -cells > 1: hash|affinity|leastload (default hash)")
+	admitConc := flag.Int("admit-concurrent", 0, "per-cell concurrent-invocation limit; 0 disables admission control and load shedding")
+	admitQueue := flag.Int("admit-queue", 0, "bounded admission queue depth per cell (with -admit-concurrent)")
+	admitWait := flag.Duration("admit-wait", 100*time.Millisecond, "admission deadline: queued invocations that cannot start in time are shed with 429")
+	tenantRate := flag.Float64("tenant-rate", 0, "per-tenant sustained invocations/sec (token bucket; 0 = off, needs -admit-concurrent)")
+	tenantBurst := flag.Float64("tenant-burst", 0, "per-tenant token-bucket burst (default max(rate, 1))")
+	maxBody := flag.Int64("max-body-bytes", 64<<20, "invocation body cap; larger requests get 413")
 	flag.Parse()
 
 	cfg := faas.GatewayConfig{
-		Policy:      *policy,
-		O3Limit:     *o3limit,
-		Nodes:       *nodes,
-		GPUsPerNode: *gpus,
-		TimeScale:   *timescale,
-		Cells:       *cells,
-		CellRouter:  *cellRouter,
+		Policy:       *policy,
+		O3Limit:      *o3limit,
+		Nodes:        *nodes,
+		GPUsPerNode:  *gpus,
+		TimeScale:    *timescale,
+		Cells:        *cells,
+		CellRouter:   *cellRouter,
+		MaxBodyBytes: *maxBody,
+	}
+	if *admitConc > 0 {
+		cfg.Admission = &faas.AdmissionConfig{
+			MaxConcurrent: *admitConc,
+			QueueDepth:    *admitQueue,
+			MaxWait:       *admitWait,
+			TenantRate:    *tenantRate,
+			TenantBurst:   *tenantBurst,
+		}
+	} else if *tenantRate > 0 {
+		log.Fatal("faas-gateway: -tenant-rate requires -admit-concurrent > 0")
 	}
 	gpuCount := *nodes * *gpus
 	if *fleet != "" {

@@ -1,13 +1,30 @@
-// Command loadgen replays a trace-shaped workload against a live GPU-FaaS
-// gateway over HTTP: it deploys one GPU-enabled function per working-set
-// rank, then issues the per-minute invocation mix at a configurable
-// speedup, printing per-function hit/miss latency statistics at the end.
-// It is the live-path analogue of the simulated experiment harness.
+// Command loadgen drives a live GPU-FaaS gateway over HTTP in one of
+// two modes.
+//
+// Replay (default) replays a trace-shaped workload: it deploys one
+// GPU-enabled function per working-set rank, then issues the per-minute
+// invocation mix at a configurable speedup, printing per-function
+// hit/miss latency statistics at the end. It is the live-path analogue
+// of the simulated experiment harness.
+//
+// Overload (-mode overload) is the load-shedding harness: a closed-loop
+// calibration phase measures the gateway's capacity, then open-loop
+// phases ramp the offered rate past it (each phase multiplies the rate
+// by -rps-factor). Arrivals are paced by the wall clock and never wait
+// for completions — the regime where a closed-loop generator silently
+// self-throttles. Each phase reports offered vs goodput, the 429 shed
+// count (pair with -admit-concurrent on the gateway; without admission
+// control the tail diverges instead), served-latency p50/p95/p99 and
+// the generator's own runtime.MemStats telemetry. -json writes the
+// phase rows machine-readably.
 //
 // Usage:
 //
 //	faas-gateway -timescale 0.001 &
 //	loadgen -gateway http://localhost:8080 -ws 15 -minutes 1 -rpm 60 -speedup 60
+//
+//	faas-gateway -timescale 0.1 -admit-concurrent 8 -admit-queue 16 &
+//	loadgen -mode overload -phases 3 -rps-factor 2 -phase-seconds 5
 package main
 
 import (
@@ -18,8 +35,10 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gpufaas/internal/experiments"
@@ -30,18 +49,47 @@ import (
 
 func main() {
 	gateway := flag.String("gateway", "http://localhost:8080", "gateway base URL")
-	ws := flag.Int("ws", 15, "working-set size (functions)")
-	minutes := flag.Int("minutes", 1, "trace minutes to replay")
-	rpm := flag.Int("rpm", 60, "requests per minute after normalization")
-	speedup := flag.Float64("speedup", 60, "replay speedup over trace time")
-	seed := flag.Int64("seed", 1, "workload seed")
+	mode := flag.String("mode", "replay", "replay (trace-shaped workload) or overload (closed-loop calibration + open-loop RPS ramp)")
+	ws := flag.Int("ws", 15, "working-set size (functions) [replay]")
+	minutes := flag.Int("minutes", 1, "trace minutes to replay [replay]")
+	rpm := flag.Int("rpm", 60, "requests per minute after normalization [replay]")
+	speedup := flag.Float64("speedup", 60, "replay speedup over trace time [replay]")
+	seed := flag.Int64("seed", 1, "workload seed [replay]")
+	fn := flag.String("fn", "overload-fn", "function to hammer [overload]")
+	model := flag.String("model", "resnet18", "model for -fn if it needs deploying [overload]")
+	batch := flag.Int("batch", 1, "batch size for -fn if it needs deploying [overload]")
+	concurrency := flag.Int("concurrency", 8, "closed-loop calibration workers [overload]")
+	calibSec := flag.Float64("calibrate-seconds", 2, "closed-loop calibration window [overload]")
+	phases := flag.Int("phases", 3, "open-loop phases [overload]")
+	phaseSec := flag.Float64("phase-seconds", 3, "seconds per open-loop phase [overload]")
+	rpsStart := flag.Float64("rps-start", 0, "first phase's offered rate (0 = the calibrated capacity) [overload]")
+	rpsFactor := flag.Float64("rps-factor", 2, "offered-rate multiplier between phases [overload]")
+	tenant := flag.String("tenant", "", "X-Tenant header value (exercises per-tenant token buckets) [overload]")
+	jsonPath := flag.String("json", "", "write the overload phase rows as JSON to this path [overload]")
 	flag.Parse()
 
-	if err := run(*gateway, *ws, *minutes, *rpm, *speedup, *seed); err != nil {
+	var err error
+	switch *mode {
+	case "replay":
+		err = run(*gateway, *ws, *minutes, *rpm, *speedup, *seed)
+	case "overload":
+		err = runOverload(overloadParams{
+			gateway: *gateway, fn: *fn, model: *model, batch: *batch,
+			concurrency: *concurrency, calibrate: secs(*calibSec),
+			phases: *phases, phaseDur: secs(*phaseSec),
+			rpsStart: *rpsStart, rpsFactor: *rpsFactor,
+			tenant: *tenant, jsonPath: *jsonPath,
+		})
+	default:
+		err = fmt.Errorf("unknown mode %q (want replay or overload)", *mode)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
 		os.Exit(1)
 	}
 }
+
+func secs(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
 
 func run(gateway string, ws, minutes, rpm int, speedup float64, seed int64) error {
 	if speedup <= 0 {
@@ -144,6 +192,199 @@ func run(gateway string, ws, minutes, rpm int, speedup float64, seed int64) erro
 	if total > 0 {
 		fmt.Printf("\noverall: %d requests, miss ratio %.3f, wall %v\n",
 			total, float64(misses)/float64(total), time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+// overloadParams configures the overload harness.
+type overloadParams struct {
+	gateway, fn, model, tenant, jsonPath string
+	batch, concurrency, phases           int
+	calibrate, phaseDur                  time.Duration
+	rpsStart, rpsFactor                  float64
+}
+
+// phaseRow is one harness phase, printed as a table row and exported by
+// -json.
+type phaseRow struct {
+	Phase       string  `json:"phase"`
+	OfferedRPS  float64 `json:"offered_rps"`
+	DurationSec float64 `json:"duration_sec"`
+	Sent        int64   `json:"sent"`
+	Served      int64   `json:"served"`
+	Shed        int64   `json:"shed"`
+	Errors      int64   `json:"errors"`
+	GoodputRPS  float64 `json:"goodput_rps"`
+	P50Ms       float64 `json:"p50_ms"`
+	P95Ms       float64 `json:"p95_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	MaxMs       float64 `json:"max_ms"`
+	// Generator-side allocation telemetry (runtime.MemStats deltas):
+	// heap allocations per sent request and the net heap growth.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	HeapDeltaMB float64 `json:"heap_delta_mb"`
+}
+
+// phaseAgg accumulates one phase's outcomes across request goroutines.
+type phaseAgg struct {
+	mu     sync.Mutex
+	latsMs []float64
+	served atomic.Int64
+	shed   atomic.Int64
+	errs   atomic.Int64
+}
+
+// hit fires one invocation and files the outcome: 2xx served, 429 shed,
+// anything else (including transport errors) an error.
+func (pa *phaseAgg) hit(client *http.Client, url, tenant string) {
+	t0 := time.Now()
+	req, err := http.NewRequest(http.MethodPost, url, nil)
+	if err != nil {
+		pa.errs.Add(1)
+		return
+	}
+	if tenant != "" {
+		req.Header.Set("X-Tenant", tenant)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		pa.errs.Add(1)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	latMs := float64(time.Since(t0)) / float64(time.Millisecond)
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		pa.served.Add(1)
+		pa.mu.Lock()
+		pa.latsMs = append(pa.latsMs, latMs)
+		pa.mu.Unlock()
+	case resp.StatusCode == http.StatusTooManyRequests:
+		pa.shed.Add(1)
+	default:
+		pa.errs.Add(1)
+	}
+}
+
+// row folds the aggregate into a phase row.
+func (pa *phaseAgg) row(name string, offered float64, dur, elapsed time.Duration, sent int64) phaseRow {
+	r := phaseRow{
+		Phase: name, OfferedRPS: offered, DurationSec: dur.Seconds(),
+		Sent: sent, Served: pa.served.Load(), Shed: pa.shed.Load(), Errors: pa.errs.Load(),
+		GoodputRPS: float64(pa.served.Load()) / elapsed.Seconds(),
+	}
+	pa.mu.Lock()
+	defer pa.mu.Unlock()
+	sort.Float64s(pa.latsMs)
+	if n := len(pa.latsMs); n > 0 {
+		at := func(q float64) float64 { return pa.latsMs[int(q*float64(n-1))] }
+		r.P50Ms, r.P95Ms, r.P99Ms, r.MaxMs = at(0.50), at(0.95), at(0.99), pa.latsMs[n-1]
+	}
+	return r
+}
+
+// runOverload deploys the target function if needed, calibrates
+// capacity in closed loop, then ramps open-loop phases past it.
+func runOverload(p overloadParams) error {
+	if p.phases < 1 || p.rpsFactor <= 0 || p.concurrency < 1 {
+		return fmt.Errorf("need phases >= 1, rps-factor > 0, concurrency >= 1")
+	}
+	spec := faas.FunctionSpec{Name: p.fn, GPUEnabled: true, Model: p.model, BatchSize: p.batch}
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(p.gateway+"/system/functions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusConflict {
+		return fmt.Errorf("deploy %s: %s", p.fn, resp.Status)
+	}
+	url := p.gateway + "/function/" + p.fn
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 4 * p.concurrency}}
+
+	// Closed loop: a fixed worker pool, each firing as fast as the
+	// gateway completes. Its sustained rate is the capacity estimate
+	// that anchors the ramp.
+	var calib phaseAgg
+	var sent atomic.Int64
+	deadline := time.Now().Add(p.calibrate)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < p.concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				sent.Add(1)
+				calib.hit(client, url, p.tenant)
+			}
+		}()
+	}
+	wg.Wait()
+	rows := []phaseRow{calib.row("closed_loop", 0, p.calibrate, time.Since(start), sent.Load())}
+	if rows[0].Served == 0 {
+		return fmt.Errorf("calibration served nothing (errors=%d); is the gateway up?", rows[0].Errors)
+	}
+
+	rps := p.rpsStart
+	if rps <= 0 {
+		rps = rows[0].GoodputRPS
+	}
+	for i := 0; i < p.phases; i++ {
+		var pa phaseAgg
+		var sent int64
+		interval := time.Duration(float64(time.Second) / rps)
+
+		runtime.GC()
+		var m0 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+
+		start := time.Now()
+		var wg sync.WaitGroup
+		for next := start; time.Since(start) < p.phaseDur; next = next.Add(interval) {
+			// Open loop: sleep to the schedule; when late, fire
+			// immediately rather than quietly lowering the offered rate.
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+			sent++
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				pa.hit(client, url, p.tenant)
+			}()
+		}
+		wg.Wait() // drain: backlogged requests' latencies belong to this phase
+
+		var m1 runtime.MemStats
+		runtime.ReadMemStats(&m1)
+
+		row := pa.row(fmt.Sprintf("open_loop_%d", i+1), rps, p.phaseDur, time.Since(start), sent)
+		row.AllocsPerOp = float64(m1.Mallocs-m0.Mallocs) / float64(sent)
+		row.HeapDeltaMB = (float64(m1.HeapAlloc) - float64(m0.HeapAlloc)) / (1 << 20)
+		rows = append(rows, row)
+		rps *= p.rpsFactor
+	}
+
+	fmt.Printf("%-14s %8s %7s %7s %6s %5s %9s %8s %8s %8s %9s\n",
+		"phase", "offered", "sent", "served", "shed", "err", "goodput", "p50(ms)", "p95(ms)", "p99(ms)", "allocs/op")
+	for _, r := range rows {
+		fmt.Printf("%-14s %8.1f %7d %7d %6d %5d %9.1f %8.1f %8.1f %8.1f %9.1f\n",
+			r.Phase, r.OfferedRPS, r.Sent, r.Served, r.Shed, r.Errors,
+			r.GoodputRPS, r.P50Ms, r.P95Ms, r.P99Ms, r.AllocsPerOp)
+	}
+	if p.jsonPath != "" {
+		buf, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			return err
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(p.jsonPath, buf, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", p.jsonPath)
 	}
 	return nil
 }

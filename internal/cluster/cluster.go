@@ -67,6 +67,11 @@ type Config struct {
 	// OnResult is called after each completion, outside metric
 	// bookkeeping; may be nil.
 	OnResult func(gpumgr.Result)
+	// OnDrop is called when a dispatched request fails to execute and
+	// is dropped (per-tenant quota, impossible model); may be nil. The
+	// live gateway uses it to fail the waiting invocation immediately
+	// instead of letting it ride out the invoke timeout.
+	OnDrop func(id int64, err error)
 	// Autoscale, when non-nil, attaches a policy-driven autoscaler that
 	// provisions/decommissions GPUs at (simulated or wall) time. In
 	// simulated-time mode Autoscale.Horizon must be set, or the
@@ -179,6 +184,7 @@ type Cluster struct {
 	lastFinish sim.Time
 	topModel   string
 	onResult   func(gpumgr.Result)
+	onDrop     func(id int64, err error)
 
 	// stream is the active streaming replay (RunWorkloadStream); nil on
 	// the materialized and live paths. While set, completed requests are
@@ -285,6 +291,7 @@ func New(cfg Config) (*Cluster, error) {
 		latencies:     stats.NewSample(4096),
 		perModel:      make(map[string]*stats.Welford),
 		onResult:      cfg.OnResult,
+		onDrop:        cfg.OnDrop,
 	}
 	if cfg.Clock == nil {
 		c.engine = sim.New()
@@ -1149,6 +1156,9 @@ func (c *Cluster) runScheduler(now sim.Time) {
 			c.tracer.Drop(d.Req.ID)
 			if c.stream != nil {
 				c.stream.release(d.Req.ID)
+			}
+			if c.onDrop != nil {
+				c.onDrop(d.Req.ID, err)
 			}
 		} else if c.seriesRec != nil {
 			c.obsInFlight++

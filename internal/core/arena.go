@@ -1,12 +1,14 @@
 package core
 
 // RequestArena recycles Request objects through a free list so that a
-// streaming workload replay allocates proportionally to the number of
-// requests in flight, not to the trace length: the harness takes a
-// Request per arrival and returns it once the request completes (or
-// fails to dispatch). The arena is not safe for concurrent use; the
-// simulated-time harness is single-threaded and the live path does not
-// pool.
+// workload allocates proportionally to the number of requests in
+// flight, not to the request count: the caller takes a Request per
+// arrival and returns it once the request completes (or fails to
+// dispatch). The arena itself is not safe for concurrent use — each
+// owner brings its own serialization: the simulated-time streaming
+// harness is single-threaded, and the live gateway's inference client
+// guards its arena with the same lock that orders its waiter map
+// (acquire at admission, release from the completion/drop hooks).
 type RequestArena struct {
 	free  []*Request
 	stats ArenaStats

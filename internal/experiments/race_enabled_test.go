@@ -1,0 +1,9 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector is compiled in. Wall-clock
+// performance tests skip under it: the instrumentation slows the real CPU
+// work enough that an in-process load generator can no longer outrun the
+// server, so overload never builds and the assertions are meaningless.
+const raceEnabled = true

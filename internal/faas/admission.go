@@ -1,0 +1,312 @@
+package faas
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// AdmissionConfig bounds the live invocation path. With admission
+// enabled the gateway holds at most MaxConcurrent invocations per cell
+// in flight, queues at most QueueDepth more, and sheds the rest with
+// 429 + Retry-After instead of letting the cluster queue (and p99) grow
+// without bound. TenantRate adds per-tenant token buckets on top,
+// reusing the paper's §VI per-tenant quota semantics at the front door.
+type AdmissionConfig struct {
+	// MaxConcurrent is the per-cell concurrent-invocation limit
+	// (required, > 0). Sizing it at the cell's GPU count keeps the
+	// in-cluster queue near zero, so served-request latency stays at
+	// service time plus bounded admission wait.
+	MaxConcurrent int
+	// QueueDepth bounds how many admitted-but-waiting invocations a
+	// cell may hold (0: no queue — shed as soon as the concurrency
+	// limit is hit).
+	QueueDepth int
+	// MaxWait is the admission deadline: a request that cannot start
+	// within MaxWait — estimated from the queue length and the EWMA
+	// service time, or discovered by actually waiting — is shed with
+	// reason "deadline". Default 100ms.
+	MaxWait time.Duration
+	// TenantRate enables per-tenant token buckets: sustained
+	// invocations per second per tenant (0 disables). The tenant is the
+	// X-Tenant header when present, else the function spec's Tenant
+	// (the empty tenant shares one anonymous bucket).
+	TenantRate float64
+	// TenantBurst is the bucket capacity (default max(TenantRate, 1)).
+	TenantBurst float64
+}
+
+func (c *AdmissionConfig) normalize() error {
+	if c.MaxConcurrent <= 0 {
+		return fmt.Errorf("faas: admission needs MaxConcurrent > 0, got %d", c.MaxConcurrent)
+	}
+	if c.QueueDepth < 0 {
+		return fmt.Errorf("faas: negative admission queue depth %d", c.QueueDepth)
+	}
+	if c.MaxWait < 0 {
+		return fmt.Errorf("faas: negative admission max wait %v", c.MaxWait)
+	}
+	if c.MaxWait == 0 {
+		c.MaxWait = 100 * time.Millisecond
+	}
+	if c.TenantRate < 0 {
+		return fmt.Errorf("faas: negative tenant rate %g", c.TenantRate)
+	}
+	if c.TenantBurst == 0 {
+		c.TenantBurst = c.TenantRate
+		if c.TenantBurst < 1 {
+			c.TenantBurst = 1
+		}
+	}
+	if c.TenantBurst < 1 {
+		return fmt.Errorf("faas: tenant burst %g < 1 can never admit", c.TenantBurst)
+	}
+	return nil
+}
+
+// Shed reasons, indexed into the per-cell counters.
+const (
+	shedQueueFull = iota
+	shedDeadline
+	shedTenant
+	nShedReasons
+)
+
+var shedReasonNames = [nShedReasons]string{"queue_full", "deadline", "tenant_quota"}
+
+// ShedError reports a load-shedding rejection. The HTTP layer maps it
+// to 429 Too Many Requests with a Retry-After header.
+type ShedError struct {
+	// Reason is "queue_full", "deadline" or "tenant_quota".
+	Reason string
+	// RetryAfter estimates when retrying could succeed (queue drain
+	// time, or the tenant bucket's next-token time).
+	RetryAfter time.Duration
+}
+
+func (e *ShedError) Error() string {
+	return "faas: request shed (" + e.Reason + "), retry after " + e.RetryAfter.String()
+}
+
+// admission is the gateway's load shedder: one bounded queue +
+// concurrency limit per cell, plus the shared tenant buckets.
+type admission struct {
+	cfg     AdmissionConfig
+	cells   []*cellAdmission
+	tenants sync.Map // tenant name -> *tokenBucket
+}
+
+// cellAdmission is one cell's admission state. Everything on the
+// admit/release fast path is a channel op or an atomic: concurrent
+// invocations never take a lock here.
+type cellAdmission struct {
+	cfg    *AdmissionConfig
+	slots  chan struct{} // buffered MaxConcurrent; holding a token = in flight
+	queued atomic.Int64  // waiters currently parked in admit
+	shed   [nShedReasons]atomic.Int64
+	// ewmaNs tracks service time (admit -> release) as an EWMA in
+	// nanoseconds; the deadline estimator uses it to shed requests that
+	// cannot start in time without making them wait to find out.
+	ewmaNs atomic.Int64
+}
+
+func newAdmission(cfg AdmissionConfig, cells int) (*admission, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	a := &admission{cfg: cfg, cells: make([]*cellAdmission, cells)}
+	for i := range a.cells {
+		a.cells[i] = &cellAdmission{
+			cfg:   &a.cfg,
+			slots: make(chan struct{}, cfg.MaxConcurrent),
+		}
+	}
+	return a, nil
+}
+
+// admit gates one invocation on cell's queue and the tenant's bucket.
+// On success the caller owns a concurrency slot and must call
+// release(start) when the invocation finishes. The fast path (token
+// available, slot free) performs no allocation and takes no lock.
+func (a *admission) admit(cell int, tenant string) (*cellAdmission, error) {
+	c := a.cells[cell]
+	if a.cfg.TenantRate > 0 {
+		if wait := a.takeToken(tenant); wait > 0 {
+			c.shed[shedTenant].Add(1)
+			return nil, &ShedError{Reason: shedReasonNames[shedTenant], RetryAfter: wait}
+		}
+	}
+	select {
+	case c.slots <- struct{}{}:
+		return c, nil
+	default:
+	}
+	// Concurrency limit hit: queue if there is room AND the wait
+	// estimate says a slot can free up before the deadline.
+	n := c.queued.Add(1)
+	if int(n) > a.cfg.QueueDepth {
+		c.queued.Add(-1)
+		c.shed[shedQueueFull].Add(1)
+		return nil, &ShedError{Reason: shedReasonNames[shedQueueFull], RetryAfter: c.drainEstimate(n)}
+	}
+	if est := c.startEstimate(n); est > a.cfg.MaxWait {
+		c.queued.Add(-1)
+		c.shed[shedDeadline].Add(1)
+		return nil, &ShedError{Reason: shedReasonNames[shedDeadline], RetryAfter: est}
+	}
+	t := getTimer(a.cfg.MaxWait)
+	select {
+	case c.slots <- struct{}{}:
+		c.queued.Add(-1)
+		putTimer(t)
+		return c, nil
+	case <-t.C:
+		c.queued.Add(-1)
+		c.shed[shedDeadline].Add(1)
+		putTimer(t) // fired and drained
+		return nil, &ShedError{Reason: shedReasonNames[shedDeadline], RetryAfter: c.drainEstimate(n)}
+	}
+}
+
+// release returns the concurrency slot and folds the observed service
+// time (admission to completion) into the EWMA the deadline estimator
+// reads.
+func (c *cellAdmission) release(start time.Time) {
+	obs := int64(time.Since(start))
+	prev := c.ewmaNs.Load()
+	next := obs
+	if prev > 0 {
+		// alpha = 1/8: smooth enough to ride out load-time spikes,
+		// fresh enough to track a workload shift within ~10 requests.
+		next = prev + (obs-prev)/8
+	}
+	c.ewmaNs.Store(next)
+	<-c.slots
+}
+
+// startEstimate predicts how long the n-th queued request waits for a
+// slot: slots free every ewma/MaxConcurrent on average. A cold EWMA
+// (no completions yet) estimates zero — the request queues and the
+// timer makes the deadline call.
+func (c *cellAdmission) startEstimate(n int64) time.Duration {
+	ewma := c.ewmaNs.Load()
+	return time.Duration(ewma * n / int64(c.cfg.MaxConcurrent))
+}
+
+// drainEstimate is the Retry-After hint: time for the current queue to
+// drain (at least 1ms so clients never busy-loop).
+func (c *cellAdmission) drainEstimate(n int64) time.Duration {
+	d := c.startEstimate(n)
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}
+
+// takeToken draws one token from the tenant's bucket; a positive
+// return is the shed's Retry-After (time until a token accrues).
+func (a *admission) takeToken(tenant string) time.Duration {
+	v, ok := a.tenants.Load(tenant)
+	if !ok {
+		v, _ = a.tenants.LoadOrStore(tenant, &tokenBucket{tokens: a.cfg.TenantBurst, last: time.Now()})
+	}
+	return v.(*tokenBucket).take(a.cfg.TenantRate, a.cfg.TenantBurst)
+}
+
+// tokenBucket is a classic lazily-refilled token bucket. The lock is
+// per tenant, so tenants never contend with each other.
+type tokenBucket struct {
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+}
+
+func (b *tokenBucket) take(rate, burst float64) time.Duration {
+	now := time.Now()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tokens += now.Sub(b.last).Seconds() * rate
+	if b.tokens > burst {
+		b.tokens = burst
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return 0
+	}
+	wait := time.Duration((1 - b.tokens) / rate * float64(time.Second))
+	if wait < time.Millisecond {
+		wait = time.Millisecond
+	}
+	return wait
+}
+
+// AdmissionCellStats is one cell's admission snapshot.
+type AdmissionCellStats struct {
+	Cell          int   `json:"cell"`
+	Inflight      int   `json:"inflight"`
+	Queued        int64 `json:"queued"`
+	ShedQueueFull int64 `json:"shedQueueFull"`
+	ShedDeadline  int64 `json:"shedDeadline"`
+	ShedTenant    int64 `json:"shedTenant"`
+	// EWMAServiceMs is the shedder's current service-time estimate.
+	EWMAServiceMs float64 `json:"ewmaServiceMs"`
+}
+
+// ShedTotal sums the per-reason shed counters.
+func (s AdmissionCellStats) ShedTotal() int64 {
+	return s.ShedQueueFull + s.ShedDeadline + s.ShedTenant
+}
+
+func (a *admission) stats() []AdmissionCellStats {
+	out := make([]AdmissionCellStats, len(a.cells))
+	for i, c := range a.cells {
+		out[i] = AdmissionCellStats{
+			Cell:          i,
+			Inflight:      len(c.slots),
+			Queued:        c.queued.Load(),
+			ShedQueueFull: c.shed[shedQueueFull].Load(),
+			ShedDeadline:  c.shed[shedDeadline].Load(),
+			ShedTenant:    c.shed[shedTenant].Load(),
+			EWMAServiceMs: float64(c.ewmaNs.Load()) / 1e6,
+		}
+	}
+	return out
+}
+
+// ---- shared timer pool ----
+//
+// Both the admission queue and the inference client wait with a
+// deadline on their hot paths; pooling the timers keeps those paths
+// allocation-free in steady state.
+
+var timerPool sync.Pool
+
+// getTimer returns a running timer for d. The caller must return it
+// with putTimer only once it is stopped-and-drained or has fired (and
+// its channel been received from).
+func getTimer(d time.Duration) *time.Timer {
+	if v := timerPool.Get(); v != nil {
+		t := v.(*time.Timer)
+		t.Reset(d)
+		return t
+	}
+	return time.NewTimer(d)
+}
+
+// putTimer recycles a timer whose channel is known empty. stopTimer is
+// the receive-path helper that establishes that invariant.
+func putTimer(t *time.Timer) { timerPool.Put(t) }
+
+// stopTimer stops t and drains a concurrently-delivered fire so the
+// timer is safe to pool.
+func stopTimer(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	putTimer(t)
+}

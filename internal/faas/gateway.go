@@ -1,6 +1,7 @@
 package faas
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -10,6 +11,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gpufaas/internal/autoscale"
@@ -59,6 +61,15 @@ type GatewayConfig struct {
 	// CellRouter names the front-door policy ("hash", "affinity",
 	// "leastload"); empty selects "hash".
 	CellRouter string
+	// Admission enables per-cell admission control and load shedding
+	// on the invocation path (bounded queue, deadline-aware rejection,
+	// per-tenant token buckets). Nil leaves the path unbounded — the
+	// pre-overload-work behavior, kept as the shedding-off comparison
+	// mode for the overload benchmark.
+	Admission *AdmissionConfig
+	// MaxBodyBytes caps an HTTP invocation body; larger requests get
+	// 413 Request Entity Too Large. Default 64 MiB.
+	MaxBodyBytes int64
 }
 
 // Gateway is the public route of the FaaS platform (Fig. 1): it handles
@@ -69,13 +80,40 @@ type Gateway struct {
 	store    *datastore.Store
 	infer    *InferenceClient
 	clock    sim.Clock
+	router   *multicell.Router // nil on a single-cell gateway
 
-	mu        sync.Mutex
-	watchdogs map[string]*Watchdog
-	rr        map[string]int // function -> round-robin replica cursor
+	// fns maps function name -> *liveFunction. Invoke only ever reads
+	// it; Deploy/Update/Remove publish whole entries, so concurrent
+	// invocations of different (or the same) function share no lock —
+	// the old global mutex serialized every invocation in the fleet.
+	fns          sync.Map
+	admit        *admission // nil: admission control disabled
+	maxBodyBytes int64
 	// latHists holds one request-duration histogram per cell; /metrics
 	// exposes them as gpufaas_request_duration_seconds{cell="N"}.
 	latHists []*promHistogram
+}
+
+// liveFunction is the per-function invocation state the hot path
+// touches: the watchdog, the round-robin replica cursor and the replica
+// count (both atomics — Scale publishes, Invoke consumes), and the
+// registry's stored entry whose Invocations counter Invoke bumps
+// atomically instead of taking the registry lock.
+type liveFunction struct {
+	wd       *Watchdog
+	fn       *Function
+	rr       atomic.Uint64
+	replicas atomic.Int64
+	cell     int // admission home cell (front-door ring position)
+}
+
+// replica returns the container index the cursor last selected.
+func (lf *liveFunction) replica(cursor uint64) int {
+	n := lf.replicas.Load()
+	if n <= 0 {
+		return 0
+	}
+	return int(cursor % uint64(n))
 }
 
 // NewGateway builds the gateway plus its live cluster and datastore.
@@ -166,12 +204,22 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 
 	store := datastore.New()
 	g := &Gateway{
-		registry:  NewRegistry(),
-		store:     store,
-		clock:     clock,
-		watchdogs: make(map[string]*Watchdog),
-		rr:        make(map[string]int),
-		latHists:  make([]*promHistogram, cells),
+		registry:     NewRegistry(),
+		store:        store,
+		clock:        clock,
+		maxBodyBytes: cfg.MaxBodyBytes,
+		latHists:     make([]*promHistogram, cells),
+	}
+	if g.maxBodyBytes == 0 {
+		g.maxBodyBytes = 64 << 20
+	}
+	if g.maxBodyBytes < 0 {
+		return nil, fmt.Errorf("faas: negative body limit %d", cfg.MaxBodyBytes)
+	}
+	if cfg.Admission != nil {
+		if g.admit, err = newAdmission(*cfg.Admission, cells); err != nil {
+			return nil, err
+		}
 	}
 	// One shared inference client fronts every cell: a single request-ID
 	// counter keeps datastore latency keys and waiter routing unique
@@ -204,6 +252,11 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 		}
 		cc.Sink = sink
 		cc.OnResult = onResult(i)
+		// A dropped dispatch (per-tenant GPU quota, impossible model)
+		// must fail the waiting invocation immediately — without the
+		// hook the Predict waiter would hold its arena slot until the
+		// invoke timeout.
+		cc.OnDrop = func(id int64, err error) { ic.Drop(id, err) }
 		c, err := cluster.New(cc)
 		if err != nil {
 			return nil, err
@@ -220,6 +273,7 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 			return nil, err
 		}
 	}
+	g.router = router
 	ic = NewCellInferenceClient(g.cells, router, clock, cfg.InvokeTimeout)
 	g.infer = ic
 	return g, nil
@@ -258,27 +312,62 @@ func (g *Gateway) Deploy(spec FunctionSpec) (*Function, error) {
 			return nil, fmt.Errorf("faas: model %q not in the cluster zoo", spec.Model)
 		}
 	}
-	g.mu.Lock()
-	g.watchdogs[spec.Name] = NewWatchdog(fn.Spec, g.infer, g.store, g.clock)
-	g.mu.Unlock()
+	g.publish(fn)
 	return fn, nil
 }
 
-// Invoke routes one invocation to the function's next container replica.
+// publish (re)builds the function's live invocation entry. fn must be
+// the registry's stored pointer: Invoke bumps its Invocations counter
+// atomically.
+func (g *Gateway) publish(fn *Function) {
+	lf := &liveFunction{
+		wd:   NewWatchdog(fn.Spec, g.infer, g.store, g.clock),
+		fn:   fn,
+		cell: g.homeCell(fn.Spec),
+	}
+	lf.replicas.Store(int64(len(fn.Containers)))
+	g.fns.Store(fn.Spec.Name, lf)
+}
+
+// homeCell picks the cell whose admission queue gates this function's
+// invocations: its front-door ring position (the model's for the
+// affinity router, the function's otherwise). For the leastload router
+// the live cell varies per request; the hash home is the documented
+// approximation.
+func (g *Gateway) homeCell(spec FunctionSpec) int {
+	if g.router == nil {
+		return 0
+	}
+	key := spec.Name
+	if g.infer != nil && g.infer.routerPolicyValue() == multicell.RouteAffinity && spec.Model != "" {
+		key = spec.Model
+	}
+	return g.router.Home(key)
+}
+
+// Invoke routes one invocation to the function's next container
+// replica. The hot path is lock-free: a sync.Map read, the admission
+// gate (channel + atomics), and two atomic bumps.
 func (g *Gateway) Invoke(name string, req InvokeRequest) (InvokeResponse, error) {
-	fn, err := g.registry.Get(name)
-	if err != nil {
-		return InvokeResponse{}, err
+	v, ok := g.fns.Load(name)
+	if !ok {
+		return InvokeResponse{}, fmt.Errorf("%w: %s", ErrNotFound, name)
 	}
-	g.registry.recordInvocation(name)
-	g.mu.Lock()
-	wd := g.watchdogs[name]
-	g.rr[name] = (g.rr[name] + 1) % len(fn.Containers)
-	g.mu.Unlock()
-	if wd == nil {
-		return InvokeResponse{}, fmt.Errorf("%w: %s has no watchdog", ErrNotFound, name)
+	lf := v.(*liveFunction)
+	if g.admit != nil {
+		tenant := req.Tenant
+		if tenant == "" {
+			tenant = lf.fn.Spec.Tenant
+		}
+		ca, err := g.admit.admit(lf.cell, tenant)
+		if err != nil {
+			return InvokeResponse{}, err
+		}
+		defer ca.release(time.Now())
 	}
-	return wd.Handle(req)
+	atomic.AddInt64(&lf.fn.Invocations, 1)
+	_ = lf.replica(lf.rr.Add(1)) // advance the round-robin cursor
+	return lf.wd.Handle(req)
 }
 
 // Remove deletes a function and its watchdog.
@@ -286,12 +375,36 @@ func (g *Gateway) Remove(name string) error {
 	if err := g.registry.Remove(name); err != nil {
 		return err
 	}
-	g.mu.Lock()
-	delete(g.watchdogs, name)
-	delete(g.rr, name)
-	g.mu.Unlock()
+	g.fns.Delete(name)
 	return nil
 }
+
+// Scale sets a function's replica count and publishes it to the live
+// invocation entry.
+func (g *Gateway) Scale(name string, replicas int) (*Function, error) {
+	fn, err := g.registry.Scale(name, replicas)
+	if err != nil {
+		return nil, err
+	}
+	if v, ok := g.fns.Load(name); ok {
+		v.(*liveFunction).replicas.Store(int64(replicas))
+	}
+	return fn, nil
+}
+
+// AdmissionStats reports the per-cell admission counters (nil without
+// admission control).
+func (g *Gateway) AdmissionStats() []AdmissionCellStats {
+	if g.admit == nil {
+		return nil
+	}
+	return g.admit.stats()
+}
+
+// ArenaStats reports the live request arena's counters: in steady
+// state Allocated stops at the peak in-flight count and every further
+// invocation reuses a recycled request.
+func (g *Gateway) ArenaStats() core.ArenaStats { return g.infer.ArenaStats() }
 
 // ScaledProfiles builds a profile store from the zoo's Table I times with
 // all durations multiplied by scale (live demos use scale << 1).
@@ -392,7 +505,17 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeErr(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
+	var shed *ShedError
 	switch {
+	case errors.As(err, &shed):
+		// Retry-After is delay-seconds (RFC 9110): round up so clients
+		// never retry before the hinted drain time.
+		secs := int64((shed.RetryAfter + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		status = http.StatusTooManyRequests
 	case errors.Is(err, ErrNotFound):
 		status = http.StatusNotFound
 	case errors.Is(err, ErrExists):
@@ -418,9 +541,7 @@ func (g *Gateway) handleFunctions(w http.ResponseWriter, r *http.Request) {
 		} else {
 			fn, err = g.registry.Update(spec)
 			if err == nil {
-				g.mu.Lock()
-				g.watchdogs[spec.Name] = NewWatchdog(fn.Spec, g.infer, g.store, g.clock)
-				g.mu.Unlock()
+				g.publish(fn)
 			}
 		}
 		if err != nil {
@@ -471,7 +592,7 @@ func (g *Gateway) handleScale(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 		return
 	}
-	fn, err := g.registry.Scale(name, body.Replicas)
+	fn, err := g.Scale(name, body.Replicas)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -644,18 +765,32 @@ func (g *Gateway) handleGPUs(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// bodyPool recycles invocation body buffers: the HTTP hot path reads
+// each request into a pooled buffer and returns it once the response
+// has been written (the echo handler aliases the buffer until then).
+var bodyPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 func (g *Gateway) handleInvoke(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.WriteHeader(http.StatusMethodNotAllowed)
 		return
 	}
 	name := strings.TrimPrefix(r.URL.Path, "/function/")
-	body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
-	if err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+	buf := bodyPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer bodyPool.Put(buf)
+	// MaxBytesReader (not LimitReader) so an oversized body is an
+	// explicit 413, not a silent truncation handed to the function.
+	if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, g.maxBodyBytes)); err != nil {
+		status := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeJSON(w, status, map[string]string{"error": err.Error()})
 		return
 	}
-	resp, err := g.Invoke(name, InvokeRequest{Body: body})
+	resp, err := g.Invoke(name, InvokeRequest{Body: buf.Bytes(), Tenant: r.Header.Get("X-Tenant")})
 	if err != nil {
 		writeErr(w, err)
 		return

@@ -88,6 +88,29 @@ func (g *Gateway) handlePromMetrics(w http.ResponseWriter, r *http.Request) {
 		h.write(&sb, "gpufaas_request_duration_seconds", labels)
 	}
 
+	// Admission-control series (only with admission enabled): shed
+	// counters by reason and cell, plus queue/in-flight gauges. Every
+	// reason is emitted even at zero so rate() starts from a defined
+	// origin.
+	if g.admit != nil {
+		rows := g.admit.stats()
+		fmt.Fprintf(&sb, "# HELP gpufaas_requests_shed_total Invocations rejected by admission control.\n# TYPE gpufaas_requests_shed_total counter\n")
+		for _, row := range rows {
+			cell := strconv.Itoa(row.Cell)
+			fmt.Fprintf(&sb, "gpufaas_requests_shed_total{reason=\"queue_full\",cell=%q} %d\n", cell, row.ShedQueueFull)
+			fmt.Fprintf(&sb, "gpufaas_requests_shed_total{reason=\"deadline\",cell=%q} %d\n", cell, row.ShedDeadline)
+			fmt.Fprintf(&sb, "gpufaas_requests_shed_total{reason=\"tenant_quota\",cell=%q} %d\n", cell, row.ShedTenant)
+		}
+		fmt.Fprintf(&sb, "# HELP gpufaas_admission_queue_depth Invocations waiting for an admission slot.\n# TYPE gpufaas_admission_queue_depth gauge\n")
+		for _, row := range rows {
+			fmt.Fprintf(&sb, "gpufaas_admission_queue_depth{cell=%q} %d\n", strconv.Itoa(row.Cell), row.Queued)
+		}
+		fmt.Fprintf(&sb, "# HELP gpufaas_admission_inflight Invocations holding an admission slot.\n# TYPE gpufaas_admission_inflight gauge\n")
+		for _, row := range rows {
+			fmt.Fprintf(&sb, "gpufaas_admission_inflight{cell=%q} %d\n", strconv.Itoa(row.Cell), row.Inflight)
+		}
+	}
+
 	// Per-function invocation counters.
 	fns := g.registry.List()
 	fmt.Fprintf(&sb, "# HELP gpufaas_function_invocations_total Invocations routed per function.\n# TYPE gpufaas_function_invocations_total counter\n")

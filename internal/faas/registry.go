@@ -15,6 +15,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // FunctionSpec is the deployment descriptor a user registers (the
@@ -99,7 +100,10 @@ type Container struct {
 type Function struct {
 	Spec       FunctionSpec
 	Containers []Container
-	// Invocations counts requests routed to this function.
+	// Invocations counts requests routed to this function. On the
+	// registry's stored entry the gateway bumps it with sync/atomic off
+	// the invocation hot path; readers go through Get/List, which
+	// snapshot it atomically.
 	Invocations int64
 }
 
@@ -176,6 +180,17 @@ func (r *Registry) Remove(name string) error {
 	return nil
 }
 
+// snapshot copies a stored function field by field; the invocation
+// counter is read atomically because Invoke bumps it without the
+// registry lock.
+func snapshot(fn *Function) *Function {
+	return &Function{
+		Spec:        fn.Spec,
+		Containers:  append([]Container(nil), fn.Containers...),
+		Invocations: atomic.LoadInt64(&fn.Invocations),
+	}
+}
+
 // Get fetches a function by name.
 func (r *Registry) Get(name string) (*Function, error) {
 	r.mu.RLock()
@@ -184,9 +199,7 @@ func (r *Registry) Get(name string) (*Function, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
 	}
-	cp := *fn
-	cp.Containers = append([]Container(nil), fn.Containers...)
-	return &cp, nil
+	return snapshot(fn), nil
 }
 
 // List returns all functions sorted by name.
@@ -195,9 +208,7 @@ func (r *Registry) List() []*Function {
 	defer r.mu.RUnlock()
 	out := make([]*Function, 0, len(r.byName))
 	for _, fn := range r.byName {
-		cp := *fn
-		cp.Containers = append([]Container(nil), fn.Containers...)
-		out = append(out, &cp)
+		out = append(out, snapshot(fn))
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Spec.Name < out[j].Spec.Name })
 	return out
@@ -217,19 +228,5 @@ func (r *Registry) Scale(name string, replicas int) (*Function, error) {
 	}
 	fn.Spec.Replicas = replicas
 	fn.Containers = r.containersFor(fn.Spec)
-	cp := *fn
-	cp.Containers = append([]Container(nil), fn.Containers...)
-	return &cp, nil
-}
-
-// recordInvocation bumps the function's counter; returns false if absent.
-func (r *Registry) recordInvocation(name string) bool {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	fn, ok := r.byName[name]
-	if !ok {
-		return false
-	}
-	fn.Invocations++
-	return true
+	return snapshot(fn), nil
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -30,6 +31,9 @@ type InvokeRequest struct {
 	// Images is the inference input batch; when empty, the handler
 	// draws BatchSize images from the shared evaluation pool.
 	Images []dataset.Image
+	// Tenant overrides the function spec's tenant for admission-control
+	// token buckets (the HTTP layer fills it from the X-Tenant header).
+	Tenant string
 }
 
 // InvokeResponse is a function's result.
@@ -93,17 +97,44 @@ func (w *Watchdog) Handle(req InvokeRequest) (InvokeResponse, error) {
 		if err != nil {
 			status = "error"
 		}
-		rec, _ := json.Marshal(map[string]any{
-			"function":  w.spec.Name,
-			"status":    status,
-			"wallMs":    time.Duration(w.clock.Now() - start).Milliseconds(),
-			"latencyMs": resp.TotalLatency.Milliseconds(),
-		})
-		key := fmt.Sprintf("metrics/invocations/%s/%d-%d",
-			w.spec.Name, int64(start), w.seq.Add(1))
-		w.store.Put(key, rec, 0)
+		w.record(status, start, resp.TotalLatency)
 	}
 	return resp, err
+}
+
+// recBufPool recycles the invocation-record scratch buffer; the record
+// itself is copied by datastore.Put, so the buffer is reusable the
+// moment record returns.
+var recBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 192); return &b }}
+
+// record writes the invocation metric record. The JSON is appended by
+// hand (same alphabetical key order encoding/json produced for the map
+// form) so the per-invocation cost is one key-string allocation instead
+// of a map, a Marshal and the reflect walk behind it.
+func (w *Watchdog) record(status string, start sim.Time, latency time.Duration) {
+	bp := recBufPool.Get().(*[]byte)
+	buf := (*bp)[:0]
+	buf = append(buf, "metrics/invocations/"...)
+	buf = append(buf, w.spec.Name...)
+	buf = append(buf, '/')
+	buf = strconv.AppendInt(buf, int64(start), 10)
+	buf = append(buf, '-')
+	buf = strconv.AppendInt(buf, w.seq.Add(1), 10)
+	key := string(buf)
+
+	buf = buf[:0]
+	buf = append(buf, `{"function":`...)
+	buf = strconv.AppendQuote(buf, w.spec.Name)
+	buf = append(buf, `,"latencyMs":`...)
+	buf = strconv.AppendInt(buf, latency.Milliseconds(), 10)
+	buf = append(buf, `,"status":"`...)
+	buf = append(buf, status...)
+	buf = append(buf, `","wallMs":`...)
+	buf = strconv.AppendInt(buf, time.Duration(w.clock.Now()-start).Milliseconds(), 10)
+	buf = append(buf, '}')
+	w.store.Put(key, buf, 0)
+	*bp = buf[:0]
+	recBufPool.Put(bp)
 }
 
 // handleInference is the ML-inference function body. With the GPU flag
@@ -201,16 +232,33 @@ func seedFor(model string) int64 {
 // cell: the front-door router picks the cell per Predict, and the single
 // request-ID counter keeps waiter routing and datastore latency keys
 // unique across the fleet.
+//
+// The live request path is pooled end to end: core.Request objects come
+// from a RequestArena (acquired at Predict, released when the
+// completion or drop routes back — the GPU manager copies every request
+// field into the Result at dispatch, so nothing references the object
+// after that), and the per-call outcome channels and timeout timers
+// recycle through sync.Pools. In steady state a Predict allocates
+// nothing.
 type InferenceClient struct {
 	cells   []*cluster.Cluster
 	router  *multicell.Router // nil: everything goes to cells[0]
 	clock   sim.Clock
 	timeout time.Duration
 
-	mu      sync.Mutex
-	nextID  int64
-	routed  []int64
-	waiters map[int64]chan gpumgr.Result
+	mu       sync.Mutex
+	nextID   int64
+	routed   []int64
+	waiters  map[int64]chan predictOutcome
+	inflight map[int64]*core.Request // submitted, not yet completed/dropped
+	arena    core.RequestArena       // guarded by mu: the client is the live path's serialization point
+	chPool   sync.Pool
+}
+
+// predictOutcome is what Route/Drop deliver to a waiting Predict.
+type predictOutcome struct {
+	res gpumgr.Result
+	err error
 }
 
 // NewInferenceClient wires a client to a live-mode cluster. The caller
@@ -226,12 +274,31 @@ func NewInferenceClient(c *cluster.Cluster, clock sim.Clock, timeout time.Durati
 // registered as EVERY cell's OnResult hook.
 func NewCellInferenceClient(cells []*cluster.Cluster, router *multicell.Router, clock sim.Clock, timeout time.Duration) *InferenceClient {
 	return &InferenceClient{
-		cells:   cells,
-		router:  router,
-		clock:   clock,
-		timeout: timeout,
-		routed:  make([]int64, len(cells)),
-		waiters: make(map[int64]chan gpumgr.Result),
+		cells:    cells,
+		router:   router,
+		clock:    clock,
+		timeout:  timeout,
+		routed:   make([]int64, len(cells)),
+		waiters:  make(map[int64]chan predictOutcome),
+		inflight: make(map[int64]*core.Request),
+		chPool:   sync.Pool{New: func() any { return make(chan predictOutcome, 1) }},
+	}
+}
+
+// ArenaStats snapshots the live request arena's counters.
+func (ic *InferenceClient) ArenaStats() core.ArenaStats {
+	ic.mu.Lock()
+	defer ic.mu.Unlock()
+	return ic.arena.Stats()
+}
+
+// releaseLocked recycles an in-flight request. Callers hold ic.mu and
+// must know the scheduler is done with the object (its completion or
+// drop has been reported).
+func (ic *InferenceClient) releaseLocked(id int64) {
+	if req, ok := ic.inflight[id]; ok {
+		delete(ic.inflight, id)
+		ic.arena.Put(req)
 	}
 }
 
@@ -259,17 +326,36 @@ func (ic *InferenceClient) RoutedByCell() []int64 {
 	return append([]int64(nil), ic.routed...)
 }
 
-// Route delivers completion results to waiting Predict calls; it is the
-// cluster's OnResult hook.
+// Route delivers completion results to waiting Predict calls and
+// recycles the completed request into the arena; it is the cluster's
+// OnResult hook.
 func (ic *InferenceClient) Route(res gpumgr.Result) {
 	ic.mu.Lock()
 	ch, ok := ic.waiters[res.ReqID]
 	if ok {
 		delete(ic.waiters, res.ReqID)
 	}
+	ic.releaseLocked(res.ReqID)
 	ic.mu.Unlock()
 	if ok {
-		ch <- res
+		ch <- predictOutcome{res: res}
+	}
+}
+
+// Drop fails a waiting Predict whose dispatch was rejected (per-tenant
+// GPU quota, impossible model) and recycles the request; it is the
+// cluster's OnDrop hook. Without it the waiter would hold its arena
+// slot until the invoke timeout.
+func (ic *InferenceClient) Drop(id int64, cause error) {
+	ic.mu.Lock()
+	ch, ok := ic.waiters[id]
+	if ok {
+		delete(ic.waiters, id)
+	}
+	ic.releaseLocked(id)
+	ic.mu.Unlock()
+	if ok {
+		ch <- predictOutcome{err: fmt.Errorf("faas: inference %d dropped: %w", id, cause)}
 	}
 }
 
@@ -280,7 +366,7 @@ func (ic *InferenceClient) Predict(spec FunctionSpec, batch int) (gpumgr.Result,
 	ic.mu.Lock()
 	ic.nextID++
 	id := ic.nextID
-	ch := make(chan gpumgr.Result, 1)
+	ch := ic.chPool.Get().(chan predictOutcome)
 	ic.waiters[id] = ch
 	cell := 0
 	if ic.router != nil {
@@ -295,28 +381,40 @@ func (ic *InferenceClient) Predict(spec FunctionSpec, batch int) (gpumgr.Result,
 		})
 	}
 	ic.routed[cell]++
+	req := ic.arena.Get()
+	req.ID = id
+	req.Function = spec.Name
+	req.Model = spec.Model
+	req.BatchSize = batch
+	req.Arrival = arrival
+	req.Tenant = spec.Tenant
+	ic.inflight[id] = req
 	ic.mu.Unlock()
 
-	req := &core.Request{
-		ID:        id,
-		Function:  spec.Name,
-		Model:     spec.Model,
-		BatchSize: batch,
-		Arrival:   arrival,
-		Tenant:    spec.Tenant,
-	}
 	if err := ic.cells[cell].Submit(req); err != nil {
+		// Enqueue failed: the request never reached the scheduler, so
+		// no completion or drop can race the recycle here.
 		ic.mu.Lock()
 		delete(ic.waiters, id)
+		ic.releaseLocked(id)
 		ic.mu.Unlock()
+		ic.chPool.Put(ch)
 		return gpumgr.Result{}, err
 	}
+	t := getTimer(ic.timeout)
 	select {
-	case res := <-ch:
-		return res, nil
-	case <-time.After(ic.timeout):
+	case out := <-ch:
+		stopTimer(t)
+		ic.chPool.Put(ch)
+		return out.res, out.err
+	case <-t.C:
+		putTimer(t) // fired and drained
 		ic.mu.Lock()
 		delete(ic.waiters, id)
+		// The request stays in flight: the scheduler may still hold it,
+		// so the eventual completion (or drop) does the recycle — and
+		// may be sending into ch right now, which is why the channel is
+		// not pooled either.
 		ic.mu.Unlock()
 		return gpumgr.Result{}, fmt.Errorf("faas: inference %d timed out after %v", id, ic.timeout)
 	}

@@ -214,6 +214,17 @@ func (r *Router) advance(t time.Duration) {
 // load is the signal the balancing policies see for one cell.
 func (r *Router) load(cell int) int64 { return r.snap[cell] + r.cur[cell] }
 
+// Home reports the key's hash-ring owner without routing a request.
+// Unlike Route it mutates no router state (the ring is immutable after
+// construction), so it is safe for concurrent use; the live gateway
+// uses it to pin each function to an admission cell at deploy time.
+func (r *Router) Home(key string) int {
+	if r.cfg.Cells == 1 {
+		return 0
+	}
+	return r.lookup(key)
+}
+
 // lookup walks the ring: the key's successor vnode owns it.
 func (r *Router) lookup(key string) int {
 	h := hash64(r.cfg.Seed, key)
