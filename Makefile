@@ -7,7 +7,7 @@
 #   experiments job -> bench-smoke ci-snapshot elasticity-smoke
 #                      heterogeneity-smoke scale-smoke cells-smoke
 #                      cells-determinism obs-smoke obs-determinism
-#                      overload-smoke
+#                      overload-smoke batch-smoke batch-determinism
 #
 # (bench-regress and vuln stay advisory in both places.)
 
@@ -16,7 +16,7 @@ GO ?= go
 # Hot-path benchmarks compared by bench-save / bench-compare.
 BENCH_PATTERN ?= BenchmarkEngineFire|BenchmarkEngineCancel|BenchmarkScheduleDecision|BenchmarkScheduleRound1024|BenchmarkStreamingReplay|BenchmarkRouterRoute|BenchmarkMultiCellReplay
 
-.PHONY: all build test race vet fmt fmt-check bench bench-smoke snapshot ci-snapshot elasticity-smoke heterogeneity-smoke scale-smoke cells-smoke cells-determinism obs-smoke obs-determinism overload-smoke bench-save bench-compare bench-regress vuln ci
+.PHONY: all build test race vet fmt fmt-check bench bench-smoke snapshot ci-snapshot elasticity-smoke heterogeneity-smoke scale-smoke cells-smoke cells-determinism obs-smoke obs-determinism overload-smoke batch-smoke batch-determinism bench-save bench-compare bench-regress vuln ci
 
 all: build
 
@@ -112,6 +112,22 @@ obs-determinism: obs-smoke
 overload-smoke:
 	$(GO) run ./cmd/faas-bench -exp overload -short -json BENCH_overload.json
 
+# Short-mode batching frontier sweep (policy × shape × MaxBatch plus the
+# linger rows), mirrored in CI as the "batch smoke" step. Writes to a
+# fresh file so the committed full-grid BENCH_batch.json survives as the
+# baseline for the advisory frontier comparison.
+batch-smoke:
+	$(GO) run ./cmd/faas-bench -exp batch -short -workers 8 -json BENCH_batch.ci.json -det-json BENCH_batch.det.json
+
+# The batching determinism gate: pure sim time, so unlike overload the
+# sweep joins the byte-identical-across-worker-counts contract. Reuses
+# the workers=8 canonical twin batch-smoke wrote and re-runs at
+# -workers 1.
+batch-determinism: batch-smoke
+	$(GO) run ./cmd/faas-bench -exp batch -short -workers 1 -det-json /tmp/gpufaas_batch_w1.json
+	cmp /tmp/gpufaas_batch_w1.json BENCH_batch.det.json
+	@echo "batching determinism gate: snapshots byte-identical across worker counts"
+
 # Record the hot-path benchmarks for later comparison: the previous
 # recording rotates to bench_old.txt, so the workflow is
 #   make bench-save            # on the old commit
@@ -154,4 +170,4 @@ bench-regress:
 vuln:
 	-$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...
 
-ci: fmt-check vet build race bench-smoke ci-snapshot elasticity-smoke heterogeneity-smoke scale-smoke cells-smoke cells-determinism obs-smoke obs-determinism overload-smoke
+ci: fmt-check vet build race bench-smoke ci-snapshot elasticity-smoke heterogeneity-smoke scale-smoke cells-smoke cells-determinism obs-smoke obs-determinism overload-smoke batch-smoke batch-determinism

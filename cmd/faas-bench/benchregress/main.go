@@ -14,6 +14,13 @@
 // only a step change (shedding stopped bounding the tail, goodput
 // collapsed) trips it. Snapshots without overload rows skip the
 // comparison silently.
+//
+// Snapshots carrying batch rows (faas-bench -exp batch) compare the
+// MaxBatch=8 frontier rows (no linger): goodput and p95 against the
+// baseline. These are pure sim-time numbers — identical runs produce
+// identical rows — so any drift is a behavioral change in the batching
+// path, but the step stays advisory like the others and the threshold
+// leaves room for deliberate retuning of the service-time curve.
 package main
 
 import (
@@ -31,6 +38,7 @@ type snapshot struct {
 type experiment struct {
 	Hotpath  []hotpathRow  `json:"hotpath"`
 	Overload []overloadRow `json:"overload"`
+	Batch    []batchRow    `json:"batch"`
 }
 
 type hotpathRow struct {
@@ -47,20 +55,35 @@ type overloadRow struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
-func load(path string) (map[string]hotpathRow, map[string]overloadRow, error) {
+type batchRow struct {
+	Policy        string  `json:"policy"`
+	Shape         string  `json:"shape"`
+	MaxBatch      int     `json:"max_batch"`
+	BatchWaitMs   float64 `json:"batch_wait_ms"`
+	GoodputRPS    float64 `json:"goodput_rps"`
+	P95LatencySec float64 `json:"p95_latency_sec"`
+}
+
+// key identifies a batch row across snapshots.
+func (r batchRow) key() string {
+	return fmt.Sprintf("batch/%s/%s/k=%d/wait=%gms", r.Policy, r.Shape, r.MaxBatch, r.BatchWaitMs)
+}
+
+func load(path string) (map[string]hotpathRow, map[string]overloadRow, map[string]batchRow, error) {
 	buf, err := os.ReadFile(path)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	var snap snapshot
 	if err := json.Unmarshal(buf, &snap); err != nil {
-		return nil, nil, fmt.Errorf("%s: %w", path, err)
+		return nil, nil, nil, fmt.Errorf("%s: %w", path, err)
 	}
 	if snap.Schema != "gpufaas-bench/v1" {
-		return nil, nil, fmt.Errorf("%s: unexpected schema %q", path, snap.Schema)
+		return nil, nil, nil, fmt.Errorf("%s: unexpected schema %q", path, snap.Schema)
 	}
 	rows := make(map[string]hotpathRow)
 	over := make(map[string]overloadRow)
+	batch := make(map[string]batchRow)
 	for _, exp := range snap.Experiments {
 		for _, r := range exp.Hotpath {
 			rows[r.Name] = r
@@ -68,30 +91,38 @@ func load(path string) (map[string]hotpathRow, map[string]overloadRow, error) {
 		for _, r := range exp.Overload {
 			over[r.Name] = r
 		}
+		for _, r := range exp.Batch {
+			// Only the MaxBatch=8 frontier rows (no linger) gate: they
+			// carry the headline latency/throughput claim.
+			if r.MaxBatch == 8 && r.BatchWaitMs == 0 {
+				batch[r.key()] = r
+			}
+		}
 	}
-	return rows, over, nil
+	return rows, over, batch, nil
 }
 
 func main() {
 	threshold := flag.Float64("threshold", 1.5, "fail when current ns/op exceeds baseline by this factor")
 	overThreshold := flag.Float64("overload-threshold", 3.0, "fail when the shedding-on overload p99 exceeds baseline by this factor, or goodput drops below baseline divided by it")
+	batchThreshold := flag.Float64("batch-threshold", 1.25, "fail when a MaxBatch=8 frontier row's p95 exceeds baseline by this factor, or its goodput drops below baseline divided by it")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchregress [-threshold 1.5] [-overload-threshold 3.0] baseline.json current.json")
+		fmt.Fprintln(os.Stderr, "usage: benchregress [-threshold 1.5] [-overload-threshold 3.0] [-batch-threshold 1.25] baseline.json current.json")
 		os.Exit(2)
 	}
-	base, baseOver, err := load(flag.Arg(0))
+	base, baseOver, baseBatch, err := load(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchregress: %v\n", err)
 		os.Exit(2)
 	}
-	cur, curOver, err := load(flag.Arg(1))
+	cur, curOver, curBatch, err := load(flag.Arg(1))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchregress: %v\n", err)
 		os.Exit(2)
 	}
-	if len(base) == 0 && len(baseOver) == 0 {
-		fmt.Println("benchregress: baseline has no hotpath or overload rows; nothing to compare")
+	if len(base) == 0 && len(baseOver) == 0 && len(baseBatch) == 0 {
+		fmt.Println("benchregress: baseline has no hotpath, overload or batch rows; nothing to compare")
 		return
 	}
 	regressed := false
@@ -141,6 +172,29 @@ func main() {
 		}
 		fmt.Printf("%s %-26s p99 %8.1f -> %8.1f ms (%.2fx)  goodput %8.1f -> %8.1f rps  allocs/op %6.1f -> %6.1f\n",
 			status, name, b.P99Ms, c.P99Ms, p99Ratio, b.GoodputRPS, c.GoodputRPS, b.AllocsPerOp, c.AllocsPerOp)
+	}
+	// Batch frontier comparison: the MaxBatch=8 no-linger rows must hold
+	// their goodput and p95 within the (retuning-tolerant) threshold.
+	for name, b := range baseBatch {
+		c, ok := curBatch[name]
+		if !ok {
+			fmt.Printf("MISSING  %-34s (in baseline, not in current run)\n", name)
+			regressed = true
+			continue
+		}
+		p95Ratio := c.P95LatencySec / b.P95LatencySec
+		goodRatio := b.GoodputRPS / c.GoodputRPS
+		status := "ok      "
+		switch {
+		case p95Ratio > *batchThreshold:
+			status = "REGRESS "
+			regressed = true
+		case goodRatio > *batchThreshold:
+			status = "GOODPUT "
+			regressed = true
+		}
+		fmt.Printf("%s %-34s p95 %7.2f -> %7.2f s (%.2fx)  goodput %7.2f -> %7.2f rps\n",
+			status, name, b.P95LatencySec, c.P95LatencySec, p95Ratio, b.GoodputRPS, c.GoodputRPS)
 	}
 	if regressed {
 		fmt.Println("benchregress: hot-path regression detected (advisory)")

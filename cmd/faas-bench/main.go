@@ -7,11 +7,16 @@
 //
 // Usage:
 //
-//	faas-bench [-exp all|table1|fig4|fig7|cachepolicy|scaling|elasticity|heterogeneity|scale|cells|obs|hotpath|overload]
-//	           [-workers N] [-short] [-json BENCH_baseline.json] [-det-json canon.json] [-v]
+//	faas-bench [-exp all|table1|fig4|fig7|cachepolicy|scaling|elasticity|heterogeneity|scale|cells|obs|hotpath|overload|batch]
+//	           [-list] [-workers N] [-short] [-json BENCH_baseline.json] [-det-json canon.json] [-v]
 //	           [-trace trace.json]
 //	           [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	           [-blockprofile block.pprof] [-mutexprofile mutex.pprof]
+//
+// -list prints every experiment with a one-liner and whether it is part
+// of `-exp all` and of the CI determinism gates — the explicit-only
+// exclusions (cells, obs, overload, batch) are otherwise discoverable
+// only by reading this comment.
 //
 // The pprof flags profile the experiment run itself (`go tool pprof
 // <binary> cpu.pprof`), so perf work on the simulator hot paths starts
@@ -39,12 +44,18 @@
 // with wall-clock goroutines (open-loop arrivals past saturation,
 // admission control on vs off), so its rows are real time measurements
 // — excluded from `-exp all` and from every determinism gate.
+//
+// The `batch` experiment (the coalesced-dispatch frontier sweep) is
+// explicit-only like cells — its saturated burst cells dwarf the rest
+// of the grid — but pure sim time, so it DOES join the determinism
+// gates (CI diffs its -det-json across worker counts).
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -85,6 +96,7 @@ type expResult struct {
 	Obs           []experiments.ObsRow           `json:"obs,omitempty"`
 	Hotpath       []experiments.HotpathRow       `json:"hotpath,omitempty"`
 	Overload      []experiments.OverloadRow      `json:"overload,omitempty"`
+	Batch         []experiments.BatchRow         `json:"batch,omitempty"`
 }
 
 // canonicalize deep-copies a snapshot with every field that legitimately
@@ -115,6 +127,46 @@ func canonicalize(snap snapshot) snapshot {
 	return out
 }
 
+// experimentCatalog backs -list: every experiment, whether `-exp all`
+// runs it, and whether its canonical snapshot feeds a CI determinism
+// gate (the workers=1 vs workers=8 -det-json byte comparison). Kept
+// next to benchMain's run calls — a new experiment adds a row here.
+var experimentCatalog = []struct {
+	name    string
+	inAll   bool
+	detGate bool
+	oneLine string
+}{
+	{"table1", true, false, "Table I model profiles: occupancy, load and inference time at batch 32"},
+	{"fig4", true, false, "Figures 4a/4b/4c, 5, 6: scheduler x working-set latency/miss matrix"},
+	{"fig7", true, false, "Figure 7: O3 starvation-limit sensitivity at working set 35"},
+	{"cachepolicy", true, false, "ablation: cache replacement policy under LALBO3"},
+	{"scaling", true, false, "ablation: GPU count scaling under LALBO3"},
+	{"elasticity", true, false, "fixed vs autoscaled fleet on diurnal and bursty traces"},
+	{"heterogeneity", true, false, "homogeneous vs mixed fleets, cost-aware tiered scaling"},
+	{"scale", true, false, "streaming replay at production fleet sizes and trace lengths"},
+	{"cells", false, true, "multi-cell sharded fleets behind the front-door router"},
+	{"obs", false, true, "instrumented run: lifecycle trace, latency breakdown, time series"},
+	{"hotpath", true, false, "engine fire / scheduler decision microbenchmarks"},
+	{"overload", false, false, "live gateway past saturation, admission control on vs off (wall clock)"},
+	{"batch", false, true, "coalesced same-model dispatch frontier: policy x shape x MaxBatch"},
+}
+
+// listExperiments renders the catalog for -list.
+func listExperiments(w io.Writer) {
+	yn := func(b bool) string {
+		if b {
+			return "yes"
+		}
+		return "no"
+	}
+	fmt.Fprintf(w, "%-14s %-7s %-9s %s\n", "experiment", "in-all", "det-gate", "description")
+	for _, e := range experimentCatalog {
+		fmt.Fprintf(w, "%-14s %-7s %-9s %s\n", e.name, yn(e.inAll), yn(e.detGate), e.oneLine)
+	}
+	fmt.Fprintf(w, "\nin-all: runs under `-exp all`; det-gate: CI compares its -det-json\nsnapshot byte-for-byte across worker counts. overload measures wall\nclock and must never join a determinism gate.\n")
+}
+
 func main() {
 	// The body runs in a helper so deferred profile flushes execute even
 	// when an experiment fails (os.Exit skips defers).
@@ -122,7 +174,8 @@ func main() {
 }
 
 func benchMain() int {
-	exp := flag.String("exp", "all", "experiment to run: all|table1|fig4|fig7|cachepolicy|scaling|elasticity|heterogeneity|scale|cells|obs|hotpath|overload (cells, obs and overload are not part of all)")
+	exp := flag.String("exp", "all", "experiment to run: all|table1|fig4|fig7|cachepolicy|scaling|elasticity|heterogeneity|scale|cells|obs|hotpath|overload|batch (cells, obs, overload and batch are not part of all)")
+	list := flag.Bool("list", false, "print every experiment with a one-liner, whether it runs under -exp all, and whether it feeds the CI determinism gates, then exit")
 	workers := flag.Int("workers", 0, "concurrent experiment runs (0 = GOMAXPROCS)")
 	short := flag.Bool("short", false, "shrink long experiments (elasticity/heterogeneity run the 6-minute traces; scale drops the 1024-GPU and hour-long cells; the cell sweep caps at 4096 GPUs; obs halves the trace)")
 	jsonPath := flag.String("json", "", "write a BENCH_*.json snapshot to this path")
@@ -135,10 +188,15 @@ func benchMain() int {
 	mutexProfile := flag.String("mutexprofile", "", "write a mutex contention profile (at exit) to this path")
 	flag.Parse()
 
+	if *list {
+		listExperiments(os.Stdout)
+		return 0
+	}
+
 	switch *exp {
-	case "all", "table1", "fig4", "fig7", "cachepolicy", "scaling", "elasticity", "heterogeneity", "scale", "cells", "obs", "hotpath", "overload":
+	case "all", "table1", "fig4", "fig7", "cachepolicy", "scaling", "elasticity", "heterogeneity", "scale", "cells", "obs", "hotpath", "overload", "batch":
 	default:
-		fmt.Fprintf(os.Stderr, "faas-bench: unknown experiment %q (want all|table1|fig4|fig7|cachepolicy|scaling|elasticity|heterogeneity|scale|cells|obs|hotpath|overload)\n", *exp)
+		fmt.Fprintf(os.Stderr, "faas-bench: unknown experiment %q (want all|table1|fig4|fig7|cachepolicy|scaling|elasticity|heterogeneity|scale|cells|obs|hotpath|overload|batch; see -list)\n", *exp)
 		os.Exit(2)
 	}
 	if *tracePath != "" && *exp != "obs" {
@@ -359,6 +417,19 @@ func benchMain() int {
 			}
 			experiments.WriteOverloadTable(os.Stdout, rows)
 			return expResult{Overload: rows, Runs: len(rows)}, nil
+		})
+	}
+	// Explicit-only like cells (its saturated burst cells dwarf the rest
+	// of the grid), but pure sim time — so unlike overload it DOES join
+	// the determinism gates.
+	if *exp == "batch" {
+		run("batch", "Batching — coalesced same-model dispatch frontier (policy x shape x MaxBatch)", func() (expResult, error) {
+			rows, err := experiments.BatchSweep(m, *short)
+			if err != nil {
+				return expResult{}, err
+			}
+			experiments.WriteBatchTable(os.Stdout, rows)
+			return expResult{Batch: rows, Runs: len(rows)}, nil
 		})
 	}
 	run("hotpath", "Hot path — engine fire / scheduler decision microbenchmarks", func() (expResult, error) {

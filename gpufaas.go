@@ -33,6 +33,7 @@ package gpufaas
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"gpufaas/internal/autoscale"
 	"gpufaas/internal/cluster"
@@ -121,6 +122,28 @@ func WithO3Limit(limit int) Option {
 			return fmt.Errorf("gpufaas: negative O3 limit %d", limit)
 		}
 		cfg.O3Limit = limit
+		return nil
+	}
+}
+
+// WithBatching lets each dispatch coalesce up to maxBatch queued
+// requests for the same model into one batched GPU launch, paying the
+// sub-linear batch service time (models.Profile.InferTimeAt) instead of
+// maxBatch sequential inferences. maxBatch <= 1 disables coalescing and
+// is byte-identical to a cluster built without this option. wait is the
+// optional linger window: a lone head-of-queue request may wait up to
+// this long for same-model arrivals before launching alone (0: never
+// linger; ignored when maxBatch <= 1).
+func WithBatching(maxBatch int, wait time.Duration) Option {
+	return func(cfg *Config) error {
+		if maxBatch < 0 {
+			return fmt.Errorf("gpufaas: negative batch cap %d", maxBatch)
+		}
+		if wait < 0 {
+			return fmt.Errorf("gpufaas: negative batch linger %v", wait)
+		}
+		cfg.MaxBatch = maxBatch
+		cfg.BatchWait = wait
 		return nil
 	}
 }

@@ -41,6 +41,12 @@ func TestOptionErrors(t *testing.T) {
 	if _, err := NewCluster(WithFleet(FleetSpec{{Type: "t4", Count: 1}, {Type: "t4", Count: 1}})); err == nil {
 		t.Error("duplicate fleet class should fail")
 	}
+	if _, err := NewCluster(WithBatching(-1, 0)); err == nil {
+		t.Error("negative batch cap should fail")
+	}
+	if _, err := NewCluster(WithBatching(8, -time.Second)); err == nil {
+		t.Error("negative batch linger should fail")
+	}
 }
 
 func TestWithFleetFacade(t *testing.T) {

@@ -55,9 +55,21 @@ type Config struct {
 	// path (core.Config.ScanPlacement); decision-identical, used as the
 	// benchmark baseline for the indexed path.
 	ScanPlacement bool
-	CachePolicy   string // cache.PolicyLRU (default), PolicyFIFO, PolicyLFU
-	Zoo           *models.Zoo
-	Profiles      *models.ProfileStore
+	// MaxBatch caps how many same-model requests one dispatch may
+	// coalesce into a single batched GPU launch (core.Config.MaxBatch).
+	// <= 1 disables batching entirely: decisions and reports are then
+	// byte-identical to the pre-batching build.
+	MaxBatch int
+	// BatchWait is the optional linger window (core.Config.BatchWait):
+	// with every GPU idle, the queue head is held up to this long past
+	// its arrival waiting for same-model companions. The cluster arms a
+	// clock wake-up at the scheduler's PendingWake deadline, so the
+	// simulation drains even when the linger is the only pending event.
+	// Ignored unless MaxBatch > 1.
+	BatchWait   time.Duration
+	CachePolicy string // cache.PolicyLRU (default), PolicyFIFO, PolicyLFU
+	Zoo         *models.Zoo
+	Profiles    *models.ProfileStore
 	// Clock overrides the default simulated clock (live mode passes a
 	// RealClock). When nil, a fresh discrete-event engine is created.
 	Clock sim.Clock
@@ -174,6 +186,13 @@ type Cluster struct {
 	breakdown   *obs.Collector
 	seriesRec   *obs.Recorder
 	obsInFlight int
+
+	// Linger wake-up dedup (Config.BatchWait): batchWakeArmed is true
+	// while a clock timer is pending at batchWakeAt. A later, earlier
+	// deadline arms a second timer; the stale one fires a harmless
+	// no-op Schedule. Deterministic — pure sim-clock state.
+	batchWakeAt    sim.Time
+	batchWakeArmed bool
 
 	latencies  *stats.Sample
 	perModel   map[string]*stats.Welford
@@ -412,6 +431,8 @@ func New(cfg Config) (*Cluster, error) {
 		O3Limit:           cfg.O3Limit,
 		DisableLocalQueue: cfg.DisableLocalQueue,
 		ScanPlacement:     cfg.ScanPlacement,
+		MaxBatch:          cfg.MaxBatch,
+		BatchWait:         cfg.BatchWait,
 	}, (*backendView)(c))
 	if err != nil {
 		return nil, err
@@ -1096,20 +1117,23 @@ func (c *Cluster) handleComplete(res gpumgr.Result) {
 	c.latencies.Add(res.Latency().Seconds())
 	if c.breakdown != nil {
 		c.breakdown.Observe(res.Hit, res.FalseMiss,
-			time.Duration(res.DispatchedAt-res.Arrival), res.LoadTime, res.InferTime)
+			time.Duration(res.DispatchedAt-res.Arrival), res.LoadTime, res.InferTime,
+			res.BatchMembers, res.InferShare)
 	}
 	if c.tracer != nil {
 		c.tracer.OnComplete(obs.Completion{
-			ReqID:      res.ReqID,
-			Function:   res.Function,
-			Model:      res.Model,
-			Hit:        res.Hit,
-			FalseMiss:  res.FalseMiss,
-			Arrival:    time.Duration(res.Arrival),
-			Dispatched: time.Duration(res.DispatchedAt),
-			Finished:   time.Duration(res.FinishedAt),
-			LoadTime:   res.LoadTime,
-			InferTime:  res.InferTime,
+			ReqID:        res.ReqID,
+			Function:     res.Function,
+			Model:        res.Model,
+			Hit:          res.Hit,
+			FalseMiss:    res.FalseMiss,
+			Arrival:      time.Duration(res.Arrival),
+			Dispatched:   time.Duration(res.DispatchedAt),
+			Finished:     time.Duration(res.FinishedAt),
+			LoadTime:     res.LoadTime,
+			InferTime:    res.InferTime,
+			BatchMembers: res.BatchMembers,
+			InferShare:   res.InferShare,
 		})
 	}
 	if c.seriesRec != nil {
@@ -1147,26 +1171,82 @@ func (c *Cluster) runScheduler(now sim.Time) {
 				// Ord is captured here, at dispatch: by completion time a
 				// draining GPU may already have left the fleet.
 				c.tracer.OnDispatch(d.Req.ID, d.GPU, int(o), d.Req.Visits(), d.FromLocalQueue, d.ExpectHit)
+				for _, m := range d.Batch {
+					c.tracer.OnDispatch(m.ID, d.GPU, int(o), m.Visits(), d.FromLocalQueue, d.ExpectHit)
+				}
 			}
+		}
+		if len(d.Batch) > 0 {
+			_, dropped, err := c.mgrByDev[d.GPU].ExecuteBatch(d.Req, d.Batch, d.GPU, now)
+			if err != nil {
+				// The whole launch failed (primary quota, impossible
+				// model): every member drops, like a single-dispatch
+				// failure.
+				c.dropRequest(d.Req.ID, err)
+				for _, m := range d.Batch {
+					c.dropRequest(m.ID, err)
+				}
+				continue
+			}
+			for _, m := range dropped {
+				c.dropRequest(m.ID, errBatchMemberQuota)
+			}
+			if c.seriesRec != nil {
+				c.obsInFlight += d.Members() - len(dropped)
+			}
+			continue
 		}
 		if _, err := c.mgrByDev[d.GPU].Execute(d.Req, d.GPU, now); err != nil {
 			// A failed dispatch (quota, OOM-impossible model) drops the
 			// request; the paper's system returns an error to the user.
-			c.failed++
-			c.tracer.Drop(d.Req.ID)
-			if c.stream != nil {
-				c.stream.release(d.Req.ID)
-			}
-			if c.onDrop != nil {
-				c.onDrop(d.Req.ID, err)
-			}
+			c.dropRequest(d.Req.ID, err)
 		} else if c.seriesRec != nil {
 			c.obsInFlight++
 		}
 	}
+	// Linger (Config.BatchWait): when the scheduler held the queue head
+	// waiting for same-model companions, arm a wake-up so the decision
+	// is revisited at the deadline even if no other event fires first.
+	if wake, ok := c.sched.PendingWake(); ok {
+		c.armBatchWake(wake)
+	}
 	if c.seriesRec != nil {
 		c.seriesTick(now)
 	}
+}
+
+// errBatchMemberQuota is the drop reason for a batch member excluded by
+// its tenant's quota while the rest of the launch proceeded.
+var errBatchMemberQuota = errors.New("cluster: batch member dropped by tenant quota")
+
+// dropRequest records one failed-to-execute dispatch.
+func (c *Cluster) dropRequest(id int64, err error) {
+	c.failed++
+	c.tracer.Drop(id)
+	if c.stream != nil {
+		c.stream.release(id)
+	}
+	if c.onDrop != nil {
+		c.onDrop(id, err)
+	}
+}
+
+// armBatchWake schedules a scheduler re-run at the linger deadline,
+// deduplicating against an already-armed earlier-or-equal wake.
+func (c *Cluster) armBatchWake(at sim.Time) {
+	if c.batchWakeArmed && c.batchWakeAt <= at {
+		return
+	}
+	c.batchWakeArmed = true
+	c.batchWakeAt = at
+	d := at - c.clock.Now()
+	if d < 0 {
+		d = 0
+	}
+	c.clock.AfterFunc(d, "cluster.batchWake", func(now sim.Time) {
+		c.batchWakeArmed = false
+		c.runScheduler(now)
+	})
 }
 
 // seriesTick emits any due time-series samples. The Due pre-check keeps
@@ -1389,6 +1469,10 @@ type StreamStats struct {
 	PeakInflight   int64
 	ArenaAllocated int64
 	ArenaReused    int64
+	// FinalLive is the arena's live count at report time: 0 after a
+	// clean drain (omitted from JSON), non-zero only if a request was
+	// lost or double-completed — the batching conservation signal.
+	FinalLive int64 `json:",omitempty"`
 }
 
 // Report is the evaluation summary for one run; field names reference the
@@ -1432,6 +1516,12 @@ type Report struct {
 	LocalQueueMoves int64
 	O3Dispatches    int64
 	Starved         int64
+	// Batching counters (Config.MaxBatch > 1): how many dispatches
+	// coalesced more than one request, and how many member requests rode
+	// in them. Zero — and omitted, keeping pre-batching reports
+	// byte-identical — when batching is off.
+	BatchedDispatches int64 `json:",omitempty"`
+	BatchedMembers    int64 `json:",omitempty"`
 
 	// Elasticity accounting (autoscale subsystem). GPUSeconds is the
 	// integral of fleet size over the run — the cost metric the
@@ -1536,6 +1626,8 @@ func (c *Cluster) report() Report {
 	rep.O3Dispatches = sc.O3Dispatches
 	rep.Starved = sc.Starved
 	rep.PeakLocalQueue = sc.PeakLocalQueue
+	rep.BatchedDispatches = sc.BatchedDispatches
+	rep.BatchedMembers = sc.BatchedMembers
 	if c.engine != nil {
 		rep.MaxEventQueueLen = c.engine.MaxQueueLen()
 	}
@@ -1591,6 +1683,7 @@ func (c *Cluster) report() Report {
 			PeakInflight:   as.PeakLive,
 			ArenaAllocated: as.Allocated,
 			ArenaReused:    as.Reused,
+			FinalLive:      as.Live,
 		}
 	}
 	if c.breakdown != nil {

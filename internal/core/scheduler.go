@@ -44,6 +44,16 @@
 // non-increasing along the live queue — every scan increments a clean
 // prefix — so the only position that can trip the starvation limit is
 // the queue head, and the skip bump is a uniform prefix increment.
+//
+// Batching (Config.MaxBatch > 1): whatever request a policy decides to
+// dispatch, the scheduler then drains up to MaxBatch-1 further queued
+// requests of the same model — in arrival order, via the same per-model
+// position index — into the dispatch's Batch, and the harness executes
+// the group as one load + one batched inference. Extraction of batch
+// members preserves the monotone-skip invariant (a subsequence of a
+// non-increasing sequence is non-increasing), so the O3 starvation
+// machinery is untouched. MaxBatch <= 1 short-circuits every batching
+// branch: the decision sequence is bit-for-bit the legacy one.
 package core
 
 import (
@@ -185,7 +195,16 @@ type Dispatch struct {
 	// FromLocalQueue marks a dispatch of a request that had been parked
 	// in the GPU's local queue.
 	FromLocalQueue bool
+	// Batch holds the additional same-model requests coalesced into this
+	// dispatch (Config.MaxBatch > 1), in arrival order; nil for a plain
+	// single-request dispatch. The harness executes Req and every Batch
+	// member as one batched launch. Like the Schedule result slice, the
+	// backing array is pooled — valid until the next Schedule call.
+	Batch []*Request
 }
+
+// Members returns the total request count of the dispatch (1 + extras).
+func (d Dispatch) Members() int { return 1 + len(d.Batch) }
 
 // Config configures a Scheduler.
 type Config struct {
@@ -207,6 +226,21 @@ type Config struct {
 	// reference baseline for the schedule-round benchmarks and the
 	// equivalence suite.
 	ScanPlacement bool
+	// MaxBatch caps how many same-model requests one dispatch may
+	// coalesce into a single batched execution. <= 1 disables coalescing
+	// entirely: the scheduler takes exactly the legacy single-dispatch
+	// path and its decisions (and the harness reports) are byte-identical
+	// to a build without batching.
+	MaxBatch int
+	// BatchWait is an optional linger window on the sim clock: while the
+	// head of the global queue has fewer than MaxBatch same-model
+	// requests queued behind it AND has waited less than BatchWait since
+	// arrival, idle GPUs decline global work so the batch can fill.
+	// Callers that set it must re-run Schedule at PendingWake deadlines
+	// (the cluster harness arms a clock event). Zero dispatches every
+	// batch as soon as a GPU frees up, whatever its size. Ignored when
+	// MaxBatch <= 1.
+	BatchWait time.Duration
 }
 
 // parked is one local-queue entry: the request plus its profiled
@@ -351,12 +385,27 @@ type Scheduler struct {
 	memo     map[string]llbMemo
 	parkGen  uint64
 
+	// Batching (Config.MaxBatch > 1): coalesce same-model queue runs
+	// into one dispatch. batchFree pools the member slices handed out
+	// through Dispatch.Batch (reclaimed at the next Schedule call, the
+	// same lifetime contract as s.out); pendingWake is the earliest
+	// linger deadline the last Schedule call declined work for.
+	maxBatch    int
+	batchWait   time.Duration
+	batchFree   [][]*Request
+	pendingWake sim.Time
+	hasWake     bool
+
 	// moves counts global→local-queue migrations (Algorithm 2 line 12).
 	moves int64
 	// o3Dispatches counts dispatches that jumped the queue.
 	o3Dispatches int64
 	// starved counts requests force-dispatched by the starvation limit.
 	starved int64
+	// batchedDispatches counts dispatches that coalesced >= 2 requests;
+	// batchedMembers counts the extra (non-primary) requests they carried.
+	batchedDispatches int64
+	batchedMembers    int64
 	// peakLocal is the deepest any single local queue has grown, the
 	// capacity-planning companion to sim.Engine.MaxQueueLen.
 	peakLocal int
@@ -379,6 +428,12 @@ func New(cfg Config, backend Backend) (*Scheduler, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown policy %v", cfg.Policy)
 	}
+	if cfg.MaxBatch < 0 {
+		return nil, fmt.Errorf("core: negative MaxBatch %d", cfg.MaxBatch)
+	}
+	if cfg.BatchWait < 0 {
+		return nil, fmt.Errorf("core: negative BatchWait %v", cfg.BatchWait)
+	}
 	il, _ := backend.(IdleLister)
 	s := &Scheduler{
 		policy:        cfg.Policy,
@@ -387,6 +442,8 @@ func New(cfg Config, backend Backend) (*Scheduler, error) {
 		backend:       backend,
 		idle:          il,
 		scanPlacement: cfg.ScanPlacement,
+		maxBatch:      cfg.MaxBatch,
+		batchWait:     cfg.BatchWait,
 	}
 	if !s.scanPlacement {
 		s.memo = make(map[string]llbMemo)
@@ -502,10 +559,11 @@ func (s *Scheduler) Enqueue(r *Request) error {
 			s.indexAdd(r.Model, s.global.tail-1)
 		}
 	} else if s.global.len() >= indexActivateLen {
-		// Only out-of-order dispatch (limit > 0) ever looks past the
-		// head for a cached request; LB and in-order LALB keep the
-		// index off — it would be pure maintenance overhead.
-		if !s.scanPlacement && s.limit > 0 {
+		// Only out-of-order dispatch (limit > 0) and batch coalescing
+		// (MaxBatch > 1) ever look past the head for a same-model
+		// request; LB and in-order LALB without batching keep the index
+		// off — it would be pure maintenance overhead.
+		if !s.scanPlacement && (s.limit > 0 || s.maxBatch > 1) {
 			s.activateIndex()
 		}
 	}
@@ -637,15 +695,23 @@ type Counters struct {
 	Starved         int64
 	// PeakLocalQueue is the deepest any single GPU's local queue grew.
 	PeakLocalQueue int
+	// BatchedDispatches counts dispatches that coalesced two or more
+	// requests into one launch; BatchedMembers counts the extra
+	// (non-primary) requests those dispatches carried. Both stay zero
+	// with MaxBatch <= 1.
+	BatchedDispatches int64
+	BatchedMembers    int64
 }
 
 // Counters returns a snapshot of internal counters.
 func (s *Scheduler) Counters() Counters {
 	return Counters{
-		LocalQueueMoves: s.moves,
-		O3Dispatches:    s.o3Dispatches,
-		Starved:         s.starved,
-		PeakLocalQueue:  s.peakLocal,
+		LocalQueueMoves:   s.moves,
+		O3Dispatches:      s.o3Dispatches,
+		Starved:           s.starved,
+		PeakLocalQueue:    s.peakLocal,
+		BatchedDispatches: s.batchedDispatches,
+		BatchedMembers:    s.batchedMembers,
 	}
 }
 
@@ -690,6 +756,19 @@ func (s *Scheduler) busyOrTaken(o Ord) bool { return s.taken(o) || s.backend.Bus
 // must copy them out.
 func (s *Scheduler) Schedule(now sim.Time) []Dispatch {
 	s.syncBound()
+	if s.maxBatch > 1 {
+		// Reclaim the member slices the previous round handed out
+		// through Dispatch.Batch (same pooled lifetime as s.out) and
+		// reset the linger deadline for this round.
+		for i := range s.out {
+			if b := s.out[i].Batch; b != nil {
+				clear(b)
+				s.batchFree = append(s.batchFree, b[:0])
+			}
+		}
+		s.hasWake = false
+		s.pendingWake = 0
+	}
 	s.out = s.out[:0]
 	s.epoch++
 	if s.epoch == 0 { // wrapped: stale stamps could read as taken/fresh
@@ -737,6 +816,144 @@ func (s *Scheduler) idleCandidates() []Ord {
 	return s.idleScratch
 }
 
+// PendingWake returns the earliest BatchWait linger deadline the last
+// Schedule call declined global work for, and whether one exists. The
+// harness arms a clock event at that time and re-runs Schedule so a
+// lingering batch is eventually dispatched even if no completion or
+// arrival lands first.
+func (s *Scheduler) PendingWake() (sim.Time, bool) { return s.pendingWake, s.hasWake }
+
+// lingerHold reports whether idle GPUs should decline global work this
+// round: the head of the global queue is still inside its BatchWait
+// window and fewer than MaxBatch same-model requests are queued. The
+// gate watches only the head — the request every policy examines first —
+// so it is deterministic and bounded: the head dispatches no later than
+// Arrival+BatchWait, whatever its batch filled to.
+func (s *Scheduler) lingerHold(now sim.Time) bool {
+	if s.maxBatch <= 1 || s.batchWait <= 0 || s.global.len() == 0 {
+		return false
+	}
+	r := s.global.at(s.global.headPos())
+	deadline := r.Arrival + sim.Time(s.batchWait)
+	if now >= deadline {
+		return false
+	}
+	if s.queuedOfModel(r.Model, s.maxBatch) >= s.maxBatch {
+		return false
+	}
+	if !s.hasWake || deadline < s.pendingWake {
+		s.pendingWake = deadline
+		s.hasWake = true
+	}
+	return true
+}
+
+// queuedOfModel counts queued requests of the model, stopping at stop.
+func (s *Scheduler) queuedOfModel(model string, stop int) int {
+	if s.indexed {
+		pl, ok := s.byModel[model]
+		if !ok {
+			return 0
+		}
+		return len(pl.pos) - pl.start
+	}
+	n := 0
+	for p := s.global.head; p < s.global.tail && n < stop; p++ {
+		if r := s.global.at(p); r != nil && r.Model == model {
+			n++
+		}
+	}
+	return n
+}
+
+// coalesceLast drains up to MaxBatch-1 additional queued requests with
+// the primary's model — in arrival order — out of the global queue and
+// into the just-appended dispatch's Batch. With the per-model index
+// active the collection is O(batch·log queue); the shallow-queue walk
+// visits ring positions directly, yielding the identical ascending-
+// position member set. Extracted members bump no skip counts: removing
+// elements from the queue preserves the monotone-skip invariant (a
+// subsequence of a non-increasing sequence is non-increasing).
+func (s *Scheduler) coalesceLast() {
+	if s.maxBatch <= 1 || s.global.len() == 0 {
+		return
+	}
+	d := &s.out[len(s.out)-1]
+	model := d.Req.Model
+	batch := s.grabBatchSlice()
+	if s.indexed {
+		pl := s.byModel[model]
+		for pl != nil && !pl.empty() && 1+len(batch) < s.maxBatch {
+			p := pl.first(s.global.head)
+			if p < 0 {
+				break
+			}
+			batch = append(batch, s.extract(p))
+		}
+	} else {
+		for p := s.global.head; p < s.global.tail && 1+len(batch) < s.maxBatch; p++ {
+			if r := s.global.at(p); r != nil && r.Model == model {
+				batch = append(batch, s.extract(p))
+			}
+		}
+	}
+	s.finishBatch(d, batch)
+}
+
+// coalesceLocal extends a local-queue dispatch with the GPU's parked
+// same-model requests (arrival order — the local queue is FIFO by
+// parking time), leaving other models parked in place.
+func (s *Scheduler) coalesceLocal(o Ord) {
+	if s.maxBatch <= 1 || len(s.local[o]) == 0 {
+		return
+	}
+	d := &s.out[len(s.out)-1]
+	model := d.Req.Model
+	batch := s.grabBatchSlice()
+	q := s.local[o]
+	w := 0
+	for i, p := range q {
+		if p.req.Model == model && 1+len(batch) < s.maxBatch {
+			batch = append(batch, p.req)
+			s.localSum[o] -= p.infer
+			continue
+		}
+		q[w] = q[i]
+		w++
+	}
+	if w < len(q) {
+		clear(q[w:])
+		s.local[o] = q[:w]
+		s.parkGen++
+	}
+	s.finishBatch(d, batch)
+}
+
+// grabBatchSlice returns a pooled zero-length member slice.
+func (s *Scheduler) grabBatchSlice() []*Request {
+	if n := len(s.batchFree); n > 0 {
+		b := s.batchFree[n-1]
+		s.batchFree[n-1] = nil
+		s.batchFree = s.batchFree[:n-1]
+		return b
+	}
+	return nil
+}
+
+// finishBatch attaches the collected members (returning an empty slice
+// to the pool) and maintains the batching counters.
+func (s *Scheduler) finishBatch(d *Dispatch, batch []*Request) {
+	if len(batch) == 0 {
+		if batch != nil {
+			s.batchFree = append(s.batchFree, batch)
+		}
+		return
+	}
+	d.Batch = batch
+	s.batchedDispatches++
+	s.batchedMembers += int64(len(batch))
+}
+
 // scheduleIdleGPU implements Algorithm 1 for one idle GPU, appending the
 // dispatches produced while trying to occupy it (the LLB routine may also
 // dispatch requests to *other* idle GPUs) to s.out. It reports whether
@@ -755,6 +972,7 @@ func (s *Scheduler) scheduleIdleGPU(o Ord, now sim.Time) bool {
 			ExpectHit:      s.backend.Cached(o, p.req.Model),
 			FromLocalQueue: true,
 		})
+		s.coalesceLocal(o)
 		return true
 	}
 	if s.draining.get(o) {
@@ -764,12 +982,17 @@ func (s *Scheduler) scheduleIdleGPU(o Ord, now sim.Time) bool {
 	if s.global.len() == 0 {
 		return false
 	}
+	if s.lingerHold(now) {
+		// The head's batch is still filling inside its BatchWait window.
+		return false
+	}
 
 	// Baseline LB: head of queue to this idle GPU, no locality.
 	if s.policy == LB {
 		r := s.extract(s.global.headPos())
 		s.markTaken(o)
 		s.out = append(s.out, Dispatch{Req: r, GPU: s.backend.IDOf(o), ExpectHit: s.backend.Cached(o, r.Model)})
+		s.coalesceLast()
 		return true
 	}
 	if s.scanPlacement || !s.indexed {
@@ -796,6 +1019,7 @@ func (s *Scheduler) findWork(o Ord, now sim.Time, n0 int) bool {
 			s.extract(pos)
 			s.markTaken(o)
 			s.out = append(s.out, Dispatch{Req: r, GPU: s.backend.IDOf(o), ExpectHit: true})
+			s.coalesceLast()
 			return true
 		}
 		if r.visits >= s.limit {
@@ -832,6 +1056,7 @@ func (s *Scheduler) findWork(o Ord, now sim.Time, n0 int) bool {
 		s.extract(jump)
 		s.markTaken(o)
 		s.out = append(s.out, Dispatch{Req: rj, GPU: s.backend.IDOf(o), ExpectHit: true})
+		s.coalesceLast()
 		return true
 	}
 	// Lines 17–22: no queued request has its model cached here — drain
@@ -892,6 +1117,7 @@ func (s *Scheduler) llb(o Ord, pos int, now sim.Time) bool {
 		s.extract(pos)
 		s.markTaken(o)
 		s.out = append(s.out, Dispatch{Req: r, GPU: s.backend.IDOf(o), ExpectHit: false})
+		s.coalesceLast()
 		return true
 	}
 
@@ -906,10 +1132,12 @@ func (s *Scheduler) llb(o Ord, pos int, now sim.Time) bool {
 		if h == o {
 			s.markTaken(o)
 			s.out = append(s.out, Dispatch{Req: r, GPU: s.backend.IDOf(o), ExpectHit: true})
+			s.coalesceLast()
 			return true
 		}
 		s.markTaken(h)
 		s.out = append(s.out, Dispatch{Req: r, GPU: s.backend.IDOf(h), ExpectHit: true})
+		s.coalesceLast()
 		return false
 	}
 
@@ -938,6 +1166,7 @@ func (s *Scheduler) llb(o Ord, pos int, now sim.Time) bool {
 	s.extract(pos)
 	s.markTaken(o)
 	s.out = append(s.out, Dispatch{Req: r, GPU: s.backend.IDOf(o), ExpectHit: false})
+	s.coalesceLast()
 	return true
 }
 
@@ -1029,6 +1258,7 @@ func (s *Scheduler) findWorkScan(o Ord, now sim.Time, n0 int) bool {
 			s.global.remove(pos)
 			s.markTaken(o)
 			s.out = append(s.out, Dispatch{Req: r, GPU: s.backend.IDOf(o), ExpectHit: true})
+			s.coalesceLast()
 			return true
 		}
 		if r.visits >= s.limit {
@@ -1068,6 +1298,7 @@ func (s *Scheduler) llbScan(o Ord, pos int, now sim.Time) bool {
 		s.global.remove(pos)
 		s.markTaken(o)
 		s.out = append(s.out, Dispatch{Req: r, GPU: s.backend.IDOf(o), ExpectHit: false})
+		s.coalesceLast()
 		return true
 	}
 
@@ -1079,12 +1310,14 @@ func (s *Scheduler) llbScan(o Ord, pos int, now sim.Time) bool {
 			s.global.remove(pos)
 			s.markTaken(o)
 			s.out = append(s.out, Dispatch{Req: r, GPU: s.backend.IDOf(o), ExpectHit: true})
+			s.coalesceLast()
 			return true
 		}
 		if !s.busyOrTaken(h) {
 			s.global.remove(pos)
 			s.markTaken(h)
 			s.out = append(s.out, Dispatch{Req: r, GPU: s.backend.IDOf(h), ExpectHit: true})
+			s.coalesceLast()
 			return false
 		}
 	}
@@ -1117,5 +1350,6 @@ func (s *Scheduler) llbScan(o Ord, pos int, now sim.Time) bool {
 	s.global.remove(pos)
 	s.markTaken(o)
 	s.out = append(s.out, Dispatch{Req: r, GPU: s.backend.IDOf(o), ExpectHit: false})
+	s.coalesceLast()
 	return true
 }

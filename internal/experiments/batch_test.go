@@ -1,0 +1,165 @@
+package experiments
+
+// Batching equivalence, conservation, determinism and the frontier
+// acceptance gate (ISSUE 9). Batching is a strict extension: MaxBatch=1
+// must reproduce the pre-batching goldens byte-for-byte, every batched
+// completion must account for each member exactly once, the sweep must
+// be worker-count independent, and MaxBatch=8 must deliver >= 2x the
+// MaxBatch=1 goodput on the saturated burst trace at a bounded tail.
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"gpufaas/internal/cluster"
+	"gpufaas/internal/core"
+	"gpufaas/internal/gpumgr"
+	"gpufaas/internal/models"
+)
+
+// TestBatchOneGoldenEquivalence re-runs the golden cells with batching
+// explicitly configured at MaxBatch=1 (plus a linger window, which must
+// be ignored at that cap) and requires the reports to stay
+// byte-identical to testdata/golden_reports.json: enabling the batching
+// plumbing without coalescing is a no-op.
+func TestBatchOneGoldenEquivalence(t *testing.T) {
+	entries := make([]goldenEntry, 0, len(goldenSpecs()))
+	for _, s := range goldenSpecs() {
+		p := s.Params
+		p.MaxBatch = 1
+		p.BatchWait = 250 * time.Millisecond // ignored at MaxBatch <= 1
+		row, err := Run(p)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		entries = append(entries, goldenEntry{Name: s.Name, Row: row})
+	}
+	got, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_reports.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("MaxBatch=1 reports are not byte-identical to the pre-batching goldens")
+	}
+}
+
+// TestBatchConservation runs a saturated batched workload through the
+// streaming path and checks every member request completes exactly
+// once: per-ID completion counts, completed+failed == injected, and the
+// request arena's live count back at zero after the drain.
+func TestBatchConservation(t *testing.T) {
+	wp := batchWorkload(batchShapes()[2], true) // saturated burst
+	built, err := StreamWorkload(wp, models.Default(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cluster.DefaultConfig()
+	cfg.Policy = core.LALBO3
+	cfg.MaxBatch = 8
+	cfg.Zoo = built.Zoo
+	seen := make(map[int64]int)
+	cfg.OnResult = func(res gpumgr.Result) { seen[res.ReqID]++ }
+	c, err := cluster.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.RunWorkloadStream(built.Stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BatchedDispatches == 0 || rep.BatchedMembers == 0 {
+		t.Fatalf("saturated run coalesced nothing: %+v", rep)
+	}
+	if rep.Streaming == nil {
+		t.Fatal("streaming stats missing")
+	}
+	if got := rep.Requests + rep.Failed; got != rep.Streaming.Requests {
+		t.Fatalf("completed(%d)+failed(%d) != injected(%d)", rep.Requests, rep.Failed, rep.Streaming.Requests)
+	}
+	if rep.Streaming.FinalLive != 0 {
+		t.Fatalf("arena live = %d after drain, want 0", rep.Streaming.FinalLive)
+	}
+	if int64(len(seen)) != rep.Requests {
+		t.Fatalf("distinct completed IDs = %d, report says %d", len(seen), rep.Requests)
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Fatalf("request %d completed %d times", id, n)
+		}
+	}
+}
+
+// TestBatchSweepDeterministic runs a frontier subset at workers 1 and 8
+// and requires byte-identical JSON — the in-package form of the CI
+// `-det-json` gate (which covers the full sweep via faas-bench).
+func TestBatchSweepDeterministic(t *testing.T) {
+	specs := BatchSpecs(true)
+	// Subset: the first policy's flat MaxBatch block plus the linger
+	// rows — enough cells to cross worker boundaries without running
+	// every saturated cell twice (the CI faas-bench gate covers the
+	// full grid).
+	subset := append(specs[:4:4], specs[len(specs)-2:]...)
+	run := func(workers int) []byte {
+		t.Helper()
+		rows, err := Matrix{Workers: workers}.Run(subset)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	if w1, w8 := run(1), run(8); !bytes.Equal(w1, w8) {
+		t.Fatal("batch sweep rows differ between workers=1 and workers=8")
+	}
+}
+
+// TestBatchFrontierAcceptance is the ISSUE 9 acceptance gate: on the
+// saturated burst trace, MaxBatch=8 must deliver at least 2x the
+// MaxBatch=1 goodput while keeping the p95 bounded (below the
+// queue-bound baseline's, and under an absolute ceiling).
+func TestBatchFrontierAcceptance(t *testing.T) {
+	burst := batchShapes()[2]
+	run := func(k int) BatchRow {
+		t.Helper()
+		row, err := Run(RunParams{
+			Policy:   core.LALBO3,
+			MaxBatch: k,
+			Workload: batchWorkload(burst, true),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return batchRowFrom(batchCell{policy: core.LALBO3, shape: burst.name, maxBatch: k}, row)
+	}
+	base, batched := run(1), run(8)
+	if base.GoodputRPS <= 0 {
+		t.Fatalf("baseline goodput = %v", base.GoodputRPS)
+	}
+	ratio := batched.GoodputRPS / base.GoodputRPS
+	t.Logf("goodput %.2f -> %.2f rps (%.2fx), p95 %.2fs -> %.2fs, occupancy %.2f",
+		base.GoodputRPS, batched.GoodputRPS, ratio,
+		base.P95LatencySec, batched.P95LatencySec, batched.AvgOccupancy)
+	if ratio < 2 {
+		t.Fatalf("MaxBatch=8 goodput ratio = %.2fx (%.2f vs %.2f rps), want >= 2x",
+			ratio, batched.GoodputRPS, base.GoodputRPS)
+	}
+	if batched.P95LatencySec >= base.P95LatencySec {
+		t.Fatalf("MaxBatch=8 p95 %.2fs not below MaxBatch=1 p95 %.2fs",
+			batched.P95LatencySec, base.P95LatencySec)
+	}
+	if batched.P95LatencySec > 60 {
+		t.Fatalf("MaxBatch=8 p95 %.2fs exceeds the 60s bound", batched.P95LatencySec)
+	}
+}

@@ -210,6 +210,11 @@ type RunParams struct {
 	// Obs selects the run's observability features (lifecycle tracing,
 	// latency decomposition, time-series telemetry); zero disables all.
 	Obs obs.Options
+	// MaxBatch / BatchWait enable coalesced same-model dispatch
+	// (cluster.Config.MaxBatch / BatchWait). MaxBatch <= 1 keeps the
+	// run byte-identical to the pre-batching build.
+	MaxBatch  int
+	BatchWait time.Duration
 }
 
 // Row is one experiment result: a point in Figures 4a/4b/4c/5/6.
@@ -249,6 +254,8 @@ func buildConfig(p RunParams) (cluster.Config, WorkloadParams, error) {
 		cfg.Fleet = append(cluster.FleetSpec(nil), p.Fleet...)
 	}
 	cfg.Obs = p.Obs
+	cfg.MaxBatch = p.MaxBatch
+	cfg.BatchWait = p.BatchWait
 	wp := p.Workload
 	if wp.Minutes == 0 {
 		wp = DefaultWorkload(p.WorkingSet)

@@ -63,6 +63,19 @@ type Result struct {
 	FinishedAt   sim.Time
 	LoadTime     time.Duration
 	InferTime    time.Duration
+	// BatchMembers is the number of requests coalesced into the launch
+	// that produced this result; 0 marks the legacy single-dispatch
+	// path (Execute), whose results are bit-identical to builds without
+	// batching. Every member of one batched launch reports the same
+	// FinishedAt, LoadTime and InferTime — the launch's wall times — so
+	// the queue+load+infer latency decomposition stays additive.
+	BatchMembers int
+	// InferShare is this request's attributed slice of the batched
+	// inference time: the launch overhead plus its own inputs for the
+	// primary, the marginal per-input cost for coalesced members.
+	// Shares sum exactly to InferTime across the batch. Zero on the
+	// single-dispatch path (callers treat that as InferTime).
+	InferShare time.Duration
 }
 
 // Latency is the end-to-end function latency: completion minus arrival
@@ -381,6 +394,191 @@ func (m *Manager) Execute(req *core.Request, gpuID string, now sim.Time) (hit bo
 		m.complete(dev, res, at)
 	})
 	return hit, nil
+}
+
+// ExecuteBatch runs a coalesced scheduler dispatch — the primary request
+// plus the same-model extras the scheduler drained behind it — as ONE
+// launch on the GPU: one hit/miss resolution, one model load on a miss,
+// one batched inference sized by the members' summed inputs, one
+// completion that finishes every member at the same instant.
+//
+// Cache-metric semantics: a batched launch counts as one cache access
+// (one OnHit or OnMiss), because it is one model activation — hit/miss
+// ratios count launches, not member requests.
+//
+// Tenant accounting is exact: each extra is charged the marginal
+// per-input cost its membership adds (InferFit slope times its inputs),
+// the primary is charged the remainder (launch overhead + its own
+// inputs) plus the load. Quota checks use the same decomposition:
+// an extra whose tenant is out of quota is excluded from the launch and
+// returned in dropped — the caller fails it like a dispatch error; a
+// primary quota failure fails the whole call before any state changes.
+//
+// With no extras the call is exactly Execute.
+func (m *Manager) ExecuteBatch(req *core.Request, extras []*core.Request, gpuID string, now sim.Time) (hit bool, dropped []*core.Request, err error) {
+	if len(extras) == 0 {
+		hit, err = m.Execute(req, gpuID, now)
+		return hit, nil, err
+	}
+	dev, ok := m.devices[gpuID]
+	if !ok {
+		return false, nil, fmt.Errorf("%w: %s", ErrUnknownDevice, gpuID)
+	}
+	mdl, ok := m.zoo.Get(req.Model)
+	if !ok {
+		return false, nil, fmt.Errorf("%w: %s", ErrUnknownModel, req.Model)
+	}
+	prof, ok := m.profiles.Get(dev.Type(), mdl.Name)
+	if !ok {
+		return false, nil, fmt.Errorf("%w: %s on %s", ErrNoProfile, mdl.Name, dev.Type())
+	}
+	for _, r := range extras {
+		if r.Model != req.Model {
+			return false, nil, fmt.Errorf("gpumgr: batch mixes models %s and %s", req.Model, r.Model)
+		}
+	}
+
+	hit = m.cacheMgr.CachedOrd(m.devOrd[gpuID], mdl.Name)
+	loadTime := time.Duration(0)
+	if !hit {
+		loadTime = prof.LoadTime
+	}
+	newProcess := !hit
+
+	// Primary pays the single-request cost (launch overhead + own
+	// inputs) plus the load; each extra pays only the marginal slope
+	// cost of its inputs. The shares sum exactly to the batched
+	// inference time, so quota charges equal GPU time consumed.
+	primaryInfer := prof.InferTime(req.BatchSize)
+	if err := m.checkQuota(req.Tenant, loadTime+primaryInfer, newProcess, mdl.OccupancyBytes()); err != nil {
+		return hit, nil, err
+	}
+	marginal := func(batch int) time.Duration {
+		if batch <= 0 {
+			batch = 1
+		}
+		return time.Duration(prof.InferFit.Beta * float64(batch) * float64(time.Second))
+	}
+	members := make([]*core.Request, 0, 1+len(extras))
+	members = append(members, req)
+	var shares []time.Duration
+	shares = append(shares, 0) // primary's share is the remainder, below
+	for _, r := range extras {
+		cost := marginal(r.BatchSize)
+		if err := m.checkQuota(r.Tenant, cost, false, 0); err != nil {
+			dropped = append(dropped, r)
+			continue
+		}
+		members = append(members, r)
+		shares = append(shares, cost)
+	}
+
+	totalInputs := 0
+	for _, r := range members {
+		b := r.BatchSize
+		if b <= 0 {
+			b = 1
+		}
+		totalInputs += b
+	}
+	inferTime := prof.InferTime(totalInputs)
+	shares[0] = inferTime
+	for _, s := range shares[1:] {
+		shares[0] -= s
+	}
+
+	falseMiss := false
+	if hit {
+		if err := m.cacheMgr.OnHit(gpuID, mdl.Name, now); err != nil {
+			return true, dropped, err
+		}
+	} else {
+		falseMiss = m.cacheMgr.CachedAnywhere(mdl.Name)
+		victims, err := m.cacheMgr.Victims(dev, mdl.OccupancyBytes())
+		if err != nil {
+			return false, dropped, err
+		}
+		for _, v := range victims {
+			if err := m.killProcess(gpuID, v, now); err != nil {
+				return false, dropped, err
+			}
+		}
+		if err := dev.Admit(mdl.Name, mdl.OccupancyBytes(), now); err != nil {
+			return false, dropped, err
+		}
+		if err := m.cacheMgr.OnMiss(gpuID, mdl.Name, now); err != nil {
+			return false, dropped, err
+		}
+		m.startProcess(gpuID, mdl.Name, req.Tenant, now)
+	}
+
+	finishAt, err := dev.Begin(req.ID, mdl.Name, loadTime, inferTime, now)
+	if err != nil {
+		return hit, dropped, err
+	}
+	m.cacheMgr.Pin(gpuID, mdl.Name)
+	if m.sink != nil {
+		m.sink.GPUStatus(gpuID, true, now)
+	}
+
+	results := make([]Result, len(members))
+	for i, r := range members {
+		results[i] = Result{
+			ReqID:        r.ID,
+			Function:     r.Function,
+			Model:        mdl.Name,
+			GPU:          gpuID,
+			Tenant:       r.Tenant,
+			Hit:          hit,
+			FalseMiss:    falseMiss,
+			Arrival:      r.Arrival,
+			DispatchedAt: now,
+			FinishedAt:   finishAt,
+			LoadTime:     loadTime,
+			InferTime:    inferTime,
+			BatchMembers: len(members),
+			InferShare:   shares[i],
+		}
+	}
+	if loadTime > 0 {
+		m.clock.AfterFunc(loadTime, "gpumgr.loadDone "+gpuID, func(at sim.Time) {
+			_ = dev.LoadDone(at)
+		})
+	}
+	m.clock.AfterFunc(time.Duration(finishAt-now), "gpumgr.complete "+gpuID, func(at sim.Time) {
+		m.completeBatch(dev, results, at)
+	})
+	return hit, dropped, nil
+}
+
+// completeBatch retires a batched launch: one device completion, exact
+// per-member tenant charges (load to the primary), then the member
+// completions in arrival order.
+func (m *Manager) completeBatch(dev *gpu.Device, results []Result, now sim.Time) {
+	if _, err := dev.Complete(now); err != nil {
+		panic(fmt.Sprintf("gpumgr: complete on %s: %v", dev.ID(), err))
+	}
+	m.cacheMgr.Pin(dev.ID(), "")
+	for i := range results {
+		res := &results[i]
+		u := m.tenantUsageFor(res.Tenant)
+		u.gpuTime += res.InferShare
+		if i == 0 {
+			u.gpuTime += res.LoadTime
+		}
+		res.FinishedAt = now
+	}
+	if m.sink != nil {
+		m.sink.GPUStatus(dev.ID(), false, now)
+	}
+	for i := range results {
+		if m.sink != nil {
+			m.sink.Completion(results[i])
+		}
+		if m.onComplete != nil {
+			m.onComplete(results[i])
+		}
+	}
 }
 
 func (m *Manager) complete(dev *gpu.Device, res Result, now sim.Time) {

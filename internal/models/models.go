@@ -31,8 +31,12 @@ type Model struct {
 	// LoadTime is the time to upload the model's parameters over PCIe
 	// into GPU memory (Table I "Loading time").
 	LoadTime time.Duration
-	// InferTime is the inference latency for a batch of 32 inputs
-	// (Table I "Inference time").
+	// InferTime is the measured latency of ONE request carrying the
+	// evaluation batch of 32 inputs executing alone on the GPU — one
+	// kernel launch, batch occupancy 1 (Table I "Inference time").
+	// Coalesced execution of several requests in a single launch costs
+	// Profile.InferTimeAt(n, k), which is sub-linear in k because the
+	// fixed launch overhead amortizes across members.
 	InferTime time.Duration
 	// Params is the approximate parameter count, used by the live-mode
 	// nn substrate to construct a scaled architecture. Derived, not from
@@ -174,12 +178,32 @@ type Profile struct {
 	InferFit stats.Linear
 }
 
-// InferTime predicts the inference latency for a batch of n inputs.
+// InferTime predicts the inference latency for one request carrying a
+// batch of n inputs (batch occupancy 1). It is InferTimeAt(n, 1).
 func (p Profile) InferTime(n int) time.Duration {
+	return p.InferTimeAt(n, 1)
+}
+
+// InferTimeAt predicts the service time of one coalesced kernel launch
+// executing k same-model requests, each carrying a batch of n inputs:
+// the fitted line evaluated at k·n total inputs. Because the fit keeps
+// a fixed launch/overhead intercept (Alpha) and a per-input slope
+// (Beta), the curve is sub-linear in k — equivalently
+//
+//	InferTimeAt(n, k) = InferTime(n) · (1 + α·(k−1)),  α = βn/(α₀+βn)
+//
+// with α ≈ 0.3 for the Table I profiles at the evaluation batch of 32
+// (the 70/30 launch-cost split AddTableProfiles calibrates). k ≤ 1
+// reproduces InferTime(n) exactly, so batching is a strict extension
+// of the single-dispatch model.
+func (p Profile) InferTimeAt(n, k int) time.Duration {
 	if n <= 0 {
 		n = 1
 	}
-	sec := p.InferFit.Predict(float64(n))
+	if k <= 0 {
+		k = 1
+	}
+	sec := p.InferFit.Predict(float64(k) * float64(n))
 	if sec < 0 {
 		sec = 0
 	}
@@ -302,10 +326,11 @@ func AddTableProfiles(s *ProfileStore, gpuType string, slowdown float64, z *Zoo)
 	for _, m := range z.All() {
 		total := m.InferTime.Seconds() * slowdown
 		// Calibration: ~70% of the batch-32 latency is fixed kernel
-		// launch/overhead, 30% scales with batch size. The split only
-		// matters for non-32 batch sizes, which the paper's evaluation
-		// does not exercise; at batch 32 the fit reproduces Table I
-		// (times slowdown) exactly.
+		// launch/overhead, 30% scales with total input count. At batch
+		// 32 the fit reproduces Table I (times slowdown) exactly; the
+		// split is also what sets the coalesced-batch scaling curve —
+		// InferTimeAt(32, k) = InferTime·(0.7 + 0.3k), i.e. a batch of
+		// 8 requests costs 3.1x one request for 8x the work.
 		alpha := total * 0.7
 		beta := total * 0.3 / float64(EvalBatchSize)
 		s.Put(Profile{

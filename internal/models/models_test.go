@@ -291,3 +291,53 @@ func statsLinear(alpha, beta float64) (l struct {
 	l.Alpha, l.Beta = alpha, beta
 	return
 }
+
+// TestInferTimeAtCurve table-tests the coalesced-batch service-time
+// curve for every builtin profile × device class: batch-1 identity
+// (InferTimeAt(n, 1) must be float-exact InferTime(n) — the MaxBatch=1
+// golden guarantee), strict monotonicity in coalesced members, and
+// sub-linear scaling (k requests cost less than k times one request).
+func TestInferTimeAtCurve(t *testing.T) {
+	zoo := Default()
+	for _, class := range BuiltinDeviceClasses {
+		store, err := FleetTableProfiles(zoo, class.Type)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range zoo.All() {
+			p, ok := store.Get(class.Type, m.Name)
+			if !ok {
+				t.Fatalf("%s: no profile for %s", class.Type, m.Name)
+			}
+			for _, n := range []int{1, 8, EvalBatchSize} {
+				if got, want := p.InferTimeAt(n, 1), p.InferTime(n); got != want {
+					t.Fatalf("%s/%s: InferTimeAt(%d,1)=%v != InferTime(%d)=%v",
+						class.Type, m.Name, n, got, n, want)
+				}
+				one := p.InferTimeAt(n, 1)
+				for k := 2; k <= 16; k++ {
+					cur, prev := p.InferTimeAt(n, k), p.InferTimeAt(n, k-1)
+					if cur <= prev {
+						t.Fatalf("%s/%s: InferTimeAt(%d,%d)=%v not > InferTimeAt(%d,%d)=%v",
+							class.Type, m.Name, n, k, cur, n, k-1, prev)
+					}
+					if cur >= time.Duration(k)*one {
+						t.Fatalf("%s/%s: InferTimeAt(%d,%d)=%v not sub-linear vs %d×%v",
+							class.Type, m.Name, n, k, cur, k, one)
+					}
+				}
+				// The calibrated split: k coalesced requests of n inputs
+				// cost InferTime(n·1)·(α₀+β·kn)/(α₀+β·n); at n=32 this is
+				// the documented 0.7+0.3k curve.
+				if n == EvalBatchSize {
+					want := p.InferTime(n).Seconds() * (0.7 + 0.3*8)
+					got := p.InferTimeAt(n, 8).Seconds()
+					if math.Abs(got-want) > 5e-9 {
+						t.Fatalf("%s/%s: InferTimeAt(32,8)=%vs, want %vs (0.7+0.3k calibration)",
+							class.Type, m.Name, got, want)
+					}
+				}
+			}
+		}
+	}
+}

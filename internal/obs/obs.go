@@ -89,6 +89,15 @@ type Span struct {
 	ExpectHit bool `json:"expect_hit"`
 	Parked    bool `json:"parked"`
 	O3Skips   int  `json:"o3_skips"`
+
+	// BatchMembers is the number of requests coalesced into this
+	// request's GPU launch; 0 on the single-dispatch path, omitted so
+	// pre-batching trace exports stay byte-identical. InferShare is the
+	// request's attributed slice of the batched inference wall time
+	// (InferTime above is the whole launch); 0/omitted on the single
+	// path, where the request owns the full InferTime.
+	BatchMembers int           `json:"batch,omitempty"`
+	InferShare   time.Duration `json:"infer_share_ns,omitempty"`
 }
 
 // pendingSpan holds the placement-decision fields captured at
@@ -150,6 +159,10 @@ type Completion struct {
 	Finished   time.Duration
 	LoadTime   time.Duration
 	InferTime  time.Duration
+	// BatchMembers / InferShare mirror the Span fields: launch occupancy
+	// and this request's attributed service slice (0 on the single path).
+	BatchMembers int
+	InferShare   time.Duration
 }
 
 // OnComplete joins a completion record with its pending dispatch
@@ -161,22 +174,24 @@ func (t *Tracer) OnComplete(c Completion) {
 	}
 	delete(t.pending, c.ReqID)
 	t.spans = append(t.spans, Span{
-		ReqID:      c.ReqID,
-		Function:   c.Function,
-		Model:      c.Model,
-		GPU:        p.gpu,
-		Ord:        p.ord,
-		Cell:       t.cell,
-		Arrival:    c.Arrival,
-		Dispatched: c.Dispatched,
-		Finished:   c.Finished,
-		LoadTime:   c.LoadTime,
-		InferTime:  c.InferTime,
-		Hit:        c.Hit,
-		FalseMiss:  c.FalseMiss,
-		ExpectHit:  p.expectHit,
-		Parked:     p.parked,
-		O3Skips:    p.o3Skips,
+		ReqID:        c.ReqID,
+		Function:     c.Function,
+		Model:        c.Model,
+		GPU:          p.gpu,
+		Ord:          p.ord,
+		Cell:         t.cell,
+		Arrival:      c.Arrival,
+		Dispatched:   c.Dispatched,
+		Finished:     c.Finished,
+		LoadTime:     c.LoadTime,
+		InferTime:    c.InferTime,
+		Hit:          c.Hit,
+		FalseMiss:    c.FalseMiss,
+		ExpectHit:    p.expectHit,
+		Parked:       p.parked,
+		O3Skips:      p.o3Skips,
+		BatchMembers: c.BatchMembers,
+		InferShare:   c.InferShare,
 	})
 }
 
@@ -247,6 +262,24 @@ type Breakdown struct {
 	All  PhaseStats `json:"all"`
 	Hit  PhaseStats `json:"hit"`
 	Miss PhaseStats `json:"miss"`
+
+	// Batched counts requests that completed via a coalesced (multi- or
+	// single-member) batched launch; BatchOccupancy is the histogram of
+	// launch occupancy over those requests, and EffectiveService the
+	// quantiles of their attributed service slices (InferShare — what a
+	// request actually cost, vs the Service phase above, which records
+	// the whole launch wall time each member rode on). All zero/omitted
+	// when batching is off, keeping pre-batching reports byte-identical.
+	Batched          int64             `json:"batched,omitempty"`
+	BatchOccupancy   []OccupancyBucket `json:"batch_occupancy,omitempty"`
+	EffectiveService *Quantiles        `json:"effective_service,omitempty"`
+}
+
+// OccupancyBucket is one row of the batch-occupancy histogram: how many
+// requests completed in launches coalescing exactly Members requests.
+type OccupancyBucket struct {
+	Members  int   `json:"members"`
+	Requests int64 `json:"requests"`
 }
 
 // RawBreakdown holds the raw per-request component samples, split by
@@ -264,6 +297,14 @@ type RawBreakdown struct {
 	LoadMiss    []float64
 	ServiceHit  []float64
 	ServiceMiss []float64
+
+	// Batch accounting (coalesced dispatch). Occupancy[k-1] counts
+	// requests that completed in a k-member launch; EffShare holds each
+	// batched request's attributed service slice in seconds. Both empty
+	// when batching is off.
+	Batched   int64
+	Occupancy []int64
+	EffShare  []float64
 }
 
 // Collector accumulates the raw latency decomposition for one
@@ -275,8 +316,19 @@ type Collector struct {
 // NewCollector returns an empty breakdown collector.
 func NewCollector() *Collector { return &Collector{} }
 
-// Observe records one completed request's phase durations.
-func (c *Collector) Observe(hit, falseMiss bool, queue, load, service time.Duration) {
+// Observe records one completed request's phase durations. members is
+// the launch occupancy (0 on the single-dispatch path) and share the
+// request's attributed service slice — both recorded only for batched
+// completions, so pre-batching collections are unchanged.
+func (c *Collector) Observe(hit, falseMiss bool, queue, load, service time.Duration, members int, share time.Duration) {
+	if members > 0 {
+		c.raw.Batched++
+		for len(c.raw.Occupancy) < members {
+			c.raw.Occupancy = append(c.raw.Occupancy, 0)
+		}
+		c.raw.Occupancy[members-1]++
+		c.raw.EffShare = append(c.raw.EffShare, share.Seconds())
+	}
 	if hit {
 		c.raw.Hits++
 		c.raw.QueueHit = append(c.raw.QueueHit, queue.Seconds())
@@ -367,6 +419,16 @@ func (r *RawBreakdown) Breakdown() *Breakdown {
 		Load:      quantiles(r.LoadMiss, r.Hits),
 		Service:   quantiles(concat(r.ServiceHit, r.ServiceMiss), 0),
 	}
+	if r.Batched > 0 {
+		b.Batched = r.Batched
+		for i, n := range r.Occupancy {
+			if n > 0 {
+				b.BatchOccupancy = append(b.BatchOccupancy, OccupancyBucket{Members: i + 1, Requests: n})
+			}
+		}
+		q := quantiles(r.EffShare, 0)
+		b.EffectiveService = &q
+	}
 	return b
 }
 
@@ -391,6 +453,14 @@ func MergeRaw(raws []*RawBreakdown) *RawBreakdown {
 		out.LoadMiss = append(out.LoadMiss, r.LoadMiss...)
 		out.ServiceHit = append(out.ServiceHit, r.ServiceHit...)
 		out.ServiceMiss = append(out.ServiceMiss, r.ServiceMiss...)
+		out.Batched += r.Batched
+		for len(out.Occupancy) < len(r.Occupancy) {
+			out.Occupancy = append(out.Occupancy, 0)
+		}
+		for i, n := range r.Occupancy {
+			out.Occupancy[i] += n
+		}
+		out.EffShare = append(out.EffShare, r.EffShare...)
 	}
 	return out
 }

@@ -65,9 +65,9 @@ func TestCollectorBreakdown(t *testing.T) {
 	c := NewCollector()
 	// Two hits (queue 1s/3s, service 2s each), one miss
 	// (queue 5s, load 10s, service 2s, false miss).
-	c.Observe(true, false, 1*time.Second, 0, 2*time.Second)
-	c.Observe(true, false, 3*time.Second, 0, 2*time.Second)
-	c.Observe(false, true, 5*time.Second, 10*time.Second, 2*time.Second)
+	c.Observe(true, false, 1*time.Second, 0, 2*time.Second, 0, 0)
+	c.Observe(true, false, 3*time.Second, 0, 2*time.Second, 0, 0)
+	c.Observe(false, true, 5*time.Second, 10*time.Second, 2*time.Second, 0, 0)
 	b := c.Breakdown()
 	if b.Requests != 3 || b.Hits != 2 || b.Misses != 1 || b.FalseMisses != 1 {
 		t.Fatalf("counts wrong: %+v", b)
@@ -99,16 +99,16 @@ func TestCollectorBreakdown(t *testing.T) {
 
 func TestMergeRawExactUnion(t *testing.T) {
 	a := NewCollector()
-	a.Observe(true, false, 1*time.Second, 0, 1*time.Second)
-	a.Observe(false, false, 2*time.Second, 4*time.Second, 1*time.Second)
+	a.Observe(true, false, 1*time.Second, 0, 1*time.Second, 0, 0)
+	a.Observe(false, false, 2*time.Second, 4*time.Second, 1*time.Second, 0, 0)
 	b := NewCollector()
-	b.Observe(false, true, 3*time.Second, 8*time.Second, 1*time.Second)
+	b.Observe(false, true, 3*time.Second, 8*time.Second, 1*time.Second, 0, 0)
 
 	// Union collector observing the same six requests directly.
 	u := NewCollector()
-	u.Observe(true, false, 1*time.Second, 0, 1*time.Second)
-	u.Observe(false, false, 2*time.Second, 4*time.Second, 1*time.Second)
-	u.Observe(false, true, 3*time.Second, 8*time.Second, 1*time.Second)
+	u.Observe(true, false, 1*time.Second, 0, 1*time.Second, 0, 0)
+	u.Observe(false, false, 2*time.Second, 4*time.Second, 1*time.Second, 0, 0)
+	u.Observe(false, true, 3*time.Second, 8*time.Second, 1*time.Second, 0, 0)
 
 	merged := MergeRaw([]*RawBreakdown{a.Raw(), nil, b.Raw()}).Breakdown()
 	want := u.Breakdown()
