@@ -8,6 +8,7 @@
 #                      heterogeneity-smoke scale-smoke cells-smoke
 #                      cells-determinism obs-smoke obs-determinism
 #                      overload-smoke batch-smoke batch-determinism
+#                      chaos-smoke chaos-determinism
 #
 # (bench-regress and vuln stay advisory in both places.)
 
@@ -16,7 +17,7 @@ GO ?= go
 # Hot-path benchmarks compared by bench-save / bench-compare.
 BENCH_PATTERN ?= BenchmarkEngineFire|BenchmarkEngineCancel|BenchmarkScheduleDecision|BenchmarkScheduleRound1024|BenchmarkStreamingReplay|BenchmarkRouterRoute|BenchmarkMultiCellReplay
 
-.PHONY: all build test race vet fmt fmt-check bench bench-smoke snapshot ci-snapshot elasticity-smoke heterogeneity-smoke scale-smoke cells-smoke cells-determinism obs-smoke obs-determinism overload-smoke batch-smoke batch-determinism bench-save bench-compare bench-regress vuln ci
+.PHONY: all build test race vet fmt fmt-check bench bench-smoke snapshot ci-snapshot elasticity-smoke heterogeneity-smoke scale-smoke cells-smoke cells-determinism obs-smoke obs-determinism overload-smoke batch-smoke batch-determinism chaos-smoke chaos-determinism bench-save bench-compare bench-regress vuln ci
 
 all: build
 
@@ -128,6 +129,22 @@ batch-determinism: batch-smoke
 	cmp /tmp/gpufaas_batch_w1.json BENCH_batch.det.json
 	@echo "batching determinism gate: snapshots byte-identical across worker counts"
 
+# Short-mode availability sweep (deterministic fault injection: mode ×
+# MTTR × retry policy), mirrored in CI as the "chaos smoke" step. Writes
+# to a fresh file so the committed full-grid BENCH_chaos.json survives
+# as the baseline for the advisory retry-on comparison.
+chaos-smoke:
+	$(GO) run ./cmd/faas-bench -exp chaos -short -workers 8 -json BENCH_chaos.ci.json -det-json BENCH_chaos.det.json
+
+# The chaos determinism gate: every fault instant is a pure function of
+# the seed, so the sweep must be byte-identical at any worker count.
+# Reuses the workers=8 canonical twin chaos-smoke wrote and re-runs at
+# -workers 1.
+chaos-determinism: chaos-smoke
+	$(GO) run ./cmd/faas-bench -exp chaos -short -workers 1 -det-json /tmp/gpufaas_chaos_w1.json
+	cmp /tmp/gpufaas_chaos_w1.json BENCH_chaos.det.json
+	@echo "chaos determinism gate: snapshots byte-identical across worker counts"
+
 # Record the hot-path benchmarks for later comparison: the previous
 # recording rotates to bench_old.txt, so the workflow is
 #   make bench-save            # on the old commit
@@ -170,4 +187,4 @@ bench-regress:
 vuln:
 	-$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...
 
-ci: fmt-check vet build race bench-smoke ci-snapshot elasticity-smoke heterogeneity-smoke scale-smoke cells-smoke cells-determinism obs-smoke obs-determinism overload-smoke batch-smoke batch-determinism
+ci: fmt-check vet build race bench-smoke ci-snapshot elasticity-smoke heterogeneity-smoke scale-smoke cells-smoke cells-determinism obs-smoke obs-determinism overload-smoke batch-smoke batch-determinism chaos-smoke chaos-determinism

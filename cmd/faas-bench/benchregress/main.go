@@ -21,6 +21,12 @@
 // identical rows — so any drift is a behavioral change in the batching
 // path, but the step stays advisory like the others and the threshold
 // leaves room for deliberate retuning of the service-time curve.
+//
+// Snapshots carrying chaos rows (faas-bench -exp chaos) compare the
+// retry-on fault cells — the rows that back the availability claim
+// (retry holds goodput where retry-off bleeds). Goodput and
+// availability must hold within the threshold; sim-time like batch, so
+// drift means the recovery path changed behaviour.
 package main
 
 import (
@@ -39,6 +45,7 @@ type experiment struct {
 	Hotpath  []hotpathRow  `json:"hotpath"`
 	Overload []overloadRow `json:"overload"`
 	Batch    []batchRow    `json:"batch"`
+	Chaos    []chaosRow    `json:"chaos"`
 }
 
 type hotpathRow struct {
@@ -69,21 +76,35 @@ func (r batchRow) key() string {
 	return fmt.Sprintf("batch/%s/%s/k=%d/wait=%gms", r.Policy, r.Shape, r.MaxBatch, r.BatchWaitMs)
 }
 
-func load(path string) (map[string]hotpathRow, map[string]overloadRow, map[string]batchRow, error) {
+type chaosRow struct {
+	Mode          string  `json:"mode"`
+	MTTRSec       float64 `json:"mttr_sec"`
+	RetryAttempts int     `json:"retry_attempts"`
+	GoodputRPS    float64 `json:"goodput_rps"`
+	Availability  float64 `json:"availability"`
+}
+
+// key identifies a chaos cell across snapshots.
+func (r chaosRow) key() string {
+	return fmt.Sprintf("chaos/%s/mttr=%gs/retry=%d", r.Mode, r.MTTRSec, r.RetryAttempts)
+}
+
+func load(path string) (map[string]hotpathRow, map[string]overloadRow, map[string]batchRow, map[string]chaosRow, error) {
 	buf, err := os.ReadFile(path)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, nil, err
 	}
 	var snap snapshot
 	if err := json.Unmarshal(buf, &snap); err != nil {
-		return nil, nil, nil, fmt.Errorf("%s: %w", path, err)
+		return nil, nil, nil, nil, fmt.Errorf("%s: %w", path, err)
 	}
 	if snap.Schema != "gpufaas-bench/v1" {
-		return nil, nil, nil, fmt.Errorf("%s: unexpected schema %q", path, snap.Schema)
+		return nil, nil, nil, nil, fmt.Errorf("%s: unexpected schema %q", path, snap.Schema)
 	}
 	rows := make(map[string]hotpathRow)
 	over := make(map[string]overloadRow)
 	batch := make(map[string]batchRow)
+	cha := make(map[string]chaosRow)
 	for _, exp := range snap.Experiments {
 		for _, r := range exp.Hotpath {
 			rows[r.Name] = r
@@ -98,31 +119,40 @@ func load(path string) (map[string]hotpathRow, map[string]overloadRow, map[strin
 				batch[r.key()] = r
 			}
 		}
+		for _, r := range exp.Chaos {
+			// Only the retry-on fault cells gate: they carry the
+			// availability claim (the retry-off cells are SUPPOSED to
+			// bleed, and the fault-free baseline never moves).
+			if r.Mode != "none" && r.RetryAttempts > 0 {
+				cha[r.key()] = r
+			}
+		}
 	}
-	return rows, over, batch, nil
+	return rows, over, batch, cha, nil
 }
 
 func main() {
 	threshold := flag.Float64("threshold", 1.5, "fail when current ns/op exceeds baseline by this factor")
 	overThreshold := flag.Float64("overload-threshold", 3.0, "fail when the shedding-on overload p99 exceeds baseline by this factor, or goodput drops below baseline divided by it")
 	batchThreshold := flag.Float64("batch-threshold", 1.25, "fail when a MaxBatch=8 frontier row's p95 exceeds baseline by this factor, or its goodput drops below baseline divided by it")
+	chaosThreshold := flag.Float64("chaos-threshold", 1.1, "fail when a retry-on chaos cell's goodput or availability drops below baseline divided by this factor")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchregress [-threshold 1.5] [-overload-threshold 3.0] [-batch-threshold 1.25] baseline.json current.json")
+		fmt.Fprintln(os.Stderr, "usage: benchregress [-threshold 1.5] [-overload-threshold 3.0] [-batch-threshold 1.25] [-chaos-threshold 1.1] baseline.json current.json")
 		os.Exit(2)
 	}
-	base, baseOver, baseBatch, err := load(flag.Arg(0))
+	base, baseOver, baseBatch, baseChaos, err := load(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchregress: %v\n", err)
 		os.Exit(2)
 	}
-	cur, curOver, curBatch, err := load(flag.Arg(1))
+	cur, curOver, curBatch, curChaos, err := load(flag.Arg(1))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchregress: %v\n", err)
 		os.Exit(2)
 	}
-	if len(base) == 0 && len(baseOver) == 0 && len(baseBatch) == 0 {
-		fmt.Println("benchregress: baseline has no hotpath, overload or batch rows; nothing to compare")
+	if len(base) == 0 && len(baseOver) == 0 && len(baseBatch) == 0 && len(baseChaos) == 0 {
+		fmt.Println("benchregress: baseline has no hotpath, overload, batch or chaos rows; nothing to compare")
 		return
 	}
 	regressed := false
@@ -195,6 +225,31 @@ func main() {
 		}
 		fmt.Printf("%s %-34s p95 %7.2f -> %7.2f s (%.2fx)  goodput %7.2f -> %7.2f rps\n",
 			status, name, b.P95LatencySec, c.P95LatencySec, p95Ratio, b.GoodputRPS, c.GoodputRPS)
+	}
+	// Chaos comparison: the retry-on fault cells must hold goodput and
+	// availability — the claim BENCH_chaos.json pins is that retry-on
+	// dominates retry-off, so a recovery-path change that drops either
+	// axis here is exactly the regression the sweep exists to catch.
+	for name, b := range baseChaos {
+		c, ok := curChaos[name]
+		if !ok {
+			fmt.Printf("MISSING  %-38s (in baseline, not in current run)\n", name)
+			regressed = true
+			continue
+		}
+		goodRatio := b.GoodputRPS / c.GoodputRPS
+		availRatio := b.Availability / c.Availability
+		status := "ok      "
+		switch {
+		case goodRatio > *chaosThreshold:
+			status = "GOODPUT "
+			regressed = true
+		case availRatio > *chaosThreshold:
+			status = "AVAIL   "
+			regressed = true
+		}
+		fmt.Printf("%s %-38s goodput %7.2f -> %7.2f rps  availability %.4f -> %.4f\n",
+			status, name, b.GoodputRPS, c.GoodputRPS, b.Availability, c.Availability)
 	}
 	if regressed {
 		fmt.Println("benchregress: hot-path regression detected (advisory)")

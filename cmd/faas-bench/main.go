@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	faas-bench [-exp all|table1|fig4|fig7|cachepolicy|scaling|elasticity|heterogeneity|scale|cells|obs|hotpath|overload|batch]
+//	faas-bench [-exp all|table1|fig4|fig7|cachepolicy|scaling|elasticity|heterogeneity|scale|cells|obs|hotpath|overload|batch|chaos]
 //	           [-list] [-workers N] [-short] [-json BENCH_baseline.json] [-det-json canon.json] [-v]
 //	           [-trace trace.json]
 //	           [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
@@ -15,7 +15,7 @@
 //
 // -list prints every experiment with a one-liner and whether it is part
 // of `-exp all` and of the CI determinism gates — the explicit-only
-// exclusions (cells, obs, overload, batch) are otherwise discoverable
+// exclusions (cells, obs, overload, batch, chaos) are otherwise discoverable
 // only by reading this comment.
 //
 // The pprof flags profile the experiment run itself (`go tool pprof
@@ -49,6 +49,12 @@
 // explicit-only like cells — its saturated burst cells dwarf the rest
 // of the grid — but pure sim time, so it DOES join the determinism
 // gates (CI diffs its -det-json across worker counts).
+//
+// The `chaos` experiment (the availability sweep: deterministic fault
+// injection, mode × MTTR × retry policy) is explicit-only for the same
+// reason as batch — its 12-minute fault-injected cells dwarf the grid —
+// and, like batch, pure sim time: every fault instant is a function of
+// the seed, so it joins the determinism gates too.
 package main
 
 import (
@@ -97,6 +103,7 @@ type expResult struct {
 	Hotpath       []experiments.HotpathRow       `json:"hotpath,omitempty"`
 	Overload      []experiments.OverloadRow      `json:"overload,omitempty"`
 	Batch         []experiments.BatchRow         `json:"batch,omitempty"`
+	Chaos         []experiments.ChaosRow         `json:"chaos,omitempty"`
 }
 
 // canonicalize deep-copies a snapshot with every field that legitimately
@@ -150,6 +157,7 @@ var experimentCatalog = []struct {
 	{"hotpath", true, false, "engine fire / scheduler decision microbenchmarks"},
 	{"overload", false, false, "live gateway past saturation, admission control on vs off (wall clock)"},
 	{"batch", false, true, "coalesced same-model dispatch frontier: policy x shape x MaxBatch"},
+	{"chaos", false, true, "availability sweep: deterministic faults, mode x MTTR x retry policy"},
 }
 
 // listExperiments renders the catalog for -list.
@@ -174,7 +182,7 @@ func main() {
 }
 
 func benchMain() int {
-	exp := flag.String("exp", "all", "experiment to run: all|table1|fig4|fig7|cachepolicy|scaling|elasticity|heterogeneity|scale|cells|obs|hotpath|overload|batch (cells, obs, overload and batch are not part of all)")
+	exp := flag.String("exp", "all", "experiment to run: all|table1|fig4|fig7|cachepolicy|scaling|elasticity|heterogeneity|scale|cells|obs|hotpath|overload|batch|chaos (cells, obs, overload, batch and chaos are not part of all)")
 	list := flag.Bool("list", false, "print every experiment with a one-liner, whether it runs under -exp all, and whether it feeds the CI determinism gates, then exit")
 	workers := flag.Int("workers", 0, "concurrent experiment runs (0 = GOMAXPROCS)")
 	short := flag.Bool("short", false, "shrink long experiments (elasticity/heterogeneity run the 6-minute traces; scale drops the 1024-GPU and hour-long cells; the cell sweep caps at 4096 GPUs; obs halves the trace)")
@@ -194,9 +202,9 @@ func benchMain() int {
 	}
 
 	switch *exp {
-	case "all", "table1", "fig4", "fig7", "cachepolicy", "scaling", "elasticity", "heterogeneity", "scale", "cells", "obs", "hotpath", "overload", "batch":
+	case "all", "table1", "fig4", "fig7", "cachepolicy", "scaling", "elasticity", "heterogeneity", "scale", "cells", "obs", "hotpath", "overload", "batch", "chaos":
 	default:
-		fmt.Fprintf(os.Stderr, "faas-bench: unknown experiment %q (want all|table1|fig4|fig7|cachepolicy|scaling|elasticity|heterogeneity|scale|cells|obs|hotpath|overload|batch; see -list)\n", *exp)
+		fmt.Fprintf(os.Stderr, "faas-bench: unknown experiment %q (want all|table1|fig4|fig7|cachepolicy|scaling|elasticity|heterogeneity|scale|cells|obs|hotpath|overload|batch|chaos; see -list)\n", *exp)
 		os.Exit(2)
 	}
 	if *tracePath != "" && *exp != "obs" {
@@ -430,6 +438,19 @@ func benchMain() int {
 			}
 			experiments.WriteBatchTable(os.Stdout, rows)
 			return expResult{Batch: rows, Runs: len(rows)}, nil
+		})
+	}
+	// Explicit-only like batch (its fault-injected 12-minute cells dwarf
+	// the grid) and, like batch, pure sim time — every fault instant is a
+	// function of the seed — so it joins the determinism gates.
+	if *exp == "chaos" {
+		run("chaos", "Chaos — availability sweep: fault mode x MTTR x retry policy", func() (expResult, error) {
+			rows, err := experiments.ChaosSweep(m, *short)
+			if err != nil {
+				return expResult{}, err
+			}
+			experiments.WriteChaosTable(os.Stdout, rows)
+			return expResult{Chaos: rows, Runs: len(rows)}, nil
 		})
 	}
 	run("hotpath", "Hot path — engine fire / scheduler decision microbenchmarks", func() (expResult, error) {

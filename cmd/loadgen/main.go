@@ -16,7 +16,10 @@
 // count (pair with -admit-concurrent on the gateway; without admission
 // control the tail diverges instead), served-latency p50/p95/p99 and
 // the generator's own runtime.MemStats telemetry. -json writes the
-// phase rows machine-readably.
+// phase rows machine-readably. With -retry N a 429 is retried up to N
+// times, honoring the Retry-After hint with deterministic jitter;
+// retried successes are reported separately from first-try goodput so
+// retries never inflate the headline rate.
 //
 // Usage:
 //
@@ -37,6 +40,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -66,6 +70,8 @@ func main() {
 	rpsFactor := flag.Float64("rps-factor", 2, "offered-rate multiplier between phases [overload]")
 	tenant := flag.String("tenant", "", "X-Tenant header value (exercises per-tenant token buckets) [overload]")
 	jsonPath := flag.String("json", "", "write the overload phase rows as JSON to this path [overload]")
+	retry := flag.Int("retry", 0, "retries per request after a 429, honoring Retry-After with jittered backoff (0: report the shed and move on) [overload]")
+	retrySeed := flag.Uint64("retry-seed", 1, "seed for the deterministic retry jitter [overload]")
 	flag.Parse()
 
 	var err error
@@ -79,6 +85,7 @@ func main() {
 			phases: *phases, phaseDur: secs(*phaseSec),
 			rpsStart: *rpsStart, rpsFactor: *rpsFactor,
 			tenant: *tenant, jsonPath: *jsonPath,
+			retry: *retry, retrySeed: *retrySeed,
 		})
 	default:
 		err = fmt.Errorf("unknown mode %q (want replay or overload)", *mode)
@@ -202,6 +209,41 @@ type overloadParams struct {
 	batch, concurrency, phases           int
 	calibrate, phaseDur                  time.Duration
 	rpsStart, rpsFactor                  float64
+	retry                                int
+	retrySeed                            uint64
+}
+
+// retrier replays 429s with capped attempts and jittered backoff. The
+// jitter is a pure function of (seed, draw index) — splitmix64, like
+// the simulator's samplers — so two loadgen runs against equally-loaded
+// gateways retry on the same schedule.
+type retrier struct {
+	max  int // retries per request after the first attempt
+	seed uint64
+	seq  atomic.Uint64
+}
+
+// backoff turns the server's Retry-After hint into this attempt's wait:
+// hint × [0.75, 1.25), so synchronized shed waves desynchronize instead
+// of re-arriving as a thundering herd.
+func (rt *retrier) backoff(hint time.Duration) time.Duration {
+	z := rt.seed ^ (rt.seq.Add(1) * 0x9E3779B97F4A7C15)
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	frac := 0.75 + 0.5*float64(z>>11)/float64(uint64(1)<<53)
+	return time.Duration(float64(hint) * frac)
+}
+
+// retryAfter parses the 429's Retry-After delay-seconds; absent or
+// malformed hints back off a token 100ms.
+func retryAfter(resp *http.Response) time.Duration {
+	if s, err := strconv.ParseInt(resp.Header.Get("Retry-After"), 10, 64); err == nil && s > 0 {
+		return time.Duration(s) * time.Second
+	}
+	return 100 * time.Millisecond
 }
 
 // phaseRow is one harness phase, printed as a table row and exported by
@@ -215,10 +257,17 @@ type phaseRow struct {
 	Shed        int64   `json:"shed"`
 	Errors      int64   `json:"errors"`
 	GoodputRPS  float64 `json:"goodput_rps"`
-	P50Ms       float64 `json:"p50_ms"`
-	P95Ms       float64 `json:"p95_ms"`
-	P99Ms       float64 `json:"p99_ms"`
-	MaxMs       float64 `json:"max_ms"`
+	// Retry accounting (-retry only): successes that needed at least one
+	// retry, total retry attempts fired, and goodput counting only
+	// first-try successes — the honest headline under retry, since a
+	// retried success consumed extra offered capacity to land.
+	ServedRetried      int64   `json:"served_retried,omitempty"`
+	Retries            int64   `json:"retries,omitempty"`
+	FirstTryGoodputRPS float64 `json:"first_try_goodput_rps,omitempty"`
+	P50Ms              float64 `json:"p50_ms"`
+	P95Ms              float64 `json:"p95_ms"`
+	P99Ms              float64 `json:"p99_ms"`
+	MaxMs              float64 `json:"max_ms"`
 	// Generator-side allocation telemetry (runtime.MemStats deltas):
 	// heap allocations per sent request and the net heap growth.
 	AllocsPerOp float64 `json:"allocs_per_op"`
@@ -227,43 +276,59 @@ type phaseRow struct {
 
 // phaseAgg accumulates one phase's outcomes across request goroutines.
 type phaseAgg struct {
-	mu     sync.Mutex
-	latsMs []float64
-	served atomic.Int64
-	shed   atomic.Int64
-	errs   atomic.Int64
+	mu            sync.Mutex
+	latsMs        []float64
+	served        atomic.Int64
+	servedRetried atomic.Int64
+	retries       atomic.Int64
+	shed          atomic.Int64
+	errs          atomic.Int64
 }
 
-// hit fires one invocation and files the outcome: 2xx served, 429 shed,
-// anything else (including transport errors) an error.
-func (pa *phaseAgg) hit(client *http.Client, url, tenant string) {
+// hit fires one invocation and files the outcome: 2xx served, 429 shed
+// (retried first when rt allows), anything else (including transport
+// errors) an error. Served latency spans the whole exchange including
+// any backoff waits — that is what the caller experienced.
+func (pa *phaseAgg) hit(client *http.Client, url, tenant string, rt *retrier) {
 	t0 := time.Now()
-	req, err := http.NewRequest(http.MethodPost, url, nil)
-	if err != nil {
-		pa.errs.Add(1)
-		return
-	}
-	if tenant != "" {
-		req.Header.Set("X-Tenant", tenant)
-	}
-	resp, err := client.Do(req)
-	if err != nil {
-		pa.errs.Add(1)
-		return
-	}
-	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
-	latMs := float64(time.Since(t0)) / float64(time.Millisecond)
-	switch {
-	case resp.StatusCode == http.StatusOK:
-		pa.served.Add(1)
-		pa.mu.Lock()
-		pa.latsMs = append(pa.latsMs, latMs)
-		pa.mu.Unlock()
-	case resp.StatusCode == http.StatusTooManyRequests:
-		pa.shed.Add(1)
-	default:
-		pa.errs.Add(1)
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequest(http.MethodPost, url, nil)
+		if err != nil {
+			pa.errs.Add(1)
+			return
+		}
+		if tenant != "" {
+			req.Header.Set("X-Tenant", tenant)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			pa.errs.Add(1)
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			pa.served.Add(1)
+			if attempt > 0 {
+				pa.servedRetried.Add(1)
+			}
+			latMs := float64(time.Since(t0)) / float64(time.Millisecond)
+			pa.mu.Lock()
+			pa.latsMs = append(pa.latsMs, latMs)
+			pa.mu.Unlock()
+			return
+		case resp.StatusCode == http.StatusTooManyRequests:
+			if rt == nil || attempt >= rt.max {
+				pa.shed.Add(1)
+				return
+			}
+			pa.retries.Add(1)
+			time.Sleep(rt.backoff(retryAfter(resp)))
+		default:
+			pa.errs.Add(1)
+			return
+		}
 	}
 }
 
@@ -272,7 +337,11 @@ func (pa *phaseAgg) row(name string, offered float64, dur, elapsed time.Duration
 	r := phaseRow{
 		Phase: name, OfferedRPS: offered, DurationSec: dur.Seconds(),
 		Sent: sent, Served: pa.served.Load(), Shed: pa.shed.Load(), Errors: pa.errs.Load(),
-		GoodputRPS: float64(pa.served.Load()) / elapsed.Seconds(),
+		GoodputRPS:    float64(pa.served.Load()) / elapsed.Seconds(),
+		ServedRetried: pa.servedRetried.Load(), Retries: pa.retries.Load(),
+	}
+	if r.ServedRetried > 0 {
+		r.FirstTryGoodputRPS = float64(r.Served-r.ServedRetried) / elapsed.Seconds()
 	}
 	pa.mu.Lock()
 	defer pa.mu.Unlock()
@@ -318,7 +387,9 @@ func runOverload(p overloadParams) error {
 			defer wg.Done()
 			for time.Now().Before(deadline) {
 				sent.Add(1)
-				calib.hit(client, url, p.tenant)
+				// No retrier: calibration measures raw capacity; backoff
+				// sleeps would understate it.
+				calib.hit(client, url, p.tenant, nil)
 			}
 		}()
 	}
@@ -331,6 +402,10 @@ func runOverload(p overloadParams) error {
 	rps := p.rpsStart
 	if rps <= 0 {
 		rps = rows[0].GoodputRPS
+	}
+	var rt *retrier
+	if p.retry > 0 {
+		rt = &retrier{max: p.retry, seed: p.retrySeed}
 	}
 	for i := 0; i < p.phases; i++ {
 		var pa phaseAgg
@@ -353,7 +428,7 @@ func runOverload(p overloadParams) error {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				pa.hit(client, url, p.tenant)
+				pa.hit(client, url, p.tenant, rt)
 			}()
 		}
 		wg.Wait() // drain: backlogged requests' latencies belong to this phase
@@ -374,6 +449,10 @@ func runOverload(p overloadParams) error {
 		fmt.Printf("%-14s %8.1f %7d %7d %6d %5d %9.1f %8.1f %8.1f %8.1f %9.1f\n",
 			r.Phase, r.OfferedRPS, r.Sent, r.Served, r.Shed, r.Errors,
 			r.GoodputRPS, r.P50Ms, r.P95Ms, r.P99Ms, r.AllocsPerOp)
+		if r.Retries > 0 || r.ServedRetried > 0 {
+			fmt.Printf("%-14s   retried-success %d (of %d served), %d retry attempts, first-try goodput %.1f rps\n",
+				"", r.ServedRetried, r.Served, r.Retries, r.FirstTryGoodputRPS)
+		}
 	}
 	if p.jsonPath != "" {
 		buf, err := json.MarshalIndent(rows, "", "  ")

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"gpufaas/internal/autoscale"
+	"gpufaas/internal/chaos"
 	"gpufaas/internal/cluster"
 	"gpufaas/internal/core"
 	"gpufaas/internal/experiments"
@@ -85,6 +86,14 @@ type (
 	// CellResult is a full multi-cell run: the merged roll-up plus the
 	// per-cell outcomes and the run's wall clock.
 	CellResult = multicell.Result
+	// ChaosConfig describes the deterministic fault model (MTBF-sampled
+	// or scripted crashes, straggler windows, MTTR recovery).
+	ChaosConfig = chaos.Config
+	// ChaosFault is one scripted fault entry (time, device ordinal, kind).
+	ChaosFault = chaos.Fault
+	// RetryPolicy bounds how many attempts a failure-interrupted request
+	// may consume before it drops.
+	RetryPolicy = core.RetryPolicy
 )
 
 // Config is the resolved facade configuration: the cluster
@@ -230,6 +239,31 @@ func WithAutoscaler(acfg AutoscaleConfig) Option {
 			return errors.New("gpufaas: autoscaler needs a policy")
 		}
 		cfg.Autoscale = &acfg
+		return nil
+	}
+}
+
+// WithChaos attaches the deterministic fault injector: GPU crashes
+// (sampled per device from ccfg.MTBF and/or scripted via ccfg.Script),
+// transient straggler slowdown windows, and MTTR recovery. retry bounds
+// how many attempts a failure-interrupted request may consume before it
+// drops as retry_exhausted; 0 disables retry (an interrupted request
+// fails outright). The fault schedule is a pure function of ccfg.Seed
+// and device ordinals, so chaos runs stay byte-identical at any worker
+// count. A zero ccfg injects nothing and leaves reports byte-identical
+// to a cluster built without this option.
+func WithChaos(ccfg ChaosConfig, retry int) Option {
+	return func(cfg *Config) error {
+		if err := ccfg.Validate(); err != nil {
+			return fmt.Errorf("gpufaas: %w", err)
+		}
+		if retry < 0 {
+			return fmt.Errorf("gpufaas: negative retry attempt budget %d", retry)
+		}
+		cc := ccfg
+		cc.Script = append([]ChaosFault(nil), ccfg.Script...)
+		cfg.Chaos = &cc
+		cfg.Retry = RetryPolicy{MaxAttempts: retry}
 		return nil
 	}
 }

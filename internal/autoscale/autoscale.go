@@ -89,6 +89,16 @@ type ClassedFleet interface {
 	ScaleDownClass(class string, n int) []string
 }
 
+// FaultyFleet is optionally implemented by fleets that track GPU crash
+// events (fault injection); the sampled cumulative count lands in
+// Signal.FailedGPUs so policies and the event log see the capacity a
+// run has lost to failures.
+type FaultyFleet interface {
+	Fleet
+	// FailedGPUs returns the cumulative number of GPU crash events.
+	FailedGPUs() int
+}
+
 // Signal is one evaluation-tick sample, the policy's input.
 type Signal struct {
 	// At is the virtual (or wall-offset) sampling time.
@@ -111,6 +121,10 @@ type Signal struct {
 	// nil when the fleet is not class-aware (homogeneous clusters built
 	// without a FleetSpec).
 	Classes []ClassSignal `json:"classes,omitempty"`
+	// FailedGPUs is the cumulative GPU crash count (FaultyFleet); zero —
+	// and omitted, keeping fault-free ScaleEvent logs byte-identical —
+	// without fault injection.
+	FailedGPUs int `json:"failedGPUs,omitempty"`
 }
 
 // ClassSignal is one device class's slice of a Signal.
@@ -408,6 +422,9 @@ func (a *Autoscaler) Evaluate(now sim.Time) Signal {
 	}
 	if sig.Completions > 0 {
 		sig.P95LatencySec = a.window.Percentile(95)
+	}
+	if ff, ok := a.fleet.(FaultyFleet); ok {
+		sig.FailedGPUs = ff.FailedGPUs()
 	}
 	cf, classed := a.fleet.(ClassedFleet)
 	var classes []ClassSize

@@ -1,0 +1,165 @@
+package chaos
+
+// Unit tests for the injector itself: config validation, the purity of
+// the sampled fault schedule, and timer-cancel hygiene on removal. The
+// recovery/retry semantics live in the cluster tests; here the injector
+// runs against a bare engine with recording hooks.
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"gpufaas/internal/sim"
+)
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"zero value injects nothing", Config{}, true},
+		{"script only needs no horizon", Config{Script: []Fault{{At: time.Second, Kind: Crash}}}, true},
+		{"mtbf without horizon", Config{Seed: 1, MTBF: time.Minute}, false},
+		{"mtbf with horizon", Config{Seed: 1, MTBF: time.Minute, Horizon: time.Hour}, true},
+		{"straggler factor must exceed 1", Config{StragglerEvery: time.Minute, StragglerFactor: 1, StragglerWindow: time.Second, Horizon: time.Hour}, false},
+		{"straggler window must be positive", Config{StragglerEvery: time.Minute, StragglerFactor: 2, Horizon: time.Hour}, false},
+		{"script out of order", Config{Script: []Fault{{At: 2 * time.Second}, {At: time.Second}}}, false},
+		{"script straggler needs factor and window", Config{Script: []Fault{{At: time.Second, Kind: Straggle, Factor: 1}}}, false},
+		{"negative duration", Config{MTTR: -time.Second, Script: []Fault{{At: time.Second}}}, false},
+	}
+	for _, tc := range cases {
+		if err := tc.cfg.Validate(); (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+// event is one hook firing as the recording hooks observe it.
+type event struct {
+	gpu    string
+	at     sim.Time
+	factor float64 // 0 for crashes
+}
+
+// runSchedule drives cfg against a fleet of n devices on a fresh engine
+// and returns every hook firing in delivery order.
+func runSchedule(t *testing.T, cfg Config, n int) []event {
+	t.Helper()
+	eng := sim.New()
+	var got []event
+	in, err := NewInjector(cfg, sim.SimClock{E: eng}, Hooks{
+		Fail:        func(gpu string, now sim.Time) { got = append(got, event{gpu: gpu, at: now}) },
+		SetSlowdown: func(gpu string, f float64, now sim.Time) { got = append(got, event{gpu: gpu, at: now, factor: f}) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ord := 0; ord < n; ord++ {
+		in.DeviceAdded(ord, "gpu"+string(rune('0'+ord)), 0)
+	}
+	in.Start(0)
+	eng.Run(0)
+	return got
+}
+
+// TestScheduleIsPureFunctionOfSeed pins the determinism contract: the
+// same (seed, fleet) yields the identical event sequence, and a
+// different seed yields a different one.
+func TestScheduleIsPureFunctionOfSeed(t *testing.T) {
+	cfg := Config{
+		Seed: 7, MTBF: 10 * time.Minute,
+		StragglerEvery: 5 * time.Minute, StragglerFactor: 2, StragglerWindow: 30 * time.Second,
+		Horizon: time.Hour,
+	}
+	a := runSchedule(t, cfg, 4)
+	b := runSchedule(t, cfg, 4)
+	if len(a) == 0 {
+		t.Fatal("schedule produced no events inside the horizon")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed diverged:\n%v\n%v", a, b)
+	}
+	cfg.Seed = 8
+	if c := runSchedule(t, cfg, 4); reflect.DeepEqual(a, c) {
+		t.Error("different seeds produced identical schedules")
+	}
+	// Every event respects the horizon except window restores, which may
+	// close just past it (they only ever shorten service times).
+	for _, ev := range a {
+		if ev.at >= sim.Time(cfg.Horizon)+sim.Time(30*time.Second) {
+			t.Errorf("event at %v beyond horizon+window", ev.at)
+		}
+	}
+}
+
+// TestDeviceRemovedCancelsTimers removes a device before its sampled
+// crash fires: no hook may target a departed device.
+func TestDeviceRemovedCancelsTimers(t *testing.T) {
+	eng := sim.New()
+	var got []event
+	cfg := Config{
+		Seed: 3, MTBF: time.Minute,
+		StragglerEvery: time.Minute, StragglerFactor: 2, StragglerWindow: 10 * time.Second,
+		Horizon: time.Hour,
+	}
+	in, err := NewInjector(cfg, sim.SimClock{E: eng}, Hooks{
+		Fail:        func(gpu string, now sim.Time) { got = append(got, event{gpu: gpu, at: now}) },
+		SetSlowdown: func(gpu string, f float64, now sim.Time) { got = append(got, event{gpu: gpu, at: now, factor: f}) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.DeviceAdded(0, "victim", 0)
+	in.DeviceAdded(1, "survivor", 0)
+	in.DeviceRemoved(0)
+	eng.Run(0)
+	if len(got) == 0 {
+		t.Fatal("survivor produced no events inside the horizon")
+	}
+	for _, ev := range got {
+		if ev.gpu == "victim" {
+			t.Fatalf("event %v fired against a removed device", ev)
+		}
+	}
+	faults, stragglers := in.Counters()
+	if int(faults+stragglers) == 0 || int(faults) > 1 {
+		t.Errorf("counters = (%d, %d): want survivor-only accounting", faults, stragglers)
+	}
+}
+
+// TestScriptTargetsOrdinalAtFireTime pins the scripted-fault no-op rule:
+// a script entry against an ordinal that is not live when it fires does
+// nothing, and crash vs straggle dispatch on Kind.
+func TestScriptTargetsOrdinalAtFireTime(t *testing.T) {
+	eng := sim.New()
+	var got []event
+	cfg := Config{Script: []Fault{
+		{At: time.Second, Ord: 0, Kind: Crash},
+		{At: 2 * time.Second, Ord: 1, Kind: Straggle, Factor: 3, Window: time.Second},
+		{At: 3 * time.Second, Ord: 9, Kind: Crash}, // never-live ordinal: no-op
+	}}
+	in, err := NewInjector(cfg, sim.SimClock{E: eng}, Hooks{
+		Fail:        func(gpu string, now sim.Time) { got = append(got, event{gpu: gpu, at: now}) },
+		SetSlowdown: func(gpu string, f float64, now sim.Time) { got = append(got, event{gpu: gpu, at: now, factor: f}) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.DeviceAdded(0, "a", 0)
+	in.DeviceAdded(1, "b", 0)
+	in.Start(0)
+	eng.Run(0)
+	want := []event{
+		{gpu: "a", at: sim.Time(time.Second)},
+		{gpu: "b", at: sim.Time(2 * time.Second), factor: 3},
+		{gpu: "b", at: sim.Time(3 * time.Second), factor: 1},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("script events = %v, want %v", got, want)
+	}
+	if faults, stragglers := in.Counters(); faults != 1 || stragglers != 1 {
+		t.Errorf("counters = (%d, %d), want (1, 1)", faults, stragglers)
+	}
+}

@@ -22,6 +22,7 @@ import (
 
 	"gpufaas/internal/autoscale"
 	"gpufaas/internal/cache"
+	"gpufaas/internal/chaos"
 	"gpufaas/internal/core"
 	"gpufaas/internal/gpu"
 	"gpufaas/internal/gpumgr"
@@ -94,6 +95,21 @@ type Config struct {
 	// of them: the hot paths then pay one nil check per hook and reports
 	// marshal byte-identically to pre-observability goldens.
 	Obs obs.Options
+	// Chaos, when it enables anything, attaches a deterministic fault
+	// injector: seeded GPU crashes (instant decommission, no drain),
+	// transient stragglers, and MTTR recovery. In simulated-time mode a
+	// sampled fault model requires Chaos.Horizon (the crash→recover
+	// chain would otherwise keep the engine from draining). Nil or zero
+	// injects nothing and keeps reports byte-identical to fault-free
+	// builds.
+	Chaos *chaos.Config
+	// Retry governs what happens to a request whose GPU fails mid-flight
+	// (including every member of an in-flight batch): while the policy
+	// allows another attempt the request re-queues at the front of the
+	// global queue (deterministic position, GPU-seconds charged once per
+	// attempt); once exhausted — or with the zero policy — it fails with
+	// reason "retry_exhausted"/"fault".
+	Retry core.RetryPolicy
 }
 
 // DefaultGPUMemory is the usable model memory per GPU: the testbed's
@@ -193,6 +209,19 @@ type Cluster struct {
 	// no-op Schedule. Deterministic — pure sim-clock state.
 	batchWakeAt    sim.Time
 	batchWakeArmed bool
+
+	// Fault injection (Config.Chaos) and retry accounting. failures
+	// counts GPU crash events, interrupted the in-flight attempts those
+	// crashes aborted, retries the interrupted requests granted another
+	// attempt. failedByReason splits the failed counter by drop cause;
+	// gpuFailures keeps a cumulative per-GPU crash count (the device
+	// itself is gone after a crash, so the counter outlives it).
+	injector       *chaos.Injector
+	failures       int64
+	interrupted    int64
+	retries        int64
+	failedByReason map[string]int64
+	gpuFailures    map[string]int64
 
 	latencies  *stats.Sample
 	perModel   map[string]*stats.Welford
@@ -450,6 +479,26 @@ func New(cfg Config) (*Cluster, error) {
 		}
 		c.scaler.Start()
 	}
+
+	if cfg.Retry.MaxAttempts < 0 {
+		return nil, fmt.Errorf("cluster: negative retry attempts %d", cfg.Retry.MaxAttempts)
+	}
+	if cfg.Chaos.Enabled() {
+		// The hooks run inside clock callbacks: serialized by the event
+		// loop in sim mode, by lockedClock in live mode.
+		c.injector, err = chaos.NewInjector(*cfg.Chaos, c.clock, chaos.Hooks{
+			Fail:        c.failGPU,
+			SetSlowdown: c.setSlowdown,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, id := range c.gpuIDs {
+			o, _ := c.cacheMgr.Ord(id)
+			c.injector.DeviceAdded(int(o), id, c.clock.Now())
+		}
+		c.injector.Start(c.clock.Now())
+	}
 	return c, nil
 }
 
@@ -610,6 +659,7 @@ func (c *Cluster) addGPU(class GPUClass, coldStart time.Duration) (string, error
 	if coldStart == 0 {
 		c.gpuState[id] = gpuActive
 		c.markIdle(id, true)
+		c.notifyDeviceAdded(id, now)
 		c.runScheduler(now)
 		return id, nil
 	}
@@ -629,6 +679,7 @@ func (c *Cluster) activate(id string, now sim.Time) {
 	delete(c.activation, id)
 	c.gpuState[id] = gpuActive
 	c.markIdle(id, true)
+	c.notifyDeviceAdded(id, now)
 	c.runScheduler(now)
 }
 
@@ -721,6 +772,9 @@ func (c *Cluster) finishRemove(gpuID string, now sim.Time) error {
 	if hasOrd {
 		c.idle = ordset.Remove(c.idle, ord)
 		c.devByOrd[ord] = nil
+		if c.injector != nil {
+			c.injector.DeviceRemoved(int(ord))
+		}
 	}
 	delete(c.gpuState, gpuID)
 	delete(c.addedAt, gpuID)
@@ -736,6 +790,130 @@ func (c *Cluster) finishRemove(gpuID string, now sim.Time) error {
 		rs.GPURemoved(gpuID, now)
 	}
 	return nil
+}
+
+// ---- Fault injection ----
+
+// Failure-path drop causes.
+var (
+	errGPUFault       = errors.New("cluster: GPU failed mid-flight")
+	errRetryExhausted = errors.New("cluster: retry budget exhausted after GPU failure")
+)
+
+// notifyDeviceAdded registers a newly schedulable GPU with the fault
+// injector. A GPU's MTBF clock starts when it starts serving — a
+// provisioning GPU registers at activation, not at AddGPU.
+func (c *Cluster) notifyDeviceAdded(id string, now sim.Time) {
+	if c.injector == nil {
+		return
+	}
+	if o, ok := c.cacheMgr.Ord(id); ok {
+		c.injector.DeviceAdded(int(o), id, now)
+	}
+}
+
+// setSlowdown is the injector's straggler hook: launches dispatched to
+// the device while the window is open run factor× slower (in-flight
+// launches keep their original times). factor == 1 closes the window.
+func (c *Cluster) setSlowdown(gpuID string, factor float64, _ sim.Time) {
+	if mgr, ok := c.mgrByDev[gpuID]; ok {
+		mgr.SetSlowdown(gpuID, factor)
+	}
+}
+
+// FailGPU injects a GPU failure directly (tests, operator tooling); the
+// seeded injector goes through the same path.
+func (c *Cluster) FailGPU(gpuID string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.gpuState[gpuID]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownGPU, gpuID)
+	}
+	c.failGPU(gpuID, c.clock.Now())
+	return nil
+}
+
+// failGPU crashes a GPU instantly — decommission without a drain. The
+// in-flight launch (every member of a batch) is interrupted, its
+// GPU-seconds already charged for the wasted attempt by the manager;
+// parked local-queue work re-queues without consuming an attempt;
+// residents evict through the cache event stream as the device
+// deregisters, so the placement index never serves a dead holder; the
+// scheduler and autoscaler see the capacity loss immediately. With
+// Config.Chaos.MTTR set, a same-class replacement (fresh ordinal, cold
+// cache) arrives MTTR later, already schedulable — MTTR covers the
+// reboot.
+func (c *Cluster) failGPU(gpuID string, now sim.Time) {
+	state, ok := c.gpuState[gpuID]
+	if !ok || state == gpuProvisioning {
+		return // raced with a removal, or never started serving
+	}
+	c.failures++
+	if c.gpuFailures == nil {
+		c.gpuFailures = make(map[string]int64)
+	}
+	c.gpuFailures[gpuID]++
+	gpuType := c.devByID[gpuID].Type()
+
+	members, startedAt, err := c.mgrByDev[gpuID].Interrupt(gpuID, now)
+	if err != nil {
+		panic(fmt.Sprintf("cluster: interrupt %s: %v", gpuID, err))
+	}
+	// Parked local-queue work never started an attempt; it only needs a
+	// new home.
+	parked := c.sched.DrainLocal(gpuID)
+	if state == gpuDraining {
+		c.sched.SetDraining(gpuID, false)
+	}
+	if err := c.finishRemove(gpuID, now); err != nil {
+		panic(fmt.Sprintf("cluster: remove failed GPU %s: %v", gpuID, err))
+	}
+
+	// Each interrupted member consumed an attempt; the retry policy
+	// decides its fate.
+	retryable := members[:0]
+	for _, m := range members {
+		m.Attempt++
+		c.interrupted++
+		if c.breakdown != nil {
+			c.breakdown.ObserveRetry(time.Duration(now - startedAt))
+		}
+		if c.cfg.Retry.Allows(m.Attempt) {
+			retryable = append(retryable, m)
+		} else {
+			cause := errGPUFault
+			if c.cfg.Retry.Enabled() {
+				cause = errRetryExhausted
+			}
+			c.dropRequest(m.ID, cause)
+		}
+	}
+	// Re-queue at the front of the global queue, preserving relative
+	// order: interrupted members (dispatched earliest) ahead of parked
+	// ones, both ahead of everything still queued. pushFront semantics
+	// make reverse iteration land them in order.
+	for i := len(parked) - 1; i >= 0; i-- {
+		if err := c.sched.Requeue(parked[i]); err != nil {
+			panic(fmt.Sprintf("cluster: requeue parked request %d: %v", parked[i].ID, err))
+		}
+	}
+	for i := len(retryable) - 1; i >= 0; i-- {
+		c.retries++
+		if err := c.sched.Requeue(retryable[i]); err != nil {
+			panic(fmt.Sprintf("cluster: requeue request %d: %v", retryable[i].ID, err))
+		}
+	}
+
+	if cc := c.cfg.Chaos; cc != nil && cc.MTTR > 0 {
+		if class, err := c.resolveClass(gpuType); err == nil {
+			c.clock.AfterFunc(sim.Time(cc.MTTR), "cluster.chaosRecover "+gpuID, func(at sim.Time) {
+				if _, err := c.addGPU(class, 0); err != nil {
+					panic(fmt.Sprintf("cluster: chaos recovery for %s: %v", gpuID, err))
+				}
+			})
+		}
+	}
+	c.runScheduler(now)
 }
 
 // ScaleTo reconciles the non-draining fleet size (active + provisioning)
@@ -794,6 +972,16 @@ func (f *fleetView) FleetSize() autoscale.Size {
 
 // PendingRequests implements autoscale.Fleet.
 func (f *fleetView) PendingRequests() int { return f.sched.PendingTotal() }
+
+// FailedGPUs implements autoscale.FaultyFleet: the cumulative crash
+// count, so scaling policies (and the ScaleEvent log) see lost capacity.
+func (f *fleetView) FailedGPUs() int {
+	n := int64(0)
+	for _, k := range f.gpuFailures {
+		n += k
+	}
+	return int(n)
+}
 
 // ScaleUp implements autoscale.Fleet: class-agnostic scale-up provisions
 // the default class (Fleet[0]).
@@ -1170,9 +1358,9 @@ func (c *Cluster) runScheduler(now sim.Time) {
 			if o, ok := c.cacheMgr.Ord(d.GPU); ok {
 				// Ord is captured here, at dispatch: by completion time a
 				// draining GPU may already have left the fleet.
-				c.tracer.OnDispatch(d.Req.ID, d.GPU, int(o), d.Req.Visits(), d.FromLocalQueue, d.ExpectHit)
+				c.tracer.OnDispatch(d.Req.ID, d.GPU, int(o), d.Req.Visits(), d.FromLocalQueue, d.ExpectHit, d.Req.Attempt)
 				for _, m := range d.Batch {
-					c.tracer.OnDispatch(m.ID, d.GPU, int(o), m.Visits(), d.FromLocalQueue, d.ExpectHit)
+					c.tracer.OnDispatch(m.ID, d.GPU, int(o), m.Visits(), d.FromLocalQueue, d.ExpectHit, m.Attempt)
 				}
 			}
 		}
@@ -1219,9 +1407,35 @@ func (c *Cluster) runScheduler(now sim.Time) {
 // its tenant's quota while the rest of the launch proceeded.
 var errBatchMemberQuota = errors.New("cluster: batch member dropped by tenant quota")
 
+// dropReason classifies a drop cause for the split failure counters.
+// The reason set is closed (Reasons below) so the gateway can
+// pre-register every labeled counter at zero.
+func dropReason(err error) string {
+	switch {
+	case errors.Is(err, errBatchMemberQuota):
+		return "batch_member_quota"
+	case errors.Is(err, errRetryExhausted):
+		return "retry_exhausted"
+	case errors.Is(err, errGPUFault):
+		return "fault"
+	case errors.Is(err, gpumgr.ErrQuota):
+		return "quota"
+	default:
+		return "other"
+	}
+}
+
+// Reasons is the closed set of drop-reason labels Report.FailedByReason
+// (and the gateway's labeled failure counters) may carry.
+var Reasons = []string{"batch_member_quota", "fault", "other", "quota", "retry_exhausted"}
+
 // dropRequest records one failed-to-execute dispatch.
 func (c *Cluster) dropRequest(id int64, err error) {
 	c.failed++
+	if c.failedByReason == nil {
+		c.failedByReason = make(map[string]int64)
+	}
+	c.failedByReason[dropReason(err)]++
 	c.tracer.Drop(id)
 	if c.stream != nil {
 		c.stream.release(id)
@@ -1574,6 +1788,19 @@ type Report struct {
 	// SampledSpans counts the lifecycle spans recorded by the tracer
 	// (Config.Obs.Trace); zero — and omitted — when tracing is off.
 	SampledSpans int64 `json:",omitempty"`
+
+	// Fault-injection accounting (Config.Chaos / Config.Retry). Failures
+	// counts GPU crash events, Interrupted the in-flight execution
+	// attempts those crashes aborted, Retries the interrupted requests
+	// granted another attempt by the retry policy. FailedByReason splits
+	// Failed by drop cause (keys from Reasons; maps marshal with sorted
+	// keys, so the serialization is deterministic). All zero/nil — and
+	// omitted, keeping fault-free reports byte-identical — without
+	// faults.
+	Failures       int64            `json:",omitempty"`
+	Interrupted    int64            `json:",omitempty"`
+	Retries        int64            `json:",omitempty"`
+	FailedByReason map[string]int64 `json:",omitempty"`
 }
 
 // report snapshots the metrics (sim mode, after drain).
@@ -1699,6 +1926,15 @@ func (c *Cluster) report() Report {
 	if c.tracer != nil {
 		rep.SampledSpans = int64(c.tracer.Len())
 	}
+	rep.Failures = c.failures
+	rep.Interrupted = c.interrupted
+	rep.Retries = c.retries
+	if len(c.failedByReason) > 0 {
+		rep.FailedByReason = make(map[string]int64, len(c.failedByReason))
+		for k, v := range c.failedByReason {
+			rep.FailedByReason[k] = v
+		}
+	}
 	return rep
 }
 
@@ -1820,6 +2056,34 @@ func (c *Cluster) Snapshot() Report {
 	rep := c.report()
 	rep.EndOfRun = time.Duration(c.clock.Now())
 	return rep
+}
+
+// GPUFailures returns the cumulative per-GPU crash counts (the gateway's
+// labeled failure gauges). Crashed devices stay in the map after they
+// leave the fleet — the counter is history, not membership.
+func (c *Cluster) GPUFailures() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.gpuFailures))
+	for k, v := range c.gpuFailures {
+		out[k] = v
+	}
+	return out
+}
+
+// SchedulableGPUs returns the number of currently schedulable (active,
+// non-draining) GPUs — the gateway's readiness signal: a cell with zero
+// is unschedulable.
+func (c *Cluster) SchedulableGPUs() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, s := range c.gpuState {
+		if s == gpuActive {
+			n++
+		}
+	}
+	return n
 }
 
 // PerModelMeanLatency returns each model's mean end-to-end latency.

@@ -67,6 +67,26 @@ func (q *reqRing) push(r *Request) {
 	q.live++
 }
 
+// pushFront prepends a request ahead of the current head. The failure
+// path re-queues interrupted requests here: they already waited their
+// arrival-order turn once, so a retry resumes at the front instead of
+// re-queueing behind later arrivals. The head position simply decrements
+// (absolute positions may go negative; the power-of-two mask indexes
+// two's-complement negatives correctly), so position order remains
+// dispatch-priority order.
+func (q *reqRing) pushFront(r *Request) {
+	if q.buf == nil {
+		q.buf = make([]*Request, 16)
+	}
+	if q.tail-q.head == len(q.buf) || q.tombstones() > len(q.buf)/2 ||
+		(len(q.buf) > 16 && q.live*8 < len(q.buf)) {
+		q.compact()
+	}
+	q.head--
+	q.buf[q.head&(len(q.buf)-1)] = r
+	q.live++
+}
+
 // compact rewrites the live requests contiguously from position zero,
 // doubling the buffer only when it is genuinely full of live entries and
 // shrinking it while the live count fits in a quarter of it, so the

@@ -127,10 +127,32 @@ type Request struct {
 	Arrival   sim.Time
 	Tenant    string
 
+	// Attempt counts execution attempts lost to GPU failures: 0 until
+	// the first interrupt, incremented by the harness each time an
+	// in-flight attempt is interrupted. The retry policy bounds it.
+	Attempt int
+
 	// visits counts how many times this request has been passed over by
 	// an out-of-order dispatch (Algorithm 1 line 15).
 	visits int
 }
+
+// RetryPolicy bounds how many times a request interrupted by a GPU
+// failure may be re-executed (§ fault model). GPU-seconds are charged
+// per attempt; the policy caps the total attempts, not the charges.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of execution attempts allowed,
+	// first try included. <= 1 disables retry: an interrupted request
+	// fails immediately.
+	MaxAttempts int
+}
+
+// Allows reports whether a request that has lost `attempt` attempts may
+// be re-queued for another.
+func (p RetryPolicy) Allows(attempt int) bool { return attempt < p.MaxAttempts }
+
+// Enabled reports whether the policy grants any retries at all.
+func (p RetryPolicy) Enabled() bool { return p.MaxAttempts > 1 }
 
 // Visits returns the request's out-of-order skip count (exported for tests
 // and metrics).
@@ -568,6 +590,50 @@ func (s *Scheduler) Enqueue(r *Request) error {
 		}
 	}
 	return nil
+}
+
+// Requeue returns an interrupted request to the FRONT of the global
+// queue. The request already waited its arrival-order turn once, so a
+// GPU failure must not send it to the back behind later arrivals; the
+// front position is also deterministic — a pure function of the fault
+// schedule, independent of worker count. The skip count is reset to the
+// current head's, which preserves the monotone-skip invariant (visit
+// counts non-increasing along the queue) the indexed placement path
+// relies on. Failures are rare, so the per-model index is simply
+// rebuilt rather than taught about front insertion.
+func (s *Scheduler) Requeue(r *Request) error {
+	if r == nil {
+		return errors.New("core: nil request")
+	}
+	r.visits = 0
+	if s.global.len() > 0 {
+		r.visits = s.global.at(s.global.headPos()).visits
+	}
+	s.global.pushFront(r)
+	if s.indexed {
+		s.rebuildIndex()
+	}
+	return nil
+}
+
+// DrainLocal removes and returns every request parked in the GPU's
+// local queue, in parking (FIFO) order; nil when none. The failure path
+// uses it: a crashed GPU's parked requests never began executing, so
+// they re-enter the global queue without consuming a retry attempt.
+func (s *Scheduler) DrainLocal(gpuID string) []*Request {
+	o, ok := s.backend.OrdOf(gpuID)
+	if !ok || int(o) >= len(s.local) || len(s.local[o]) == 0 {
+		return nil
+	}
+	q := s.local[o]
+	out := make([]*Request, len(q))
+	for i, p := range q {
+		out[i] = p.req
+	}
+	s.local[o] = nil
+	s.localSum[o] = 0
+	s.parkGen++
+	return out
 }
 
 // activateIndex switches the per-model position index on (idempotent;

@@ -1,0 +1,234 @@
+package experiments
+
+// The availability sweep: the deterministic fault injector
+// (internal/chaos) swept over fault mode × MTTR × retry policy on the
+// paper's 12-GPU testbed with batching on (MaxBatch=8, so crashes
+// interrupt whole in-flight batches and stragglers stack on the
+// batch-aware service-time model).
+//
+// The grid is {no-faults, crash-only, crash+straggler} × MTTR × {retry
+// off, retry on}. The claim the committed BENCH_chaos.json pins: with
+// the retry policy on, goodput holds (interrupted requests re-queue and
+// complete) and the tail stays bounded, where retry-off bleeds every
+// interrupted request — so retry-on strictly dominates retry-off on
+// goodput in every crash cell.
+//
+// Everything is sim time and every fault instant is a pure function of
+// (seed, device ordinal), so the sweep is deterministic at any worker
+// count and joins the CI determinism gates. Like batch and overload it
+// is excluded from `-exp all` and runs via `faas-bench -exp chaos`.
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"gpufaas/internal/chaos"
+	"gpufaas/internal/core"
+)
+
+// ChaosSeed drives every sampled fault time in the sweep.
+const ChaosSeed uint64 = 42
+
+// ChaosRetryAttempts is the retry-on policy: the first try plus up to
+// two failure-interrupted re-queues.
+const ChaosRetryAttempts = 3
+
+// ChaosMTTRs are the swept mean-times-to-repair.
+var ChaosMTTRs = []time.Duration{30 * time.Second, 2 * time.Minute}
+
+// chaosMode is one swept fault model.
+type chaosMode struct {
+	name      string
+	crash     bool
+	straggler bool
+}
+
+// chaosModes returns the swept fault models in row order.
+func chaosModes() []chaosMode {
+	return []chaosMode{
+		{name: "none"},
+		{name: "crash", crash: true},
+		{name: "crash+straggler", crash: true, straggler: true},
+	}
+}
+
+// chaosWorkload is the sweep's workload: flat load at working set 15
+// over 12 minutes, 6 in short mode, at 2x the paper's nominal rate —
+// busy enough that crashes usually abort an in-flight (often batched)
+// launch, but far from saturation, so lost capacity and wasted attempts
+// (not a standing queue) are what move the numbers.
+func chaosWorkload(short bool) WorkloadParams {
+	wp := DefaultWorkload(15)
+	wp.Minutes = 12
+	if short {
+		wp.Minutes = 6
+	}
+	wp.RequestsPerMinute = 650
+	return wp
+}
+
+// chaosConfig builds one cell's fault model. MTBF is chosen so a
+// 12-GPU fleet takes several crashes over the trace without collapsing:
+// per-device mean 2x the trace length ≈ half the fleet crashes once.
+func chaosConfig(mode chaosMode, mttr time.Duration, wp WorkloadParams) *chaos.Config {
+	if !mode.crash && !mode.straggler {
+		return nil
+	}
+	horizon := time.Duration(wp.Minutes)*time.Minute + 2*time.Minute
+	cc := &chaos.Config{
+		Seed:    ChaosSeed,
+		MTTR:    mttr,
+		Horizon: horizon,
+	}
+	if mode.crash {
+		cc.MTBF = 2 * time.Duration(wp.Minutes) * time.Minute
+	}
+	if mode.straggler {
+		cc.StragglerEvery = 4 * time.Minute
+		cc.StragglerFactor = 3
+		cc.StragglerWindow = 30 * time.Second
+	}
+	return cc
+}
+
+// ChaosRow is one availability-sweep point.
+type ChaosRow struct {
+	Mode    string  `json:"mode"`
+	MTTRSec float64 `json:"mttr_sec"`
+	// RetryAttempts is the retry policy's total attempt budget (0 =
+	// retry off: an interrupted request fails outright).
+	RetryAttempts int `json:"retry_attempts"`
+
+	Requests int64 `json:"requests"`
+	Failed   int64 `json:"failed"`
+	// Offered is completed + failed: the conservation identity every
+	// chaos run must satisfy against the injected trace.
+	Offered     int64   `json:"offered"`
+	MakespanSec float64 `json:"makespan_sec"`
+	// GoodputRPS is completed requests per second of trace time. The
+	// denominator is the fixed injection window, not the per-cell
+	// makespan, so cells compare apples-to-apples: a retried request
+	// that completes late counts as goodput without the drain tail
+	// diluting the rate (the tail is visible in makespan_sec).
+	GoodputRPS float64 `json:"goodput_rps"`
+	// Availability is completed / offered — the sweep's headline axis.
+	Availability float64 `json:"availability"`
+
+	AvgLatencySec float64 `json:"avg_latency_sec"`
+	P50LatencySec float64 `json:"p50_latency_sec"`
+	P95LatencySec float64 `json:"p95_latency_sec"`
+	P99LatencySec float64 `json:"p99_latency_sec"`
+
+	// Fault accounting: crash events, attempts they aborted, re-queued
+	// attempts granted, and the per-reason failure split.
+	Failures       int64            `json:"failures,omitempty"`
+	Interrupted    int64            `json:"interrupted,omitempty"`
+	Retries        int64            `json:"retries,omitempty"`
+	FailedByReason map[string]int64 `json:"failed_by_reason,omitempty"`
+}
+
+// chaosCell is one sweep cell's identity.
+type chaosCell struct {
+	mode  chaosMode
+	mttr  time.Duration
+	retry int // total attempts; 0 = retry off
+}
+
+// chaosCells returns the grid in row order: one fault-free baseline
+// (retry is a no-op without faults), then fault mode × MTTR × retry.
+func chaosCells() []chaosCell {
+	cells := []chaosCell{{mode: chaosMode{name: "none"}}}
+	for _, mode := range chaosModes() {
+		if !mode.crash && !mode.straggler {
+			continue
+		}
+		for _, mttr := range ChaosMTTRs {
+			for _, retry := range []int{0, ChaosRetryAttempts} {
+				cells = append(cells, chaosCell{mode: mode, mttr: mttr, retry: retry})
+			}
+		}
+	}
+	return cells
+}
+
+// ChaosSpecs returns the sweep grid as Matrix specs.
+func ChaosSpecs(short bool) []Spec {
+	wp := chaosWorkload(short)
+	cells := chaosCells()
+	specs := make([]Spec, len(cells))
+	for i, cell := range cells {
+		name := fmt.Sprintf("chaos/%s", cell.mode.name)
+		if cell.mode.crash || cell.mode.straggler {
+			name += fmt.Sprintf("/mttr=%v/retry=%d", cell.mttr, cell.retry)
+		}
+		specs[i] = Spec{
+			Name: name,
+			Params: RunParams{
+				Policy:   core.LALBO3,
+				MaxBatch: 8,
+				Workload: wp,
+				Chaos:    chaosConfig(cell.mode, cell.mttr, wp),
+				Retry:    core.RetryPolicy{MaxAttempts: cell.retry},
+			},
+		}
+	}
+	return specs
+}
+
+// ChaosSweep runs the availability grid and maps the reports into rows.
+func ChaosSweep(m Matrix, short bool) ([]ChaosRow, error) {
+	rows, err := m.Run(ChaosSpecs(short))
+	if err != nil {
+		return nil, err
+	}
+	cells := chaosCells()
+	trace := time.Duration(chaosWorkload(short).Minutes) * time.Minute
+	out := make([]ChaosRow, len(rows))
+	for i, row := range rows {
+		out[i] = chaosRowFrom(cells[i], row, trace)
+	}
+	return out, nil
+}
+
+// chaosRowFrom projects one run's Report onto the sweep row. trace is
+// the injection window, the shared goodput denominator.
+func chaosRowFrom(cell chaosCell, row Row, trace time.Duration) ChaosRow {
+	cr := ChaosRow{
+		Mode:           cell.mode.name,
+		MTTRSec:        cell.mttr.Seconds(),
+		RetryAttempts:  cell.retry,
+		Requests:       row.Requests,
+		Failed:         row.Failed,
+		Offered:        row.Requests + row.Failed,
+		MakespanSec:    row.Makespan.Seconds(),
+		AvgLatencySec:  row.AvgLatencySec,
+		P50LatencySec:  row.P50LatencySec,
+		P95LatencySec:  row.P95LatencySec,
+		P99LatencySec:  row.P99LatencySec,
+		Failures:       row.Failures,
+		Interrupted:    row.Interrupted,
+		Retries:        row.Retries,
+		FailedByReason: row.FailedByReason,
+	}
+	if trace > 0 {
+		cr.GoodputRPS = float64(cr.Requests) / trace.Seconds()
+	}
+	if cr.Offered > 0 {
+		cr.Availability = float64(cr.Requests) / float64(cr.Offered)
+	}
+	return cr
+}
+
+// WriteChaosTable renders the availability sweep.
+func WriteChaosTable(w io.Writer, rows []ChaosRow) {
+	fmt.Fprintf(w, "%-16s %6s %5s %7s %7s %9s %8s %6s %8s %8s %6s %6s %6s\n",
+		"mode", "mttr", "retry", "reqs", "failed", "avail", "goodput",
+		"avg(s)", "p95(s)", "p99(s)", "crash", "intr", "requeue")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-16s %6.0f %5d %7d %7d %9.4f %8.2f %6.3f %8.3f %8.3f %6d %6d %6d\n",
+			r.Mode, r.MTTRSec, r.RetryAttempts, r.Requests, r.Failed,
+			r.Availability, r.GoodputRPS, r.AvgLatencySec, r.P95LatencySec,
+			r.P99LatencySec, r.Failures, r.Interrupted, r.Retries)
+	}
+}

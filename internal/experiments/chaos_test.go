@@ -1,0 +1,185 @@
+package experiments
+
+// Availability-sweep invariants, the chaos determinism gate, and the
+// seeded-fault golden. The sweep-level claims mirror the BENCH_chaos
+// acceptance gate: retry-on strictly dominates retry-off on goodput in
+// every crash cell, and request conservation (completed + failed ==
+// offered) holds in every cell against the fault-free baseline.
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestChaosSweepShort(t *testing.T) {
+	rows, err := ChaosSweep(Matrix{}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := chaosCells()
+	if len(rows) != len(cells) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(cells))
+	}
+
+	base := rows[0]
+	if base.Mode != "none" {
+		t.Fatalf("first cell = %q, want the fault-free baseline", base.Mode)
+	}
+	if base.Failures != 0 || base.Interrupted != 0 || base.Retries != 0 || base.Failed != 0 {
+		t.Fatalf("fault-free baseline has fault accounting: %+v", base)
+	}
+
+	// Conservation: every cell was offered the same trace, and completed
+	// + failed must account for all of it — no request vanishes into a
+	// crashed GPU and none is double-counted by a retry.
+	for i, r := range rows {
+		if r.Offered != base.Offered {
+			t.Errorf("cell %d (%s mttr=%.0f retry=%d): offered %d, want %d — requests leaked or double-counted",
+				i, r.Mode, r.MTTRSec, r.RetryAttempts, r.Offered, base.Offered)
+		}
+	}
+
+	// Pair up retry-off/retry-on within each (mode, MTTR) and check the
+	// dominance claim: crash cells crash, retry-on re-queues every
+	// allowed attempt, and goodput is strictly higher with retry on.
+	byKey := make(map[string]ChaosRow)
+	for i, r := range rows {
+		byKey[cells[i].mode.name+string(rune('0'+cells[i].retry))+cells[i].mttr.String()] = r
+	}
+	for _, cell := range cells {
+		if cell.retry == 0 {
+			continue
+		}
+		off, on := byKey[cell.mode.name+"0"+cell.mttr.String()], byKey[cell.mode.name+string(rune('0'+cell.retry))+cell.mttr.String()]
+		if off.Failures == 0 || on.Failures == 0 {
+			t.Errorf("%s mttr=%v: no crashes fired (off=%d on=%d)", cell.mode.name, cell.mttr, off.Failures, on.Failures)
+		}
+		if off.Failed == 0 {
+			t.Errorf("%s mttr=%v retry-off: no interrupted request failed — the cell proves nothing", cell.mode.name, cell.mttr)
+		}
+		if off.FailedByReason["fault"] != off.Failed {
+			t.Errorf("%s mttr=%v retry-off: failure split %v does not attribute all %d drops to faults",
+				cell.mode.name, cell.mttr, off.FailedByReason, off.Failed)
+		}
+		if on.Interrupted != on.Retries {
+			t.Errorf("%s mttr=%v retry-on: %d interrupts but %d re-queues (budget %d should cover single interrupts)",
+				cell.mode.name, cell.mttr, on.Interrupted, on.Retries, ChaosRetryAttempts)
+		}
+		if on.GoodputRPS <= off.GoodputRPS {
+			t.Errorf("%s mttr=%v: retry-on goodput %.6f does not dominate retry-off %.6f",
+				cell.mode.name, cell.mttr, on.GoodputRPS, off.GoodputRPS)
+		}
+		if on.Availability <= off.Availability {
+			t.Errorf("%s mttr=%v: retry-on availability %.6f does not dominate retry-off %.6f",
+				cell.mode.name, cell.mttr, on.Availability, off.Availability)
+		}
+	}
+
+	// Straggler cells must actually see slowdown windows: their p99
+	// exceeds the crash-only p99 at the same MTTR and retry setting.
+	for _, mttr := range ChaosMTTRs {
+		crash := byKey["crash0"+mttr.String()]
+		strag := byKey["crash+straggler0"+mttr.String()]
+		if strag.P99LatencySec <= crash.P99LatencySec {
+			t.Errorf("mttr=%v: straggler p99 %.3f not above crash-only p99 %.3f — windows had no effect",
+				mttr, strag.P99LatencySec, crash.P99LatencySec)
+		}
+	}
+}
+
+// TestChaosSweepDeterministic is the availability sweep's worker-count
+// determinism gate: the full row set marshals byte-identically at 1 and
+// 8 workers (every fault instant is a pure function of seed + device
+// ordinal, never of scheduling interleaving).
+func TestChaosSweepDeterministic(t *testing.T) {
+	marshal := func(workers int) []byte {
+		rows, err := ChaosSweep(Matrix{Workers: workers}, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	w1, w8 := marshal(1), marshal(8)
+	if !bytes.Equal(w1, w8) {
+		t.Fatal("chaos sweep rows differ between 1 and 8 workers")
+	}
+}
+
+// chaosGoldenSpecs pins two seeded-fault cells: a crash+straggler run
+// with retry on (the full failure→interrupt→re-queue→recover machinery)
+// and a crash-only run with retry off (the drop path and its failure
+// split). Kept apart from TestReportGolden's testdata so the zero-fault
+// byte-identity claim stays pinned by the untouched legacy golden.
+func chaosGoldenSpecs() []Spec {
+	var specs []Spec
+	for _, s := range ChaosSpecs(true) {
+		switch s.Name {
+		case "chaos/crash+straggler/mttr=30s/retry=3", "chaos/crash/mttr=30s/retry=0":
+			specs = append(specs, s)
+		}
+	}
+	return specs
+}
+
+// TestChaosReportGolden pins the seeded-fault Reports byte-for-byte.
+// Regenerate (only on an intentional behavior change) with:
+//
+//	go test ./internal/experiments -run TestChaosReportGolden -update-golden
+func TestChaosReportGolden(t *testing.T) {
+	specs := chaosGoldenSpecs()
+	if len(specs) != 2 {
+		t.Fatalf("chaos golden cells = %d, want 2 (did a sweep cell get renamed?)", len(specs))
+	}
+	entries := make([]goldenEntry, 0, len(specs))
+	for _, s := range specs {
+		row, err := Run(s.Params)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if row.Failures == 0 {
+			t.Fatalf("%s: no faults fired — the golden would pin nothing", s.Name)
+		}
+		entries = append(entries, goldenEntry{Name: s.Name, Row: row})
+	}
+	got, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	path := filepath.Join("testdata", "golden_chaos.json")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		var wantEntries []goldenEntry
+		if err := json.Unmarshal(want, &wantEntries); err == nil && len(wantEntries) == len(entries) {
+			for i := range entries {
+				g, _ := json.Marshal(entries[i])
+				w, _ := json.Marshal(wantEntries[i])
+				if !bytes.Equal(g, w) {
+					t.Errorf("report diverged at %s:\n got: %s\nwant: %s", entries[i].Name, g, w)
+				}
+			}
+		}
+		t.Fatal("seeded-fault reports are not byte-identical to the golden")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"gpufaas/internal/cache"
+	"gpufaas/internal/chaos"
 	"gpufaas/internal/cluster"
 	"gpufaas/internal/core"
 	"gpufaas/internal/models"
@@ -215,6 +216,15 @@ type RunParams struct {
 	// run byte-identical to the pre-batching build.
 	MaxBatch  int
 	BatchWait time.Duration
+	// Chaos attaches the deterministic fault injector
+	// (cluster.Config.Chaos); nil injects nothing and keeps the run
+	// byte-identical to a fault-free build. The spec is deep-copied per
+	// run so grid cells cannot share mutable state.
+	Chaos *chaos.Config
+	// Retry is the mid-flight failure retry policy
+	// (cluster.Config.Retry); the zero value fails interrupted requests
+	// outright.
+	Retry core.RetryPolicy
 }
 
 // Row is one experiment result: a point in Figures 4a/4b/4c/5/6.
@@ -256,6 +266,12 @@ func buildConfig(p RunParams) (cluster.Config, WorkloadParams, error) {
 	cfg.Obs = p.Obs
 	cfg.MaxBatch = p.MaxBatch
 	cfg.BatchWait = p.BatchWait
+	if p.Chaos != nil {
+		cc := *p.Chaos
+		cc.Script = append([]chaos.Fault(nil), p.Chaos.Script...)
+		cfg.Chaos = &cc
+	}
+	cfg.Retry = p.Retry
 	wp := p.Workload
 	if wp.Minutes == 0 {
 		wp = DefaultWorkload(p.WorkingSet)

@@ -465,6 +465,7 @@ func scaleStore(base *models.ProfileStore, zoo *models.Zoo, scale float64) *mode
 //	GET    /system/gpus             GPU status from the datastore
 //	POST   /function/{name}         invoke
 //	GET    /healthz                 liveness
+//	GET    /readyz                  readiness: per-cell schedulable/degraded state
 //	GET    /debug/pprof/*           runtime profiling (CPU, heap, block, mutex)
 //
 // On a multi-cell gateway the per-cluster admin endpoints
@@ -494,7 +495,59 @@ func (g *Gateway) Handler() http.Handler {
 		w.WriteHeader(http.StatusOK)
 		io.WriteString(w, "ok\n")
 	})
+	mux.HandleFunc("/readyz", g.handleReadyz)
 	return mux
+}
+
+// readyCellStatus is one cell's row in the /readyz report.
+type readyCellStatus struct {
+	Cell int `json:"cell"`
+	// Ready: the cell can schedule work (at least one active GPU).
+	Ready bool `json:"ready"`
+	// Degraded: schedulable but impaired — GPUs have failed, or the
+	// admission gate is saturated (every concurrency slot held).
+	Degraded        bool `json:"degraded,omitempty"`
+	SchedulableGPUs int  `json:"schedulableGPUs"`
+	// FailedGPUs is the cell's cumulative crash-fault count.
+	FailedGPUs         int64 `json:"failedGPUs,omitempty"`
+	AdmissionSaturated bool  `json:"admissionSaturated,omitempty"`
+}
+
+// handleReadyz is readiness, distinct from /healthz liveness: the
+// process being up does not mean the fleet can serve. Each cell reports
+// ready (schedulable capacity exists) and degraded (failed GPUs or a
+// saturated admission gate); the endpoint returns 503 when any cell is
+// unschedulable, so load balancers stop routing to a gateway whose
+// fleet has crashed out from under it.
+func (g *Gateway) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		return
+	}
+	var admitRows []AdmissionCellStats
+	if g.admit != nil {
+		admitRows = g.admit.stats()
+	}
+	cells := make([]readyCellStatus, len(g.cells))
+	allReady := true
+	for i, c := range g.cells {
+		st := readyCellStatus{Cell: i, SchedulableGPUs: c.SchedulableGPUs()}
+		for _, n := range c.GPUFailures() {
+			st.FailedGPUs += n
+		}
+		if g.admit != nil && i < len(admitRows) {
+			st.AdmissionSaturated = admitRows[i].Inflight >= g.admit.cfg.MaxConcurrent
+		}
+		st.Ready = st.SchedulableGPUs > 0
+		st.Degraded = st.Ready && (st.FailedGPUs > 0 || st.AdmissionSaturated)
+		allReady = allReady && st.Ready
+		cells[i] = st
+	}
+	status := http.StatusOK
+	if !allReady {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]any{"ready": allReady, "cells": cells})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"strings"
 
+	"gpufaas/internal/cluster"
 	"gpufaas/internal/multicell"
 )
 
@@ -18,6 +19,8 @@ type promReport struct {
 	MissRatio, FalseMissRatio     float64
 	SMUtilization                 float64
 	LocalQueueMoves, O3Dispatches int64
+	// FailedByReason splits Failed over the closed cluster.Reasons set.
+	FailedByReason map[string]int64
 }
 
 // fleetReport rolls the live per-cell snapshots into the fleet view.
@@ -29,6 +32,7 @@ func (g *Gateway) fleetReport() promReport {
 			MissRatio: s.MissRatio, FalseMissRatio: s.FalseMissRatio,
 			SMUtilization:   s.SMUtilization,
 			LocalQueueMoves: s.LocalQueueMoves, O3Dispatches: s.O3Dispatches,
+			FailedByReason: s.FailedByReason,
 		}
 	}
 	outs := make([]multicell.CellOutcome, len(g.cells))
@@ -41,6 +45,7 @@ func (g *Gateway) fleetReport() promReport {
 		MissRatio: m.MissRatio, FalseMissRatio: m.FalseMissRatio,
 		SMUtilization:   m.SMUtilization,
 		LocalQueueMoves: m.LocalQueueMoves, O3Dispatches: m.O3Dispatches,
+		FailedByReason: m.FailedByReason,
 	}
 }
 
@@ -67,7 +72,13 @@ func (g *Gateway) handlePromMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge := func(name, help string, value float64) { metric("gauge", name, help, value) }
 
 	counter("gpufaas_requests_total", "Completed inference requests.", float64(snap.Requests))
-	counter("gpufaas_requests_failed_total", "Requests rejected (quota, unknown model).", float64(snap.Failed))
+	// Failed requests split by drop reason over the closed
+	// cluster.Reasons set. Every reason is pre-registered at zero so
+	// rate() has a defined origin before the first failure of each kind.
+	fmt.Fprintf(&sb, "# HELP gpufaas_requests_failed_total Requests dropped, by reason (fault, retry_exhausted, quota, ...).\n# TYPE gpufaas_requests_failed_total counter\n")
+	for _, reason := range cluster.Reasons {
+		fmt.Fprintf(&sb, "gpufaas_requests_failed_total{reason=%q} %d\n", reason, snap.FailedByReason[reason])
+	}
 	gauge("gpufaas_cache_miss_ratio", "Model cache miss ratio.", snap.MissRatio)
 	gauge("gpufaas_false_miss_ratio", "False-miss ratio (miss while cached elsewhere).", snap.FalseMissRatio)
 	gauge("gpufaas_sm_utilization", "Mean GPU SM utilization.", snap.SMUtilization)
@@ -117,6 +128,29 @@ func (g *Gateway) handlePromMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, fn := range fns {
 		fmt.Fprintf(&sb, "gpufaas_function_invocations_total{function=%q} %d\n",
 			fn.Spec.Name, fn.Invocations)
+	}
+
+	// Per-GPU crash counters from each cell's fault accounting. Devices
+	// that never failed emit nothing — a crash is an event, not fleet
+	// state, and the fleet's device set churns under recovery.
+	fmt.Fprintf(&sb, "# HELP gpufaas_gpu_failures_total Injected or observed GPU crash faults per device.\n# TYPE gpufaas_gpu_failures_total counter\n")
+	type gpuFail struct {
+		gpu string
+		n   int64
+	}
+	var fails []gpuFail
+	for i, c := range g.cells {
+		prefix := ""
+		if len(g.cells) > 1 {
+			prefix = fmt.Sprintf("cell%d/", i)
+		}
+		for gpu, n := range c.GPUFailures() {
+			fails = append(fails, gpuFail{gpu: prefix + gpu, n: n})
+		}
+	}
+	sort.Slice(fails, func(i, j int) bool { return fails[i].gpu < fails[j].gpu })
+	for _, f := range fails {
+		fmt.Fprintf(&sb, "gpufaas_gpu_failures_total{gpu=%q} %d\n", f.gpu, f.n)
 	}
 
 	// Per-GPU status (0 idle, 1 busy) from the datastore.

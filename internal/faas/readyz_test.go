@@ -1,0 +1,147 @@
+package faas
+
+// Readiness and failure-metrics tests: /readyz must track schedulable
+// capacity (not process liveness), and /metrics must expose the
+// per-reason failure split plus per-GPU crash counters.
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"gpufaas/internal/cluster"
+)
+
+// getReadyz GETs /readyz and decodes the body.
+func getReadyz(t *testing.T, srv *httptest.Server) (int, map[string]any) {
+	t.Helper()
+	res, err := http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("non-JSON /readyz body %q: %v", body, err)
+	}
+	return res.StatusCode, out
+}
+
+// TestReadyzTracksFleetHealth walks a single-cell gateway from healthy
+// through degraded to unschedulable and back via elastic re-add.
+func TestReadyzTracksFleetHealth(t *testing.T) {
+	g, err := NewGateway(GatewayConfig{
+		Policy:        "LALBO3",
+		Nodes:         1,
+		GPUsPerNode:   2,
+		TimeScale:     0.001,
+		InvokeTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+
+	status, body := getReadyz(t, srv)
+	if status != http.StatusOK || body["ready"] != true {
+		t.Fatalf("healthy gateway: status %d, body %v", status, body)
+	}
+	cell0 := body["cells"].([]any)[0].(map[string]any)
+	if cell0["schedulableGPUs"].(float64) != 2 || cell0["ready"] != true || cell0["degraded"] == true {
+		t.Fatalf("healthy cell row = %v", cell0)
+	}
+
+	// One GPU crashes: still ready, but degraded with a failure count.
+	if err := g.Cluster().FailGPU("node0/gpu0"); err != nil {
+		t.Fatal(err)
+	}
+	status, body = getReadyz(t, srv)
+	if status != http.StatusOK || body["ready"] != true {
+		t.Fatalf("degraded gateway: status %d, body %v", status, body)
+	}
+	cell0 = body["cells"].([]any)[0].(map[string]any)
+	if cell0["degraded"] != true || cell0["failedGPUs"].(float64) != 1 || cell0["schedulableGPUs"].(float64) != 1 {
+		t.Fatalf("degraded cell row = %v", cell0)
+	}
+
+	// The last GPU crashes: the cell is unschedulable and /readyz flips
+	// to 503 while /healthz (liveness) stays 200.
+	if err := g.Cluster().FailGPU("node0/gpu1"); err != nil {
+		t.Fatal(err)
+	}
+	status, body = getReadyz(t, srv)
+	if status != http.StatusServiceUnavailable || body["ready"] != false {
+		t.Fatalf("unschedulable gateway: status %d, body %v", status, body)
+	}
+	res, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Errorf("/healthz = %d while unschedulable; liveness must not track capacity", res.StatusCode)
+	}
+
+	// Capacity returns (operator or autoscaler re-adds a GPU): ready again.
+	if _, err := g.Cluster().AddGPU("", 0); err != nil {
+		t.Fatal(err)
+	}
+	if status, _ = getReadyz(t, srv); status != http.StatusOK {
+		t.Errorf("recovered gateway /readyz = %d", status)
+	}
+}
+
+// TestFailureMetricsExposition pins the per-reason failure split and the
+// per-GPU crash counters in the Prometheus exposition.
+func TestFailureMetricsExposition(t *testing.T) {
+	g := testGateway(t)
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+
+	fams := scrape(t, srv)
+	failed, ok := fams["gpufaas_requests_failed_total"]
+	if !ok {
+		t.Fatal("gpufaas_requests_failed_total missing")
+	}
+	if failed.typ != "counter" {
+		t.Errorf("failed_total TYPE = %s", failed.typ)
+	}
+	// Every drop reason is pre-registered at zero before any failure.
+	for _, reason := range cluster.Reasons {
+		key := `gpufaas_requests_failed_total{reason="` + reason + `"}`
+		v, ok := failed.samples[key]
+		if !ok {
+			t.Errorf("reason %q not pre-registered", reason)
+		} else if v != 0 {
+			t.Errorf("%s = %g on a fresh gateway", key, v)
+		}
+	}
+	if _, ok := failed.samples["gpufaas_requests_failed_total"]; ok {
+		t.Error("unlabelled failed_total sample still exposed")
+	}
+	// No crashes yet: the family is declared but carries no series.
+	gf, ok := fams["gpufaas_gpu_failures_total"]
+	if !ok {
+		t.Fatal("gpufaas_gpu_failures_total missing")
+	}
+	if len(gf.samples) != 0 {
+		t.Errorf("crash counters on a fresh gateway: %v", gf.samples)
+	}
+
+	if err := g.Cluster().FailGPU("node0/gpu2"); err != nil {
+		t.Fatal(err)
+	}
+	fams = scrape(t, srv)
+	key := `gpufaas_gpu_failures_total{gpu="node0/gpu2"}`
+	if v := fams["gpufaas_gpu_failures_total"].samples[key]; v != 1 {
+		t.Errorf("%s = %g, want 1", key, v)
+	}
+}

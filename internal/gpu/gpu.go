@@ -265,6 +265,23 @@ func (d *Device) LoadDone(now sim.Time) error {
 	return nil
 }
 
+// Interrupt abandons the in-flight request without counting it as
+// completed: the device (or its host) failed mid-flight. The partial
+// attempt's phase time folds into the utilization accumulators — the
+// GPU really did burn those seconds — but `completed` stays untouched,
+// so GPU-seconds are charged exactly once per attempt while completions
+// count only finished work. The descriptor is returned so the caller
+// (cluster failure path) can re-queue or fail the member requests.
+func (d *Device) Interrupt(now sim.Time) (Inflight, error) {
+	if d.inflight == nil {
+		return Inflight{}, ErrIdle
+	}
+	fin := *d.inflight
+	d.inflight = nil
+	d.setPhase(Idle, now)
+	return fin, nil
+}
+
 // Complete finishes the in-flight request, returning the device to idle.
 func (d *Device) Complete(now sim.Time) (Inflight, error) {
 	if d.inflight == nil {

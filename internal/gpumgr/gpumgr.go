@@ -140,10 +140,33 @@ type Manager struct {
 	// the GPU ID.
 	devOrd map[string]cache.Ord
 
+	// inflights tracks the live launch per busy GPU — the member
+	// requests and pending clock callbacks — so a device failure can
+	// interrupt the launch and hand the members back for retry. Records
+	// are pooled (flFree) to keep the steady dispatch path
+	// allocation-free.
+	inflights map[string]*inflightLaunch
+	flFree    []*inflightLaunch
+
+	// slowdown holds the transient straggler factor per GPU (> 1 means
+	// slower); applied to load and inference times at dispatch.
+	slowdown map[string]float64
+
 	quotas map[string]Quota
 	usage  map[string]*tenantUsage
 
 	onComplete func(res Result)
+}
+
+// inflightLaunch records one live launch: member requests primary
+// first, the dispatch instant for exactly-once GPU-time attribution,
+// and the cancel handles for the load-done and completion callbacks.
+type inflightLaunch struct {
+	members      []*core.Request
+	tenant       string
+	dispatchedAt sim.Time
+	cancelLoad   func()
+	cancelDone   func()
 }
 
 // Config assembles a Manager.
@@ -184,6 +207,8 @@ func New(cfg Config) (*Manager, error) {
 		sink:       cfg.Sink,
 		processes:  make(map[string]map[string]*Process),
 		devOrd:     make(map[string]cache.Ord),
+		inflights:  make(map[string]*inflightLaunch),
+		slowdown:   make(map[string]float64),
 		quotas:     make(map[string]Quota),
 		usage:      make(map[string]*tenantUsage),
 		onComplete: cfg.OnComplete,
@@ -238,6 +263,7 @@ func (m *Manager) RemoveDevice(gpuID string, now sim.Time) error {
 	delete(m.devices, gpuID)
 	delete(m.processes, gpuID)
 	delete(m.devOrd, gpuID)
+	delete(m.slowdown, gpuID)
 	if i := slices.Index(m.order, gpuID); i >= 0 {
 		m.order = slices.Delete(m.order, i, i+1)
 	}
@@ -279,6 +305,109 @@ func (m *Manager) tenantUsageFor(tenant string) *tenantUsage {
 		m.usage[tenant] = u
 	}
 	return u
+}
+
+// SetSlowdown installs (factor > 1) or clears (factor <= 1) a transient
+// straggler multiplier on a GPU: thermal throttle, noisy neighbor, link
+// degradation. Future launches on the device run factor× slower (load
+// and inference both); the launch already in flight keeps its original
+// times — a window affects dispatches, not running kernels.
+func (m *Manager) SetSlowdown(gpuID string, factor float64) {
+	if factor <= 1 {
+		delete(m.slowdown, gpuID)
+		return
+	}
+	m.slowdown[gpuID] = factor
+}
+
+// Slowdown returns the active straggler factor for a GPU (1 when none).
+func (m *Manager) Slowdown(gpuID string) float64 {
+	if f, ok := m.slowdown[gpuID]; ok {
+		return f
+	}
+	return 1
+}
+
+// scaleTime applies the device's straggler factor to a service time.
+func (m *Manager) scaleTime(gpuID string, d time.Duration) time.Duration {
+	if f, ok := m.slowdown[gpuID]; ok {
+		return time.Duration(float64(d) * f)
+	}
+	return d
+}
+
+// trackLaunch records the launch the device just began, reusing a
+// pooled record so steady-state dispatch stays allocation-free.
+func (m *Manager) trackLaunch(gpuID string, primary *core.Request, extras []*core.Request, cancelLoad, cancelDone func(), now sim.Time) {
+	var fl *inflightLaunch
+	if n := len(m.flFree); n > 0 {
+		fl = m.flFree[n-1]
+		m.flFree = m.flFree[:n-1]
+	} else {
+		fl = &inflightLaunch{}
+	}
+	fl.members = append(fl.members[:0], primary)
+	fl.members = append(fl.members, extras...)
+	fl.tenant = primary.Tenant
+	fl.dispatchedAt = now
+	fl.cancelLoad = cancelLoad
+	fl.cancelDone = cancelDone
+	m.inflights[gpuID] = fl
+}
+
+// releaseLaunch drops the launch record after completion or interrupt.
+func (m *Manager) releaseLaunch(gpuID string) {
+	fl := m.inflights[gpuID]
+	if fl == nil {
+		return
+	}
+	delete(m.inflights, gpuID)
+	for i := range fl.members {
+		fl.members[i] = nil
+	}
+	fl.members = fl.members[:0]
+	fl.cancelLoad = nil
+	fl.cancelDone = nil
+	m.flFree = append(m.flFree, fl)
+}
+
+// Interrupt aborts the in-flight launch on a failed GPU. Both pending
+// clock callbacks are cancelled, the device abandons the launch (its
+// partial phase time still accrues to utilization — the GPU really
+// burned those seconds), the model is unpinned, and the primary tenant
+// is charged the GPU time actually consumed (dispatch to failure), so
+// GPU-seconds are charged exactly once per attempt. The member requests
+// are returned primary-first for the caller's retry policy, along with
+// the launch's dispatch time (for wasted-work accounting); nil members
+// when the device was idle. No status report is emitted — the caller
+// removes the device outright and GPURemovalSink handles datastore
+// cleanup.
+func (m *Manager) Interrupt(gpuID string, now sim.Time) ([]*core.Request, sim.Time, error) {
+	dev, ok := m.devices[gpuID]
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: %s", ErrUnknownDevice, gpuID)
+	}
+	fl := m.inflights[gpuID]
+	if fl == nil {
+		return nil, 0, nil
+	}
+	if fl.cancelLoad != nil {
+		fl.cancelLoad()
+	}
+	if fl.cancelDone != nil {
+		fl.cancelDone()
+	}
+	if _, err := dev.Interrupt(now); err != nil {
+		return nil, 0, err
+	}
+	m.cacheMgr.Pin(gpuID, "")
+	u := m.tenantUsageFor(fl.tenant)
+	u.gpuTime += time.Duration(now - fl.dispatchedAt)
+	members := make([]*core.Request, len(fl.members))
+	copy(members, fl.members)
+	startedAt := fl.dispatchedAt
+	m.releaseLaunch(gpuID)
+	return members, startedAt, nil
 }
 
 // checkQuota verifies the tenant can start a request that will consume the
@@ -323,10 +452,10 @@ func (m *Manager) Execute(req *core.Request, gpuID string, now sim.Time) (hit bo
 	}
 
 	hit = m.cacheMgr.CachedOrd(m.devOrd[gpuID], mdl.Name)
-	inferTime := prof.InferTime(req.BatchSize)
+	inferTime := m.scaleTime(gpuID, prof.InferTime(req.BatchSize))
 	loadTime := time.Duration(0)
 	if !hit {
-		loadTime = prof.LoadTime
+		loadTime = m.scaleTime(gpuID, prof.LoadTime)
 	}
 	newProcess := !hit
 	if err := m.checkQuota(req.Tenant, loadTime+inferTime, newProcess, mdl.OccupancyBytes()); err != nil {
@@ -383,16 +512,18 @@ func (m *Manager) Execute(req *core.Request, gpuID string, now sim.Time) (hit bo
 		LoadTime:     loadTime,
 		InferTime:    inferTime,
 	}
+	var cancelLoad func()
 	if loadTime > 0 {
-		m.clock.AfterFunc(loadTime, "gpumgr.loadDone "+gpuID, func(at sim.Time) {
+		cancelLoad = m.clock.AfterFunc(loadTime, "gpumgr.loadDone "+gpuID, func(at sim.Time) {
 			// Ignore error: in live mode a completion race can make
 			// this a no-op.
 			_ = dev.LoadDone(at)
 		})
 	}
-	m.clock.AfterFunc(time.Duration(finishAt-now), "gpumgr.complete "+gpuID, func(at sim.Time) {
+	cancelDone := m.clock.AfterFunc(time.Duration(finishAt-now), "gpumgr.complete "+gpuID, func(at sim.Time) {
 		m.complete(dev, res, at)
 	})
+	m.trackLaunch(gpuID, req, nil, cancelLoad, cancelDone, now)
 	return hit, nil
 }
 
@@ -441,15 +572,17 @@ func (m *Manager) ExecuteBatch(req *core.Request, extras []*core.Request, gpuID 
 	hit = m.cacheMgr.CachedOrd(m.devOrd[gpuID], mdl.Name)
 	loadTime := time.Duration(0)
 	if !hit {
-		loadTime = prof.LoadTime
+		loadTime = m.scaleTime(gpuID, prof.LoadTime)
 	}
 	newProcess := !hit
 
 	// Primary pays the single-request cost (launch overhead + own
 	// inputs) plus the load; each extra pays only the marginal slope
 	// cost of its inputs. The shares sum exactly to the batched
-	// inference time, so quota charges equal GPU time consumed.
-	primaryInfer := prof.InferTime(req.BatchSize)
+	// inference time, so quota charges equal GPU time consumed. A
+	// straggler factor scales the whole launch, marginal costs
+	// included, so the decomposition keeps summing exactly.
+	primaryInfer := m.scaleTime(gpuID, prof.InferTime(req.BatchSize))
 	if err := m.checkQuota(req.Tenant, loadTime+primaryInfer, newProcess, mdl.OccupancyBytes()); err != nil {
 		return hit, nil, err
 	}
@@ -457,7 +590,7 @@ func (m *Manager) ExecuteBatch(req *core.Request, extras []*core.Request, gpuID 
 		if batch <= 0 {
 			batch = 1
 		}
-		return time.Duration(prof.InferFit.Beta * float64(batch) * float64(time.Second))
+		return m.scaleTime(gpuID, time.Duration(prof.InferFit.Beta*float64(batch)*float64(time.Second)))
 	}
 	members := make([]*core.Request, 0, 1+len(extras))
 	members = append(members, req)
@@ -481,7 +614,7 @@ func (m *Manager) ExecuteBatch(req *core.Request, extras []*core.Request, gpuID 
 		}
 		totalInputs += b
 	}
-	inferTime := prof.InferTime(totalInputs)
+	inferTime := m.scaleTime(gpuID, prof.InferTime(totalInputs))
 	shares[0] = inferTime
 	for _, s := range shares[1:] {
 		shares[0] -= s
@@ -540,14 +673,16 @@ func (m *Manager) ExecuteBatch(req *core.Request, extras []*core.Request, gpuID 
 			InferShare:   shares[i],
 		}
 	}
+	var cancelLoad func()
 	if loadTime > 0 {
-		m.clock.AfterFunc(loadTime, "gpumgr.loadDone "+gpuID, func(at sim.Time) {
+		cancelLoad = m.clock.AfterFunc(loadTime, "gpumgr.loadDone "+gpuID, func(at sim.Time) {
 			_ = dev.LoadDone(at)
 		})
 	}
-	m.clock.AfterFunc(time.Duration(finishAt-now), "gpumgr.complete "+gpuID, func(at sim.Time) {
+	cancelDone := m.clock.AfterFunc(time.Duration(finishAt-now), "gpumgr.complete "+gpuID, func(at sim.Time) {
 		m.completeBatch(dev, results, at)
 	})
+	m.trackLaunch(gpuID, req, members[1:], cancelLoad, cancelDone, now)
 	return hit, dropped, nil
 }
 
@@ -558,6 +693,7 @@ func (m *Manager) completeBatch(dev *gpu.Device, results []Result, now sim.Time)
 	if _, err := dev.Complete(now); err != nil {
 		panic(fmt.Sprintf("gpumgr: complete on %s: %v", dev.ID(), err))
 	}
+	m.releaseLaunch(dev.ID())
 	m.cacheMgr.Pin(dev.ID(), "")
 	for i := range results {
 		res := &results[i]
@@ -588,6 +724,7 @@ func (m *Manager) complete(dev *gpu.Device, res Result, now sim.Time) {
 		// by panicking in sim mode (deterministic), tolerating in live.
 		panic(fmt.Sprintf("gpumgr: complete on %s: %v", dev.ID(), err))
 	}
+	m.releaseLaunch(dev.ID())
 	m.cacheMgr.Pin(dev.ID(), "")
 	u := m.tenantUsageFor(res.Tenant)
 	u.gpuTime += res.LoadTime + res.InferTime

@@ -97,6 +97,14 @@ type MergedReport struct {
 	// tracing is off.
 	SampledSpans int64 `json:",omitempty"`
 
+	// Fault-injection accounting summed across cells (each cell owns a
+	// private injector over its own ordinals); zero/nil — and omitted —
+	// on fault-free runs, like the cluster Report fields they mirror.
+	Failures       int64            `json:",omitempty"`
+	Interrupted    int64            `json:",omitempty"`
+	Retries        int64            `json:",omitempty"`
+	FailedByReason map[string]int64 `json:",omitempty"`
+
 	// CellSpread is the per-cell min/max imbalance bracket.
 	CellSpread Spread
 }
@@ -137,6 +145,15 @@ func Merge(cells []CellOutcome, router Policy) MergedReport {
 		m.GPUSeconds += r.GPUSeconds
 		m.ScaleUps += r.ScaleUps
 		m.ScaleDowns += r.ScaleDowns
+		m.Failures += r.Failures
+		m.Interrupted += r.Interrupted
+		m.Retries += r.Retries
+		for reason, n := range r.FailedByReason {
+			if m.FailedByReason == nil {
+				m.FailedByReason = make(map[string]int64)
+			}
+			m.FailedByReason[reason] += n
+		}
 		m.PeakGPUs += r.PeakGPUs
 		m.FinalGPUs += r.FinalGPUs
 		m.Cost += r.Cost

@@ -98,6 +98,11 @@ type Span struct {
 	// path, where the request owns the full InferTime.
 	BatchMembers int           `json:"batch,omitempty"`
 	InferShare   time.Duration `json:"infer_share_ns,omitempty"`
+
+	// Attempt counts earlier execution attempts this request lost to
+	// GPU failures before the dispatch recorded here (0 on the first
+	// try, omitted so fault-free trace exports stay byte-identical).
+	Attempt int `json:"attempt,omitempty"`
 }
 
 // pendingSpan holds the placement-decision fields captured at
@@ -108,6 +113,7 @@ type pendingSpan struct {
 	o3Skips   int
 	parked    bool
 	expectHit bool
+	attempt   int
 }
 
 // Tracer records lifecycle spans for the sampled request subset. It
@@ -130,12 +136,14 @@ func NewTracer(sampleMod uint64, cell int) *Tracer {
 func (t *Tracer) Sampled(id int64) bool { return Sampled(id, t.mod) }
 
 // OnDispatch records the placement decision for a request about to
-// execute. No-op for unsampled requests.
-func (t *Tracer) OnDispatch(id int64, gpu string, ord, o3Skips int, parked, expectHit bool) {
+// execute; attempt counts its earlier failure-interrupted attempts. A
+// re-dispatch after an interrupt simply overwrites the pending record.
+// No-op for unsampled requests.
+func (t *Tracer) OnDispatch(id int64, gpu string, ord, o3Skips int, parked, expectHit bool, attempt int) {
 	if !t.Sampled(id) {
 		return
 	}
-	t.pending[id] = pendingSpan{gpu: gpu, ord: ord, o3Skips: o3Skips, parked: parked, expectHit: expectHit}
+	t.pending[id] = pendingSpan{gpu: gpu, ord: ord, o3Skips: o3Skips, parked: parked, expectHit: expectHit, attempt: attempt}
 }
 
 // Drop discards the pending dispatch record for a request whose
@@ -192,6 +200,7 @@ func (t *Tracer) OnComplete(c Completion) {
 		O3Skips:      p.o3Skips,
 		BatchMembers: c.BatchMembers,
 		InferShare:   c.InferShare,
+		Attempt:      p.attempt,
 	})
 }
 
@@ -273,6 +282,13 @@ type Breakdown struct {
 	Batched          int64             `json:"batched,omitempty"`
 	BatchOccupancy   []OccupancyBucket `json:"batch_occupancy,omitempty"`
 	EffectiveService *Quantiles        `json:"effective_service,omitempty"`
+
+	// Retried counts execution attempts aborted by GPU failures, and
+	// RetryWaste the quantiles of the GPU time each aborted attempt had
+	// already burned (work the fleet paid for but no request benefited
+	// from). Zero/omitted without fault injection.
+	Retried    int64      `json:"retried,omitempty"`
+	RetryWaste *Quantiles `json:"retry_waste,omitempty"`
 }
 
 // OccupancyBucket is one row of the batch-occupancy histogram: how many
@@ -305,6 +321,11 @@ type RawBreakdown struct {
 	Batched   int64
 	Occupancy []int64
 	EffShare  []float64
+
+	// Retry accounting (fault injection). RetryWaste holds the GPU time
+	// each failure-aborted attempt had burned, in seconds.
+	Retried    int64
+	RetryWaste []float64
 }
 
 // Collector accumulates the raw latency decomposition for one
@@ -342,6 +363,13 @@ func (c *Collector) Observe(hit, falseMiss bool, queue, load, service time.Durat
 	c.raw.QueueMiss = append(c.raw.QueueMiss, queue.Seconds())
 	c.raw.LoadMiss = append(c.raw.LoadMiss, load.Seconds())
 	c.raw.ServiceMiss = append(c.raw.ServiceMiss, service.Seconds())
+}
+
+// ObserveRetry records one execution attempt aborted by a GPU failure
+// and the GPU time it had already consumed.
+func (c *Collector) ObserveRetry(waste time.Duration) {
+	c.raw.Retried++
+	c.raw.RetryWaste = append(c.raw.RetryWaste, waste.Seconds())
 }
 
 // Raw returns the accumulated raw samples (shared, not copied): the
@@ -429,6 +457,11 @@ func (r *RawBreakdown) Breakdown() *Breakdown {
 		q := quantiles(r.EffShare, 0)
 		b.EffectiveService = &q
 	}
+	if r.Retried > 0 {
+		b.Retried = r.Retried
+		q := quantiles(r.RetryWaste, 0)
+		b.RetryWaste = &q
+	}
 	return b
 }
 
@@ -461,6 +494,8 @@ func MergeRaw(raws []*RawBreakdown) *RawBreakdown {
 			out.Occupancy[i] += n
 		}
 		out.EffShare = append(out.EffShare, r.EffShare...)
+		out.Retried += r.Retried
+		out.RetryWaste = append(out.RetryWaste, r.RetryWaste...)
 	}
 	return out
 }

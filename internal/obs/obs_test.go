@@ -32,8 +32,8 @@ func TestSampledDeterministicAndUnbiased(t *testing.T) {
 
 func TestTracerLifecycle(t *testing.T) {
 	tr := NewTracer(1, 3) // keep everything, cell 3
-	tr.OnDispatch(7, "node0/gpu2", 2, 4, true, true)
-	tr.OnDispatch(8, "node0/gpu1", 1, 0, false, false)
+	tr.OnDispatch(7, "node0/gpu2", 2, 4, true, true, 1)
+	tr.OnDispatch(8, "node0/gpu1", 1, 0, false, false, 0)
 	tr.Drop(8) // execution failed
 	tr.OnComplete(Completion{
 		ReqID: 7, Function: "f", Model: "resnet50", Hit: false, FalseMiss: true,
@@ -46,7 +46,7 @@ func TestTracerLifecycle(t *testing.T) {
 	}
 	s := tr.Spans()[0]
 	if s.ReqID != 7 || s.GPU != "node0/gpu2" || s.Ord != 2 || s.Cell != 3 ||
-		s.O3Skips != 4 || !s.Parked || !s.ExpectHit || s.Hit || !s.FalseMiss {
+		s.O3Skips != 4 || !s.Parked || !s.ExpectHit || s.Hit || !s.FalseMiss || s.Attempt != 1 {
 		t.Fatalf("span fields wrong: %+v", s)
 	}
 	if s.Dispatched-s.Arrival != 5*time.Millisecond {
